@@ -1,0 +1,10 @@
+//! # e2lsh-analysis
+//!
+//! The paper's query-time cost models and storage-requirement solvers
+//! (Section 4). Placeholder module list; see [`model`].
+
+pub mod model;
+
+pub use model::{
+    required_iops, required_request_rate, CostInputs, QueryTimeModel, StorageRequirement,
+};

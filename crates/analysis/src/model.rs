@@ -1,0 +1,178 @@
+//! Query-time models of E2LSHoS (paper Section 4.1).
+//!
+//! Synchronous I/O (Equation 6):
+//! `T_sync = T_compute + N_IO · (T_request + T_read)`
+//!
+//! Asynchronous I/O (Equation 7):
+//! `T_async = max(T_compute + N_IO · T_request, N_IO · T_read)`
+//!
+//! Requirement solvers (Equations 8–16): given a target query time
+//! `T_target`, the measured compute time `T_compute` and I/O count `N_IO`,
+//! solve for the storage random-read performance `1/T_read` (IOPS) and the
+//! CPU overhead budget `1/T_request` (max IOPS/core).
+
+use serde::{Deserialize, Serialize};
+
+/// Measured per-query inputs of the cost model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostInputs {
+    /// Total compute time per query in seconds (hash + distance checks).
+    pub t_compute: f64,
+    /// Number of I/Os per query.
+    pub n_io: f64,
+}
+
+/// A parameterized query-time model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QueryTimeModel {
+    /// CPU overhead per I/O request in seconds (`T_request`, Table 3).
+    pub t_request: f64,
+    /// Storage time per I/O in seconds (`T_read`; its reciprocal is the
+    /// device's random-read IOPS at the operating queue depth).
+    pub t_read: f64,
+}
+
+impl QueryTimeModel {
+    /// Equation 6: synchronous query time.
+    pub fn sync_time(&self, inp: &CostInputs) -> f64 {
+        inp.t_compute + inp.n_io * (self.t_request + self.t_read)
+    }
+
+    /// Equation 7: asynchronous query time (compute and I/O overlap; the
+    /// longer of the two pipelines dominates).
+    pub fn async_time(&self, inp: &CostInputs) -> f64 {
+        let cpu = inp.t_compute + inp.n_io * self.t_request;
+        let io = inp.n_io * self.t_read;
+        cpu.max(io)
+    }
+}
+
+/// Storage performance requirements for E2LSHoS to reach a target time.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StorageRequirement {
+    /// Minimum random-read performance in IOPS (`1/T_read`, Equation 11).
+    pub min_iops: f64,
+    /// Minimum request-issue rate in IOPS/core (`1/T_request`,
+    /// Equation 10); `f64::INFINITY` when the target is unreachable even
+    /// with zero per-request overhead.
+    pub min_request_rate: f64,
+}
+
+/// Equation 11 / 13 / 15: required IOPS so the I/O pipeline fits in
+/// `t_target`: `1/T_read ≥ N_IO / T_target`.
+pub fn required_iops(n_io: f64, t_target: f64) -> f64 {
+    assert!(t_target > 0.0, "target time must be positive");
+    assert!(n_io >= 0.0);
+    n_io / t_target
+}
+
+/// Equation 10 / 12 / 14: required request rate so the CPU pipeline fits:
+/// `1/T_request ≥ N_IO / (T_target − T_compute)`.
+///
+/// Returns `f64::INFINITY` when `t_target ≤ t_compute` (the compute alone
+/// exceeds the target, so no interface is fast enough).
+pub fn required_request_rate(n_io: f64, t_target: f64, t_compute: f64) -> f64 {
+    assert!(t_target > 0.0);
+    let slack = t_target - t_compute;
+    if slack <= 0.0 {
+        f64::INFINITY
+    } else {
+        n_io / slack
+    }
+}
+
+/// Both requirements at once (Equations 10–11 with `T_target`).
+pub fn requirements(inp: &CostInputs, t_target: f64) -> StorageRequirement {
+    StorageRequirement {
+        min_iops: required_iops(inp.n_io, t_target),
+        min_request_rate: required_request_rate(inp.n_io, t_target, inp.t_compute),
+    }
+}
+
+/// Synchronous-case requirement (Equation 9): the sum `T_request + T_read`
+/// must fit in the per-I/O slack; with `T_read ≫ T_request` the paper
+/// reduces it to `1/T_read ≥ N_IO / (T_target − T_compute)`.
+pub fn required_iops_sync(n_io: f64, t_target: f64, t_compute: f64) -> f64 {
+    let slack = t_target - t_compute;
+    if slack <= 0.0 {
+        f64::INFINITY
+    } else {
+        n_io / slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INP: CostInputs = CostInputs {
+        t_compute: 100e-6,
+        n_io: 400.0,
+    };
+
+    #[test]
+    fn sync_slower_than_async() {
+        let m = QueryTimeModel {
+            t_request: 1e-6,
+            t_read: 50e-6,
+        };
+        assert!(m.sync_time(&INP) > m.async_time(&INP));
+    }
+
+    #[test]
+    fn async_io_bound_vs_cpu_bound() {
+        // Slow device: I/O side dominates.
+        let slow = QueryTimeModel {
+            t_request: 0.1e-6,
+            t_read: 100e-6,
+        };
+        assert_eq!(slow.async_time(&INP), INP.n_io * slow.t_read);
+        // Fast device, heavy interface: CPU side dominates.
+        let heavy = QueryTimeModel {
+            t_request: 10e-6,
+            t_read: 0.1e-6,
+        };
+        assert_eq!(
+            heavy.async_time(&INP),
+            INP.t_compute + INP.n_io * heavy.t_request
+        );
+    }
+
+    #[test]
+    fn requirement_roundtrip() {
+        // A device exactly meeting the requirement hits the target.
+        let t_target = 1e-3;
+        let req = requirements(&INP, t_target);
+        let m = QueryTimeModel {
+            t_request: 1.0 / req.min_request_rate,
+            t_read: 1.0 / req.min_iops,
+        };
+        let t = m.async_time(&INP);
+        assert!((t - t_target).abs() < 1e-12, "t = {t}");
+    }
+
+    #[test]
+    fn infeasible_target() {
+        let req = requirements(&INP, 50e-6); // below t_compute
+        assert!(req.min_request_rate.is_infinite());
+        assert!(req.min_iops.is_finite());
+    }
+
+    #[test]
+    fn paper_magnitudes() {
+        // Paper Sec. 4.4: a few hundred I/Os, SRS time in the ms range →
+        // requirement of a few hundred kIOPS.
+        let iops = required_iops(400.0, 1.5e-3);
+        assert!(iops > 100e3 && iops < 1e6, "iops = {iops}");
+        // Sec. 4.5: in-memory E2LSH time ~100 µs → a few MIOPS.
+        let iops = required_iops(400.0, 150e-6);
+        assert!(iops > 1e6 && iops < 10e6, "iops = {iops}");
+    }
+
+    #[test]
+    fn sync_requirement_exceeds_async() {
+        let sync = required_iops_sync(INP.n_io, 1e-3, INP.t_compute);
+        let asyn = required_iops(INP.n_io, 1e-3);
+        assert!(sync > asyn);
+    }
+}

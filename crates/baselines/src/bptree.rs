@@ -1,0 +1,325 @@
+//! A leaf-linked B+-tree over `(f32 key, u32 id)` pairs with bidirectional
+//! cursors — the index substrate of QALSH.
+//!
+//! QALSH builds one B+-tree per hash function over the projection values
+//! `h_i(o) = a_i·o` of all objects, and answers queries by walking outward
+//! from the query's projection in both directions ("virtual rehashing").
+//! The tree is immutable after bulk load (the paper's indices are built
+//! once per dataset) and counts node visits for cost analysis.
+
+/// Keys per leaf / fanout of inner nodes.
+pub const ORDER: usize = 64;
+
+struct Leaf {
+    keys: Vec<f32>,
+    ids: Vec<u32>,
+}
+
+struct Inner {
+    /// `separators[i]` is the smallest key of subtree `children[i+1]`.
+    separators: Vec<f32>,
+    children: Vec<u32>,
+    /// True when children are leaves.
+    leaf_children: bool,
+}
+
+/// Immutable bulk-loaded B+-tree.
+pub struct BPlusTree {
+    leaves: Vec<Leaf>,
+    inners: Vec<Inner>,
+    root: Option<u32>,
+    len: usize,
+}
+
+impl BPlusTree {
+    /// Bulk-load from `(key, id)` pairs; the pairs are sorted internally.
+    pub fn bulk_load(mut pairs: Vec<(f32, u32)>) -> Self {
+        pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        let len = pairs.len();
+        let mut leaves = Vec::new();
+        for chunk in pairs.chunks(ORDER) {
+            leaves.push(Leaf {
+                keys: chunk.iter().map(|&(k, _)| k).collect(),
+                ids: chunk.iter().map(|&(_, id)| id).collect(),
+            });
+        }
+        let mut inners: Vec<Inner> = Vec::new();
+        if leaves.is_empty() {
+            return Self {
+                leaves,
+                inners,
+                root: None,
+                len,
+            };
+        }
+        // Build inner levels over consecutive children.
+        let mut level: Vec<(u32, f32)> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as u32, l.keys[0]))
+            .collect();
+        let mut leaf_children = true;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for chunk in level.chunks(ORDER) {
+                let children: Vec<u32> = chunk.iter().map(|&(c, _)| c).collect();
+                let separators: Vec<f32> = chunk[1..].iter().map(|&(_, k)| k).collect();
+                inners.push(Inner {
+                    separators,
+                    children,
+                    leaf_children,
+                });
+                next.push(((inners.len() - 1) as u32, chunk[0].1));
+            }
+            level = next;
+            leaf_children = false;
+        }
+        let root = if inners.is_empty() {
+            None // single leaf; `root` position encoded separately
+        } else {
+            Some(level[0].0)
+        };
+        Self {
+            leaves,
+            inners,
+            root,
+            len,
+        }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn nbytes(&self) -> usize {
+        let mut b = 0;
+        for l in &self.leaves {
+            b += l.keys.len() * 8 + 48;
+        }
+        for i in &self.inners {
+            b += i.separators.len() * 4 + i.children.len() * 4 + 49;
+        }
+        b
+    }
+
+    /// Find the position of the first pair with key ≥ `key`, descending
+    /// from the root; increments `node_visits` per node touched.
+    fn lower_bound(&self, key: f32, node_visits: &mut usize) -> (usize, usize) {
+        if self.leaves.is_empty() {
+            return (0, 0);
+        }
+        let mut leaf_idx = match self.root {
+            None => 0usize,
+            Some(mut node) => loop {
+                *node_visits += 1;
+                let inner = &self.inners[node as usize];
+                let pos = inner
+                    .separators
+                    .partition_point(|&s| s <= key);
+                let child = inner.children[pos];
+                if inner.leaf_children {
+                    break child as usize;
+                }
+                node = child;
+            },
+        };
+        *node_visits += 1;
+        let leaf = &self.leaves[leaf_idx];
+        let mut pos = leaf.keys.partition_point(|&k| k < key);
+        // Key larger than everything in this leaf: step to the next.
+        if pos == leaf.keys.len() && leaf_idx + 1 < self.leaves.len() {
+            leaf_idx += 1;
+            pos = 0;
+        }
+        (leaf_idx, pos)
+    }
+
+    /// Open a bidirectional cursor centered at `key`: `next_right` yields
+    /// pairs with keys ≥ key ascending, `next_left` yields keys < key
+    /// descending.
+    pub fn cursor(&self, key: f32) -> Cursor<'_> {
+        let mut node_visits = 0;
+        let (leaf, pos) = self.lower_bound(key, &mut node_visits);
+        Cursor {
+            tree: self,
+            right_leaf: leaf,
+            right_pos: pos,
+            left_leaf: leaf,
+            left_pos: pos,
+            node_visits,
+        }
+    }
+}
+
+/// Bidirectional cursor over the leaf level.
+pub struct Cursor<'a> {
+    tree: &'a BPlusTree,
+    right_leaf: usize,
+    right_pos: usize,
+    left_leaf: usize,
+    left_pos: usize,
+    node_visits: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Next pair to the right (keys ≥ center, ascending), if any.
+    pub fn next_right(&mut self) -> Option<(f32, u32)> {
+        loop {
+            if self.right_leaf >= self.tree.leaves.len() {
+                return None;
+            }
+            let leaf = &self.tree.leaves[self.right_leaf];
+            if self.right_pos < leaf.keys.len() {
+                let out = (leaf.keys[self.right_pos], leaf.ids[self.right_pos]);
+                self.right_pos += 1;
+                return Some(out);
+            }
+            self.right_leaf += 1;
+            self.right_pos = 0;
+            self.node_visits += 1;
+        }
+    }
+
+    /// Next pair to the left (keys < center, descending), if any.
+    pub fn next_left(&mut self) -> Option<(f32, u32)> {
+        loop {
+            if self.left_pos > 0 {
+                self.left_pos -= 1;
+                let leaf = &self.tree.leaves[self.left_leaf];
+                return Some((leaf.keys[self.left_pos], leaf.ids[self.left_pos]));
+            }
+            if self.left_leaf == 0 {
+                return None;
+            }
+            self.left_leaf -= 1;
+            self.left_pos = self.tree.leaves[self.left_leaf].keys.len();
+            self.node_visits += 1;
+        }
+    }
+
+    /// Key of the next right pair without consuming it.
+    pub fn peek_right(&mut self) -> Option<f32> {
+        let save = (self.right_leaf, self.right_pos);
+        let out = self.next_right().map(|(k, _)| k);
+        (self.right_leaf, self.right_pos) = save;
+        out
+    }
+
+    /// Key of the next left pair without consuming it.
+    pub fn peek_left(&mut self) -> Option<f32> {
+        let save = (self.left_leaf, self.left_pos);
+        let out = self.next_left().map(|(k, _)| k);
+        (self.left_leaf, self.left_pos) = save;
+        out
+    }
+
+    /// Nodes touched by this cursor (descent + leaf hops).
+    pub fn node_visits(&self) -> usize {
+        self.node_visits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn tree_of(keys: &[f32]) -> BPlusTree {
+        BPlusTree::bulk_load(keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect())
+    }
+
+    #[test]
+    fn cursor_walks_both_directions_in_order() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let keys: Vec<f32> = (0..1000).map(|_| rng.gen::<f32>() * 100.0).collect();
+        let tree = tree_of(&keys);
+        let center = 50.0f32;
+        let mut cur = tree.cursor(center);
+        let mut prev = center;
+        let mut right_count = 0;
+        while let Some((k, _)) = cur.next_right() {
+            assert!(k >= prev - 1e-6, "right walk must ascend");
+            assert!(k >= center);
+            prev = k;
+            right_count += 1;
+        }
+        let mut prev = center;
+        let mut left_count = 0;
+        while let Some((k, _)) = cur.next_left() {
+            assert!(k <= prev + 1e-6, "left walk must descend");
+            assert!(k < center);
+            prev = k;
+            left_count += 1;
+        }
+        assert_eq!(right_count + left_count, 1000);
+    }
+
+    #[test]
+    fn cursor_at_extremes() {
+        let tree = tree_of(&[1.0, 2.0, 3.0]);
+        let mut lo = tree.cursor(-10.0);
+        assert_eq!(lo.next_right().unwrap().0, 1.0);
+        assert!(lo.next_left().is_none());
+        let mut hi = tree.cursor(10.0);
+        assert!(hi.next_right().is_none());
+        assert_eq!(hi.next_left().unwrap().0, 3.0);
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let tree = tree_of(&[5.0; 200]);
+        let mut cur = tree.cursor(5.0);
+        let mut count = 0;
+        while cur.next_right().is_some() {
+            count += 1;
+        }
+        while cur.next_left().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn lower_bound_counts_nodes_logarithmically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let keys: Vec<f32> = (0..100_000).map(|_| rng.gen()).collect();
+        let tree = tree_of(&keys);
+        let cur = tree.cursor(0.5);
+        // 100k keys, order 64: depth 3 → a handful of node visits.
+        assert!(cur.node_visits() <= 6, "visits {}", cur.node_visits());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = BPlusTree::bulk_load(vec![]);
+        assert!(tree.is_empty());
+        let mut cur = tree.cursor(0.0);
+        assert!(cur.next_right().is_none());
+        assert!(cur.next_left().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let tree = tree_of(&[1.0, 2.0, 3.0, 4.0]);
+        let mut cur = tree.cursor(2.5);
+        assert_eq!(cur.peek_right(), Some(3.0));
+        assert_eq!(cur.peek_right(), Some(3.0));
+        assert_eq!(cur.next_right().unwrap().0, 3.0);
+        assert_eq!(cur.peek_left(), Some(2.0));
+        assert_eq!(cur.next_left().unwrap().0, 2.0);
+    }
+
+    #[test]
+    fn nbytes_positive() {
+        let tree = tree_of(&[0.5; 1000]);
+        assert!(tree.nbytes() > 1000 * 8);
+    }
+}

@@ -1,0 +1,37 @@
+//! Exact linear-scan k-NN (sanity baseline).
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::distance::dist2;
+use e2lsh_core::search::TopK;
+
+/// Exact top-`k` by scanning every point.
+pub fn knn(dataset: &Dataset, q: &[f32], k: usize) -> Vec<(u32, f32)> {
+    assert_eq!(q.len(), dataset.dim());
+    let mut topk = TopK::new(k.max(1));
+    for i in 0..dataset.len() {
+        topk.offer(i as u32, dist2(q, dataset.point(i)));
+    }
+    topk.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_neighbors() {
+        let rows: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let ds = Dataset::from_rows(&rows);
+        let res = knn(&ds, &[20.2], 3);
+        assert_eq!(res[0].0, 20);
+        assert_eq!(res[1].0, 21);
+        assert_eq!(res[2].0, 19);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let ds = Dataset::from_rows(&[vec![0.0f32], vec![1.0]]);
+        let res = knn(&ds, &[0.0], 10);
+        assert_eq!(res.len(), 2);
+    }
+}

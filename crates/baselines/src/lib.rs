@@ -1,0 +1,28 @@
+//! # ann-baselines
+//!
+//! The small-index LSH baselines the paper compares against (Section 3.1),
+//! implemented from scratch together with their index substrates:
+//!
+//! * [`rtree`] — an STR bulk-loaded R-tree with best-first incremental
+//!   nearest-neighbor search (the index structure of SRS);
+//! * [`bptree`] — a leaf-linked B+-tree with bidirectional cursors (the
+//!   index structure of QALSH);
+//! * [`srs`] — SRS (Sun et al., VLDB 2014): project the database onto a
+//!   tiny m-dimensional space, search it incrementally with an R-tree, and
+//!   stop early via a chi-square test. Linear query time, tiny index.
+//! * [`qalsh`] — QALSH (Huang et al., VLDB 2015): query-aware bucketing
+//!   with collision counting and virtual rehashing over B+-trees.
+//!   `O(n log n)` query time and index size.
+//! * [`brute`] — exact linear scan (ground truth and sanity baseline).
+//!
+//! The paper runs both baselines fully in memory (their index is small
+//! enough); so does this crate.
+
+pub mod bptree;
+pub mod brute;
+pub mod qalsh;
+pub mod rtree;
+pub mod srs;
+
+pub use qalsh::{Qalsh, QalshConfig};
+pub use srs::{Srs, SrsConfig};

@@ -1,0 +1,397 @@
+//! QALSH — query-aware locality-sensitive hashing (Huang, Feng, Zhang,
+//! Fang, Ng; VLDB 2015).
+//!
+//! QALSH uses *query-aware* hash functions `h_i(o) = a_i·o` (no random
+//! shift, no flooring): the bucket of width `w` is anchored **at the
+//! query's own projection** at query time. One B+-tree per hash function
+//! indexes the projections of all objects. A query proceeds in rounds of
+//! *virtual rehashing* with radius `R = 1, c, c², …`: in round `R`, object
+//! `o` collides with `q` under `h_i` if `|h_i(o) − h_i(q)| ≤ w·R/2`, and
+//! an object that collides in at least `l` of the `K` hash functions
+//! (collision counting) becomes a candidate whose true distance is
+//! computed. The round ends like the `(R, c)`-NN reduction: when `k`
+//! results within `c·R` exist, or when the candidate budget
+//! (`β·n + k − 1`) is exhausted.
+//!
+//! Both the index size and query time are `O(n log n)` — the
+//! "small-index" regime. Parameters follow the QALSH paper: the bucket
+//! width `w = √(8c²·ln c/(c²−1))` minimizes ρ; `K` and the collision
+//! threshold `l` come from the Chernoff-bound construction with false-
+//! positive rate `β` and error probability `δ`.
+
+use crate::bptree::BPlusTree;
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::distance::{dist2, dot};
+use e2lsh_core::lsh::sample_standard_normal;
+use e2lsh_core::math::normal_cdf;
+use e2lsh_core::search::TopK;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// QALSH configuration.
+#[derive(Clone, Debug)]
+pub struct QalshConfig {
+    /// Approximation ratio `c` (the accuracy knob the E2LSHoS paper
+    /// tunes for QALSH, Section 3.3).
+    pub c: f32,
+    /// Error probability `δ` (papers use `1/2 − 1/e` success ⇒ δ ≈ 0.87
+    /// failure bound per round; we default to the customary `1/e`).
+    pub delta: f64,
+    /// False-positive fraction `β` (fraction of `n` allowed as wasted
+    /// candidates; QALSH uses `100/n`).
+    pub beta_count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QalshConfig {
+    fn default() -> Self {
+        Self {
+            c: 2.0,
+            delta: 1.0 / std::f64::consts::E,
+            beta_count: 100,
+            seed: 0x0a15,
+        }
+    }
+}
+
+/// Collision probability of a query-aware hash with bucket half-width
+/// `w/2` for two points at distance `s`: `2Φ(w/(2s)) − 1`.
+pub fn qalsh_collision_probability(w: f64, s: f64) -> f64 {
+    assert!(w > 0.0 && s > 0.0);
+    2.0 * normal_cdf(w / (2.0 * s)) - 1.0
+}
+
+/// Derived parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct QalshParams {
+    /// Bucket width.
+    pub w: f64,
+    /// Number of hash functions / B+-trees.
+    pub k_funcs: usize,
+    /// Collision-count threshold `l`.
+    pub threshold: usize,
+    /// `p1 = p(1)`, `p2 = p(c)`.
+    pub p1: f64,
+    pub p2: f64,
+}
+
+impl QalshParams {
+    /// Derive from the config for a database of `n` objects (QALSH paper
+    /// Section 5; Chernoff-bound construction).
+    pub fn derive(config: &QalshConfig, n: usize) -> Self {
+        let c = config.c as f64;
+        assert!(c > 1.0);
+        let w = (8.0 * c * c * c.ln() / (c * c - 1.0)).sqrt();
+        let p1 = qalsh_collision_probability(w, 1.0);
+        let p2 = qalsh_collision_probability(w, c);
+        let beta = (config.beta_count as f64 / n as f64).clamp(1e-9, 0.5);
+        let a = (1.0 / beta).ln().sqrt();
+        let b = (1.0 / config.delta).ln().sqrt();
+        let alpha = (a * p2 + b * p1) / (a + b);
+        let k_funcs = ((a + b) * (a + b) / (2.0 * (p1 - p2) * (p1 - p2)))
+            .ceil()
+            .max(1.0) as usize;
+        let threshold = ((alpha * k_funcs as f64).ceil() as usize).clamp(1, k_funcs);
+        Self {
+            w,
+            k_funcs,
+            threshold,
+            p1,
+            p2,
+        }
+    }
+}
+
+/// Per-query statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QalshStats {
+    /// Candidates whose true distance was computed.
+    pub candidates: usize,
+    /// Total bucket entries touched during frontier expansion.
+    pub entries_scanned: usize,
+    /// B+-tree node visits.
+    pub node_visits: usize,
+    /// Virtual-rehashing rounds performed.
+    pub rounds: usize,
+}
+
+/// A QALSH index.
+pub struct Qalsh {
+    config: QalshConfig,
+    params: QalshParams,
+    /// `K × d` projection vectors.
+    proj: Vec<f32>,
+    dim: usize,
+    trees: Vec<BPlusTree>,
+    n: usize,
+}
+
+impl Qalsh {
+    /// Build: one B+-tree of projections per hash function.
+    pub fn build(dataset: &Dataset, config: QalshConfig) -> Self {
+        let n = dataset.len();
+        let dim = dataset.dim();
+        let params = QalshParams::derive(&config, n);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let proj: Vec<f32> = (0..params.k_funcs * dim)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
+        let mut trees = Vec::with_capacity(params.k_funcs);
+        for j in 0..params.k_funcs {
+            let a = &proj[j * dim..(j + 1) * dim];
+            let pairs: Vec<(f32, u32)> = (0..n)
+                .map(|i| (dot(a, dataset.point(i)), i as u32))
+                .collect();
+            trees.push(BPlusTree::bulk_load(pairs));
+        }
+        Self {
+            config,
+            params,
+            proj,
+            dim,
+            trees,
+            n,
+        }
+    }
+
+    /// Derived parameters.
+    pub fn params(&self) -> QalshParams {
+        self.params
+    }
+
+    /// Index size in bytes (trees + projections), for Table 6.
+    pub fn index_bytes(&self) -> usize {
+        self.trees.iter().map(BPlusTree::nbytes).sum::<usize>() + self.proj.len() * 4
+    }
+
+    /// Top-`k` c-ANNS via collision counting and virtual rehashing.
+    pub fn query(&self, dataset: &Dataset, q: &[f32], k: usize) -> (Vec<(u32, f32)>, QalshStats) {
+        assert_eq!(q.len(), self.dim);
+        let mut stats = QalshStats::default();
+        let budget = self.params_budget(k);
+        let qproj: Vec<f32> = (0..self.params.k_funcs)
+            .map(|j| dot(&self.proj[j * self.dim..(j + 1) * self.dim], q))
+            .collect();
+        let mut cursors: Vec<_> = (0..self.params.k_funcs)
+            .map(|j| self.trees[j].cursor(qproj[j]))
+            .collect();
+        let mut counts = vec![0u16; self.n];
+        let mut checked = vec![false; self.n];
+        let mut topk = TopK::new(k);
+        let c = self.config.c;
+        let mut radius = 1.0f32;
+        let threshold = self.params.threshold as u16;
+
+        loop {
+            stats.rounds += 1;
+            let half_width = (self.params.w as f32) * radius / 2.0;
+            // Expand every tree's frontier to ±half_width around q's
+            // projection, counting collisions.
+            for (j, cur) in cursors.iter_mut().enumerate() {
+                let center = qproj[j];
+                loop {
+                    match cur.peek_right() {
+                        Some(key) if key - center <= half_width => {
+                            let (_, id) = cur.next_right().expect("peeked");
+                            stats.entries_scanned += 1;
+                            bump(
+                                id,
+                                &mut counts,
+                                &mut checked,
+                                threshold,
+                                dataset,
+                                q,
+                                &mut topk,
+                                &mut stats,
+                            );
+                        }
+                        _ => break,
+                    }
+                    if stats.candidates >= budget {
+                        break;
+                    }
+                }
+                loop {
+                    match cur.peek_left() {
+                        Some(key) if center - key <= half_width => {
+                            let (_, id) = cur.next_left().expect("peeked");
+                            stats.entries_scanned += 1;
+                            bump(
+                                id,
+                                &mut counts,
+                                &mut checked,
+                                threshold,
+                                dataset,
+                                q,
+                                &mut topk,
+                                &mut stats,
+                            );
+                        }
+                        _ => break,
+                    }
+                    if stats.candidates >= budget {
+                        break;
+                    }
+                }
+                if stats.candidates >= budget {
+                    break;
+                }
+            }
+            // Termination: (R, c)-NN success or budget exhausted or the
+            // frontier has consumed the whole database in every tree.
+            let c_r = c * radius;
+            let success = topk.len() >= k && topk.worst_d2() <= c_r * c_r;
+            let exhausted = stats.candidates >= budget
+                || stats.entries_scanned >= self.n * self.params.k_funcs;
+            if success || exhausted {
+                break;
+            }
+            radius *= c;
+            if radius > 1e12 {
+                break; // safety for degenerate data
+            }
+        }
+        stats.node_visits = cursors.iter().map(|c| c.node_visits()).sum();
+        (topk.into_sorted(), stats)
+    }
+
+    fn params_budget(&self, k: usize) -> usize {
+        self.config.beta_count + k - 1
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn bump(
+    id: u32,
+    counts: &mut [u16],
+    checked: &mut [bool],
+    threshold: u16,
+    dataset: &Dataset,
+    q: &[f32],
+    topk: &mut TopK,
+    stats: &mut QalshStats,
+) {
+    let i = id as usize;
+    if checked[i] {
+        return;
+    }
+    counts[i] = counts[i].saturating_add(1);
+    if counts[i] >= threshold {
+        checked[i] = true;
+        stats.candidates += 1;
+        topk.offer(id, dist2(q, dataset.point(i)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 30.0).collect())
+            .collect();
+        let mut ds = Dataset::with_capacity(dim, n);
+        let mut p = vec![0.0f32; dim];
+        for _ in 0..n {
+            let c = &centers[rng.gen_range(0..centers.len())];
+            for (v, &cv) in p.iter_mut().zip(c) {
+                *v = cv + (rng.gen::<f32>() - 0.5);
+            }
+            ds.push(&p);
+        }
+        ds
+    }
+
+    #[test]
+    fn parameter_derivation_matches_paper_shape() {
+        let cfg = QalshConfig::default();
+        let p = QalshParams::derive(&cfg, 1_000_000);
+        // w for c=2: sqrt(8·4·ln2/3) ≈ 2.719.
+        assert!((p.w - 2.719).abs() < 0.01, "w = {}", p.w);
+        assert!(p.p1 > p.p2);
+        assert!(p.k_funcs > 10 && p.k_funcs < 1000, "K = {}", p.k_funcs);
+        assert!(p.threshold >= 1 && p.threshold <= p.k_funcs);
+        // K grows with n (O(log n) tables… actually K grows via beta).
+        let p_small = QalshParams::derive(&cfg, 10_000);
+        assert!(p.k_funcs >= p_small.k_funcs);
+    }
+
+    #[test]
+    fn finds_near_neighbors() {
+        let ds = clustered(2000, 16, 11);
+        let q = Qalsh::build(&ds, QalshConfig::default());
+        let mut good = 0;
+        for t in 0..20 {
+            let query: Vec<f32> = ds.point(t * 40).iter().map(|v| v + 0.01).collect();
+            let exact = crate::brute::knn(&ds, &query, 1)[0].1;
+            let (res, _) = q.query(&ds, &query, 1);
+            if let Some(&(_, d)) = res.first() {
+                if d <= (exact * 4.0).max(0.5) {
+                    good += 1;
+                }
+            }
+        }
+        assert!(good >= 17, "quality {good}/20");
+    }
+
+    #[test]
+    fn candidate_budget_respected() {
+        let ds = clustered(3000, 8, 12);
+        let q = Qalsh::build(&ds, QalshConfig::default());
+        let query = vec![15.0f32; 8];
+        let (_, stats) = q.query(&ds, &query, 1);
+        assert!(
+            stats.candidates <= q.params_budget(1) + q.params.k_funcs,
+            "candidates {} budget {}",
+            stats.candidates,
+            q.params_budget(1)
+        );
+    }
+
+    #[test]
+    fn rounds_grow_for_distant_queries() {
+        let ds = clustered(1000, 8, 13);
+        let q = Qalsh::build(&ds, QalshConfig::default());
+        let near = ds.point(0).to_vec();
+        let far = vec![500.0f32; 8];
+        let (_, s_near) = q.query(&ds, &near, 1);
+        let (_, s_far) = q.query(&ds, &far, 1);
+        assert!(
+            s_far.rounds >= s_near.rounds,
+            "far {} vs near {}",
+            s_far.rounds,
+            s_near.rounds
+        );
+    }
+
+    #[test]
+    fn index_smaller_than_e2lsh_but_superlinear_structure() {
+        let ds = clustered(3000, 32, 14);
+        let q = Qalsh::build(&ds, QalshConfig::default());
+        // K trees of n entries each: O(n·K) — small relative to E2LSH's
+        // r·L tables but larger than SRS's 8 floats per object.
+        assert!(q.index_bytes() > 3000 * 8);
+        let srs = crate::srs::Srs::build(&ds, crate::srs::SrsConfig::default());
+        assert!(q.index_bytes() > srs.index_bytes());
+    }
+
+    #[test]
+    fn topk_sorted_unique() {
+        let ds = clustered(1500, 12, 15);
+        let q = Qalsh::build(&ds, QalshConfig::default());
+        let query: Vec<f32> = ds.point(7).iter().map(|v| v + 0.1).collect();
+        let (res, _) = q.query(&ds, &query, 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let mut ids: Vec<_> = res.iter().map(|r| r.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), res.len());
+    }
+}

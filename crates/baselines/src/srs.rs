@@ -1,0 +1,265 @@
+//! SRS — c-ANNS with a tiny index (Sun, Wang, Qin, Zhang, Lin;
+//! VLDB 2014).
+//!
+//! SRS projects every object onto a tiny `m`-dimensional space (`m = 6–10;
+//! the E2LSHoS paper found m = 8 works well across its suite) using
+//! Gaussian random projections, indexes the projections with an in-memory
+//! R-tree, and answers a query by scanning objects in order of increasing
+//! *projected* distance, computing true distances as it goes. Two stopping
+//! rules bound the work:
+//!
+//! * a budget `T'` on the number of examined objects (the accuracy knob
+//!   the E2LSHoS paper tunes, Section 3.3);
+//! * an early-termination test: for a point at true distance `s`, the
+//!   squared projected distance is distributed as `s²·χ²_m`, so once the
+//!   projected search frontier `δ` satisfies
+//!   `P[χ²_m ≤ (c·δ/d_k)²] ≥ p_τ` the current best `d_k` is a
+//!   c-approximate answer with the target confidence.
+//!
+//! Query time is linear in `n` (each examined candidate costs a true
+//! distance check and the frontier eventually covers the database), and
+//! the index is tiny: `8n` floats plus the R-tree — the "small-index"
+//! regime the paper contrasts E2LSH against.
+
+use crate::rtree::RTree;
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::distance::{dist2, dot};
+use e2lsh_core::lsh::sample_standard_normal;
+use e2lsh_core::math::chi2_cdf;
+use e2lsh_core::search::TopK;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// SRS build/query configuration.
+#[derive(Clone, Debug)]
+pub struct SrsConfig {
+    /// Projection dimensionality (paper: 8).
+    pub m: usize,
+    /// Approximation ratio; the E2LSHoS paper sets `c = 4` for SRS
+    /// ("equivalent to c = 2 in E2LSH", whose reduction answers c²-ANNS).
+    pub c: f32,
+    /// Early-termination confidence `p_τ` (success probability
+    /// `1/2 − 1/e` in the papers ⇒ τ ≈ 0.81 for the one-sided test).
+    pub p_tau: f64,
+    /// Maximum number of candidates to examine (`T'`), the accuracy knob.
+    pub t_prime: usize,
+    /// Apply the chi-square early-termination test. It guarantees only a
+    /// c-approximate answer, so it fires quickly; the E2LSHoS paper tunes
+    /// accuracy purely "by varying the maximum number of data points to be
+    /// checked (T')" (Section 3.3), which requires running past the test —
+    /// set this to `false` to reproduce that regime.
+    pub early_stop: bool,
+    /// RNG seed for the projection vectors.
+    pub seed: u64,
+}
+
+impl Default for SrsConfig {
+    fn default() -> Self {
+        Self {
+            m: 8,
+            c: 4.0,
+            p_tau: 0.81,
+            t_prime: usize::MAX,
+            early_stop: true,
+            seed: 0x5125,
+        }
+    }
+}
+
+/// Per-query statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SrsStats {
+    /// Candidates whose true distance was computed.
+    pub candidates: usize,
+    /// R-tree nodes expanded.
+    pub node_visits: usize,
+    /// True when the chi-square early-termination test fired (vs. budget
+    /// exhaustion / full scan).
+    pub early_terminated: bool,
+}
+
+/// An SRS index over a dataset.
+pub struct Srs {
+    config: SrsConfig,
+    /// `m × d` Gaussian projection vectors.
+    proj: Vec<f32>,
+    dim: usize,
+    tree: RTree,
+}
+
+impl Srs {
+    /// Build: project all points and bulk-load the R-tree.
+    pub fn build(dataset: &Dataset, config: SrsConfig) -> Self {
+        assert!(config.m >= 1 && config.c > 1.0);
+        let dim = dataset.dim();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let proj: Vec<f32> = (0..config.m * dim)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
+        let mut projected = Vec::with_capacity(dataset.len() * config.m);
+        for i in 0..dataset.len() {
+            let p = dataset.point(i);
+            for j in 0..config.m {
+                projected.push(dot(&proj[j * dim..(j + 1) * dim], p));
+            }
+        }
+        let tree = RTree::bulk_load(config.m, projected);
+        Self {
+            config,
+            proj,
+            dim,
+            tree,
+        }
+    }
+
+    /// Index size in bytes (projections + R-tree), for Table 6.
+    pub fn index_bytes(&self) -> usize {
+        self.tree.nbytes() + self.proj.len() * 4
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SrsConfig {
+        &self.config
+    }
+
+    /// Project a query into the m-dimensional space.
+    fn project(&self, q: &[f32]) -> Vec<f32> {
+        (0..self.config.m)
+            .map(|j| dot(&self.proj[j * self.dim..(j + 1) * self.dim], q))
+            .collect()
+    }
+
+    /// Top-`k` c-ANNS.
+    pub fn query(
+        &self,
+        dataset: &Dataset,
+        q: &[f32],
+        k: usize,
+        t_prime: Option<usize>,
+    ) -> (Vec<(u32, f32)>, SrsStats) {
+        assert_eq!(q.len(), self.dim);
+        let budget = t_prime.unwrap_or(self.config.t_prime).max(k);
+        let qp = self.project(q);
+        let mut topk = TopK::new(k);
+        let mut stats = SrsStats::default();
+        let mut iter = self.tree.nn_iter(&qp);
+        for (id, proj_d2) in iter.by_ref() {
+            stats.candidates += 1;
+            let d2 = dist2(q, dataset.point(id as usize));
+            topk.offer(id, d2);
+            if stats.candidates >= budget {
+                break;
+            }
+            // Early termination (chi-square test): the projected frontier
+            // is already so wide that the current k-th best is c-approx.
+            if self.config.early_stop && topk.len() >= k {
+                let dk2 = topk.worst_d2() as f64;
+                if dk2 <= 0.0 {
+                    // All k results are exact matches: nothing can beat
+                    // distance zero.
+                    stats.early_terminated = true;
+                    break;
+                }
+                let arg = (self.config.c as f64 * self.config.c as f64) * proj_d2 as f64 / dk2;
+                if chi2_cdf(self.config.m, arg) >= self.config.p_tau {
+                    stats.early_terminated = true;
+                    break;
+                }
+            }
+        }
+        stats.node_visits = iter.node_visits();
+        (topk.into_sorted(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..6)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 50.0).collect())
+            .collect();
+        let mut ds = Dataset::with_capacity(dim, n);
+        let mut p = vec![0.0f32; dim];
+        for _ in 0..n {
+            let c = &centers[rng.gen_range(0..centers.len())];
+            for (v, &cv) in p.iter_mut().zip(c) {
+                *v = cv + (rng.gen::<f32>() - 0.5);
+            }
+            ds.push(&p);
+        }
+        ds
+    }
+
+    #[test]
+    fn finds_near_neighbors() {
+        let ds = clustered(2000, 24, 5);
+        let srs = Srs::build(&ds, SrsConfig::default());
+        let mut good = 0;
+        for t in 0..20 {
+            let q: Vec<f32> = ds.point(t * 50).iter().map(|v| v + 0.01).collect();
+            let exact = crate::brute::knn(&ds, &q, 1)[0].1;
+            let (res, _) = srs.query(&ds, &q, 1, None);
+            let got = res[0].1;
+            if got <= (exact * 4.0).max(0.5) {
+                good += 1;
+            }
+        }
+        assert!(good >= 18, "quality {good}/20");
+    }
+
+    #[test]
+    fn early_termination_fires_on_easy_queries() {
+        let ds = clustered(3000, 16, 6);
+        let srs = Srs::build(&ds, SrsConfig::default());
+        // Querying an existing point: distance ~0 found immediately; the
+        // test must not scan the whole database.
+        let q = ds.point(100).to_vec();
+        let (_, stats) = srs.query(&ds, &q, 1, None);
+        assert!(
+            stats.candidates < ds.len(),
+            "scanned everything: {}",
+            stats.candidates
+        );
+    }
+
+    #[test]
+    fn budget_respected() {
+        let ds = clustered(1000, 8, 7);
+        let srs = Srs::build(&ds, SrsConfig::default());
+        let q = vec![25.0f32; 8];
+        let (_, stats) = srs.query(&ds, &q, 1, Some(37));
+        assert!(stats.candidates <= 37);
+    }
+
+    #[test]
+    fn larger_budget_never_hurts_accuracy() {
+        let ds = clustered(2000, 16, 8);
+        let srs = Srs::build(&ds, SrsConfig::default());
+        let q: Vec<f32> = ds.point(3).iter().map(|v| v + 0.3).collect();
+        let (small, _) = srs.query(&ds, &q, 1, Some(10));
+        let (big, _) = srs.query(&ds, &q, 1, Some(1000));
+        assert!(big[0].1 <= small[0].1 + 1e-5);
+    }
+
+    #[test]
+    fn index_is_small_relative_to_data() {
+        // "Tiny index": far below the E2LSH index (which is n·L·r entries);
+        // comparable to the dataset itself.
+        let ds = clustered(5000, 64, 9);
+        let srs = Srs::build(&ds, SrsConfig::default());
+        assert!(srs.index_bytes() < ds.nbytes());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = clustered(500, 8, 10);
+        let a = Srs::build(&ds, SrsConfig::default());
+        let b = Srs::build(&ds, SrsConfig::default());
+        let q = vec![10.0f32; 8];
+        assert_eq!(a.query(&ds, &q, 3, None).0, b.query(&ds, &q, 3, None).0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the index substrates: the R-tree's
+//! incremental NN must enumerate points in exactly sorted distance order,
+//! and the B+-tree cursor must enumerate keys in sorted order around any
+//! center.
+
+use ann_baselines::bptree::BPlusTree;
+use ann_baselines::rtree::RTree;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// R-tree incremental NN == full sort by distance.
+    #[test]
+    fn rtree_nn_is_sorted_scan(
+        pts in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 3),
+            1..120,
+        ),
+        q in proptest::collection::vec(-100.0f32..100.0, 3),
+    ) {
+        let flat: Vec<f32> = pts.iter().flatten().copied().collect();
+        let tree = RTree::bulk_load(3, flat);
+        let got: Vec<(u32, f32)> = tree.nn_iter(&q).collect();
+        prop_assert_eq!(got.len(), pts.len());
+        // Distances ascending.
+        for w in got.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-4);
+        }
+        // Same multiset of distances as brute force.
+        let mut brute: Vec<f32> = pts
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .zip(&q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+            })
+            .collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, b) in got.iter().zip(&brute) {
+            prop_assert!((g.1 - b).abs() <= 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    /// B+-tree bidirectional cursor == sorted order around the center.
+    #[test]
+    fn bptree_cursor_is_sorted_partition(
+        keys in proptest::collection::vec(-1e6f32..1e6, 0..400),
+        center in -1e6f32..1e6,
+    ) {
+        let pairs: Vec<(f32, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let tree = BPlusTree::bulk_load(pairs);
+        let mut cur = tree.cursor(center);
+        let mut right = Vec::new();
+        while let Some((k, _)) = cur.next_right() {
+            right.push(k);
+        }
+        let mut left = Vec::new();
+        while let Some((k, _)) = cur.next_left() {
+            left.push(k);
+        }
+        // Partition property.
+        for &k in &right {
+            prop_assert!(k >= center);
+        }
+        for &k in &left {
+            prop_assert!(k < center);
+        }
+        prop_assert_eq!(right.len() + left.len(), keys.len());
+        // Order property.
+        for w in right.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for w in left.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+}

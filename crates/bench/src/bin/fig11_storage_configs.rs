@@ -1,0 +1,110 @@
+//! **Figure 11** — Speedup of E2LSHoS over SRS for the paper's six
+//! storage-configuration groups (SIFT, accuracy sweep):
+//!
+//! 1. cSSD×1 (io_uring / SPDK) — device-IOPS-bound
+//! 2. cSSD×4, eSSD×1, eSSD×8 with io_uring — interface-bound
+//! 3. cSSD×4 with SPDK
+//! 4. eSSD×1 / eSSD×8 with SPDK
+//! 5. in-memory E2LSH
+//! 6. XLFDD×12 with its lightweight interface
+
+use ann_datasets::suite::DatasetId;
+use e2lsh_bench::prep::workload;
+use e2lsh_bench::report;
+use e2lsh_bench::sweep::{sweep_e2lsh_mem, sweep_e2lshos, sweep_srs, StorageConfig};
+use e2lsh_storage::device::sim::DeviceProfile;
+use e2lsh_storage::device::Interface;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    gamma: f64,
+    ratio: f64,
+    query_us: f64,
+    speedup_over_srs: f64,
+}
+
+fn main() {
+    report::banner(
+        "fig11_storage_configs",
+        "Figure 11",
+        "Speedup over SRS for six storage-configuration groups (SIFT, k = 1).",
+    );
+    let w = workload(DatasetId::Sift);
+    let srs = sweep_srs(&w, 1);
+
+    let configs: Vec<(String, StorageConfig)> = vec![
+        ("G1 cSSD×1 io_uring", (DeviceProfile::CSSD, 1, Interface::IO_URING)),
+        ("G1 cSSD×1 SPDK", (DeviceProfile::CSSD, 1, Interface::SPDK)),
+        ("G2 cSSD×4 io_uring", (DeviceProfile::CSSD, 4, Interface::IO_URING)),
+        ("G2 eSSD×1 io_uring", (DeviceProfile::ESSD, 1, Interface::IO_URING)),
+        ("G2 eSSD×8 io_uring", (DeviceProfile::ESSD, 8, Interface::IO_URING)),
+        ("G3 cSSD×4 SPDK", (DeviceProfile::CSSD, 4, Interface::SPDK)),
+        ("G4 eSSD×1 SPDK", (DeviceProfile::ESSD, 1, Interface::SPDK)),
+        ("G4 eSSD×8 SPDK", (DeviceProfile::ESSD, 8, Interface::SPDK)),
+        ("G6 XLFDD×12", (DeviceProfile::XLFDD, 12, Interface::XLFDD)),
+    ]
+    .into_iter()
+    .map(|(name, (profile, num, iface))| {
+        (
+            name.to_string(),
+            StorageConfig {
+                profile,
+                num_devices: num,
+                interface: iface,
+            },
+        )
+    })
+    .collect();
+
+    println!(
+        "{:<22} {:>6} {:>8} {:>12} {:>10}",
+        "Config", "gamma", "ratio", "time", "vs SRS"
+    );
+    for (name, storage) in &configs {
+        let (curve, _) = sweep_e2lshos(&w, 1, *storage);
+        for p in &curve.points {
+            let t_srs = srs.time_at_ratio(p.ratio);
+            let row = Row {
+                config: name.clone(),
+                gamma: p.knob,
+                ratio: p.ratio,
+                query_us: p.query_time * 1e6,
+                speedup_over_srs: t_srs / p.query_time,
+            };
+            println!(
+                "{:<22} {:>6.2} {:>8.4} {:>12} {:>9.2}x",
+                row.config,
+                row.gamma,
+                row.ratio,
+                report::fmt_time(p.query_time),
+                row.speedup_over_srs
+            );
+            report::record("fig11_storage_configs", &row);
+        }
+    }
+    // Group 5: in-memory E2LSH.
+    let mem = sweep_e2lsh_mem(&w, 1, false);
+    for p in &mem.curve.points {
+        let t_srs = srs.time_at_ratio(p.ratio);
+        let row = Row {
+            config: "G5 in-memory E2LSH".into(),
+            gamma: p.knob,
+            ratio: p.ratio,
+            query_us: p.query_time * 1e6,
+            speedup_over_srs: t_srs / p.query_time,
+        };
+        println!(
+            "{:<22} {:>6.2} {:>8.4} {:>12} {:>9.2}x",
+            row.config,
+            row.gamma,
+            row.ratio,
+            report::fmt_time(p.query_time),
+            row.speedup_over_srs
+        );
+        report::record("fig11_storage_configs", &row);
+    }
+    println!("\npaper shape: G1 < G2 < G3 < G4 ≤ G5 ≤ G6 — device IOPS first,");
+    println!("then interface overhead, then the in-memory/XLFDD frontier.");
+}

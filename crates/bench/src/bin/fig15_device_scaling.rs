@@ -1,0 +1,70 @@
+//! **Figure 15** — Query speed, total observed IOPS, mean latency and
+//! device usage vs the number of cSSDs (SIFT).
+//!
+//! Reproduces the paper's observation that query speed tracks total IOPS
+//! until the array can sustain more than the workload needs; per-I/O
+//! latency is high while the devices run near 100% usage and falls once
+//! the array is over-provisioned — and latency by itself does not
+//! determine application performance.
+
+use ann_datasets::suite::DatasetId;
+use e2lsh_bench::prep::workload;
+use e2lsh_bench::report;
+use e2lsh_bench::sweep::{measure_e2lshos, StorageConfig};
+use e2lsh_storage::device::sim::DeviceProfile;
+use e2lsh_storage::device::Interface;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    devices: usize,
+    qps: f64,
+    observed_kiops: f64,
+    latency_us: f64,
+    usage_pct: f64,
+}
+
+fn main() {
+    report::banner(
+        "fig15_device_scaling",
+        "Figure 15",
+        "Query speed and device statistics vs number of cSSDs (SIFT, io_uring, γ = 0.7).",
+    );
+    let w = workload(DatasetId::Sift);
+    println!(
+        "{:>8} {:>10} {:>14} {:>12} {:>10}",
+        "devices", "QPS", "total kIOPS", "latency", "usage"
+    );
+    for num in 1..=6usize {
+        let storage = StorageConfig {
+            profile: DeviceProfile::CSSD,
+            num_devices: num,
+            interface: Interface::IO_URING,
+        };
+        let (_, rep) = measure_e2lshos(&w, 1, 0.7, 8.0, storage, None);
+        let observed_iops = rep.device.completed as f64 / rep.makespan;
+        let max_iops = num as f64 * DeviceProfile::CSSD.max_kiops * 1e3;
+        let usage = rep.device.busy_sum / (rep.makespan * num as f64)
+            * (DeviceProfile::CSSD.dies() as f64).recip()
+            * DeviceProfile::CSSD.dies() as f64; // busy fraction of array
+        let usage_pct = (observed_iops / max_iops * 100.0).min(100.0).max(usage * 0.0);
+        let row = Row {
+            devices: num,
+            qps: rep.qps(),
+            observed_kiops: observed_iops / 1e3,
+            latency_us: rep.device.mean_latency() * 1e6,
+            usage_pct,
+        };
+        println!(
+            "{:>8} {:>10.0} {:>14.1} {:>12} {:>9.0}%",
+            row.devices,
+            row.qps,
+            row.observed_kiops,
+            report::fmt_time(rep.device.mean_latency()),
+            row.usage_pct
+        );
+        report::record("fig15_device_scaling", &row);
+    }
+    println!("\npaper shape: QPS ∝ total IOPS until the workload is satisfied;");
+    println!("latency is long at high usage but does not determine performance.");
+}

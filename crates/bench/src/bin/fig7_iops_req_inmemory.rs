@@ -1,0 +1,65 @@
+//! **Figure 7** — Required storage IOPS for E2LSHoS to reach *in-memory
+//! E2LSH* speeds, all datasets (Equation 15: `1/T_read ≥ N_IO/T_E2LSH`),
+//! plus the CPU-overhead requirement of Equation 16
+//! (`1/T_request ≥ 10·N_IO/T_E2LSH`, using the paper's measured ~10%
+//! memory-stall advantage of the storage version).
+
+use ann_datasets::suite::DatasetId;
+use e2lsh_bench::prep::workload;
+use e2lsh_bench::report;
+use e2lsh_bench::sweep::sweep_e2lsh_mem;
+use e2lsh_analysis::required_iops;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    ratio: f64,
+    n_io: f64,
+    t_e2lsh_us: f64,
+    kiops: f64,
+    max_t_request_ns: f64,
+}
+
+fn main() {
+    report::banner(
+        "fig7_iops_req_inmemory",
+        "Figure 7 (and Eq. 16)",
+        "Required kIOPS (and max T_request) to reach in-memory E2LSH speeds, B = 512 B.",
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>12} {:>10} {:>14}",
+        "Dataset", "ratio", "N_IO", "T_E2LSH", "kIOPS", "max T_req"
+    );
+    for id in DatasetId::ALL {
+        let w = workload(id);
+        let e2 = sweep_e2lsh_mem(&w, 1, true);
+        let nq = w.queries.len() as f64;
+        for (point, stats) in e2.curve.points.iter().zip(&e2.stats) {
+            let n_io = stats.n_io_block(128) as f64 / nq;
+            let iops = required_iops(n_io, point.query_time);
+            // Eq. 16: T_compute ≈ 0.9·T_E2LSH ⇒ 1/T_request ≥ 10·N_IO/T.
+            let max_t_request = 1.0 / (10.0 * iops);
+            let row = Row {
+                dataset: id.name(),
+                ratio: point.ratio,
+                n_io,
+                t_e2lsh_us: point.query_time * 1e6,
+                kiops: iops / 1e3,
+                max_t_request_ns: max_t_request * 1e9,
+            };
+            println!(
+                "{:<8} {:>8.4} {:>9.1} {:>12} {:>10.0} {:>14}",
+                row.dataset,
+                row.ratio,
+                row.n_io,
+                report::fmt_time(point.query_time),
+                row.kiops,
+                report::fmt_time(max_t_request)
+            );
+            report::record("fig7_iops_req_inmemory", &row);
+        }
+    }
+    println!("\npaper shape: a few MIOPS and a CPU overhead of at most a few tens");
+    println!("of nanoseconds per I/O — the XLFDD class, beyond io_uring/SPDK.");
+}

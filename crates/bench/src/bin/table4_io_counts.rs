@@ -1,0 +1,64 @@
+//! **Table 4** — Average number of hash bucket reads per query: per
+//! dataset, the number of compound hashes `L`, the total radius count `r`,
+//! the average searched radii `r̄`, and the minimum I/O count `N_IO,∞`
+//! (one hash-table read plus one bucket read per non-empty probed bucket).
+//!
+//! Produced by running in-memory E2LSH (γ = 1) over each dataset's query
+//! set, exactly as the paper does in Section 4.3.
+
+use ann_datasets::suite::DatasetId;
+use e2lsh_bench::prep::{e2lsh_params, workload};
+use e2lsh_bench::report;
+use e2lsh_core::index::MemIndex;
+use e2lsh_core::search::{knn_search, SearchOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: &'static str,
+    n: usize,
+    l: usize,
+    total_radii: usize,
+    avg_radii: f64,
+    n_io_inf: f64,
+}
+
+fn main() {
+    report::banner(
+        "table4_io_counts",
+        "Table 4",
+        "L, radius counts and minimum I/Os per query (in-memory E2LSH, γ = 1, k = 1).",
+    );
+    println!(
+        "{:<8} {:>9} {:>5} {:>9} {:>10} {:>12}",
+        "Dataset", "n", "L", "r", "avg r̄", "N_IO,inf"
+    );
+    for id in DatasetId::ALL {
+        let w = workload(id);
+        let params = e2lsh_params(&w.data);
+        let index = MemIndex::build(&w.data, &params, 7);
+        let opts = SearchOptions::default();
+        let mut radii = 0usize;
+        let mut nonempty = 0usize;
+        for qi in 0..w.queries.len() {
+            let (_, st) = knn_search(&index, &w.data, w.queries.point(qi), 1, &opts);
+            radii += st.radii_searched;
+            nonempty += st.nonempty_buckets;
+        }
+        let nq = w.queries.len() as f64;
+        let row = Row {
+            dataset: id.name(),
+            n: w.data.len(),
+            l: params.l,
+            total_radii: params.num_radii(),
+            avg_radii: radii as f64 / nq,
+            n_io_inf: 2.0 * nonempty as f64 / nq,
+        };
+        println!(
+            "{:<8} {:>9} {:>5} {:>9} {:>10.2} {:>12.1}",
+            row.dataset, row.n, row.l, row.total_radii, row.avg_radii, row.n_io_inf
+        );
+        report::record("table4_io_counts", &row);
+    }
+    println!("\npaper (n up to 10^9): L 16–51, r 4–13, r̄ 1.7–11.6, N_IO,inf 49–791");
+}

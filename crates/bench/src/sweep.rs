@@ -1,0 +1,355 @@
+//! Accuracy sweeps: walk each method's accuracy knob, record
+//! (overall ratio, query time) pairs, and select the operating point that
+//! reaches a target ratio (the paper compares all methods at an overall
+//! ratio of 1.05).
+//!
+//! Knobs (paper Section 3.3):
+//! * **E2LSH / E2LSHoS** — the `(γ, S)` schedule of
+//!   [`crate::prep::gamma_schedule`]: smaller γ (fewer hashes per
+//!   compound) with a larger budget `S` raises accuracy at more compute
+//!   and I/O, leaving the index size unchanged;
+//! * **SRS** — the examination budget `T'` (chi-square early stop off);
+//! * **QALSH** — the approximation ratio `c`.
+
+use crate::prep::{e2lsh_params_gamma, ensure_disk_index, gamma_schedule, Workload};
+use ann_baselines::qalsh::{Qalsh, QalshConfig};
+use ann_baselines::srs::{Srs, SrsConfig};
+use ann_datasets::metrics::overall_ratio;
+use e2lsh_core::index::MemIndex;
+use e2lsh_core::search::{knn_search, SearchOptions, SearchStats};
+use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+use e2lsh_storage::device::Interface;
+use e2lsh_storage::index::StorageIndex;
+use e2lsh_storage::query::{run_queries, BatchReport, EngineConfig};
+use std::time::Instant;
+
+/// One operating point of a method.
+#[derive(Clone, Debug)]
+pub struct OperatingPoint {
+    /// Knob value (γ for E2LSH, T'/n for SRS, c for QALSH).
+    pub knob: f64,
+    /// Mean overall ratio across the query set.
+    pub ratio: f64,
+    /// Mean query time in seconds (wall for in-memory, virtual for
+    /// E2LSHoS).
+    pub query_time: f64,
+    /// Mean I/Os per query, when the method does I/O (0 otherwise).
+    pub n_io: f64,
+}
+
+/// A method's sweep curve.
+#[derive(Clone, Debug, Default)]
+pub struct Curve {
+    pub points: Vec<OperatingPoint>,
+}
+
+impl Curve {
+    /// The cheapest operating point achieving `ratio ≤ target`; falls back
+    /// to the most accurate point when the target is out of reach.
+    pub fn point_at_ratio(&self, target: f64) -> &OperatingPoint {
+        assert!(!self.points.is_empty(), "empty sweep");
+        self.points
+            .iter()
+            .filter(|p| p.ratio <= target)
+            .min_by(|a, b| a.query_time.total_cmp(&b.query_time))
+            .unwrap_or_else(|| {
+                self.points
+                    .iter()
+                    .min_by(|a, b| a.ratio.total_cmp(&b.ratio))
+                    .expect("non-empty")
+            })
+    }
+
+    /// Query time at the selected point for `target`.
+    pub fn time_at_ratio(&self, target: f64) -> f64 {
+        self.point_at_ratio(target).query_time
+    }
+}
+
+/// Results of the in-memory E2LSH sweep: the curve plus, per γ point, the
+/// aggregate search statistics over the query set (for the I/O analysis).
+pub struct E2lshMemSweep {
+    pub curve: Curve,
+    pub stats: Vec<SearchStats>,
+    /// `(γ, S)` used at each point.
+    pub schedule: Vec<(f32, f64)>,
+}
+
+/// Sweep in-memory E2LSH over the γ schedule (one index build per γ).
+pub fn sweep_e2lsh_mem(w: &Workload, k: usize, collect_buckets: bool) -> E2lshMemSweep {
+    let mut out = E2lshMemSweep {
+        curve: Curve::default(),
+        stats: Vec::new(),
+        schedule: gamma_schedule(),
+    };
+    for &(gamma, s_mult) in &out.schedule {
+        let params = e2lsh_params_gamma(&w.data, gamma);
+        let index = MemIndex::build(&w.data, &params, 7);
+        let (point, stats) = measure_e2lsh_mem(&index, w, k, s_mult, collect_buckets);
+        out.curve.points.push(OperatingPoint {
+            knob: gamma as f64,
+            ..point
+        });
+        out.stats.push(stats);
+    }
+    out
+}
+
+/// Measure one in-memory E2LSH operating point.
+pub fn measure_e2lsh_mem(
+    index: &MemIndex,
+    w: &Workload,
+    k: usize,
+    s_mult: f64,
+    collect_buckets: bool,
+) -> (OperatingPoint, SearchStats) {
+    let s = ((s_mult * index.params().l as f64).ceil() as usize).max(k);
+    let opts = SearchOptions {
+        s_override: Some(s * k.max(1)),
+        collect_bucket_sizes: collect_buckets,
+        ..Default::default()
+    };
+    let mut results = Vec::with_capacity(w.queries.len());
+    let mut agg = SearchStats::default();
+    let t0 = Instant::now();
+    for qi in 0..w.queries.len() {
+        let (res, st) = knn_search(index, &w.data, w.queries.point(qi), k, &opts);
+        agg.radii_searched += st.radii_searched;
+        agg.buckets_probed += st.buckets_probed;
+        agg.nonempty_buckets += st.nonempty_buckets;
+        agg.candidates += st.candidates;
+        agg.distance_computations += st.distance_computations;
+        agg.hash_evaluations += st.hash_evaluations;
+        agg.bucket_examined.extend(st.bucket_examined);
+        results.push(res);
+    }
+    let elapsed = t0.elapsed().as_secs_f64() / w.queries.len() as f64;
+    let nq = w.queries.len() as f64;
+    let point = OperatingPoint {
+        knob: 0.0,
+        ratio: mean_ratio(&results, w, k),
+        query_time: elapsed,
+        n_io: 2.0 * agg.nonempty_buckets as f64 / nq,
+    };
+    (point, agg)
+}
+
+/// A storage configuration for E2LSHoS sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct StorageConfig {
+    pub profile: DeviceProfile,
+    pub num_devices: usize,
+    pub interface: Interface,
+}
+
+impl StorageConfig {
+    pub fn name(&self) -> String {
+        format!(
+            "{}×{} + {}",
+            self.profile.name, self.num_devices, self.interface.name
+        )
+    }
+}
+
+/// Sweep E2LSHoS over the γ schedule on a simulated storage
+/// configuration. Reuses cached disk indices.
+pub fn sweep_e2lshos(
+    w: &Workload,
+    k: usize,
+    storage: StorageConfig,
+) -> (Curve, Vec<BatchReport>) {
+    let mut curve = Curve::default();
+    let mut reports = Vec::new();
+    for &(gamma, s_mult) in &gamma_schedule() {
+        let (point, report) = measure_e2lshos(w, k, gamma, s_mult, storage, None);
+        curve.points.push(OperatingPoint {
+            knob: gamma as f64,
+            ..point
+        });
+        reports.push(report);
+    }
+    (curve, reports)
+}
+
+/// Measure one E2LSHoS operating point on simulated storage. `engine`
+/// overrides the default simulated engine config (contexts etc.).
+pub fn measure_e2lshos(
+    w: &Workload,
+    k: usize,
+    gamma: f32,
+    s_mult: f64,
+    storage: StorageConfig,
+    engine: Option<EngineConfig>,
+) -> (OperatingPoint, BatchReport) {
+    let path = ensure_disk_index(w, gamma);
+    let mut dev = SimStorage::new(
+        storage.profile,
+        storage.num_devices,
+        Backing::open(&path).expect("open index"),
+    );
+    let index = StorageIndex::open(&mut dev).expect("open storage index");
+    let mut cfg = engine.unwrap_or_else(|| EngineConfig::simulated(storage.interface, k));
+    cfg.interface = storage.interface;
+    cfg.k = k;
+    let s = ((s_mult * index.params().l as f64).ceil() as usize).max(k);
+    cfg.s_override = Some(s * k.max(1));
+    let report = run_queries(&index, &w.data, &w.queries, &cfg, &mut dev);
+    let results: Vec<Vec<(u32, f32)>> = report
+        .outcomes
+        .iter()
+        .map(|o| o.neighbors.clone())
+        .collect();
+    let point = OperatingPoint {
+        knob: gamma as f64,
+        ratio: mean_ratio(&results, w, k),
+        query_time: report.mean_query_time(),
+        n_io: report.mean_n_io(),
+    };
+    (point, report)
+}
+
+/// Sweep SRS over the examination budget `T'` (fractions of `n`), with
+/// the chi-square early stop disabled so `T'` binds (the paper's regime).
+pub fn sweep_srs(w: &Workload, k: usize) -> Curve {
+    let srs = Srs::build(
+        &w.data,
+        SrsConfig {
+            early_stop: false,
+            ..Default::default()
+        },
+    );
+    sweep_srs_prebuilt(&srs, w, k)
+}
+
+/// Same against an existing SRS index.
+pub fn sweep_srs_prebuilt(srs: &Srs, w: &Workload, k: usize) -> Curve {
+    let n = w.data.len();
+    let fracs = [0.002, 0.005, 0.01, 0.03, 0.1, 0.3, 0.6, 1.0];
+    let mut curve = Curve::default();
+    for &f in &fracs {
+        let t_prime = ((f * n as f64).ceil() as usize).max(k + 1);
+        let mut results = Vec::with_capacity(w.queries.len());
+        let t0 = Instant::now();
+        for qi in 0..w.queries.len() {
+            let (res, _) = srs.query(&w.data, w.queries.point(qi), k, Some(t_prime));
+            results.push(res);
+        }
+        let elapsed = t0.elapsed().as_secs_f64() / w.queries.len() as f64;
+        curve.points.push(OperatingPoint {
+            knob: f,
+            ratio: mean_ratio(&results, w, k),
+            query_time: elapsed,
+            n_io: 0.0,
+        });
+    }
+    curve
+}
+
+/// Sweep QALSH over the approximation ratio `c` (its only tunable).
+pub fn sweep_qalsh(w: &Workload, k: usize) -> Curve {
+    let mut curve = Curve::default();
+    for &c in &[1.5f32, 2.0, 3.0] {
+        let qalsh = Qalsh::build(
+            &w.data,
+            QalshConfig {
+                c,
+                ..Default::default()
+            },
+        );
+        let mut results = Vec::with_capacity(w.queries.len());
+        let t0 = Instant::now();
+        for qi in 0..w.queries.len() {
+            let (res, _) = qalsh.query(&w.data, w.queries.point(qi), k);
+            results.push(res);
+        }
+        let elapsed = t0.elapsed().as_secs_f64() / w.queries.len() as f64;
+        curve.points.push(OperatingPoint {
+            knob: c as f64,
+            ratio: mean_ratio(&results, w, k),
+            query_time: elapsed,
+            n_io: 0.0,
+        });
+    }
+    curve
+}
+
+/// Mean overall ratio of a batch of results against the workload's ground
+/// truth.
+pub fn mean_ratio(results: &[Vec<(u32, f32)>], w: &Workload, k: usize) -> f64 {
+    let mut sum = 0.0;
+    for (qi, res) in results.iter().enumerate() {
+        sum += overall_ratio(res, w.gt.neighbors(qi), k);
+    }
+    sum / results.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::workload_sized;
+    use ann_datasets::suite::DatasetId;
+
+    #[test]
+    fn srs_sweep_budget_now_binds() {
+        let w = workload_sized(DatasetId::Sift, 2000, 10);
+        let curve = sweep_srs(&w, 1);
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        // Full scan is exact.
+        assert!(last.ratio <= 1.0 + 1e-9, "full-scan ratio {}", last.ratio);
+        // Tiny budget is cheaper and less accurate.
+        assert!(first.query_time < last.query_time);
+        assert!(first.ratio >= last.ratio);
+    }
+
+    #[test]
+    fn gamma_schedule_spans_accuracy() {
+        let w = workload_sized(DatasetId::Sift, 2000, 10);
+        let sweep = sweep_e2lsh_mem(&w, 1, false);
+        let best = sweep
+            .curve
+            .points
+            .iter()
+            .map(|p| p.ratio)
+            .fold(f64::INFINITY, f64::min);
+        let worst = sweep
+            .curve
+            .points
+            .iter()
+            .map(|p| p.ratio)
+            .fold(0.0, f64::max);
+        assert!(
+            best < worst,
+            "γ schedule must move accuracy: best {best} worst {worst}"
+        );
+        assert!(best <= 1.06, "best achievable ratio {best}");
+    }
+
+    #[test]
+    fn curve_selection_prefers_cheapest_sufficient_point() {
+        let curve = Curve {
+            points: vec![
+                OperatingPoint {
+                    knob: 1.0,
+                    ratio: 1.2,
+                    query_time: 1.0,
+                    n_io: 0.0,
+                },
+                OperatingPoint {
+                    knob: 2.0,
+                    ratio: 1.04,
+                    query_time: 2.0,
+                    n_io: 0.0,
+                },
+                OperatingPoint {
+                    knob: 3.0,
+                    ratio: 1.01,
+                    query_time: 4.0,
+                    n_io: 0.0,
+                },
+            ],
+        };
+        assert_eq!(curve.time_at_ratio(1.05), 2.0);
+        assert_eq!(curve.time_at_ratio(1.0), 4.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Flat storage for a database of `n` points in `d` dimensions.
+//!
+//! The paper keeps object coordinates in DRAM for all methods (Section 3);
+//! only the hash index moves to storage. This container mirrors that:
+//! points are stored contiguously (`n × d` f32 values) so distance checks
+//! stream through memory.
+
+use serde::{Deserialize, Serialize};
+
+/// A database of `n` points, each a `d`-dimensional `f32` vector, stored in
+/// one contiguous row-major buffer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Create a dataset from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer length {} not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Create a dataset from per-point rows (all rows must share a length).
+    pub fn from_rows<R: AsRef<[f32]>>(rows: &[R]) -> Self {
+        assert!(!rows.is_empty(), "dataset must be non-empty");
+        let dim = rows[0].as_ref().len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), dim, "all rows must have the same dimension");
+            data.extend_from_slice(r);
+        }
+        Self { dim, data }
+    }
+
+    /// An empty dataset shell with capacity for `n` points (for streaming
+    /// construction via [`Dataset::push`]).
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0);
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Append one point.
+    pub fn push(&mut self, point: &[f32]) {
+        assert_eq!(point.len(), self.dim);
+        self.data.extend_from_slice(point);
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Point dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f32] {
+        let s = i * self.dim;
+        &self.data[s..s + self.dim]
+    }
+
+    /// The raw flat buffer.
+    #[inline]
+    pub fn flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Maximum absolute coordinate value `x_max`, used for the maximum
+    /// search radius `R_max = 2·x_max·√d` (paper Section 2.3).
+    pub fn max_abs_coord(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Restrict to the first `n` points (used by the database-size scaling
+    /// experiment, Figure 14). Returns a borrowed-copy prefix dataset.
+    pub fn prefix(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            dim: self.dim,
+            data: self.data[..n * self.dim].to_vec(),
+        }
+    }
+
+    /// Size of the raw coordinate data in bytes (what the paper calls the
+    /// "database size" held in DRAM).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, -4.5]];
+        let ds = Dataset::from_rows(&rows);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.point(0), &[1.0, 2.0]);
+        assert_eq!(ds.point(1), &[3.0, -4.5]);
+        assert_eq!(ds.max_abs_coord(), 4.5);
+    }
+
+    #[test]
+    fn push_and_prefix() {
+        let mut ds = Dataset::with_capacity(3, 4);
+        for i in 0..4 {
+            ds.push(&[i as f32, 0.0, -(i as f32)]);
+        }
+        assert_eq!(ds.len(), 4);
+        let p = ds.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.point(1), &[1.0, 0.0, -1.0]);
+        // Prefix larger than the dataset clamps.
+        assert_eq!(ds.prefix(100).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn mismatched_rows_panic() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0]];
+        let _ = Dataset::from_rows(&rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bad_flat_panics() {
+        let _ = Dataset::from_flat(3, vec![0.0; 7]);
+    }
+
+    #[test]
+    fn nbytes() {
+        let ds = Dataset::from_flat(4, vec![0.0; 40]);
+        assert_eq!(ds.nbytes(), 160);
+        assert_eq!(ds.len(), 10);
+    }
+}

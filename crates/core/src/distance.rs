@@ -1,0 +1,125 @@
+//! Euclidean distance kernels.
+//!
+//! The paper accelerates distance checking with AVX-512; here the kernels
+//! are written as simple chunked loops that LLVM auto-vectorizes for the
+//! target CPU. The experiment harness calibrates the *actual* cost of these
+//! kernels at startup so the virtual-time engine charges real numbers.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    // Four accumulators break the add dependency chain and let LLVM emit
+    // wide SIMD without `-ffast-math`-style reassociation.
+    let mut acc = [0.0f32; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        for lane in 0..4 {
+            let d = a[j + lane] - b[j + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn dist(a: &[f32], b: &[f32]) -> f32 {
+    dist2(a, b).sqrt()
+}
+
+/// Dot product of two equal-length vectors (used by the LSH projection).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        for lane in 0..4 {
+            acc[lane] += a[j + lane] * b[j + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Squared norm `‖a‖²`.
+#[inline]
+pub fn norm2(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_basic() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dist2_zero() {
+        let v = vec![1.5f32; 37];
+        assert_eq!(dist2(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn dist2_matches_naive_for_odd_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 16, 17, 33, 100, 129] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).cos()).collect();
+            let naive: f32 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let fast = dist2(&a, &b);
+            assert!(
+                (naive - fast).abs() <= 1e-4 * (1.0 + naive.abs()),
+                "n={n}: naive {naive} fast {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        for n in [1usize, 4, 5, 31, 64, 100] {
+            let a: Vec<f32> = (0..n).map(|i| 0.1 * i as f32).collect();
+            let b: Vec<f32> = (0..n).map(|i| 1.0 - 0.01 * i as f32).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() <= 1e-3 * (1.0 + naive.abs()));
+        }
+    }
+
+    #[test]
+    fn norm2_is_dot_self() {
+        let a: Vec<f32> = (0..50).map(|i| i as f32 * 0.3).collect();
+        assert_eq!(norm2(&a), dot(&a, &a));
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let a = vec![0.0f32; 8];
+        let b: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let c: Vec<f32> = (0..8).map(|i| (i as f32) * -0.5).collect();
+        assert!(dist(&a, &c) <= dist(&a, &b) + dist(&b, &c) + 1e-5);
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal Fx-style hasher for integer-keyed hash maps.
+//!
+//! The default SipHash hasher of `std::collections::HashMap` is needlessly
+//! slow for the integer keys used throughout this workspace (compound hash
+//! values, object IDs). This is the same multiply-rotate construction used
+//! by `rustc-hash`, reimplemented here because that crate is not on the
+//! approved dependency list. HashDoS resistance is irrelevant: all keys are
+//! produced internally.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher over machine words (Fx algorithm).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// One round of splitmix64: a fast, well-distributed 64-bit finalizer.
+///
+/// Used to turn compound hash values into bucket addresses (see
+/// [`crate::lsh::mix_hash_values`]) and as a tiny deterministic RNG for
+/// tests.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn splitmix_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn splitmix_avalanche_rough() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let mut total = 0u32;
+        for i in 0..256u64 {
+            let a = splitmix64(i);
+            let b = splitmix64(i ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / 256.0;
+        assert!(avg > 24.0 && avg < 40.0, "avalanche avg {avg}");
+    }
+
+    #[test]
+    fn hasher_differs_on_write_order() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(1);
+        h1.write_u64(2);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(2);
+        h2.write_u64(1);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,270 @@
+//! Special functions used by LSH collision-probability formulas and by the
+//! baseline methods (SRS needs the chi-square CDF, QALSH needs the normal
+//! CDF).
+//!
+//! All functions are implemented from scratch (no external special-function
+//! crate is available offline). Accuracy is ~1e-7 relative, which is far
+//! more than the parameter-derivation code paths need.
+
+/// Complementary error function `erfc(x)`.
+///
+/// Rational Chebyshev approximation (Numerical Recipes §6.2); fractional
+/// error everywhere less than `1.2e-7`.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function `erf(x) = 1 - erfc(x)`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal probability density function `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 2e-10).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COF: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    1.0 - gamma_p(a, x)
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const ITMAX: usize = 200;
+    const EPS: f64 = 3.0e-14;
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..ITMAX {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const ITMAX: usize = 200;
+    const EPS: f64 = 3.0e-14;
+    const FPMIN: f64 = 1.0e-300;
+    let gln = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=ITMAX {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+/// Chi-square CDF with `k` degrees of freedom: `P(X ≤ x)`.
+///
+/// SRS (Sun et al., VLDB 2014) uses this for its early-termination test: the
+/// squared length of an m-dimensional Gaussian projection of a unit vector
+/// follows a chi-square distribution with m degrees of freedom.
+pub fn chi2_cdf(k: usize, x: f64) -> f64 {
+    assert!(k > 0, "chi2_cdf requires k > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Inverse of [`normal_cdf`] by bisection, for test/verification use.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+    let (mut lo, mut hi) = (-40.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // The rational approximation has ~1.2e-7 absolute error everywhere.
+        assert_close(erf(0.0), 0.0, 2e-7);
+        assert_close(erf(1.0), 0.8427007929497149, 2e-7);
+        assert_close(erf(2.0), 0.9953222650189527, 2e-7);
+        assert_close(erf(-1.0), -0.8427007929497149, 2e-7);
+        assert_close(erf(0.5), 0.5204998778130465, 2e-7);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for &x in &[0.0, 0.3, 1.7, 3.2] {
+            assert_close(erfc(x) + erfc(-x), 2.0, 5e-7);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert_close(normal_cdf(0.0), 0.5, 2e-7);
+        assert_close(normal_cdf(1.0), 0.8413447460685429, 2e-7);
+        assert_close(normal_cdf(-1.96), 0.024997895148220435, 2e-7);
+        assert_close(normal_cdf(3.0), 0.9986501019683699, 2e-7);
+    }
+
+    #[test]
+    fn normal_cdf_monotone() {
+        let mut prev = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let v = normal_cdf(x);
+            assert!(v >= prev);
+            prev = v;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n-1)!
+        assert_close(ln_gamma(1.0), 0.0, 1e-9);
+        assert_close(ln_gamma(2.0), 0.0, 1e-9);
+        assert_close(ln_gamma(5.0), (24.0f64).ln(), 1e-9);
+        assert_close(ln_gamma(11.0), (3628800.0f64).ln(), 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        assert_close(gamma_p(1.5, 0.0), 0.0, 1e-12);
+        assert_close(gamma_p(1.5, 100.0), 1.0, 1e-9);
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.1, 0.5, 1.0, 2.5, 7.0] {
+            assert_close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn gamma_p_plus_q_is_one() {
+        for &a in &[0.5, 1.0, 2.3, 10.0] {
+            for &x in &[0.2, 1.0, 5.0, 20.0] {
+                assert_close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_cdf_known_values() {
+        // Chi-square with 2 dof is Exp(1/2): P(X<=x) = 1 - exp(-x/2).
+        for &x in &[0.5, 1.0, 3.0, 8.0] {
+            assert_close(chi2_cdf(2, x), 1.0 - (-x / 2.0f64).exp(), 1e-9);
+        }
+        // Median of chi-square k=1 is ~0.4549.
+        assert_close(chi2_cdf(1, 0.45493642311957283), 0.5, 1e-6);
+    }
+
+    #[test]
+    fn chi2_cdf_monotone_in_x_and_k() {
+        assert!(chi2_cdf(4, 2.0) < chi2_cdf(4, 3.0));
+        // At fixed x, more dof means smaller CDF.
+        assert!(chi2_cdf(8, 5.0) < chi2_cdf(4, 5.0));
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.975] {
+            let x = normal_quantile(p);
+            assert_close(normal_cdf(x), p, 1e-7);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! E2LSH parameter derivation (paper Sections 2.3 and 3.3).
+//!
+//! With collision probability `p_w(s)` for two points at distance `s`, set
+//! `p1 = p_w(1)` and `p2 = p_w(c)` (distances are normalized by the current
+//! search radius). Then Equation 5 gives
+//!
+//! ```text
+//! m = log_{1/p2} n,    L = n^ρ,    S = 2L,    ρ = ln(1/p1)/ln(1/p2) < 1
+//! ```
+//!
+//! for a success probability of `1/2 − 1/e`. The paper fine-tunes accuracy
+//! with a scaling factor `γ` on `m` (`m = γ·log_{1/p2} n`), which leaves the
+//! index size (`L`) unchanged; `γ > ρ` preserves the sublinear query time.
+//!
+//! The radius schedule for the `c²`-ANNS reduction is `R = 1, c, c², …` up
+//! to `R_max = 2·x_max·√d`, so `r = ⌈log_c R_max⌉` radii (independent of n).
+
+use crate::math::normal_cdf;
+use serde::{Deserialize, Serialize};
+
+/// Collision probability `p_w(s)` of one p-stable hash `h(o)=⌊(a·o+b)/w⌋`
+/// for two points at Euclidean distance `s` (Datar et al. 2004):
+///
+/// `p_w(s) = 1 − 2Φ(−w/s) − (2s/(√(2π)·w))·(1 − exp(−w²/(2s²)))`.
+///
+/// Monotonically decreasing in `s`, increasing in `w`.
+pub fn collision_probability(w: f64, s: f64) -> f64 {
+    assert!(w > 0.0 && s >= 0.0);
+    if s == 0.0 {
+        return 1.0;
+    }
+    let t = w / s;
+    let term1 = 1.0 - 2.0 * normal_cdf(-t);
+    let term2 = 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t)
+        * (1.0 - (-t * t / 2.0).exp());
+    (term1 - term2).clamp(0.0, 1.0)
+}
+
+/// The complete parameter set of an E2LSH / E2LSHoS index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct E2lshParams {
+    /// Approximation ratio `c` (the paper uses `c = 2`; the reduction
+    /// solves `c²`-ANNS).
+    pub c: f32,
+    /// Bucket width `w` controlling `ρ`.
+    pub w: f32,
+    /// Accuracy scaling factor `γ` on `m` (paper Section 3.3).
+    pub gamma: f32,
+    /// Database size the parameters were derived for.
+    pub n: usize,
+    /// Functions per compound hash, `m = ⌈γ·ln n / ln(1/p2)⌉`.
+    pub m: usize,
+    /// Number of compound hashes per radius, `L = ⌈n^ρ⌉`.
+    pub l: usize,
+    /// Candidate budget per radius, `S = s_factor·L` (Equation 5 uses 2L).
+    pub s: usize,
+    /// `ρ = ln(1/p1)/ln(1/p2)`.
+    pub rho: f64,
+    /// Collision probability at distance 1 (radius-normalized), `p_w(1)`.
+    pub p1: f64,
+    /// Collision probability at distance `c`, `p_w(c)`.
+    pub p2: f64,
+    /// Radius schedule `1, c, c², …, c^{r-1}` covering `R_max`.
+    pub radii: Vec<f32>,
+}
+
+impl E2lshParams {
+    /// Derive parameters per Equation 5 with the paper's default
+    /// `S = 2L` and success probability `1/2 − 1/e`.
+    ///
+    /// * `n` — database size;
+    /// * `c` — approximation ratio (paper: 2);
+    /// * `w` — bucket width (controls ρ; the E2LSH package default is 4);
+    /// * `gamma` — accuracy scaling on `m` (1.0 = Equation 5 exactly);
+    /// * `x_max` — maximum absolute coordinate, for `R_max = 2·x_max·√d`;
+    /// * `dim` — point dimensionality.
+    pub fn derive(n: usize, c: f32, w: f32, gamma: f32, x_max: f32, dim: usize) -> Self {
+        Self::derive_with(n, c, w, gamma, x_max, dim, 2.0, None)
+    }
+
+    /// Practical derivation used throughout the paper's evaluation
+    /// (Section 3.3): `L = ⌈n^ρ_target⌉` for a *chosen* effective exponent
+    /// (the paper's Table 4 has L between 16 and 51 even at n = 10⁸,
+    /// i.e. effective ρ ≈ 0.21), with `m = γ·log_{1/p2} n` trading
+    /// accuracy against compute without touching the index size.
+    pub fn derive_practical(
+        n: usize,
+        c: f32,
+        w: f32,
+        gamma: f32,
+        rho_target: f64,
+        x_max: f32,
+        dim: usize,
+    ) -> Self {
+        assert!(rho_target > 0.0 && rho_target < 1.0);
+        let l = (n as f64).powf(rho_target).ceil().max(2.0) as usize;
+        Self::derive_with(n, c, w, gamma, x_max, dim, 2.0, Some(l))
+    }
+
+    /// Full-control variant: `s_factor` scales the candidate budget
+    /// (`S = s_factor·L`), and `l_override` pins `L` (used by the paper's
+    /// "small ρ" in-memory configuration in Figure 14).
+    #[allow(clippy::too_many_arguments)]
+    pub fn derive_with(
+        n: usize,
+        c: f32,
+        w: f32,
+        gamma: f32,
+        x_max: f32,
+        dim: usize,
+        s_factor: f64,
+        l_override: Option<usize>,
+    ) -> Self {
+        assert!(n >= 2, "need at least two objects");
+        assert!(c > 1.0, "approximation ratio must exceed 1");
+        assert!(w > 0.0 && gamma > 0.0 && x_max > 0.0 && dim > 0);
+        let p1 = collision_probability(w as f64, 1.0);
+        let p2 = collision_probability(w as f64, c as f64);
+        assert!(p1 > p2, "collision probabilities must separate");
+        let ln_n = (n as f64).ln();
+        let rho = (1.0 / p1).ln() / (1.0 / p2).ln();
+        let m = ((gamma as f64) * ln_n / (1.0 / p2).ln()).ceil().max(1.0) as usize;
+        let l = l_override.unwrap_or_else(|| (n as f64).powf(rho).ceil().max(1.0) as usize);
+        let s = ((s_factor * l as f64).ceil() as usize).max(1);
+        let radii = radius_schedule(c, x_max, dim);
+        Self {
+            c,
+            w,
+            gamma,
+            n,
+            m,
+            l,
+            s,
+            rho,
+            p1,
+            p2,
+            radii,
+        }
+    }
+
+    /// Number of radii `r` in the schedule.
+    #[inline]
+    pub fn num_radii(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// Candidate budget for a top-`k` query. The paper keeps `S = 2L` for
+    /// `k = 1`; for larger `k` the budget must grow so that enough distinct
+    /// candidates are examined (we scale linearly, floored at `S`).
+    pub fn s_for_k(&self, k: usize) -> usize {
+        self.s.max(self.s / 2 * k)
+    }
+}
+
+/// Build the radius schedule `1, c, c², …` up to and including the first
+/// value ≥ `R_max = 2·x_max·√d` (paper Section 2.3).
+pub fn radius_schedule(c: f32, x_max: f32, dim: usize) -> Vec<f32> {
+    assert!(c > 1.0 && x_max > 0.0 && dim > 0);
+    let r_max = 2.0 * x_max * (dim as f32).sqrt();
+    let mut radii = vec![1.0f32];
+    while *radii.last().expect("non-empty") < r_max {
+        let next = radii.last().expect("non-empty") * c;
+        radii.push(next);
+        if radii.len() > 64 {
+            break; // guard against pathological inputs
+        }
+    }
+    radii
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_probability_limits() {
+        assert_eq!(collision_probability(4.0, 0.0), 1.0);
+        // Very small distance relative to w: near-certain collision.
+        assert!(collision_probability(4.0, 1e-6) > 0.999);
+        // Very large distance: near-zero collision.
+        assert!(collision_probability(4.0, 1e6) < 1e-3);
+    }
+
+    #[test]
+    fn collision_probability_monotone_decreasing_in_s() {
+        let mut prev = 1.0;
+        let mut s = 0.01;
+        while s < 50.0 {
+            let p = collision_probability(4.0, s);
+            assert!(p <= prev + 1e-12, "p_w(s) must decrease, s={s}");
+            prev = p;
+            s *= 1.3;
+        }
+    }
+
+    #[test]
+    fn collision_probability_monotone_increasing_in_w() {
+        let mut prev = 0.0;
+        for wi in 1..40 {
+            let w = wi as f64 * 0.5;
+            let p = collision_probability(w, 2.0);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_numerical_integration() {
+        // Datar et al. define p_w(s) = ∫_0^w (2/s)·φ(t/s)·(1 − t/w) dt.
+        // Integrate numerically and compare with the closed form.
+        fn numeric(w: f64, s: f64) -> f64 {
+            let steps = 20_000;
+            let h = w / steps as f64;
+            let mut sum = 0.0;
+            for i in 0..steps {
+                let t = (i as f64 + 0.5) * h;
+                sum += (2.0 / s) * crate::math::normal_pdf(t / s) * (1.0 - t / w) * h;
+            }
+            sum
+        }
+        for &(w, s) in &[(4.0, 1.0), (4.0, 2.0), (2.0, 1.0), (8.0, 3.0), (1.0, 0.3)] {
+            let closed = collision_probability(w, s);
+            let num = numeric(w, s);
+            assert!(
+                (closed - num).abs() < 1e-4,
+                "w={w} s={s}: closed {closed} vs numeric {num}"
+            );
+        }
+        // Known value: for w = 4, p_w(1) ≈ 0.8005 and p_w(2) ≈ 0.6095.
+        assert!((collision_probability(4.0, 1.0) - 0.8005).abs() < 1e-3);
+        assert!((collision_probability(4.0, 2.0) - 0.6095).abs() < 1e-3);
+    }
+
+    #[test]
+    fn derive_matches_equation5() {
+        let p = E2lshParams::derive(100_000, 2.0, 4.0, 1.0, 10.0, 64);
+        assert!(p.rho > 0.0 && p.rho < 1.0);
+        assert_eq!(p.s, 2 * p.l);
+        // L = ceil(n^rho)
+        assert_eq!(p.l, (100_000f64.powf(p.rho)).ceil() as usize);
+        // m = ceil(ln n / ln(1/p2))
+        let expect_m = ((100_000f64).ln() / (1.0 / p.p2).ln()).ceil() as usize;
+        assert_eq!(p.m, expect_m);
+    }
+
+    #[test]
+    fn gamma_scales_m_not_l() {
+        let a = E2lshParams::derive(50_000, 2.0, 4.0, 1.0, 10.0, 64);
+        let b = E2lshParams::derive(50_000, 2.0, 4.0, 1.3, 10.0, 64);
+        assert!(b.m > a.m);
+        assert_eq!(a.l, b.l, "γ must not change the index size");
+    }
+
+    #[test]
+    fn radius_schedule_covers_rmax() {
+        let radii = radius_schedule(2.0, 10.0, 100);
+        let r_max = 2.0 * 10.0 * (100f32).sqrt(); // 200
+        assert!(*radii.last().unwrap() >= r_max);
+        assert_eq!(radii[0], 1.0);
+        for w in radii.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-6);
+        }
+        // r = ceil(log_c R_max) + 1 radii including R=1.
+        assert_eq!(radii.len(), (200f32.log2().ceil() as usize) + 1);
+    }
+
+    #[test]
+    fn l_override_pins_l() {
+        let p = E2lshParams::derive_with(50_000, 2.0, 4.0, 1.0, 10.0, 64, 2.0, Some(4));
+        assert_eq!(p.l, 4);
+        assert_eq!(p.s, 8);
+    }
+
+    #[test]
+    fn rho_bounded_and_separating_for_all_w() {
+        // ρ = ln(1/p1)/ln(1/p2) must stay in (0, 1) and p1 > p2 for every
+        // bucket width (ρ is not monotone in w: it dips below 1/c around
+        // w ≈ 4 and approaches 1/c as w → ∞).
+        for wi in 1..=32 {
+            let w = wi as f32 * 0.5;
+            let p = E2lshParams::derive(100_000, 2.0, w, 1.0, 10.0, 64);
+            assert!(p.rho > 0.0 && p.rho < 1.0, "w={w} rho={}", p.rho);
+            assert!(p.p1 > p.p2, "w={w}");
+        }
+        // ρ at the paper-style default w=4, c=2 is ≈ 0.449.
+        let p = E2lshParams::derive(100_000, 2.0, 4.0, 1.0, 10.0, 64);
+        assert!((p.rho - 0.449).abs() < 5e-3, "rho = {}", p.rho);
+    }
+
+    #[test]
+    fn s_for_k_grows() {
+        let p = E2lshParams::derive(10_000, 2.0, 4.0, 1.0, 5.0, 32);
+        assert_eq!(p.s_for_k(1), p.s);
+        assert!(p.s_for_k(100) >= p.s_for_k(10));
+    }
+}

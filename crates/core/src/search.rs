@@ -1,0 +1,429 @@
+//! The `(R, c)`-NN radius-escalation ANNS driver (paper Section 2.3).
+//!
+//! For increasing radii `R = 1, c, c², …` the driver probes the `L` buckets
+//! of the query at that radius, distance-checks the candidates (stopping at
+//! the budget `S`), and stops as soon as the top-`k` heap holds `k` objects
+//! within `c·R` — the `(R, c)`-NN success condition, giving `c²`-ANNS
+//! overall.
+//!
+//! The driver also records the per-query statistics that power the paper's
+//! analysis: how many radii were searched (Table 4's `r̄`), how many
+//! non-empty buckets were probed (`N_IO,∞` = 2 × that, one hash-table read
+//! plus one bucket read each), and per-bucket examined-entry counts (for
+//! the finite-block-size I/O counts of Figure 3).
+
+use crate::dataset::Dataset;
+use crate::distance::dist2;
+use crate::index::MemIndex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A search result: object ID and its Euclidean distance to the query.
+pub type Neighbor = (u32, f32);
+
+/// Knobs for a single query.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct SearchOptions {
+    /// Override the candidate budget `S` (default: `params.s_for_k(k)`).
+    pub s_override: Option<usize>,
+    /// Search at most this many radii (default: all).
+    pub max_radii: Option<usize>,
+    /// Record per-bucket examined-entry counts into
+    /// [`SearchStats::bucket_examined`] (needed by the I/O-count analysis;
+    /// off by default to keep queries allocation-free).
+    pub collect_bucket_sizes: bool,
+    /// Multi-probe extension (Lv et al., VLDB 2007; the E2LSHoS paper's
+    /// conclusion names multi-probe-style methods as natural beneficiaries
+    /// of fast storage): probe this many *additional* buckets per
+    /// compound hash, chosen by flipping the hash component whose
+    /// projection lies closest to its bucket boundary. 0 (default)
+    /// disables and reproduces plain E2LSH.
+    pub multi_probe: usize,
+}
+
+
+/// Per-query statistics (the measurable quantities of paper Section 4).
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Radii actually searched before the success condition fired.
+    pub radii_searched: usize,
+    /// Bucket probes issued (hash-table lookups), empty or not.
+    pub buckets_probed: usize,
+    /// Probes that hit a non-empty bucket. `N_IO,∞ = 2 ×` this value
+    /// (one hash-table read + one bucket read per non-empty bucket).
+    pub nonempty_buckets: usize,
+    /// Candidate entries examined, counted with multiplicity (the quantity
+    /// the budget `S` limits).
+    pub candidates: usize,
+    /// Distinct objects whose distance was computed.
+    pub distance_computations: usize,
+    /// Compound-hash evaluations performed (`L` per searched radius).
+    pub hash_evaluations: usize,
+    /// Per non-empty probed bucket: number of entries examined in it
+    /// (possibly truncated by `S`). Only filled when
+    /// [`SearchOptions::collect_bucket_sizes`] is set.
+    pub bucket_examined: Vec<u32>,
+}
+
+impl SearchStats {
+    /// Minimum I/O count with unbounded block size: one hash-table read and
+    /// one bucket read per non-empty probed bucket (paper Table 4's
+    /// `N_IO,∞`).
+    pub fn n_io_inf(&self) -> usize {
+        2 * self.nonempty_buckets
+    }
+
+    /// I/O count with a finite block holding `objs_per_block` object
+    /// entries: one hash-table read plus `⌈examined/objs_per_block⌉` bucket
+    /// block reads per non-empty bucket (paper Figure 3; the paper uses
+    /// 4-byte entries, so `objs_per_block = B/4`).
+    ///
+    /// Requires the query to have been run with `collect_bucket_sizes`.
+    pub fn n_io_block(&self, objs_per_block: usize) -> usize {
+        assert!(objs_per_block > 0);
+        self.bucket_examined
+            .iter()
+            .map(|&e| 1 + (e as usize).div_ceil(objs_per_block))
+            .sum()
+    }
+}
+
+/// Max-heap entry so `BinaryHeap` keeps the *k smallest* distances.
+struct HeapItem {
+    d2: f32,
+    id: u32,
+}
+
+/// A bounded top-k accumulator over `(object id, squared distance)` pairs,
+/// shared by the in-memory driver and the storage query engine.
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl TopK {
+    /// Accumulator keeping the `k` smallest squared distances.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer a candidate; returns true if it entered the top-k.
+    pub fn offer(&mut self, id: u32, d2: f32) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(HeapItem { d2, id });
+            true
+        } else if let Some(top) = self.heap.peek() {
+            if d2 < top.d2 {
+                self.heap.pop();
+                self.heap.push(HeapItem { d2, id });
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Number of candidates currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidate has been offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Squared distance of the current k-th best (∞ while under-full).
+    pub fn worst_d2(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map(|h| h.d2).unwrap_or(f32::INFINITY)
+        }
+    }
+
+    /// Extract `(id, distance)` pairs sorted by ascending distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self
+            .heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|h| (h.id, h.d2.sqrt()))
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        v
+    }
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.d2 == other.d2 && self.id == other.id
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d2
+            .partial_cmp(&other.d2)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// Top-`k` `c²`-ANNS against an in-memory index.
+///
+/// Returns up to `k` neighbors sorted by ascending distance, plus the
+/// per-query [`SearchStats`].
+pub fn knn_search(
+    index: &MemIndex,
+    dataset: &Dataset,
+    query: &[f32],
+    k: usize,
+    opts: &SearchOptions,
+) -> (Vec<Neighbor>, SearchStats) {
+    assert_eq!(query.len(), dataset.dim());
+    assert!(k >= 1);
+    let params = index.params();
+    let family = index.family();
+    let budget = opts.s_override.unwrap_or_else(|| params.s_for_k(k));
+    let num_radii = params
+        .num_radii()
+        .min(opts.max_radii.unwrap_or(usize::MAX));
+
+    let mut stats = SearchStats::default();
+    let mut topk = TopK::new(k);
+    // Stamp-based visited set: one u32 per object, no clearing between
+    // queries of different radii.
+    let mut seen = vec![0u32; dataset.len()];
+    let stamp = 1u32;
+    let mut scratch: Vec<i32> = Vec::new();
+    let mut fracs: Vec<f32> = Vec::new();
+    let mut perturbations: Vec<(f32, usize, i32)> = Vec::new();
+
+    // Scan one bucket's candidates; returns false when the radius budget
+    // is exhausted.
+    macro_rules! scan_bucket {
+        ($ri:expr, $li:expr, $key:expr, $examined:expr) => {{
+            stats.buckets_probed += 1;
+            if let Some(bucket) = index.bucket($ri, $li, $key) {
+                stats.nonempty_buckets += 1;
+                let mut examined_in_bucket = 0u32;
+                for &oid in bucket {
+                    if $examined >= budget {
+                        break;
+                    }
+                    $examined += 1;
+                    stats.candidates += 1;
+                    examined_in_bucket += 1;
+                    let idx = oid as usize;
+                    if seen[idx] != stamp {
+                        seen[idx] = stamp;
+                        stats.distance_computations += 1;
+                        let d2 = dist2(query, dataset.point(idx));
+                        topk.offer(oid, d2);
+                    }
+                }
+                if opts.collect_bucket_sizes && examined_in_bucket > 0 {
+                    stats.bucket_examined.push(examined_in_bucket);
+                }
+            }
+            $examined < budget
+        }};
+    }
+
+    for ri in 0..num_radii {
+        let radius = family.radius(ri);
+        stats.radii_searched += 1;
+        let mut examined_this_radius = 0usize;
+        'radius: for li in 0..params.l {
+            let compound = family.compound(ri, li);
+            stats.hash_evaluations += 1;
+            let key = if opts.multi_probe == 0 {
+                compound.hash64(query, radius, &mut scratch)
+            } else {
+                compound.eval_with_frac(query, radius, &mut scratch, &mut fracs);
+                crate::lsh::mix_hash_values(&scratch)
+            };
+            if !scan_bucket!(ri, li, key, examined_this_radius) {
+                break 'radius;
+            }
+            // Multi-probe: flip the components whose projections sit
+            // closest to a bucket boundary (single-perturbation set).
+            if opts.multi_probe > 0 {
+                perturbations.clear();
+                for (j, &f) in fracs.iter().enumerate() {
+                    perturbations.push((f * f, j, -1)); // cross left edge
+                    let g = 1.0 - f;
+                    perturbations.push((g * g, j, 1)); // cross right edge
+                }
+                perturbations.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for &(_, j, delta) in perturbations.iter().take(opts.multi_probe) {
+                    scratch[j] += delta;
+                    let pkey = crate::lsh::mix_hash_values(&scratch);
+                    scratch[j] -= delta;
+                    if !scan_bucket!(ri, li, pkey, examined_this_radius) {
+                        break 'radius;
+                    }
+                }
+            }
+        }
+        // (R, c)-NN success test: k results within c·R.
+        let c_r = params.c * radius;
+        let c_r2 = c_r * c_r;
+        if topk.len() >= k && topk.worst_d2() <= c_r2 {
+            break;
+        }
+    }
+
+    (topk.into_sorted(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::E2lshParams;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ds = Dataset::with_capacity(dim, n);
+        let mut p = vec![0.0f32; dim];
+        for _ in 0..n {
+            for v in p.iter_mut() {
+                *v = rng.gen::<f32>() * 10.0 - 5.0;
+            }
+            ds.push(&p);
+        }
+        ds
+    }
+
+    fn brute_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = (0..ds.len())
+            .map(|i| (i as u32, dist2(q, ds.point(i)).sqrt()))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    fn build(ds: &Dataset) -> (MemIndex, E2lshParams) {
+        let params =
+            E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), ds.dim());
+        let idx = MemIndex::build(ds, &params, 42);
+        (idx, params)
+    }
+
+    #[test]
+    fn results_sorted_and_within_k() {
+        let ds = dataset(500, 12, 1);
+        let (idx, _) = build(&ds);
+        let q = ds.point(3).to_vec();
+        let (res, _) = knn_search(&idx, &ds, &q, 5, &SearchOptions::default());
+        assert!(res.len() <= 5);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn approximation_guarantee_holds_empirically() {
+        // c²-ANNS with c = 2: returned NN distance ≤ 4× exact NN distance
+        // (holds with probability ≥ 1/2 − 1/e per radius; with the full
+        // radius schedule the empirical success rate is much higher).
+        let ds = dataset(800, 10, 2);
+        let (idx, _) = build(&ds);
+        let mut ok = 0;
+        let total = 40;
+        for t in 0..total {
+            let q = ds.point(t * 7).iter().map(|v| v + 0.05).collect::<Vec<_>>();
+            let exact = brute_knn(&ds, &q, 1)[0].1;
+            let (res, _) = knn_search(&idx, &ds, &q, 1, &SearchOptions::default());
+            if let Some(&(_, d)) = res.first() {
+                if d <= 4.0 * exact.max(1e-6) {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(ok >= total * 8 / 10, "guarantee held for {ok}/{total}");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let ds = dataset(400, 8, 3);
+        let (idx, params) = build(&ds);
+        let q = ds.point(0).to_vec();
+        let mut opts = SearchOptions::default();
+        opts.collect_bucket_sizes = true;
+        let (_, stats) = knn_search(&idx, &ds, &q, 1, &opts);
+        assert!(stats.radii_searched >= 1);
+        assert!(stats.nonempty_buckets <= stats.buckets_probed);
+        assert!(stats.distance_computations <= stats.candidates);
+        assert_eq!(
+            stats.hash_evaluations,
+            stats.buckets_probed,
+            "one hash eval per probe"
+        );
+        assert!(stats.buckets_probed <= stats.radii_searched * params.l);
+        // Sum of per-bucket examined equals total candidates.
+        let sum: u32 = stats.bucket_examined.iter().sum();
+        assert_eq!(sum as usize, stats.candidates);
+        // n_io with huge blocks equals n_io_inf.
+        assert_eq!(stats.n_io_block(usize::MAX / 2), stats.n_io_inf());
+        // Smaller blocks need at least as many I/Os.
+        assert!(stats.n_io_block(4) >= stats.n_io_block(128));
+    }
+
+    #[test]
+    fn budget_limits_candidates() {
+        let ds = dataset(600, 8, 4);
+        let (idx, _) = build(&ds);
+        let q = ds.point(1).to_vec();
+        let opts = SearchOptions {
+            s_override: Some(10),
+            ..Default::default()
+        };
+        let (_, stats) = knn_search(&idx, &ds, &q, 1, &opts);
+        // Budget is per radius.
+        assert!(stats.candidates <= 10 * stats.radii_searched);
+    }
+
+    #[test]
+    fn max_radii_respected() {
+        let ds = dataset(300, 8, 5);
+        let (idx, _) = build(&ds);
+        let q: Vec<f32> = vec![100.0; 8]; // far away, would escalate
+        let opts = SearchOptions {
+            max_radii: Some(2),
+            ..Default::default()
+        };
+        let (_, stats) = knn_search(&idx, &ds, &q, 1, &opts);
+        assert!(stats.radii_searched <= 2);
+    }
+
+    #[test]
+    fn topk_more_results_than_top1() {
+        let ds = dataset(1000, 10, 6);
+        let (idx, _) = build(&ds);
+        let q = ds.point(10).to_vec();
+        let (r1, _) = knn_search(&idx, &ds, &q, 1, &SearchOptions::default());
+        let (r10, _) = knn_search(&idx, &ds, &q, 10, &SearchOptions::default());
+        assert!(r10.len() >= r1.len());
+        // Top-1 of both should agree on distance ordering.
+        if !r1.is_empty() && !r10.is_empty() {
+            assert!(r10[0].1 <= r1[0].1 + 1e-5);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Edge-case integration tests for the core E2LSH implementation.
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::index::MemIndex;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_core::search::{knn_search, SearchOptions};
+
+fn params_for(ds: &Dataset) -> E2lshParams {
+    E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord().max(0.1), ds.dim())
+}
+
+#[test]
+fn duplicate_points_all_indexable() {
+    // 100 copies of the same point plus one outlier.
+    let mut rows = vec![vec![1.0f32, 2.0, 3.0]; 100];
+    rows.push(vec![50.0, 50.0, 50.0]);
+    let ds = Dataset::from_rows(&rows);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 5);
+    let (res, _) = knn_search(&idx, &ds, &[1.0, 2.0, 3.0], 5, &SearchOptions::default());
+    assert!(!res.is_empty());
+    // Every returned duplicate has distance 0.
+    for &(id, d) in &res {
+        if id != 100 {
+            assert_eq!(d, 0.0);
+        }
+    }
+}
+
+#[test]
+fn two_point_dataset() {
+    let ds = Dataset::from_rows(&[vec![0.0f32, 0.0], vec![10.0, 10.0]]);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 1);
+    let (res, _) = knn_search(&idx, &ds, &[0.1, 0.1], 2, &SearchOptions::default());
+    assert!(!res.is_empty());
+    assert_eq!(res[0].0, 0);
+}
+
+#[test]
+fn k_exceeding_database_size() {
+    let ds = Dataset::from_rows(&[vec![0.0f32], vec![1.0], vec![2.0]]);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 2);
+    let (res, _) = knn_search(&idx, &ds, &[0.0], 10, &SearchOptions::default());
+    assert!(res.len() <= 3);
+}
+
+#[test]
+fn distant_query_escalates_radii_and_still_answers() {
+    let rows: Vec<Vec<f32>> = (0..200)
+        .map(|i| vec![(i % 20) as f32, (i / 20) as f32])
+        .collect();
+    let ds = Dataset::from_rows(&rows);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 3);
+    // Query far outside the data extent: must escalate radii.
+    let (res, stats) = knn_search(&idx, &ds, &[500.0, 500.0], 1, &SearchOptions::default());
+    assert!(stats.radii_searched > 3, "radii {}", stats.radii_searched);
+    // With the full schedule (R_max covers 2·x_max·√d) an answer should
+    // usually be found; if not, the empty result is itself legal.
+    if let Some(&(_, d)) = res.first() {
+        assert!(d > 400.0);
+    }
+}
+
+#[test]
+fn negative_coordinates_work() {
+    let rows: Vec<Vec<f32>> = (0..300)
+        .map(|i| vec![-(i as f32) * 0.1, (i as f32) * 0.05 - 7.0])
+        .collect();
+    let ds = Dataset::from_rows(&rows);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 9);
+    let q = ds.point(150).to_vec();
+    let (res, _) = knn_search(&idx, &ds, &q, 1, &SearchOptions::default());
+    assert_eq!(res[0].0, 150);
+    assert_eq!(res[0].1, 0.0);
+}
+
+#[test]
+fn zero_budget_returns_empty() {
+    let ds = Dataset::from_rows(&[vec![0.0f32, 0.0], vec![1.0, 1.0]]);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 1);
+    let opts = SearchOptions {
+        s_override: Some(0),
+        ..Default::default()
+    };
+    let (res, stats) = knn_search(&idx, &ds, &[0.0, 0.0], 1, &opts);
+    assert!(res.is_empty());
+    assert_eq!(stats.distance_computations, 0);
+}
+
+#[test]
+fn high_dimensional_smoke() {
+    // d = 960 (the paper's GIST dimensionality).
+    let rows: Vec<Vec<f32>> = (0..100)
+        .map(|i| (0..960).map(|j| ((i * 7 + j) % 13) as f32 * 0.1).collect())
+        .collect();
+    let ds = Dataset::from_rows(&rows);
+    let params = params_for(&ds);
+    let idx = MemIndex::build(&ds, &params, 4);
+    let q = ds.point(42).to_vec();
+    let (res, _) = knn_search(&idx, &ds, &q, 1, &SearchOptions::default());
+    // The generator makes points with equal i mod 13 identical, so the
+    // returned ID may be any of the duplicates — the distance must be 0.
+    assert_eq!(res[0].1, 0.0);
+}

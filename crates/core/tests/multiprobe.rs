@@ -1,0 +1,139 @@
+//! Multi-probe extension tests: probing perturbed buckets at fixed `L`
+//! must find at least as many candidates and never hurt result quality —
+//! the property that makes multi-probe-style methods attractive on fast
+//! storage (E2LSHoS paper, Section 8).
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::distance::dist2;
+use e2lsh_core::index::MemIndex;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_core::search::{knn_search, SearchOptions};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..10)
+        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 40.0).collect())
+        .collect();
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut p = vec![0.0f32; dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..centers.len())];
+        for (v, &cv) in p.iter_mut().zip(c) {
+            *v = cv + (rng.gen::<f32>() - 0.5) * 3.0;
+        }
+        ds.push(&p);
+    }
+    ds
+}
+
+fn build(ds: &Dataset) -> MemIndex {
+    // Deliberately few tables so plain E2LSH misses; multi-probe should
+    // recover candidates from adjacent buckets.
+    let params = E2lshParams::derive_with(
+        ds.len(),
+        2.0,
+        2.0,
+        1.0,
+        ds.max_abs_coord(),
+        ds.dim(),
+        4.0,
+        Some(4), // L = 4
+    );
+    MemIndex::build(ds, &params, 77)
+}
+
+#[test]
+fn multiprobe_probes_more_buckets_and_finds_more() {
+    let ds = clustered(3000, 16, 1);
+    let idx = build(&ds);
+    let q: Vec<f32> = ds.point(5).iter().map(|v| v + 0.4).collect();
+    let base = SearchOptions::default();
+    let probe = SearchOptions {
+        multi_probe: 4,
+        ..Default::default()
+    };
+    let (_, s0) = knn_search(&idx, &ds, &q, 1, &base);
+    let (_, s4) = knn_search(&idx, &ds, &q, 1, &probe);
+    assert!(
+        s4.buckets_probed > s0.buckets_probed,
+        "{} vs {}",
+        s4.buckets_probed,
+        s0.buckets_probed
+    );
+    assert!(s4.distance_computations >= s0.distance_computations);
+}
+
+#[test]
+fn multiprobe_never_degrades_quality_and_usually_improves_recall() {
+    let ds = clustered(4000, 16, 2);
+    let idx = build(&ds);
+    let mut base_better = 0;
+    let mut probe_better = 0;
+    for t in 0..30 {
+        let q: Vec<f32> = ds.point(t * 100).iter().map(|v| v + 0.8).collect();
+        let exact = {
+            let mut best = f32::INFINITY;
+            for i in 0..ds.len() {
+                best = best.min(dist2(&q, ds.point(i)));
+            }
+            best.sqrt()
+        };
+        let run = |mp: usize| {
+            let opts = SearchOptions {
+                multi_probe: mp,
+                // Stop radius escalation early so the per-radius recall
+                // difference is visible.
+                max_radii: Some(3),
+                ..Default::default()
+            };
+            knn_search(&idx, &ds, &q, 1, &opts)
+                .0
+                .first()
+                .map(|r| r.1)
+                .unwrap_or(f32::INFINITY)
+        };
+        let d0 = run(0);
+        let d6 = run(6);
+        if d6 < d0 - 1e-5 {
+            probe_better += 1;
+        }
+        if d0 < d6 - 1e-5 {
+            base_better += 1;
+        }
+        // Multi-probe explores a superset of buckets per radius, but the
+        // larger candidate pool may satisfy the (R,c)-NN stop condition
+        // earlier; quality must stay within the same c-approximation.
+        if d6.is_finite() {
+            assert!(d6 <= (4.0 * exact).max(d0), "q{t}: {d6} vs exact {exact}");
+        }
+        let _ = exact;
+    }
+    assert!(
+        probe_better >= base_better,
+        "multi-probe should win at least as often: {probe_better} vs {base_better}"
+    );
+}
+
+#[test]
+fn zero_multiprobe_is_identical_to_plain() {
+    let ds = clustered(1000, 8, 3);
+    let idx = build(&ds);
+    for t in 0..10 {
+        let q = ds.point(t * 37).to_vec();
+        let a = knn_search(&idx, &ds, &q, 3, &SearchOptions::default());
+        let b = knn_search(
+            &idx,
+            &ds,
+            &q,
+            3,
+            &SearchOptions {
+                multi_probe: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.buckets_probed, b.1.buckets_probed);
+    }
+}

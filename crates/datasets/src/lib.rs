@@ -1,0 +1,26 @@
+//! # ann-datasets
+//!
+//! Synthetic stand-ins for the eight datasets of the E2LSHoS paper's
+//! evaluation (Table 1), plus ground-truth computation, accuracy metrics,
+//! and the dataset-hardness proxies the paper reports (Relative Contrast
+//! and Local Intrinsic Dimensionality).
+//!
+//! The paper evaluates on MSONG, SIFT, GIST, RAND, GLOVE, GAUSS, MNIST and
+//! BIGANN. The real files are not redistributable (and two of the paper's
+//! sets are synthetic to begin with), so this crate generates seeded
+//! synthetic datasets that match each set's size class, dimensionality,
+//! value type (float vs byte) and approximate hardness, scaled down to
+//! laptop size by default (see `DESIGN.md` §8). Set the environment
+//! variable `E2LSH_SCALE=paper` to generate full-size datasets, or
+//! `E2LSH_N=<n>` to force a specific cardinality.
+
+pub mod generators;
+pub mod ground_truth;
+pub mod hardness;
+pub mod metrics;
+pub mod suite;
+
+pub use generators::{ClusteredSpec, Generator};
+pub use ground_truth::GroundTruth;
+pub use metrics::{overall_ratio, recall};
+pub use suite::{load, DatasetId, NamedDataset};

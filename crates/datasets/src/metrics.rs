@@ -1,0 +1,127 @@
+//! Accuracy metrics (paper Section 3.2).
+//!
+//! The paper compares methods at equal accuracy measured by the *overall
+//! ratio*: `(1/k)·Σ_i ‖o_i, q‖ / ‖o*_i, q‖` where `o_i` is the i-th
+//! returned neighbor and `o*_i` the exact i-th neighbor. 1.0 means exact;
+//! the paper's default target is 1.05.
+
+use crate::ground_truth::GroundTruth;
+
+/// Overall ratio of one query's results against ground truth.
+///
+/// `results` are `(id, distance)` sorted ascending, as returned by every
+/// search routine in this workspace. Missing results (fewer than `k`
+/// returned) are penalized by pairing the remaining exact neighbors with
+/// the dataset's worst returned distance — or `penalty_ratio` if nothing
+/// was returned at all.
+pub fn overall_ratio(results: &[(u32, f32)], gt: &[(u32, f32)], k: usize) -> f64 {
+    assert!(k >= 1);
+    let k = k.min(gt.len());
+    if k == 0 {
+        return 1.0;
+    }
+    const PENALTY_RATIO: f64 = 10.0;
+    let mut sum = 0.0f64;
+    for i in 0..k {
+        let exact = gt[i].1 as f64;
+        match results.get(i) {
+            Some(&(_, d)) => {
+                if exact <= f64::EPSILON {
+                    // The query coincides with its exact neighbor: the
+                    // ratio is 1 when we found an equally-near object.
+                    sum += if (d as f64) <= f64::EPSILON {
+                        1.0
+                    } else {
+                        PENALTY_RATIO
+                    };
+                } else {
+                    sum += (d as f64 / exact).max(1.0);
+                }
+            }
+            None => sum += PENALTY_RATIO,
+        }
+    }
+    sum / k as f64
+}
+
+/// Mean overall ratio over a query set.
+pub fn mean_overall_ratio(
+    all_results: &[Vec<(u32, f32)>],
+    gt: &GroundTruth,
+    k: usize,
+) -> f64 {
+    assert_eq!(all_results.len(), gt.num_queries());
+    let mut sum = 0.0;
+    for (qi, res) in all_results.iter().enumerate() {
+        sum += overall_ratio(res, gt.neighbors(qi), k);
+    }
+    sum / all_results.len().max(1) as f64
+}
+
+/// Recall@k: fraction of the exact top-k IDs present in the returned top-k.
+pub fn recall(results: &[(u32, f32)], gt: &[(u32, f32)], k: usize) -> f64 {
+    let k = k.min(gt.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let exact: std::collections::HashSet<u32> = gt[..k].iter().map(|&(id, _)| id).collect();
+    let hit = results
+        .iter()
+        .take(k)
+        .filter(|&&(id, _)| exact.contains(&id))
+        .count();
+    hit as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_results_give_ratio_one() {
+        let gt = vec![(0u32, 1.0f32), (1, 2.0), (2, 3.0)];
+        assert_eq!(overall_ratio(&gt, &gt, 3), 1.0);
+        assert_eq!(recall(&gt, &gt, 3), 1.0);
+    }
+
+    #[test]
+    fn worse_results_raise_ratio() {
+        let gt = vec![(0u32, 1.0f32), (1, 2.0)];
+        let res = vec![(5u32, 1.5f32), (6, 2.0)];
+        let r = overall_ratio(&res, &gt, 2);
+        assert!((r - (1.5 / 1.0 + 2.0 / 2.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_never_below_one() {
+        // A returned distance below the exact one can only happen through
+        // floating point noise; clamp at 1.
+        let gt = vec![(0u32, 1.0f32)];
+        let res = vec![(0u32, 0.999_999f32)];
+        assert_eq!(overall_ratio(&res, &gt, 1), 1.0);
+    }
+
+    #[test]
+    fn missing_results_penalized() {
+        let gt = vec![(0u32, 1.0f32), (1, 2.0)];
+        let res = vec![(0u32, 1.0f32)];
+        let r = overall_ratio(&res, &gt, 2);
+        assert!(r > 5.0, "missing neighbor must hurt: {r}");
+    }
+
+    #[test]
+    fn zero_distance_exact_neighbor() {
+        let gt = vec![(0u32, 0.0f32)];
+        let res_hit = vec![(0u32, 0.0f32)];
+        let res_miss = vec![(3u32, 0.5f32)];
+        assert_eq!(overall_ratio(&res_hit, &gt, 1), 1.0);
+        assert!(overall_ratio(&res_miss, &gt, 1) > 1.0);
+    }
+
+    #[test]
+    fn recall_counts_ids_not_order() {
+        let gt = vec![(0u32, 1.0f32), (1, 2.0), (2, 3.0)];
+        let res = vec![(2u32, 3.0f32), (0, 1.0), (9, 9.0)];
+        assert!((recall(&res, &gt, 3) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,453 @@
+//! E2LSHoS index construction (paper Section 5.3).
+//!
+//! For each radius `R ∈ {1, c, …, c^{r−1}}` and compound hash
+//! `l ∈ {1…L}`, every object's 32-bit compound hash value is computed,
+//! split into a `u`-bit slot index and a `(32−u)`-bit fingerprint, and the
+//! `(id, fingerprint)` entries are packed into chained 512-byte bucket
+//! blocks in the heap region. Each table's slot array then receives the
+//! storage address of the first block of its chain.
+//!
+//! The builder writes a single flat index file whose layout is described
+//! in [`crate::layout`]; the superblock stores everything needed to reopen
+//! the index, including the hash-family seed, so readers regenerate the
+//! exact hash functions.
+
+use crate::layout::{
+    split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK,
+    HASH_BITS, SUPERBLOCK_SIZE,
+};
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::lsh::{hash_v_bits, HashFamily};
+use e2lsh_core::params::E2lshParams;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"E2LSHOS1";
+
+/// Build-time options.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildConfig {
+    /// Hash-table index bits `u`; `None` picks the default
+    /// `max(8, ⌈log2 n⌉ − 6)` (paper: "slightly smaller than log2 n"),
+    /// clamped so the object info still fits in 40 bits.
+    pub u_bits: Option<u32>,
+    /// Occupancy-filter prefix bits; `None` picks
+    /// `min(⌈log2 n⌉ + 1, u + 10, 32)` (≈ 40% filter load, so the
+    /// majority of probes whose true bucket is empty are skipped without
+    /// I/O while the DRAM filters stay in the megabyte range).
+    pub filter_bits: Option<u32>,
+    /// Object-ID capacity to reserve for online inserts (see
+    /// [`crate::update::Updater`]); the entry codec and table geometry are
+    /// sized for `max(n, capacity)`. `None` reserves 2× the build-time n.
+    pub capacity: Option<usize>,
+    /// Seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            u_bits: None,
+            filter_bits: None,
+            capacity: None,
+            seed: 0xE25_005,
+        }
+    }
+}
+
+/// Default occupancy-filter width for `n` objects and table bits `u`.
+pub fn default_filter_bits(n: usize, u_bits: u32) -> u32 {
+    let id_bits = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
+    (id_bits + 1).clamp(u_bits, u_bits + 10).min(HASH_BITS)
+}
+
+/// Summary of a finished build (sizes feed the paper's Table 6).
+#[derive(Clone, Copy, Debug)]
+pub struct BuildReport {
+    /// Total index file size in bytes.
+    pub total_bytes: u64,
+    /// Bytes occupied by hash tables.
+    pub table_bytes: u64,
+    /// Bytes occupied by bucket blocks.
+    pub heap_bytes: u64,
+    /// Bucket blocks written.
+    pub blocks: u64,
+    /// Total object-info entries written (`n·L·r`).
+    pub entries: u64,
+    /// The `u` that was used.
+    pub u_bits: u32,
+}
+
+/// Pick the default `u` for a database of `n` objects.
+pub fn default_u_bits(n: usize) -> u32 {
+    let id_bits = (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1);
+    // Dense slots: a few dozen entries per slot on average.
+    let u = id_bits.saturating_sub(6).max(8);
+    // 40-bit object info constraint: id_bits + (32 − u) ≤ 40.
+    u.max(id_bits.saturating_sub(8)).min(HASH_BITS)
+}
+
+/// The superblock contents (everything needed to reopen an index).
+#[derive(Clone, Debug)]
+pub struct Superblock {
+    pub n: u64,
+    /// Object-ID capacity the codec was sized for (≥ n).
+    pub capacity: u64,
+    pub dim: u32,
+    pub m: u32,
+    pub l: u32,
+    pub u_bits: u32,
+    pub filter_bits: u32,
+    pub c: f32,
+    pub w: f32,
+    pub gamma: f32,
+    pub s: u64,
+    pub seed: u64,
+    pub radii: Vec<f32>,
+    pub total_bytes: u64,
+}
+
+impl Superblock {
+    /// Encode into exactly [`SUPERBLOCK_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(SUPERBLOCK_SIZE);
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&self.n.to_le_bytes());
+        b.extend_from_slice(&self.capacity.to_le_bytes());
+        b.extend_from_slice(&self.dim.to_le_bytes());
+        b.extend_from_slice(&self.m.to_le_bytes());
+        b.extend_from_slice(&self.l.to_le_bytes());
+        b.extend_from_slice(&self.u_bits.to_le_bytes());
+        b.extend_from_slice(&self.filter_bits.to_le_bytes());
+        b.extend_from_slice(&self.c.to_le_bytes());
+        b.extend_from_slice(&self.w.to_le_bytes());
+        b.extend_from_slice(&self.gamma.to_le_bytes());
+        b.extend_from_slice(&self.s.to_le_bytes());
+        b.extend_from_slice(&self.seed.to_le_bytes());
+        b.extend_from_slice(&self.total_bytes.to_le_bytes());
+        b.extend_from_slice(&(self.radii.len() as u32).to_le_bytes());
+        for r in &self.radii {
+            b.extend_from_slice(&r.to_le_bytes());
+        }
+        assert!(b.len() <= SUPERBLOCK_SIZE, "superblock overflow");
+        b.resize(SUPERBLOCK_SIZE, 0);
+        b
+    }
+
+    /// Decode from a [`SUPERBLOCK_SIZE`]-byte buffer.
+    pub fn decode(buf: &[u8]) -> io::Result<Self> {
+        if buf.len() < SUPERBLOCK_SIZE || &buf[..8] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an E2LSHoS index (bad magic)",
+            ));
+        }
+        let mut off = 8usize;
+        let mut take = |n: usize| {
+            let s = &buf[off..off + n];
+            off += n;
+            s
+        };
+        let n = u64::from_le_bytes(take(8).try_into().unwrap());
+        let capacity = u64::from_le_bytes(take(8).try_into().unwrap());
+        let dim = u32::from_le_bytes(take(4).try_into().unwrap());
+        let m = u32::from_le_bytes(take(4).try_into().unwrap());
+        let l = u32::from_le_bytes(take(4).try_into().unwrap());
+        let u_bits = u32::from_le_bytes(take(4).try_into().unwrap());
+        let filter_bits = u32::from_le_bytes(take(4).try_into().unwrap());
+        let c = f32::from_le_bytes(take(4).try_into().unwrap());
+        let w = f32::from_le_bytes(take(4).try_into().unwrap());
+        let gamma = f32::from_le_bytes(take(4).try_into().unwrap());
+        let s = u64::from_le_bytes(take(8).try_into().unwrap());
+        let seed = u64::from_le_bytes(take(8).try_into().unwrap());
+        let total_bytes = u64::from_le_bytes(take(8).try_into().unwrap());
+        let nr = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+        if nr > 64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "corrupt superblock: too many radii",
+            ));
+        }
+        let mut radii = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            radii.push(f32::from_le_bytes(take(4).try_into().unwrap()));
+        }
+        Ok(Self {
+            n,
+            capacity,
+            dim,
+            m,
+            l,
+            u_bits,
+            filter_bits,
+            c,
+            w,
+            gamma,
+            s,
+            seed,
+            radii,
+            total_bytes,
+        })
+    }
+}
+
+/// Build an E2LSHoS index file for `dataset` at `path`.
+///
+/// Returns the [`BuildReport`] with the achieved sizes.
+pub fn build_index<P: AsRef<Path>>(
+    dataset: &Dataset,
+    params: &E2lshParams,
+    config: &BuildConfig,
+    path: P,
+) -> io::Result<BuildReport> {
+    let n = dataset.len();
+    assert!(n >= 1, "cannot index an empty dataset");
+    assert_eq!(params.n, n, "params derived for a different n");
+    let capacity = config.capacity.unwrap_or(2 * n).max(n);
+    let u_bits = config.u_bits.unwrap_or_else(|| default_u_bits(capacity));
+    let filter_bits = config
+        .filter_bits
+        .unwrap_or_else(|| default_filter_bits(capacity, u_bits));
+    assert!(filter_bits >= u_bits && filter_bits <= HASH_BITS);
+    let codec = EntryCodec::new(capacity, u_bits);
+    let geometry = TableGeometry {
+        u_bits,
+        filter_bits,
+        num_radii: params.num_radii(),
+        l: params.l,
+    };
+    let family = HashFamily::generate(
+        dataset.dim(),
+        params.m,
+        params.w,
+        params.l,
+        &params.radii,
+        config.seed,
+    );
+
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path.as_ref())?;
+    // Heap blocks are appended sequentially from heap_base; tables are
+    // written in place as each (ri, li) pass finishes.
+    let mut writer = BufWriter::with_capacity(1 << 20, file);
+    writer.seek(SeekFrom::Start(geometry.heap_base()))?;
+
+    let mut next_block_addr = geometry.heap_base();
+    let mut blocks_written = 0u64;
+    let mut entries_written = 0u64;
+    let slots = geometry.slots() as usize;
+    let mut scratch: Vec<i32> = Vec::new();
+    // Reused per-table buffers.
+    let mut keyed: Vec<(u64, u32, u32)> = Vec::with_capacity(n); // (slot, fp, id)
+    let mut table: Vec<u64> = vec![0; slots];
+    let filter_words = ((1usize << filter_bits) / 64).max(1);
+    let filter_mask = (1u64 << filter_bits) - 1;
+    let mut filter: Vec<u64> = vec![0; filter_words];
+    let mut block_buf: Vec<u8> = Vec::with_capacity(BLOCK_SIZE);
+    let mut table_writes: Vec<(u64, Vec<u8>)> = Vec::new();
+
+    for ri in 0..params.num_radii() {
+        let radius = params.radii[ri];
+        for li in 0..params.l {
+            let compound = family.compound(ri, li);
+            keyed.clear();
+            filter.iter_mut().for_each(|w| *w = 0);
+            for oid in 0..n {
+                let key64 = compound.hash64(dataset.point(oid), radius, &mut scratch);
+                let h32 = hash_v_bits(key64, HASH_BITS);
+                let prefix = (h32 & filter_mask) as usize;
+                filter[prefix / 64] |= 1u64 << (prefix % 64);
+                let (slot, fp) = split_hash(h32, u_bits);
+                keyed.push((slot, fp, oid as u32));
+            }
+            keyed.sort_unstable_by_key(|&(slot, _, _)| slot);
+            table.iter_mut().for_each(|s| *s = 0);
+
+            let mut i = 0usize;
+            while i < keyed.len() {
+                let slot = keyed[i].0;
+                let mut j = i;
+                while j < keyed.len() && keyed[j].0 == slot {
+                    j += 1;
+                }
+                let group = &keyed[i..j];
+                let nblocks = group.len().div_ceil(ENTRIES_PER_BLOCK);
+                // Chain blocks are consecutive, so every next pointer is
+                // known up front.
+                let first_addr = next_block_addr;
+                for (bi, chunk) in group.chunks(ENTRIES_PER_BLOCK).enumerate() {
+                    let next = if bi + 1 < nblocks {
+                        next_block_addr + BLOCK_SIZE as u64
+                    } else {
+                        0
+                    };
+                    let block = BucketBlock {
+                        next,
+                        entries: chunk.iter().map(|&(_, fp, id)| (id, fp)).collect(),
+                    };
+                    block_buf.clear();
+                    block.encode(&codec, &mut block_buf);
+                    writer.write_all(&block_buf)?;
+                    next_block_addr += BLOCK_SIZE as u64;
+                    blocks_written += 1;
+                    entries_written += chunk.len() as u64;
+                }
+                table[(slot as usize) & (slots - 1)] = first_addr;
+                i = j;
+            }
+
+            // Stash table and filter bytes; written after the heap stream
+            // ends so the BufWriter never seeks backwards mid-stream.
+            let mut tbytes = Vec::with_capacity(slots * 8);
+            for &addr in &table {
+                tbytes.extend_from_slice(&addr.to_le_bytes());
+            }
+            table_writes.push((geometry.table_base(ri, li), tbytes));
+            let mut fbytes = Vec::with_capacity(filter.len() * 8);
+            for &w in &filter {
+                fbytes.extend_from_slice(&w.to_le_bytes());
+            }
+            table_writes.push((geometry.filter_base(ri, li), fbytes));
+        }
+    }
+
+    writer.flush()?;
+    let file: File = writer.into_inner().map_err(|e| e.into_error())?;
+    write_all_at(&file, &mut table_writes)?;
+
+    let total_bytes = next_block_addr;
+    let sb = Superblock {
+        n: n as u64,
+        capacity: capacity as u64,
+        dim: dataset.dim() as u32,
+        m: params.m as u32,
+        l: params.l as u32,
+        u_bits,
+        filter_bits,
+        c: params.c,
+        w: params.w,
+        gamma: params.gamma,
+        s: params.s as u64,
+        seed: config.seed,
+        radii: params.radii.clone(),
+        total_bytes,
+    };
+    let sb_bytes = sb.encode();
+    write_at(&file, 0, &sb_bytes)?;
+    file.sync_all()?;
+
+    Ok(BuildReport {
+        total_bytes,
+        table_bytes: geometry.num_tables() as u64 * geometry.table_bytes(),
+        heap_bytes: total_bytes - geometry.heap_base(),
+        blocks: blocks_written,
+        entries: entries_written,
+        u_bits,
+    })
+}
+
+fn write_all_at(file: &File, writes: &mut Vec<(u64, Vec<u8>)>) -> io::Result<()> {
+    for (addr, bytes) in writes.drain(..) {
+        write_at(file, addr, &bytes)?;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn write_at(file: &File, addr: u64, bytes: &[u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(bytes, addr)
+}
+
+#[cfg(not(unix))]
+fn write_at(_file: &File, _addr: u64, _bytes: &[u8]) -> io::Result<()> {
+    unimplemented!("index building requires unix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::temp_path;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock {
+            n: 12345,
+            capacity: 24690,
+            dim: 64,
+            m: 10,
+            l: 20,
+            u_bits: 12,
+            filter_bits: 15,
+            c: 2.0,
+            w: 4.0,
+            gamma: 1.2,
+            s: 40,
+            seed: 777,
+            radii: vec![1.0, 2.0, 4.0, 8.0],
+            total_bytes: 99999,
+        };
+        let enc = sb.encode();
+        assert_eq!(enc.len(), SUPERBLOCK_SIZE);
+        let dec = Superblock::decode(&enc).unwrap();
+        assert_eq!(dec.n, 12345);
+        assert_eq!(dec.radii, sb.radii);
+        assert_eq!(dec.seed, 777);
+        assert_eq!(dec.total_bytes, 99999);
+        assert_eq!(dec.filter_bits, 15);
+        assert_eq!(dec.capacity, 24690);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; SUPERBLOCK_SIZE];
+        assert!(Superblock::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn default_u_bits_sane() {
+        assert_eq!(default_u_bits(50_000), 10); // ceil(log2)=16, −6
+        assert_eq!(default_u_bits(1_000_000), 14);
+        // One billion: id_bits 30 forces u ≥ 22; default is 24.
+        let u = default_u_bits(1_000_000_000);
+        assert_eq!(u, 24);
+        // Tiny n clamps to 8.
+        assert_eq!(default_u_bits(100), 8);
+        // The codec constraint holds at the default for a wide n range.
+        for n in [100usize, 10_000, 1_000_000, 1_000_000_000] {
+            let _ = EntryCodec::new(n, default_u_bits(n));
+        }
+    }
+
+    #[test]
+    fn build_writes_consistent_image() {
+        use e2lsh_core::dataset::Dataset;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let rows: Vec<Vec<f32>> = (0..500)
+            .map(|_| (0..8).map(|_| rng.gen::<f32>() * 10.0).collect())
+            .collect();
+        let ds = Dataset::from_rows(&rows);
+        let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let path = temp_path("build_consistent.idx");
+        let report = build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        // Every object appears once per table.
+        assert_eq!(
+            report.entries,
+            (500 * params.l * params.num_radii()) as u64
+        );
+        assert!(report.total_bytes > 0);
+        assert_eq!(
+            report.heap_bytes,
+            report.blocks * BLOCK_SIZE as u64
+        );
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, report.total_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+}

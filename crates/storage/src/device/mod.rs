@@ -1,0 +1,134 @@
+//! Storage device abstraction.
+//!
+//! The query engine talks to storage through the [`Device`] trait, which
+//! exposes an asynchronous submit/poll interface (the shape of io_uring,
+//! SPDK and the XLFDD interface in the paper). Two families implement it:
+//!
+//! * [`sim::SimStorage`] — a discrete-event model of the paper's devices
+//!   (Table 2) operating in **virtual time**; data is served from a memory
+//!   or file backing while completion times come from a per-die service
+//!   model. Experiments use this: it reproduces the queue-depth-dependent
+//!   IOPS curves that drive the paper's entire analysis.
+//! * [`file::FileDevice`] — real positioned reads against an index file
+//!   through a worker-thread pool, operating in **wall time**. Tests and
+//!   the quickstart example use this to exercise the on-disk format and
+//!   the asynchronous engine against a real filesystem.
+
+pub mod file;
+pub mod sim;
+
+/// An asynchronous read request.
+#[derive(Clone, Copy, Debug)]
+pub struct IoRequest {
+    /// Byte offset into the index address space.
+    pub addr: u64,
+    /// Read length in bytes.
+    pub len: u32,
+    /// Caller-chosen identifier returned with the completion.
+    pub tag: u64,
+}
+
+/// A completed read.
+#[derive(Clone, Debug)]
+pub struct IoCompletion {
+    /// Tag from the originating [`IoRequest`].
+    pub tag: u64,
+    /// The bytes read.
+    pub data: Vec<u8>,
+    /// Completion time: virtual seconds for simulated devices, seconds
+    /// since engine start for wall-clock devices.
+    pub time: f64,
+}
+
+/// Cumulative device statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceStats {
+    /// I/Os completed.
+    pub completed: u64,
+    /// Bytes returned.
+    pub bytes: u64,
+    /// Sum of per-I/O latencies in seconds (completion − submission).
+    pub latency_sum: f64,
+    /// Sum of device busy time in seconds (for usage accounting; virtual
+    /// devices only).
+    pub busy_sum: f64,
+}
+
+impl DeviceStats {
+    /// Mean per-I/O latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.latency_sum / self.completed as f64
+        }
+    }
+}
+
+/// Asynchronous block storage.
+///
+/// `now` arguments carry the caller's virtual clock; wall-clock devices
+/// ignore them.
+pub trait Device: Send {
+    /// Queue a read. The device starts (virtual) service immediately.
+    fn submit(&mut self, req: IoRequest, now: f64);
+
+    /// Drain completions whose completion time is ≤ `now` (wall-clock
+    /// devices drain everything currently finished).
+    fn poll(&mut self, now: f64, out: &mut Vec<IoCompletion>);
+
+    /// Earliest pending completion time, if this device runs in virtual
+    /// time and has I/Os in flight. Wall-clock devices return `None`.
+    fn next_completion_time(&self) -> Option<f64>;
+
+    /// Block until at least one completion is available (wall-clock
+    /// devices). No-op for virtual devices.
+    fn wait(&mut self);
+
+    /// I/Os submitted but not yet delivered through [`Device::poll`].
+    fn inflight(&self) -> usize;
+
+    /// Synchronous read outside the simulation (superblock loading, table
+    /// scans at open, tests). Does not affect timing statistics.
+    fn read_sync(&mut self, addr: u64, len: u32) -> Vec<u8>;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> DeviceStats;
+}
+
+/// Storage access interface profile: the per-I/O CPU cost `T_request`
+/// (paper Table 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interface {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// CPU time one core spends issuing a single I/O, in seconds.
+    pub t_request: f64,
+}
+
+impl Interface {
+    /// io_uring v2.0: 1.0 µs per I/O (1.0 MIOPS/core).
+    pub const IO_URING: Interface = Interface {
+        name: "io_uring",
+        t_request: 1.0e-6,
+    };
+    /// SPDK 21.10: 350 ns per I/O (2.9 MIOPS/core).
+    pub const SPDK: Interface = Interface {
+        name: "SPDK",
+        t_request: 350.0e-9,
+    };
+    /// XLFDD lightweight interface: 50 ns per I/O (20 MIOPS/core).
+    pub const XLFDD: Interface = Interface {
+        name: "XLFDD",
+        t_request: 50.0e-9,
+    };
+    /// Synchronous memory-mapped I/O through the page cache (paper
+    /// Section 6.5): the CPU-side cost per fault-and-fill is far higher
+    /// than any asynchronous interface. The ~2.5 µs figure reflects the
+    /// paper's breakdown (page-cache CPU overhead ≈ 40% of a ~6 µs
+    /// per-I/O budget).
+    pub const MMAP_SYNC: Interface = Interface {
+        name: "mmap(sync)",
+        t_request: 2.5e-6,
+    };
+}

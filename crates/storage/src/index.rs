@@ -1,0 +1,276 @@
+//! Opening a built E2LSHoS index and its in-DRAM metadata.
+//!
+//! The paper keeps only "relatively small index-related data" in DRAM
+//! (Table 6): here that is the superblock-derived parameters, the
+//! regenerated hash family, and one occupancy bit per hash-table slot.
+//! The occupancy bitmap is what lets the query engine avoid issuing I/Os
+//! for empty buckets (Section 4.3: "empty buckets are not counted as it
+//! is easy to avoid issuing I/Os for them").
+
+use crate::build::Superblock;
+use crate::device::Device;
+use crate::layout::{EntryCodec, TableGeometry, SUPERBLOCK_SIZE};
+use e2lsh_core::lsh::HashFamily;
+use e2lsh_core::params::E2lshParams;
+use std::io;
+
+/// An opened on-storage index: DRAM-resident metadata; all buckets and
+/// tables stay on the device.
+pub struct StorageIndex {
+    params: E2lshParams,
+    family: HashFamily,
+    geometry: TableGeometry,
+    codec: EntryCodec,
+    /// One bit per slot per table: slot has a non-empty chain.
+    occupancy: Vec<Vec<u64>>,
+    n: usize,
+    dim: usize,
+    total_bytes: u64,
+}
+
+impl StorageIndex {
+    /// Open an index by reading its superblock from `device` and scanning
+    /// the hash tables to build the in-memory occupancy bitmaps.
+    pub fn open(device: &mut dyn Device) -> io::Result<Self> {
+        let sb_bytes = device.read_sync(0, SUPERBLOCK_SIZE as u32);
+        let sb = Superblock::decode(&sb_bytes)?;
+        Self::from_superblock(sb, device)
+    }
+
+    fn from_superblock(sb: Superblock, device: &mut dyn Device) -> io::Result<Self> {
+        let n = sb.n as usize;
+        let params = E2lshParams {
+            c: sb.c,
+            w: sb.w,
+            gamma: sb.gamma,
+            n,
+            m: sb.m as usize,
+            l: sb.l as usize,
+            s: sb.s as usize,
+            rho: 0.0, // informational only; recomputable from (w, c)
+            p1: e2lsh_core::params::collision_probability(sb.w as f64, 1.0),
+            p2: e2lsh_core::params::collision_probability(sb.w as f64, sb.c as f64),
+            radii: sb.radii.clone(),
+        };
+        let geometry = TableGeometry {
+            u_bits: sb.u_bits,
+            filter_bits: sb.filter_bits,
+            num_radii: sb.radii.len(),
+            l: sb.l as usize,
+        };
+        let codec = EntryCodec::new((sb.capacity as usize).max(n), sb.u_bits);
+        let family = HashFamily::generate(
+            sb.dim as usize,
+            sb.m as usize,
+            sb.w,
+            sb.l as usize,
+            &sb.radii,
+            sb.seed,
+        );
+
+        // Load the per-table occupancy filters into DRAM (the paper keeps
+        // only small index metadata in memory; this is that metadata).
+        let fbytes = geometry.filter_bytes_per_table() as usize;
+        let mut occupancy = Vec::with_capacity(geometry.num_tables());
+        for ri in 0..geometry.num_radii {
+            for li in 0..geometry.l {
+                let base = geometry.filter_base(ri, li);
+                let mut bits = vec![0u64; fbytes.div_ceil(8)];
+                let mut read = 0usize;
+                const CHUNK: usize = 1 << 20;
+                while read < fbytes {
+                    let len = CHUNK.min(fbytes - read);
+                    let buf = device.read_sync(base + read as u64, len as u32);
+                    for (i, chunk) in buf.chunks_exact(8).enumerate() {
+                        bits[read / 8 + i] = u64::from_le_bytes(chunk.try_into().unwrap());
+                    }
+                    read += len;
+                }
+                occupancy.push(bits);
+            }
+        }
+
+        Ok(Self {
+            params,
+            family,
+            geometry,
+            codec,
+            occupancy,
+            n,
+            dim: sb.dim as usize,
+            total_bytes: sb.total_bytes,
+        })
+    }
+
+    /// Index parameters (as stored in the superblock).
+    #[inline]
+    pub fn params(&self) -> &E2lshParams {
+        &self.params
+    }
+
+    /// The regenerated hash family.
+    #[inline]
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// Table geometry.
+    #[inline]
+    pub fn geometry(&self) -> TableGeometry {
+        self.geometry
+    }
+
+    /// Object-info codec.
+    #[inline]
+    pub fn codec(&self) -> EntryCodec {
+        self.codec
+    }
+
+    /// Number of indexed objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the index holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Point dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total index size on storage in bytes (Table 6's "Index storage").
+    #[inline]
+    pub fn storage_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// DRAM bytes held by this handle: the occupancy bitmaps plus the hash
+    /// family coefficients (Table 6's "(Index mem)").
+    pub fn mem_bytes(&self) -> usize {
+        let bitmaps: usize = self.occupancy.iter().map(|b| b.len() * 8).sum();
+        let family = self.geometry.num_tables() * self.params.m * (self.dim + 1) * 4;
+        bitmaps + family
+    }
+
+    /// True when some indexed object shares the first `filter_bits` bits
+    /// of hash value `h32` in table `(ri, li)` — i.e. the probe *may* find
+    /// candidates. A `false` return proves the true bucket is empty, so
+    /// the query engine skips the I/O entirely (paper Section 4.3).
+    #[inline]
+    pub fn filter_hit(&self, ri: usize, li: usize, h32: u64) -> bool {
+        let t = ri * self.geometry.l + li;
+        let prefix = (h32 & ((1u64 << self.geometry.filter_bits) - 1)) as usize;
+        (self.occupancy[t][prefix / 64] >> (prefix % 64)) & 1 == 1
+    }
+
+    /// Fraction of set filter bits over all tables (diagnostic).
+    pub fn occupancy_rate(&self) -> f64 {
+        let set: u64 = self
+            .occupancy
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|w| w.count_ones() as u64)
+            .sum();
+        let total =
+            self.geometry.num_tables() as u64 * (1u64 << self.geometry.filter_bits);
+        set as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, BuildConfig};
+    use crate::device::sim::{Backing, DeviceProfile, SimStorage};
+    use crate::testutil::temp_path;
+    use e2lsh_core::dataset::Dataset;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..8).map(|_| rng.gen::<f32>() * 10.0).collect())
+            .collect();
+        Dataset::from_rows(&rows)
+    }
+
+    #[test]
+    fn open_roundtrips_parameters() {
+        let ds = tiny_dataset(400);
+        let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let path = temp_path("open_roundtrip.idx");
+        let cfg = BuildConfig {
+            seed: 99,
+            ..Default::default()
+        };
+        build_index(&ds, &params, &cfg, &path).unwrap();
+        let mut dev = SimStorage::new(
+            DeviceProfile::ESSD,
+            1,
+            Backing::open(&path).unwrap(),
+        );
+        let idx = StorageIndex::open(&mut dev).unwrap();
+        assert_eq!(idx.len(), 400);
+        assert_eq!(idx.dim(), 8);
+        assert_eq!(idx.params().l, params.l);
+        assert_eq!(idx.params().m, params.m);
+        assert_eq!(idx.params().radii, params.radii);
+        assert_eq!(idx.family().seed(), 99);
+        assert!(idx.storage_bytes() > 0);
+        assert!(idx.mem_bytes() > 0);
+        // DRAM footprint must be far below the storage footprint.
+        assert!((idx.mem_bytes() as u64) < idx.storage_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn occupancy_filter_is_exact_on_prefixes() {
+        use e2lsh_core::lsh::hash_v_bits;
+        let ds = tiny_dataset(300);
+        let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let path = temp_path("occupancy.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        let mut dev = SimStorage::new(
+            DeviceProfile::ESSD,
+            1,
+            Backing::open(&path).unwrap(),
+        );
+        let idx = StorageIndex::open(&mut dev).unwrap();
+        let rate = idx.occupancy_rate();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+        // Recompute the hashes of table (0, 0): every object hash must hit
+        // the filter, and the number of set bits must equal the number of
+        // distinct prefixes (the filter is exact, not probabilistic).
+        let g = idx.geometry();
+        let mask = (1u64 << g.filter_bits) - 1;
+        let mut scratch = Vec::new();
+        let mut prefixes = std::collections::HashSet::new();
+        let radius = idx.params().radii[0];
+        for oid in 0..ds.len() {
+            let key = idx
+                .family()
+                .compound(0, 0)
+                .hash64(ds.point(oid), radius, &mut scratch);
+            let h32 = hash_v_bits(key, 32);
+            assert!(idx.filter_hit(0, 0, h32), "object {oid} must hit");
+            prefixes.insert(h32 & mask);
+        }
+        // A fresh random prefix misses unless it collides with a real one.
+        let mut misses = 0;
+        for t in 0..1000u64 {
+            let h = e2lsh_core::fxhash::splitmix64(t) & mask;
+            if !idx.filter_hit(0, 0, h) {
+                misses += 1;
+                assert!(!prefixes.contains(&h), "filter lied about {h}");
+            }
+        }
+        assert!(misses > 0, "some random prefixes must miss");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,728 @@
+//! Asynchronous E2LSHoS query processing (paper Section 5.4, Figure 10).
+//!
+//! Each query is a small state machine: per search radius it (1) computes
+//! its `L` compound hash values, (2) issues reads for the hash-table slots
+//! of the non-empty buckets, (3) on each slot completion issues a read for
+//! the first bucket block, (4) on each block completion fingerprint-filters
+//! the entries, distance-checks the survivors against the DRAM-resident
+//! coordinates, and follows the chain pointer while the candidate budget
+//! `S` lasts. When all `L` probes of a radius finish, the `(R, c)`-NN
+//! success test either ends the query or escalates the radius.
+//!
+//! Multiple queries are interleaved (the paper's "context switching") so
+//! many I/Os are in flight at once, which is what lets flash devices reach
+//! their saturated random-read IOPS.
+//!
+//! The engine is generic over [`Device`], so the same state machine runs
+//! against the virtual-time simulated devices (experiments) and against a
+//! real index file through the worker-pool [`FileDevice`]
+//! (tests, examples).
+//!
+//! [`FileDevice`]: crate::device::file::FileDevice
+
+use crate::device::{Device, DeviceStats, Interface, IoCompletion, IoRequest};
+use crate::engine::CostModel;
+use crate::index::StorageIndex;
+use crate::layout::{split_hash, BucketBlock, BLOCK_SIZE};
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::distance::dist2;
+use e2lsh_core::fxhash::FxHashSet;
+use e2lsh_core::lsh::hash_v_bits;
+use e2lsh_core::search::TopK;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Queries processed concurrently (the paper interleaves queries to
+    /// raise the queue depth).
+    pub contexts: usize,
+    /// Maximum outstanding I/Os per query; `L` probes are issued eagerly
+    /// up to this limit. 0 means unlimited. Set to 1 together with
+    /// [`Interface::MMAP_SYNC`] to model the paper's synchronous
+    /// memory-mapped baseline (Section 6.5).
+    pub per_query_io_limit: usize,
+    /// Storage interface (per-I/O CPU overhead `T_request`, Table 3).
+    pub interface: Interface,
+    /// CPU cost model; [`CostModel::zero`] for wall-clock runs.
+    pub cost: CostModel,
+    /// Neighbors to return per query.
+    pub k: usize,
+    /// Candidate budget override (default `params.s_for_k(k)`).
+    pub s_override: Option<usize>,
+    /// Radius cap (default: the full schedule).
+    pub max_radii: Option<usize>,
+    /// Skip I/Os for slots the occupancy bitmap marks empty (paper
+    /// Section 4.3); disable to measure the unfiltered I/O count.
+    pub use_occupancy_filter: bool,
+    /// True = virtual-time simulation; false = wall-clock execution.
+    pub virtual_time: bool,
+}
+
+impl EngineConfig {
+    /// Virtual-time configuration with deterministic costs (experiments).
+    pub fn simulated(interface: Interface, k: usize) -> Self {
+        Self {
+            contexts: 64,
+            per_query_io_limit: 0,
+            interface,
+            cost: CostModel::deterministic(),
+            k,
+            s_override: None,
+            max_radii: None,
+            use_occupancy_filter: true,
+            virtual_time: true,
+        }
+    }
+
+    /// Wall-clock configuration (real I/O through a [`FileDevice`]).
+    ///
+    /// [`FileDevice`]: crate::device::file::FileDevice
+    pub fn wall_clock(k: usize) -> Self {
+        Self {
+            contexts: 16,
+            per_query_io_limit: 0,
+            interface: Interface {
+                name: "thread-pool",
+                t_request: 0.0,
+            },
+            cost: CostModel::zero(),
+            k,
+            s_override: None,
+            max_radii: None,
+            use_occupancy_filter: true,
+            virtual_time: false,
+        }
+    }
+
+    /// The paper's synchronous baseline: one query at a time, one I/O at a
+    /// time, heavyweight per-I/O CPU cost (Section 6.5).
+    pub fn synchronous(k: usize) -> Self {
+        Self {
+            contexts: 1,
+            per_query_io_limit: 1,
+            interface: Interface::MMAP_SYNC,
+            cost: CostModel::deterministic(),
+            k,
+            s_override: None,
+            max_radii: None,
+            use_occupancy_filter: true,
+            virtual_time: true,
+        }
+    }
+}
+
+/// Per-query results and counters.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutcome {
+    /// Up to `k` neighbors `(id, distance)`, ascending.
+    pub neighbors: Vec<(u32, f32)>,
+    /// Hash-table slot reads issued.
+    pub table_reads: u32,
+    /// Bucket block reads issued.
+    pub block_reads: u32,
+    /// Radii searched.
+    pub radii_searched: u32,
+    /// Fingerprint-matching candidates examined (counts toward `S`).
+    pub candidates: u32,
+    /// Distinct objects distance-checked.
+    pub dist_comps: u32,
+    /// Entries skipped by the fingerprint check.
+    pub fp_rejects: u32,
+    /// Query admission time (seconds, virtual or wall).
+    pub start_time: f64,
+    /// Query completion time.
+    pub finish_time: f64,
+}
+
+impl QueryOutcome {
+    /// Total I/Os this query issued (`N_IO`).
+    pub fn n_io(&self) -> u32 {
+        self.table_reads + self.block_reads
+    }
+}
+
+/// Aggregate batch results.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-query outcomes in query order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// End-to-end time for the whole batch (virtual or wall seconds).
+    pub makespan: f64,
+    /// CPU time spent on computation (hashing, scanning, distances).
+    pub cpu_compute: f64,
+    /// CPU time spent issuing I/Os (`N_IO · T_request`) — the paper's
+    /// "I/O cost" in Figure 12.
+    pub cpu_io: f64,
+    /// Device-side statistics.
+    pub device: DeviceStats,
+}
+
+impl BatchReport {
+    /// Queries per second over the batch.
+    pub fn qps(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.outcomes.len() as f64 / self.makespan
+        }
+    }
+
+    /// Mean per-query time (the paper's "query time" under interleaving:
+    /// batch time divided by query count).
+    pub fn mean_query_time(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.makespan / self.outcomes.len() as f64
+        }
+    }
+
+    /// Mean per-query latency (admission → completion).
+    pub fn mean_latency(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.finish_time - o.start_time)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Mean I/Os per query (`N_IO` of the cost model).
+    pub fn mean_n_io(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.n_io() as f64).sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Mean radii searched (`r̄` of Table 4).
+    pub fn mean_radii(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.radii_searched as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+}
+
+const KIND_TABLE: u64 = 0;
+const KIND_BUCKET: u64 = 1;
+
+#[inline]
+fn make_tag(ctx: usize, kind: u64, li: usize) -> u64 {
+    ((ctx as u64) << 32) | (kind << 31) | li as u64
+}
+
+#[inline]
+fn parse_tag(tag: u64) -> (usize, u64, usize) {
+    (
+        (tag >> 32) as usize,
+        (tag >> 31) & 1,
+        (tag & 0x7fff_ffff) as usize,
+    )
+}
+
+/// One in-flight query's state.
+struct Ctx {
+    qi: usize,
+    active: bool,
+    radius_idx: usize,
+    /// Per-l (slot, fingerprint) for the current radius.
+    /// Per-l 32-bit hash value of the query at the current radius
+    /// (slot index and fingerprint both derive from it).
+    probes: Vec<u64>,
+    next_l: usize,
+    outstanding: u32,
+    examined: usize,
+    budget: usize,
+    seen: FxHashSet<u32>,
+    topk: TopK,
+    out: QueryOutcome,
+}
+
+/// Run a batch of queries against an opened index.
+///
+/// `dataset` supplies the DRAM-resident coordinates for distance checks
+/// (the paper keeps the database in memory; only the hash index is on
+/// storage).
+pub fn run_queries(
+    index: &StorageIndex,
+    dataset: &Dataset,
+    queries: &Dataset,
+    config: &EngineConfig,
+    device: &mut dyn Device,
+) -> BatchReport {
+    assert_eq!(dataset.len(), index.len(), "dataset/index mismatch");
+    assert_eq!(dataset.dim(), index.dim());
+    assert_eq!(queries.dim(), index.dim());
+    assert!(config.contexts >= 1 && config.k >= 1);
+
+    let params = index.params();
+    let geometry = index.geometry();
+    let codec = index.codec();
+    let num_radii = params
+        .num_radii()
+        .min(config.max_radii.unwrap_or(usize::MAX));
+    let budget = config.s_override.unwrap_or_else(|| params.s_for_k(config.k));
+    let io_limit = if config.per_query_io_limit == 0 {
+        u32::MAX
+    } else {
+        config.per_query_io_limit as u32
+    };
+
+    let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); queries.len()];
+    let mut clock = 0.0f64;
+    let mut cpu_compute = 0.0f64;
+    let mut cpu_io = 0.0f64;
+    let wall_start = Instant::now();
+    let mut scratch: Vec<i32> = Vec::new();
+    let mut next_query = 0usize;
+
+    let nctx = config.contexts.min(queries.len().max(1));
+    let mut ctxs: Vec<Ctx> = (0..nctx)
+        .map(|_| Ctx {
+            qi: 0,
+            active: false,
+            radius_idx: 0,
+            probes: Vec::with_capacity(params.l),
+            next_l: 0,
+            outstanding: 0,
+            examined: 0,
+            budget,
+            seen: FxHashSet::default(),
+            topk: TopK::new(config.k),
+            out: QueryOutcome::default(),
+        })
+        .collect();
+
+    // --- helpers as closures over the engine state ---------------------
+
+    macro_rules! charge_compute {
+        ($cost:expr) => {{
+            let c = $cost;
+            clock += c;
+            cpu_compute += c;
+        }};
+    }
+    macro_rules! charge_io {
+        () => {{
+            clock += config.interface.t_request;
+            cpu_io += config.interface.t_request;
+        }};
+    }
+
+    // Start (or restart at the next radius) a context; issues I/Os or
+    // completes the query. Returns true if the query finished.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_radius(
+        ctx: &mut Ctx,
+        index: &StorageIndex,
+        queries: &Dataset,
+        config: &EngineConfig,
+        scratch: &mut Vec<i32>,
+        clock: &mut f64,
+        cpu_compute: &mut f64,
+    ) {
+        let params = index.params();
+        let family = index.family();
+        let q = queries.point(ctx.qi);
+        let radius = family.radius(ctx.radius_idx);
+        ctx.probes.clear();
+        for li in 0..params.l {
+            let key64 = family.compound(ctx.radius_idx, li).hash64(q, radius, scratch);
+            ctx.probes.push(hash_v_bits(key64, crate::layout::HASH_BITS));
+        }
+        let c = params.l as f64 * config.cost.hash_cost(params.m, queries.dim());
+        *clock += c;
+        *cpu_compute += c;
+        ctx.next_l = 0;
+        ctx.examined = 0;
+        ctx.out.radii_searched += 1;
+    }
+
+    // Issue table reads up to the per-query limit. Separate free fn to
+    // appease the borrow checker around `device`.
+    fn pump(
+        ctx: &mut Ctx,
+        ci: usize,
+        index: &StorageIndex,
+        config: &EngineConfig,
+        device: &mut dyn Device,
+        clock: &mut f64,
+        cpu_io: &mut f64,
+        io_limit: u32,
+    ) {
+        let geometry = index.geometry();
+        while ctx.outstanding < io_limit && ctx.next_l < ctx.probes.len() {
+            let li = ctx.next_l;
+            ctx.next_l += 1;
+            if ctx.examined >= ctx.budget {
+                // Budget exhausted: stop issuing probes for this radius.
+                ctx.next_l = ctx.probes.len();
+                break;
+            }
+            let h32 = ctx.probes[li];
+            if config.use_occupancy_filter && !index.filter_hit(ctx.radius_idx, li, h32) {
+                continue; // provably empty bucket: no I/O (paper Sec. 4.3)
+            }
+            let (slot, _) = split_hash(h32, geometry.u_bits);
+            let addr = geometry.slot_addr(ctx.radius_idx, li, slot);
+            // Read the 512-byte region containing the slot (the device's
+            // minimum transfer; the paper counts it as one I/O).
+            let aligned = addr & !(BLOCK_SIZE as u64 - 1);
+            *clock += config.interface.t_request;
+            *cpu_io += config.interface.t_request;
+            device.submit(
+                IoRequest {
+                    addr: aligned,
+                    len: BLOCK_SIZE as u32,
+                    tag: make_tag(ci, KIND_TABLE, li),
+                },
+                *clock,
+            );
+            ctx.outstanding += 1;
+            ctx.out.table_reads += 1;
+        }
+    }
+
+    // Admit a fresh query into context `ci`; returns false when the queue
+    // is empty.
+    macro_rules! admit {
+        ($ci:expr) => {{
+            let ci = $ci;
+            if next_query >= queries.len() {
+                ctxs[ci].active = false;
+                false
+            } else {
+                let qi = next_query;
+                next_query += 1;
+                let c = &mut ctxs[ci];
+                c.qi = qi;
+                c.active = true;
+                c.radius_idx = 0;
+                c.outstanding = 0;
+                c.seen.clear();
+                c.topk = TopK::new(config.k);
+                c.out = QueryOutcome::default();
+                c.out.start_time = clock;
+                begin_radius(
+                    c,
+                    index,
+                    queries,
+                    config,
+                    &mut scratch,
+                    &mut clock,
+                    &mut cpu_compute,
+                );
+                pump(c, ci, index, config, device, &mut clock, &mut cpu_io, io_limit);
+                // A radius may issue nothing (all slots empty): advance.
+                advance_if_idle(
+                    ci,
+                    &mut ctxs,
+                    index,
+                    queries,
+                    config,
+                    device,
+                    &mut scratch,
+                    &mut clock,
+                    &mut cpu_compute,
+                    &mut cpu_io,
+                    &mut outcomes,
+                    num_radii,
+                    io_limit,
+                );
+                true
+            }
+        }};
+    }
+
+    // When a context has no outstanding I/O, drive it forward: success
+    // check → next radius → … → completion.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_if_idle(
+        ci: usize,
+        ctxs: &mut [Ctx],
+        index: &StorageIndex,
+        queries: &Dataset,
+        config: &EngineConfig,
+        device: &mut dyn Device,
+        scratch: &mut Vec<i32>,
+        clock: &mut f64,
+        cpu_compute: &mut f64,
+        cpu_io: &mut f64,
+        outcomes: &mut [QueryOutcome],
+        num_radii: usize,
+        io_limit: u32,
+    ) {
+        let params = index.params();
+        loop {
+            let ctx = &mut ctxs[ci];
+            if !ctx.active || ctx.outstanding > 0 {
+                return;
+            }
+            if ctx.next_l < ctx.probes.len() && ctx.examined < ctx.budget {
+                pump(ctx, ci, index, config, device, clock, cpu_io, io_limit);
+                if ctx.outstanding > 0 {
+                    return;
+                }
+                continue;
+            }
+            // Radius finished: (R, c)-NN success test.
+            let radius = index.family().radius(ctx.radius_idx);
+            let c_r = params.c * radius;
+            let success = ctx.topk.len() >= config.k && ctx.topk.worst_d2() <= c_r * c_r;
+            if success || ctx.radius_idx + 1 >= num_radii {
+                // Query complete.
+                ctx.out.finish_time = *clock;
+                let topk = std::mem::replace(&mut ctx.topk, TopK::new(config.k));
+                ctx.out.neighbors = topk.into_sorted();
+                outcomes[ctx.qi] = std::mem::take(&mut ctx.out);
+                ctx.active = false;
+                return;
+            }
+            ctx.radius_idx += 1;
+            begin_radius(ctx, index, queries, config, scratch, clock, cpu_compute);
+            pump(ctx, ci, index, config, device, clock, cpu_io, io_limit);
+            if ctx.outstanding > 0 {
+                return;
+            }
+        }
+    }
+
+    // --- admission ------------------------------------------------------
+    let mut idle_slots: Vec<usize> = Vec::new();
+    for ci in 0..nctx {
+        if !admit!(ci) {
+            break;
+        }
+        if !ctxs[ci].active {
+            idle_slots.push(ci);
+        }
+    }
+    // Contexts that completed instantly need replacement queries.
+    while let Some(ci) = idle_slots.pop() {
+        if !admit!(ci) {
+            break;
+        }
+        if !ctxs[ci].active {
+            idle_slots.push(ci);
+        }
+    }
+
+    // --- main event loop --------------------------------------------------
+    let mut completions: Vec<IoCompletion> = Vec::new();
+    loop {
+        completions.clear();
+        let poll_now = if config.virtual_time { clock } else { f64::MAX };
+        device.poll(poll_now, &mut completions);
+        if completions.is_empty() {
+            if device.inflight() > 0 {
+                if let Some(t) = device.next_completion_time() {
+                    clock = clock.max(t);
+                } else {
+                    device.wait();
+                }
+                continue;
+            }
+            // Nothing in flight anywhere: all queries must be done.
+            debug_assert!(ctxs.iter().all(|c| !c.active));
+            break;
+        }
+        for comp in completions.drain(..) {
+            clock = clock.max(comp.time);
+            let (ci, kind, li) = parse_tag(comp.tag);
+            let ctx = &mut ctxs[ci];
+            debug_assert!(ctx.active);
+            ctx.outstanding -= 1;
+            if kind == KIND_TABLE {
+                // Extract the 8-byte chain head for this slot.
+                let (slot, _) = split_hash(ctx.probes[li], geometry.u_bits);
+                let addr = geometry.slot_addr(ctx.radius_idx, li, slot);
+                let off = (addr & (BLOCK_SIZE as u64 - 1)) as usize;
+                let head = u64::from_le_bytes(
+                    comp.data[off..off + 8].try_into().expect("slot bytes"),
+                );
+                charge_compute!(config.cost.block_fixed);
+                if head != 0 && ctx.examined < ctx.budget {
+                    charge_io!();
+                    device.submit(
+                        IoRequest {
+                            addr: head,
+                            len: BLOCK_SIZE as u32,
+                            tag: make_tag(ci, KIND_BUCKET, li),
+                        },
+                        clock,
+                    );
+                    ctx.outstanding += 1;
+                    ctx.out.block_reads += 1;
+                }
+            } else {
+                // Bucket block: fingerprint-filter and distance-check.
+                let block = BucketBlock::decode(&codec, &comp.data);
+                charge_compute!(config.cost.block_cost(block.entries.len()));
+                let (_, fp) = split_hash(ctx.probes[li], geometry.u_bits);
+                let want_fp = fp & codec.fp_mask();
+                if ctx.examined < ctx.budget {
+                    let q = queries.point(ctx.qi);
+                    for &(id, fp) in &block.entries {
+                        if ctx.examined >= ctx.budget {
+                            break;
+                        }
+                        if fp != want_fp {
+                            ctx.out.fp_rejects += 1;
+                            continue;
+                        }
+                        ctx.examined += 1;
+                        ctx.out.candidates += 1;
+                        if ctx.seen.insert(id) {
+                            ctx.out.dist_comps += 1;
+                            charge_compute!(config.cost.dist_cost(dataset.dim()));
+                            let d2 = dist2(q, dataset.point(id as usize));
+                            ctx.topk.offer(id, d2);
+                        }
+                    }
+                    if block.next != 0 && ctx.examined < ctx.budget {
+                        charge_io!();
+                        device.submit(
+                            IoRequest {
+                                addr: block.next,
+                                len: BLOCK_SIZE as u32,
+                                tag: make_tag(ci, KIND_BUCKET, li),
+                            },
+                            clock,
+                        );
+                        ctx.outstanding += 1;
+                        ctx.out.block_reads += 1;
+                    }
+                }
+            }
+            // Keep the probe pipeline full / finish the radius.
+            pump(
+                &mut ctxs[ci],
+                ci,
+                index,
+                config,
+                device,
+                &mut clock,
+                &mut cpu_io,
+                io_limit,
+            );
+            advance_if_idle(
+                ci,
+                &mut ctxs,
+                index,
+                queries,
+                config,
+                device,
+                &mut scratch,
+                &mut clock,
+                &mut cpu_compute,
+                &mut cpu_io,
+                &mut outcomes,
+                num_radii,
+                io_limit,
+            );
+            if !ctxs[ci].active {
+                // Slot freed: admit the next query (possibly several if
+                // they complete without I/O).
+                while admit!(ci) {
+                    if ctxs[ci].active {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let makespan = if config.virtual_time {
+        clock
+    } else {
+        wall_start.elapsed().as_secs_f64()
+    };
+    BatchReport {
+        outcomes,
+        makespan,
+        cpu_compute,
+        cpu_io,
+        device: device.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for &(ctx, kind, li) in &[
+            (0usize, KIND_TABLE, 0usize),
+            (63, KIND_BUCKET, 50),
+            (1000, KIND_TABLE, 0x7fff_fff0),
+            (u32::MAX as usize, KIND_BUCKET, 1),
+        ] {
+            let tag = make_tag(ctx, kind, li);
+            assert_eq!(parse_tag(tag), (ctx, kind, li), "ctx={ctx} li={li}");
+        }
+    }
+
+    #[test]
+    fn batch_report_math() {
+        let mk = |start: f64, finish: f64, t: u32, b: u32| QueryOutcome {
+            start_time: start,
+            finish_time: finish,
+            table_reads: t,
+            block_reads: b,
+            radii_searched: 2,
+            ..Default::default()
+        };
+        let report = BatchReport {
+            outcomes: vec![mk(0.0, 1.0, 3, 2), mk(0.5, 2.5, 5, 4)],
+            makespan: 4.0,
+            cpu_compute: 1.0,
+            cpu_io: 0.5,
+            device: crate::device::DeviceStats::default(),
+        };
+        assert_eq!(report.qps(), 0.5);
+        assert_eq!(report.mean_query_time(), 2.0);
+        assert_eq!(report.mean_latency(), 1.5);
+        assert_eq!(report.mean_n_io(), (5.0 + 9.0) / 2.0);
+        assert_eq!(report.mean_radii(), 2.0);
+    }
+
+    #[test]
+    fn empty_batch_report_is_safe() {
+        let report = BatchReport {
+            outcomes: vec![],
+            makespan: 0.0,
+            cpu_compute: 0.0,
+            cpu_io: 0.0,
+            device: crate::device::DeviceStats::default(),
+        };
+        assert_eq!(report.qps(), 0.0);
+        assert_eq!(report.mean_query_time(), 0.0);
+        assert_eq!(report.mean_latency(), 0.0);
+        assert_eq!(report.mean_n_io(), 0.0);
+    }
+
+    #[test]
+    fn config_presets_are_coherent() {
+        let sim = EngineConfig::simulated(Interface::SPDK, 5);
+        assert!(sim.virtual_time);
+        assert_eq!(sim.k, 5);
+        assert_eq!(sim.interface.name, "SPDK");
+        let wall = EngineConfig::wall_clock(1);
+        assert!(!wall.virtual_time);
+        assert_eq!(wall.cost.hash_cost(16, 128), 0.0);
+        let sync = EngineConfig::synchronous(1);
+        assert_eq!(sync.contexts, 1);
+        assert_eq!(sync.per_query_io_limit, 1);
+        assert!(sync.interface.t_request >= Interface::IO_URING.t_request);
+    }
+}

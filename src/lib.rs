@@ -1,0 +1,38 @@
+//! # e2lshos
+//!
+//! Facade crate for the E2LSH-on-Storage workspace — a reproduction of
+//! *"Implementing and Evaluating E2LSH on Storage"* (EDBT 2023).
+//!
+//! Re-exports the public API of the member crates:
+//!
+//! * [`core`] ([`e2lsh_core`]) — LSH primitives, parameter derivation and
+//!   the in-memory E2LSH index;
+//! * [`storage`] ([`e2lsh_storage`]) — the flash-resident E2LSHoS index
+//!   with asynchronous I/O, simulated and real device backends;
+//! * [`baselines`] ([`ann_baselines`]) — SRS and QALSH with their R-tree
+//!   and B+-tree substrates;
+//! * [`datasets`] ([`ann_datasets`]) — the synthetic evaluation suite,
+//!   ground truth and accuracy metrics;
+//! * [`analysis`] ([`e2lsh_analysis`]) — the paper's query-time cost
+//!   models and storage requirement solvers.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour, and `DESIGN.md`
+//! for the experiment index.
+
+pub use ann_baselines as baselines;
+pub use ann_datasets as datasets;
+pub use e2lsh_analysis as analysis;
+pub use e2lsh_core as core;
+pub use e2lsh_storage as storage;
+
+/// Convenience prelude with the most common types.
+pub mod prelude {
+    pub use ann_datasets::suite::DatasetId;
+    pub use e2lsh_core::{knn_search, Dataset, E2lshParams, MemIndex, SearchOptions};
+    pub use e2lsh_storage::build::{build_index, BuildConfig};
+    pub use e2lsh_storage::device::file::FileDevice;
+    pub use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+    pub use e2lsh_storage::device::Interface;
+    pub use e2lsh_storage::index::StorageIndex;
+    pub use e2lsh_storage::query::{run_queries, EngineConfig};
+}

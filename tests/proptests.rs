@@ -1,0 +1,177 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants (proptest).
+
+use e2lshos::core::dataset::Dataset;
+use e2lshos::core::lsh::mix_hash_values;
+use e2lshos::core::params::collision_probability;
+use e2lshos::core::search::TopK;
+use e2lshos::datasets::metrics::{overall_ratio, recall};
+use e2lshos::storage::layout::{split_hash, BucketBlock, EntryCodec, ENTRIES_PER_BLOCK};
+use proptest::prelude::*;
+
+proptest! {
+    /// p_w(s) is a probability, monotone decreasing in s, increasing in w.
+    #[test]
+    fn collision_probability_laws(
+        w in 0.1f64..50.0,
+        s1 in 0.01f64..100.0,
+        delta in 0.01f64..100.0,
+    ) {
+        let s2 = s1 + delta;
+        let p1 = collision_probability(w, s1);
+        let p2 = collision_probability(w, s2);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 <= p1 + 1e-12, "monotone in s: p({s1})={p1} p({s2})={p2}");
+        let pw2 = collision_probability(w * 2.0, s1);
+        prop_assert!(pw2 + 1e-12 >= p1, "monotone in w");
+    }
+
+    /// Bucket blocks round-trip any legal entry set.
+    #[test]
+    fn bucket_block_roundtrip(
+        next in 0u64..u64::MAX / 2,
+        ids in proptest::collection::vec(0u32..1_000_000, 0..=ENTRIES_PER_BLOCK),
+        fp_seed in 0u32..u32::MAX,
+    ) {
+        let codec = EntryCodec::new(1_000_000, 18);
+        let entries: Vec<(u32, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (fp_seed.wrapping_add(i as u32)) & codec.fp_mask()))
+            .collect();
+        let block = BucketBlock { next, entries };
+        let mut buf = Vec::new();
+        block.encode(&codec, &mut buf);
+        prop_assert_eq!(buf.len(), e2lshos::storage::layout::BLOCK_SIZE);
+        let back = BucketBlock::decode(&codec, &buf);
+        prop_assert_eq!(back, block);
+    }
+
+    /// Splitting a hash into (table index, fingerprint) loses nothing.
+    #[test]
+    fn split_hash_reversible(h in 0u64..(1u64 << 32), u in 1u32..=32) {
+        let (idx, fp) = split_hash(h, u);
+        let rebuilt = if u == 64 { idx } else { ((fp as u64) << u) | idx };
+        prop_assert_eq!(rebuilt, h);
+    }
+
+    /// TopK returns exactly the k smallest distances, sorted.
+    #[test]
+    fn topk_matches_sorting(
+        d2s in proptest::collection::vec(0.0f32..1e6, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut topk = TopK::new(k);
+        for (i, &d2) in d2s.iter().enumerate() {
+            topk.offer(i as u32, d2);
+        }
+        let got = topk.into_sorted();
+        let mut expect: Vec<f32> = d2s.iter().map(|d| d.sqrt()).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(k);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g.1 - e).abs() <= 1e-3 * (1.0 + e.abs()));
+        }
+    }
+
+    /// Overall ratio ≥ 1, equals 1 on perfect results; recall ∈ [0, 1].
+    #[test]
+    fn metric_laws(
+        dists in proptest::collection::vec(0.01f32..1e3, 1..30),
+        k in 1usize..10,
+    ) {
+        let mut gt: Vec<(u32, f32)> = dists
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as u32, d))
+            .collect();
+        gt.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let r = overall_ratio(&gt, &gt, k);
+        prop_assert!((r - 1.0).abs() < 1e-9);
+        let rec = recall(&gt, &gt, k);
+        prop_assert!((rec - 1.0).abs() < 1e-9);
+        // Degrade: double every distance (different ids).
+        let worse: Vec<(u32, f32)> = gt
+            .iter()
+            .map(|&(id, d)| (id + 1000, d * 2.0))
+            .collect();
+        prop_assert!(overall_ratio(&worse, &gt, k) >= 1.0);
+        prop_assert!(recall(&worse, &gt, k) <= 1.0);
+    }
+
+    /// Hash mixing: equal inputs collide, different inputs (almost) never.
+    #[test]
+    fn mix_is_deterministic_and_spread(
+        a in proptest::collection::vec(-1000i32..1000, 1..16),
+    ) {
+        prop_assert_eq!(mix_hash_values(&a), mix_hash_values(&a));
+        let mut b = a.clone();
+        b[0] = b[0].wrapping_add(1);
+        prop_assert_ne!(mix_hash_values(&a), mix_hash_values(&b));
+    }
+
+    /// Dataset prefix is a true prefix.
+    #[test]
+    fn dataset_prefix_props(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 4),
+            1..50,
+        ),
+        take in 0usize..60,
+    ) {
+        let ds = Dataset::from_rows(&rows);
+        let p = ds.prefix(take);
+        prop_assert_eq!(p.len(), take.min(ds.len()));
+        for i in 0..p.len() {
+            prop_assert_eq!(p.point(i), ds.point(i));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Simulated device: completions never precede submissions, all I/Os
+    /// complete, throughput never exceeds the profile's maximum.
+    #[test]
+    fn device_conservation(
+        num_ios in 1usize..500,
+        qd in 1usize..64,
+    ) {
+        use e2lshos::prelude::{Backing, DeviceProfile, SimStorage};
+        use e2lshos::storage::device::{Device, IoRequest};
+        let mut dev = SimStorage::new(
+            DeviceProfile::CSSD,
+            1,
+            Backing::Mem(vec![0u8; 1 << 16]),
+        );
+        let mut now = 0.0f64;
+        let mut done = 0usize;
+        let mut submitted = 0usize;
+        let mut out = Vec::new();
+        while done < num_ios {
+            while submitted - done < qd && submitted < num_ios {
+                dev.submit(
+                    IoRequest {
+                        addr: (submitted as u64 * 512 * 7) % (1 << 16),
+                        len: 512,
+                        tag: submitted as u64,
+                    },
+                    now,
+                );
+                submitted += 1;
+            }
+            let t = dev.next_completion_time().expect("inflight");
+            prop_assert!(t >= now - 1e-12, "completion {t} before now {now}");
+            now = t;
+            out.clear();
+            dev.poll(now, &mut out);
+            done += out.len();
+        }
+        prop_assert_eq!(done, num_ios);
+        prop_assert_eq!(dev.inflight(), 0);
+        let min_time = num_ios as f64 / (DeviceProfile::CSSD.max_kiops * 1e3);
+        prop_assert!(now + 1e-9 >= min_time, "faster than the device allows");
+    }
+}
