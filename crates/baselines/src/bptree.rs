@@ -120,9 +120,7 @@ impl BPlusTree {
             Some(mut node) => loop {
                 *node_visits += 1;
                 let inner = &self.inners[node as usize];
-                let pos = inner
-                    .separators
-                    .partition_point(|&s| s <= key);
+                let pos = inner.separators.partition_point(|&s| s <= key);
                 let child = inner.children[pos];
                 if inner.leaf_children {
                     break child as usize;
@@ -233,7 +231,12 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn tree_of(keys: &[f32]) -> BPlusTree {
-        BPlusTree::bulk_load(keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect())
+        BPlusTree::bulk_load(
+            keys.iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u32))
+                .collect(),
+        )
     }
 
     #[test]

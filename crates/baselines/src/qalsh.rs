@@ -242,8 +242,8 @@ impl Qalsh {
             // frontier has consumed the whole database in every tree.
             let c_r = c * radius;
             let success = topk.len() >= k && topk.worst_d2() <= c_r * c_r;
-            let exhausted = stats.candidates >= budget
-                || stats.entries_scanned >= self.n * self.params.k_funcs;
+            let exhausted =
+                stats.candidates >= budget || stats.entries_scanned >= self.n * self.params.k_funcs;
             if success || exhausted {
                 break;
             }

@@ -48,11 +48,11 @@ impl Rect {
     /// Squared minimum distance from `q` to this rectangle.
     fn min_dist2(&self, q: &[f32]) -> f32 {
         let mut s = 0.0f32;
-        for i in 0..q.len() {
-            let d = if q[i] < self.lo[i] {
-                self.lo[i] - q[i]
-            } else if q[i] > self.hi[i] {
-                q[i] - self.hi[i]
+        for ((&qv, &lo), &hi) in q.iter().zip(&self.lo).zip(&self.hi) {
+            let d = if qv < lo {
+                lo - qv
+            } else if qv > hi {
+                qv - hi
             } else {
                 0.0
             };

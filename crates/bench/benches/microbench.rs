@@ -61,11 +61,7 @@ fn bench_block_codec(c: &mut Criterion) {
 
 fn bench_device_sim(c: &mut Criterion) {
     c.bench_function("simdevice_submit_poll", |bench| {
-        let mut dev = SimStorage::new(
-            DeviceProfile::ESSD,
-            1,
-            Backing::Mem(vec![0u8; 1 << 20]),
-        );
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(vec![0u8; 1 << 20]));
         let mut now = 0.0f64;
         let mut out = Vec::new();
         let mut i = 0u64;
@@ -96,21 +92,14 @@ fn small_workload() -> (Dataset, Vec<f32>, MemIndex) {
     let mut ds = Dataset::with_capacity(32, 4000);
     let mut p = vec![0.0f32; 32];
     for _ in 0..4000 {
-        let c = &centers[r.gen_range(0..8)];
+        let c = &centers[r.gen_range(0..8usize)];
         for (v, &cv) in p.iter_mut().zip(c) {
             *v = cv + r.gen::<f32>() - 0.5;
         }
         ds.push(&p);
     }
-    let params = E2lshParams::derive_practical(
-        ds.len(),
-        2.0,
-        2.0,
-        0.8,
-        0.3,
-        ds.max_abs_coord(),
-        32,
-    );
+    let params =
+        E2lshParams::derive_practical(ds.len(), 2.0, 2.0, 0.8, 0.3, ds.max_abs_coord(), 32);
     let index = MemIndex::build(&ds, &params, 7);
     let q = ds.point(0).to_vec();
     (ds, q, index)

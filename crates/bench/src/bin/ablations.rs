@@ -36,8 +36,7 @@ fn main() {
     let gamma_s = 8 * 36; // γ=0.7 budget used elsewhere
 
     let emit = |name: String, cfg: &EngineConfig, extra: f64| {
-        let mut dev =
-            SimStorage::new(DeviceProfile::CSSD, 4, Backing::open(&path).unwrap());
+        let mut dev = SimStorage::new(DeviceProfile::CSSD, 4, Backing::open(&path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         let rep = run_queries(&index, &w.data, &w.queries, cfg, &mut dev);
         let fp_rejects: u64 = rep.outcomes.iter().map(|o| o.fp_rejects as u64).sum();

@@ -35,11 +35,23 @@ fn main() {
     let srs = sweep_srs(&w, 1);
 
     let configs: Vec<(String, StorageConfig)> = vec![
-        ("G1 cSSD×1 io_uring", (DeviceProfile::CSSD, 1, Interface::IO_URING)),
+        (
+            "G1 cSSD×1 io_uring",
+            (DeviceProfile::CSSD, 1, Interface::IO_URING),
+        ),
         ("G1 cSSD×1 SPDK", (DeviceProfile::CSSD, 1, Interface::SPDK)),
-        ("G2 cSSD×4 io_uring", (DeviceProfile::CSSD, 4, Interface::IO_URING)),
-        ("G2 eSSD×1 io_uring", (DeviceProfile::ESSD, 1, Interface::IO_URING)),
-        ("G2 eSSD×8 io_uring", (DeviceProfile::ESSD, 8, Interface::IO_URING)),
+        (
+            "G2 cSSD×4 io_uring",
+            (DeviceProfile::CSSD, 4, Interface::IO_URING),
+        ),
+        (
+            "G2 eSSD×1 io_uring",
+            (DeviceProfile::ESSD, 1, Interface::IO_URING),
+        ),
+        (
+            "G2 eSSD×8 io_uring",
+            (DeviceProfile::ESSD, 8, Interface::IO_URING),
+        ),
         ("G3 cSSD×4 SPDK", (DeviceProfile::CSSD, 4, Interface::SPDK)),
         ("G4 eSSD×1 SPDK", (DeviceProfile::ESSD, 1, Interface::SPDK)),
         ("G4 eSSD×8 SPDK", (DeviceProfile::ESSD, 8, Interface::SPDK)),

@@ -31,21 +31,30 @@ fn main() {
     );
     let ks = [1usize, 100];
     let storages = [
-        ("E2LSHoS(io_uring)", StorageConfig {
-            profile: DeviceProfile::CSSD,
-            num_devices: 4,
-            interface: Interface::IO_URING,
-        }),
-        ("E2LSHoS(SPDK)", StorageConfig {
-            profile: DeviceProfile::CSSD,
-            num_devices: 4,
-            interface: Interface::SPDK,
-        }),
-        ("E2LSHoS(XLFDD)", StorageConfig {
-            profile: DeviceProfile::XLFDD,
-            num_devices: 12,
-            interface: Interface::XLFDD,
-        }),
+        (
+            "E2LSHoS(io_uring)",
+            StorageConfig {
+                profile: DeviceProfile::CSSD,
+                num_devices: 4,
+                interface: Interface::IO_URING,
+            },
+        ),
+        (
+            "E2LSHoS(SPDK)",
+            StorageConfig {
+                profile: DeviceProfile::CSSD,
+                num_devices: 4,
+                interface: Interface::SPDK,
+            },
+        ),
+        (
+            "E2LSHoS(XLFDD)",
+            StorageConfig {
+                profile: DeviceProfile::XLFDD,
+                num_devices: 12,
+                interface: Interface::XLFDD,
+            },
+        ),
     ];
     println!(
         "{:<8} {:>4} {:<18} {:>12} {:>10}",

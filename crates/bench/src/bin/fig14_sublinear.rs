@@ -5,7 +5,7 @@
 //! but is far slower.
 
 use ann_datasets::suite::DatasetId;
-use e2lsh_bench::prep::{workload_sized, GAMMA, C, W};
+use e2lsh_bench::prep::{workload_sized, C, GAMMA, W};
 use e2lsh_bench::report;
 use e2lsh_bench::sweep::{
     measure_e2lsh_mem, measure_e2lshos, sweep_srs, Curve, OperatingPoint, StorageConfig,
@@ -47,10 +47,7 @@ fn main() {
         num_devices: 12,
         interface: Interface::XLFDD,
     };
-    println!(
-        "{:>9} {:<26} {:>12} {:>8}",
-        "n", "Method", "time", "ratio"
-    );
+    println!("{:>9} {:<26} {:>12} {:>8}", "n", "Method", "time", "ratio");
     let schedule = [(GAMMA, 2.0f64), (0.7f32, 8.0)];
     for &n in &sizes {
         let w = workload_sized(DatasetId::Bigann, n, 50);

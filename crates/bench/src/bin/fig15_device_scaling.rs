@@ -47,7 +47,9 @@ fn main() {
         let usage = rep.device.busy_sum / (rep.makespan * num as f64)
             * (DeviceProfile::CSSD.dies() as f64).recip()
             * DeviceProfile::CSSD.dies() as f64; // busy fraction of array
-        let usage_pct = (observed_iops / max_iops * 100.0).min(100.0).max(usage * 0.0);
+        let usage_pct = (observed_iops / max_iops * 100.0)
+            .min(100.0)
+            .max(usage * 0.0);
         let row = Row {
             devices: num,
             qps: rep.qps(),

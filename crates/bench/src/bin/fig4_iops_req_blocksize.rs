@@ -3,10 +3,10 @@
 //! `1/T_read ≥ N_IO / T_SRS`).
 
 use ann_datasets::suite::DatasetId;
+use e2lsh_analysis::required_iops;
 use e2lsh_bench::prep::workload;
 use e2lsh_bench::report;
 use e2lsh_bench::sweep::{sweep_e2lsh_mem, sweep_srs};
-use e2lsh_analysis::required_iops;
 use serde::Serialize;
 
 #[derive(Serialize)]

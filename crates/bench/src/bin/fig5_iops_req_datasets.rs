@@ -2,10 +2,10 @@
 //! all datasets (block size 512 B; Equation 13).
 
 use ann_datasets::suite::DatasetId;
+use e2lsh_analysis::required_iops;
 use e2lsh_bench::prep::workload;
 use e2lsh_bench::report;
 use e2lsh_bench::sweep::{sweep_e2lsh_mem, sweep_srs};
-use e2lsh_analysis::required_iops;
 use serde::Serialize;
 
 #[derive(Serialize)]

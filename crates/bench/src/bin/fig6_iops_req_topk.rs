@@ -4,12 +4,12 @@
 //!
 //! One index build per γ serves every k.
 
+use ann_baselines::srs::{Srs, SrsConfig};
 use ann_datasets::suite::DatasetId;
+use e2lsh_analysis::required_iops;
 use e2lsh_bench::prep::{e2lsh_params_gamma, gamma_schedule, workload};
 use e2lsh_bench::report;
 use e2lsh_bench::sweep::{measure_e2lsh_mem, sweep_srs_prebuilt};
-use ann_baselines::srs::{Srs, SrsConfig};
-use e2lsh_analysis::required_iops;
 use e2lsh_core::index::MemIndex;
 use serde::Serialize;
 

@@ -5,10 +5,10 @@
 //! memory-stall advantage of the storage version).
 
 use ann_datasets::suite::DatasetId;
+use e2lsh_analysis::required_iops;
 use e2lsh_bench::prep::workload;
 use e2lsh_bench::report;
 use e2lsh_bench::sweep::sweep_e2lsh_mem;
-use e2lsh_analysis::required_iops;
 use serde::Serialize;
 
 #[derive(Serialize)]

@@ -29,8 +29,7 @@ fn main() {
     let path = ensure_disk_index(&w, 0.7);
 
     let run = |cfg: &EngineConfig| {
-        let mut dev =
-            SimStorage::new(DeviceProfile::CSSD, 4, Backing::open(&path).unwrap());
+        let mut dev = SimStorage::new(DeviceProfile::CSSD, 4, Backing::open(&path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         run_queries(&index, &w.data, &w.queries, cfg, &mut dev)
     };
@@ -45,10 +44,7 @@ fn main() {
 
     let t_async = async_rep.mean_query_time();
     let t_sync = sync_rep.mean_query_time();
-    println!(
-        "{:<14} {:>12} {:>12}",
-        "Mode", "query time", "slowdown"
-    );
+    println!("{:<14} {:>12} {:>12}", "Mode", "query time", "slowdown");
     println!(
         "{:<14} {:>12} {:>12}",
         "asynchronous",

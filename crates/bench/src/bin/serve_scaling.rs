@@ -1,0 +1,165 @@
+//! **Serving-layer scaling** — extends the paper's Figure 15 (device
+//! scaling) and Figure 16 (thread scaling) from a replayed batch to a
+//! served workload: a sharded service with worker pools, a shared
+//! simulated device array per shard, and a DRAM block cache, under a
+//! Zipf-skewed query stream.
+//!
+//! Part 1 (closed loop) sweeps the worker count at a fixed in-flight
+//! window and reports QPS plus p50/p95/p99 latency — throughput grows
+//! with workers until the shard arrays' total IOPS (minus the cache's
+//! DRAM hits) caps it, the served-traffic version of Figure 16's
+//! `QPS(T) = min(T·QPS_cpu, IOPS/N_IO)`.
+//!
+//! Part 2 (open loop) drives Poisson arrivals at a fraction of the
+//! saturated throughput and reports the latency distribution including
+//! queueing delay — the paper's latency-vs-usage trade-off (Figure 15)
+//! as a client would see it.
+
+use ann_datasets::suite::DatasetId;
+use e2lsh_bench::prep::workload_sized;
+use e2lsh_bench::report;
+use e2lsh_service::{
+    skewed_queries, DeviceSpec, Load, ServiceConfig, ShardBuildConfig, ShardSet, ShardedService,
+};
+use e2lsh_storage::device::sim::DeviceProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ClosedRow {
+    workers_per_shard: usize,
+    shards: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_n_io: f64,
+    cache_hit_rate: f64,
+    observed_kiops: f64,
+}
+
+#[derive(Serialize)]
+struct OpenRow {
+    rate_qps: f64,
+    achieved_qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    cache_hit_rate: f64,
+}
+
+const NUM_SHARDS: usize = 2;
+const QUERIES: usize = 1500;
+const ZIPF_S: f64 = 1.1;
+
+fn build_service(workers: usize, data: &e2lsh_core::dataset::Dataset) -> ShardedService {
+    let shards = ShardSet::build(
+        data,
+        &ShardBuildConfig {
+            num_shards: NUM_SHARDS,
+            seed: 99,
+            dir: std::env::temp_dir().join(format!("e2lsh-serve-scaling-{}", std::process::id())),
+            cache_blocks: 1 << 16, // 32 MiB of 512-byte blocks per shard
+            ..Default::default()
+        },
+        e2lsh_bench::prep::e2lsh_params,
+    )
+    .expect("shard build");
+    ShardedService::new(
+        shards,
+        ServiceConfig {
+            workers_per_shard: workers,
+            contexts_per_worker: 32,
+            k: 1,
+            s_override: None,
+            device: DeviceSpec::SimShared {
+                profile: DeviceProfile::CSSD,
+                num_devices: 2,
+            },
+        },
+    )
+}
+
+fn main() {
+    report::banner(
+        "serve_scaling",
+        "Figures 15–16, served",
+        "Sharded service QPS and latency percentiles vs workers (SIFT, \
+         cSSD×2 per shard, 32 MiB DRAM cache, Zipf-skewed queries).",
+    );
+    let w = workload_sized(DatasetId::Sift, 12_000, 100);
+    let queries = skewed_queries(&w.queries, QUERIES, ZIPF_S, 7);
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>12}",
+        "workers", "QPS", "p50", "p95", "p99", "N_IO", "cache", "dev kIOPS"
+    );
+    let mut saturated_qps: f64 = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let svc = build_service(workers, &w.data);
+        let rep = svc.serve(&queries, Load::Closed { window: 64 });
+        let lat = rep.latency();
+        let row = ClosedRow {
+            workers_per_shard: workers,
+            shards: NUM_SHARDS,
+            qps: rep.qps(),
+            p50_ms: lat.p50 * 1e3,
+            p95_ms: lat.p95 * 1e3,
+            p99_ms: lat.p99 * 1e3,
+            mean_n_io: rep.mean_n_io(),
+            cache_hit_rate: rep.device.cache_hit_rate(),
+            observed_kiops: rep.device.completed as f64 / rep.duration.max(1e-9) / 1e3,
+        };
+        println!(
+            "{:>8} {:>10.0} {:>10} {:>10} {:>10} {:>8.1} {:>8.1}% {:>12.1}",
+            row.workers_per_shard,
+            row.qps,
+            report::fmt_time(lat.p50),
+            report::fmt_time(lat.p95),
+            report::fmt_time(lat.p99),
+            row.mean_n_io,
+            row.cache_hit_rate * 100.0,
+            row.observed_kiops,
+        );
+        report::record("serve_scaling_closed", &row);
+        saturated_qps = saturated_qps.max(row.qps);
+        svc.shards().cleanup();
+    }
+
+    println!();
+    println!("Open loop (Poisson arrivals, 4 workers/shard):");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
+        "offered QPS", "achieved", "p50", "p95", "p99", "cache"
+    );
+    for frac in [0.3, 0.6, 0.9] {
+        let rate = (saturated_qps * frac).max(1.0);
+        let svc = build_service(4, &w.data);
+        let rep = svc.serve(
+            &queries,
+            Load::Open {
+                rate_qps: rate,
+                seed: 13,
+            },
+        );
+        let lat = rep.latency();
+        let row = OpenRow {
+            rate_qps: rate,
+            achieved_qps: rep.qps(),
+            p50_ms: lat.p50 * 1e3,
+            p95_ms: lat.p95 * 1e3,
+            p99_ms: lat.p99 * 1e3,
+            cache_hit_rate: rep.device.cache_hit_rate(),
+        };
+        println!(
+            "{:>12.0} {:>12.0} {:>10} {:>10} {:>10} {:>8.1}%",
+            row.rate_qps,
+            row.achieved_qps,
+            report::fmt_time(lat.p50),
+            report::fmt_time(lat.p95),
+            report::fmt_time(lat.p99),
+            row.cache_hit_rate * 100.0,
+        );
+        report::record("serve_scaling_open", &row);
+        svc.shards().cleanup();
+    }
+}

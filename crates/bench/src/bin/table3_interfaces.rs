@@ -61,5 +61,7 @@ fn main() {
             },
         );
     }
-    println!("\npaper: io_uring 1.0 µs → 1.0 MIOPS; SPDK 350 ns → 2.9 MIOPS; XLFDD 50 ns → 20 MIOPS");
+    println!(
+        "\npaper: io_uring 1.0 µs → 1.0 MIOPS; SPDK 350 ns → 2.9 MIOPS; XLFDD 50 ns → 20 MIOPS"
+    );
 }

@@ -2,8 +2,8 @@
 //! large index on storage but only small metadata in DRAM, so its memory
 //! usage (database + index metadata) is comparable to SRS.
 
-use ann_datasets::suite::DatasetId;
 use ann_baselines::srs::{Srs, SrsConfig};
+use ann_datasets::suite::DatasetId;
 use e2lsh_bench::prep::{ensure_disk_index, workload};
 use e2lsh_bench::report;
 use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};

@@ -105,8 +105,7 @@ pub fn ensure_disk_index(w: &Workload, gamma: f32) -> std::path::PathBuf {
     ));
     if !path.exists() {
         let params = e2lsh_params_gamma(&w.data, gamma);
-        build_index(&w.data, &params, &BuildConfig::default(), &path)
-            .expect("index build failed");
+        build_index(&w.data, &params, &BuildConfig::default(), &path).expect("index build failed");
     }
     path
 }

@@ -153,11 +153,7 @@ impl StorageConfig {
 
 /// Sweep E2LSHoS over the γ schedule on a simulated storage
 /// configuration. Reuses cached disk indices.
-pub fn sweep_e2lshos(
-    w: &Workload,
-    k: usize,
-    storage: StorageConfig,
-) -> (Curve, Vec<BatchReport>) {
+pub fn sweep_e2lshos(w: &Workload, k: usize, storage: StorageConfig) -> (Curve, Vec<BatchReport>) {
     let mut curve = Curve::default();
     let mut reports = Vec::new();
     for &(gamma, s_mult) in &gamma_schedule() {

@@ -86,11 +86,7 @@ mod tests {
         for n in [1usize, 2, 3, 5, 7, 16, 17, 33, 100, 129] {
             let a: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
             let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).cos()).collect();
-            let naive: f32 = a
-                .iter()
-                .zip(&b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
             let fast = dist2(&a, &b);
             assert!(
                 (naive - fast).abs() <= 1e-4 * (1.0 + naive.abs()),

@@ -42,11 +42,7 @@ impl MemIndex {
 
     /// Build with an already-generated hash family (shared with a storage
     /// index so both produce identical buckets).
-    pub fn build_with_family(
-        dataset: &Dataset,
-        params: &E2lshParams,
-        family: HashFamily,
-    ) -> Self {
+    pub fn build_with_family(dataset: &Dataset, params: &E2lshParams, family: HashFamily) -> Self {
         assert_eq!(family.dim(), dataset.dim());
         assert_eq!(family.l(), params.l);
         assert!(

@@ -301,7 +301,9 @@ mod tests {
         let mut scratch = Vec::new();
         for _ in 0..trials {
             let ch = CompoundHash::generate(dim, 1, w, &mut r);
-            let p: Vec<f32> = (0..dim).map(|_| sample_standard_normal(&mut r) * 3.0).collect();
+            let p: Vec<f32> = (0..dim)
+                .map(|_| sample_standard_normal(&mut r) * 3.0)
+                .collect();
             // near: distance 0.5; far: distance 8.
             let mut near = p.clone();
             near[0] += 0.5;

@@ -21,9 +21,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -230,7 +229,7 @@ mod tests {
         assert_close(gamma_p(1.5, 100.0), 1.0, 1e-9);
         // P(1, x) = 1 - e^{-x}
         for &x in &[0.1, 0.5, 1.0, 2.5, 7.0] {
-            assert_close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-9);
+            assert_close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-9);
         }
     }
 

@@ -31,8 +31,7 @@ pub fn collision_probability(w: f64, s: f64) -> f64 {
     }
     let t = w / s;
     let term1 = 1.0 - 2.0 * normal_cdf(-t);
-    let term2 = 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t)
-        * (1.0 - (-t * t / 2.0).exp());
+    let term2 = 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t) * (1.0 - (-t * t / 2.0).exp());
     (term1 - term2).clamp(0.0, 1.0)
 }
 

@@ -22,8 +22,7 @@ use std::collections::BinaryHeap;
 pub type Neighbor = (u32, f32);
 
 /// Knobs for a single query.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SearchOptions {
     /// Override the candidate budget `S` (default: `params.s_for_k(k)`).
     pub s_override: Option<usize>,
@@ -41,7 +40,6 @@ pub struct SearchOptions {
     /// disables and reproduces plain E2LSH.
     pub multi_probe: usize,
 }
-
 
 /// Per-query statistics (the measurable quantities of paper Section 4).
 #[derive(Clone, Debug, Default)]
@@ -198,9 +196,7 @@ pub fn knn_search(
     let params = index.params();
     let family = index.family();
     let budget = opts.s_override.unwrap_or_else(|| params.s_for_k(k));
-    let num_radii = params
-        .num_radii()
-        .min(opts.max_radii.unwrap_or(usize::MAX));
+    let num_radii = params.num_radii().min(opts.max_radii.unwrap_or(usize::MAX));
 
     let mut stats = SearchStats::default();
     let mut topk = TopK::new(k);
@@ -320,8 +316,7 @@ mod tests {
     }
 
     fn build(ds: &Dataset) -> (MemIndex, E2lshParams) {
-        let params =
-            E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), ds.dim());
+        let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), ds.dim());
         let idx = MemIndex::build(ds, &params, 42);
         (idx, params)
     }
@@ -365,15 +360,16 @@ mod tests {
         let ds = dataset(400, 8, 3);
         let (idx, params) = build(&ds);
         let q = ds.point(0).to_vec();
-        let mut opts = SearchOptions::default();
-        opts.collect_bucket_sizes = true;
+        let opts = SearchOptions {
+            collect_bucket_sizes: true,
+            ..Default::default()
+        };
         let (_, stats) = knn_search(&idx, &ds, &q, 1, &opts);
         assert!(stats.radii_searched >= 1);
         assert!(stats.nonempty_buckets <= stats.buckets_probed);
         assert!(stats.distance_computations <= stats.candidates);
         assert_eq!(
-            stats.hash_evaluations,
-            stats.buckets_probed,
+            stats.hash_evaluations, stats.buckets_probed,
             "one hash eval per probe"
         );
         assert!(stats.buckets_probed <= stats.radii_searched * params.l);

@@ -6,7 +6,14 @@ use e2lsh_core::params::E2lshParams;
 use e2lsh_core::search::{knn_search, SearchOptions};
 
 fn params_for(ds: &Dataset) -> E2lshParams {
-    E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord().max(0.1), ds.dim())
+    E2lshParams::derive(
+        ds.len(),
+        2.0,
+        4.0,
+        1.0,
+        ds.max_abs_coord().max(0.1),
+        ds.dim(),
+    )
 }
 
 #[test]

@@ -162,8 +162,7 @@ mod tests {
         let g = Generator::Gaussian { std: 2.0 };
         let ds = g.generate(2000, 8, 4);
         let mean: f32 = ds.flat().iter().sum::<f32>() / ds.flat().len() as f32;
-        let var: f32 =
-            ds.flat().iter().map(|v| v * v).sum::<f32>() / ds.flat().len() as f32;
+        let var: f32 = ds.flat().iter().map(|v| v * v).sum::<f32>() / ds.flat().len() as f32;
         assert!(mean.abs() < 0.15, "mean {mean}");
         assert!((var - 4.0).abs() < 0.4, "var {var}");
     }

@@ -22,8 +22,8 @@ pub fn overall_ratio(results: &[(u32, f32)], gt: &[(u32, f32)], k: usize) -> f64
     }
     const PENALTY_RATIO: f64 = 10.0;
     let mut sum = 0.0f64;
-    for i in 0..k {
-        let exact = gt[i].1 as f64;
+    for (i, &(_, exact)) in gt.iter().enumerate().take(k) {
+        let exact = exact as f64;
         match results.get(i) {
             Some(&(_, d)) => {
                 if exact <= f64::EPSILON {
@@ -45,11 +45,7 @@ pub fn overall_ratio(results: &[(u32, f32)], gt: &[(u32, f32)], k: usize) -> f64
 }
 
 /// Mean overall ratio over a query set.
-pub fn mean_overall_ratio(
-    all_results: &[Vec<(u32, f32)>],
-    gt: &GroundTruth,
-    k: usize,
-) -> f64 {
+pub fn mean_overall_ratio(all_results: &[Vec<(u32, f32)>], gt: &GroundTruth, k: usize) -> f64 {
     assert_eq!(all_results.len(), gt.num_queries());
     let mut sum = 0.0;
     for (qi, res) in all_results.iter().enumerate() {

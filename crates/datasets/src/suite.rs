@@ -92,14 +92,14 @@ impl DatasetId {
     /// `DESIGN.md` §8).
     pub fn dim(&self) -> usize {
         match self {
-            DatasetId::Msong => 128,  // paper: 420
-            DatasetId::Sift => 128,   // paper: 128
-            DatasetId::Gist => 192,   // paper: 960
-            DatasetId::Rand => 100,   // paper: 100
-            DatasetId::Glove => 100,  // paper: 100
-            DatasetId::Gauss => 128,  // paper: 512
-            DatasetId::Mnist => 196,  // paper: 784
-            DatasetId::Bigann => 96,  // paper: 128
+            DatasetId::Msong => 128, // paper: 420
+            DatasetId::Sift => 128,  // paper: 128
+            DatasetId::Gist => 192,  // paper: 960
+            DatasetId::Rand => 100,  // paper: 100
+            DatasetId::Glove => 100, // paper: 100
+            DatasetId::Gauss => 128, // paper: 512
+            DatasetId::Mnist => 196, // paper: 784
+            DatasetId::Bigann => 96, // paper: 128
         }
     }
 
@@ -218,9 +218,9 @@ pub fn load(id: DatasetId) -> NamedDataset {
 
 /// Generate the named dataset at an explicit size.
 pub fn load_sized(id: DatasetId, n: usize, n_queries: usize) -> NamedDataset {
-    let (data, queries) =
-        id.generator()
-            .generate_with_queries(n, n_queries, id.dim(), id.seed());
+    let (data, queries) = id
+        .generator()
+        .generate_with_queries(n, n_queries, id.dim(), id.seed());
     NamedDataset { id, data, queries }
 }
 

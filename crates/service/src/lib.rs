@@ -1,0 +1,43 @@
+//! # e2lsh-service
+//!
+//! A sharded, multi-threaded query-serving layer over the E2LSHoS index
+//! — the production-shaped tier the EDBT 2023 paper stops short of.
+//! The paper shows one asynchronous engine saturating one device's
+//! random-read IOPS; this crate scales that engine out:
+//!
+//! * [`shard`] — partition the dataset into `N` contiguous shards, each
+//!   with its own on-storage index (and its own device), global↔local id
+//!   mapping by offset;
+//! * [`service`] — [`ShardedService`](service::ShardedService): a pool of
+//!   worker threads per shard, each driving the storage crate's
+//!   [`QueryDriver`](e2lsh_storage::query::QueryDriver) over interleaved
+//!   query contexts; every query fans out to all shards and the
+//!   per-shard top-k results are merged by distance;
+//! * [`worker`] — the per-thread serving loop (channel-fed admission on
+//!   top of the same state machine `run_queries` batches through);
+//! * [`shared_sim`] — a simulated device array shared by a shard's
+//!   workers, so thread scaling contends for one array's IOPS (the
+//!   paper's Figure 16 regime) instead of duplicating hardware;
+//! * [`loadgen`] — closed-loop (fixed in-flight window) and open-loop
+//!   (Poisson arrivals) admission, plus Zipf-skewed query streams;
+//! * [`metrics`] — latency percentiles (p50/p95/p99) and summaries.
+//!
+//! DRAM caching comes from the storage crate's
+//! [`CachedDevice`](e2lsh_storage::device::cached::CachedDevice): each
+//! shard owns one [`BlockCache`](e2lsh_storage::device::cached::BlockCache)
+//! shared by all its workers, so hot buckets under skewed traffic are
+//! served from memory and the cache hit rate shows up in every
+//! [`ServiceReport`](service::ServiceReport).
+
+pub mod loadgen;
+pub mod metrics;
+pub mod service;
+pub mod shard;
+pub mod shared_sim;
+pub mod worker;
+
+pub use loadgen::{poisson_arrivals, skewed_queries, Load};
+pub use metrics::{percentile, LatencySummary};
+pub use service::{DeviceSpec, ServiceConfig, ServiceReport, ShardedService};
+pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
+pub use shared_sim::{SharedSimArray, SharedSimHandle};

@@ -1,0 +1,97 @@
+//! Load generation: admission disciplines and skewed query workloads.
+
+use e2lsh_core::dataset::Dataset;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How queries are admitted to the service.
+#[derive(Clone, Copy, Debug)]
+pub enum Load {
+    /// Closed loop: keep exactly `window` queries in flight — a new query
+    /// is dispatched the moment one completes. Latency is measured from
+    /// dispatch. Models a fixed client population.
+    Closed {
+        /// In-flight query target.
+        window: usize,
+    },
+    /// Open loop: queries arrive by a Poisson process at `rate_qps`,
+    /// independent of completions. Latency is measured from the
+    /// *scheduled* arrival, so queueing delay (and coordinated omission)
+    /// is counted. Models aggregate internet traffic.
+    Open {
+        /// Mean arrival rate in queries/second.
+        rate_qps: f64,
+        /// Arrival-stream seed.
+        seed: u64,
+    },
+}
+
+/// Poisson arrival schedule: `n` scheduled offsets (seconds from epoch),
+/// ascending, with exponential inter-arrival times at `rate_qps`.
+pub fn poisson_arrivals(n: usize, rate_qps: f64, seed: u64) -> Vec<f64> {
+    assert!(rate_qps > 0.0, "open-loop rate must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            // Inverse-CDF exponential; clamp u away from 1 to avoid ln(0).
+            t += -(1.0 - u.min(1.0 - 1e-12)).ln() / rate_qps;
+            t
+        })
+        .collect()
+}
+
+/// A skewed query stream: `total` queries drawn from `base` with
+/// Zipf(`s`) popularity over the base queries (rank 1 = most popular).
+/// This is the workload where a DRAM block cache pays off — hot queries
+/// re-read the same hash-table slots and bucket chains.
+pub fn skewed_queries(base: &Dataset, total: usize, s: f64, seed: u64) -> Dataset {
+    assert!(!base.is_empty());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Zipf CDF over ranks 1..=n.
+    let weights: Vec<f64> = (1..=base.len()).map(|r| (r as f64).powf(-s)).collect();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let norm = acc;
+    let mut out = Dataset::with_capacity(base.dim(), total);
+    for _ in 0..total {
+        let u: f64 = rng.gen::<f64>() * norm;
+        let rank = cdf.partition_point(|&c| c < u).min(base.len() - 1);
+        out.push(base.point(rank));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_close() {
+        let arr = poisson_arrivals(20_000, 1000.0, 7);
+        assert_eq!(arr.len(), 20_000);
+        assert!(arr.windows(2).all(|w| w[1] >= w[0]), "ascending");
+        let duration = *arr.last().unwrap();
+        let rate = arr.len() as f64 / duration;
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn skew_concentrates_on_head() {
+        let base = Dataset::from_rows(&(0..64).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>());
+        let q = skewed_queries(&base, 4000, 1.2, 3);
+        assert_eq!(q.len(), 4000);
+        // Count how often the most popular base query appears.
+        let head = base.point(0);
+        let head_count = (0..q.len()).filter(|&i| q.point(i) == head).count();
+        assert!(
+            head_count > 4000 / 64 * 4,
+            "head appears {head_count} times — not skewed"
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! The sharded query service: worker-pool orchestration, request
+//! admission and top-k merging.
+
+use crate::loadgen::{poisson_arrivals, Load};
+use crate::metrics::LatencySummary;
+use crate::shard::{Shard, ShardSet};
+use crate::shared_sim::SharedSimArray;
+use crate::worker::{run_worker, sleep_until, Job, WorkerCtx, WorkerMsg};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use e2lsh_core::dataset::Dataset;
+use e2lsh_storage::device::cached::CachedDevice;
+use e2lsh_storage::device::file::FileDevice;
+use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+use e2lsh_storage::device::{Device, DeviceStats};
+use e2lsh_storage::layout::BLOCK_SIZE;
+use e2lsh_storage::query::EngineConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What device each worker drives.
+#[derive(Clone, Copy, Debug)]
+pub enum DeviceSpec {
+    /// Real positioned reads against the shard's index file through a
+    /// per-worker reader-thread pool (wall clock).
+    File {
+        /// Reader threads per worker (OS-visible queue depth).
+        io_workers: usize,
+    },
+    /// A private simulated array per worker — aggregate device bandwidth
+    /// scales with the worker count (models "one drive per worker").
+    SimPerWorker {
+        /// Device model (paper Table 2).
+        profile: DeviceProfile,
+        /// Drives in each worker's array.
+        num_devices: usize,
+    },
+    /// One simulated array per shard, shared by all of the shard's
+    /// workers — workers contend for the array's total IOPS, the paper's
+    /// Figure 16 regime.
+    SimShared {
+        /// Device model (paper Table 2).
+        profile: DeviceProfile,
+        /// Drives in the shard's array.
+        num_devices: usize,
+    },
+}
+
+impl DeviceSpec {
+    fn is_sim(&self) -> bool {
+        matches!(
+            self,
+            DeviceSpec::SimPerWorker { .. } | DeviceSpec::SimShared { .. }
+        )
+    }
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Interleaved queries per worker (engine contexts).
+    pub contexts_per_worker: usize,
+    /// Neighbors returned per query.
+    pub k: usize,
+    /// Candidate budget override (default `params.s_for_k(k)` per shard).
+    pub s_override: Option<usize>,
+    /// Device each worker drives.
+    pub device: DeviceSpec,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers_per_shard: 1,
+            contexts_per_worker: 16,
+            k: 1,
+            s_override: None,
+            device: DeviceSpec::File { io_workers: 4 },
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn engine(&self) -> EngineConfig {
+        let mut e = EngineConfig::wall_clock(self.k);
+        e.contexts = self.contexts_per_worker.max(1);
+        e.s_override = self.s_override;
+        e
+    }
+}
+
+/// Aggregate results of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Merged global top-k per query, distance ascending.
+    pub results: Vec<Vec<(u32, f32)>>,
+    /// Per-query latency in seconds (dispatch→last shard for closed
+    /// loop, scheduled arrival→last shard for open loop).
+    pub latencies: Vec<f64>,
+    /// Seconds from service epoch to the last completion.
+    pub duration: f64,
+    /// Device statistics summed over workers (shared arrays counted
+    /// once; cache counters are per-run deltas over the shard caches).
+    pub device: DeviceStats,
+    /// Total I/Os issued across shards.
+    pub total_io: u64,
+    /// Worker threads that served the run.
+    pub workers: usize,
+    /// Shards queried.
+    pub shards: usize,
+}
+
+impl ServiceReport {
+    /// Completed queries per second.
+    pub fn qps(&self) -> f64 {
+        if self.duration <= 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / self.duration
+        }
+    }
+
+    /// Latency percentiles.
+    pub fn latency(&self) -> LatencySummary {
+        LatencySummary::of(&self.latencies)
+    }
+
+    /// Mean I/Os per query (summed over shards).
+    pub fn mean_n_io(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.total_io as f64 / self.results.len() as f64
+        }
+    }
+}
+
+/// Per-query accumulation while shard partials trickle in.
+struct Accum {
+    remaining: usize,
+    neighbors: Vec<(u32, f32)>,
+    finish: f64,
+}
+
+/// The sharded, multi-threaded E2LSHoS query service.
+pub struct ShardedService {
+    shards: ShardSet,
+    config: ServiceConfig,
+}
+
+impl ShardedService {
+    /// Serve `shards` with `config`.
+    pub fn new(shards: ShardSet, config: ServiceConfig) -> Self {
+        assert!(config.workers_per_shard >= 1);
+        assert!(config.k >= 1);
+        Self { shards, config }
+    }
+
+    /// The shard set.
+    pub fn shards(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Run `queries` through the service under the given admission
+    /// discipline; blocks until every query completes.
+    pub fn serve(&self, queries: &Dataset, load: Load) -> ServiceReport {
+        assert_eq!(queries.dim(), self.shards.dim(), "query dimensionality");
+        let nq = queries.len();
+        let num_shards = self.shards.num_shards();
+        let workers_total = num_shards * self.config.workers_per_shard;
+        if nq == 0 {
+            return ServiceReport {
+                results: Vec::new(),
+                latencies: Vec::new(),
+                duration: 0.0,
+                device: DeviceStats::default(),
+                total_io: 0,
+                workers: workers_total,
+                shards: num_shards,
+            };
+        }
+
+        let engine = self.config.engine();
+        let sim_time = self.config.device.is_sim();
+        let epoch = Instant::now();
+
+        // Snapshot cache counters so the report shows per-run deltas even
+        // when a warm cache is reused across runs.
+        let cache_snapshot: Vec<(u64, u64, u64)> = self
+            .shards
+            .shards()
+            .iter()
+            .map(|s| match &s.cache {
+                Some(c) => (c.hits(), c.misses(), c.evictions()),
+                None => (0, 0, 0),
+            })
+            .collect();
+
+        // One shared simulated array per shard when requested.
+        let arrays: Vec<Option<SharedSimArray>> = self
+            .shards
+            .shards()
+            .iter()
+            .map(|shard| match self.config.device {
+                DeviceSpec::SimShared {
+                    profile,
+                    num_devices,
+                } => {
+                    let sim = SimStorage::new(
+                        profile,
+                        num_devices,
+                        Backing::open(&shard.path).expect("open shard index"),
+                    );
+                    Some(SharedSimArray::new(sim, self.config.workers_per_shard))
+                }
+                _ => None,
+            })
+            .collect();
+
+        // Per-shard job queues and the worker→collector channel.
+        let channels: Vec<(Sender<Job>, Receiver<Job>)> =
+            (0..num_shards).map(|_| unbounded()).collect();
+        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+
+        let mut report: Option<ServiceReport> = None;
+        std::thread::scope(|scope| {
+            for (s, shard) in self.shards.shards().iter().enumerate() {
+                for w in 0..self.config.workers_per_shard {
+                    let device = self.make_device(shard, &arrays[s], w);
+                    let jobs = channels[s].1.clone();
+                    let tx = msg_tx.clone();
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        run_worker(
+                            WorkerCtx {
+                                shard,
+                                worker_in_shard: w,
+                                queries,
+                                engine,
+                                sim_time,
+                                epoch,
+                            },
+                            device,
+                            jobs,
+                            tx,
+                        );
+                    });
+                }
+            }
+            drop(msg_tx);
+            let job_txs: Vec<Sender<Job>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+            drop(channels);
+
+            report = Some(self.drive(queries, load, job_txs, msg_rx, epoch, &cache_snapshot));
+        });
+        report.expect("collector ran")
+    }
+
+    fn make_device(
+        &self,
+        shard: &Shard,
+        array: &Option<SharedSimArray>,
+        worker_in_shard: usize,
+    ) -> Box<dyn Device> {
+        fn wrap<D: Device + 'static>(dev: D, shard: &Shard) -> Box<dyn Device> {
+            match &shard.cache {
+                Some(cache) => {
+                    Box::new(CachedDevice::new(dev, Arc::clone(cache), BLOCK_SIZE as u32))
+                }
+                None => Box::new(dev),
+            }
+        }
+        match self.config.device {
+            DeviceSpec::File { io_workers } => wrap(
+                FileDevice::open(&shard.path, io_workers.max(1)).expect("open shard index"),
+                shard,
+            ),
+            DeviceSpec::SimPerWorker {
+                profile,
+                num_devices,
+            } => wrap(
+                SimStorage::new(
+                    profile,
+                    num_devices,
+                    Backing::open(&shard.path).expect("open shard index"),
+                ),
+                shard,
+            ),
+            DeviceSpec::SimShared { .. } => wrap(
+                array
+                    .as_ref()
+                    .expect("shared array built")
+                    .handle(worker_in_shard),
+                shard,
+            ),
+        }
+    }
+
+    /// Dispatch queries per the admission discipline and collect partials
+    /// into merged results.
+    fn drive(
+        &self,
+        queries: &Dataset,
+        load: Load,
+        job_txs: Vec<Sender<Job>>,
+        msg_rx: Receiver<WorkerMsg>,
+        epoch: Instant,
+        cache_snapshot: &[(u64, u64, u64)],
+    ) -> ServiceReport {
+        let nq = queries.len();
+        let num_shards = self.shards.num_shards();
+        let k = self.config.k;
+        let mut accum: Vec<Accum> = (0..nq)
+            .map(|_| Accum {
+                remaining: num_shards,
+                neighbors: Vec::new(),
+                finish: 0.0,
+            })
+            .collect();
+        let mut results: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
+        let mut latencies = vec![0.0f64; nq];
+        let mut ref_time = vec![0.0f64; nq]; // dispatch (closed) or arrival (open)
+        let mut total_io = 0u64;
+        let mut done = 0usize;
+        let mut duration = 0.0f64;
+
+        // Accumulate one partial; returns the finished query id, if any.
+        let take = |msg: WorkerMsg,
+                    accum: &mut Vec<Accum>,
+                    results: &mut Vec<Vec<(u32, f32)>>,
+                    total_io: &mut u64|
+         -> Option<usize> {
+            match msg {
+                WorkerMsg::Partial {
+                    qid,
+                    neighbors,
+                    n_io,
+                    finish,
+                    ..
+                } => {
+                    let a = &mut accum[qid];
+                    debug_assert!(a.remaining > 0, "extra partial for query {qid}");
+                    a.neighbors.extend(neighbors);
+                    a.finish = a.finish.max(finish);
+                    a.remaining -= 1;
+                    *total_io += u64::from(n_io);
+                    if a.remaining == 0 {
+                        let mut merged = std::mem::take(&mut a.neighbors);
+                        merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+                        merged.truncate(k);
+                        results[qid] = merged;
+                        Some(qid)
+                    } else {
+                        None
+                    }
+                }
+                WorkerMsg::Done { .. } => {
+                    unreachable!("Done before the job queues closed")
+                }
+            }
+        };
+
+        match load {
+            Load::Closed { window } => {
+                let window = window.max(1).min(nq);
+                let mut next = 0usize;
+                let send = |qid: usize, ref_time: &mut Vec<f64>| {
+                    ref_time[qid] = epoch.elapsed().as_secs_f64();
+                    for tx in &job_txs {
+                        tx.send(Job { qid }).expect("workers alive");
+                    }
+                };
+                for _ in 0..window {
+                    send(next, &mut ref_time);
+                    next += 1;
+                }
+                while done < nq {
+                    let msg = msg_rx.recv().expect("workers alive");
+                    if let Some(qid) = take(msg, &mut accum, &mut results, &mut total_io) {
+                        latencies[qid] = accum[qid].finish - ref_time[qid];
+                        duration = duration.max(accum[qid].finish);
+                        done += 1;
+                        if next < nq {
+                            send(next, &mut ref_time);
+                            next += 1;
+                        }
+                    }
+                }
+            }
+            Load::Open { rate_qps, seed } => {
+                let arrivals = poisson_arrivals(nq, rate_qps, seed);
+                ref_time.copy_from_slice(&arrivals);
+                let dispatch_txs = job_txs.clone();
+                std::thread::scope(|scope| {
+                    scope.spawn(|| {
+                        for (qid, &at) in arrivals.iter().enumerate() {
+                            sleep_until(epoch, at);
+                            for tx in &dispatch_txs {
+                                tx.send(Job { qid }).expect("workers alive");
+                            }
+                        }
+                    });
+                    while done < nq {
+                        let msg = msg_rx.recv().expect("workers alive");
+                        if let Some(qid) = take(msg, &mut accum, &mut results, &mut total_io) {
+                            latencies[qid] = accum[qid].finish - ref_time[qid];
+                            duration = duration.max(accum[qid].finish);
+                            done += 1;
+                        }
+                    }
+                });
+            }
+        }
+
+        // Close the queues and aggregate worker statistics.
+        drop(job_txs);
+        let mut device = DeviceStats::default();
+        while let Ok(msg) = msg_rx.recv() {
+            if let WorkerMsg::Done {
+                worker_in_shard,
+                device: d,
+                ..
+            } = msg
+            {
+                // Shared arrays report whole-array stats from every
+                // worker: count one handle per shard.
+                let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
+                if !shared || worker_in_shard == 0 {
+                    device.completed += d.completed;
+                    device.bytes += d.bytes;
+                    device.latency_sum += d.latency_sum;
+                    device.busy_sum += d.busy_sum;
+                }
+            }
+        }
+        // Cache counters: per-run deltas over the shard caches (device
+        // stats would double count — every worker of a shard shares one
+        // cache).
+        for (shard, &(h0, m0, e0)) in self.shards.shards().iter().zip(cache_snapshot) {
+            if let Some(c) = &shard.cache {
+                device.cache_hits += c.hits() - h0;
+                device.cache_misses += c.misses() - m0;
+                device.cache_evictions += c.evictions() - e0;
+            }
+        }
+
+        ServiceReport {
+            results,
+            latencies,
+            duration,
+            device,
+            total_io,
+            workers: self.shards.num_shards() * self.config.workers_per_shard,
+            shards: num_shards,
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Dataset sharding and per-shard index management.
+//!
+//! The serving layer splits the database into `N` contiguous partitions,
+//! builds one E2LSHoS index per partition (each on its own device /
+//! index file), and serves every query against all shards, merging the
+//! per-shard top-k. Contiguous partitioning keeps the global→local id
+//! mapping a single offset, so per-shard results translate with one add.
+//!
+//! Each shard owns an optional [`BlockCache`] shared by every worker
+//! driving that shard, so a bucket fetched by one worker is a DRAM hit
+//! for all of them.
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_storage::build::{build_index, BuildConfig};
+use e2lsh_storage::device::cached::BlockCache;
+use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+use e2lsh_storage::index::StorageIndex;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A contiguous partition of `0..n` into shards of near-equal size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Split `n` objects into `num_shards` contiguous ranges whose sizes
+    /// differ by at most one.
+    pub fn contiguous(n: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.max(1).min(n.max(1));
+        let base = n / num_shards;
+        let extra = n % num_shards;
+        let mut bounds = Vec::with_capacity(num_shards + 1);
+        let mut at = 0;
+        bounds.push(0);
+        for s in 0..num_shards {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+        }
+        debug_assert_eq!(*bounds.last().unwrap(), n);
+        Self { bounds }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Global id range of shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Shard owning global id `i`.
+    pub fn shard_of(&self, i: usize) -> usize {
+        match self.bounds.binary_search(&i) {
+            Ok(s) => s.min(self.num_shards() - 1),
+            Err(s) => s - 1,
+        }
+    }
+}
+
+/// One partition: its rows, its opened on-storage index, and the shared
+/// DRAM block cache its workers use.
+pub struct Shard {
+    /// Shard index within the service.
+    pub id: usize,
+    /// Global id of local object 0.
+    pub start: usize,
+    /// The shard's rows (local ids `0..data.len()`).
+    pub data: Dataset,
+    /// The shard's opened E2LSHoS index.
+    pub index: StorageIndex,
+    /// The shard's index file.
+    pub path: PathBuf,
+    /// DRAM block cache shared by all workers of this shard (None =
+    /// uncached).
+    pub cache: Option<Arc<BlockCache>>,
+}
+
+impl Shard {
+    /// Map a shard-local neighbor id to its global id.
+    #[inline]
+    pub fn to_global(&self, local: u32) -> u32 {
+        local + self.start as u32
+    }
+}
+
+/// How shard indexes are built.
+#[derive(Clone, Debug)]
+pub struct ShardBuildConfig {
+    /// Number of partitions.
+    pub num_shards: usize,
+    /// Hash-family seed (per-shard seed = `seed + shard id`, so shards
+    /// use independent families; with one shard the index is identical to
+    /// a plain `build_index` at this seed).
+    pub seed: u64,
+    /// Directory for the per-shard index files.
+    pub dir: PathBuf,
+    /// Per-shard DRAM cache capacity in 512-byte blocks (0 = uncached).
+    pub cache_blocks: usize,
+    /// Lock shards of the cache (power of contention reduction; clamped
+    /// to `cache_blocks`).
+    pub cache_lock_shards: usize,
+}
+
+impl Default for ShardBuildConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 1,
+            seed: 42,
+            dir: std::env::temp_dir().join("e2lsh-service"),
+            cache_blocks: 0,
+            cache_lock_shards: 8,
+        }
+    }
+}
+
+/// All shards of one dataset.
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    plan: ShardPlan,
+    dim: usize,
+    total: usize,
+}
+
+impl ShardSet {
+    /// Partition `data` and build one index per shard.
+    ///
+    /// `params_for` derives the E2LSH parameters from each shard's local
+    /// rows (parameters like `L = n^ρ` depend on the partition size, so
+    /// they are per-shard).
+    pub fn build(
+        data: &Dataset,
+        cfg: &ShardBuildConfig,
+        params_for: impl Fn(&Dataset) -> E2lshParams,
+    ) -> io::Result<Self> {
+        assert!(!data.is_empty(), "cannot shard an empty dataset");
+        std::fs::create_dir_all(&cfg.dir)?;
+        let plan = ShardPlan::contiguous(data.len(), cfg.num_shards);
+        let mut shards = Vec::with_capacity(plan.num_shards());
+        for s in 0..plan.num_shards() {
+            let range = plan.range(s);
+            let mut local = Dataset::with_capacity(data.dim(), range.len());
+            for i in range.clone() {
+                local.push(data.point(i));
+            }
+            let params = params_for(&local);
+            let path = cfg.dir.join(format!(
+                "shard-{s}-of-{}-n{}-seed{}.idx",
+                plan.num_shards(),
+                local.len(),
+                cfg.seed
+            ));
+            let build_cfg = BuildConfig {
+                seed: cfg.seed + s as u64,
+                ..Default::default()
+            };
+            build_index(&local, &params, &build_cfg, &path)?;
+            let index = open_index(&path)?;
+            let cache = (cfg.cache_blocks > 0)
+                .then(|| Arc::new(BlockCache::new(cfg.cache_blocks, cfg.cache_lock_shards)));
+            shards.push(Shard {
+                id: s,
+                start: range.start,
+                data: local,
+                index,
+                path,
+                cache,
+            });
+        }
+        Ok(Self {
+            shards,
+            plan,
+            dim: data.dim(),
+            total: data.len(),
+        })
+    }
+
+    /// The shards.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total objects across shards.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when the set holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Remove the shard index files (call when the service is done).
+    pub fn cleanup(&self) {
+        for s in &self.shards {
+            std::fs::remove_file(&s.path).ok();
+            // Drop the directory too once the last shard file is gone
+            // (fails harmlessly while non-empty or shared).
+            if let Some(dir) = s.path.parent() {
+                std::fs::remove_dir(dir).ok();
+            }
+        }
+    }
+}
+
+/// Open an index file without standing up a real device (metadata reads
+/// only).
+fn open_index(path: &Path) -> io::Result<StorageIndex> {
+    let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(path)?);
+    StorageIndex::open(&mut dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_plan_covers_everything() {
+        let plan = ShardPlan::contiguous(10, 3);
+        assert_eq!(plan.num_shards(), 3);
+        assert_eq!(plan.range(0), 0..4);
+        assert_eq!(plan.range(1), 4..7);
+        assert_eq!(plan.range(2), 7..10);
+        for i in 0..10 {
+            let s = plan.shard_of(i);
+            assert!(plan.range(s).contains(&i), "id {i} in shard {s}");
+        }
+    }
+
+    #[test]
+    fn plan_clamps_shard_count() {
+        let plan = ShardPlan::contiguous(2, 8);
+        assert_eq!(plan.num_shards(), 2);
+        let plan = ShardPlan::contiguous(5, 1);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.range(0), 0..5);
+    }
+}

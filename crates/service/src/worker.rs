@@ -1,0 +1,230 @@
+//! The per-thread serving loop.
+//!
+//! Each worker owns one device handle onto its shard and drives the
+//! storage crate's [`QueryDriver`] over `contexts` interleaved
+//! [`QueryState`] slots — the same asynchronous state machine
+//! `run_queries` uses, but fed from a request channel instead of a fixed
+//! batch, and emitting per-shard partial results as queries finish.
+
+use crate::shard::Shard;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use e2lsh_core::dataset::Dataset;
+use e2lsh_storage::device::{Device, DeviceStats};
+use e2lsh_storage::query::{completion_ctx, EngineClock, EngineConfig, QueryDriver, QueryState};
+use std::time::{Duration, Instant};
+
+/// A query admitted to the service; workers look the point up in the
+/// shared query set.
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
+    /// Index into the service's query set.
+    pub qid: usize,
+}
+
+/// Worker → collector messages.
+pub enum WorkerMsg {
+    /// One shard finished one query.
+    Partial {
+        /// Query id.
+        qid: usize,
+        /// Shard that produced this partial result.
+        shard: usize,
+        /// Top-k within the shard, **global** ids, distance ascending.
+        neighbors: Vec<(u32, f32)>,
+        /// I/Os this shard issued for the query.
+        n_io: u32,
+        /// Seconds since the service epoch when the shard finished.
+        finish: f64,
+    },
+    /// A worker drained its queue and exited.
+    Done {
+        /// Shard the worker served.
+        shard: usize,
+        /// Worker index within the shard.
+        worker_in_shard: usize,
+        /// Final device statistics (for shared devices this is the whole
+        /// array — the collector de-duplicates).
+        device: DeviceStats,
+        /// Queries this worker completed.
+        served: usize,
+    },
+}
+
+/// How long a worker with free slots will block on its device before
+/// re-checking the job queue for admittable work.
+const ADMIT_CHECK_S: f64 = 500e-6;
+
+/// Sleep (coarsely, then spinning) until `epoch + t`.
+pub(crate) fn sleep_until(epoch: Instant, t: f64) {
+    loop {
+        let now = epoch.elapsed().as_secs_f64();
+        let rem = t - now;
+        if rem <= 0.0 {
+            return;
+        }
+        if rem > 300e-6 {
+            std::thread::sleep(Duration::from_secs_f64(rem - 200e-6));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Everything a worker borrows from the service for its lifetime.
+pub struct WorkerCtx<'a> {
+    /// The shard this worker serves.
+    pub shard: &'a Shard,
+    /// Worker index within the shard.
+    pub worker_in_shard: usize,
+    /// The service-wide query set jobs index into.
+    pub queries: &'a Dataset,
+    /// Engine configuration (wall-clock; `contexts` slots).
+    pub engine: &'a EngineConfig,
+    /// True when the device models time (wall-driven simulation): poll
+    /// with the epoch-relative clock and sleep to modeled completion
+    /// times instead of blocking in the device.
+    pub sim_time: bool,
+    /// The service start instant all timestamps are relative to.
+    pub epoch: Instant,
+}
+
+/// Run the serving loop until the job channel disconnects and all
+/// admitted queries finish.
+pub fn run_worker(
+    ctx: WorkerCtx<'_>,
+    mut device: Box<dyn Device>,
+    jobs: Receiver<Job>,
+    out: Sender<WorkerMsg>,
+) {
+    let mut driver = QueryDriver::new(&ctx.shard.index, &ctx.shard.data, ctx.engine);
+    let nslots = ctx.engine.contexts.max(1);
+    let mut slots: Vec<QueryState> = (0..nslots).map(QueryState::new).collect();
+    let mut free: Vec<usize> = (0..nslots).rev().collect();
+    let mut clock = EngineClock::default();
+    let mut completions = Vec::new();
+    let mut disconnected = false;
+    let mut served = 0usize;
+
+    // Emit the partial result of a finished slot.
+    macro_rules! harvest {
+        ($ci:expr) => {{
+            let ci = $ci;
+            let qid = slots[ci].query_id();
+            let outcome = slots[ci].take_outcome();
+            let neighbors = outcome
+                .neighbors
+                .iter()
+                .map(|&(id, d)| (ctx.shard.to_global(id), d))
+                .collect();
+            served += 1;
+            free.push(ci);
+            // The collector may already have everything it needs and be
+            // gone; that is not a worker error.
+            let _ = out.send(WorkerMsg::Partial {
+                qid,
+                shard: ctx.shard.id,
+                neighbors,
+                n_io: outcome.n_io(),
+                finish: ctx.epoch.elapsed().as_secs_f64(),
+            });
+        }};
+    }
+
+    // Admit one job into a free slot (there must be one).
+    macro_rules! admit {
+        ($job:expr) => {{
+            let job: Job = $job;
+            let ci = free.pop().expect("a slot is free");
+            clock.observe(ctx.epoch.elapsed().as_secs_f64());
+            driver.admit(
+                &mut slots[ci],
+                job.qid,
+                ctx.queries.point(job.qid),
+                &mut clock,
+                &mut *device,
+            );
+            if !slots[ci].is_active() {
+                harvest!(ci);
+            }
+        }};
+    }
+
+    loop {
+        // Admit as many queued jobs as there are free slots.
+        while !free.is_empty() && !disconnected {
+            match jobs.try_recv() {
+                Ok(job) => admit!(job),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => disconnected = true,
+            }
+        }
+
+        let active = nslots - free.len();
+        if active == 0 {
+            if disconnected {
+                break;
+            }
+            // Idle: block briefly for work (timeout so a late disconnect
+            // is noticed).
+            match jobs.recv_timeout(Duration::from_millis(2)) {
+                Ok(job) => admit!(job),
+                Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            continue;
+        }
+
+        // Drive the device.
+        completions.clear();
+        let poll_now = if ctx.sim_time {
+            ctx.epoch.elapsed().as_secs_f64()
+        } else {
+            f64::MAX
+        };
+        device.poll(poll_now, &mut completions);
+        if completions.is_empty() {
+            if device.inflight() > 0 {
+                if ctx.sim_time {
+                    if let Some(t) = device.next_completion_time() {
+                        // With free slots, cap the sleep so queued jobs
+                        // are admitted promptly instead of waiting out a
+                        // whole device service time.
+                        let t = if free.is_empty() {
+                            t
+                        } else {
+                            t.min(ctx.epoch.elapsed().as_secs_f64() + ADMIT_CHECK_S)
+                        };
+                        sleep_until(ctx.epoch, t);
+                    }
+                } else if free.is_empty() {
+                    device.wait();
+                } else {
+                    // Free slots: wait for either new work or an I/O
+                    // completion, whichever comes first.
+                    match jobs.recv_timeout(Duration::from_secs_f64(ADMIT_CHECK_S)) {
+                        Ok(job) => admit!(job),
+                        Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                        Err(RecvTimeoutError::Timeout) => {}
+                    }
+                }
+            }
+            continue;
+        }
+        for comp in completions.drain(..) {
+            clock.observe(comp.time);
+            clock.observe(ctx.epoch.elapsed().as_secs_f64());
+            let ci = completion_ctx(&comp);
+            driver.handle_completion(&mut slots[ci], &comp, &mut clock, &mut *device);
+            if !slots[ci].is_active() {
+                harvest!(ci);
+            }
+        }
+    }
+
+    let _ = out.send(WorkerMsg::Done {
+        shard: ctx.shard.id,
+        worker_in_shard: ctx.worker_in_shard,
+        device: device.stats(),
+        served,
+    });
+}

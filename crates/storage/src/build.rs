@@ -13,8 +13,8 @@
 //! exact hash functions.
 
 use crate::layout::{
-    split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK,
-    HASH_BITS, SUPERBLOCK_SIZE,
+    split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK, HASH_BITS,
+    SUPERBLOCK_SIZE,
 };
 use e2lsh_core::dataset::Dataset;
 use e2lsh_core::lsh::{hash_v_bits, HashFamily};
@@ -437,15 +437,9 @@ mod tests {
         let path = temp_path("build_consistent.idx");
         let report = build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
         // Every object appears once per table.
-        assert_eq!(
-            report.entries,
-            (500 * params.l * params.num_radii()) as u64
-        );
+        assert_eq!(report.entries, (500 * params.l * params.num_radii()) as u64);
         assert!(report.total_bytes > 0);
-        assert_eq!(
-            report.heap_bytes,
-            report.blocks * BLOCK_SIZE as u64
-        );
+        assert_eq!(report.heap_bytes, report.blocks * BLOCK_SIZE as u64);
         let len = std::fs::metadata(&path).unwrap().len();
         assert_eq!(len, report.total_bytes);
         std::fs::remove_file(&path).ok();

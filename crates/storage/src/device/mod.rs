@@ -14,6 +14,7 @@
 //!   the quickstart example use this to exercise the on-disk format and
 //!   the asynchronous engine against a real filesystem.
 
+pub mod cached;
 pub mod file;
 pub mod sim;
 
@@ -52,6 +53,17 @@ pub struct DeviceStats {
     /// Sum of device busy time in seconds (for usage accounting; virtual
     /// devices only).
     pub busy_sum: f64,
+    /// Block reads served from a DRAM cache (0 without a
+    /// [`cached::CachedDevice`]). Per device, so sums over workers
+    /// sharing one cache stay correct.
+    pub cache_hits: u64,
+    /// Block reads that went to the underlying device.
+    pub cache_misses: u64,
+    /// Cached blocks displaced to make room. A cache-level (not
+    /// per-device) quantity: [`cached::CachedDevice::stats`] leaves it 0
+    /// and aggregators fill it from
+    /// [`cached::BlockCache::evictions`] (the service report does).
+    pub cache_evictions: u64,
 }
 
 impl DeviceStats {
@@ -61,6 +73,16 @@ impl DeviceStats {
             0.0
         } else {
             self.latency_sum / self.completed as f64
+        }
+    }
+
+    /// Cache hits over all cache lookups (0 when uncached).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }

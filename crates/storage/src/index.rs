@@ -177,8 +177,7 @@ impl StorageIndex {
             .flat_map(|b| b.iter())
             .map(|w| w.count_ones() as u64)
             .sum();
-        let total =
-            self.geometry.num_tables() as u64 * (1u64 << self.geometry.filter_bits);
+        let total = self.geometry.num_tables() as u64 * (1u64 << self.geometry.filter_bits);
         set as f64 / total as f64
     }
 }
@@ -210,11 +209,7 @@ mod tests {
             ..Default::default()
         };
         build_index(&ds, &params, &cfg, &path).unwrap();
-        let mut dev = SimStorage::new(
-            DeviceProfile::ESSD,
-            1,
-            Backing::open(&path).unwrap(),
-        );
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&path).unwrap());
         let idx = StorageIndex::open(&mut dev).unwrap();
         assert_eq!(idx.len(), 400);
         assert_eq!(idx.dim(), 8);
@@ -236,11 +231,7 @@ mod tests {
         let params = E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
         let path = temp_path("occupancy.idx");
         build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
-        let mut dev = SimStorage::new(
-            DeviceProfile::ESSD,
-            1,
-            Backing::open(&path).unwrap(),
-        );
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&path).unwrap());
         let idx = StorageIndex::open(&mut dev).unwrap();
         let rate = idx.occupancy_rate();
         assert!(rate > 0.0 && rate < 1.0, "rate {rate}");

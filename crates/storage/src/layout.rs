@@ -106,8 +106,7 @@ impl TableGeometry {
     #[inline]
     pub fn heap_base(&self) -> u64 {
         SUPERBLOCK_SIZE as u64
-            + self.num_tables() as u64
-                * (self.table_bytes() + self.filter_bytes_per_table())
+            + self.num_tables() as u64 * (self.table_bytes() + self.filter_bytes_per_table())
     }
 }
 
@@ -246,18 +245,12 @@ mod tests {
         assert_eq!(g.table_base(0, 0), SUPERBLOCK_SIZE as u64);
         assert_eq!(g.table_base(0, 1), SUPERBLOCK_SIZE as u64 + 8192);
         assert_eq!(g.table_base(1, 0), SUPERBLOCK_SIZE as u64 + 4 * 8192);
-        assert_eq!(
-            g.filter_base(0, 0),
-            SUPERBLOCK_SIZE as u64 + 12 * 8192
-        );
+        assert_eq!(g.filter_base(0, 0), SUPERBLOCK_SIZE as u64 + 12 * 8192);
         assert_eq!(
             g.filter_base(0, 1),
             SUPERBLOCK_SIZE as u64 + 12 * 8192 + 1024
         );
-        assert_eq!(
-            g.heap_base(),
-            SUPERBLOCK_SIZE as u64 + 12 * (8192 + 1024)
-        );
+        assert_eq!(g.heap_base(), SUPERBLOCK_SIZE as u64 + 12 * (8192 + 1024));
         // Slot address wraps on u bits.
         assert_eq!(g.slot_addr(0, 0, 0), g.table_base(0, 0));
         assert_eq!(g.slot_addr(0, 0, 1024 + 5), g.table_base(0, 0) + 5 * 8);

@@ -36,8 +36,11 @@ pub mod update;
 pub mod testutil;
 
 pub use build::{build_index, BuildConfig, BuildReport};
-pub use device::{Device, Interface};
+pub use device::cached::{BlockCache, CachedDevice};
+pub use device::{Device, DeviceStats, Interface};
 pub use engine::CostModel;
 pub use index::StorageIndex;
-pub use query::{run_queries, BatchReport, EngineConfig, QueryOutcome};
+pub use query::{
+    run_queries, BatchReport, EngineClock, EngineConfig, QueryDriver, QueryOutcome, QueryState,
+};
 pub use update::Updater;

@@ -13,7 +13,17 @@
 //! many I/Os are in flight at once, which is what lets flash devices reach
 //! their saturated random-read IOPS.
 //!
-//! The engine is generic over [`Device`], so the same state machine runs
+//! The state machine lives in [`QueryDriver`] + [`QueryState`]: the driver
+//! holds everything shared across queries (index, coordinates, config,
+//! hash scratch), a state holds one in-flight query. Two executors drive
+//! it:
+//!
+//! * [`run_queries`] — the batch executor used by the experiment harness:
+//!   a fixed query set, admission from the front of the batch, one device;
+//! * `e2lsh_service` workers — long-running loops that admit queries from
+//!   a request queue and run one driver per shard worker thread.
+//!
+//! Both are generic over [`Device`], so the same state machine runs
 //! against the virtual-time simulated devices (experiments) and against a
 //! real index file through the worker-pool [`FileDevice`]
 //! (tests, examples).
@@ -195,8 +205,7 @@ impl BatchReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().map(|o| o.n_io() as f64).sum::<f64>()
-            / self.outcomes.len() as f64
+        self.outcomes.iter().map(|o| o.n_io() as f64).sum::<f64>() / self.outcomes.len() as f64
     }
 
     /// Mean radii searched (`r̄` of Table 4).
@@ -229,22 +238,386 @@ fn parse_tag(tag: u64) -> (usize, u64, usize) {
     )
 }
 
-/// One in-flight query's state.
-struct Ctx {
+/// Context (slot) index encoded in a completion's tag — how an executor
+/// routes a completion back to the [`QueryState`] that issued it.
+#[inline]
+pub fn completion_ctx(comp: &IoCompletion) -> usize {
+    parse_tag(comp.tag).0
+}
+
+/// Shared engine clock and CPU-time accounting.
+///
+/// `now` is virtual seconds for simulated devices or seconds since engine
+/// start for wall-clock devices; the compute/I/O buckets feed the paper's
+/// Figure 12 cost breakdown.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineClock {
+    /// Current engine time.
+    pub now: f64,
+    /// CPU time charged for computation (hashing, scanning, distances).
+    pub cpu_compute: f64,
+    /// CPU time charged for I/O submission (`N_IO · T_request`).
+    pub cpu_io: f64,
+}
+
+impl EngineClock {
+    #[inline]
+    fn charge_compute(&mut self, cost: f64) {
+        self.now += cost;
+        self.cpu_compute += cost;
+    }
+
+    #[inline]
+    fn charge_io(&mut self, t_request: f64) {
+        self.now += t_request;
+        self.cpu_io += t_request;
+    }
+
+    /// Advance to a completion's timestamp (time never runs backwards).
+    #[inline]
+    pub fn observe(&mut self, completion_time: f64) {
+        self.now = self.now.max(completion_time);
+    }
+}
+
+/// One in-flight query's state machine.
+///
+/// A `QueryState` is a reusable slot: executors allocate `contexts` of
+/// them, admit a query into a free slot with [`QueryDriver::admit`], feed
+/// completions back via [`QueryDriver::handle_completion`], and harvest
+/// the [`QueryOutcome`] when [`QueryState::is_active`] goes false.
+pub struct QueryState {
+    /// Slot id encoded into I/O tags (see [`completion_ctx`]).
+    ctx_id: usize,
+    /// Caller-chosen query identifier (batch index or request id).
     qi: usize,
+    /// The query point (copied in at admission).
+    point: Vec<f32>,
     active: bool,
     radius_idx: usize,
-    /// Per-l (slot, fingerprint) for the current radius.
     /// Per-l 32-bit hash value of the query at the current radius
     /// (slot index and fingerprint both derive from it).
     probes: Vec<u64>,
     next_l: usize,
     outstanding: u32,
     examined: usize,
-    budget: usize,
     seen: FxHashSet<u32>,
     topk: TopK,
     out: QueryOutcome,
+}
+
+impl QueryState {
+    /// A free slot with tag namespace `ctx_id` (must be unique within one
+    /// executor's device).
+    pub fn new(ctx_id: usize) -> Self {
+        Self {
+            ctx_id,
+            qi: 0,
+            point: Vec::new(),
+            active: false,
+            radius_idx: 0,
+            probes: Vec::new(),
+            next_l: 0,
+            outstanding: 0,
+            examined: 0,
+            seen: FxHashSet::default(),
+            topk: TopK::new(1),
+            out: QueryOutcome::default(),
+        }
+    }
+
+    /// True while the admitted query is still running.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The identifier passed to [`QueryDriver::admit`].
+    #[inline]
+    pub fn query_id(&self) -> usize {
+        self.qi
+    }
+
+    /// I/Os in flight for this query.
+    #[inline]
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// Harvest the finished query's outcome (call once per query, after
+    /// [`QueryState::is_active`] turns false).
+    pub fn take_outcome(&mut self) -> QueryOutcome {
+        debug_assert!(!self.active, "harvesting a running query");
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// The reusable per-query state machine of the asynchronous engine.
+///
+/// Holds everything shared across queries — the opened index, the
+/// DRAM-resident coordinates for distance checks, the engine
+/// configuration and hash scratch space — while each [`QueryState`]
+/// carries one query. [`run_queries`] drives it over a fixed batch; the
+/// `e2lsh_service` worker pool drives one driver per shard worker.
+pub struct QueryDriver<'a> {
+    index: &'a StorageIndex,
+    dataset: &'a Dataset,
+    config: EngineConfig,
+    num_radii: usize,
+    budget: usize,
+    io_limit: u32,
+    scratch: Vec<i32>,
+}
+
+impl<'a> QueryDriver<'a> {
+    /// Create a driver for `index`, with `dataset` supplying the
+    /// DRAM-resident coordinates (the paper keeps the database in memory;
+    /// only the hash index is on storage).
+    pub fn new(index: &'a StorageIndex, dataset: &'a Dataset, config: &EngineConfig) -> Self {
+        assert_eq!(dataset.len(), index.len(), "dataset/index mismatch");
+        assert_eq!(dataset.dim(), index.dim());
+        assert!(config.k >= 1);
+        let params = index.params();
+        let num_radii = params
+            .num_radii()
+            .min(config.max_radii.unwrap_or(usize::MAX));
+        let budget = config
+            .s_override
+            .unwrap_or_else(|| params.s_for_k(config.k));
+        let io_limit = if config.per_query_io_limit == 0 {
+            u32::MAX
+        } else {
+            config.per_query_io_limit as u32
+        };
+        Self {
+            index,
+            dataset,
+            config: config.clone(),
+            num_radii,
+            budget,
+            io_limit,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The engine configuration this driver runs with.
+    #[inline]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The opened index.
+    #[inline]
+    pub fn index(&self) -> &StorageIndex {
+        self.index
+    }
+
+    /// Admit query `qi` with coordinates `point` into the free slot `st`,
+    /// issuing its first radius of I/Os. The query may complete
+    /// immediately (every probed slot empty): check
+    /// [`QueryState::is_active`] afterwards.
+    pub fn admit(
+        &mut self,
+        st: &mut QueryState,
+        qi: usize,
+        point: &[f32],
+        clock: &mut EngineClock,
+        device: &mut dyn Device,
+    ) {
+        debug_assert!(!st.active, "admitting into a busy slot");
+        debug_assert_eq!(point.len(), self.index.dim());
+        st.qi = qi;
+        st.active = true;
+        st.radius_idx = 0;
+        st.outstanding = 0;
+        st.point.clear();
+        st.point.extend_from_slice(point);
+        st.seen.clear();
+        st.topk = TopK::new(self.config.k);
+        st.out = QueryOutcome::default();
+        st.out.start_time = clock.now;
+        self.begin_radius(st, clock);
+        self.pump(st, clock, device);
+        // A radius may issue nothing (all slots empty): advance.
+        self.advance_if_idle(st, clock, device);
+    }
+
+    /// Hash the query at the current radius and reset the probe cursor.
+    fn begin_radius(&mut self, st: &mut QueryState, clock: &mut EngineClock) {
+        let params = self.index.params();
+        let family = self.index.family();
+        let radius = family.radius(st.radius_idx);
+        st.probes.clear();
+        for li in 0..params.l {
+            let key64 =
+                family
+                    .compound(st.radius_idx, li)
+                    .hash64(&st.point, radius, &mut self.scratch);
+            st.probes.push(hash_v_bits(key64, crate::layout::HASH_BITS));
+        }
+        clock.charge_compute(
+            params.l as f64 * self.config.cost.hash_cost(params.m, self.dataset.dim()),
+        );
+        st.next_l = 0;
+        st.examined = 0;
+        st.out.radii_searched += 1;
+    }
+
+    /// Issue table reads up to the per-query limit.
+    fn pump(&mut self, st: &mut QueryState, clock: &mut EngineClock, device: &mut dyn Device) {
+        let geometry = self.index.geometry();
+        while st.outstanding < self.io_limit && st.next_l < st.probes.len() {
+            let li = st.next_l;
+            st.next_l += 1;
+            if st.examined >= self.budget {
+                // Budget exhausted: stop issuing probes for this radius.
+                st.next_l = st.probes.len();
+                break;
+            }
+            let h32 = st.probes[li];
+            if self.config.use_occupancy_filter && !self.index.filter_hit(st.radius_idx, li, h32) {
+                continue; // provably empty bucket: no I/O (paper Sec. 4.3)
+            }
+            let (slot, _) = split_hash(h32, geometry.u_bits);
+            let addr = geometry.slot_addr(st.radius_idx, li, slot);
+            // Read the 512-byte region containing the slot (the device's
+            // minimum transfer; the paper counts it as one I/O).
+            let aligned = addr & !(BLOCK_SIZE as u64 - 1);
+            clock.charge_io(self.config.interface.t_request);
+            device.submit(
+                IoRequest {
+                    addr: aligned,
+                    len: BLOCK_SIZE as u32,
+                    tag: make_tag(st.ctx_id, KIND_TABLE, li),
+                },
+                clock.now,
+            );
+            st.outstanding += 1;
+            st.out.table_reads += 1;
+        }
+    }
+
+    /// When the query has no outstanding I/O, drive it forward: success
+    /// check → next radius → … → completion.
+    fn advance_if_idle(
+        &mut self,
+        st: &mut QueryState,
+        clock: &mut EngineClock,
+        device: &mut dyn Device,
+    ) {
+        let params = self.index.params();
+        loop {
+            if !st.active || st.outstanding > 0 {
+                return;
+            }
+            if st.next_l < st.probes.len() && st.examined < self.budget {
+                self.pump(st, clock, device);
+                if st.outstanding > 0 {
+                    return;
+                }
+                continue;
+            }
+            // Radius finished: (R, c)-NN success test.
+            let radius = self.index.family().radius(st.radius_idx);
+            let c_r = params.c * radius;
+            let success = st.topk.len() >= self.config.k && st.topk.worst_d2() <= c_r * c_r;
+            if success || st.radius_idx + 1 >= self.num_radii {
+                // Query complete.
+                st.out.finish_time = clock.now;
+                let topk = std::mem::replace(&mut st.topk, TopK::new(self.config.k));
+                st.out.neighbors = topk.into_sorted();
+                st.active = false;
+                return;
+            }
+            st.radius_idx += 1;
+            self.begin_radius(st, clock);
+            self.pump(st, clock, device);
+            if st.outstanding > 0 {
+                return;
+            }
+        }
+    }
+
+    /// Feed one completion whose tag routes to `st` (the executor
+    /// dispatches on [`completion_ctx`]); advance the query as far as it
+    /// will go without further completions. Call
+    /// [`EngineClock::observe`] with the completion time first.
+    pub fn handle_completion(
+        &mut self,
+        st: &mut QueryState,
+        comp: &IoCompletion,
+        clock: &mut EngineClock,
+        device: &mut dyn Device,
+    ) {
+        let (ci, kind, li) = parse_tag(comp.tag);
+        debug_assert_eq!(ci, st.ctx_id, "completion routed to wrong slot");
+        debug_assert!(st.active);
+        let geometry = self.index.geometry();
+        let codec = self.index.codec();
+        st.outstanding -= 1;
+        if kind == KIND_TABLE {
+            // Extract the 8-byte chain head for this slot.
+            let (slot, _) = split_hash(st.probes[li], geometry.u_bits);
+            let addr = geometry.slot_addr(st.radius_idx, li, slot);
+            let off = (addr & (BLOCK_SIZE as u64 - 1)) as usize;
+            let head = u64::from_le_bytes(comp.data[off..off + 8].try_into().expect("slot bytes"));
+            clock.charge_compute(self.config.cost.block_fixed);
+            if head != 0 && st.examined < self.budget {
+                clock.charge_io(self.config.interface.t_request);
+                device.submit(
+                    IoRequest {
+                        addr: head,
+                        len: BLOCK_SIZE as u32,
+                        tag: make_tag(st.ctx_id, KIND_BUCKET, li),
+                    },
+                    clock.now,
+                );
+                st.outstanding += 1;
+                st.out.block_reads += 1;
+            }
+        } else {
+            // Bucket block: fingerprint-filter and distance-check.
+            let block = BucketBlock::decode(&codec, &comp.data);
+            clock.charge_compute(self.config.cost.block_cost(block.entries.len()));
+            let (_, fp) = split_hash(st.probes[li], geometry.u_bits);
+            let want_fp = fp & codec.fp_mask();
+            if st.examined < self.budget {
+                for &(id, fp) in &block.entries {
+                    if st.examined >= self.budget {
+                        break;
+                    }
+                    if fp != want_fp {
+                        st.out.fp_rejects += 1;
+                        continue;
+                    }
+                    st.examined += 1;
+                    st.out.candidates += 1;
+                    if st.seen.insert(id) {
+                        st.out.dist_comps += 1;
+                        clock.charge_compute(self.config.cost.dist_cost(self.dataset.dim()));
+                        let d2 = dist2(&st.point, self.dataset.point(id as usize));
+                        st.topk.offer(id, d2);
+                    }
+                }
+                if block.next != 0 && st.examined < self.budget {
+                    clock.charge_io(self.config.interface.t_request);
+                    device.submit(
+                        IoRequest {
+                            addr: block.next,
+                            len: BLOCK_SIZE as u32,
+                            tag: make_tag(st.ctx_id, KIND_BUCKET, li),
+                        },
+                        clock.now,
+                    );
+                    st.outstanding += 1;
+                    st.out.block_reads += 1;
+                }
+            }
+        }
+        // Keep the probe pipeline full / finish the radius.
+        self.pump(st, clock, device);
+        self.advance_if_idle(st, clock, device);
+    }
 }
 
 /// Run a batch of queries against an opened index.
@@ -259,398 +632,112 @@ pub fn run_queries(
     config: &EngineConfig,
     device: &mut dyn Device,
 ) -> BatchReport {
-    assert_eq!(dataset.len(), index.len(), "dataset/index mismatch");
-    assert_eq!(dataset.dim(), index.dim());
     assert_eq!(queries.dim(), index.dim());
-    assert!(config.contexts >= 1 && config.k >= 1);
+    assert!(config.contexts >= 1);
 
-    let params = index.params();
-    let geometry = index.geometry();
-    let codec = index.codec();
-    let num_radii = params
-        .num_radii()
-        .min(config.max_radii.unwrap_or(usize::MAX));
-    let budget = config.s_override.unwrap_or_else(|| params.s_for_k(config.k));
-    let io_limit = if config.per_query_io_limit == 0 {
-        u32::MAX
-    } else {
-        config.per_query_io_limit as u32
-    };
-
+    let mut driver = QueryDriver::new(index, dataset, config);
     let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); queries.len()];
-    let mut clock = 0.0f64;
-    let mut cpu_compute = 0.0f64;
-    let mut cpu_io = 0.0f64;
+    let mut clock = EngineClock::default();
     let wall_start = Instant::now();
-    let mut scratch: Vec<i32> = Vec::new();
     let mut next_query = 0usize;
 
     let nctx = config.contexts.min(queries.len().max(1));
-    let mut ctxs: Vec<Ctx> = (0..nctx)
-        .map(|_| Ctx {
-            qi: 0,
-            active: false,
-            radius_idx: 0,
-            probes: Vec::with_capacity(params.l),
-            next_l: 0,
-            outstanding: 0,
-            examined: 0,
-            budget,
-            seen: FxHashSet::default(),
-            topk: TopK::new(config.k),
-            out: QueryOutcome::default(),
-        })
-        .collect();
+    let mut slots: Vec<QueryState> = (0..nctx).map(QueryState::new).collect();
 
-    // --- helpers as closures over the engine state ---------------------
-
-    macro_rules! charge_compute {
-        ($cost:expr) => {{
-            let c = $cost;
-            clock += c;
-            cpu_compute += c;
-        }};
-    }
-    macro_rules! charge_io {
-        () => {{
-            clock += config.interface.t_request;
-            cpu_io += config.interface.t_request;
-        }};
-    }
-
-    // Start (or restart at the next radius) a context; issues I/Os or
-    // completes the query. Returns true if the query finished.
+    // Admit into slot `ci` until a query stays active or the batch runs
+    // dry; harvests instantly-completing queries. (A free fn taking the
+    // executor state piecewise keeps the borrow checker happy around
+    // `device`.)
     #[allow(clippy::too_many_arguments)]
-    fn begin_radius(
-        ctx: &mut Ctx,
-        index: &StorageIndex,
-        queries: &Dataset,
-        config: &EngineConfig,
-        scratch: &mut Vec<i32>,
-        clock: &mut f64,
-        cpu_compute: &mut f64,
-    ) {
-        let params = index.params();
-        let family = index.family();
-        let q = queries.point(ctx.qi);
-        let radius = family.radius(ctx.radius_idx);
-        ctx.probes.clear();
-        for li in 0..params.l {
-            let key64 = family.compound(ctx.radius_idx, li).hash64(q, radius, scratch);
-            ctx.probes.push(hash_v_bits(key64, crate::layout::HASH_BITS));
-        }
-        let c = params.l as f64 * config.cost.hash_cost(params.m, queries.dim());
-        *clock += c;
-        *cpu_compute += c;
-        ctx.next_l = 0;
-        ctx.examined = 0;
-        ctx.out.radii_searched += 1;
-    }
-
-    // Issue table reads up to the per-query limit. Separate free fn to
-    // appease the borrow checker around `device`.
-    fn pump(
-        ctx: &mut Ctx,
+    fn refill(
         ci: usize,
-        index: &StorageIndex,
-        config: &EngineConfig,
-        device: &mut dyn Device,
-        clock: &mut f64,
-        cpu_io: &mut f64,
-        io_limit: u32,
-    ) {
-        let geometry = index.geometry();
-        while ctx.outstanding < io_limit && ctx.next_l < ctx.probes.len() {
-            let li = ctx.next_l;
-            ctx.next_l += 1;
-            if ctx.examined >= ctx.budget {
-                // Budget exhausted: stop issuing probes for this radius.
-                ctx.next_l = ctx.probes.len();
-                break;
-            }
-            let h32 = ctx.probes[li];
-            if config.use_occupancy_filter && !index.filter_hit(ctx.radius_idx, li, h32) {
-                continue; // provably empty bucket: no I/O (paper Sec. 4.3)
-            }
-            let (slot, _) = split_hash(h32, geometry.u_bits);
-            let addr = geometry.slot_addr(ctx.radius_idx, li, slot);
-            // Read the 512-byte region containing the slot (the device's
-            // minimum transfer; the paper counts it as one I/O).
-            let aligned = addr & !(BLOCK_SIZE as u64 - 1);
-            *clock += config.interface.t_request;
-            *cpu_io += config.interface.t_request;
-            device.submit(
-                IoRequest {
-                    addr: aligned,
-                    len: BLOCK_SIZE as u32,
-                    tag: make_tag(ci, KIND_TABLE, li),
-                },
-                *clock,
-            );
-            ctx.outstanding += 1;
-            ctx.out.table_reads += 1;
-        }
-    }
-
-    // Admit a fresh query into context `ci`; returns false when the queue
-    // is empty.
-    macro_rules! admit {
-        ($ci:expr) => {{
-            let ci = $ci;
-            if next_query >= queries.len() {
-                ctxs[ci].active = false;
-                false
-            } else {
-                let qi = next_query;
-                next_query += 1;
-                let c = &mut ctxs[ci];
-                c.qi = qi;
-                c.active = true;
-                c.radius_idx = 0;
-                c.outstanding = 0;
-                c.seen.clear();
-                c.topk = TopK::new(config.k);
-                c.out = QueryOutcome::default();
-                c.out.start_time = clock;
-                begin_radius(
-                    c,
-                    index,
-                    queries,
-                    config,
-                    &mut scratch,
-                    &mut clock,
-                    &mut cpu_compute,
-                );
-                pump(c, ci, index, config, device, &mut clock, &mut cpu_io, io_limit);
-                // A radius may issue nothing (all slots empty): advance.
-                advance_if_idle(
-                    ci,
-                    &mut ctxs,
-                    index,
-                    queries,
-                    config,
-                    device,
-                    &mut scratch,
-                    &mut clock,
-                    &mut cpu_compute,
-                    &mut cpu_io,
-                    &mut outcomes,
-                    num_radii,
-                    io_limit,
-                );
-                true
-            }
-        }};
-    }
-
-    // When a context has no outstanding I/O, drive it forward: success
-    // check → next radius → … → completion.
-    #[allow(clippy::too_many_arguments)]
-    fn advance_if_idle(
-        ci: usize,
-        ctxs: &mut [Ctx],
-        index: &StorageIndex,
+        slots: &mut [QueryState],
+        driver: &mut QueryDriver,
         queries: &Dataset,
-        config: &EngineConfig,
-        device: &mut dyn Device,
-        scratch: &mut Vec<i32>,
-        clock: &mut f64,
-        cpu_compute: &mut f64,
-        cpu_io: &mut f64,
+        next_query: &mut usize,
         outcomes: &mut [QueryOutcome],
-        num_radii: usize,
-        io_limit: u32,
+        clock: &mut EngineClock,
+        device: &mut dyn Device,
     ) {
-        let params = index.params();
-        loop {
-            let ctx = &mut ctxs[ci];
-            if !ctx.active || ctx.outstanding > 0 {
-                return;
-            }
-            if ctx.next_l < ctx.probes.len() && ctx.examined < ctx.budget {
-                pump(ctx, ci, index, config, device, clock, cpu_io, io_limit);
-                if ctx.outstanding > 0 {
-                    return;
-                }
-                continue;
-            }
-            // Radius finished: (R, c)-NN success test.
-            let radius = index.family().radius(ctx.radius_idx);
-            let c_r = params.c * radius;
-            let success = ctx.topk.len() >= config.k && ctx.topk.worst_d2() <= c_r * c_r;
-            if success || ctx.radius_idx + 1 >= num_radii {
-                // Query complete.
-                ctx.out.finish_time = *clock;
-                let topk = std::mem::replace(&mut ctx.topk, TopK::new(config.k));
-                ctx.out.neighbors = topk.into_sorted();
-                outcomes[ctx.qi] = std::mem::take(&mut ctx.out);
-                ctx.active = false;
-                return;
-            }
-            ctx.radius_idx += 1;
-            begin_radius(ctx, index, queries, config, scratch, clock, cpu_compute);
-            pump(ctx, ci, index, config, device, clock, cpu_io, io_limit);
-            if ctx.outstanding > 0 {
-                return;
+        while *next_query < queries.len() && !slots[ci].is_active() {
+            let qi = *next_query;
+            *next_query += 1;
+            driver.admit(&mut slots[ci], qi, queries.point(qi), clock, device);
+            if !slots[ci].is_active() {
+                outcomes[qi] = slots[ci].take_outcome();
             }
         }
     }
 
     // --- admission ------------------------------------------------------
-    let mut idle_slots: Vec<usize> = Vec::new();
     for ci in 0..nctx {
-        if !admit!(ci) {
-            break;
-        }
-        if !ctxs[ci].active {
-            idle_slots.push(ci);
-        }
-    }
-    // Contexts that completed instantly need replacement queries.
-    while let Some(ci) = idle_slots.pop() {
-        if !admit!(ci) {
-            break;
-        }
-        if !ctxs[ci].active {
-            idle_slots.push(ci);
-        }
+        refill(
+            ci,
+            &mut slots,
+            &mut driver,
+            queries,
+            &mut next_query,
+            &mut outcomes,
+            &mut clock,
+            device,
+        );
     }
 
     // --- main event loop --------------------------------------------------
     let mut completions: Vec<IoCompletion> = Vec::new();
     loop {
         completions.clear();
-        let poll_now = if config.virtual_time { clock } else { f64::MAX };
+        let poll_now = if config.virtual_time {
+            clock.now
+        } else {
+            f64::MAX
+        };
         device.poll(poll_now, &mut completions);
         if completions.is_empty() {
             if device.inflight() > 0 {
                 if let Some(t) = device.next_completion_time() {
-                    clock = clock.max(t);
+                    clock.observe(t);
                 } else {
                     device.wait();
                 }
                 continue;
             }
             // Nothing in flight anywhere: all queries must be done.
-            debug_assert!(ctxs.iter().all(|c| !c.active));
+            debug_assert!(slots.iter().all(|s| !s.is_active()));
             break;
         }
         for comp in completions.drain(..) {
-            clock = clock.max(comp.time);
-            let (ci, kind, li) = parse_tag(comp.tag);
-            let ctx = &mut ctxs[ci];
-            debug_assert!(ctx.active);
-            ctx.outstanding -= 1;
-            if kind == KIND_TABLE {
-                // Extract the 8-byte chain head for this slot.
-                let (slot, _) = split_hash(ctx.probes[li], geometry.u_bits);
-                let addr = geometry.slot_addr(ctx.radius_idx, li, slot);
-                let off = (addr & (BLOCK_SIZE as u64 - 1)) as usize;
-                let head = u64::from_le_bytes(
-                    comp.data[off..off + 8].try_into().expect("slot bytes"),
-                );
-                charge_compute!(config.cost.block_fixed);
-                if head != 0 && ctx.examined < ctx.budget {
-                    charge_io!();
-                    device.submit(
-                        IoRequest {
-                            addr: head,
-                            len: BLOCK_SIZE as u32,
-                            tag: make_tag(ci, KIND_BUCKET, li),
-                        },
-                        clock,
-                    );
-                    ctx.outstanding += 1;
-                    ctx.out.block_reads += 1;
-                }
-            } else {
-                // Bucket block: fingerprint-filter and distance-check.
-                let block = BucketBlock::decode(&codec, &comp.data);
-                charge_compute!(config.cost.block_cost(block.entries.len()));
-                let (_, fp) = split_hash(ctx.probes[li], geometry.u_bits);
-                let want_fp = fp & codec.fp_mask();
-                if ctx.examined < ctx.budget {
-                    let q = queries.point(ctx.qi);
-                    for &(id, fp) in &block.entries {
-                        if ctx.examined >= ctx.budget {
-                            break;
-                        }
-                        if fp != want_fp {
-                            ctx.out.fp_rejects += 1;
-                            continue;
-                        }
-                        ctx.examined += 1;
-                        ctx.out.candidates += 1;
-                        if ctx.seen.insert(id) {
-                            ctx.out.dist_comps += 1;
-                            charge_compute!(config.cost.dist_cost(dataset.dim()));
-                            let d2 = dist2(q, dataset.point(id as usize));
-                            ctx.topk.offer(id, d2);
-                        }
-                    }
-                    if block.next != 0 && ctx.examined < ctx.budget {
-                        charge_io!();
-                        device.submit(
-                            IoRequest {
-                                addr: block.next,
-                                len: BLOCK_SIZE as u32,
-                                tag: make_tag(ci, KIND_BUCKET, li),
-                            },
-                            clock,
-                        );
-                        ctx.outstanding += 1;
-                        ctx.out.block_reads += 1;
-                    }
-                }
-            }
-            // Keep the probe pipeline full / finish the radius.
-            pump(
-                &mut ctxs[ci],
-                ci,
-                index,
-                config,
-                device,
-                &mut clock,
-                &mut cpu_io,
-                io_limit,
-            );
-            advance_if_idle(
-                ci,
-                &mut ctxs,
-                index,
-                queries,
-                config,
-                device,
-                &mut scratch,
-                &mut clock,
-                &mut cpu_compute,
-                &mut cpu_io,
-                &mut outcomes,
-                num_radii,
-                io_limit,
-            );
-            if !ctxs[ci].active {
+            clock.observe(comp.time);
+            let ci = completion_ctx(&comp);
+            driver.handle_completion(&mut slots[ci], &comp, &mut clock, device);
+            if !slots[ci].is_active() {
+                outcomes[slots[ci].query_id()] = slots[ci].take_outcome();
                 // Slot freed: admit the next query (possibly several if
                 // they complete without I/O).
-                while admit!(ci) {
-                    if ctxs[ci].active {
-                        break;
-                    }
-                }
+                refill(
+                    ci,
+                    &mut slots,
+                    &mut driver,
+                    queries,
+                    &mut next_query,
+                    &mut outcomes,
+                    &mut clock,
+                    device,
+                );
             }
         }
     }
 
     let makespan = if config.virtual_time {
-        clock
+        clock.now
     } else {
         wall_start.elapsed().as_secs_f64()
     };
     BatchReport {
         outcomes,
         makespan,
-        cpu_compute,
-        cpu_io,
+        cpu_compute: clock.cpu_compute,
+        cpu_io: clock.cpu_io,
         device: device.stats(),
     }
 }
@@ -724,5 +811,30 @@ mod tests {
         assert_eq!(sync.contexts, 1);
         assert_eq!(sync.per_query_io_limit, 1);
         assert!(sync.interface.t_request >= Interface::IO_URING.t_request);
+    }
+
+    #[test]
+    fn engine_clock_accounting() {
+        let mut c = EngineClock::default();
+        c.charge_compute(1.0);
+        c.charge_io(0.25);
+        assert_eq!(c.now, 1.25);
+        assert_eq!(c.cpu_compute, 1.0);
+        assert_eq!(c.cpu_io, 0.25);
+        c.observe(0.5); // earlier completion never rewinds the clock
+        assert_eq!(c.now, 1.25);
+        c.observe(2.0);
+        assert_eq!(c.now, 2.0);
+    }
+
+    #[test]
+    fn query_state_slot_lifecycle() {
+        let mut st = QueryState::new(7);
+        assert!(!st.is_active());
+        assert_eq!(st.outstanding(), 0);
+        st.out.table_reads = 3;
+        let out = st.take_outcome();
+        assert_eq!(out.table_reads, 3);
+        assert_eq!(st.out.table_reads, 0, "outcome is moved out");
     }
 }

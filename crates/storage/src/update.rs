@@ -24,8 +24,8 @@
 use crate::build::Superblock;
 use crate::index::StorageIndex;
 use crate::layout::{
-    split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK,
-    HASH_BITS, SUPERBLOCK_SIZE,
+    split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK, HASH_BITS,
+    SUPERBLOCK_SIZE,
 };
 use e2lsh_core::lsh::{hash_v_bits, HashFamily};
 use std::fs::{File, OpenOptions};
@@ -321,8 +321,7 @@ mod tests {
         let ds = dataset(400, 8);
         // Build over the first 399 objects; insert the last one online.
         let initial = ds.prefix(399);
-        let params =
-            E2lshParams::derive(400, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let params = E2lshParams::derive(400, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
         // Derive for n=400 so the codec has headroom for the insert.
         let mut p399 = params.clone();
         p399.n = 399;

@@ -1,0 +1,147 @@
+//! Property tests for the DRAM block cache: the sharded LRU must agree
+//! with a naive reference model, never exceed its capacity, keep its
+//! counters consistent, and — wrapped as a [`CachedDevice`] — never
+//! change the bytes a read returns.
+
+use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
+use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+use e2lsh_storage::device::{Device, IoRequest};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Naive LRU: a deque with MRU at the front.
+struct ModelLru {
+    order: VecDeque<u64>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> Self {
+        Self {
+            order: VecDeque::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_front(key);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        } else if self.order.len() >= self.cap {
+            self.order.pop_back();
+            self.evictions += 1;
+        }
+        self.order.push_front(key);
+    }
+}
+
+proptest! {
+    /// A single-shard BlockCache is observationally equal to the naive
+    /// model: same hit/miss verdict per op, same counters, same bound.
+    #[test]
+    fn single_shard_lru_matches_reference_model(
+        ops in proptest::collection::vec((0u8..2, 0u64..24), 1..300),
+        cap in 1usize..12,
+    ) {
+        let cache = BlockCache::new(cap, 1);
+        let mut model = ModelLru::new(cap);
+        for &(op, key) in &ops {
+            if op == 0 {
+                let got = cache.get(key).is_some();
+                let want = model.get(key);
+                prop_assert_eq!(got, want, "get({}) diverged", key);
+            } else {
+                cache.insert(key, Arc::from(key.to_le_bytes().as_slice()));
+                model.insert(key);
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+            prop_assert_eq!(cache.len(), model.order.len());
+        }
+        prop_assert_eq!(cache.hits(), model.hits);
+        prop_assert_eq!(cache.misses(), model.misses);
+        prop_assert_eq!(cache.evictions(), model.evictions);
+    }
+
+    /// Capacity and counter invariants hold for any shard count.
+    #[test]
+    fn sharded_cache_capacity_and_counters(
+        keys in proptest::collection::vec(0u64..512, 1..400),
+        cap in 1usize..48,
+        shards in 1usize..8,
+    ) {
+        let cache = BlockCache::new(cap, shards);
+        let mut lookups = 0u64;
+        for &k in &keys {
+            let hit = cache.get(k).is_some();
+            lookups += 1;
+            if !hit {
+                cache.insert(k, Arc::from(k.to_le_bytes().as_slice()));
+            }
+            prop_assert!(
+                cache.len() <= cache.capacity(),
+                "{} blocks in a {}-block cache",
+                cache.len(),
+                cache.capacity()
+            );
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), lookups);
+        // Every cached or evicted block came from a miss-triggered insert.
+        prop_assert_eq!(cache.misses(), cache.len() as u64 + cache.evictions());
+        // A hit must return the bytes that were inserted for that key.
+        for &k in &keys {
+            if let Some(data) = cache.get(k) {
+                prop_assert_eq!(&data[..], &k.to_le_bytes()[..]);
+            }
+        }
+    }
+
+    /// Reads through a CachedDevice return exactly the backing bytes, no
+    /// matter the (tiny, thrashing or ample) cache capacity.
+    #[test]
+    fn cached_device_reads_match_backing(
+        blocks in proptest::collection::vec(0u64..16, 1..120),
+        cap in 1usize..32,
+    ) {
+        let mut image = vec![0u8; 16 * 512];
+        for (i, b) in image.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let sim = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image.clone()));
+        let mut dev = CachedDevice::new(sim, Arc::new(BlockCache::new(cap, 2)), 512);
+        let mut now = 0.0f64;
+        for (tag, &blk) in blocks.iter().enumerate() {
+            let addr = blk * 512;
+            dev.submit(IoRequest { addr, len: 512, tag: tag as u64 }, now);
+            now = dev.next_completion_time().unwrap().max(now);
+            let mut out = Vec::new();
+            dev.poll(now, &mut out);
+            prop_assert_eq!(out.len(), 1);
+            prop_assert_eq!(out[0].tag, tag as u64);
+            prop_assert_eq!(
+                &out[0].data[..],
+                &image[addr as usize..addr as usize + 512]
+            );
+        }
+        let s = dev.stats();
+        prop_assert_eq!(s.cache_hits + s.cache_misses, blocks.len() as u64);
+        prop_assert_eq!(s.completed, s.cache_misses);
+    }
+}

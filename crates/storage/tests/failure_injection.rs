@@ -69,10 +69,8 @@ fn truncated_index_serves_zero_filled_blocks_without_panicking() {
     let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image));
     let index = StorageIndex::open(&mut dev).unwrap();
     let queries = dataset(5);
-    let cfg = e2lsh_storage::query::EngineConfig::simulated(
-        e2lsh_storage::device::Interface::SPDK,
-        1,
-    );
+    let cfg =
+        e2lsh_storage::query::EngineConfig::simulated(e2lsh_storage::device::Interface::SPDK, 1);
     // Must not panic; results may be degraded (some buckets unreadable).
     let _ = e2lsh_storage::query::run_queries(&index, &ds, &queries, &cfg, &mut dev);
 }

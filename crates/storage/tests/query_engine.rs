@@ -121,8 +121,10 @@ fn storage_results_match_inmemory_results() {
     cfg.s_override = Some(1_000_000);
     let report = run_queries(&index, &fx.data, &fx.queries, &cfg, &mut dev);
 
-    let mut opts = SearchOptions::default();
-    opts.s_override = Some(1_000_000);
+    let opts = SearchOptions {
+        s_override: Some(1_000_000),
+        ..Default::default()
+    };
     let mut agree = 0;
     for qi in 0..fx.queries.len() {
         let q = fx.queries.point(qi).to_vec();
@@ -132,10 +134,7 @@ fn storage_results_match_inmemory_results() {
             (Some(&(_, md)), Some(&(_, dd))) => {
                 // The disk candidate set is a superset: it can only do
                 // at least as well.
-                assert!(
-                    dd <= md + 1e-4,
-                    "query {qi}: disk {dd} worse than mem {md}"
-                );
+                assert!(dd <= md + 1e-4, "query {qi}: disk {dd} worse than mem {md}");
                 if (dd - md).abs() < 1e-4 {
                     agree += 1;
                 }
@@ -220,8 +219,7 @@ fn lighter_interface_is_never_slower() {
     let fx = build_fixture(1200, 12, "interfaces.idx");
     let mut times = Vec::new();
     for iface in [Interface::IO_URING, Interface::SPDK, Interface::XLFDD] {
-        let mut dev =
-            SimStorage::new(DeviceProfile::XLFDD, 1, Backing::open(&fx.path).unwrap());
+        let mut dev = SimStorage::new(DeviceProfile::XLFDD, 1, Backing::open(&fx.path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         let report = run_queries(
             &index,
@@ -242,7 +240,11 @@ fn lighter_interface_is_never_slower() {
 fn faster_device_is_never_slower() {
     let fx = build_fixture(1200, 12, "devices.idx");
     let mut times = Vec::new();
-    for profile in [DeviceProfile::CSSD, DeviceProfile::ESSD, DeviceProfile::XLFDD] {
+    for profile in [
+        DeviceProfile::CSSD,
+        DeviceProfile::ESSD,
+        DeviceProfile::XLFDD,
+    ] {
         let mut dev = SimStorage::new(profile, 1, Backing::open(&fx.path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         let report = run_queries(
@@ -264,8 +266,7 @@ fn faster_device_is_never_slower() {
 fn occupancy_filter_reduces_ios_without_hurting_results() {
     let fx = build_fixture(900, 10, "filter.idx");
     let run = |filter: bool| {
-        let mut dev =
-            SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&fx.path).unwrap());
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&fx.path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         let mut cfg = EngineConfig::simulated(Interface::SPDK, 1);
         cfg.use_occupancy_filter = filter;
@@ -304,8 +305,7 @@ fn budget_caps_candidates() {
 fn interleaving_raises_queue_depth_and_throughput() {
     let fx = build_fixture(1500, 12, "contexts.idx");
     let run = |contexts: usize| {
-        let mut dev =
-            SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&fx.path).unwrap());
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&fx.path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         let mut cfg = EngineConfig::simulated(Interface::SPDK, 1);
         cfg.contexts = contexts;

@@ -31,13 +31,33 @@ fn main() -> std::io::Result<()> {
         "Configuration", "query time", "QPS", "N_IO/query"
     );
     let configs = [
-        ("HDD ×1 + io_uring", DeviceProfile::HDD, 1, Interface::IO_URING),
-        ("cSSD ×1 + io_uring", DeviceProfile::CSSD, 1, Interface::IO_URING),
-        ("cSSD ×4 + io_uring", DeviceProfile::CSSD, 4, Interface::IO_URING),
+        (
+            "HDD ×1 + io_uring",
+            DeviceProfile::HDD,
+            1,
+            Interface::IO_URING,
+        ),
+        (
+            "cSSD ×1 + io_uring",
+            DeviceProfile::CSSD,
+            1,
+            Interface::IO_URING,
+        ),
+        (
+            "cSSD ×4 + io_uring",
+            DeviceProfile::CSSD,
+            4,
+            Interface::IO_URING,
+        ),
         ("cSSD ×4 + SPDK", DeviceProfile::CSSD, 4, Interface::SPDK),
         ("eSSD ×1 + SPDK", DeviceProfile::ESSD, 1, Interface::SPDK),
         ("eSSD ×8 + SPDK", DeviceProfile::ESSD, 8, Interface::SPDK),
-        ("XLFDD ×12 + XLFDD if.", DeviceProfile::XLFDD, 12, Interface::XLFDD),
+        (
+            "XLFDD ×12 + XLFDD if.",
+            DeviceProfile::XLFDD,
+            12,
+            Interface::XLFDD,
+        ),
     ];
     for (name, profile, num, iface) in configs {
         let mut dev = SimStorage::new(profile, num, Backing::open(&path)?);

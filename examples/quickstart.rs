@@ -74,7 +74,10 @@ fn main() -> std::io::Result<()> {
             agree += 1;
         }
     }
-    println!("on-storage answer equals the exact NN for {agree}/{} queries", queries.len());
+    println!(
+        "on-storage answer equals the exact NN for {agree}/{} queries",
+        queries.len()
+    );
     std::fs::remove_file(&path).ok();
     Ok(())
 }

@@ -1,0 +1,123 @@
+//! Serving-layer tour: shard a dataset, stand up the multi-threaded
+//! service with a DRAM block cache, and serve a skewed query stream
+//! under closed-loop and open-loop (Poisson) admission.
+//!
+//! Run with `cargo run --release --example serve`.
+
+use e2lshos::prelude::*;
+use e2lshos::service::{skewed_queries, Load};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..12)
+        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 30.0).collect())
+        .collect();
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut p = vec![0.0f32; dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..centers.len())];
+        for (v, &cv) in p.iter_mut().zip(c) {
+            *v = cv + (rng.gen::<f32>() - 0.5) * 2.0;
+        }
+        ds.push(&p);
+    }
+    ds
+}
+
+fn main() {
+    let data = clustered(6000, 16, 1);
+    let base_queries = clustered(64, 16, 2);
+    // Production traffic is skewed: a few hot queries dominate. That is
+    // exactly where the per-shard DRAM block cache pays off.
+    let queries = skewed_queries(&base_queries, 600, 1.2, 3);
+
+    println!(
+        "dataset: {} × {}d, {} queries",
+        data.len(),
+        data.dim(),
+        queries.len()
+    );
+
+    let shards = ShardSet::build(
+        &data,
+        &ShardBuildConfig {
+            num_shards: 2,
+            seed: 42,
+            dir: std::env::temp_dir().join(format!("e2lsh-serve-example-{}", std::process::id())),
+            cache_blocks: 8192, // 4 MiB per shard
+            ..Default::default()
+        },
+        |local| {
+            E2lshParams::derive(
+                local.len(),
+                2.0,
+                4.0,
+                1.0,
+                local.max_abs_coord(),
+                local.dim(),
+            )
+        },
+    )
+    .expect("shard build");
+    for s in shards.shards() {
+        println!(
+            "shard {}: {} objects, index {} on storage",
+            s.id,
+            s.data.len(),
+            s.index.storage_bytes()
+        );
+    }
+
+    let service = ShardedService::new(
+        shards,
+        ServiceConfig {
+            workers_per_shard: 2,
+            contexts_per_worker: 16,
+            k: 3,
+            s_override: None,
+            device: DeviceSpec::SimShared {
+                profile: DeviceProfile::ESSD,
+                num_devices: 1,
+            },
+        },
+    );
+
+    // Closed loop: a fixed population of 32 in-flight queries.
+    let closed = service.serve(&queries, Load::Closed { window: 32 });
+    let lat = closed.latency();
+    println!(
+        "closed loop: {:.0} QPS, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+         cache hit rate {:.0}%",
+        closed.qps(),
+        lat.p50 * 1e3,
+        lat.p95 * 1e3,
+        lat.p99 * 1e3,
+        closed.device.cache_hit_rate() * 100.0
+    );
+
+    // Open loop: Poisson arrivals at 60% of the closed-loop throughput —
+    // latency now includes queueing delay.
+    let open = service.serve(
+        &queries,
+        Load::Open {
+            rate_qps: (closed.qps() * 0.6).max(1.0),
+            seed: 9,
+        },
+    );
+    let lat = open.latency();
+    println!(
+        "open loop:   {:.0} QPS, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+         cache hit rate {:.0}%",
+        open.qps(),
+        lat.p50 * 1e3,
+        lat.p95 * 1e3,
+        lat.p99 * 1e3,
+        open.device.cache_hit_rate() * 100.0
+    );
+
+    let q0 = &closed.results[0];
+    println!("top-{} for query 0: {:?}", q0.len(), q0);
+    service.shards().cleanup();
+}

@@ -8,7 +8,11 @@
 //! * [`core`] ([`e2lsh_core`]) — LSH primitives, parameter derivation and
 //!   the in-memory E2LSH index;
 //! * [`storage`] ([`e2lsh_storage`]) — the flash-resident E2LSHoS index
-//!   with asynchronous I/O, simulated and real device backends;
+//!   with asynchronous I/O, simulated and real device backends, and the
+//!   DRAM block cache;
+//! * [`service`] ([`e2lsh_service`]) — the sharded, multi-threaded
+//!   query-serving layer: worker pools over per-shard indexes, top-k
+//!   merging, open/closed-loop load generation and latency percentiles;
 //! * [`baselines`] ([`ann_baselines`]) — SRS and QALSH with their R-tree
 //!   and B+-tree substrates;
 //! * [`datasets`] ([`ann_datasets`]) — the synthetic evaluation suite,
@@ -16,20 +20,26 @@
 //! * [`analysis`] ([`e2lsh_analysis`]) — the paper's query-time cost
 //!   models and storage requirement solvers.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour, and `DESIGN.md`
-//! for the experiment index.
+//! See `examples/quickstart.rs` for an end-to-end tour,
+//! `examples/serve.rs` for the serving layer, and `DESIGN.md` for the
+//! map from experiment binaries to the paper's figures and tables.
 
 pub use ann_baselines as baselines;
 pub use ann_datasets as datasets;
 pub use e2lsh_analysis as analysis;
 pub use e2lsh_core as core;
+pub use e2lsh_service as service;
 pub use e2lsh_storage as storage;
 
 /// Convenience prelude with the most common types.
 pub mod prelude {
     pub use ann_datasets::suite::DatasetId;
     pub use e2lsh_core::{knn_search, Dataset, E2lshParams, MemIndex, SearchOptions};
+    pub use e2lsh_service::{
+        DeviceSpec, Load, ServiceConfig, ShardBuildConfig, ShardSet, ShardedService,
+    };
     pub use e2lsh_storage::build::{build_index, BuildConfig};
+    pub use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
     pub use e2lsh_storage::device::file::FileDevice;
     pub use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
     pub use e2lsh_storage::device::Interface;

@@ -8,7 +8,13 @@ use e2lshos::analysis::{CostInputs, QueryTimeModel};
 use e2lshos::datasets::suite::{load_sized, DatasetId};
 use e2lshos::prelude::*;
 
-fn build(n: usize) -> (e2lshos::core::Dataset, e2lshos::core::Dataset, std::path::PathBuf) {
+fn build(
+    n: usize,
+) -> (
+    e2lshos::core::Dataset,
+    e2lshos::core::Dataset,
+    std::path::PathBuf,
+) {
     let named = load_sized(DatasetId::Sift, n, 40);
     let params = E2lshParams::derive_practical(
         named.data.len(),
@@ -19,10 +25,8 @@ fn build(n: usize) -> (e2lshos::core::Dataset, e2lshos::core::Dataset, std::path
         named.data.max_abs_coord(),
         named.data.dim(),
     );
-    let path = std::env::temp_dir().join(format!(
-        "e2lshos-costmodel-{}-{n}.idx",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("e2lshos-costmodel-{}-{n}.idx", std::process::id()));
     build_index(&named.data, &params, &BuildConfig::default(), &path).unwrap();
     (named.data, named.queries, path)
 }

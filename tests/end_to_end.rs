@@ -145,8 +145,7 @@ fn index_survives_reopen() {
     build_index(&data, &params, &BuildConfig::default(), &path).unwrap();
 
     let run_once = || {
-        let mut dev =
-            SimStorage::new(DeviceProfile::CSSD, 1, Backing::open(&path).unwrap());
+        let mut dev = SimStorage::new(DeviceProfile::CSSD, 1, Backing::open(&path).unwrap());
         let index = StorageIndex::open(&mut dev).unwrap();
         let cfg = EngineConfig::simulated(Interface::IO_URING, 3);
         run_queries(&index, &data, &queries, &cfg, &mut dev)

@@ -1,0 +1,105 @@
+//! Vendored subset of the `bytes` crate: the [`Buf`] / [`BufMut`] traits
+//! over `&[u8]` and `Vec<u8>`, which is all the on-disk codec in
+//! `e2lsh_storage::layout` uses.
+
+/// Sequential little-endian reader over a byte cursor.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copy out the next `N` bytes.
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read a little-endian `u8`.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_array::<1>()[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.copy_to_array())
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_to_array())
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_to_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "read past end of buffer");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+/// Sequential little-endian writer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u64_le(0xDEAD_BEEF_0102_0304);
+        v.put_u16_le(99);
+        v.put_slice(&[7, 8, 9]);
+        let mut r = &v[..];
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0102_0304);
+        assert_eq!(r.get_u16_le(), 99);
+        assert_eq!(r.remaining(), 3);
+        r.advance(1);
+        assert_eq!(r.get_u8(), 8);
+    }
+}

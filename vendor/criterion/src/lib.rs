@@ -1,0 +1,158 @@
+//! Vendored micro-benchmark harness exposing the subset of the criterion
+//! API the workspace's benches use (`criterion_group!` / `criterion_main!`
+//! with name/config/targets, `bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize`). Reports mean ns/iter to stdout;
+//! no statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (ignored by this stub beyond
+/// signature compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small routine input.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_batch: F) {
+        // Warm-up: run batches until the warm-up budget elapses.
+        let t0 = Instant::now();
+        while t0.elapsed() < self.warm_up {
+            let _ = timed_batch();
+        }
+        // Measure.
+        let mut spent = Duration::ZERO;
+        let mut total_iters = 0u64;
+        while spent < self.measure {
+            spent += timed_batch();
+            total_iters += 1;
+        }
+        self.result_ns = spent.as_nanos() as f64 / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+
+    /// Time a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    /// Time a routine with untimed per-batch setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (kept for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let (value, unit) = if b.result_ns >= 1e6 {
+            (b.result_ns / 1e6, "ms")
+        } else if b.result_ns >= 1e3 {
+            (b.result_ns / 1e3, "µs")
+        } else {
+            (b.result_ns, "ns")
+        };
+        println!("{name:<40} {value:>10.2} {unit}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Define a benchmark group (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,139 @@
+//! Vendored ChaCha-based deterministic generators for the offline build.
+//!
+//! Implements the real ChaCha stream cipher core (D. J. Bernstein) with 8,
+//! 12 or 20 rounds over a 256-bit seed and 64-bit block counter. Streams
+//! are deterministic functions of the seed, which is all the workspace
+//! relies on (index builds regenerate hash families from stored seeds).
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 16 output words from key, counter and round count.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize, out: &mut [u32; 16]) {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0;
+    state[15] = 0;
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = state[i].wrapping_add(initial[i]);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    chacha_block(&self.key, self.counter, $rounds, &mut self.buffer);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.index = 0;
+                }
+                let v = self.buffer[self.index];
+                self.index += 1;
+                v
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds (fast deterministic RNG)."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (full-strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..64).map(|_| b.next_u32()).collect();
+        let zs: Vec<u32> = (0..64).map(|_| c.next_u32()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_known_answer() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1, nonce 0
+        // differs (we use a zero nonce), so instead check the all-zero-key
+        // block 0 keystream head against the reference value for
+        // ChaCha20 with zero key/nonce/counter.
+        let key = [0u32; 8];
+        let mut out = [0u32; 16];
+        chacha_block(&key, 0, 20, &mut out);
+        assert_eq!(out[0], 0xade0b876, "ChaCha20 zero-state vector");
+        assert_eq!(out[1], 0x903df1a0);
+    }
+
+    #[test]
+    fn floats_look_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(1234);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Vendored, dependency-free subset of the serde API.
+//!
+//! The workspace only ever serializes flat record structs to JSON lines
+//! (`bench::report::record`), so this stub collapses serde's data model
+//! to a single operation: [`Serialize::to_json`] appends the value's JSON
+//! encoding to a string. `#[derive(Serialize)]` (re-exported from the
+//! sibling `serde_derive` stub) emits a JSON object with the fields in
+//! declaration order. [`Deserialize`] is derive-only and never read back.
+
+use std::fmt::Write as _;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value encodable as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn to_json(&self, out: &mut String);
+}
+
+/// Marker for deserializable values (no runtime support; the workspace
+/// never parses serialized data back).
+pub trait Deserialize {}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+int_impl!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    let _ = write!(out, "{self}");
+                } else {
+                    // serde_json convention: non-finite floats become null.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn to_json(&self, out: &mut String) {
+        escape_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self, out: &mut String) {
+        escape_into(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self, out: &mut String) {
+        (**self).to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.to_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self, out: &mut String) {
+        self.as_slice().to_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.to_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.to_json(out);
+        out.push(',');
+        self.1.to_json(out);
+        out.push(']');
+    }
+}
+impl<A, B> Deserialize for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.to_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(enc(42u32), "42");
+        assert_eq!(enc(-7i64), "-7");
+        assert_eq!(enc(2.5f64), "2.5");
+        assert_eq!(enc(f64::NAN), "null");
+        assert_eq!(enc(true), "true");
+        assert_eq!(enc("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(enc(vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(enc(Option::<u32>::None), "null");
+        assert_eq!(enc(Some(5u8)), "5");
+        assert_eq!(enc((1u32, "x")), "[1,\"x\"]");
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub.
+//!
+//! Supports non-generic structs with named fields — the only shapes this
+//! workspace derives. The generated `Serialize` impl writes a JSON object
+//! with the fields in declaration order; `Deserialize` is a marker impl
+//! (nothing in the workspace parses JSON back).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extract the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream, trait_name: &str) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => panic!("derive({trait_name}): expected struct, got {other:?}"),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected struct name, got {other:?}"),
+    };
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("derive({trait_name}): generic structs are not supported by the vendored serde stub")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("derive({trait_name}): tuple/unit structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("derive({trait_name}): missing struct body"),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive({trait_name}): expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive({trait_name}): expected ':', got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma, tracking angle
+        // brackets so `HashMap<K, V>`-style commas don't terminate early.
+        let mut angle = 0i32;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                None => break,
+                _ => {}
+            }
+            toks.next();
+        }
+        fields.push(field);
+    }
+    Parsed { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input, "Serialize");
+    let mut body = String::from("out.push('{');");
+    for (i, f) in parsed.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\"); ::serde::Serialize::to_json(&self.{f}, out);"
+        ));
+    }
+    body.push_str("out.push('}');");
+    format!(
+        "impl ::serde::Serialize for {} {{ fn to_json(&self, out: &mut String) {{ {body} }} }}",
+        parsed.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input, "Deserialize");
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,31 @@
+//! Vendored `serde_json::to_string` over the offline serde stub.
+
+use std::fmt;
+
+/// Serialization error. The stub's encoder is infallible, so this is
+/// never produced; it exists for signature compatibility.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip_string() {
+        assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+    }
+}
