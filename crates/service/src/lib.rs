@@ -18,8 +18,15 @@
 //! * [`shared_sim`] — a simulated device array shared by a shard's
 //!   workers, so thread scaling contends for one array's IOPS (the
 //!   paper's Figure 16 regime) instead of duplicating hardware;
+//! * [`update`] — the online write path: one
+//!   [`ShardUpdater`](update::ShardUpdater) per shard applies inserts
+//!   and deletes through the storage crate's updater *while the shard
+//!   serves queries*, invalidating exactly the rewritten blocks in the
+//!   shard cache (per-key epochs) and publishing new occupancy-filter
+//!   bits into the live index;
 //! * [`loadgen`] — closed-loop (fixed in-flight window) and open-loop
-//!   (Poisson arrivals) admission, plus Zipf-skewed query streams;
+//!   (Poisson arrivals) admission, Zipf-skewed query streams, and
+//!   seeded mixed read–write op streams ([`loadgen::mixed_ops`]);
 //! * [`metrics`] — latency percentiles (p50/p95/p99) and summaries.
 //!
 //! DRAM caching comes from the storage crate's
@@ -34,10 +41,14 @@ pub mod metrics;
 pub mod service;
 pub mod shard;
 pub mod shared_sim;
+pub mod update;
 pub mod worker;
 
-pub use loadgen::{poisson_arrivals, skewed_queries, Load};
+pub use loadgen::{
+    mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, Load, MixedWorkload, Op,
+};
 pub use metrics::{percentile, LatencySummary};
 pub use service::{DeviceSpec, ServiceConfig, ServiceReport, ShardedService};
 pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
 pub use shared_sim::{SharedSimArray, SharedSimHandle};
+pub use update::ShardUpdater;

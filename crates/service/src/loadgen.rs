@@ -26,6 +26,116 @@ pub enum Load {
     },
 }
 
+/// One operation of a mixed read–write workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Serve query `i` of the query set (each query index appears at
+    /// most once per op stream).
+    Query(usize),
+    /// Insert point `i` of the insert pool; the `j`-th insert of the
+    /// stream receives global id `initial_n + j`.
+    Insert(usize),
+    /// Delete the object with this global id (live at this point of the
+    /// stream: the generator never deletes an id twice, and only after
+    /// the op that inserted it).
+    Delete(u32),
+}
+
+/// A seeded mixed read–write op stream.
+#[derive(Clone, Debug)]
+pub struct MixedWorkload {
+    /// The ops, in dispatch order.
+    pub ops: Vec<Op>,
+    /// `Query` ops in the stream (= the query-set size it expects).
+    pub num_queries: usize,
+    /// `Insert` ops in the stream (= insert-pool points consumed).
+    pub num_inserts: usize,
+    /// `Delete` ops in the stream.
+    pub num_deletes: usize,
+}
+
+/// Generate a mixed read–write op stream: `num_queries` queries
+/// (indices `0..num_queries`, in order) interleaved with writes so that
+/// each op is a write with probability `write_fraction`; each write is
+/// a delete with probability `delete_fraction`, else an insert (capped
+/// at `max_inserts`, falling back to deletes once the pool runs dry —
+/// and vice versa when nothing is left to delete). Deletes pick a
+/// uniformly random live id: build-time ids (`0..initial_n`) and ids
+/// inserted *earlier in this stream* are both candidates, and no id is
+/// deleted twice. Deterministic in `seed`.
+pub fn mixed_ops(
+    num_queries: usize,
+    write_fraction: f64,
+    delete_fraction: f64,
+    initial_n: usize,
+    max_inserts: usize,
+    seed: u64,
+) -> MixedWorkload {
+    mixed_ops_resuming(
+        num_queries,
+        write_fraction,
+        delete_fraction,
+        (0..initial_n as u32).collect(),
+        initial_n as u32,
+        max_inserts,
+        seed,
+    )
+}
+
+/// [`mixed_ops`] against a database that has already been mutated:
+/// `live` are the ids currently alive and `next_id` is the next global
+/// id the service will assign (build-time total + inserts applied so
+/// far). Use this to chain multiple op streams over one service —
+/// replay each stream against your own live-set mirror to produce the
+/// inputs for the next.
+pub fn mixed_ops_resuming(
+    num_queries: usize,
+    write_fraction: f64,
+    delete_fraction: f64,
+    live: Vec<u32>,
+    next_id: u32,
+    max_inserts: usize,
+    seed: u64,
+) -> MixedWorkload {
+    assert!(
+        (0.0..1.0).contains(&write_fraction),
+        "write_fraction in [0, 1)"
+    );
+    assert!((0.0..=1.0).contains(&delete_fraction));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut live = live;
+    let mut inserts = 0usize;
+    let mut deletes = 0usize;
+    let mut qi = 0usize;
+    while qi < num_queries {
+        if rng.gen::<f64>() < write_fraction {
+            let want_delete = rng.gen::<f64>() < delete_fraction;
+            let can_insert = inserts < max_inserts;
+            if (want_delete || !can_insert) && !live.is_empty() {
+                let at = rng.gen_range(0..live.len());
+                ops.push(Op::Delete(live.swap_remove(at)));
+                deletes += 1;
+            } else if can_insert {
+                ops.push(Op::Insert(inserts));
+                live.push(next_id + inserts as u32);
+                inserts += 1;
+            }
+            // Neither possible (empty database, pool dry): fall through
+            // to the next draw; queries still make progress.
+        } else {
+            ops.push(Op::Query(qi));
+            qi += 1;
+        }
+    }
+    MixedWorkload {
+        ops,
+        num_queries,
+        num_inserts: inserts,
+        num_deletes: deletes,
+    }
+}
+
 /// Poisson arrival schedule: `n` scheduled offsets (seconds from epoch),
 /// ascending, with exponential inter-arrival times at `rate_qps`.
 pub fn poisson_arrivals(n: usize, rate_qps: f64, seed: u64) -> Vec<f64> {
@@ -79,6 +189,47 @@ mod tests {
         let duration = *arr.last().unwrap();
         let rate = arr.len() as f64 / duration;
         assert!((rate - 1000.0).abs() / 1000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn mixed_ops_are_well_formed() {
+        let w = mixed_ops(500, 0.3, 0.4, 100, 80, 9);
+        assert_eq!(w.num_queries, 500);
+        assert!(w.num_inserts > 0 && w.num_inserts <= 80);
+        assert!(w.num_deletes > 0);
+        // Queries appear exactly once each, ascending.
+        let queries: Vec<usize> = w
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Query(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(queries, (0..500).collect::<Vec<_>>());
+        // Inserts are numbered in order; deletes target live ids only
+        // (never twice, never before the op that inserted them).
+        let mut next_insert = 0usize;
+        let mut live: std::collections::HashSet<u32> = (0..100).collect();
+        for op in &w.ops {
+            match *op {
+                Op::Query(_) => {}
+                Op::Insert(i) => {
+                    assert_eq!(i, next_insert);
+                    live.insert((100 + i) as u32);
+                    next_insert += 1;
+                }
+                Op::Delete(id) => {
+                    assert!(live.remove(&id), "delete of dead id {id}");
+                }
+            }
+        }
+        // Same seed, same stream.
+        assert_eq!(w.ops, mixed_ops(500, 0.3, 0.4, 100, 80, 9).ops);
+        // All-read stream degenerates to queries only.
+        let r = mixed_ops(50, 0.0, 0.5, 10, 10, 1);
+        assert_eq!(r.ops.len(), 50);
+        assert_eq!(r.num_inserts + r.num_deletes, 0);
     }
 
     #[test]

@@ -1,10 +1,19 @@
 //! The sharded query service: worker-pool orchestration, request
-//! admission and top-k merging.
+//! admission (reads *and* online writes) and top-k merging.
+//!
+//! Queries fan out to every shard's worker pool; inserts and deletes
+//! route to the owning shard's single writer thread, which applies them
+//! through the storage crate's `Updater` and invalidates exactly the
+//! rewritten blocks in the shard's DRAM cache (see
+//! [`crate::update`]). Both kinds flow through one admission discipline
+//! ([`Load`]) and one op stream, so a mixed workload's read latency
+//! degradation under writes is measured end to end.
 
-use crate::loadgen::{poisson_arrivals, Load};
+use crate::loadgen::{poisson_arrivals, Load, Op};
 use crate::metrics::LatencySummary;
 use crate::shard::{Shard, ShardSet};
 use crate::shared_sim::SharedSimArray;
+use crate::update::{run_writer, WriteJob, WriteKind};
 use crate::worker::{run_worker, sleep_until, Job, WorkerCtx, WorkerMsg};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use e2lsh_core::dataset::Dataset;
@@ -98,10 +107,19 @@ pub struct ServiceReport {
     /// Per-query latency in seconds (dispatch→last shard for closed
     /// loop, scheduled arrival→last shard for open loop).
     pub latencies: Vec<f64>,
+    /// Per-write latency in seconds (insert/delete dispatch or
+    /// scheduled arrival → applied), in completion order. Failed
+    /// writes are excluded — they count in
+    /// [`ServiceReport::writes_failed`]. Empty for read-only runs.
+    pub write_latencies: Vec<f64>,
+    /// Writes whose updater returned an error (the shard stays
+    /// queryable; rewritten blocks were still invalidated).
+    pub writes_failed: usize,
     /// Seconds from service epoch to the last completion.
     pub duration: f64,
     /// Device statistics summed over workers (shared arrays counted
-    /// once; cache counters are per-run deltas over the shard caches).
+    /// once; cache counters — including invalidations and discarded
+    /// stale fills — are per-run deltas over the shard caches).
     pub device: DeviceStats,
     /// Total I/Os issued across shards.
     pub total_io: u64,
@@ -121,9 +139,23 @@ impl ServiceReport {
         }
     }
 
-    /// Latency percentiles.
+    /// Applied writes per second (0 for read-only runs).
+    pub fn wps(&self) -> f64 {
+        if self.duration <= 0.0 {
+            0.0
+        } else {
+            self.write_latencies.len() as f64 / self.duration
+        }
+    }
+
+    /// Read-latency percentiles.
     pub fn latency(&self) -> LatencySummary {
         LatencySummary::of(&self.latencies)
+    }
+
+    /// Write-latency percentiles (all zeros for read-only runs).
+    pub fn write_latency(&self) -> LatencySummary {
+        LatencySummary::of(&self.write_latencies)
     }
 
     /// Mean I/Os per query (summed over shards).
@@ -168,16 +200,110 @@ impl ShardedService {
     }
 
     /// Run `queries` through the service under the given admission
-    /// discipline; blocks until every query completes.
+    /// discipline; blocks until every query completes. Read-only
+    /// shorthand for [`ShardedService::serve_mixed`].
     pub fn serve(&self, queries: &Dataset, load: Load) -> ServiceReport {
+        let ops: Vec<Op> = (0..queries.len()).map(Op::Query).collect();
+        let no_inserts = Dataset::with_capacity(queries.dim().max(1), 0);
+        self.serve_mixed(queries, &no_inserts, &ops, load)
+    }
+
+    /// Run a mixed read–write op stream through the service; blocks
+    /// until every op completes.
+    ///
+    /// `ops` references `queries` (each `Op::Query(i)` must appear
+    /// exactly once for `i < queries.len()`) and `inserts`
+    /// (`Op::Insert(j)` consumes pool point `j`, in ascending order —
+    /// the `j`-th insert receives the next unassigned global id, i.e.
+    /// build-time total + inserts applied by earlier runs + `j`, and is
+    /// routed round-robin over the shards). `Op::Delete(g)` must target
+    /// an id that is live at its position in the stream.
+    /// [`crate::loadgen::mixed_ops`] generates conforming streams (use
+    /// [`crate::loadgen::mixed_ops_resuming`] for follow-up runs on a
+    /// mutated service).
+    ///
+    /// Queries fan out to every shard's worker pool; writes go to the
+    /// owning shard's writer thread (one per shard — the shard write
+    /// lock), which applies them through the storage updater,
+    /// invalidates exactly the rewritten cache blocks and publishes new
+    /// occupancy-filter bits into the live index. Under [`Load::Closed`]
+    /// the window counts in-flight ops of both kinds; under
+    /// [`Load::Open`] all ops share one Poisson arrival process.
+    pub fn serve_mixed(
+        &self,
+        queries: &Dataset,
+        inserts: &Dataset,
+        ops: &[Op],
+        load: Load,
+    ) -> ServiceReport {
         assert_eq!(queries.dim(), self.shards.dim(), "query dimensionality");
-        let nq = queries.len();
         let num_shards = self.shards.num_shards();
         let workers_total = num_shards * self.config.workers_per_shard;
-        if nq == 0 {
+        let num_queries = ops.iter().filter(|op| matches!(op, Op::Query(_))).count();
+        assert_eq!(
+            num_queries,
+            queries.len(),
+            "ops must cover each query exactly once"
+        );
+        let has_writes = ops.len() > num_queries;
+        if has_writes {
+            assert_eq!(inserts.dim(), self.shards.dim(), "insert dimensionality");
+        }
+        // Validate write ops up front: a bad op would panic inside a
+        // shard writer thread, and a dead writer starves the collector
+        // of WriteDone messages — a silent hang instead of a loud
+        // failure here. Checks: insert indices are dense and ascending
+        // (the dispatcher assigns global ids as `insert_base + j`) and
+        // fit the pool; deletes target ids assigned before them in the
+        // stream (per-shard FIFO then guarantees delete-after-insert);
+        // and each shard's growth fits the id space its index codec was
+        // built with.
+        {
+            let insert_base = self.insert_base();
+            let mut assigned = insert_base;
+            let mut expected_insert = 0usize;
+            let mut new_rows = vec![0usize; num_shards];
+            for op in ops {
+                match *op {
+                    Op::Query(_) => {}
+                    Op::Insert(j) => {
+                        assert_eq!(
+                            j, expected_insert,
+                            "insert indices must be dense and ascending"
+                        );
+                        new_rows[self.shards.plan().shard_of_any(assigned)] += 1;
+                        expected_insert += 1;
+                        assigned += 1;
+                    }
+                    Op::Delete(g) => {
+                        assert!(
+                            (g as usize) < assigned,
+                            "delete of unassigned global id {g} (ids end at {assigned})"
+                        );
+                    }
+                }
+            }
+            assert!(
+                expected_insert <= inserts.len(),
+                "ops consume {expected_insert} insert points but the pool holds {}",
+                inserts.len()
+            );
+            for (s, shard) in self.shards.shards().iter().enumerate() {
+                let id_space = 1u64 << shard.index.codec().id_bits;
+                assert!(
+                    (shard.num_rows() + new_rows[s]) as u64 <= id_space,
+                    "shard {s}: {} inserts exceed the id space ({id_space} ids) — \
+                     build with a larger ShardBuildConfig::capacity",
+                    new_rows[s]
+                );
+            }
+        }
+        if ops.is_empty() {
             return ServiceReport {
                 results: Vec::new(),
                 latencies: Vec::new(),
+                write_latencies: Vec::new(),
+                writes_failed: 0,
                 duration: 0.0,
                 device: DeviceStats::default(),
                 total_io: 0,
@@ -192,13 +318,19 @@ impl ShardedService {
 
         // Snapshot cache counters so the report shows per-run deltas even
         // when a warm cache is reused across runs.
-        let cache_snapshot: Vec<(u64, u64, u64)> = self
+        let cache_snapshot: Vec<CacheSnapshot> = self
             .shards
             .shards()
             .iter()
             .map(|s| match &s.cache {
-                Some(c) => (c.hits(), c.misses(), c.evictions()),
-                None => (0, 0, 0),
+                Some(c) => CacheSnapshot {
+                    hits: c.hits(),
+                    misses: c.misses(),
+                    evictions: c.evictions(),
+                    invalidations: c.invalidations(),
+                    stale_fills: c.stale_fills(),
+                },
+                None => CacheSnapshot::default(),
             })
             .collect();
 
@@ -223,10 +355,17 @@ impl ShardedService {
             })
             .collect();
 
-        // Per-shard job queues and the worker→collector channel.
+        // Per-shard job queues and the worker/writer→collector channel.
         let channels: Vec<(Sender<Job>, Receiver<Job>)> =
             (0..num_shards).map(|_| unbounded()).collect();
         let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+        // One writer (and write queue) per shard, only when the stream
+        // has writes: the writer owns the shard's read-write updater.
+        let write_channels: Vec<(Sender<WriteJob>, Receiver<WriteJob>)> = if has_writes {
+            (0..num_shards).map(|_| unbounded()).collect()
+        } else {
+            Vec::new()
+        };
 
         let mut report: Option<ServiceReport> = None;
         std::thread::scope(|scope| {
@@ -252,12 +391,29 @@ impl ShardedService {
                         );
                     });
                 }
+                if has_writes {
+                    let jobs = write_channels[s].1.clone();
+                    let tx = msg_tx.clone();
+                    scope.spawn(move || run_writer(shard, inserts, jobs, tx, epoch));
+                }
             }
             drop(msg_tx);
             let job_txs: Vec<Sender<Job>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
             drop(channels);
+            let write_txs: Vec<Sender<WriteJob>> =
+                write_channels.iter().map(|(tx, _)| tx.clone()).collect();
+            drop(write_channels);
 
-            report = Some(self.drive(queries, load, job_txs, msg_rx, epoch, &cache_snapshot));
+            report = Some(self.drive(
+                queries,
+                ops,
+                load,
+                job_txs,
+                write_txs,
+                msg_rx,
+                epoch,
+                &cache_snapshot,
+            ));
         });
         report.expect("collector ran")
     }
@@ -302,115 +458,151 @@ impl ShardedService {
         }
     }
 
-    /// Dispatch queries per the admission discipline and collect partials
-    /// into merged results.
+    /// Next unassigned global id: inserts continue the sequence where
+    /// earlier runs left it (build-time total + rows appended so far).
+    fn insert_base(&self) -> usize {
+        self.shards.plan().base_total()
+            + self
+                .shards
+                .shards()
+                .iter()
+                .map(|s| s.num_rows() - s.base_len())
+                .sum::<usize>()
+    }
+
+    /// Route one op: queries fan out to every shard's worker pool,
+    /// writes go to the owning shard's writer. The `j`-th insert of the
+    /// stream gets global id `insert_base + j` (the generator emits
+    /// `Op::Insert(j)` in ascending order; `insert_base` is the
+    /// build-time total plus inserts applied by earlier runs), dealt
+    /// round-robin per the plan's appended-id arithmetic.
+    fn send_op(
+        &self,
+        op_idx: usize,
+        op: Op,
+        insert_base: usize,
+        job_txs: &[Sender<Job>],
+        write_txs: &[Sender<WriteJob>],
+    ) {
+        match op {
+            Op::Query(qid) => {
+                for tx in job_txs {
+                    tx.send(Job { qid }).expect("workers alive");
+                }
+            }
+            Op::Insert(j) => {
+                let global_id = (insert_base + j) as u32;
+                let s = self.shards.plan().shard_of_any(global_id as usize);
+                write_txs[s]
+                    .send(WriteJob {
+                        op_idx,
+                        global_id,
+                        kind: WriteKind::Insert { point_idx: j },
+                    })
+                    .expect("writer alive");
+            }
+            Op::Delete(global_id) => {
+                let s = self.shards.plan().shard_of_any(global_id as usize);
+                write_txs[s]
+                    .send(WriteJob {
+                        op_idx,
+                        global_id,
+                        kind: WriteKind::Delete,
+                    })
+                    .expect("writer alive");
+            }
+        }
+    }
+
+    /// Dispatch ops per the admission discipline and collect partials /
+    /// write completions.
+    #[allow(clippy::too_many_arguments)]
     fn drive(
         &self,
         queries: &Dataset,
+        ops: &[Op],
         load: Load,
         job_txs: Vec<Sender<Job>>,
+        write_txs: Vec<Sender<WriteJob>>,
         msg_rx: Receiver<WorkerMsg>,
         epoch: Instant,
-        cache_snapshot: &[(u64, u64, u64)],
+        cache_snapshot: &[CacheSnapshot],
     ) -> ServiceReport {
         let nq = queries.len();
+        let total = ops.len();
         let num_shards = self.shards.num_shards();
+        let insert_base = self.insert_base();
         let k = self.config.k;
-        let mut accum: Vec<Accum> = (0..nq)
-            .map(|_| Accum {
-                remaining: num_shards,
-                neighbors: Vec::new(),
-                finish: 0.0,
-            })
-            .collect();
-        let mut results: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nq];
-        let mut latencies = vec![0.0f64; nq];
-        let mut ref_time = vec![0.0f64; nq]; // dispatch (closed) or arrival (open)
-        let mut total_io = 0u64;
-        let mut done = 0usize;
-        let mut duration = 0.0f64;
-
-        // Accumulate one partial; returns the finished query id, if any.
-        let take = |msg: WorkerMsg,
-                    accum: &mut Vec<Accum>,
-                    results: &mut Vec<Vec<(u32, f32)>>,
-                    total_io: &mut u64|
-         -> Option<usize> {
-            match msg {
-                WorkerMsg::Partial {
-                    qid,
-                    neighbors,
-                    n_io,
-                    finish,
-                    ..
-                } => {
-                    let a = &mut accum[qid];
-                    debug_assert!(a.remaining > 0, "extra partial for query {qid}");
-                    a.neighbors.extend(neighbors);
-                    a.finish = a.finish.max(finish);
-                    a.remaining -= 1;
-                    *total_io += u64::from(n_io);
-                    if a.remaining == 0 {
-                        let mut merged = std::mem::take(&mut a.neighbors);
-                        merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
-                        merged.truncate(k);
-                        results[qid] = merged;
-                        Some(qid)
-                    } else {
-                        None
-                    }
-                }
-                WorkerMsg::Done { .. } => {
-                    unreachable!("Done before the job queues closed")
-                }
+        // qid → op index, for read-latency reference times.
+        let mut query_op = vec![usize::MAX; nq];
+        for (i, op) in ops.iter().enumerate() {
+            if let Op::Query(qid) = *op {
+                assert_eq!(query_op[qid], usize::MAX, "query {qid} appears twice");
+                query_op[qid] = i;
             }
+        }
+        let mut collector = Collector {
+            accum: (0..nq)
+                .map(|_| Accum {
+                    remaining: num_shards,
+                    neighbors: Vec::new(),
+                    finish: 0.0,
+                })
+                .collect(),
+            results: vec![Vec::new(); nq],
+            latencies: vec![0.0f64; nq],
+            write_latencies: Vec::new(),
+            writes_failed: 0,
+            total_io: 0,
+            duration: 0.0,
+            query_op,
+            k,
         };
+        let mut ref_time = vec![0.0f64; total]; // dispatch (closed) or arrival (open)
+        let mut done = 0usize;
 
         match load {
             Load::Closed { window } => {
-                let window = window.max(1).min(nq);
+                let window = window.max(1).min(total);
                 let mut next = 0usize;
-                let send = |qid: usize, ref_time: &mut Vec<f64>| {
-                    ref_time[qid] = epoch.elapsed().as_secs_f64();
-                    for tx in &job_txs {
-                        tx.send(Job { qid }).expect("workers alive");
-                    }
-                };
-                for _ in 0..window {
-                    send(next, &mut ref_time);
+                while next < window {
+                    ref_time[next] = epoch.elapsed().as_secs_f64();
+                    self.send_op(next, ops[next], insert_base, &job_txs, &write_txs);
                     next += 1;
                 }
-                while done < nq {
+                while done < total {
                     let msg = msg_rx.recv().expect("workers alive");
-                    if let Some(qid) = take(msg, &mut accum, &mut results, &mut total_io) {
-                        latencies[qid] = accum[qid].finish - ref_time[qid];
-                        duration = duration.max(accum[qid].finish);
+                    if collector.absorb(msg, &ref_time) {
                         done += 1;
-                        if next < nq {
-                            send(next, &mut ref_time);
+                        if next < total {
+                            ref_time[next] = epoch.elapsed().as_secs_f64();
+                            self.send_op(next, ops[next], insert_base, &job_txs, &write_txs);
                             next += 1;
                         }
                     }
                 }
             }
             Load::Open { rate_qps, seed } => {
-                let arrivals = poisson_arrivals(nq, rate_qps, seed);
+                let arrivals = poisson_arrivals(total, rate_qps, seed);
                 ref_time.copy_from_slice(&arrivals);
-                let dispatch_txs = job_txs.clone();
+                let dispatch_job_txs = &job_txs;
+                let dispatch_write_txs = &write_txs;
                 std::thread::scope(|scope| {
                     scope.spawn(|| {
-                        for (qid, &at) in arrivals.iter().enumerate() {
+                        for (op_idx, &at) in arrivals.iter().enumerate() {
                             sleep_until(epoch, at);
-                            for tx in &dispatch_txs {
-                                tx.send(Job { qid }).expect("workers alive");
-                            }
+                            self.send_op(
+                                op_idx,
+                                ops[op_idx],
+                                insert_base,
+                                dispatch_job_txs,
+                                dispatch_write_txs,
+                            );
                         }
                     });
-                    while done < nq {
+                    while done < total {
                         let msg = msg_rx.recv().expect("workers alive");
-                        if let Some(qid) = take(msg, &mut accum, &mut results, &mut total_io) {
-                            latencies[qid] = accum[qid].finish - ref_time[qid];
-                            duration = duration.max(accum[qid].finish);
+                        if collector.absorb(msg, &ref_time) {
                             done += 1;
                         }
                     }
@@ -420,6 +612,7 @@ impl ShardedService {
 
         // Close the queues and aggregate worker statistics.
         drop(job_txs);
+        drop(write_txs);
         let mut device = DeviceStats::default();
         while let Ok(msg) = msg_rx.recv() {
             if let WorkerMsg::Done {
@@ -442,22 +635,101 @@ impl ShardedService {
         // Cache counters: per-run deltas over the shard caches (device
         // stats would double count — every worker of a shard shares one
         // cache).
-        for (shard, &(h0, m0, e0)) in self.shards.shards().iter().zip(cache_snapshot) {
+        for (shard, snap) in self.shards.shards().iter().zip(cache_snapshot) {
             if let Some(c) = &shard.cache {
-                device.cache_hits += c.hits() - h0;
-                device.cache_misses += c.misses() - m0;
-                device.cache_evictions += c.evictions() - e0;
+                device.cache_hits += c.hits() - snap.hits;
+                device.cache_misses += c.misses() - snap.misses;
+                device.cache_evictions += c.evictions() - snap.evictions;
+                device.cache_invalidations += c.invalidations() - snap.invalidations;
+                device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
             }
         }
 
         ServiceReport {
-            results,
-            latencies,
-            duration,
+            results: collector.results,
+            latencies: collector.latencies,
+            write_latencies: collector.write_latencies,
+            writes_failed: collector.writes_failed,
+            duration: collector.duration,
             device,
-            total_io,
+            total_io: collector.total_io,
             workers: self.shards.num_shards() * self.config.workers_per_shard,
             shards: num_shards,
         }
     }
+}
+
+/// Mutable collector state of one service run: merges shard partials
+/// into per-query results and books read/write latencies.
+struct Collector {
+    accum: Vec<Accum>,
+    results: Vec<Vec<(u32, f32)>>,
+    latencies: Vec<f64>,
+    write_latencies: Vec<f64>,
+    writes_failed: usize,
+    total_io: u64,
+    duration: f64,
+    /// qid → op index, for read-latency reference times.
+    query_op: Vec<usize>,
+    k: usize,
+}
+
+impl Collector {
+    /// Accumulate one message; returns true when it completed an op.
+    /// `ref_time[op]` is the op's dispatch (closed loop) or scheduled
+    /// arrival (open loop) time.
+    fn absorb(&mut self, msg: WorkerMsg, ref_time: &[f64]) -> bool {
+        match msg {
+            WorkerMsg::Partial {
+                qid,
+                neighbors,
+                n_io,
+                finish,
+                ..
+            } => {
+                let a = &mut self.accum[qid];
+                debug_assert!(a.remaining > 0, "extra partial for query {qid}");
+                a.neighbors.extend(neighbors);
+                a.finish = a.finish.max(finish);
+                a.remaining -= 1;
+                self.total_io += u64::from(n_io);
+                if a.remaining == 0 {
+                    let mut merged = std::mem::take(&mut a.neighbors);
+                    merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+                    merged.truncate(self.k);
+                    let finish = a.finish;
+                    self.results[qid] = merged;
+                    self.latencies[qid] = finish - ref_time[self.query_op[qid]];
+                    self.duration = self.duration.max(finish);
+                    true
+                } else {
+                    false
+                }
+            }
+            WorkerMsg::WriteDone { op_idx, ok, finish } => {
+                // Failed writes count toward writes_failed only:
+                // wps()/write_latency() report *applied* writes.
+                if ok {
+                    self.write_latencies.push(finish - ref_time[op_idx]);
+                } else {
+                    self.writes_failed += 1;
+                }
+                self.duration = self.duration.max(finish);
+                true
+            }
+            WorkerMsg::Done { .. } => {
+                unreachable!("Done before the job queues closed")
+            }
+        }
+    }
+}
+
+/// Cache counters at serve start, for per-run deltas.
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheSnapshot {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    stale_fills: u64,
 }

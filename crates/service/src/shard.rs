@@ -6,6 +6,16 @@
 //! per-shard top-k. Contiguous partitioning keeps the global→local id
 //! mapping a single offset, so per-shard results translate with one add.
 //!
+//! ## Online growth
+//!
+//! Objects inserted after the build get the next global ids
+//! (`n, n+1, …`) and are routed round-robin over the shards, so the
+//! global↔local mapping for appended ids stays pure arithmetic — no
+//! shared routing table, no lock on the hot result-mapping path (see
+//! [`ShardPlan::shard_of_any`] / [`Shard::to_global`]). Each shard's
+//! rows live behind an [`RwLock`] so the write path can append
+//! coordinates while query workers keep running.
+//!
 //! Each shard owns an optional [`BlockCache`] shared by every worker
 //! driving that shard, so a bucket fetched by one worker is a DRAM hit
 //! for all of them.
@@ -19,9 +29,10 @@ use e2lsh_storage::index::StorageIndex;
 use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-/// A contiguous partition of `0..n` into shards of near-equal size.
+/// A contiguous partition of `0..n` into shards of near-equal size,
+/// extended to ids `≥ n` (online inserts) by round-robin assignment.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardPlan {
     bounds: Vec<usize>,
@@ -50,16 +61,59 @@ impl ShardPlan {
         self.bounds.len() - 1
     }
 
-    /// Global id range of shard `s`.
+    /// Objects covered at build time (appended ids start here).
+    pub fn base_total(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    /// Build-time size of shard `s`.
+    pub fn base_len(&self, s: usize) -> usize {
+        self.bounds[s + 1] - self.bounds[s]
+    }
+
+    /// Global id range of shard `s` at build time.
     pub fn range(&self, s: usize) -> Range<usize> {
         self.bounds[s]..self.bounds[s + 1]
     }
 
-    /// Shard owning global id `i`.
+    /// Shard owning **build-time** global id `i < n`.
     pub fn shard_of(&self, i: usize) -> usize {
         match self.bounds.binary_search(&i) {
             Ok(s) => s.min(self.num_shards() - 1),
             Err(s) => s - 1,
+        }
+    }
+
+    /// Shard owning any global id, including ids appended online:
+    /// appended ids are dealt round-robin, so id `n + j` lives on shard
+    /// `j mod N`.
+    pub fn shard_of_any(&self, g: usize) -> usize {
+        let n = self.base_total();
+        if g < n {
+            self.shard_of(g)
+        } else {
+            (g - n) % self.num_shards()
+        }
+    }
+
+    /// Shard-local id of global id `g` (build-time or appended).
+    pub fn local_of(&self, g: usize) -> usize {
+        let n = self.base_total();
+        if g < n {
+            g - self.bounds[self.shard_of(g)]
+        } else {
+            self.base_len(self.shard_of_any(g)) + (g - n) / self.num_shards()
+        }
+    }
+
+    /// Global id of shard `s`'s local id (inverse of
+    /// [`ShardPlan::local_of`] within one shard).
+    pub fn global_of(&self, s: usize, local: usize) -> usize {
+        let base = self.base_len(s);
+        if local < base {
+            self.bounds[s] + local
+        } else {
+            self.base_total() + (local - base) * self.num_shards() + s
         }
     }
 }
@@ -71,22 +125,65 @@ pub struct Shard {
     pub id: usize,
     /// Global id of local object 0.
     pub start: usize,
-    /// The shard's rows (local ids `0..data.len()`).
-    pub data: Dataset,
-    /// The shard's opened E2LSHoS index.
+    /// The shard's rows (local ids `0..len`), behind a lock so the
+    /// online write path can append coordinates while query workers
+    /// read them. Coordinates of deleted objects are kept (in-flight
+    /// queries may still distance-check them; their index entries are
+    /// gone, so they stop appearing in results).
+    pub data: RwLock<Dataset>,
+    /// The shard's opened E2LSHoS index (occupancy bitmaps are live:
+    /// the write path publishes new filter bits into it).
     pub index: StorageIndex,
     /// The shard's index file.
     pub path: PathBuf,
     /// DRAM block cache shared by all workers of this shard (None =
     /// uncached).
     pub cache: Option<Arc<BlockCache>>,
+    /// Build-time rows of this shard (locals `>= base_len` were
+    /// appended online).
+    base_len: usize,
+    /// Build-time total over all shards (appended global ids start
+    /// here).
+    base_total: usize,
+    /// Shards in the service (round-robin modulus for appended ids).
+    num_shards: usize,
 }
 
 impl Shard {
-    /// Map a shard-local neighbor id to its global id.
+    /// Map a shard-local neighbor id to its global id. Pure arithmetic
+    /// (contiguous base partition + round-robin appended ids), so the
+    /// result-mapping hot path takes no lock.
     #[inline]
     pub fn to_global(&self, local: u32) -> u32 {
-        local + self.start as u32
+        if (local as usize) < self.base_len {
+            local + self.start as u32
+        } else {
+            (self.base_total + (local as usize - self.base_len) * self.num_shards + self.id) as u32
+        }
+    }
+
+    /// Shard-local id of a global id owned by this shard (inverse of
+    /// [`Shard::to_global`]).
+    #[inline]
+    pub fn local_of(&self, global: u32) -> u32 {
+        let g = global as usize;
+        if g < self.base_total {
+            debug_assert!(self.start <= g && g - self.start < self.base_len);
+            (g - self.start) as u32
+        } else {
+            debug_assert_eq!((g - self.base_total) % self.num_shards, self.id);
+            (self.base_len + (g - self.base_total) / self.num_shards) as u32
+        }
+    }
+
+    /// Rows currently held (build-time + appended).
+    pub fn num_rows(&self) -> usize {
+        self.data.read().unwrap().len()
+    }
+
+    /// Build-time rows (before any online insert).
+    pub fn base_len(&self) -> usize {
+        self.base_len
     }
 }
 
@@ -106,6 +203,9 @@ pub struct ShardBuildConfig {
     /// Lock shards of the cache (power of contention reduction; clamped
     /// to `cache_blocks`).
     pub cache_lock_shards: usize,
+    /// Per-shard object-ID capacity reserved for online inserts
+    /// (`None` = the storage default, 2× the shard's build-time size).
+    pub capacity: Option<usize>,
 }
 
 impl Default for ShardBuildConfig {
@@ -116,6 +216,7 @@ impl Default for ShardBuildConfig {
             dir: std::env::temp_dir().join("e2lsh-service"),
             cache_blocks: 0,
             cache_lock_shards: 8,
+            capacity: None,
         }
     }
 }
@@ -158,19 +259,24 @@ impl ShardSet {
             ));
             let build_cfg = BuildConfig {
                 seed: cfg.seed + s as u64,
+                capacity: cfg.capacity,
                 ..Default::default()
             };
             build_index(&local, &params, &build_cfg, &path)?;
             let index = open_index(&path)?;
             let cache = (cfg.cache_blocks > 0)
                 .then(|| Arc::new(BlockCache::new(cfg.cache_blocks, cfg.cache_lock_shards)));
+            let base_len = local.len();
             shards.push(Shard {
                 id: s,
                 start: range.start,
-                data: local,
+                data: RwLock::new(local),
                 index,
                 path,
                 cache,
+                base_len,
+                base_total: data.len(),
+                num_shards: plan.num_shards(),
             });
         }
         Ok(Self {
@@ -255,5 +361,26 @@ mod tests {
         let plan = ShardPlan::contiguous(5, 1);
         assert_eq!(plan.num_shards(), 1);
         assert_eq!(plan.range(0), 0..5);
+    }
+
+    #[test]
+    fn appended_ids_route_round_robin_and_roundtrip() {
+        let plan = ShardPlan::contiguous(10, 3);
+        // Base ids roundtrip through the contiguous mapping.
+        for g in 0..10 {
+            let s = plan.shard_of_any(g);
+            assert_eq!(s, plan.shard_of(g));
+            assert_eq!(plan.global_of(s, plan.local_of(g)), g);
+        }
+        // Appended ids (10, 11, …) are dealt round-robin and locals are
+        // dense continuations of each shard's base range.
+        for j in 0..12 {
+            let g = 10 + j;
+            let s = plan.shard_of_any(g);
+            assert_eq!(s, j % 3);
+            let local = plan.local_of(g);
+            assert_eq!(local, plan.base_len(s) + j / 3);
+            assert_eq!(plan.global_of(s, local), g);
+        }
     }
 }

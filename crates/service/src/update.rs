@@ -1,0 +1,191 @@
+//! The online write path: per-shard updaters behind the service.
+//!
+//! A [`ShardUpdater`] applies inserts and deletes to one shard while
+//! that shard keeps serving queries. Each operation:
+//!
+//! 1. **publishes coordinates first** (inserts append to the shard's
+//!    locked dataset before any index entry can reference the new id,
+//!    so a query can never distance-check a missing row);
+//! 2. applies the mutation through the storage crate's
+//!    [`Updater`] (read-write file handle, one per shard — the shard
+//!    write lock: the service runs one writer thread per shard, so
+//!    mutations of a shard are serialized while readers never block);
+//! 3. **invalidates exactly the rewritten blocks** in the shard's
+//!    [`BlockCache`] using the updater's
+//!    [`WriteTrace`](e2lsh_storage::update::WriteTrace) — per-key
+//!    epochs in the cache discard in-flight fills for those blocks
+//!    only — and mirrors newly set occupancy-filter bits into the live
+//!    [`StorageIndex`] so queries start probing the new buckets.
+//!
+//! The trace is applied **even when the operation fails** part-way: a
+//! failed insert may already have rewritten blocks, and a cache serving
+//! their pre-write bytes would be stale (covered by the
+//! failure-injection suite).
+
+use crate::shard::Shard;
+use crate::worker::WorkerMsg;
+use crossbeam::channel::{Receiver, Sender};
+use e2lsh_core::dataset::Dataset;
+use e2lsh_storage::layout::BLOCK_SIZE;
+use e2lsh_storage::update::Updater;
+use std::io;
+use std::time::Instant;
+
+/// Read-write handle over one shard for online maintenance, safe to use
+/// while the shard serves queries (one `ShardUpdater` per shard at a
+/// time — the service's per-shard writer thread owns it).
+pub struct ShardUpdater<'a> {
+    shard: &'a Shard,
+    updater: Updater,
+}
+
+impl<'a> ShardUpdater<'a> {
+    /// Open the shard's index file for updates.
+    ///
+    /// Reconciles the on-storage object count with the shard's row
+    /// count: a failed insert burns its id but flushes the burn
+    /// best-effort, so after an unlucky double failure the storage
+    /// count can lag the (authoritative) dataset mirror — resuming id
+    /// assignment from the stale count would desynchronize every later
+    /// local↔global mapping on the shard.
+    pub fn open(shard: &'a Shard) -> io::Result<Self> {
+        let mut updater = Updater::open(&shard.path)?;
+        let rows = shard.data.read().unwrap().len();
+        updater.reconcile_len(rows)?;
+        Ok(Self { updater, shard })
+    }
+
+    /// The shard this updater mutates.
+    pub fn shard(&self) -> &Shard {
+        self.shard
+    }
+
+    /// Fault injection passthrough for tests (see
+    /// [`Updater::fail_after_writes`]).
+    pub fn fail_after_writes(&mut self, n: Option<u64>) {
+        self.updater.fail_after_writes(n);
+    }
+
+    /// Insert a point into this shard; returns its **global** id.
+    ///
+    /// The coordinates become visible to the shard's query workers
+    /// before any index entry references them, so the insert is
+    /// race-free against concurrent reads; it becomes *findable* once
+    /// the index entries and filter bits land (when this call returns).
+    ///
+    /// On error the id and its dataset row are still consumed — the
+    /// storage updater burns failed ids (entries may half-exist in some
+    /// tables), so popping the row would desynchronize every later
+    /// local↔global mapping on this shard. The failed object is at
+    /// worst partially findable with correct coordinates, never wrong.
+    pub fn insert(&mut self, point: &[f32]) -> io::Result<u32> {
+        let local = {
+            let mut data = self.shard.data.write().unwrap();
+            data.push(point);
+            (data.len() - 1) as u32
+        };
+        let res = self.updater.insert(point);
+        self.apply_trace();
+        let id = res?;
+        debug_assert_eq!(id, local, "updater and dataset disagree on local id");
+        Ok(self.shard.to_global(local))
+    }
+
+    /// Remove the object with the given **global** id from this shard's
+    /// index. Returns the number of chain entries removed. The
+    /// coordinates stay in the dataset (in-flight queries may still
+    /// distance-check them); with its entries gone the id stops
+    /// appearing in results of queries admitted after this returns.
+    pub fn delete(&mut self, global_id: u32) -> io::Result<usize> {
+        let local = self.shard.local_of(global_id);
+        let point = {
+            let data = self.shard.data.read().unwrap();
+            data.point(local as usize).to_vec()
+        };
+        let res = self.updater.delete(&point, local);
+        self.apply_trace();
+        res
+    }
+
+    /// Invalidate rewritten blocks in the shard cache and publish new
+    /// filter bits into the live index — also on failure (see module
+    /// docs).
+    fn apply_trace(&mut self) {
+        let trace = self.updater.take_trace();
+        for &(ri, li, h32) in &trace.filter_bits {
+            self.shard.index.set_filter_bit(ri, li, h32);
+        }
+        if let Some(cache) = &self.shard.cache {
+            for &addr in &trace.blocks {
+                cache.invalidate(addr / BLOCK_SIZE as u64);
+            }
+        }
+    }
+}
+
+/// A write admitted to the service, bound for one shard's writer.
+pub(crate) struct WriteJob {
+    /// Index of the op in the service's op stream (for latency
+    /// bookkeeping).
+    pub op_idx: usize,
+    /// Global id the dispatcher assigned (inserts) or targets (deletes).
+    pub global_id: u32,
+    pub kind: WriteKind,
+}
+
+pub(crate) enum WriteKind {
+    /// Insert this point of the service's insert pool.
+    Insert {
+        point_idx: usize,
+    },
+    Delete,
+}
+
+/// The per-shard writer loop: owns the shard's [`ShardUpdater`] (the
+/// shard write lock — one writer per shard serializes its mutations),
+/// applies jobs in FIFO order, reports completions to the collector.
+/// FIFO matters: the dispatcher sends ops in stream order, so a delete
+/// of an id inserted earlier lands after its insert.
+pub(crate) fn run_writer(
+    shard: &Shard,
+    inserts: &Dataset,
+    jobs: Receiver<WriteJob>,
+    out: Sender<WorkerMsg>,
+    epoch: Instant,
+) {
+    // A panic here would starve the collector of this shard's WriteDone
+    // messages and hang the serve call; if the index file cannot be
+    // reopened read-write, every write to this shard fails instead.
+    let mut up = match ShardUpdater::open(shard) {
+        Ok(up) => Some(up),
+        Err(e) => {
+            eprintln!(
+                "shard {}: updater unavailable, failing writes: {e}",
+                shard.id
+            );
+            None
+        }
+    };
+    while let Ok(job) = jobs.recv() {
+        let ok = match (&mut up, job.kind) {
+            (Some(up), WriteKind::Insert { point_idx }) => {
+                match up.insert(inserts.point(point_idx)) {
+                    Ok(gid) => {
+                        debug_assert_eq!(gid, job.global_id, "dispatcher/updater id drift");
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            (Some(up), WriteKind::Delete) => up.delete(job.global_id).is_ok(),
+            (None, _) => false,
+        };
+        // The collector may already have everything it needs and be
+        // gone; that is not a writer error.
+        let _ = out.send(WorkerMsg::WriteDone {
+            op_idx: job.op_idx,
+            ok,
+            finish: epoch.elapsed().as_secs_f64(),
+        });
+    }
+}

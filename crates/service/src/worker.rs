@@ -21,7 +21,7 @@ pub struct Job {
     pub qid: usize,
 }
 
-/// Worker → collector messages.
+/// Worker/writer → collector messages.
 pub enum WorkerMsg {
     /// One shard finished one query.
     Partial {
@@ -34,6 +34,16 @@ pub enum WorkerMsg {
         /// I/Os this shard issued for the query.
         n_io: u32,
         /// Seconds since the service epoch when the shard finished.
+        finish: f64,
+    },
+    /// A shard writer finished one insert/delete.
+    WriteDone {
+        /// Index of the op in the service's op stream.
+        op_idx: usize,
+        /// False when the updater returned an error (the shard stays
+        /// queryable; the rewritten blocks were still invalidated).
+        ok: bool,
+        /// Seconds since the service epoch when the write finished.
         finish: f64,
     },
     /// A worker drained its queue and exited.
@@ -96,7 +106,7 @@ pub fn run_worker(
     jobs: Receiver<Job>,
     out: Sender<WorkerMsg>,
 ) {
-    let mut driver = QueryDriver::new(&ctx.shard.index, &ctx.shard.data, ctx.engine);
+    let mut driver = QueryDriver::new(&ctx.shard.index, ctx.engine);
     let nslots = ctx.engine.contexts.max(1);
     let mut slots: Vec<QueryState> = (0..nslots).map(QueryState::new).collect();
     let mut free: Vec<usize> = (0..nslots).rev().collect();
@@ -210,15 +220,21 @@ pub fn run_worker(
             }
             continue;
         }
+        // One read guard over the shard rows for the whole completion
+        // batch; the write path only appends (and appends coordinates
+        // before index entries reference them), so anything decoded
+        // from these completions is covered by this view.
+        let data = ctx.shard.data.read().unwrap();
         for comp in completions.drain(..) {
             clock.observe(comp.time);
             clock.observe(ctx.epoch.elapsed().as_secs_f64());
             let ci = completion_ctx(&comp);
-            driver.handle_completion(&mut slots[ci], &comp, &mut clock, &mut *device);
+            driver.handle_completion(&mut slots[ci], &comp, &data, &mut clock, &mut *device);
             if !slots[ci].is_active() {
                 harvest!(ci);
             }
         }
+        drop(data);
     }
 
     let _ = out.send(WorkerMsg::Done {

@@ -60,7 +60,8 @@ fn reference_results(shards: &ShardSet, queries: &Dataset, k: usize) -> Vec<Vec<
         let index = StorageIndex::open(&mut dev).unwrap();
         let mut cfg = EngineConfig::simulated(Interface::SPDK, k);
         cfg.s_override = Some(AMPLE);
-        let report = run_queries(&index, &shard.data, queries, &cfg, &mut dev);
+        let data = shard.data.read().unwrap();
+        let report = run_queries(&index, &data, queries, &cfg, &mut dev);
         for (qi, out) in report.outcomes.iter().enumerate() {
             merged[qi].extend(
                 out.neighbors

@@ -14,10 +14,17 @@
 //! Shard-level mutexes keep cross-worker contention low (each lock guards
 //! `1/num_shards` of the key space).
 //!
-//! Hits, misses and evictions are surfaced through
-//! [`DeviceStats::cache_hits`] / [`DeviceStats::cache_misses`] /
-//! [`DeviceStats::cache_evictions`], so every report that prints device
-//! statistics can report cache effectiveness too.
+//! Hits, misses, evictions, invalidations and discarded stale fills are
+//! surfaced through [`DeviceStats::cache_hits`] /
+//! [`DeviceStats::cache_misses`] / [`DeviceStats::cache_evictions`] /
+//! [`DeviceStats::cache_invalidations`] /
+//! [`DeviceStats::cache_stale_fills`], so every report that prints
+//! device statistics can report cache effectiveness too.
+//!
+//! Writers (the online update path) invalidate exactly the blocks they
+//! rewrite; per-key epochs make sure a racing miss fill for an
+//! invalidated block is discarded while fills for unrelated blocks
+//! survive (see [`BlockCache`]).
 
 use super::{Device, DeviceStats, IoCompletion, IoRequest};
 use std::collections::HashMap;
@@ -35,6 +42,19 @@ struct LruShard {
     head: usize,
     tail: usize,
     capacity: usize,
+    /// Per-key invalidation counters (sparse: only keys invalidated
+    /// since this segment's last flush appear). Guarded by the same
+    /// mutex as the entries, so epoch reads/bumps are atomic with entry
+    /// removal and with fill insertion. Bounded: when the map outgrows
+    /// [`LruShard::epoch_bound`], the segment's `flush` epoch is bumped
+    /// and the map dropped — every in-flight fill into this segment is
+    /// then conservatively discarded, which is the old cache-global
+    /// behaviour for one rare moment instead of on every write.
+    epochs: HashMap<u64, u64>,
+    /// This segment's flush epoch: bumped by
+    /// [`BlockCache::invalidate_all`] and by epoch-map overflow; gates
+    /// every in-flight fill into the segment.
+    flush: u64,
 }
 
 struct Node {
@@ -53,7 +73,30 @@ impl LruShard {
             head: NIL,
             tail: NIL,
             capacity,
+            epochs: HashMap::new(),
+            flush: 0,
         }
+    }
+
+    /// Epoch snapshot for a fill of `key` beginning now.
+    fn fill_epoch(&self, key: u64) -> FillEpoch {
+        FillEpoch {
+            key_epoch: self.epochs.get(&key).copied().unwrap_or(0),
+            flush_epoch: self.flush,
+        }
+    }
+
+    /// True when `epoch` is still current for `key`.
+    fn is_fresh(&self, key: u64, epoch: FillEpoch) -> bool {
+        self.fill_epoch(key) == epoch
+    }
+
+    /// Cap on the sparse epoch map before it is traded for a segment
+    /// flush (memory bound: a long-lived cache under a sustained write
+    /// stream would otherwise accumulate one entry per distinct block
+    /// ever invalidated).
+    fn epoch_bound(&self) -> usize {
+        (self.capacity * 4).max(1024)
     }
 
     fn unlink(&mut self, i: usize) {
@@ -137,25 +180,50 @@ impl LruShard {
     }
 }
 
+/// Snapshot of a key's invalidation state, taken when a miss read is
+/// submitted and checked (under the key's shard lock) when the fill
+/// lands. A fill is discarded when *that key* was invalidated in
+/// between, or when the whole cache was flushed — invalidations of
+/// other keys do not touch it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillEpoch {
+    /// The key's per-key invalidation count at submit.
+    key_epoch: u64,
+    /// The key's lock-segment flush count at submit (bumped by
+    /// whole-cache invalidation and by epoch-map overflow).
+    flush_epoch: u64,
+}
+
 /// A sharded LRU cache over fixed-address blocks, shareable across
 /// worker threads.
+///
+/// ## Invalidation epochs
+///
+/// A writer rewriting a block calls [`BlockCache::invalidate`], which
+/// drops the cached entry *and* bumps that key's epoch. Miss fills
+/// snapshot the key's epoch at submit ([`BlockCache::fill_epoch`]) and
+/// insert through [`BlockCache::insert_if_fresh`], which re-checks the
+/// epoch under the shard lock — so a completion racing an invalidation
+/// can never re-populate the cache with pre-rewrite bytes, even through
+/// a *different* [`CachedDevice`] sharing this cache. Epochs are
+/// **per key**: invalidating key A never discards an in-flight fill for
+/// key B (the PR-1 design used one cache-global generation, which did).
+/// [`BlockCache::invalidate_all`] bumps per-segment flush epochs that
+/// gate every in-flight fill, for bulk updates and index rebuilds; the
+/// same mechanism caps the sparse per-key maps — on overflow a segment
+/// trades its map for one flush bump, so memory stays bounded no matter
+/// how many distinct blocks a long write stream rewrites.
 pub struct BlockCache {
     shards: Vec<Mutex<LruShard>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
-    /// Bumped by every invalidation; in-flight miss fills started under
-    /// an older generation are discarded (the check runs under the shard
-    /// lock in [`BlockCache::insert_if_generation`]), so a completion
-    /// racing an invalidation can never re-populate the cache with stale
-    /// bytes — even through a *different* [`CachedDevice`] sharing this
-    /// cache. Deliberately coarse: one invalidation discards *all*
-    /// in-flight fills, not just the rewritten key's. Fills are cheap to
-    /// retry (the next miss re-reads the block) and index updates are
-    /// rare next to reads, so correctness is bought with at most one
-    /// extra device read per in-flight block per update.
-    generation: AtomicU64,
+    /// Single-key invalidations performed (diagnostic counter).
+    invalidations: AtomicU64,
+    /// In-flight fills discarded because their key was invalidated (or
+    /// the cache flushed) between submit and completion.
+    stale_fills: AtomicU64,
 }
 
 impl BlockCache {
@@ -177,7 +245,8 @@ impl BlockCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            generation: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            stale_fills: AtomicU64::new(0),
         }
     }
 
@@ -201,6 +270,25 @@ impl BlockCache {
         got
     }
 
+    /// Look up a block; on a miss, return the epoch a fill beginning
+    /// now must present to [`BlockCache::insert_if_fresh`]. One lock
+    /// acquisition for the whole miss path (a separate
+    /// [`BlockCache::get`] + [`BlockCache::fill_epoch`] pair would lock
+    /// the segment twice at exactly the moments of peak cache traffic).
+    pub fn get_or_begin_fill(&self, key: u64) -> Result<Arc<[u8]>, FillEpoch> {
+        let mut shard = self.shard_for(key).lock().unwrap();
+        match shard.get(key) {
+            Some(data) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(data)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Err(shard.fill_epoch(key))
+            }
+        }
+    }
+
     /// Insert a block read from the device.
     pub fn insert(&self, key: u64, data: Arc<[u8]>) {
         if self.shard_for(key).lock().unwrap().insert(key, data) {
@@ -208,50 +296,89 @@ impl BlockCache {
         }
     }
 
-    /// Insert only if no invalidation happened since `gen` (a value from
-    /// [`BlockCache::generation`] taken when the read was submitted).
-    /// The check runs under the shard lock, so an invalidation
-    /// concurrent with this call either bumps the generation first (the
-    /// fill is skipped) or removes the entry afterwards — a stale fill
-    /// can never survive.
-    pub fn insert_if_generation(&self, key: u64, data: Arc<[u8]>, gen: u64) {
+    /// Snapshot `key`'s invalidation epoch without a lookup (the
+    /// miss path uses [`BlockCache::get_or_begin_fill`] instead, which
+    /// returns the epoch from the same critical section as the miss).
+    pub fn fill_epoch(&self, key: u64) -> FillEpoch {
+        self.shard_for(key).lock().unwrap().fill_epoch(key)
+    }
+
+    /// Insert a miss fill only if `key` was not invalidated (and its
+    /// segment not flushed) since `epoch` was taken. The check runs
+    /// under the key's shard lock, so an invalidation concurrent with
+    /// this call either bumps the epoch first (the fill is skipped) or
+    /// removes the entry afterwards — a stale fill can never survive.
+    /// Returns whether the fill was accepted.
+    pub fn insert_if_fresh(&self, key: u64, data: Arc<[u8]>, epoch: FillEpoch) -> bool {
         let mut shard = self.shard_for(key).lock().unwrap();
-        if self.generation.load(Ordering::Acquire) != gen {
-            return;
+        if !shard.is_fresh(key, epoch) {
+            self.stale_fills.fetch_add(1, Ordering::Relaxed);
+            return false;
         }
         if shard.insert(key, data) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        true
     }
 
-    /// Drop one block (call when its backing storage is rewritten, e.g.
-    /// by [`Updater`]); counts neither a hit nor an eviction.
+    /// Drop one block and bump *its* epoch (call when its backing
+    /// storage is rewritten, e.g. by [`Updater`]); in-flight fills for
+    /// this key are discarded on completion, in-flight fills for every
+    /// other key are untouched — unless the segment's epoch map
+    /// overflows its bound, in which case the segment flushes its map
+    /// and conservatively gates all of its in-flight fills. Counts
+    /// neither a hit nor an eviction.
     ///
     /// [`Updater`]: crate::update::Updater
     pub fn invalidate(&self, key: u64) {
-        self.generation.fetch_add(1, Ordering::AcqRel);
         let mut shard = self.shard_for(key).lock().unwrap();
+        *shard.epochs.entry(key).or_insert(0) += 1;
+        if shard.epochs.len() > shard.epoch_bound() {
+            // Trade the oversized map for one segment flush: every
+            // in-flight fill into this segment is discarded on
+            // completion (conservative, cheap to retry), and the map
+            // starts over.
+            shard.flush += 1;
+            shard.epochs = HashMap::new();
+        }
         if let Some(&i) = shard.map.get(&key) {
             shard.unlink(i);
             shard.map.remove(&key);
             shard.nodes[i].data = Arc::from(&[][..]); // release the bytes now
             shard.free.push(i);
         }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Drop every cached block (coarse invalidation after bulk updates).
-    pub fn clear(&self) {
-        self.generation.fetch_add(1, Ordering::AcqRel);
+    /// Drop every cached block and discard every in-flight fill (coarse
+    /// invalidation after bulk updates or an index rebuild).
+    pub fn invalidate_all(&self) {
         for shard in &self.shards {
             let mut s = shard.lock().unwrap();
-            let cap = s.capacity;
+            // The flush bump gates all in-flight fills into this
+            // segment, so the per-key epoch map can be dropped with the
+            // entries: a fill holding an older flush epoch fails the
+            // freshness check even with its key epoch reset to 0.
+            let (cap, flush) = (s.capacity, s.flush + 1);
             *s = LruShard::new(cap);
+            s.flush = flush;
         }
     }
 
-    /// Invalidation epoch (see the `generation` field).
-    pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+    /// Alias of [`BlockCache::invalidate_all`].
+    pub fn clear(&self) {
+        self.invalidate_all();
+    }
+
+    /// Single-key invalidations performed.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// In-flight miss fills discarded because their key was invalidated
+    /// (or the cache flushed) between submit and completion.
+    pub fn stale_fills(&self) -> u64 {
+        self.stale_fills.load(Ordering::Relaxed)
     }
 
     /// Blocks currently cached.
@@ -309,22 +436,23 @@ impl BlockCache {
 /// writer mutating the index underneath (e.g.
 /// [`Updater`](crate::update::Updater)) must tell the cache: call
 /// [`CachedDevice::invalidate`] per rewritten block, or
-/// [`BlockCache::clear`] after a bulk update — otherwise subsequent
-/// hits serve the pre-update bytes. Invalidation also discards miss
-/// fills that were in flight when it happened (generation-gated), on
-/// every device sharing the cache.
+/// [`BlockCache::invalidate_all`] after a bulk update — otherwise
+/// subsequent hits serve the pre-update bytes. Invalidating a block
+/// also discards miss fills for *that block* that were in flight when
+/// it happened (epoch-gated), on every device sharing the cache;
+/// in-flight fills for other blocks are untouched.
 pub struct CachedDevice<D: Device> {
     inner: D,
     cache: Arc<BlockCache>,
     block_size: u32,
     /// Completions served from DRAM, delivered on the next poll.
     hit_queue: Vec<IoCompletion>,
-    /// tag → (block key, cache generation at submit) for in-flight
-    /// misses (tags are unique per in-flight I/O: one engine context
-    /// never has two same-kind I/Os for the same probe in flight). The
-    /// generation gates the fill: an invalidation between submit and
+    /// tag → (block key, key epoch at submit) for in-flight misses
+    /// (tags are unique per in-flight I/O: one engine context never has
+    /// two same-kind I/Os for the same probe in flight). The epoch
+    /// gates the fill: an invalidation of this key between submit and
     /// completion discards it.
-    pending_fills: HashMap<u64, (u64, u64)>,
+    pending_fills: HashMap<u64, (u64, FillEpoch)>,
     /// This device's own cache hits (the shared [`BlockCache`] counters
     /// span every device on the cache; per-device stats must stay
     /// summable across workers).
@@ -393,21 +521,23 @@ impl<D: Device> Device for CachedDevice<D> {
     fn submit(&mut self, req: IoRequest, now: f64) {
         if self.cacheable(&req) {
             let key = self.key_of(req.addr);
-            if let Some(data) = self.cache.get(key) {
-                // DRAM hit: complete at the submission timestamp.
-                self.local_hits += 1;
-                self.hit_queue.push(IoCompletion {
-                    tag: req.tag,
-                    data: data.to_vec(),
-                    time: now,
-                });
-                return;
+            match self.cache.get_or_begin_fill(key) {
+                Ok(data) => {
+                    // DRAM hit: complete at the submission timestamp.
+                    self.local_hits += 1;
+                    self.hit_queue.push(IoCompletion {
+                        tag: req.tag,
+                        data: data.to_vec(),
+                        time: now,
+                    });
+                    return;
+                }
+                Err(epoch) => {
+                    self.local_misses += 1;
+                    let prev = self.pending_fills.insert(req.tag, (key, epoch));
+                    debug_assert!(prev.is_none(), "duplicate in-flight tag {:#x}", req.tag);
+                }
             }
-            self.local_misses += 1;
-            let prev = self
-                .pending_fills
-                .insert(req.tag, (key, self.cache.generation()));
-            debug_assert!(prev.is_none(), "duplicate in-flight tag {:#x}", req.tag);
         }
         self.inner.submit(req, now);
     }
@@ -419,12 +549,13 @@ impl<D: Device> Device for CachedDevice<D> {
         let start = out.len();
         self.inner.poll(now, out);
         for comp in &out[start..] {
-            if let Some((key, gen)) = self.pending_fills.remove(&comp.tag) {
-                // Fills that raced an invalidation are discarded (checked
-                // atomically with the insert): the bytes were read before
-                // the rewrite and must not re-enter.
+            if let Some((key, epoch)) = self.pending_fills.remove(&comp.tag) {
+                // Fills that raced an invalidation of their own key are
+                // discarded (checked atomically with the insert): the
+                // bytes were read before the rewrite and must not
+                // re-enter. Fills for other keys are unaffected.
                 self.cache
-                    .insert_if_generation(key, Arc::from(comp.data.as_slice()), gen);
+                    .insert_if_fresh(key, Arc::from(comp.data.as_slice()), epoch);
             }
         }
     }
@@ -631,6 +762,100 @@ mod tests {
         // The next read goes to the device again (fresh bytes).
         let (_, _) = read_block(&mut dev, 512, t);
         assert_eq!(dev.stats().cache_hits, 0);
+    }
+
+    /// The per-key-epoch acceptance scenario: an in-flight miss fill for
+    /// block B must complete, enter the cache and serve the next read as
+    /// a hit even though an unrelated block A was invalidated while the
+    /// fill was in flight. The PR-1 cache-global generation provably
+    /// fails this (any invalidation discarded every in-flight fill); the
+    /// single lock shard below makes A and B share one mutex, so even a
+    /// per-lock-shard epoch would fail it.
+    #[test]
+    fn in_flight_fill_for_other_key_survives_invalidation() {
+        let sim = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image(8)));
+        let cache = Arc::new(BlockCache::new(4, 1));
+        let mut dev = CachedDevice::new(sim, Arc::clone(&cache), BLOCK_SIZE as u32);
+        // Miss for block B (addr 1024) in flight…
+        dev.submit(
+            IoRequest {
+                addr: 1024,
+                len: BLOCK_SIZE as u32,
+                tag: 1,
+            },
+            0.0,
+        );
+        // …while block A (addr 512) is rewritten and invalidated.
+        dev.invalidate(512);
+        let t = dev.next_completion_time().unwrap();
+        let mut out = Vec::new();
+        dev.poll(t, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            cache.len(),
+            1,
+            "fill for B must survive the invalidation of A"
+        );
+        assert_eq!(cache.stale_fills(), 0);
+        assert_eq!(cache.invalidations(), 1);
+        // The next read of B is a DRAM hit.
+        let (_, _) = read_block(&mut dev, 1024, t);
+        assert_eq!(dev.stats().cache_hits, 1);
+        assert_eq!(
+            dev.stats().completed,
+            1,
+            "only the first read hit the device"
+        );
+    }
+
+    #[test]
+    fn stale_fill_counted_and_discarded_per_key() {
+        let cache = BlockCache::new(8, 1);
+        let ea = cache.fill_epoch(1);
+        let eb = cache.fill_epoch(2);
+        cache.invalidate(1);
+        assert!(
+            !cache.insert_if_fresh(1, Arc::from([0u8].as_slice()), ea),
+            "fill for the invalidated key must be rejected"
+        );
+        assert!(
+            cache.insert_if_fresh(2, Arc::from([2u8].as_slice()), eb),
+            "fill for an unrelated key must be accepted"
+        );
+        assert_eq!(cache.stale_fills(), 1);
+        // A fresh epoch taken after the invalidation fills fine.
+        let ea2 = cache.fill_epoch(1);
+        assert!(cache.insert_if_fresh(1, Arc::from([1u8].as_slice()), ea2));
+        // invalidate_all gates every epoch taken before it, even for
+        // keys never individually invalidated.
+        let e3 = cache.fill_epoch(3);
+        cache.invalidate_all();
+        assert!(!cache.insert_if_fresh(3, Arc::from([3u8].as_slice()), e3));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stale_fills(), 2);
+    }
+
+    /// Epoch-map overflow: invalidating more distinct keys than the
+    /// segment bound trades the map for one segment flush — fills that
+    /// were in flight are conservatively discarded, the map stays
+    /// bounded, and the cache keeps serving afterwards.
+    #[test]
+    fn epoch_map_overflow_flushes_segment_conservatively() {
+        let cache = BlockCache::new(4, 1); // bound = max(4*4, 1024) = 1024
+        let victim_key = 2_000_000u64;
+        let epoch = cache.fill_epoch(victim_key);
+        for k in 0..1100u64 {
+            cache.invalidate(k);
+        }
+        assert!(
+            !cache.insert_if_fresh(victim_key, Arc::from([1u8].as_slice()), epoch),
+            "fill spanning an epoch-map overflow must be discarded"
+        );
+        assert_eq!(cache.stale_fills(), 1);
+        // A fresh fill after the overflow is accepted and served.
+        let epoch = cache.fill_epoch(victim_key);
+        assert!(cache.insert_if_fresh(victim_key, Arc::from([2u8].as_slice()), epoch));
+        assert!(cache.get(victim_key).is_some());
     }
 
     #[test]

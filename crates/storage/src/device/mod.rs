@@ -64,6 +64,14 @@ pub struct DeviceStats {
     /// and aggregators fill it from
     /// [`cached::BlockCache::evictions`] (the service report does).
     pub cache_evictions: u64,
+    /// Cached blocks dropped because their backing storage was
+    /// rewritten. Cache-level like evictions; aggregators fill it from
+    /// [`cached::BlockCache::invalidations`].
+    pub cache_invalidations: u64,
+    /// In-flight miss fills discarded because their block was
+    /// invalidated between submit and completion. Cache-level;
+    /// aggregators fill it from [`cached::BlockCache::stale_fills`].
+    pub cache_stale_fills: u64,
 }
 
 impl DeviceStats {

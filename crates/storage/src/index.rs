@@ -13,16 +13,25 @@ use crate::layout::{EntryCodec, TableGeometry, SUPERBLOCK_SIZE};
 use e2lsh_core::lsh::HashFamily;
 use e2lsh_core::params::E2lshParams;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An opened on-storage index: DRAM-resident metadata; all buckets and
 /// tables stay on the device.
+///
+/// The occupancy bitmaps are atomic words so an online writer (the
+/// serving layer's update path) can publish newly occupied prefixes
+/// into a *live* index with [`StorageIndex::set_filter_bit`] while
+/// query threads keep reading them — bits are only ever set, so a
+/// racing reader sees at worst a momentarily stale `false`, which costs
+/// one skipped probe for a just-inserted object, never a wrong answer
+/// for existing ones.
 pub struct StorageIndex {
     params: E2lshParams,
     family: HashFamily,
     geometry: TableGeometry,
     codec: EntryCodec,
     /// One bit per slot per table: slot has a non-empty chain.
-    occupancy: Vec<Vec<u64>>,
+    occupancy: Vec<Vec<AtomicU64>>,
     n: usize,
     dim: usize,
     total_bytes: u64,
@@ -75,14 +84,16 @@ impl StorageIndex {
         for ri in 0..geometry.num_radii {
             for li in 0..geometry.l {
                 let base = geometry.filter_base(ri, li);
-                let mut bits = vec![0u64; fbytes.div_ceil(8)];
+                let mut bits: Vec<AtomicU64> =
+                    (0..fbytes.div_ceil(8)).map(|_| AtomicU64::new(0)).collect();
                 let mut read = 0usize;
                 const CHUNK: usize = 1 << 20;
                 while read < fbytes {
                     let len = CHUNK.min(fbytes - read);
                     let buf = device.read_sync(base + read as u64, len as u32);
                     for (i, chunk) in buf.chunks_exact(8).enumerate() {
-                        bits[read / 8 + i] = u64::from_le_bytes(chunk.try_into().unwrap());
+                        bits[read / 8 + i] =
+                            AtomicU64::new(u64::from_le_bytes(chunk.try_into().unwrap()));
                     }
                     read += len;
                 }
@@ -166,7 +177,32 @@ impl StorageIndex {
     pub fn filter_hit(&self, ri: usize, li: usize, h32: u64) -> bool {
         let t = ri * self.geometry.l + li;
         let prefix = (h32 & ((1u64 << self.geometry.filter_bits) - 1)) as usize;
-        (self.occupancy[t][prefix / 64] >> (prefix % 64)) & 1 == 1
+        (self.occupancy[t][prefix / 64].load(Ordering::Relaxed) >> (prefix % 64)) & 1 == 1
+    }
+
+    /// Mark the prefix of hash value `h32` as occupied in table
+    /// `(ri, li)` — the live-index mirror of
+    /// [`crate::update::Updater`]'s on-storage filter write, safe to
+    /// call while query threads read the bitmap. Bits are only ever
+    /// set; stale deletions merely cost a wasted probe (the paper's
+    /// trade-off of cheap deletes against rare rebuilds).
+    #[inline]
+    pub fn set_filter_bit(&self, ri: usize, li: usize, h32: u64) {
+        let t = ri * self.geometry.l + li;
+        let prefix = (h32 & ((1u64 << self.geometry.filter_bits) - 1)) as usize;
+        self.occupancy[t][prefix / 64].fetch_or(1u64 << (prefix % 64), Ordering::Relaxed);
+    }
+
+    /// OR whole filter words for table `(ri, li)` into the live bitmap
+    /// (bulk form of [`StorageIndex::set_filter_bit`], used by
+    /// [`crate::update::Updater::sync_filters_into`]).
+    pub fn merge_filter_words(&self, ri: usize, li: usize, words: &[u64]) {
+        let t = ri * self.geometry.l + li;
+        for (w, &bits) in self.occupancy[t].iter().zip(words) {
+            if bits != 0 {
+                w.fetch_or(bits, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Fraction of set filter bits over all tables (diagnostic).
@@ -175,7 +211,7 @@ impl StorageIndex {
             .occupancy
             .iter()
             .flat_map(|b| b.iter())
-            .map(|w| w.count_ones() as u64)
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as u64)
             .sum();
         let total = self.geometry.num_tables() as u64 * (1u64 << self.geometry.filter_bits);
         set as f64 / total as f64

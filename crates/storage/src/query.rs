@@ -355,13 +355,16 @@ impl QueryState {
 /// The reusable per-query state machine of the asynchronous engine.
 ///
 /// Holds everything shared across queries — the opened index, the
-/// DRAM-resident coordinates for distance checks, the engine
-/// configuration and hash scratch space — while each [`QueryState`]
-/// carries one query. [`run_queries`] drives it over a fixed batch; the
-/// `e2lsh_service` worker pool drives one driver per shard worker.
+/// engine configuration and hash scratch space — while each
+/// [`QueryState`] carries one query. The DRAM-resident coordinates for
+/// distance checks are passed into [`QueryDriver::handle_completion`]
+/// per call rather than borrowed for the driver's lifetime, so a
+/// serving layer can grow the dataset under a lock between calls
+/// (online inserts) while long-lived drivers keep running.
+/// [`run_queries`] drives it over a fixed batch; the `e2lsh_service`
+/// worker pool drives one driver per shard worker.
 pub struct QueryDriver<'a> {
     index: &'a StorageIndex,
-    dataset: &'a Dataset,
     config: EngineConfig,
     num_radii: usize,
     budget: usize,
@@ -370,12 +373,8 @@ pub struct QueryDriver<'a> {
 }
 
 impl<'a> QueryDriver<'a> {
-    /// Create a driver for `index`, with `dataset` supplying the
-    /// DRAM-resident coordinates (the paper keeps the database in memory;
-    /// only the hash index is on storage).
-    pub fn new(index: &'a StorageIndex, dataset: &'a Dataset, config: &EngineConfig) -> Self {
-        assert_eq!(dataset.len(), index.len(), "dataset/index mismatch");
-        assert_eq!(dataset.dim(), index.dim());
+    /// Create a driver for `index`.
+    pub fn new(index: &'a StorageIndex, config: &EngineConfig) -> Self {
         assert!(config.k >= 1);
         let params = index.params();
         let num_radii = params
@@ -391,7 +390,6 @@ impl<'a> QueryDriver<'a> {
         };
         Self {
             index,
-            dataset,
             config: config.clone(),
             num_radii,
             budget,
@@ -456,7 +454,7 @@ impl<'a> QueryDriver<'a> {
             st.probes.push(hash_v_bits(key64, crate::layout::HASH_BITS));
         }
         clock.charge_compute(
-            params.l as f64 * self.config.cost.hash_cost(params.m, self.dataset.dim()),
+            params.l as f64 * self.config.cost.hash_cost(params.m, self.index.dim()),
         );
         st.next_l = 0;
         st.examined = 0;
@@ -542,10 +540,19 @@ impl<'a> QueryDriver<'a> {
     /// dispatches on [`completion_ctx`]); advance the query as far as it
     /// will go without further completions. Call
     /// [`EngineClock::observe`] with the completion time first.
+    ///
+    /// `data` supplies the DRAM-resident coordinates for distance
+    /// checks (the paper keeps the database in memory; only the hash
+    /// index is on storage). An executor serving online updates passes
+    /// its current view per call; candidates whose id is not (yet)
+    /// covered by `data` — possible only transiently, when an index
+    /// entry from a torn concurrent rewrite is decoded — are skipped
+    /// rather than distance-checked.
     pub fn handle_completion(
         &mut self,
         st: &mut QueryState,
         comp: &IoCompletion,
+        data: &Dataset,
         clock: &mut EngineClock,
         device: &mut dyn Device,
     ) {
@@ -590,12 +597,21 @@ impl<'a> QueryDriver<'a> {
                         st.out.fp_rejects += 1;
                         continue;
                     }
+                    if id as usize >= data.len() {
+                        // No coordinates for this id: a torn read of a
+                        // block being rewritten concurrently (or a
+                        // half-finished failed insert). Skip it — the
+                        // writer publishes coordinates before index
+                        // entries, so a real object is never skipped.
+                        st.out.fp_rejects += 1;
+                        continue;
+                    }
                     st.examined += 1;
                     st.out.candidates += 1;
                     if st.seen.insert(id) {
                         st.out.dist_comps += 1;
-                        clock.charge_compute(self.config.cost.dist_cost(self.dataset.dim()));
-                        let d2 = dist2(&st.point, self.dataset.point(id as usize));
+                        clock.charge_compute(self.config.cost.dist_cost(data.dim()));
+                        let d2 = dist2(&st.point, data.point(id as usize));
                         st.topk.offer(id, d2);
                     }
                 }
@@ -633,9 +649,13 @@ pub fn run_queries(
     device: &mut dyn Device,
 ) -> BatchReport {
     assert_eq!(queries.dim(), index.dim());
+    assert_eq!(dataset.dim(), index.dim());
+    // `dataset` normally covers every indexed id; ids beyond it (burned
+    // by failed inserts, or torn concurrent rewrites) are skipped by
+    // the per-candidate guard in `handle_completion`.
     assert!(config.contexts >= 1);
 
-    let mut driver = QueryDriver::new(index, dataset, config);
+    let mut driver = QueryDriver::new(index, config);
     let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); queries.len()];
     let mut clock = EngineClock::default();
     let wall_start = Instant::now();
@@ -709,7 +729,7 @@ pub fn run_queries(
         for comp in completions.drain(..) {
             clock.observe(comp.time);
             let ci = completion_ctx(&comp);
-            driver.handle_completion(&mut slots[ci], &comp, &mut clock, device);
+            driver.handle_completion(&mut slots[ci], &comp, dataset, &mut clock, device);
             if !slots[ci].is_active() {
                 outcomes[slots[ci].query_id()] = slots[ci].take_outcome();
                 // Slot freed: admit the next query (possibly several if

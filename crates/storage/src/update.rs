@@ -17,9 +17,29 @@
 //!
 //! Updates write through a [`std::fs::File`] opened read-write; readers
 //! opened afterwards (or an in-process [`StorageIndex`] refreshed with
-//! [`Updater::sync_filters_into`]) observe the new state. Concurrent
-//! update + query on the *same* file handle is out of scope, as in the
-//! paper (its indices are built once and queried).
+//! [`Updater::sync_filters_into`]) observe the new state.
+//!
+//! ## Serving while updating
+//!
+//! The serving layer (`e2lsh_service`) runs this update path *under
+//! load*: readers keep issuing I/Os against the same file while an
+//! updater rewrites blocks. Three mechanisms make that safe:
+//!
+//! * every byte range the updater writes (even on a failed operation)
+//!   is recorded in a [`WriteTrace`], so the caller can invalidate
+//!   exactly the rewritten blocks in a
+//!   [`BlockCache`](crate::device::cached::BlockCache);
+//! * new chain blocks are fully written *before* the slot pointer that
+//!   publishes them, so a concurrent reader sees either the old head or
+//!   the complete new head;
+//! * the heap allocation cursor is reserved in the superblock *before*
+//!   an insert links any entry, so a crash or injected failure mid-way
+//!   never lets a later open re-allocate (and cross-link) blocks a
+//!   half-finished insert already published.
+//!
+//! [`Updater::fail_after_writes`] injects write failures for tests:
+//! the failure-injection suite asserts a shard stays queryable after a
+//! mid-operation error and that the trace covers every touched block.
 
 use crate::build::Superblock;
 use crate::index::StorageIndex;
@@ -31,6 +51,53 @@ use e2lsh_core::lsh::{hash_v_bits, HashFamily};
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
+
+/// Storage mutations performed by one or more update operations: which
+/// blocks were rewritten (for cache invalidation) and which occupancy
+/// filter bits were newly set (for refreshing a live
+/// [`StorageIndex`]'s DRAM bitmaps).
+///
+/// The trace accumulates across operations until taken with
+/// [`Updater::take_trace`], and records writes **even when the
+/// operation fails** — a failed insert may already have rewritten
+/// blocks, and a cache that kept serving their pre-write bytes would be
+/// stale.
+#[derive(Clone, Debug, Default)]
+pub struct WriteTrace {
+    /// Block-aligned byte addresses ([`BLOCK_SIZE`] granularity) of
+    /// every rewritten region a cacheable block read could observe
+    /// (slot pointers, bucket blocks), deduplicated, in first-touch
+    /// order. Superblock and filter-word writes are excluded: those
+    /// regions are only read via `read_sync` at open and never enter
+    /// the block cache.
+    pub blocks: Vec<u64>,
+    /// `(radius index, table index, 32-bit hash)` of occupancy-filter
+    /// bits newly set by inserts.
+    pub filter_bits: Vec<(usize, usize, u64)>,
+}
+
+impl WriteTrace {
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.filter_bits.is_empty()
+    }
+
+    fn record_write(&mut self, addr: u64, len: usize) {
+        let bs = BLOCK_SIZE as u64;
+        let first = addr / bs * bs;
+        let last = (addr + len.max(1) as u64 - 1) / bs * bs;
+        let mut b = first;
+        loop {
+            if !self.blocks.contains(&b) {
+                self.blocks.push(b);
+            }
+            if b == last {
+                break;
+            }
+            b += bs;
+        }
+    }
+}
 
 /// Read-write handle over an index file for online maintenance.
 pub struct Updater {
@@ -44,6 +111,12 @@ pub struct Updater {
     /// Per-table occupancy filters (mirrors the on-disk region; flushed
     /// on every insert that sets a new bit).
     filters: Vec<Vec<u64>>,
+    /// Mutations since the last [`Updater::take_trace`].
+    trace: WriteTrace,
+    /// Fault injection: fail the Nth write from now (None = disabled).
+    fail_after_writes: Option<u64>,
+    /// Writes attempted since fault injection was (re-)armed.
+    writes_since_arm: u64,
 }
 
 impl Updater {
@@ -90,12 +163,78 @@ impl Updater {
             family,
             next_block_addr,
             filters,
+            trace: WriteTrace::default(),
+            fail_after_writes: None,
+            writes_since_arm: 0,
         })
+    }
+
+    /// Take the accumulated [`WriteTrace`] (mutations since the last
+    /// call), leaving an empty trace behind. Call after each operation
+    /// — including a failed one — to invalidate the rewritten blocks in
+    /// any block cache over this file and to mirror new filter bits
+    /// into a live [`StorageIndex`].
+    pub fn take_trace(&mut self) -> WriteTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// The accumulated trace since the last [`Updater::take_trace`].
+    pub fn trace(&self) -> &WriteTrace {
+        &self.trace
+    }
+
+    /// Fault injection for tests: make the `n`-th write from now (0 =
+    /// the very next one) fail with [`io::ErrorKind::Other`]. `None`
+    /// disarms. Reads are unaffected; the failed write is still
+    /// recorded in the trace (the bytes on storage are untrusted once a
+    /// write errors).
+    pub fn fail_after_writes(&mut self, n: Option<u64>) {
+        self.fail_after_writes = n;
+        self.writes_since_arm = 0;
+    }
+
+    /// Fault-injectable write (no trace entry): for regions the block
+    /// cache can never serve — the superblock and the filter words are
+    /// only ever read via `read_sync` at open, and aligned slot-block
+    /// reads cannot cross into them, so invalidating their blocks would
+    /// only pollute per-key epoch maps.
+    fn write_checked(&mut self, addr: u64, bytes: &[u8]) -> io::Result<()> {
+        if let Some(n) = self.fail_after_writes {
+            let k = self.writes_since_arm;
+            self.writes_since_arm += 1;
+            if k >= n {
+                return Err(io::Error::other("injected device write failure"));
+            }
+        }
+        write_at(&self.file, addr, bytes)
+    }
+
+    /// Tracked write: records the touched blocks for cache
+    /// invalidation, applies fault injection, then writes. Used for
+    /// every write a cacheable block read could observe (slot pointers,
+    /// bucket blocks).
+    fn write_tracked(&mut self, addr: u64, bytes: &[u8]) -> io::Result<()> {
+        self.trace.record_write(addr, bytes.len());
+        self.write_checked(addr, bytes)
     }
 
     /// Number of objects the index currently covers (IDs are `0..n`).
     pub fn len(&self) -> usize {
         self.sb.n as usize
+    }
+
+    /// Advance the object count to `target`, burning the skipped ids —
+    /// recovery for a failed insert whose best-effort burn flush was
+    /// lost (the caller's coordinate mirror is then longer than the
+    /// on-storage count, and resuming id assignment from the stale `n`
+    /// would hand a new object an id that half-exists in other chains).
+    /// No-op when the count is already `≥ target`.
+    pub fn reconcile_len(&mut self, target: usize) -> io::Result<()> {
+        if (self.sb.n as usize) < target {
+            self.sb.n = target as u64;
+            self.flush_superblock()?;
+        }
+        Ok(())
     }
 
     /// True when the index is empty.
@@ -107,6 +246,15 @@ impl Updater {
     ///
     /// The caller must also append the same coordinates to its in-DRAM
     /// [`e2lsh_core::Dataset`] so distance checks can find them.
+    ///
+    /// **The ID is consumed even when the insert fails**: a device
+    /// error mid-way may already have linked the object into some
+    /// tables, so the failed ID is burned (`n` still advances) rather
+    /// than recycled — recycling would hand a *different* object an ID
+    /// that half-exists in other tables' chains, silently corrupting
+    /// results. Callers that mirror coordinates (the serving layer)
+    /// keep the failed row for the same reason; the object is at worst
+    /// partially findable, never wrong.
     ///
     /// # Panics
     /// Panics if the new ID no longer fits the entry codec's ID bits; the
@@ -120,23 +268,49 @@ impl Updater {
             "object ID space exhausted (id_bits = {})",
             self.codec.id_bits
         );
-        let mut scratch = Vec::new();
-        for ri in 0..self.geometry.num_radii {
-            let radius = self.sb.radii[ri];
-            for li in 0..self.geometry.l {
-                let key64 = self
-                    .family
-                    .compound(ri, li)
-                    .hash64(point, radius, &mut scratch);
-                let h32 = hash_v_bits(key64, HASH_BITS);
-                let (slot, fp) = split_hash(h32, self.geometry.u_bits);
-                self.link_entry(ri, li, slot, id, fp)?;
-                self.set_filter_bit(ri, li, h32)?;
+        // Reserve the worst-case heap growth (one fresh block per table)
+        // in the superblock *before* publishing any entry: if this
+        // insert fails half-way, a later `Updater::open` starts its
+        // allocation cursor past every block the half-finished insert
+        // may already have linked, so chains can never be cross-linked
+        // by re-allocation. A successful insert writes the exact cursor
+        // back below; entries are only linked once the reservation is
+        // durably on storage.
+        let reserve =
+            self.next_block_addr + (self.geometry.num_tables() as u64) * BLOCK_SIZE as u64;
+        self.sb.total_bytes = reserve;
+        let mut outcome = self.flush_superblock();
+        if outcome.is_ok() {
+            let mut scratch = Vec::new();
+            'link: for ri in 0..self.geometry.num_radii {
+                let radius = self.sb.radii[ri];
+                for li in 0..self.geometry.l {
+                    let key64 = self
+                        .family
+                        .compound(ri, li)
+                        .hash64(point, radius, &mut scratch);
+                    let h32 = hash_v_bits(key64, HASH_BITS);
+                    let (slot, fp) = split_hash(h32, self.geometry.u_bits);
+                    outcome = self
+                        .link_entry(ri, li, slot, id, fp)
+                        .and_then(|()| self.set_filter_bit(ri, li, h32));
+                    if outcome.is_err() {
+                        break 'link;
+                    }
+                }
             }
         }
+        // Consume the ID in every outcome (see above) and restore the
+        // exact allocation cursor in memory, so the next insert always
+        // recomputes — and re-flushes — its own reservation. On failure
+        // the final superblock flush is best-effort: the in-memory bump
+        // keeps this handle consistent, and a reopen sees either the
+        // conservative reservation or the exact cursor, both safe.
         self.sb.n += 1;
         self.sb.total_bytes = self.next_block_addr;
-        self.flush_superblock()?;
+        let flushed = self.flush_superblock();
+        outcome?;
+        flushed?;
         Ok(id)
     }
 
@@ -167,13 +341,17 @@ impl Updater {
         Ok(removed)
     }
 
-    /// Copy the in-memory filter state into an open [`StorageIndex`] so an
-    /// in-process reader observes newly inserted prefixes. (Readers opened
-    /// from the file after the update see them automatically.)
-    pub fn sync_filters_into(&self, _index: &StorageIndex) {
-        // StorageIndex rebuilds its filters from the file at open; for an
-        // in-process refresh, reopen the index. Kept as an explicit no-op
-        // with documentation rather than interior mutability.
+    /// Merge the in-memory filter state into an open [`StorageIndex`] so
+    /// an in-process reader observes newly inserted prefixes. (Readers
+    /// opened from the file after the update see them automatically;
+    /// the serving layer instead mirrors the per-operation
+    /// [`WriteTrace::filter_bits`], which is cheaper than a full merge.)
+    pub fn sync_filters_into(&self, index: &StorageIndex) {
+        for (t, words) in self.filters.iter().enumerate() {
+            let ri = t / self.geometry.l;
+            let li = t % self.geometry.l;
+            index.merge_filter_words(ri, li, words);
+        }
     }
 
     fn link_entry(&mut self, ri: usize, li: usize, slot: u64, id: u32, fp: u32) -> io::Result<()> {
@@ -190,11 +368,14 @@ impl Updater {
                 block.entries.push((id, fp));
                 let mut out = Vec::with_capacity(BLOCK_SIZE);
                 block.encode(&self.codec, &mut out);
-                write_at(&self.file, head, &out)?;
+                self.write_tracked(head, &out)?;
                 return Ok(());
             }
         }
-        // Allocate a fresh head block pointing at the old head.
+        // Allocate a fresh head block pointing at the old head. The
+        // block is fully written before the slot pointer publishes it,
+        // so a concurrent reader sees the old head or the complete new
+        // one, never a partial block.
         let block = BucketBlock {
             next: head,
             entries: vec![(id, fp)],
@@ -202,9 +383,9 @@ impl Updater {
         let mut out = Vec::with_capacity(BLOCK_SIZE);
         block.encode(&self.codec, &mut out);
         let addr = self.next_block_addr;
-        write_at(&self.file, addr, &out)?;
+        self.write_tracked(addr, &out)?;
         self.next_block_addr += BLOCK_SIZE as u64;
-        write_at(&self.file, slot_addr, &addr.to_le_bytes())?;
+        self.write_tracked(slot_addr, &addr.to_le_bytes())?;
         Ok(())
     }
 
@@ -224,7 +405,7 @@ impl Updater {
                 removed += before - block.entries.len();
                 let mut out = Vec::with_capacity(BLOCK_SIZE);
                 block.encode(&self.codec, &mut out);
-                write_at(&self.file, addr, &out)?;
+                self.write_tracked(addr, &out)?;
                 break; // an object appears at most once per chain
             }
             addr = block.next;
@@ -239,14 +420,22 @@ impl Updater {
         if (self.filters[t][word] >> (prefix % 64)) & 1 == 1 {
             return Ok(());
         }
-        self.filters[t][word] |= 1u64 << (prefix % 64);
-        // Flush just the touched word.
+        // Write the touched word to storage *before* updating the
+        // in-memory mirror: if the write fails, the bit must stay clear
+        // in memory too, or a later insert with the same prefix would
+        // early-return above without ever persisting it — leaving the
+        // object unfindable after a reopen, with no error anywhere.
+        let new_word = self.filters[t][word] | 1u64 << (prefix % 64);
         let addr = self.geometry.filter_base(ri, li) + (word as u64) * 8;
-        write_at(&self.file, addr, &self.filters[t][word].to_le_bytes())
+        self.write_checked(addr, &new_word.to_le_bytes())?;
+        self.filters[t][word] = new_word;
+        self.trace.filter_bits.push((ri, li, h32));
+        Ok(())
     }
 
-    fn flush_superblock(&self) -> io::Result<()> {
-        write_at(&self.file, 0, &self.sb.encode())
+    fn flush_superblock(&mut self) -> io::Result<()> {
+        let sb = self.sb.encode();
+        self.write_checked(0, &sb)
     }
 }
 

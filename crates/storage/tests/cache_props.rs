@@ -2,8 +2,15 @@
 //! with a naive reference model, never exceed its capacity, keep its
 //! counters consistent, and — wrapped as a [`CachedDevice`] — never
 //! change the bytes a read returns.
+//!
+//! The per-key invalidation-epoch protocol is model-checked too: under
+//! any interleaving of fills, invalidations and whole-cache flushes,
+//! a fill that raced an invalidation of *its own* key is discarded
+//! (stale bytes never resurrect) while fills for other keys are never
+//! stale-gated — the regression the old cache-global generation would
+//! fail.
 
-use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
+use e2lsh_storage::device::cached::{BlockCache, CachedDevice, FillEpoch};
 use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
 use e2lsh_storage::device::{Device, IoRequest};
 use proptest::prelude::*;
@@ -111,6 +118,113 @@ proptest! {
                 prop_assert_eq!(&data[..], &k.to_le_bytes()[..]);
             }
         }
+    }
+
+    /// Model check of the per-key epoch protocol. Keys carry a version
+    /// that bumps on every invalidation (modelling the storage rewrite
+    /// that motivated it); fills snapshot `(epoch, version)` at begin
+    /// and try to insert their begin-time bytes at completion. The
+    /// cache must accept a fill iff its key saw no invalidation (and
+    /// the cache no flush) in between — and a lookup must never return
+    /// bytes older than the key's current version.
+    #[test]
+    fn per_key_epochs_never_resurrect_stale_bytes(
+        ops in proptest::collection::vec((0u8..5, 0u64..8), 1..400),
+    ) {
+        const KEYS: usize = 8;
+        let bytes = |key: u64, version: u64| -> Arc<[u8]> {
+            let mut b = key.to_le_bytes().to_vec();
+            b.extend_from_slice(&version.to_le_bytes());
+            Arc::from(b.as_slice())
+        };
+        // Ample capacity: evictions would only weaken the must-serve
+        // side of the check, never the staleness side.
+        let cache = BlockCache::new(64, 2);
+        let mut version = [0u64; KEYS];
+        let mut inv_count = [0u64; KEYS];
+        let mut flushes = 0u64;
+        // (key, epoch, version at begin, inv_count at begin, flushes at begin)
+        let mut pending: VecDeque<(u64, FillEpoch, u64, u64, u64)> = VecDeque::new();
+        for &(op, key) in &ops {
+            let k = key as usize;
+            match op {
+                // Begin a miss fill: snapshot the epoch and the bytes
+                // the device would return right now.
+                0 => pending.push_back((
+                    key,
+                    cache.fill_epoch(key),
+                    version[k],
+                    inv_count[k],
+                    flushes,
+                )),
+                // Complete the oldest pending fill.
+                1 => {
+                    if let Some((key, epoch, v, inv0, fl0)) = pending.pop_front() {
+                        let accepted = cache.insert_if_fresh(key, bytes(key, v), epoch);
+                        let fresh =
+                            inv_count[key as usize] == inv0 && flushes == fl0;
+                        prop_assert_eq!(
+                            accepted, fresh,
+                            "fill for key {} (v{}): accepted {} but model says fresh {}",
+                            key, v, accepted, fresh
+                        );
+                    }
+                }
+                // Synchronous insert of current bytes.
+                2 => cache.insert(key, bytes(key, version[k])),
+                // Invalidate = storage rewrite of this key.
+                3 => {
+                    version[k] += 1;
+                    inv_count[k] += 1;
+                    cache.invalidate(key);
+                }
+                // Whole-cache flush (no storage rewrite).
+                _ => {
+                    flushes += 1;
+                    cache.invalidate_all();
+                }
+            }
+            // A lookup must never see pre-invalidation bytes.
+            for key in 0..KEYS as u64 {
+                if let Some(d) = cache.get(key) {
+                    let got = u64::from_le_bytes(d[8..16].try_into().unwrap());
+                    prop_assert_eq!(
+                        got, version[key as usize],
+                        "key {} served version {} but storage is at {}",
+                        key, got, version[key as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Invalidating key A must neither evict nor stale-gate an
+    /// in-flight fill for key B — under any amount of churn on A, and
+    /// with a single lock shard so A and B always share a mutex (the
+    /// cache-global generation of PR 1 fails this for every A ≠ B).
+    #[test]
+    fn invalidating_a_never_gates_in_flight_fill_for_b(
+        a_churn in 1usize..20,
+        a in 0u64..16,
+        b in 16u64..32,
+        flush_before_begin in 0u8..2,
+    ) {
+        let cache = BlockCache::new(8, 1);
+        if flush_before_begin == 1 {
+            cache.invalidate_all();
+        }
+        cache.invalidate(a); // pre-churn: per-key epochs already diverge
+        let epoch_b = cache.fill_epoch(b);
+        for _ in 0..a_churn {
+            cache.invalidate(a);
+            cache.insert(a, Arc::from(a.to_le_bytes().as_slice()));
+        }
+        prop_assert!(
+            cache.insert_if_fresh(b, Arc::from(b.to_le_bytes().as_slice()), epoch_b),
+            "fill for B stale-gated by churn on A"
+        );
+        let served = cache.get(b).expect("B must be cached after its fill");
+        prop_assert_eq!(&served[..], &b.to_le_bytes()[..]);
     }
 
     /// Reads through a CachedDevice return exactly the backing bytes, no

@@ -65,7 +65,7 @@ fn main() {
         println!(
             "shard {}: {} objects, index {} on storage",
             s.id,
-            s.data.len(),
+            s.num_rows(),
             s.index.storage_bytes()
         );
     }

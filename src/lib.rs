@@ -12,7 +12,9 @@
 //!   DRAM block cache;
 //! * [`service`] ([`e2lsh_service`]) — the sharded, multi-threaded
 //!   query-serving layer: worker pools over per-shard indexes, top-k
-//!   merging, open/closed-loop load generation and latency percentiles;
+//!   merging, open/closed-loop load generation, latency percentiles,
+//!   and the online write path (mixed read–write serving with per-key
+//!   cache invalidation epochs);
 //! * [`baselines`] ([`ann_baselines`]) — SRS and QALSH with their R-tree
 //!   and B+-tree substrates;
 //! * [`datasets`] ([`ann_datasets`]) — the synthetic evaluation suite,
@@ -36,7 +38,8 @@ pub mod prelude {
     pub use ann_datasets::suite::DatasetId;
     pub use e2lsh_core::{knn_search, Dataset, E2lshParams, MemIndex, SearchOptions};
     pub use e2lsh_service::{
-        DeviceSpec, Load, ServiceConfig, ShardBuildConfig, ShardSet, ShardedService,
+        mixed_ops, DeviceSpec, Load, Op, ServiceConfig, ShardBuildConfig, ShardSet, ShardUpdater,
+        ShardedService,
     };
     pub use e2lsh_storage::build::{build_index, BuildConfig};
     pub use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
