@@ -32,6 +32,14 @@ struct ClosedRow {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    /// Enqueue-wait p99 (queue entry → first worker start). Closed and
+    /// open loop book this identically now: both timestamps are
+    /// recorded per op, so the end-to-end percentiles above are
+    /// decomposable instead of mixing wait into service time
+    /// differently per mode.
+    wait_p99_ms: f64,
+    /// Service-only p99 (first worker start → last shard finish).
+    service_p99_ms: f64,
     mean_n_io: f64,
     cache_hit_rate: f64,
     observed_kiops: f64,
@@ -44,6 +52,8 @@ struct OpenRow {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    wait_p99_ms: f64,
+    service_p99_ms: f64,
     cache_hit_rate: f64,
 }
 
@@ -75,6 +85,7 @@ fn build_service(workers: usize, data: &e2lsh_core::dataset::Dataset) -> Sharded
                 profile: DeviceProfile::CSSD,
                 num_devices: 2,
             },
+            ..Default::default()
         },
     )
 }
@@ -90,14 +101,16 @@ fn main() {
     let queries = skewed_queries(&w.queries, QUERIES, ZIPF_S, 7);
 
     println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>12}",
-        "workers", "QPS", "p50", "p95", "p99", "N_IO", "cache", "dev kIOPS"
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9} {:>12}",
+        "workers", "QPS", "p50", "p95", "p99", "wait-p99", "svc-p99", "N_IO", "cache", "dev kIOPS"
     );
     let mut saturated_qps: f64 = 0.0;
     for workers in [1usize, 2, 4, 8] {
         let svc = build_service(workers, &w.data);
         let rep = svc.serve(&queries, Load::Closed { window: 64 });
         let lat = rep.latency();
+        let wait = rep.queue_wait();
+        let svc_lat = rep.service_latency();
         let row = ClosedRow {
             workers_per_shard: workers,
             shards: NUM_SHARDS,
@@ -105,17 +118,21 @@ fn main() {
             p50_ms: lat.p50 * 1e3,
             p95_ms: lat.p95 * 1e3,
             p99_ms: lat.p99 * 1e3,
+            wait_p99_ms: wait.p99 * 1e3,
+            service_p99_ms: svc_lat.p99 * 1e3,
             mean_n_io: rep.mean_n_io(),
             cache_hit_rate: rep.device.cache_hit_rate(),
             observed_kiops: rep.device.completed as f64 / rep.duration.max(1e-9) / 1e3,
         };
         println!(
-            "{:>8} {:>10.0} {:>10} {:>10} {:>10} {:>8.1} {:>8.1}% {:>12.1}",
+            "{:>8} {:>10.0} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8.1} {:>8.1}% {:>12.1}",
             row.workers_per_shard,
             row.qps,
             report::fmt_time(lat.p50),
             report::fmt_time(lat.p95),
             report::fmt_time(lat.p99),
+            report::fmt_time(wait.p99),
+            report::fmt_time(svc_lat.p99),
             row.mean_n_io,
             row.cache_hit_rate * 100.0,
             row.observed_kiops,
@@ -128,8 +145,8 @@ fn main() {
     println!();
     println!("Open loop (Poisson arrivals, 4 workers/shard):");
     println!(
-        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
-        "offered QPS", "achieved", "p50", "p95", "p99", "cache"
+        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "offered QPS", "achieved", "p50", "p95", "p99", "wait-p99", "svc-p99", "cache"
     );
     for frac in [0.3, 0.6, 0.9] {
         let rate = (saturated_qps * frac).max(1.0);
@@ -142,21 +159,27 @@ fn main() {
             },
         );
         let lat = rep.latency();
+        let wait = rep.queue_wait();
+        let svc_lat = rep.service_latency();
         let row = OpenRow {
             rate_qps: rate,
             achieved_qps: rep.qps(),
             p50_ms: lat.p50 * 1e3,
             p95_ms: lat.p95 * 1e3,
             p99_ms: lat.p99 * 1e3,
+            wait_p99_ms: wait.p99 * 1e3,
+            service_p99_ms: svc_lat.p99 * 1e3,
             cache_hit_rate: rep.device.cache_hit_rate(),
         };
         println!(
-            "{:>12.0} {:>12.0} {:>10} {:>10} {:>10} {:>8.1}%",
+            "{:>12.0} {:>12.0} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8.1}%",
             row.rate_qps,
             row.achieved_qps,
             report::fmt_time(lat.p50),
             report::fmt_time(lat.p95),
             report::fmt_time(lat.p99),
+            report::fmt_time(wait.p99),
+            report::fmt_time(svc_lat.p99),
             row.cache_hit_rate * 100.0,
         );
         report::record("serve_scaling_open", &row);

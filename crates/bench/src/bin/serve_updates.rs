@@ -35,8 +35,19 @@ struct Row {
     read_p50_ms: f64,
     read_p95_ms: f64,
     read_p99_ms: f64,
+    /// Read enqueue-wait p99 — recorded from separate queue-entry and
+    /// service-start timestamps, so closed- and open-loop rows book
+    /// waiting identically instead of folding it into service time
+    /// differently per mode.
+    read_wait_p99_ms: f64,
+    read_service_p99_ms: f64,
     write_p50_ms: f64,
     write_p99_ms: f64,
+    /// Write wait p99 (queue entry → writer dequeue): under a single
+    /// writer thread per shard this, not the update itself, is where
+    /// write p99 lives at high write fractions.
+    write_wait_p99_ms: f64,
+    write_service_p99_ms: f64,
     cache_hit_rate: f64,
     invalidations: u64,
     stale_fills: u64,
@@ -62,15 +73,17 @@ fn main() {
     let queries = skewed_queries(&w.queries, QUERIES, ZIPF_S, 7);
 
     println!(
-        "{:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7}",
+        "{:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7}",
         "write%",
         "QPS",
         "WPS",
         "r-p50",
         "r-p95",
         "r-p99",
+        "r-wait99",
         "w-p50",
         "w-p99",
+        "w-wait99",
         "cache",
         "invals",
         "stale"
@@ -101,12 +114,17 @@ fn main() {
                     profile: DeviceProfile::CSSD,
                     num_devices: 2,
                 },
+                ..Default::default()
             },
         );
         let wl = mixed_ops(queries.len(), write_fraction, 0.4, N, POOL, 11);
         let rep = svc.serve_mixed(&queries, &pool, &wl.ops, Load::Closed { window: 64 });
         let lat = rep.latency();
+        let rwait = rep.queue_wait();
+        let rsvc = rep.service_latency();
         let wlat = rep.write_latency();
+        let wsvc = rep.write_service_latency();
+        let wwait_p99 = rep.write_queue_wait().p99;
         let row = Row {
             write_fraction,
             inserts: wl.num_inserts,
@@ -116,22 +134,28 @@ fn main() {
             read_p50_ms: lat.p50 * 1e3,
             read_p95_ms: lat.p95 * 1e3,
             read_p99_ms: lat.p99 * 1e3,
+            read_wait_p99_ms: rwait.p99 * 1e3,
+            read_service_p99_ms: rsvc.p99 * 1e3,
             write_p50_ms: wlat.p50 * 1e3,
             write_p99_ms: wlat.p99 * 1e3,
+            write_wait_p99_ms: wwait_p99 * 1e3,
+            write_service_p99_ms: wsvc.p99 * 1e3,
             cache_hit_rate: rep.device.cache_hit_rate(),
             invalidations: rep.device.cache_invalidations,
             stale_fills: rep.device.cache_stale_fills,
         };
         println!(
-            "{:>7.1}% {:>8.0} {:>8.0} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7.1}% {:>9} {:>7}",
+            "{:>7.1}% {:>8.0} {:>8.0} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7.1}% {:>9} {:>7}",
             row.write_fraction * 100.0,
             row.qps,
             row.wps,
             report::fmt_time(lat.p50),
             report::fmt_time(lat.p95),
             report::fmt_time(lat.p99),
+            report::fmt_time(rwait.p99),
             report::fmt_time(wlat.p50),
             report::fmt_time(wlat.p99),
+            report::fmt_time(wwait_p99),
             row.cache_hit_rate * 100.0,
             row.invalidations,
             row.stale_fills,

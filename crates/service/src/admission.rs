@@ -1,0 +1,434 @@
+//! Bounded admission queues with explicit load shedding.
+//!
+//! PRs 1–2 fed each shard from an unbounded channel: an open-loop
+//! arrival rate above shard capacity grew the queue (and p99) without
+//! bound instead of failing fast. This module is the admission
+//! discipline that replaces them: every per-shard queue is a
+//! [`GatedSender`]/[`GatedReceiver`] pair around the channel, gated by
+//! an [`AdmissionBudget`] on **queue depth** (ops sent but not yet
+//! picked up by a worker) and **queued payload bytes**. A send that
+//! would exceed either budget is rejected with a typed [`Overload`]
+//! error — the op is *shed*, the caller reports it per-request, and the
+//! queue keeps its bound.
+//!
+//! Shedding happens at the sender (the service dispatcher), so workers
+//! never see shed ops and FIFO order within a shard is untouched: the
+//! channel delivers admitted ops in send order. The gate also tracks
+//! the high-water queue depth and a shed counter, which surface in
+//! `ServiceReport` so saturation benches can report goodput, shed rate
+//! and peak depth together.
+//!
+//! Two disciplines ride on one gate: **queries shed**
+//! ([`GatedSender::try_send`] / [`GatedSender::reserve`] — a rejected
+//! query is a complete, reportable outcome), while **writes
+//! backpressure** ([`GatedSender::send_blocking`] — the mixed op
+//! stream's id arithmetic cannot survive a dropped write, so a full
+//! write queue stalls the dispatcher instead; memory stays bounded
+//! either way).
+//!
+//! Invariants (model-checked in `crates/service/tests/batch_dedup.rs`):
+//!
+//! * depth ≤ `max_depth` and queued bytes ≤ `max_bytes` at all times;
+//! * an op is shed **iff** admitting it would break a budget;
+//! * admitted ops pop in FIFO order;
+//! * `peak_depth` is the exact high-water mark of admitted depth.
+
+use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, TryRecvError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Typed load-shedding error: the op was rejected at admission because
+/// the shard's queue budget was exhausted. The fields snapshot the
+/// queue at rejection time (racy under concurrent pops — diagnostics,
+/// not invariants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overload {
+    /// Shard whose budget rejected the op.
+    pub shard: usize,
+    /// Queue depth observed at rejection.
+    pub depth: usize,
+    /// Queued payload bytes observed at rejection.
+    pub queued_bytes: usize,
+}
+
+impl fmt::Display for Overload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} overloaded: {} ops / {} bytes queued",
+            self.shard, self.depth, self.queued_bytes
+        )
+    }
+}
+
+impl std::error::Error for Overload {}
+
+/// Per-shard admission budget. `usize::MAX` disables a limit; the
+/// default is fully unbounded (the PR-1/PR-2 behaviour: nothing is ever
+/// shed, queues grow with offered load).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionBudget {
+    /// Maximum ops queued per shard (sent, not yet picked up by a
+    /// worker or writer).
+    pub max_depth: usize,
+    /// Maximum queued payload bytes per shard (sum of the per-op cost
+    /// the dispatcher charges: the query/insert point bytes, or the id
+    /// bytes of a delete).
+    pub max_bytes: usize,
+}
+
+impl AdmissionBudget {
+    /// No limits: nothing is ever shed.
+    pub const UNBOUNDED: Self = Self {
+        max_depth: usize::MAX,
+        max_bytes: usize::MAX,
+    };
+
+    /// Bound queue depth only.
+    pub fn depth(max_depth: usize) -> Self {
+        Self {
+            max_depth,
+            max_bytes: usize::MAX,
+        }
+    }
+
+    /// True when at least one limit binds.
+    pub fn is_bounded(&self) -> bool {
+        self.max_depth != usize::MAX || self.max_bytes != usize::MAX
+    }
+}
+
+impl Default for AdmissionBudget {
+    fn default() -> Self {
+        Self::UNBOUNDED
+    }
+}
+
+/// Counters one gate accumulated over its lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GateStats {
+    /// High-water mark of admitted queue depth.
+    pub peak_depth: usize,
+    /// Ops rejected with [`Overload`].
+    pub shed: u64,
+}
+
+/// Shared state of one shard's gate.
+struct Gate {
+    depth: AtomicUsize,
+    bytes: AtomicUsize,
+    peak_depth: AtomicUsize,
+    shed: AtomicU64,
+    budget: AdmissionBudget,
+    shard: usize,
+}
+
+impl Gate {
+    /// Reserve one op of `cost` bytes; fails (and undoes the tentative
+    /// reservation) when a budget would be exceeded. `count_shed`
+    /// distinguishes a real shed from a backpressure probe that will
+    /// retry.
+    fn reserve(&self, cost: usize, count_shed: bool) -> Result<(), Overload> {
+        let depth = self.depth.fetch_add(1, Ordering::AcqRel) + 1;
+        let bytes = self.bytes.fetch_add(cost, Ordering::AcqRel) + cost;
+        if depth > self.budget.max_depth || bytes > self.budget.max_bytes {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.bytes.fetch_sub(cost, Ordering::AcqRel);
+            if count_shed {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(Overload {
+                shard: self.shard,
+                depth: depth - 1,
+                queued_bytes: bytes - cost,
+            });
+        }
+        // `peak_depth` is bumped at *send* time, not here: a fan-out
+        // reservation can still be rolled back, and a rolled-back op
+        // was never admitted.
+        Ok(())
+    }
+
+    /// Admit one op regardless of budgets, but only into an **empty**
+    /// queue — the escape hatch for an op whose cost exceeds the whole
+    /// byte budget (or any op under a zero depth bound), which could
+    /// otherwise never be admitted at all. The queue holds at most
+    /// this one oversize op, so memory stays bounded.
+    fn force_reserve_when_empty(&self, cost: usize) -> bool {
+        if self
+            .depth
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.bytes.fetch_add(cost, Ordering::AcqRel);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unreserve(&self, cost: usize) {
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+        self.bytes.fetch_sub(cost, Ordering::AcqRel);
+    }
+}
+
+/// Sending half of a bounded shard queue; cloneable.
+pub struct GatedSender<T> {
+    tx: crossbeam::channel::Sender<(T, usize)>,
+    gate: Arc<Gate>,
+}
+
+impl<T> Clone for GatedSender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            gate: Arc::clone(&self.gate),
+        }
+    }
+}
+
+/// Receiving half of a bounded shard queue; cloneable (one queue feeds
+/// every worker of a shard). A successful receive releases the op's
+/// budget — depth counts ops *waiting*, not ops in service (in-service
+/// work is already bounded by `workers × contexts`).
+pub struct GatedReceiver<T> {
+    rx: Receiver<(T, usize)>,
+    gate: Arc<Gate>,
+}
+
+impl<T> Clone for GatedReceiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            rx: self.rx.clone(),
+            gate: Arc::clone(&self.gate),
+        }
+    }
+}
+
+/// Create a bounded admission queue for `shard` under `budget`.
+pub fn gated<T>(shard: usize, budget: AdmissionBudget) -> (GatedSender<T>, GatedReceiver<T>) {
+    let gate = Arc::new(Gate {
+        depth: AtomicUsize::new(0),
+        bytes: AtomicUsize::new(0),
+        peak_depth: AtomicUsize::new(0),
+        shed: AtomicU64::new(0),
+        budget,
+        shard,
+    });
+    let (tx, rx) = unbounded();
+    (
+        GatedSender {
+            tx,
+            gate: Arc::clone(&gate),
+        },
+        GatedReceiver { rx, gate },
+    )
+}
+
+impl<T> GatedSender<T> {
+    /// Admit one op of `cost` payload bytes, or shed it with
+    /// [`Overload`]. Panics if every receiver is gone (workers outlive
+    /// the dispatcher by construction).
+    pub fn try_send(&self, item: T, cost: usize) -> Result<(), Overload> {
+        self.reserve(cost)?;
+        self.send_reserved(item, cost);
+        Ok(())
+    }
+
+    /// Reserve budget without sending — the all-or-nothing fan-out
+    /// primitive: a query must be admitted by *every* shard or by none
+    /// (a partial fan-out would leave its merge accumulator waiting
+    /// forever). Reserve on each shard in order; on the first
+    /// rejection, [`GatedSender::unreserve`] the earlier shards and
+    /// shed the query.
+    pub fn reserve(&self, cost: usize) -> Result<(), Overload> {
+        self.gate.reserve(cost, true)
+    }
+
+    /// **Backpressure** send: block (sleeping briefly between probes)
+    /// until the op fits the budget, then enqueue it. For ops that can
+    /// be *delayed* but never *dropped* — the write path: the mixed op
+    /// stream assigns insert ids by stream position and deletes
+    /// reference ids inserted earlier, so shedding one write would
+    /// desynchronize the dispatcher's arithmetic id assignment from
+    /// the shard updater's positional one for every later write on the
+    /// shard. Queue memory stays bounded; the *dispatcher* stalls
+    /// instead (open-loop latencies still count the stall — they are
+    /// measured from the scheduled arrival). Does not count as a shed.
+    ///
+    /// An op that could never fit even an empty queue (cost above the
+    /// whole byte budget, or a zero depth bound) waits for the queue to
+    /// drain and is then admitted *alone* as a one-op overrun — blocked
+    /// forever would be the unbounded-queue hang wearing a new hat.
+    pub fn send_blocking(&self, item: T, cost: usize) {
+        let never_fits = cost > self.gate.budget.max_bytes || self.gate.budget.max_depth == 0;
+        loop {
+            let admitted = if never_fits {
+                self.gate.force_reserve_when_empty(cost)
+            } else {
+                self.gate.reserve(cost, false).is_ok()
+            };
+            if admitted {
+                self.send_reserved(item, cost);
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    /// Undo a [`GatedSender::reserve`] that will not be sent.
+    pub fn unreserve(&self, cost: usize) {
+        self.gate.unreserve(cost);
+    }
+
+    /// Send an op whose budget was already reserved. Books the peak
+    /// queue depth here — at this point the reservation is committed
+    /// (never rolled back), so `peak_depth` counts exactly the ops
+    /// that were admitted.
+    pub fn send_reserved(&self, item: T, cost: usize) {
+        // Sample before the send: the current depth still includes this
+        // op's reservation, and a receiver cannot pop it earlier.
+        self.gate
+            .peak_depth
+            .fetch_max(self.gate.depth.load(Ordering::Acquire), Ordering::AcqRel);
+        self.tx.send((item, cost)).expect("receivers alive");
+    }
+
+    /// Current queue depth (racy; diagnostics only).
+    pub fn depth(&self) -> usize {
+        self.gate.depth.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters of this queue's gate.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            peak_depth: self.gate.peak_depth.load(Ordering::Acquire),
+            shed: self.gate.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T> GatedReceiver<T> {
+    /// Non-blocking receive; releases the op's budget on success.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.rx.try_recv().map(|(item, cost)| {
+            self.gate.unreserve(cost);
+            item
+        })
+    }
+
+    /// Blocking receive; releases the op's budget on success.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.rx.recv().map(|(item, cost)| {
+            self.gate.unreserve(cost);
+            item
+        })
+    }
+
+    /// Timed receive; releases the op's budget on success.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout).map(|(item, cost)| {
+            self.gate.unreserve(cost);
+            item
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_budget_sheds_and_recovers() {
+        let (tx, rx) = gated::<u32>(3, AdmissionBudget::depth(2));
+        tx.try_send(1, 8).unwrap();
+        tx.try_send(2, 8).unwrap();
+        let err = tx.try_send(3, 8).unwrap_err();
+        assert_eq!(err.shard, 3);
+        assert_eq!(err.depth, 2);
+        assert_eq!(tx.depth(), 2);
+        assert_eq!(rx.try_recv(), Ok(1)); // FIFO + budget release
+        tx.try_send(4, 8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(4));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        let s = tx.stats();
+        assert_eq!(s.peak_depth, 2);
+        assert_eq!(s.shed, 1);
+    }
+
+    #[test]
+    fn byte_budget_sheds_independently_of_depth() {
+        let (tx, rx) = gated::<u8>(
+            0,
+            AdmissionBudget {
+                max_depth: usize::MAX,
+                max_bytes: 100,
+            },
+        );
+        tx.try_send(0, 60).unwrap();
+        tx.try_send(1, 40).unwrap();
+        assert!(tx.try_send(2, 1).is_err(), "101 bytes exceeds the budget");
+        rx.try_recv().unwrap();
+        tx.try_send(3, 60).unwrap();
+    }
+
+    #[test]
+    fn reserve_unreserve_roundtrip() {
+        let (tx, _rx) = gated::<u8>(0, AdmissionBudget::depth(1));
+        tx.reserve(4).unwrap();
+        assert!(tx.reserve(4).is_err());
+        tx.unreserve(4);
+        tx.reserve(4).unwrap();
+        assert_eq!(tx.depth(), 1);
+    }
+
+    #[test]
+    fn rolled_back_reservation_never_counts_toward_peak() {
+        let (tx, _rx) = gated::<u8>(0, AdmissionBudget::depth(4));
+        tx.reserve(8).unwrap();
+        tx.unreserve(8); // fan-out rollback: the op was never admitted
+        assert_eq!(tx.stats().peak_depth, 0);
+        tx.try_send(1, 8).unwrap();
+        assert_eq!(tx.stats().peak_depth, 1);
+    }
+
+    #[test]
+    fn oversize_op_is_admitted_alone_not_hung() {
+        // cost > max_bytes can never fit a conforming queue; it must be
+        // admitted alone once the queue is empty instead of spinning
+        // forever.
+        let (tx, rx) = gated::<u8>(
+            0,
+            AdmissionBudget {
+                max_depth: usize::MAX,
+                max_bytes: 4,
+            },
+        );
+        tx.send_blocking(1, 100); // empty queue: forced through
+        assert_eq!(tx.depth(), 1);
+        assert!(
+            tx.try_send(2, 1).is_err(),
+            "the overrun saturates the byte budget"
+        );
+        assert_eq!(rx.try_recv(), Ok(1)); // budget fully released
+        tx.try_send(3, 4).unwrap();
+        // Zero depth bound: same escape hatch.
+        let (tx0, rx0) = gated::<u8>(1, AdmissionBudget::depth(0));
+        tx0.send_blocking(9, 1);
+        assert_eq!(rx0.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn unbounded_never_sheds() {
+        let (tx, _rx) = gated::<usize>(0, AdmissionBudget::UNBOUNDED);
+        for i in 0..10_000 {
+            tx.try_send(i, 1 << 20).unwrap();
+        }
+        assert_eq!(tx.stats().shed, 0);
+        assert_eq!(tx.stats().peak_depth, 10_000);
+    }
+}

@@ -24,10 +24,31 @@
 //!   serves queries*, invalidating exactly the rewritten blocks in the
 //!   shard cache (per-key epochs) and publishing new occupancy-filter
 //!   bits into the live index;
+//! * [`admission`] — bounded per-shard queues with explicit load
+//!   shedding: an [`AdmissionBudget`] caps queue depth and queued
+//!   bytes; queries beyond it are rejected at dispatch with the typed
+//!   [`Overload`] error (writes backpressure instead — their
+//!   stream-positional ids cannot survive a drop), and the service
+//!   reports goodput, shed rate and peak queue depth — offered load
+//!   past capacity degrades into countable rejections, not unbounded
+//!   queues;
 //! * [`loadgen`] — closed-loop (fixed in-flight window) and open-loop
-//!   (Poisson arrivals) admission, Zipf-skewed query streams, and
-//!   seeded mixed read–write op streams ([`loadgen::mixed_ops`]);
-//! * [`metrics`] — latency percentiles (p50/p95/p99) and summaries.
+//!   (Poisson or batch-shaped [`Load::Burst`] arrivals) admission,
+//!   Zipf-skewed query streams and duplicate-heavy batches
+//!   ([`loadgen::zipf_batches`]), and seeded mixed read–write op
+//!   streams ([`loadgen::mixed_ops`]);
+//! * [`metrics`] — latency percentiles (p50/p95/p99), summaries, and
+//!   rejected-request accounting ([`metrics::OpStatus`]; percentiles
+//!   cover accepted ops, shed ops are counted separately).
+//!
+//! Batches of queries go through
+//! [`ShardedService::query_batch`](service::ShardedService::query_batch):
+//! byte-identical hot queries are deduplicated before the engine (one
+//! probe per unique query per shard, merged results fanned back out to
+//! every duplicate) and the whole request shares one fan-out/merge
+//! pass, driven by the storage crate's batched
+//! [`QueryDriver::run_batch`](e2lsh_storage::query::QueryDriver::run_batch)
+//! entry point.
 //!
 //! DRAM caching comes from the storage crate's
 //! [`CachedDevice`](e2lsh_storage::device::cached::CachedDevice): each
@@ -36,6 +57,7 @@
 //! served from memory and the cache hit rate shows up in every
 //! [`ServiceReport`](service::ServiceReport).
 
+pub mod admission;
 pub mod loadgen;
 pub mod metrics;
 pub mod service;
@@ -44,11 +66,16 @@ pub mod shared_sim;
 pub mod update;
 pub mod worker;
 
+pub use admission::{AdmissionBudget, GateStats, GatedReceiver, GatedSender, Overload};
 pub use loadgen::{
-    mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, Load, MixedWorkload, Op,
+    mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, zipf_batches, zipf_indices,
+    Load, MixedWorkload, Op,
 };
-pub use metrics::{percentile, LatencySummary};
-pub use service::{DeviceSpec, ServiceConfig, ServiceReport, ShardedService};
+pub use metrics::{percentile, LatencySummary, OpStatus};
+pub use service::{
+    dedup_batch, BatchDedup, BatchQueryReport, DeviceSpec, ServiceConfig, ServiceReport,
+    ShardedService,
+};
 pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
 pub use shared_sim::{SharedSimArray, SharedSimHandle};
 pub use update::ShardUpdater;

@@ -17,13 +17,52 @@ pub enum Load {
     /// Open loop: queries arrive by a Poisson process at `rate_qps`,
     /// independent of completions. Latency is measured from the
     /// *scheduled* arrival, so queueing delay (and coordinated omission)
-    /// is counted. Models aggregate internet traffic.
+    /// is counted. Models aggregate internet traffic. Rates above
+    /// capacity are the overload regime bounded admission is for: with
+    /// a finite `AdmissionBudget` the excess is shed instead of queued.
     Open {
         /// Mean arrival rate in queries/second.
         rate_qps: f64,
         /// Arrival-stream seed.
         seed: u64,
     },
+    /// Open loop with batch-shaped arrivals: ops arrive `burst` at a
+    /// time, the bursts forming a Poisson process whose rate keeps the
+    /// long-run op rate at `rate_qps` (burst rate = `rate_qps / burst`).
+    /// Models clients that ship a vector of queries per request — the
+    /// arrival shape `query_batch` serves, and a harsher admission test
+    /// than [`Load::Open`]: a whole burst hits the queues at one
+    /// instant.
+    Burst {
+        /// Mean *op* arrival rate in ops/second.
+        rate_qps: f64,
+        /// Ops per burst (≥ 1; 1 degenerates to [`Load::Open`]).
+        burst: usize,
+        /// Arrival-stream seed.
+        seed: u64,
+    },
+}
+
+impl Load {
+    /// Scheduled arrival offsets (seconds from the service epoch) for
+    /// `n` ops. Only meaningful for the open-loop disciplines; the
+    /// closed loop has no schedule (dispatch is completion-driven).
+    pub(crate) fn arrival_schedule(&self, n: usize) -> Vec<f64> {
+        match *self {
+            Load::Closed { .. } => unreachable!("closed loop has no arrival schedule"),
+            Load::Open { rate_qps, seed } => poisson_arrivals(n, rate_qps, seed),
+            Load::Burst {
+                rate_qps,
+                burst,
+                seed,
+            } => {
+                let burst = burst.max(1);
+                let num_bursts = n.div_ceil(burst);
+                let burst_times = poisson_arrivals(num_bursts, rate_qps / burst as f64, seed);
+                (0..n).map(|i| burst_times[i / burst]).collect()
+            }
+        }
+    }
 }
 
 /// One operation of a mixed read–write workload.
@@ -152,15 +191,15 @@ pub fn poisson_arrivals(n: usize, rate_qps: f64, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-/// A skewed query stream: `total` queries drawn from `base` with
-/// Zipf(`s`) popularity over the base queries (rank 1 = most popular).
-/// This is the workload where a DRAM block cache pays off — hot queries
-/// re-read the same hash-table slots and bucket chains.
-pub fn skewed_queries(base: &Dataset, total: usize, s: f64, seed: u64) -> Dataset {
-    assert!(!base.is_empty());
+/// `total` indices into `0..n` drawn with Zipf(`s`) popularity (rank 0
+/// = most popular). The index-level primitive behind
+/// [`skewed_queries`] and [`zipf_batches`]: skewed *keys* are what give
+/// both the DRAM cache and batch dedup something to catch.
+pub fn zipf_indices(n: usize, total: usize, s: f64, seed: u64) -> Vec<usize> {
+    assert!(n > 0);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Zipf CDF over ranks 1..=n.
-    let weights: Vec<f64> = (1..=base.len()).map(|r| (r as f64).powf(-s)).collect();
+    let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-s)).collect();
     let mut cdf = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
     for w in &weights {
@@ -168,13 +207,43 @@ pub fn skewed_queries(base: &Dataset, total: usize, s: f64, seed: u64) -> Datase
         cdf.push(acc);
     }
     let norm = acc;
+    (0..total)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * norm;
+            cdf.partition_point(|&c| c < u).min(n - 1)
+        })
+        .collect()
+}
+
+/// A skewed query stream: `total` queries drawn from `base` with
+/// Zipf(`s`) popularity over the base queries (rank 1 = most popular).
+/// This is the workload where a DRAM block cache pays off — hot queries
+/// re-read the same hash-table slots and bucket chains.
+pub fn skewed_queries(base: &Dataset, total: usize, s: f64, seed: u64) -> Dataset {
+    assert!(!base.is_empty());
     let mut out = Dataset::with_capacity(base.dim(), total);
-    for _ in 0..total {
-        let u: f64 = rng.gen::<f64>() * norm;
-        let rank = cdf.partition_point(|&c| c < u).min(base.len() - 1);
+    for rank in zipf_indices(base.len(), total, s, seed) {
         out.push(base.point(rank));
     }
     out
+}
+
+/// Duplicate-heavy batch requests: `num_batches` batches of
+/// `batch_size` indices into `0..n`, each drawn Zipf(`s`) —
+/// within-batch repeats of hot keys are exactly what
+/// `ShardedService::query_batch`'s dedup collapses. Deterministic in
+/// `seed`.
+pub fn zipf_batches(
+    n: usize,
+    num_batches: usize,
+    batch_size: usize,
+    s: f64,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let flat = zipf_indices(n, num_batches * batch_size, s, seed);
+    flat.chunks(batch_size.max(1))
+        .map(<[usize]>::to_vec)
+        .collect()
 }
 
 #[cfg(test)]
@@ -230,6 +299,51 @@ mod tests {
         let r = mixed_ops(50, 0.0, 0.5, 10, 10, 1);
         assert_eq!(r.ops.len(), 50);
         assert_eq!(r.num_inserts + r.num_deletes, 0);
+    }
+
+    #[test]
+    fn burst_arrivals_are_batch_shaped() {
+        let load = Load::Burst {
+            rate_qps: 1000.0,
+            burst: 8,
+            seed: 3,
+        };
+        let arr = load.arrival_schedule(50);
+        assert_eq!(arr.len(), 50);
+        assert!(arr.windows(2).all(|w| w[1] >= w[0]), "ascending");
+        // Ops within a burst share one instant; 50 ops = 7 bursts.
+        for chunk in arr.chunks(8) {
+            assert!(chunk.iter().all(|&t| t == chunk[0]), "burst not atomic");
+        }
+        let distinct: std::collections::HashSet<u64> = arr.iter().map(|t| t.to_bits()).collect();
+        assert_eq!(distinct.len(), 50usize.div_ceil(8));
+        // Long-run op rate stays near rate_qps.
+        let arr = load.arrival_schedule(20_000);
+        let rate = arr.len() as f64 / arr.last().unwrap();
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.1, "rate {rate}");
+        // burst = 1 degenerates to plain Poisson.
+        let one = Load::Burst {
+            rate_qps: 500.0,
+            burst: 1,
+            seed: 9,
+        };
+        assert_eq!(one.arrival_schedule(100), poisson_arrivals(100, 500.0, 9));
+    }
+
+    #[test]
+    fn zipf_batches_are_duplicate_heavy_and_seeded() {
+        let batches = zipf_batches(32, 10, 64, 1.2, 5);
+        assert_eq!(batches.len(), 10);
+        assert!(batches.iter().all(|b| b.len() == 64));
+        assert!(batches.iter().flatten().all(|&i| i < 32));
+        // Zipf skew ⇒ each batch repeats hot keys (64 draws over 32
+        // keys must collide, and skew makes it much worse than uniform).
+        for b in &batches {
+            let distinct: std::collections::HashSet<usize> = b.iter().copied().collect();
+            assert!(distinct.len() < b.len(), "no duplicates to dedup");
+        }
+        assert_eq!(batches, zipf_batches(32, 10, 64, 1.2, 5), "seeded");
+        assert_ne!(batches, zipf_batches(32, 10, 64, 1.2, 6));
     }
 
     #[test]

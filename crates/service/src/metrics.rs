@@ -1,4 +1,23 @@
 //! Latency and throughput accounting for the serving layer.
+//!
+//! With bounded admission (see [`crate::admission`]) not every op
+//! completes: shed ops carry [`OpStatus::Shed`] and must be excluded
+//! from latency percentiles — a rejected request has no service time,
+//! and averaging zeros in would *flatter* the tail exactly when the
+//! system is saturated. [`LatencySummary::of_accepted`] is the
+//! rejected-aware entry point; shed counts are reported separately
+//! (shed rate, goodput) so saturation sweeps show both sides.
+
+/// Terminal status of one op under bounded admission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpStatus {
+    /// Completed normally; its latency samples are valid.
+    #[default]
+    Ok,
+    /// Rejected at admission with [`crate::admission::Overload`]: no
+    /// results, no latency sample.
+    Shed,
+}
 
 /// Percentile of an **unsorted** latency sample (nearest-rank method).
 /// `p` is in `[0, 100]`. Returns 0 for an empty sample.
@@ -39,6 +58,20 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
+    /// Summarize the samples of **accepted** ops only: `samples[i]` is
+    /// kept iff `statuses[i]` is [`OpStatus::Ok`]. The two slices are
+    /// parallel (per-op, in op order).
+    pub fn of_accepted(samples: &[f64], statuses: &[OpStatus]) -> Self {
+        debug_assert_eq!(samples.len(), statuses.len());
+        let accepted: Vec<f64> = samples
+            .iter()
+            .zip(statuses)
+            .filter(|&(_, s)| *s == OpStatus::Ok)
+            .map(|(&l, _)| l)
+            .collect();
+        Self::of(&accepted)
+    }
+
     /// Summarize a sample.
     pub fn of(samples: &[f64]) -> Self {
         if samples.is_empty() {
@@ -70,6 +103,19 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 100.0);
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn accepted_summary_skips_shed_ops() {
+        let lat = [1.0, 0.0, 3.0, 0.0];
+        let st = [OpStatus::Ok, OpStatus::Shed, OpStatus::Ok, OpStatus::Shed];
+        let s = LatencySummary::of_accepted(&lat, &st);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.max, 3.0);
+        // All shed: empty summary, not zeros averaged in.
+        let none = LatencySummary::of_accepted(&lat, &[OpStatus::Shed; 4]);
+        assert_eq!(none.count, 0);
     }
 
     #[test]

@@ -8,9 +8,24 @@
 //! [`crate::update`]). Both kinds flow through one admission discipline
 //! ([`Load`]) and one op stream, so a mixed workload's read latency
 //! degradation under writes is measured end to end.
+//!
+//! Every per-shard queue is bounded by the service's
+//! [`AdmissionBudget`]: a *query* that would exceed the shard's
+//! queue-depth or queued-bytes budget is **shed** at dispatch with a
+//! typed [`Overload`] error instead of enqueued, while a *write* that
+//! hits a full queue **backpressures** the dispatcher (stalls until
+//! there is room — the op stream's positional id assignment cannot
+//! survive a dropped write; see [`crate::admission`]). Either way,
+//! offered load beyond capacity degrades into explicit rejections or
+//! bounded stalls rather than unbounded queues and meaningless
+//! percentiles. Batches of queries go through
+//! [`ShardedService::query_batch`], which deduplicates byte-identical
+//! hot queries before they reach the engine and shares one
+//! fan-out/merge pass per request.
 
-use crate::loadgen::{poisson_arrivals, Load, Op};
-use crate::metrics::LatencySummary;
+use crate::admission::{gated, AdmissionBudget, GatedReceiver, GatedSender, Overload};
+use crate::loadgen::{Load, Op};
+use crate::metrics::{LatencySummary, OpStatus};
 use crate::shard::{Shard, ShardSet};
 use crate::shared_sim::SharedSimArray;
 use crate::update::{run_writer, WriteJob, WriteKind};
@@ -23,6 +38,7 @@ use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
 use e2lsh_storage::device::{Device, DeviceStats};
 use e2lsh_storage::layout::BLOCK_SIZE;
 use e2lsh_storage::query::EngineConfig;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -76,6 +92,10 @@ pub struct ServiceConfig {
     pub s_override: Option<usize>,
     /// Device each worker drives.
     pub device: DeviceSpec,
+    /// Per-shard admission budget: ops beyond the queue-depth or
+    /// queued-bytes bound are shed with [`Overload`] instead of
+    /// enqueued. Default [`AdmissionBudget::UNBOUNDED`] (nothing shed).
+    pub admission: AdmissionBudget,
 }
 
 impl Default for ServiceConfig {
@@ -86,6 +106,7 @@ impl Default for ServiceConfig {
             k: 1,
             s_override: None,
             device: DeviceSpec::File { io_workers: 4 },
+            admission: AdmissionBudget::UNBOUNDED,
         }
     }
 }
@@ -102,19 +123,48 @@ impl ServiceConfig {
 /// Aggregate results of one service run.
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
-    /// Merged global top-k per query, distance ascending.
+    /// Merged global top-k per query, distance ascending (empty for
+    /// shed queries).
     pub results: Vec<Vec<(u32, f32)>>,
-    /// Per-query latency in seconds (dispatch→last shard for closed
-    /// loop, scheduled arrival→last shard for open loop).
+    /// Per-query status: [`OpStatus::Shed`] queries were rejected at
+    /// admission and have no results or latency samples.
+    pub statuses: Vec<OpStatus>,
+    /// Per-query end-to-end latency in seconds, from **queue entry**
+    /// (dispatch for closed loop, scheduled arrival for open loop) to
+    /// the last shard's finish. Includes enqueue wait. 0 for shed
+    /// queries — use the accepted-only summaries.
     pub latencies: Vec<f64>,
-    /// Per-write latency in seconds (insert/delete dispatch or
-    /// scheduled arrival → applied), in completion order. Failed
-    /// writes are excluded — they count in
-    /// [`ServiceReport::writes_failed`]. Empty for read-only runs.
+    /// Per-query **service** latency in seconds: from the first worker
+    /// slot admitting the query to the last shard's finish. Excludes
+    /// enqueue wait; `latencies[q] - service_latencies[q]` is the time
+    /// query `q` spent queued. 0 for shed queries.
+    pub service_latencies: Vec<f64>,
+    /// Per-write end-to-end latency in seconds (queue entry → applied),
+    /// in completion order. Failed and shed writes are excluded — they
+    /// count in [`ServiceReport::writes_failed`] /
+    /// [`ServiceReport::shed_writes`]. Empty for read-only runs.
     pub write_latencies: Vec<f64>,
+    /// Per-write service latency in seconds (writer dequeue → applied),
+    /// parallel to [`ServiceReport::write_latencies`].
+    pub write_service_latencies: Vec<f64>,
     /// Writes whose updater returned an error (the shard stays
     /// queryable; rewritten blocks were still invalidated).
     pub writes_failed: usize,
+    /// Queries rejected at admission with [`Overload`].
+    pub shed_queries: usize,
+    /// Writes rejected at admission. Always 0 under the current
+    /// discipline — writes use backpressure (the dispatcher stalls on
+    /// a full write queue) because the op stream's positional id
+    /// assignment cannot survive a dropped write; the field exists so
+    /// the accounting stays total if per-class shedding is added.
+    pub shed_writes: usize,
+    /// High-water per-shard queue depth over the run (max across
+    /// shards' read and write queues); never exceeds the configured
+    /// [`AdmissionBudget::max_depth`] except for the one-op overrun of
+    /// a write that could never fit the budget at all (admitted alone
+    /// into an empty queue rather than hanging the dispatcher — see
+    /// [`GatedSender::send_blocking`]).
+    pub peak_queue_depth: usize,
     /// Seconds from service epoch to the last completion.
     pub duration: f64,
     /// Device statistics summed over workers (shared arrays counted
@@ -130,12 +180,31 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
-    /// Completed queries per second.
+    /// **Accepted** (completed) queries per second — the service's
+    /// goodput. Shed queries do not count.
     pub fn qps(&self) -> f64 {
         if self.duration <= 0.0 {
             0.0
         } else {
-            self.results.len() as f64 / self.duration
+            (self.results.len() - self.shed_queries) as f64 / self.duration
+        }
+    }
+
+    /// Alias of [`ServiceReport::qps`], named for saturation sweeps
+    /// where offered rate and goodput diverge.
+    pub fn goodput(&self) -> f64 {
+        self.qps()
+    }
+
+    /// Shed ops over all ops offered (queries and writes).
+    pub fn shed_rate(&self) -> f64 {
+        let shed = self.shed_queries + self.shed_writes;
+        let total =
+            self.results.len() + self.write_latencies.len() + self.writes_failed + self.shed_writes;
+        if total == 0 {
+            0.0
+        } else {
+            shed as f64 / total as f64
         }
     }
 
@@ -148,30 +217,167 @@ impl ServiceReport {
         }
     }
 
-    /// Read-latency percentiles.
+    /// End-to-end read-latency percentiles (queue entry → finish) over
+    /// **accepted** queries only.
     pub fn latency(&self) -> LatencySummary {
-        LatencySummary::of(&self.latencies)
+        LatencySummary::of_accepted(&self.latencies, &self.statuses)
     }
 
-    /// Write-latency percentiles (all zeros for read-only runs).
+    /// Service-only read-latency percentiles (first worker start →
+    /// finish) over accepted queries: what the shards cost, with
+    /// enqueue wait removed.
+    pub fn service_latency(&self) -> LatencySummary {
+        LatencySummary::of_accepted(&self.service_latencies, &self.statuses)
+    }
+
+    /// Enqueue-wait percentiles of accepted queries (queue entry →
+    /// first worker start): `latency() ≈ queue_wait() + service_latency()`
+    /// distribution-wise; exactly per query.
+    pub fn queue_wait(&self) -> LatencySummary {
+        let waits: Vec<f64> = self
+            .latencies
+            .iter()
+            .zip(&self.service_latencies)
+            .map(|(&l, &s)| (l - s).max(0.0))
+            .collect();
+        LatencySummary::of_accepted(&waits, &self.statuses)
+    }
+
+    /// End-to-end write-latency percentiles (all zeros for read-only
+    /// runs).
     pub fn write_latency(&self) -> LatencySummary {
         LatencySummary::of(&self.write_latencies)
     }
 
-    /// Mean I/Os per query (summed over shards).
+    /// Service-only write-latency percentiles (writer dequeue →
+    /// applied).
+    pub fn write_service_latency(&self) -> LatencySummary {
+        LatencySummary::of(&self.write_service_latencies)
+    }
+
+    /// Enqueue-wait percentiles of applied writes (queue entry →
+    /// writer dequeue), computed per op from the parallel latency
+    /// vectors — **not** a difference of percentiles, which would mix
+    /// tails of different ops.
+    pub fn write_queue_wait(&self) -> LatencySummary {
+        let waits: Vec<f64> = self
+            .write_latencies
+            .iter()
+            .zip(&self.write_service_latencies)
+            .map(|(&l, &s)| (l - s).max(0.0))
+            .collect();
+        LatencySummary::of(&waits)
+    }
+
+    /// Mean I/Os per accepted query (summed over shards).
     pub fn mean_n_io(&self) -> f64 {
+        let accepted = self.results.len() - self.shed_queries;
+        if accepted == 0 {
+            0.0
+        } else {
+            self.total_io as f64 / accepted as f64
+        }
+    }
+}
+
+/// Results of one batch request served by
+/// [`ShardedService::query_batch`].
+#[derive(Clone, Debug)]
+pub struct BatchQueryReport {
+    /// Merged global top-k per **input** query, distance ascending.
+    /// Duplicates of one unique query hold clones of the same merged
+    /// vector — byte-identical. Empty for shed queries.
+    pub results: Vec<Vec<(u32, f32)>>,
+    /// Per-input-query status; duplicates share their representative's
+    /// fate (one admission decision per unique query).
+    pub statuses: Vec<OpStatus>,
+    /// Per-input-query latency in seconds from the request arrival
+    /// (all queries of a batch enter the queue at one instant) to the
+    /// last shard finish of the query's representative. 0 for shed
+    /// queries.
+    pub latencies: Vec<f64>,
+    /// Distinct queries after dedup (engine-side work units).
+    pub unique: usize,
+    /// Duplicates collapsed by dedup (`results.len() - unique`).
+    pub collapsed: usize,
+    /// Input queries shed with [`Overload`] (duplicates counted).
+    pub shed: usize,
+    /// High-water shard queue depth while serving this batch.
+    pub peak_queue_depth: usize,
+    /// Seconds from request arrival to the last completion.
+    pub duration: f64,
+    /// Device statistics (conventions as in [`ServiceReport::device`]).
+    pub device: DeviceStats,
+    /// Engine probes issued across shards (table + bucket reads) — with
+    /// dedup this counts **unique** queries' I/O only; the saving over
+    /// per-query serving is `collapsed` × the per-query I/O cost.
+    pub total_io: u64,
+    /// Worker threads that served the request.
+    pub workers: usize,
+    /// Shards queried.
+    pub shards: usize,
+}
+
+impl BatchQueryReport {
+    /// Latency percentiles over accepted input queries.
+    pub fn latency(&self) -> LatencySummary {
+        LatencySummary::of_accepted(&self.latencies, &self.statuses)
+    }
+
+    /// Fraction of the batch collapsed by dedup.
+    pub fn dedup_rate(&self) -> f64 {
         if self.results.is_empty() {
             0.0
         } else {
-            self.total_io as f64 / self.results.len() as f64
+            self.collapsed as f64 / self.results.len() as f64
         }
     }
+}
+
+/// The dedup map of one batch: which input queries collapse onto which
+/// engine-side unique query.
+#[derive(Clone, Debug)]
+pub struct BatchDedup {
+    /// Input index of each unique query's first occurrence, in
+    /// first-seen order — the batch the engine actually serves.
+    pub uniques: Vec<usize>,
+    /// Input index → index into [`BatchDedup::uniques`] of the query's
+    /// representative (`rep[uniques[u]] == u`).
+    pub rep: Vec<usize>,
+}
+
+/// Group byte-identical queries of a batch.
+///
+/// **Dedup key definition:** the bit pattern of the query's
+/// coordinates (`f32::to_bits` per dimension) — exact equality, no
+/// tolerance. `-0.0` and `0.0` are *different* keys, every `NaN`
+/// payload is its own key; two queries collapse iff a client sent the
+/// same bytes twice, which is the hot-query case batching targets
+/// (retries, trending items, shared prompts). No float comparison
+/// semantics are involved, so dedup can never merge queries whose
+/// results could differ.
+pub fn dedup_batch(batch: &Dataset) -> BatchDedup {
+    let mut seen: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut uniques = Vec::new();
+    let mut rep = Vec::with_capacity(batch.len());
+    for i in 0..batch.len() {
+        let key: Vec<u32> = batch.point(i).iter().map(|v| v.to_bits()).collect();
+        let u = *seen.entry(key).or_insert_with(|| {
+            uniques.push(i);
+            uniques.len() - 1
+        });
+        rep.push(u);
+    }
+    BatchDedup { uniques, rep }
 }
 
 /// Per-query accumulation while shard partials trickle in.
 struct Accum {
     remaining: usize,
     neighbors: Vec<(u32, f32)>,
+    /// Earliest shard service start (min over partials).
+    start: f64,
+    /// Latest shard finish (max over partials).
     finish: f64,
 }
 
@@ -301,9 +507,15 @@ impl ShardedService {
         if ops.is_empty() {
             return ServiceReport {
                 results: Vec::new(),
+                statuses: Vec::new(),
                 latencies: Vec::new(),
+                service_latencies: Vec::new(),
                 write_latencies: Vec::new(),
+                write_service_latencies: Vec::new(),
                 writes_failed: 0,
+                shed_queries: 0,
+                shed_writes: 0,
+                peak_queue_depth: 0,
                 duration: 0.0,
                 device: DeviceStats::default(),
                 total_io: 0,
@@ -315,54 +527,22 @@ impl ShardedService {
         let engine = self.config.engine();
         let sim_time = self.config.device.is_sim();
         let epoch = Instant::now();
+        let cache_snapshot = self.cache_snapshots();
+        let arrays = self.build_arrays();
 
-        // Snapshot cache counters so the report shows per-run deltas even
-        // when a warm cache is reused across runs.
-        let cache_snapshot: Vec<CacheSnapshot> = self
-            .shards
-            .shards()
-            .iter()
-            .map(|s| match &s.cache {
-                Some(c) => CacheSnapshot {
-                    hits: c.hits(),
-                    misses: c.misses(),
-                    evictions: c.evictions(),
-                    invalidations: c.invalidations(),
-                    stale_fills: c.stale_fills(),
-                },
-                None => CacheSnapshot::default(),
-            })
+        // Per-shard bounded job queues and the worker/writer→collector
+        // channel.
+        let channels: Vec<(GatedSender<Job>, GatedReceiver<Job>)> = (0..num_shards)
+            .map(|s| gated(s, self.config.admission))
             .collect();
-
-        // One shared simulated array per shard when requested.
-        let arrays: Vec<Option<SharedSimArray>> = self
-            .shards
-            .shards()
-            .iter()
-            .map(|shard| match self.config.device {
-                DeviceSpec::SimShared {
-                    profile,
-                    num_devices,
-                } => {
-                    let sim = SimStorage::new(
-                        profile,
-                        num_devices,
-                        Backing::open(&shard.path).expect("open shard index"),
-                    );
-                    Some(SharedSimArray::new(sim, self.config.workers_per_shard))
-                }
-                _ => None,
-            })
-            .collect();
-
-        // Per-shard job queues and the worker/writer→collector channel.
-        let channels: Vec<(Sender<Job>, Receiver<Job>)> =
-            (0..num_shards).map(|_| unbounded()).collect();
         let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
-        // One writer (and write queue) per shard, only when the stream
-        // has writes: the writer owns the shard's read-write updater.
-        let write_channels: Vec<(Sender<WriteJob>, Receiver<WriteJob>)> = if has_writes {
-            (0..num_shards).map(|_| unbounded()).collect()
+        // One writer (and bounded write queue) per shard, only when the
+        // stream has writes: the writer owns the shard's read-write
+        // updater.
+        let write_channels: Vec<(GatedSender<WriteJob>, GatedReceiver<WriteJob>)> = if has_writes {
+            (0..num_shards)
+                .map(|s| gated(s, self.config.admission))
+                .collect()
         } else {
             Vec::new()
         };
@@ -397,10 +577,12 @@ impl ShardedService {
                     scope.spawn(move || run_writer(shard, inserts, jobs, tx, epoch));
                 }
             }
+            let shed_tx = msg_tx.clone();
             drop(msg_tx);
-            let job_txs: Vec<Sender<Job>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+            let job_txs: Vec<GatedSender<Job>> =
+                channels.iter().map(|(tx, _)| tx.clone()).collect();
             drop(channels);
-            let write_txs: Vec<Sender<WriteJob>> =
+            let write_txs: Vec<GatedSender<WriteJob>> =
                 write_channels.iter().map(|(tx, _)| tx.clone()).collect();
             drop(write_channels);
 
@@ -411,11 +593,261 @@ impl ShardedService {
                 job_txs,
                 write_txs,
                 msg_rx,
+                shed_tx,
                 epoch,
                 &cache_snapshot,
             ));
         });
         report.expect("collector ran")
+    }
+
+    /// Snapshot cache counters so reports show per-run deltas even when
+    /// a warm cache is reused across runs.
+    fn cache_snapshots(&self) -> Vec<CacheSnapshot> {
+        self.shards
+            .shards()
+            .iter()
+            .map(|s| match &s.cache {
+                Some(c) => CacheSnapshot {
+                    hits: c.hits(),
+                    misses: c.misses(),
+                    evictions: c.evictions(),
+                    invalidations: c.invalidations(),
+                    stale_fills: c.stale_fills(),
+                },
+                None => CacheSnapshot::default(),
+            })
+            .collect()
+    }
+
+    /// One shared simulated array per shard when the device spec asks
+    /// for it.
+    fn build_arrays(&self) -> Vec<Option<SharedSimArray>> {
+        self.shards
+            .shards()
+            .iter()
+            .map(|shard| match self.config.device {
+                DeviceSpec::SimShared {
+                    profile,
+                    num_devices,
+                } => {
+                    let sim = SimStorage::new(
+                        profile,
+                        num_devices,
+                        Backing::open(&shard.path).expect("open shard index"),
+                    );
+                    Some(SharedSimArray::new(sim, self.config.workers_per_shard))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drain `Done` messages after the job queues closed, summing
+    /// worker device statistics (shared arrays counted once per shard),
+    /// then add the per-run cache-counter deltas.
+    fn drain_device_stats(
+        &self,
+        msg_rx: &Receiver<WorkerMsg>,
+        cache_snapshot: &[CacheSnapshot],
+    ) -> DeviceStats {
+        let mut device = DeviceStats::default();
+        while let Ok(msg) = msg_rx.recv() {
+            if let WorkerMsg::Done {
+                worker_in_shard,
+                device: d,
+                ..
+            } = msg
+            {
+                // Shared arrays report whole-array stats from every
+                // worker: count one handle per shard.
+                let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
+                if !shared || worker_in_shard == 0 {
+                    device.completed += d.completed;
+                    device.bytes += d.bytes;
+                    device.latency_sum += d.latency_sum;
+                    device.busy_sum += d.busy_sum;
+                }
+            }
+        }
+        // Cache counters: per-run deltas over the shard caches (device
+        // stats would double count — every worker of a shard shares one
+        // cache).
+        for (shard, snap) in self.shards.shards().iter().zip(cache_snapshot) {
+            if let Some(c) = &shard.cache {
+                device.cache_hits += c.hits() - snap.hits;
+                device.cache_misses += c.misses() - snap.misses;
+                device.cache_evictions += c.evictions() - snap.evictions;
+                device.cache_invalidations += c.invalidations() - snap.invalidations;
+                device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
+            }
+        }
+        device
+    }
+
+    /// Serve one **batch request**: a vector of queries admitted,
+    /// executed and merged as a unit.
+    ///
+    /// Byte-identical queries in the batch (same coordinate bit
+    /// patterns — see [`dedup_batch`]) are deduplicated *before they
+    /// reach the engine*: each distinct query is probed once per shard
+    /// and the merged result is fanned back out to every duplicate, so
+    /// a Zipf-hot batch costs the engine its unique queries only. The
+    /// whole batch shares one fan-out/merge pass per shard — one worker
+    /// pool spin-up and one collector, not one per query.
+    ///
+    /// Admission is per *unique* query under the service's
+    /// [`AdmissionBudget`] (all-or-nothing across shards, like
+    /// [`ShardedService::serve`]): a unique query that would overflow a
+    /// shard queue is shed, and every duplicate of it reports
+    /// [`OpStatus::Shed`] in the returned per-query statuses. Results
+    /// for duplicates of an admitted query are clones of one merged
+    /// vector — byte-identical by construction.
+    pub fn query_batch(&self, batch: &Dataset) -> BatchQueryReport {
+        assert_eq!(batch.dim(), self.shards.dim(), "query dimensionality");
+        let num_shards = self.shards.num_shards();
+        let workers_total = num_shards * self.config.workers_per_shard;
+        let dedup = dedup_batch(batch);
+        let nu = dedup.uniques.len();
+        if batch.is_empty() {
+            return BatchQueryReport {
+                results: Vec::new(),
+                statuses: Vec::new(),
+                latencies: Vec::new(),
+                unique: 0,
+                collapsed: 0,
+                shed: 0,
+                peak_queue_depth: 0,
+                duration: 0.0,
+                device: DeviceStats::default(),
+                total_io: 0,
+                workers: workers_total,
+                shards: num_shards,
+            };
+        }
+        let mut unique_queries = Dataset::with_capacity(batch.dim().max(1), nu);
+        for &i in &dedup.uniques {
+            unique_queries.push(batch.point(i));
+        }
+
+        let engine = self.config.engine();
+        let sim_time = self.config.device.is_sim();
+        let epoch = Instant::now();
+        let cache_snapshot = self.cache_snapshots();
+        let arrays = self.build_arrays();
+        let channels: Vec<(GatedSender<Job>, GatedReceiver<Job>)> = (0..num_shards)
+            .map(|s| gated(s, self.config.admission))
+            .collect();
+        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+
+        // Collector over the *unique* queries; every unique is its own
+        // op with queue entry at the request epoch (ref 0).
+        let mut collector = Collector::new(nu, num_shards, (0..nu).collect(), self.config.k);
+        let ref_time = vec![0.0f64; nu];
+        let mut peak_queue_depth = 0usize;
+        let mut device = DeviceStats::default();
+        let queries = &unique_queries;
+
+        std::thread::scope(|scope| {
+            for (s, shard) in self.shards.shards().iter().enumerate() {
+                for w in 0..self.config.workers_per_shard {
+                    let device = self.make_device(shard, &arrays[s], w);
+                    let jobs = channels[s].1.clone();
+                    let tx = msg_tx.clone();
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        run_worker(
+                            WorkerCtx {
+                                shard,
+                                worker_in_shard: w,
+                                queries,
+                                engine,
+                                sim_time,
+                                epoch,
+                            },
+                            device,
+                            jobs,
+                            tx,
+                        );
+                    });
+                }
+            }
+            drop(msg_tx);
+            let job_txs: Vec<GatedSender<Job>> =
+                channels.iter().map(|(tx, _)| tx.clone()).collect();
+            drop(channels);
+
+            // Dispatch the whole request at once (a batch is one
+            // arrival instant), then collect.
+            let mut admitted = 0usize;
+            for u in 0..nu {
+                match self.try_fanout_query(u, &job_txs) {
+                    Ok(()) => admitted += 1,
+                    Err(_) => collector.shed(Op::Query(u), epoch.elapsed().as_secs_f64()),
+                }
+            }
+            let mut done = 0usize;
+            while done < admitted {
+                let msg = msg_rx.recv().expect("workers alive");
+                if collector.absorb(msg, &ref_time) {
+                    done += 1;
+                }
+            }
+            peak_queue_depth = job_txs
+                .iter()
+                .map(|tx| tx.stats().peak_depth)
+                .max()
+                .unwrap_or(0);
+            drop(job_txs);
+            device = self.drain_device_stats(&msg_rx, &cache_snapshot);
+        });
+
+        // Fan the unique results back out to every duplicate.
+        let n = batch.len();
+        let mut results = Vec::with_capacity(n);
+        let mut statuses = Vec::with_capacity(n);
+        let mut latencies = Vec::with_capacity(n);
+        for i in 0..n {
+            let u = dedup.rep[i];
+            results.push(collector.results[u].clone());
+            statuses.push(collector.statuses[u]);
+            latencies.push(collector.latencies[u]);
+        }
+        let shed = statuses.iter().filter(|&&s| s == OpStatus::Shed).count();
+        BatchQueryReport {
+            results,
+            statuses,
+            latencies,
+            unique: nu,
+            collapsed: n - nu,
+            shed,
+            peak_queue_depth,
+            duration: collector.duration,
+            device,
+            total_io: collector.total_io,
+            workers: workers_total,
+            shards: num_shards,
+        }
+    }
+
+    /// All-or-nothing fan-out admission of one query: reserve budget on
+    /// every shard's queue or shed on the first full one (undoing the
+    /// earlier reservations — a partially fanned-out query would starve
+    /// its merge accumulator).
+    fn try_fanout_query(&self, qid: usize, job_txs: &[GatedSender<Job>]) -> Result<(), Overload> {
+        let point_bytes = self.shards.dim() * std::mem::size_of::<f32>();
+        for (s, tx) in job_txs.iter().enumerate() {
+            if let Err(overload) = tx.reserve(point_bytes) {
+                for early in &job_txs[..s] {
+                    early.unreserve(point_bytes);
+                }
+                return Err(overload);
+            }
+        }
+        for tx in job_txs {
+            tx.send_reserved(Job { qid }, point_bytes);
+        }
+        Ok(())
     }
 
     fn make_device(
@@ -470,48 +902,59 @@ impl ShardedService {
                 .sum::<usize>()
     }
 
-    /// Route one op: queries fan out to every shard's worker pool,
-    /// writes go to the owning shard's writer. The `j`-th insert of the
+    /// Route one op under the admission budget: queries fan out to
+    /// every shard's worker pool (all-or-nothing — a query admitted by
+    /// only some shards would starve its merge accumulator) and are
+    /// **shed** with [`Overload`] when a queue budget rejects them;
+    /// writes go to the owning shard's writer under **backpressure**
+    /// ([`GatedSender::send_blocking`]): the `j`-th insert of the
     /// stream gets global id `insert_base + j` (the generator emits
     /// `Op::Insert(j)` in ascending order; `insert_base` is the
-    /// build-time total plus inserts applied by earlier runs), dealt
-    /// round-robin per the plan's appended-id arithmetic.
-    fn send_op(
+    /// build-time total plus inserts applied by earlier runs, dealt
+    /// round-robin per the plan's appended-id arithmetic) while the
+    /// shard updater assigns ids *positionally* — dropping a write
+    /// would desynchronize the two for every later write on the shard
+    /// (and orphan deletes that reference the dropped insert), so a
+    /// full write queue stalls the dispatcher instead of shedding.
+    /// Queue memory stays bounded under either discipline.
+    fn try_send_op(
         &self,
         op_idx: usize,
         op: Op,
         insert_base: usize,
-        job_txs: &[Sender<Job>],
-        write_txs: &[Sender<WriteJob>],
-    ) {
+        job_txs: &[GatedSender<Job>],
+        write_txs: &[GatedSender<WriteJob>],
+    ) -> Result<(), Overload> {
+        // Payload cost the gate charges: the bytes the queue entry pins
+        // (query/insert coordinates; a delete pins just its id).
+        let point_bytes = self.shards.dim() * std::mem::size_of::<f32>();
         match op {
-            Op::Query(qid) => {
-                for tx in job_txs {
-                    tx.send(Job { qid }).expect("workers alive");
-                }
-            }
+            Op::Query(qid) => self.try_fanout_query(qid, job_txs)?,
             Op::Insert(j) => {
                 let global_id = (insert_base + j) as u32;
                 let s = self.shards.plan().shard_of_any(global_id as usize);
-                write_txs[s]
-                    .send(WriteJob {
+                write_txs[s].send_blocking(
+                    WriteJob {
                         op_idx,
                         global_id,
                         kind: WriteKind::Insert { point_idx: j },
-                    })
-                    .expect("writer alive");
+                    },
+                    point_bytes,
+                );
             }
             Op::Delete(global_id) => {
                 let s = self.shards.plan().shard_of_any(global_id as usize);
-                write_txs[s]
-                    .send(WriteJob {
+                write_txs[s].send_blocking(
+                    WriteJob {
                         op_idx,
                         global_id,
                         kind: WriteKind::Delete,
-                    })
-                    .expect("writer alive");
+                    },
+                    std::mem::size_of::<u32>(),
+                );
             }
         }
+        Ok(())
     }
 
     /// Dispatch ops per the admission discipline and collect partials /
@@ -522,9 +965,10 @@ impl ShardedService {
         queries: &Dataset,
         ops: &[Op],
         load: Load,
-        job_txs: Vec<Sender<Job>>,
-        write_txs: Vec<Sender<WriteJob>>,
+        job_txs: Vec<GatedSender<Job>>,
+        write_txs: Vec<GatedSender<WriteJob>>,
         msg_rx: Receiver<WorkerMsg>,
+        shed_tx: Sender<WorkerMsg>,
         epoch: Instant,
         cache_snapshot: &[CacheSnapshot],
     ) -> ServiceReport {
@@ -541,63 +985,74 @@ impl ShardedService {
                 query_op[qid] = i;
             }
         }
-        let mut collector = Collector {
-            accum: (0..nq)
-                .map(|_| Accum {
-                    remaining: num_shards,
-                    neighbors: Vec::new(),
-                    finish: 0.0,
-                })
-                .collect(),
-            results: vec![Vec::new(); nq],
-            latencies: vec![0.0f64; nq],
-            write_latencies: Vec::new(),
-            writes_failed: 0,
-            total_io: 0,
-            duration: 0.0,
-            query_op,
-            k,
-        };
+        let mut collector = Collector::new(nq, num_shards, query_op, k);
         let mut ref_time = vec![0.0f64; total]; // dispatch (closed) or arrival (open)
         let mut done = 0usize;
 
         match load {
             Load::Closed { window } => {
+                // Sheds are booked inline (the dispatcher is the
+                // collector's own thread); a shed op never occupies a
+                // window slot.
+                drop(shed_tx);
                 let window = window.max(1).min(total);
                 let mut next = 0usize;
-                while next < window {
-                    ref_time[next] = epoch.elapsed().as_secs_f64();
-                    self.send_op(next, ops[next], insert_base, &job_txs, &write_txs);
-                    next += 1;
-                }
+                let mut inflight = 0usize;
                 while done < total {
+                    while inflight < window && next < total {
+                        let now = epoch.elapsed().as_secs_f64();
+                        ref_time[next] = now;
+                        match self.try_send_op(next, ops[next], insert_base, &job_txs, &write_txs) {
+                            Ok(()) => inflight += 1,
+                            Err(_) => {
+                                collector.shed(ops[next], now);
+                                done += 1;
+                            }
+                        }
+                        next += 1;
+                    }
+                    if done >= total {
+                        break;
+                    }
                     let msg = msg_rx.recv().expect("workers alive");
                     if collector.absorb(msg, &ref_time) {
                         done += 1;
-                        if next < total {
-                            ref_time[next] = epoch.elapsed().as_secs_f64();
-                            self.send_op(next, ops[next], insert_base, &job_txs, &write_txs);
-                            next += 1;
-                        }
+                        inflight -= 1;
                     }
                 }
             }
-            Load::Open { rate_qps, seed } => {
-                let arrivals = poisson_arrivals(total, rate_qps, seed);
+            Load::Open { .. } | Load::Burst { .. } => {
+                let arrivals = load.arrival_schedule(total);
                 ref_time.copy_from_slice(&arrivals);
                 let dispatch_job_txs = &job_txs;
                 let dispatch_write_txs = &write_txs;
                 std::thread::scope(|scope| {
-                    scope.spawn(|| {
+                    scope.spawn(move || {
+                        // Open loop: arrivals never wait for
+                        // completions; a shed op is reported to the
+                        // collector through the message channel so it
+                        // still sees one terminal event per op.
                         for (op_idx, &at) in arrivals.iter().enumerate() {
                             sleep_until(epoch, at);
-                            self.send_op(
-                                op_idx,
-                                ops[op_idx],
-                                insert_base,
-                                dispatch_job_txs,
-                                dispatch_write_txs,
-                            );
+                            if self
+                                .try_send_op(
+                                    op_idx,
+                                    ops[op_idx],
+                                    insert_base,
+                                    dispatch_job_txs,
+                                    dispatch_write_txs,
+                                )
+                                .is_err()
+                            {
+                                let qid = match ops[op_idx] {
+                                    Op::Query(qid) => Some(qid),
+                                    _ => None,
+                                };
+                                // The collector outlives the dispatch
+                                // loop; a send can only fail after it
+                                // already has every terminal event.
+                                let _ = shed_tx.send(WorkerMsg::Shed { op_idx, qid });
+                            }
                         }
                     });
                     while done < total {
@@ -610,46 +1065,30 @@ impl ShardedService {
             }
         }
 
+        // High-water queue depths before the queues close.
+        let peak_queue_depth = job_txs
+            .iter()
+            .map(|tx| tx.stats().peak_depth)
+            .chain(write_txs.iter().map(|tx| tx.stats().peak_depth))
+            .max()
+            .unwrap_or(0);
+
         // Close the queues and aggregate worker statistics.
         drop(job_txs);
         drop(write_txs);
-        let mut device = DeviceStats::default();
-        while let Ok(msg) = msg_rx.recv() {
-            if let WorkerMsg::Done {
-                worker_in_shard,
-                device: d,
-                ..
-            } = msg
-            {
-                // Shared arrays report whole-array stats from every
-                // worker: count one handle per shard.
-                let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
-                if !shared || worker_in_shard == 0 {
-                    device.completed += d.completed;
-                    device.bytes += d.bytes;
-                    device.latency_sum += d.latency_sum;
-                    device.busy_sum += d.busy_sum;
-                }
-            }
-        }
-        // Cache counters: per-run deltas over the shard caches (device
-        // stats would double count — every worker of a shard shares one
-        // cache).
-        for (shard, snap) in self.shards.shards().iter().zip(cache_snapshot) {
-            if let Some(c) = &shard.cache {
-                device.cache_hits += c.hits() - snap.hits;
-                device.cache_misses += c.misses() - snap.misses;
-                device.cache_evictions += c.evictions() - snap.evictions;
-                device.cache_invalidations += c.invalidations() - snap.invalidations;
-                device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
-            }
-        }
+        let device = self.drain_device_stats(&msg_rx, cache_snapshot);
 
         ServiceReport {
             results: collector.results,
+            statuses: collector.statuses,
             latencies: collector.latencies,
+            service_latencies: collector.service_latencies,
             write_latencies: collector.write_latencies,
+            write_service_latencies: collector.write_service_latencies,
             writes_failed: collector.writes_failed,
+            shed_queries: collector.shed_queries,
+            shed_writes: collector.shed_writes,
+            peak_queue_depth,
             duration: collector.duration,
             device,
             total_io: collector.total_io,
@@ -660,13 +1099,18 @@ impl ShardedService {
 }
 
 /// Mutable collector state of one service run: merges shard partials
-/// into per-query results and books read/write latencies.
+/// into per-query results and books read/write latencies and sheds.
 struct Collector {
     accum: Vec<Accum>,
     results: Vec<Vec<(u32, f32)>>,
+    statuses: Vec<OpStatus>,
     latencies: Vec<f64>,
+    service_latencies: Vec<f64>,
     write_latencies: Vec<f64>,
+    write_service_latencies: Vec<f64>,
     writes_failed: usize,
+    shed_queries: usize,
+    shed_writes: usize,
     total_io: u64,
     duration: f64,
     /// qid → op index, for read-latency reference times.
@@ -675,21 +1119,67 @@ struct Collector {
 }
 
 impl Collector {
+    fn new(nq: usize, num_shards: usize, query_op: Vec<usize>, k: usize) -> Self {
+        Self {
+            accum: (0..nq)
+                .map(|_| Accum {
+                    remaining: num_shards,
+                    neighbors: Vec::new(),
+                    start: f64::MAX,
+                    finish: 0.0,
+                })
+                .collect(),
+            results: vec![Vec::new(); nq],
+            statuses: vec![OpStatus::Ok; nq],
+            latencies: vec![0.0f64; nq],
+            service_latencies: vec![0.0f64; nq],
+            write_latencies: Vec::new(),
+            write_service_latencies: Vec::new(),
+            writes_failed: 0,
+            shed_queries: 0,
+            shed_writes: 0,
+            total_io: 0,
+            duration: 0.0,
+            query_op,
+            k,
+        }
+    }
+
+    /// Book one op shed at dispatch time `now` (closed loop — the open
+    /// loop routes sheds through [`WorkerMsg::Shed`]).
+    fn shed(&mut self, op: Op, now: f64) {
+        match op {
+            Op::Query(qid) => self.shed_query(qid),
+            Op::Insert(_) | Op::Delete(_) => self.shed_writes += 1,
+        }
+        // A shed is a terminal event: keep `duration` covering it so
+        // goodput/shed-rate math sees the whole run.
+        self.duration = self.duration.max(now);
+    }
+
+    fn shed_query(&mut self, qid: usize) {
+        debug_assert_eq!(self.statuses[qid], OpStatus::Ok, "query {qid} shed twice");
+        self.statuses[qid] = OpStatus::Shed;
+        self.shed_queries += 1;
+    }
+
     /// Accumulate one message; returns true when it completed an op.
-    /// `ref_time[op]` is the op's dispatch (closed loop) or scheduled
-    /// arrival (open loop) time.
+    /// `ref_time[op]` is the op's queue-entry time: dispatch (closed
+    /// loop) or scheduled arrival (open loop).
     fn absorb(&mut self, msg: WorkerMsg, ref_time: &[f64]) -> bool {
         match msg {
             WorkerMsg::Partial {
                 qid,
                 neighbors,
                 n_io,
+                start,
                 finish,
                 ..
             } => {
                 let a = &mut self.accum[qid];
                 debug_assert!(a.remaining > 0, "extra partial for query {qid}");
                 a.neighbors.extend(neighbors);
+                a.start = a.start.min(start);
                 a.finish = a.finish.max(finish);
                 a.remaining -= 1;
                 self.total_io += u64::from(n_io);
@@ -697,24 +1187,39 @@ impl Collector {
                     let mut merged = std::mem::take(&mut a.neighbors);
                     merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
                     merged.truncate(self.k);
-                    let finish = a.finish;
+                    let (start, finish) = (a.start, a.finish);
                     self.results[qid] = merged;
                     self.latencies[qid] = finish - ref_time[self.query_op[qid]];
+                    self.service_latencies[qid] = finish - start;
                     self.duration = self.duration.max(finish);
                     true
                 } else {
                     false
                 }
             }
-            WorkerMsg::WriteDone { op_idx, ok, finish } => {
+            WorkerMsg::WriteDone {
+                op_idx,
+                ok,
+                start,
+                finish,
+            } => {
                 // Failed writes count toward writes_failed only:
                 // wps()/write_latency() report *applied* writes.
                 if ok {
                     self.write_latencies.push(finish - ref_time[op_idx]);
+                    self.write_service_latencies.push(finish - start);
                 } else {
                     self.writes_failed += 1;
                 }
                 self.duration = self.duration.max(finish);
+                true
+            }
+            WorkerMsg::Shed { op_idx, qid } => {
+                match qid {
+                    Some(qid) => self.shed_query(qid),
+                    None => self.shed_writes += 1,
+                }
+                self.duration = self.duration.max(ref_time[op_idx]);
                 true
             }
             WorkerMsg::Done { .. } => {

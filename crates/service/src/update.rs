@@ -22,9 +22,10 @@
 //! their pre-write bytes would be stale (covered by the
 //! failure-injection suite).
 
+use crate::admission::GatedReceiver;
 use crate::shard::Shard;
 use crate::worker::WorkerMsg;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Sender;
 use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::layout::BLOCK_SIZE;
 use e2lsh_storage::update::Updater;
@@ -149,7 +150,7 @@ pub(crate) enum WriteKind {
 pub(crate) fn run_writer(
     shard: &Shard,
     inserts: &Dataset,
-    jobs: Receiver<WriteJob>,
+    jobs: GatedReceiver<WriteJob>,
     out: Sender<WorkerMsg>,
     epoch: Instant,
 ) {
@@ -167,6 +168,7 @@ pub(crate) fn run_writer(
         }
     };
     while let Ok(job) = jobs.recv() {
+        let start = epoch.elapsed().as_secs_f64();
         let ok = match (&mut up, job.kind) {
             (Some(up), WriteKind::Insert { point_idx }) => {
                 match up.insert(inserts.point(point_idx)) {
@@ -185,6 +187,7 @@ pub(crate) fn run_writer(
         let _ = out.send(WorkerMsg::WriteDone {
             op_idx: job.op_idx,
             ok,
+            start,
             finish: epoch.elapsed().as_secs_f64(),
         });
     }

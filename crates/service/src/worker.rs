@@ -6,8 +6,9 @@
 //! `run_queries` uses, but fed from a request channel instead of a fixed
 //! batch, and emitting per-shard partial results as queries finish.
 
+use crate::admission::GatedReceiver;
 use crate::shard::Shard;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{RecvTimeoutError, Sender, TryRecvError};
 use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::device::{Device, DeviceStats};
 use e2lsh_storage::query::{completion_ctx, EngineClock, EngineConfig, QueryDriver, QueryState};
@@ -33,6 +34,12 @@ pub enum WorkerMsg {
         neighbors: Vec<(u32, f32)>,
         /// I/Os this shard issued for the query.
         n_io: u32,
+        /// Seconds since the service epoch when this shard *started*
+        /// serving the query (admitted into a worker slot). The
+        /// collector keeps the minimum over shards: latency from there
+        /// is pure service time, latency from the op's queue-entry
+        /// reference additionally counts enqueue wait.
+        start: f64,
         /// Seconds since the service epoch when the shard finished.
         finish: f64,
     },
@@ -43,8 +50,21 @@ pub enum WorkerMsg {
         /// False when the updater returned an error (the shard stays
         /// queryable; the rewritten blocks were still invalidated).
         ok: bool,
+        /// Seconds since the service epoch when the writer dequeued the
+        /// job (service start; `finish - start` excludes queue wait).
+        start: f64,
         /// Seconds since the service epoch when the write finished.
         finish: f64,
+    },
+    /// The dispatcher shed one op at admission ([`crate::admission`]):
+    /// no worker will report it. Emitted by the open-loop arrival
+    /// thread so the collector still sees exactly one terminal message
+    /// per op (the closed loop books sheds inline).
+    Shed {
+        /// Index of the op in the service's op stream.
+        op_idx: usize,
+        /// `Some(qid)` for queries, `None` for writes.
+        qid: Option<usize>,
     },
     /// A worker drained its queue and exited.
     Done {
@@ -103,12 +123,13 @@ pub struct WorkerCtx<'a> {
 pub fn run_worker(
     ctx: WorkerCtx<'_>,
     mut device: Box<dyn Device>,
-    jobs: Receiver<Job>,
+    jobs: GatedReceiver<Job>,
     out: Sender<WorkerMsg>,
 ) {
     let mut driver = QueryDriver::new(&ctx.shard.index, ctx.engine);
     let nslots = ctx.engine.contexts.max(1);
     let mut slots: Vec<QueryState> = (0..nslots).map(QueryState::new).collect();
+    let mut slot_start = vec![0.0f64; nslots];
     let mut free: Vec<usize> = (0..nslots).rev().collect();
     let mut clock = EngineClock::default();
     let mut completions = Vec::new();
@@ -135,6 +156,7 @@ pub fn run_worker(
                 shard: ctx.shard.id,
                 neighbors,
                 n_io: outcome.n_io(),
+                start: slot_start[ci],
                 finish: ctx.epoch.elapsed().as_secs_f64(),
             });
         }};
@@ -145,7 +167,8 @@ pub fn run_worker(
         ($job:expr) => {{
             let job: Job = $job;
             let ci = free.pop().expect("a slot is free");
-            clock.observe(ctx.epoch.elapsed().as_secs_f64());
+            slot_start[ci] = ctx.epoch.elapsed().as_secs_f64();
+            clock.observe(slot_start[ci]);
             driver.admit(
                 &mut slots[ci],
                 job.qid,

@@ -23,8 +23,8 @@ use e2lsh_core::dataset::Dataset;
 use e2lsh_core::distance::dist2;
 use e2lsh_core::params::E2lshParams;
 use e2lsh_service::{
-    mixed_ops_resuming, DeviceSpec, Load, Op, ServiceConfig, ShardBuildConfig, ShardSet,
-    ShardedService,
+    dedup_batch, mixed_ops_resuming, zipf_indices, DeviceSpec, Load, Op, OpStatus, ServiceConfig,
+    ShardBuildConfig, ShardSet, ShardedService,
 };
 use e2lsh_storage::device::sim::DeviceProfile;
 use rand::{Rng, SeedableRng};
@@ -138,6 +138,7 @@ fn service_over(data: &Dataset, dir_tag: &str, build_seed: u64) -> ShardedServic
                 profile: DeviceProfile::ESSD,
                 num_devices: 1,
             },
+            ..Default::default()
         },
     )
 }
@@ -284,5 +285,176 @@ fn mutable_service_matches_oracle() {
     );
 
     static_svc.shards().cleanup();
+    svc.shards().cleanup();
+}
+
+/// Batch-equivalence oracle: `query_batch` (dedup on, duplicate-heavy
+/// batches) must match issuing the same queries one-by-one — while the
+/// service mutates underneath, and exactly at quiescence.
+///
+/// Per round, a duplicate-heavy batch is served concurrently with a
+/// `serve_mixed` round of inserts/deletes on another thread. During
+/// concurrency the one-by-one reference is not deterministic, so the
+/// concurrent check is invariant-based: duplicates byte-identical, no
+/// id deleted in an *earlier* round served, all ids valid. After each
+/// round (quiescent), the batch results must equal per-query `serve`
+/// results bit-for-bit, and at the end recall is checked against the
+/// brute-force oracle over the live set.
+#[test]
+fn query_batch_matches_one_by_one_under_writes() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBA7C);
+    let centers: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f32>() * 40.0).collect())
+        .collect();
+    let data = clustered(N0, &mut rng, &centers);
+    let pool = clustered(POOL, &mut rng, &centers);
+    let base_queries = clustered(QUERIES, &mut rng, &centers);
+    // Duplicate-heavy batch: 3× the base size over Zipf-hot picks.
+    let picks = zipf_indices(base_queries.len(), 3 * QUERIES, 1.2, seed ^ 5);
+    let mut batch = Dataset::with_capacity(DIM, picks.len());
+    for &i in &picks {
+        batch.push(base_queries.point(i));
+    }
+    let dd = dedup_batch(&batch);
+    assert!(dd.uniques.len() < batch.len(), "batch must have duplicates");
+
+    let svc = service_over(&data, "batch", seed ^ 0xBA7C);
+
+    let mut oracle = Oracle {
+        all: data.clone(),
+        live: vec![true; N0],
+    };
+    let mut live_ids: Vec<u32> = (0..N0 as u32).collect();
+    let mut deleted_before_round: HashSet<u32> = HashSet::new();
+    let mut next_id = N0 as u32;
+    let mut pool_off = 0usize;
+
+    for round in 0..ROUNDS {
+        let w = mixed_ops_resuming(
+            QUERIES,
+            0.3,
+            0.4,
+            live_ids.clone(),
+            next_id,
+            POOL - pool_off,
+            seed.wrapping_mul(77).wrapping_add(round as u64),
+        );
+        let mut round_pool = Dataset::with_capacity(DIM, POOL - pool_off);
+        for i in pool_off..POOL {
+            round_pool.push(pool.point(i));
+        }
+
+        // Concurrent regime: the mixed round mutates while the batch
+        // serves on this thread.
+        let mut batch_rep = None;
+        let mut mixed_rep = None;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                svc.serve_mixed(
+                    &base_queries,
+                    &round_pool,
+                    &w.ops,
+                    Load::Closed { window: 8 },
+                )
+            });
+            batch_rep = Some(svc.query_batch(&batch));
+            mixed_rep = Some(handle.join().expect("mixed round"));
+        });
+        let batch_rep = batch_rep.unwrap();
+        let mixed_rep = mixed_rep.unwrap();
+        assert_eq!(mixed_rep.writes_failed, 0, "round {round}: writes failed");
+
+        // Invariant checks on the concurrent batch.
+        assert_eq!(batch_rep.results.len(), batch.len());
+        assert_eq!(batch_rep.shed, 0, "unbounded admission must not shed");
+        assert!(batch_rep.statuses.iter().all(|&s| s == OpStatus::Ok));
+        assert_eq!(batch_rep.unique, dd.uniques.len());
+        assert_eq!(batch_rep.collapsed, batch.len() - dd.uniques.len());
+        let id_limit = next_id as usize + w.num_inserts;
+        for (qi, res) in batch_rep.results.iter().enumerate() {
+            for &(id, _) in res {
+                assert!(
+                    !deleted_before_round.contains(&id),
+                    "round {round} batch query {qi}: id {id} deleted in an earlier round"
+                );
+                assert!(
+                    (id as usize) < id_limit,
+                    "round {round}: id {id} from the future"
+                );
+            }
+        }
+        for i in 0..batch.len() {
+            assert_eq!(
+                batch_rep.results[i], batch_rep.results[dd.uniques[dd.rep[i]]],
+                "round {round}: duplicate {i} diverged from its representative"
+            );
+        }
+
+        // Replay ops into the oracle mirror.
+        for op in &w.ops {
+            match *op {
+                Op::Query(_) => {}
+                Op::Insert(j) => {
+                    oracle.all.push(round_pool.point(j));
+                    oracle.live.push(true);
+                    live_ids.push(next_id + j as u32);
+                }
+                Op::Delete(id) => {
+                    oracle.live[id as usize] = false;
+                    live_ids.retain(|&g| g != id);
+                    deleted_before_round.insert(id);
+                }
+            }
+        }
+        next_id += w.num_inserts as u32;
+        pool_off += w.num_inserts;
+
+        // Quiescent regime: batch == one-by-one, bit for bit.
+        let quiet_batch = svc.query_batch(&batch);
+        let one_by_one = svc.serve(&batch, Load::Closed { window: 8 });
+        for i in 0..batch.len() {
+            assert_eq!(
+                quiet_batch.results[i], one_by_one.results[i],
+                "round {round} query {i}: quiescent batch diverges from one-by-one"
+            );
+        }
+        // Dedup saves engine probes on the duplicate-heavy batch (the
+        // shared cache makes per-query I/O cheaper but dedup skips the
+        // engine entirely for duplicates).
+        assert!(
+            quiet_batch.total_io <= one_by_one.total_io,
+            "round {round}: dedup issued more probes than per-query serving"
+        );
+    }
+
+    // Final recall check: quiescent batch results against the
+    // brute-force oracle over the live set (per unique query — the
+    // duplicates are clones by construction).
+    let final_rep = svc.query_batch(&batch);
+    let live_set: HashSet<u32> = live_ids.iter().copied().collect();
+    for (qi, res) in final_rep.results.iter().enumerate() {
+        for &(id, _) in res {
+            assert!(
+                live_set.contains(&id),
+                "final batch query {qi}: id {id} is deleted or was never inserted"
+            );
+        }
+    }
+    let unique_results: Vec<Vec<(u32, f32)>> = dd
+        .uniques
+        .iter()
+        .map(|&i| final_rep.results[i].clone())
+        .collect();
+    let mut unique_queries = Dataset::with_capacity(DIM, dd.uniques.len());
+    for &i in &dd.uniques {
+        unique_queries.push(batch.point(i));
+    }
+    let recall = mean_recall(&unique_results, &unique_queries, &oracle);
+    assert!(
+        recall > 0.7,
+        "batched recall {recall:.3} suspiciously low (seed {seed})"
+    );
+
     svc.shards().cleanup();
 }

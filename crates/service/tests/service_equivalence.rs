@@ -84,6 +84,7 @@ fn service_config(workers: usize, k: usize, device: DeviceSpec) -> ServiceConfig
         k,
         s_override: Some(AMPLE),
         device,
+        ..Default::default()
     }
 }
 

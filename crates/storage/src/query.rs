@@ -536,6 +536,120 @@ impl<'a> QueryDriver<'a> {
         }
     }
 
+    /// Run `queries` to completion through caller-owned `slots`,
+    /// returning one [`QueryOutcome`] per query in query order.
+    ///
+    /// This is the batched entry point of the engine: the slots (and
+    /// the scratch they carry — probe vectors, dedup sets, top-k heaps)
+    /// are **reused across every query of the batch**, and across
+    /// *calls* when the caller keeps the slots alive, so serving one
+    /// batch costs one `QueryState` allocation amortized over its whole
+    /// lifetime instead of one per query. [`run_queries`] wraps this
+    /// with freshly allocated slots; request-batching executors (the
+    /// service's `query_batch`) hold their slots across requests.
+    ///
+    /// Slot `ctx_id`s must be unique within `device` and every slot
+    /// must be free (`!is_active()`). Panics when `slots` is empty and
+    /// `queries` is not.
+    pub fn run_batch(
+        &mut self,
+        slots: &mut [QueryState],
+        queries: &Dataset,
+        data: &Dataset,
+        clock: &mut EngineClock,
+        device: &mut dyn Device,
+    ) -> Vec<QueryOutcome> {
+        assert_eq!(queries.dim(), self.index.dim());
+        assert_eq!(data.dim(), self.index.dim());
+        let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); queries.len()];
+        if queries.is_empty() {
+            return outcomes;
+        }
+        assert!(!slots.is_empty(), "run_batch needs at least one slot");
+        debug_assert!(slots.iter().all(|s| !s.is_active()), "slots must be free");
+        let virtual_time = self.config.virtual_time;
+        let mut next_query = 0usize;
+
+        // Admit into slot `ci` until a query stays active or the batch
+        // runs dry; harvests instantly-completing queries. (A free fn
+        // taking the executor state piecewise keeps the borrow checker
+        // happy around `device`.)
+        #[allow(clippy::too_many_arguments)]
+        fn refill(
+            ci: usize,
+            slots: &mut [QueryState],
+            driver: &mut QueryDriver,
+            queries: &Dataset,
+            next_query: &mut usize,
+            outcomes: &mut [QueryOutcome],
+            clock: &mut EngineClock,
+            device: &mut dyn Device,
+        ) {
+            while *next_query < queries.len() && !slots[ci].is_active() {
+                let qi = *next_query;
+                *next_query += 1;
+                driver.admit(&mut slots[ci], qi, queries.point(qi), clock, device);
+                if !slots[ci].is_active() {
+                    outcomes[qi] = slots[ci].take_outcome();
+                }
+            }
+        }
+
+        for ci in 0..slots.len() {
+            refill(
+                ci,
+                slots,
+                self,
+                queries,
+                &mut next_query,
+                &mut outcomes,
+                clock,
+                device,
+            );
+        }
+
+        let mut completions: Vec<IoCompletion> = Vec::new();
+        loop {
+            completions.clear();
+            let poll_now = if virtual_time { clock.now } else { f64::MAX };
+            device.poll(poll_now, &mut completions);
+            if completions.is_empty() {
+                if device.inflight() > 0 {
+                    if let Some(t) = device.next_completion_time() {
+                        clock.observe(t);
+                    } else {
+                        device.wait();
+                    }
+                    continue;
+                }
+                // Nothing in flight anywhere: all queries must be done.
+                debug_assert!(slots.iter().all(|s| !s.is_active()));
+                break;
+            }
+            for comp in completions.drain(..) {
+                clock.observe(comp.time);
+                let ci = completion_ctx(&comp);
+                self.handle_completion(&mut slots[ci], &comp, data, clock, device);
+                if !slots[ci].is_active() {
+                    outcomes[slots[ci].query_id()] = slots[ci].take_outcome();
+                    // Slot freed: admit the next query (possibly several
+                    // if they complete without I/O).
+                    refill(
+                        ci,
+                        slots,
+                        self,
+                        queries,
+                        &mut next_query,
+                        &mut outcomes,
+                        clock,
+                        device,
+                    );
+                }
+            }
+        }
+        outcomes
+    }
+
     /// Feed one completion whose tag routes to `st` (the executor
     /// dispatches on [`completion_ctx`]); advance the query as far as it
     /// will go without further completions. Call
@@ -648,105 +762,17 @@ pub fn run_queries(
     config: &EngineConfig,
     device: &mut dyn Device,
 ) -> BatchReport {
-    assert_eq!(queries.dim(), index.dim());
-    assert_eq!(dataset.dim(), index.dim());
     // `dataset` normally covers every indexed id; ids beyond it (burned
     // by failed inserts, or torn concurrent rewrites) are skipped by
     // the per-candidate guard in `handle_completion`.
     assert!(config.contexts >= 1);
 
     let mut driver = QueryDriver::new(index, config);
-    let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); queries.len()];
     let mut clock = EngineClock::default();
     let wall_start = Instant::now();
-    let mut next_query = 0usize;
-
     let nctx = config.contexts.min(queries.len().max(1));
     let mut slots: Vec<QueryState> = (0..nctx).map(QueryState::new).collect();
-
-    // Admit into slot `ci` until a query stays active or the batch runs
-    // dry; harvests instantly-completing queries. (A free fn taking the
-    // executor state piecewise keeps the borrow checker happy around
-    // `device`.)
-    #[allow(clippy::too_many_arguments)]
-    fn refill(
-        ci: usize,
-        slots: &mut [QueryState],
-        driver: &mut QueryDriver,
-        queries: &Dataset,
-        next_query: &mut usize,
-        outcomes: &mut [QueryOutcome],
-        clock: &mut EngineClock,
-        device: &mut dyn Device,
-    ) {
-        while *next_query < queries.len() && !slots[ci].is_active() {
-            let qi = *next_query;
-            *next_query += 1;
-            driver.admit(&mut slots[ci], qi, queries.point(qi), clock, device);
-            if !slots[ci].is_active() {
-                outcomes[qi] = slots[ci].take_outcome();
-            }
-        }
-    }
-
-    // --- admission ------------------------------------------------------
-    for ci in 0..nctx {
-        refill(
-            ci,
-            &mut slots,
-            &mut driver,
-            queries,
-            &mut next_query,
-            &mut outcomes,
-            &mut clock,
-            device,
-        );
-    }
-
-    // --- main event loop --------------------------------------------------
-    let mut completions: Vec<IoCompletion> = Vec::new();
-    loop {
-        completions.clear();
-        let poll_now = if config.virtual_time {
-            clock.now
-        } else {
-            f64::MAX
-        };
-        device.poll(poll_now, &mut completions);
-        if completions.is_empty() {
-            if device.inflight() > 0 {
-                if let Some(t) = device.next_completion_time() {
-                    clock.observe(t);
-                } else {
-                    device.wait();
-                }
-                continue;
-            }
-            // Nothing in flight anywhere: all queries must be done.
-            debug_assert!(slots.iter().all(|s| !s.is_active()));
-            break;
-        }
-        for comp in completions.drain(..) {
-            clock.observe(comp.time);
-            let ci = completion_ctx(&comp);
-            driver.handle_completion(&mut slots[ci], &comp, dataset, &mut clock, device);
-            if !slots[ci].is_active() {
-                outcomes[slots[ci].query_id()] = slots[ci].take_outcome();
-                // Slot freed: admit the next query (possibly several if
-                // they complete without I/O).
-                refill(
-                    ci,
-                    &mut slots,
-                    &mut driver,
-                    queries,
-                    &mut next_query,
-                    &mut outcomes,
-                    &mut clock,
-                    device,
-                );
-            }
-        }
-    }
+    let outcomes = driver.run_batch(&mut slots, queries, dataset, &mut clock, device);
 
     let makespan = if config.virtual_time {
         clock.now

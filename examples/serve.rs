@@ -1,11 +1,26 @@
 //! Serving-layer tour: shard a dataset, stand up the multi-threaded
 //! service with a DRAM block cache, and serve a skewed query stream
-//! under closed-loop and open-loop (Poisson) admission.
+//! under closed-loop and open-loop (Poisson) admission — then push the
+//! open loop past capacity to watch bounded admission shed load, and
+//! serve a duplicate-heavy batch through `query_batch`.
+//!
+//! **Overload error contract:** with a finite
+//! [`AdmissionBudget`](e2lshos::service::AdmissionBudget), any *query*
+//! that would overflow a shard's queue-depth or queued-bytes budget is
+//! rejected at admission with the typed `Overload` error. The service
+//! surfaces this per request: the op's status is `OpStatus::Shed`, its
+//! results are empty, its latency is excluded from the accepted-request
+//! percentiles, and shed counts / shed rate / peak queue depth appear
+//! in every report. Writes are never dropped — their stream-positional
+//! ids could not survive it — so a full write queue backpressures the
+//! dispatcher instead. Nothing is silently dropped and nothing queues
+//! without bound — offered load beyond capacity turns into explicit,
+//! countable rejections (reads) or bounded stalls (writes).
 //!
 //! Run with `cargo run --release --example serve`.
 
 use e2lshos::prelude::*;
-use e2lshos::service::{skewed_queries, Load};
+use e2lshos::service::{skewed_queries, zipf_indices, AdmissionBudget, Load};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -81,6 +96,7 @@ fn main() {
                 profile: DeviceProfile::ESSD,
                 num_devices: 1,
             },
+            ..Default::default()
         },
     );
 
@@ -119,5 +135,83 @@ fn main() {
 
     let q0 = &closed.results[0];
     println!("top-{} for query 0: {:?}", q0.len(), q0);
+
+    // Batched serving: a duplicate-heavy request (Zipf-hot picks) goes
+    // through query_batch — byte-identical queries are deduped before
+    // the engine, so the batch costs its *unique* queries only.
+    let picks = zipf_indices(base_queries.len(), 256, 1.2, 4);
+    let mut batch = Dataset::with_capacity(base_queries.dim(), picks.len());
+    for &i in &picks {
+        batch.push(base_queries.point(i));
+    }
+    let brep = service.query_batch(&batch);
+    println!(
+        "query_batch: {} queries → {} unique ({:.0}% dedup), {} engine probes, p99 {:.2} ms",
+        batch.len(),
+        brep.unique,
+        brep.dedup_rate() * 100.0,
+        brep.total_io,
+        brep.latency().p99 * 1e3
+    );
+
+    // Overload: rebuild the service with a finite admission budget and
+    // offer 3× the measured throughput open-loop. The queue bound
+    // holds; the excess is shed with the typed Overload error (statuses
+    // report OpStatus::Shed per query) instead of queueing forever.
     service.shards().cleanup();
+    let shards = ShardSet::build(
+        &data,
+        &ShardBuildConfig {
+            num_shards: 2,
+            seed: 42,
+            dir: std::env::temp_dir()
+                .join(format!("e2lsh-serve-example-ovl-{}", std::process::id())),
+            cache_blocks: 8192,
+            ..Default::default()
+        },
+        |local| {
+            E2lshParams::derive(
+                local.len(),
+                2.0,
+                4.0,
+                1.0,
+                local.max_abs_coord(),
+                local.dim(),
+            )
+        },
+    )
+    .expect("shard build");
+    let bounded = ShardedService::new(
+        shards,
+        ServiceConfig {
+            workers_per_shard: 2,
+            contexts_per_worker: 16,
+            k: 3,
+            s_override: None,
+            device: DeviceSpec::SimShared {
+                profile: DeviceProfile::ESSD,
+                num_devices: 1,
+            },
+            admission: AdmissionBudget::depth(32),
+        },
+    );
+    let overload = bounded.serve(
+        &queries,
+        Load::Open {
+            rate_qps: closed.qps() * 3.0,
+            seed: 21,
+        },
+    );
+    let lat = overload.latency();
+    println!(
+        "overload @3x: goodput {:.0} QPS, shed {:.0}% ({} of {}), peak queue {} (bound 32), \
+         accepted p99 {:.2} ms",
+        overload.goodput(),
+        overload.shed_rate() * 100.0,
+        overload.shed_queries,
+        overload.results.len(),
+        overload.peak_queue_depth,
+        lat.p99 * 1e3
+    );
+    bounded.shards().cleanup();
 }

@@ -13,8 +13,9 @@
 //! * [`service`] ([`e2lsh_service`]) — the sharded, multi-threaded
 //!   query-serving layer: worker pools over per-shard indexes, top-k
 //!   merging, open/closed-loop load generation, latency percentiles,
-//!   and the online write path (mixed read–write serving with per-key
-//!   cache invalidation epochs);
+//!   the online write path (mixed read–write serving with per-key
+//!   cache invalidation epochs), bounded admission queues with typed
+//!   `Overload` shedding, and a batch query API with hot-query dedup;
 //! * [`baselines`] ([`ann_baselines`]) — SRS and QALSH with their R-tree
 //!   and B+-tree substrates;
 //! * [`datasets`] ([`ann_datasets`]) — the synthetic evaluation suite,
@@ -38,8 +39,8 @@ pub mod prelude {
     pub use ann_datasets::suite::DatasetId;
     pub use e2lsh_core::{knn_search, Dataset, E2lshParams, MemIndex, SearchOptions};
     pub use e2lsh_service::{
-        mixed_ops, DeviceSpec, Load, Op, ServiceConfig, ShardBuildConfig, ShardSet, ShardUpdater,
-        ShardedService,
+        mixed_ops, AdmissionBudget, DeviceSpec, Load, Op, OpStatus, Overload, ServiceConfig,
+        ShardBuildConfig, ShardSet, ShardUpdater, ShardedService,
     };
     pub use e2lsh_storage::build::{build_index, BuildConfig};
     pub use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
