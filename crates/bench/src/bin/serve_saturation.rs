@@ -78,7 +78,7 @@ fn build_service(data: &Dataset, bounded: bool) -> ShardedService {
     ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: 4,
+            workers_per_replica: 4,
             contexts_per_worker: 32,
             k: 1,
             s_override: None,
@@ -87,10 +87,11 @@ fn build_service(data: &Dataset, bounded: bool) -> ShardedService {
                 num_devices: 2,
             },
             admission: if bounded {
-                AdmissionBudget::depth(QUEUE_BOUND)
+                AdmissionBudget::depth(QUEUE_BOUND).into()
             } else {
-                AdmissionBudget::UNBOUNDED
+                AdmissionBudget::UNBOUNDED.into()
             },
+            ..Default::default()
         },
     )
 }

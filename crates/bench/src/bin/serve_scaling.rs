@@ -26,7 +26,7 @@ use serde::Serialize;
 
 #[derive(Serialize)]
 struct ClosedRow {
-    workers_per_shard: usize,
+    workers_per_replica: usize,
     shards: usize,
     qps: f64,
     p50_ms: f64,
@@ -77,7 +77,7 @@ fn build_service(workers: usize, data: &e2lsh_core::dataset::Dataset) -> Sharded
     ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: workers,
+            workers_per_replica: workers,
             contexts_per_worker: 32,
             k: 1,
             s_override: None,
@@ -112,7 +112,7 @@ fn main() {
         let wait = rep.queue_wait();
         let svc_lat = rep.service_latency();
         let row = ClosedRow {
-            workers_per_shard: workers,
+            workers_per_replica: workers,
             shards: NUM_SHARDS,
             qps: rep.qps(),
             p50_ms: lat.p50 * 1e3,
@@ -126,7 +126,7 @@ fn main() {
         };
         println!(
             "{:>8} {:>10.0} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8.1} {:>8.1}% {:>12.1}",
-            row.workers_per_shard,
+            row.workers_per_replica,
             row.qps,
             report::fmt_time(lat.p50),
             report::fmt_time(lat.p95),

@@ -106,7 +106,7 @@ fn main() {
         let svc = ShardedService::new(
             shards,
             ServiceConfig {
-                workers_per_shard: 4,
+                workers_per_replica: 4,
                 contexts_per_worker: 32,
                 k: 1,
                 s_override: None,

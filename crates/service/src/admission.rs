@@ -24,7 +24,13 @@
 //! backpressure** ([`GatedSender::send_blocking`] — the mixed op
 //! stream's id arithmetic cannot survive a dropped write, so a full
 //! write queue stalls the dispatcher instead; memory stays bounded
-//! either way).
+//! either way). The two classes draw from **separate budgets**
+//! ([`AdmissionControl`]: a read and a write [`AdmissionBudget`] per
+//! shard), so a write burst can never shed reads. A shed op's
+//! [`Overload`] error carries a [`Overload::retry_after`] backoff hint
+//! derived from the gate's observed drain rate;
+//! [`crate::loadgen::Load::ClosedBackoff`] models a client that honors
+//! it.
 //!
 //! Invariants (model-checked in `crates/service/tests/batch_dedup.rs`):
 //!
@@ -37,13 +43,13 @@ use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, TryRe
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Typed load-shedding error: the op was rejected at admission because
 /// the shard's queue budget was exhausted. The fields snapshot the
 /// queue at rejection time (racy under concurrent pops — diagnostics,
 /// not invariants).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Overload {
     /// Shard whose budget rejected the op.
     pub shard: usize,
@@ -51,14 +57,34 @@ pub struct Overload {
     pub depth: usize,
     /// Queued payload bytes observed at rejection.
     pub queued_bytes: usize,
+    /// Client backoff hint in seconds: the estimated time until the
+    /// queue has drained enough to admit an op like this one, derived
+    /// from the gate's observed drain rate (pops per second since the
+    /// gate was created). A well-behaved client retries no earlier;
+    /// [`crate::loadgen::Load::ClosedBackoff`] honors it. Clamped to
+    /// [`Overload::MIN_RETRY_AFTER`]..[`Overload::MAX_RETRY_AFTER`]
+    /// (the fallback before any pop has been observed is the maximum).
+    pub retry_after: f64,
+}
+
+impl Overload {
+    /// Floor of the [`Overload::retry_after`] hint (an instantly
+    /// retrying client would just re-shed).
+    pub const MIN_RETRY_AFTER: f64 = 50e-6;
+    /// Ceiling of the hint (also the cold-start fallback while the
+    /// gate has not observed a single pop yet).
+    pub const MAX_RETRY_AFTER: f64 = 50e-3;
 }
 
 impl fmt::Display for Overload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shard {} overloaded: {} ops / {} bytes queued",
-            self.shard, self.depth, self.queued_bytes
+            "shard {} overloaded: {} ops / {} bytes queued (retry after {:.1} ms)",
+            self.shard,
+            self.depth,
+            self.queued_bytes,
+            self.retry_after * 1e3
         )
     }
 }
@@ -106,6 +132,61 @@ impl Default for AdmissionBudget {
     }
 }
 
+/// Per-shard admission discipline split by op class: **reads and writes
+/// draw from separate budgets**, so a write burst that fills the write
+/// queue can never cause read sheds (and vice versa). PR 3 applied one
+/// budget value to both queues; the queues were already separate, but a
+/// single knob could not express "generous reads, tight writes" — the
+/// shape a read-serving tier with a trickle of maintenance writes
+/// wants.
+///
+/// Construct with [`AdmissionControl::symmetric`] (both classes share
+/// one budget value, the PR-3 behaviour), [`AdmissionControl::depth`]
+/// (symmetric depth-only bound), or build the struct directly for
+/// asymmetric budgets. `From<AdmissionBudget>` converts symmetrically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AdmissionControl {
+    /// Budget of each shard's query queue (overflow **sheds** with
+    /// [`Overload`]).
+    pub read: AdmissionBudget,
+    /// Budget of each shard's write queue (overflow **backpressures**
+    /// the dispatcher — see [`GatedSender::send_blocking`]).
+    pub write: AdmissionBudget,
+}
+
+impl AdmissionControl {
+    /// No limits on either class.
+    pub const UNBOUNDED: Self = Self {
+        read: AdmissionBudget::UNBOUNDED,
+        write: AdmissionBudget::UNBOUNDED,
+    };
+
+    /// One budget value for both classes (each queue still gets its own
+    /// gate — the classes never contend for budget).
+    pub fn symmetric(budget: AdmissionBudget) -> Self {
+        Self {
+            read: budget,
+            write: budget,
+        }
+    }
+
+    /// Symmetric depth-only bound.
+    pub fn depth(max_depth: usize) -> Self {
+        Self::symmetric(AdmissionBudget::depth(max_depth))
+    }
+
+    /// True when at least one limit binds on either class.
+    pub fn is_bounded(&self) -> bool {
+        self.read.is_bounded() || self.write.is_bounded()
+    }
+}
+
+impl From<AdmissionBudget> for AdmissionControl {
+    fn from(budget: AdmissionBudget) -> Self {
+        Self::symmetric(budget)
+    }
+}
+
 /// Counters one gate accumulated over its lifetime.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct GateStats {
@@ -121,11 +202,32 @@ struct Gate {
     bytes: AtomicUsize,
     peak_depth: AtomicUsize,
     shed: AtomicU64,
+    /// Ops popped by receivers over the gate's lifetime — the drain
+    /// counter behind the [`Overload::retry_after`] hint.
+    popped: AtomicU64,
+    /// When the gate was created (drain-rate reference point).
+    started: Instant,
     budget: AdmissionBudget,
     shard: usize,
 }
 
 impl Gate {
+    /// Backoff hint for an op rejected at `depth`: how long until the
+    /// queue, draining at its observed lifetime rate, frees the slots
+    /// this op needs. Conservative cold-start fallback (no pops
+    /// observed yet): the maximum hint.
+    fn retry_after(&self, depth: usize) -> f64 {
+        let popped = self.popped.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if popped == 0 || elapsed <= 0.0 {
+            return Overload::MAX_RETRY_AFTER;
+        }
+        let drain_rate = popped as f64 / elapsed; // ops per second
+        let slots_needed = (depth + 1).saturating_sub(self.budget.max_depth).max(1);
+        (slots_needed as f64 / drain_rate)
+            .clamp(Overload::MIN_RETRY_AFTER, Overload::MAX_RETRY_AFTER)
+    }
+
     /// Reserve one op of `cost` bytes; fails (and undoes the tentative
     /// reservation) when a budget would be exceeded. `count_shed`
     /// distinguishes a real shed from a backpressure probe that will
@@ -143,6 +245,7 @@ impl Gate {
                 shard: self.shard,
                 depth: depth - 1,
                 queued_bytes: bytes - cost,
+                retry_after: self.retry_after(depth - 1),
             });
         }
         // `peak_depth` is bumped at *send* time, not here: a fan-out
@@ -172,6 +275,15 @@ impl Gate {
     fn unreserve(&self, cost: usize) {
         self.depth.fetch_sub(1, Ordering::AcqRel);
         self.bytes.fetch_sub(cost, Ordering::AcqRel);
+    }
+
+    /// A receiver popped an op: release its budget and count the drain
+    /// (fan-out rollbacks go through [`Gate::unreserve`] instead — a
+    /// rolled-back reservation was never queued, so it must not inflate
+    /// the drain rate).
+    fn release_popped(&self, cost: usize) {
+        self.unreserve(cost);
+        self.popped.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -215,6 +327,8 @@ pub fn gated<T>(shard: usize, budget: AdmissionBudget) -> (GatedSender<T>, Gated
         bytes: AtomicUsize::new(0),
         peak_depth: AtomicUsize::new(0),
         shed: AtomicU64::new(0),
+        popped: AtomicU64::new(0),
+        started: Instant::now(),
         budget,
         shard,
     });
@@ -279,6 +393,13 @@ impl<T> GatedSender<T> {
         }
     }
 
+    /// Reserve like [`GatedSender::reserve`] but without counting a
+    /// shed on failure — for retrying callers (failover re-dispatch)
+    /// whose rejection is a backpressure probe, not an outcome.
+    pub(crate) fn reserve_uncounted(&self, cost: usize) -> Result<(), Overload> {
+        self.gate.reserve(cost, false)
+    }
+
     /// Undo a [`GatedSender::reserve`] that will not be sent.
     pub fn unreserve(&self, cost: usize) {
         self.gate.unreserve(cost);
@@ -315,7 +436,7 @@ impl<T> GatedReceiver<T> {
     /// Non-blocking receive; releases the op's budget on success.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         self.rx.try_recv().map(|(item, cost)| {
-            self.gate.unreserve(cost);
+            self.gate.release_popped(cost);
             item
         })
     }
@@ -323,7 +444,7 @@ impl<T> GatedReceiver<T> {
     /// Blocking receive; releases the op's budget on success.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.rx.recv().map(|(item, cost)| {
-            self.gate.unreserve(cost);
+            self.gate.release_popped(cost);
             item
         })
     }
@@ -331,7 +452,7 @@ impl<T> GatedReceiver<T> {
     /// Timed receive; releases the op's budget on success.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         self.rx.recv_timeout(timeout).map(|(item, cost)| {
-            self.gate.unreserve(cost);
+            self.gate.release_popped(cost);
             item
         })
     }
@@ -420,6 +541,47 @@ mod tests {
         let (tx0, rx0) = gated::<u8>(1, AdmissionBudget::depth(0));
         tx0.send_blocking(9, 1);
         assert_eq!(rx0.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn retry_after_hint_is_sane() {
+        let (tx, rx) = gated::<u32>(0, AdmissionBudget::depth(1));
+        tx.try_send(1, 8).unwrap();
+        // Cold gate: no pop observed yet — conservative maximum hint.
+        let cold = tx.try_send(2, 8).unwrap_err();
+        assert_eq!(cold.retry_after, Overload::MAX_RETRY_AFTER);
+        // After a pop the hint derives from the observed drain rate and
+        // stays within the clamp.
+        rx.try_recv().unwrap();
+        tx.try_send(3, 8).unwrap();
+        let warm = tx.try_send(4, 8).unwrap_err();
+        assert!(warm.retry_after >= Overload::MIN_RETRY_AFTER);
+        assert!(warm.retry_after <= Overload::MAX_RETRY_AFTER);
+    }
+
+    #[test]
+    fn admission_control_splits_classes() {
+        let ctl = AdmissionControl {
+            read: AdmissionBudget::depth(64),
+            write: AdmissionBudget::depth(2),
+        };
+        assert!(ctl.is_bounded());
+        // Independent gates: saturating the write queue never spends
+        // read budget.
+        let (read_tx, _read_rx) = gated::<u32>(0, ctl.read);
+        let (write_tx, _write_rx) = gated::<u32>(0, ctl.write);
+        write_tx.try_send(0, 8).unwrap();
+        write_tx.try_send(1, 8).unwrap();
+        assert!(write_tx.try_send(2, 8).is_err(), "write budget binds");
+        for i in 0..64 {
+            read_tx.try_send(i, 8).unwrap();
+        }
+        assert!(read_tx.try_send(64, 8).is_err(), "read budget binds at 64");
+        // Conversions and shorthands.
+        let sym: AdmissionControl = AdmissionBudget::depth(7).into();
+        assert_eq!(sym, AdmissionControl::depth(7));
+        assert!(!AdmissionControl::UNBOUNDED.is_bounded());
+        assert_eq!(AdmissionControl::default(), AdmissionControl::UNBOUNDED);
     }
 
     #[test]

@@ -8,13 +8,23 @@
 //! * [`shard`] — partition the dataset into `N` contiguous shards, each
 //!   with its own on-storage index (and its own device), global↔local id
 //!   mapping by offset;
+//! * [`topology`] — back each shard with **R replicas** that share the
+//!   shard's index and rows but own private worker pools, block caches
+//!   and admission queues (read scaling + failover); replica health
+//!   (fencing) lives here;
+//! * [`router`] — pick one replica per shard per query:
+//!   power-of-two-choices over live queue depth (default), round-robin
+//!   and broadcast baselines; plus the fencing/failover protocol that
+//!   re-dispatches a dead replica's outstanding queries to a sibling;
 //! * [`service`] — [`ShardedService`](service::ShardedService): a pool of
-//!   worker threads per shard, each driving the storage crate's
+//!   worker threads per replica, each driving the storage crate's
 //!   [`QueryDriver`](e2lsh_storage::query::QueryDriver) over interleaved
-//!   query contexts; every query fans out to all shards and the
-//!   per-shard top-k results are merged by distance;
+//!   query contexts; every query fans out to all shards (one replica
+//!   each) and the per-shard top-k results are merged by distance;
 //! * [`worker`] — the per-thread serving loop (channel-fed admission on
-//!   top of the same state machine `run_queries` batches through);
+//!   top of the same state machine `run_queries` batches through),
+//!   including panic containment: a crashing worker fences its replica
+//!   instead of hanging the collector;
 //! * [`shared_sim`] — a simulated device array shared by a shard's
 //!   workers, so thread scaling contends for one array's IOPS (the
 //!   paper's Figure 16 regime) instead of duplicating hardware;
@@ -60,22 +70,28 @@
 pub mod admission;
 pub mod loadgen;
 pub mod metrics;
+pub mod router;
 pub mod service;
 pub mod shard;
 pub mod shared_sim;
+pub mod topology;
 pub mod update;
 pub mod worker;
 
-pub use admission::{AdmissionBudget, GateStats, GatedReceiver, GatedSender, Overload};
+pub use admission::{
+    AdmissionBudget, AdmissionControl, GateStats, GatedReceiver, GatedSender, Overload,
+};
 pub use loadgen::{
     mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, zipf_batches, zipf_indices,
     Load, MixedWorkload, Op,
 };
-pub use metrics::{percentile, LatencySummary, OpStatus};
+pub use metrics::{imbalance, percentile, LatencySummary, OpStatus};
+pub use router::RoutePolicy;
 pub use service::{
     dedup_batch, BatchDedup, BatchQueryReport, DeviceSpec, ServiceConfig, ServiceReport,
     ShardedService,
 };
 pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
 pub use shared_sim::{SharedSimArray, SharedSimHandle};
+pub use topology::{Replica, Topology};
 pub use update::ShardUpdater;

@@ -14,6 +14,22 @@ pub enum Load {
         /// In-flight query target.
         window: usize,
     },
+    /// Closed loop whose clients **honor the service's backoff hint**:
+    /// a query shed with [`Overload`](crate::admission::Overload) is
+    /// retried after the error's `retry_after` (derived from the shard
+    /// queue's observed drain rate) instead of being abandoned, up to
+    /// `max_retries` attempts; only then is it booked as shed. Latency
+    /// of a retried query is measured from its *first* dispatch, so
+    /// backoff time is visible in the percentiles.
+    /// `ServiceReport::retries` counts the re-attempts. Writes never
+    /// shed (they backpressure), so retries only ever apply to queries.
+    ClosedBackoff {
+        /// In-flight query target.
+        window: usize,
+        /// Re-attempts per query after its first shed (0 degenerates to
+        /// [`Load::Closed`]).
+        max_retries: usize,
+    },
     /// Open loop: queries arrive by a Poisson process at `rate_qps`,
     /// independent of completions. Latency is measured from the
     /// *scheduled* arrival, so queueing delay (and coordinated omission)
@@ -49,7 +65,9 @@ impl Load {
     /// closed loop has no schedule (dispatch is completion-driven).
     pub(crate) fn arrival_schedule(&self, n: usize) -> Vec<f64> {
         match *self {
-            Load::Closed { .. } => unreachable!("closed loop has no arrival schedule"),
+            Load::Closed { .. } | Load::ClosedBackoff { .. } => {
+                unreachable!("closed loop has no arrival schedule")
+            }
             Load::Open { rate_qps, seed } => poisson_arrivals(n, rate_qps, seed),
             Load::Burst {
                 rate_qps,

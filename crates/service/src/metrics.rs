@@ -19,6 +19,22 @@ pub enum OpStatus {
     Shed,
 }
 
+/// Load imbalance of a replica group: max over mean (1.0 = perfectly
+/// balanced, R = everything on one of R replicas). 0 for an empty or
+/// all-zero sample — an idle group is not "imbalanced".
+pub fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let max = *loads.iter().max().unwrap() as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        max / mean
+    }
+}
+
 /// Percentile of an **unsorted** latency sample (nearest-rank method).
 /// `p` is in `[0, 100]`. Returns 0 for an empty sample.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
@@ -116,6 +132,15 @@ mod tests {
         // All shed: empty summary, not zeros averaged in.
         let none = LatencySummary::of_accepted(&lat, &[OpStatus::Shed; 4]);
         assert_eq!(none.count, 0);
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0, 0]), 0.0);
+        assert_eq!(imbalance(&[5, 5, 5]), 1.0);
+        assert_eq!(imbalance(&[9, 0, 0]), 3.0);
+        assert!(imbalance(&[4, 2]) > 1.0 && imbalance(&[4, 2]) < 2.0);
     }
 
     #[test]

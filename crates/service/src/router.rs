@@ -1,0 +1,481 @@
+//! Load-aware replica routing and the fencing/failover protocol.
+//!
+//! With replica groups ([`crate::topology`]), a query still fans out to
+//! every *shard*, but within each shard the router picks **one
+//! replica** to serve it:
+//!
+//! * [`RoutePolicy::PowerOfTwoChoices`] (default) — sample two live
+//!   replicas, send to the one with the shorter admission queue. The
+//!   classic two-choices result: near-best-of-all balancing at the cost
+//!   of two depth reads, robust to heterogeneous replica speed (a slow
+//!   or degraded replica's queue grows, so it stops attracting load).
+//!   Queue depth is live — [`GatedSender::depth`] is the same counter
+//!   the admission budget enforces.
+//! * [`RoutePolicy::RoundRobin`] — cycle over live replicas, blind to
+//!   load. The baseline: balances *counts*, not *backlog*; a slow
+//!   replica keeps receiving its full share.
+//! * [`RoutePolicy::Broadcast`] — send to **every** live replica (R×
+//!   work amplification, duplicate partials deduplicated at merge).
+//!   The correctness baseline and a latency-race mode; a mid-run fence
+//!   shrinks affected queries' partial quotas instead of re-dispatching
+//!   (the surviving replicas already carry identical answers).
+//!
+//! ## Fencing and failover
+//!
+//! A replica dies by being **fenced** ([`Topology::fence`] — operator,
+//! test kill switch, or a worker panic). The handshake that makes this
+//! race-free against concurrent dispatch, per run:
+//!
+//! 1. every send increments the lane's `routes` counter **before**
+//!    checking the down flag ([`Router::reserve_on_shard`]), and
+//!    decrements it after the send lands in the queue;
+//! 2. the fenced replica's workers observe the flag, stop serving
+//!    (abandoning queued and in-flight jobs), and the **last** worker
+//!    out spin-waits for `routes == 0` before emitting one
+//!    [`WorkerMsg::ReplicaDown`](crate::worker::WorkerMsg) — so by the
+//!    time the collector sees it, every routed job is either in the
+//!    dead queue or already reported, and the routing table (the
+//!    per-query dispatch bitmasks behind [`Router::quota`]) is
+//!    complete for the scan;
+//! 3. the collector re-dispatches every outstanding query that was
+//!    routed to the dead replica to a live sibling
+//!    ([`Router::redispatch`], **blocking** admission — a failover op
+//!    was already admitted once and must not turn into a shed storm),
+//!    counting each in [`ServiceReport::failovers`]; under broadcast
+//!    it instead drops the dead replica's bit from the query's
+//!    dispatch set ([`Router::clear_routed_bit`]);
+//! 4. duplicate partials (a job the dying replica did complete, raced
+//!    by its re-dispatch) are dropped by the collector's per-shard
+//!    received markers.
+//!
+//! When a shard has **no** live replica left, new queries are shed with
+//! a synthetic [`Overload`] and outstanding ones complete with that
+//! shard's partial empty — degraded answers, but the run terminates.
+//!
+//! [`Topology::fence`]: crate::topology::Topology::fence
+//! [`ServiceReport::failovers`]: crate::service::ServiceReport::failovers
+
+use crate::admission::{GatedSender, Overload};
+use crate::topology::Topology;
+use crate::worker::Job;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// How the service picks a replica within each shard for a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Sample two live replicas, route to the shorter admission queue
+    /// (load-aware; the default).
+    #[default]
+    PowerOfTwoChoices,
+    /// Cycle over live replicas regardless of load (baseline).
+    RoundRobin,
+    /// Send to every live replica; merged results are deduplicated.
+    /// R× work amplification; a mid-run fence shrinks the affected
+    /// queries' quotas instead of re-dispatching.
+    Broadcast,
+}
+
+/// SplitMix64 bit mixer — the router's stateless per-draw randomness
+/// (`seq`-th draw of a seeded stream). Public for the model-check tests
+/// that replay the router's exact sampling.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Round-robin selection core: the `cursor`-th turn over `live`
+/// replicas. Pure — shared by the live router and the model tests.
+#[inline]
+pub fn round_robin_pick(live: &[usize], cursor: usize) -> usize {
+    live[cursor % live.len()]
+}
+
+/// Power-of-two-choices selection core: sample two of `live` with the
+/// given raw draws, return the sampled replica whose `depth_of` is
+/// smaller (first sample wins ties). Pure — shared by the live router
+/// and the model tests.
+#[inline]
+pub fn power_of_two_pick(
+    live: &[usize],
+    mut depth_of: impl FnMut(usize) -> usize,
+    draw_a: u64,
+    draw_b: u64,
+) -> usize {
+    let a = live[(draw_a % live.len() as u64) as usize];
+    let b = live[(draw_b % live.len() as u64) as usize];
+    if depth_of(b) < depth_of(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Per-lane (shard × replica) handshake state of one run, shared
+/// between the router (dispatch side) and the replica's workers (exit
+/// side). Owned by the serve call's stack frame.
+#[derive(Debug, Default)]
+pub struct LaneState {
+    /// In-progress sends to this lane (incremented before the down
+    /// check, decremented after the send lands — see the module docs).
+    pub routes: AtomicUsize,
+    /// Workers of this replica that have exited this run (the last one
+    /// performs the quiesce + `ReplicaDown` duty when fenced).
+    pub exited: AtomicUsize,
+}
+
+/// Build the per-run lane-state grid for `num_shards` × `replicas`.
+pub fn lane_states(num_shards: usize, replicas: usize) -> Vec<Vec<LaneState>> {
+    (0..num_shards)
+        .map(|_| (0..replicas).map(|_| LaneState::default()).collect())
+        .collect()
+}
+
+/// Upper bound on replicas per shard: the routing table stores the set
+/// of replicas a (query, shard) partial was dispatched to as a bitmask
+/// in one `AtomicU64`, and the selection path uses a stack buffer of
+/// this size. Enforced by `ShardedService::new`.
+pub const MAX_REPLICAS: usize = 64;
+
+/// The per-run router: owns the query senders of every lane, picks a
+/// replica per shard per query, and keeps the routing table the
+/// collector's quota accounting and the failover scan need.
+pub(crate) struct Router<'a> {
+    topo: &'a Topology,
+    /// `[shard][replica]` query senders (dropping the router closes
+    /// every replica's queue).
+    txs: Vec<Vec<GatedSender<Job>>>,
+    lanes: &'a [Vec<LaneState>],
+    policy: RoutePolicy,
+    /// Per-shard round-robin cursors.
+    rr: Vec<AtomicUsize>,
+    /// Draw counter for the stateless p2c sampler.
+    rng_seq: AtomicU64,
+    rng_seed: u64,
+    /// `qid * num_shards + shard` → bitmask of replicas the partial was
+    /// dispatched to (0 = never dispatched). Every bit of a query's
+    /// fan-out is stored **before** any of its jobs are sent, so the
+    /// collector's per-shard quota ([`Router::quota`]) always equals
+    /// what was actually sent — under broadcast the quota is the live
+    /// set *at dispatch time*, not at run start, which is what makes a
+    /// mid-run fence (operator or panic) terminate instead of waiting
+    /// for partials from a replica that was never asked.
+    table: Vec<AtomicU64>,
+    /// Successful failover re-dispatches.
+    failovers: AtomicUsize,
+    /// (qid, shard) partials abandoned because no live replica was
+    /// left to re-dispatch to.
+    abandoned: AtomicUsize,
+}
+
+impl<'a> Router<'a> {
+    pub fn new(
+        topo: &'a Topology,
+        txs: Vec<Vec<GatedSender<Job>>>,
+        lanes: &'a [Vec<LaneState>],
+        policy: RoutePolicy,
+        num_queries: usize,
+        seed: u64,
+    ) -> Self {
+        let num_shards = topo.num_shards();
+        assert!(topo.replicas_per_shard() <= MAX_REPLICAS);
+        Self {
+            topo,
+            txs,
+            lanes,
+            policy,
+            rr: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
+            rng_seq: AtomicU64::new(0),
+            rng_seed: seed,
+            table: (0..num_queries * num_shards)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            failovers: AtomicUsize::new(0),
+            abandoned: AtomicUsize::new(0),
+        }
+    }
+
+    /// The routing policy this run dispatches under.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    #[inline]
+    fn cell(&self, qid: usize, shard: usize) -> &AtomicU64 {
+        &self.table[qid * self.topo.num_shards() + shard]
+    }
+
+    /// How many partials `qid` still expects from `shard`: the number
+    /// of replicas its fan-out was actually sent to (0 = not yet
+    /// dispatched).
+    pub fn quota(&self, qid: usize, shard: usize) -> usize {
+        self.cell(qid, shard).load(Ordering::Acquire).count_ones() as usize
+    }
+
+    /// True when `qid`'s partial for `shard` was dispatched to
+    /// `replica` (and not yet re-routed away from it).
+    pub fn is_routed_to(&self, qid: usize, shard: usize, replica: usize) -> bool {
+        self.cell(qid, shard).load(Ordering::Acquire) & (1 << replica) != 0
+    }
+
+    /// Drop `replica` from `qid`/`shard`'s dispatch set (broadcast
+    /// fence handling: the dead replica will not answer, so the quota
+    /// shrinks by its bit).
+    pub fn clear_routed_bit(&self, qid: usize, shard: usize, replica: usize) {
+        self.cell(qid, shard)
+            .fetch_and(!(1u64 << replica), Ordering::AcqRel);
+    }
+
+    /// Successful failover re-dispatches so far.
+    pub fn failovers(&self) -> usize {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Partials abandoned for lack of any live replica.
+    pub fn abandoned(&self) -> usize {
+        self.abandoned.load(Ordering::Relaxed)
+    }
+
+    /// High-water queue depth over every lane.
+    pub fn peak_depth(&self) -> usize {
+        self.txs
+            .iter()
+            .flatten()
+            .map(|tx| tx.stats().peak_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn no_live_overload(&self, shard: usize) -> Overload {
+        Overload {
+            shard,
+            depth: 0,
+            queued_bytes: 0,
+            retry_after: Overload::MAX_RETRY_AFTER,
+        }
+    }
+
+    /// Pick a live replica of `shard` per the policy (`exclude`: the
+    /// replica a failover is fleeing). None when the shard has no
+    /// eligible replica. The live set is gathered into a stack buffer —
+    /// this runs once per query per shard, no heap traffic.
+    fn select(&self, shard: usize, exclude: Option<usize>) -> Option<usize> {
+        let mut buf = [0usize; MAX_REPLICAS];
+        let mut n = 0;
+        for r in 0..self.topo.replicas_per_shard() {
+            if Some(r) != exclude && !self.topo.is_down(shard, r) {
+                buf[n] = r;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let live = &buf[..n];
+        Some(match self.policy {
+            RoutePolicy::RoundRobin | RoutePolicy::Broadcast => {
+                let cursor = self.rr[shard].fetch_add(1, Ordering::Relaxed);
+                round_robin_pick(live, cursor)
+            }
+            RoutePolicy::PowerOfTwoChoices => {
+                let seq = self.rng_seq.fetch_add(2, Ordering::Relaxed);
+                let a = splitmix64(self.rng_seed ^ seq);
+                let b = splitmix64(self.rng_seed ^ (seq + 1));
+                power_of_two_pick(live, |r| self.txs[shard][r].depth(), a, b)
+            }
+        })
+    }
+
+    /// Reserve one slot of `cost` bytes on a live replica of `shard`.
+    /// On success the lane's `routes` guard is **held**: the caller
+    /// must follow with [`Router::send_reserved`] or
+    /// [`Router::unreserve`], both of which release it.
+    fn reserve_on_shard(&self, shard: usize, cost: usize) -> Result<usize, Overload> {
+        loop {
+            let Some(r) = self.select(shard, None) else {
+                return Err(self.no_live_overload(shard));
+            };
+            let lane = &self.lanes[shard][r];
+            lane.routes.fetch_add(1, Ordering::SeqCst);
+            if self.topo.is_down(shard, r) {
+                // Lost the race against a fence: back off and re-select
+                // (the quiesce in the worker exit path waits for this
+                // counter, so the window is bounded).
+                lane.routes.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            return match self.txs[shard][r].reserve(cost) {
+                Ok(()) => Ok(r),
+                Err(e) => {
+                    lane.routes.fetch_sub(1, Ordering::SeqCst);
+                    Err(e)
+                }
+            };
+        }
+    }
+
+    fn send_reserved(&self, qid: usize, shard: usize, replica: usize, cost: usize) {
+        self.txs[shard][replica].send_reserved(Job { qid }, cost);
+        self.lanes[shard][replica]
+            .routes
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn unreserve(&self, shard: usize, replica: usize, cost: usize) {
+        self.txs[shard][replica].unreserve(cost);
+        self.lanes[shard][replica]
+            .routes
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// All-or-nothing fan-out of one query: reserve a slot on one
+    /// replica per shard (every live replica per shard under broadcast)
+    /// or shed on the first shard that cannot admit it, rolling earlier
+    /// reservations back. On success the full dispatch set is written
+    /// to the routing table before the first job is sent, so any
+    /// partial the collector receives can resolve its quota.
+    pub fn try_fanout(&self, qid: usize, cost: usize) -> Result<(), Overload> {
+        let num_shards = self.topo.num_shards();
+        let mut picked: Vec<(usize, usize)> = Vec::with_capacity(num_shards);
+        let rollback = |picked: &[(usize, usize)]| {
+            for &(ps, pr) in picked {
+                self.unreserve(ps, pr, cost);
+            }
+        };
+        for s in 0..num_shards {
+            if self.policy == RoutePolicy::Broadcast {
+                let before = picked.len();
+                for r in 0..self.topo.replicas_per_shard() {
+                    if self.topo.is_down(s, r) {
+                        continue;
+                    }
+                    let lane = &self.lanes[s][r];
+                    lane.routes.fetch_add(1, Ordering::SeqCst);
+                    // Re-check under the routes guard (same handshake as
+                    // `reserve_on_shard`): a replica fenced between the
+                    // first check and here must not be sent to — its
+                    // workers may already be gone.
+                    if self.topo.is_down(s, r) {
+                        lane.routes.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    match self.txs[s][r].reserve(cost) {
+                        Ok(()) => picked.push((s, r)),
+                        Err(e) => {
+                            lane.routes.fetch_sub(1, Ordering::SeqCst);
+                            rollback(&picked);
+                            return Err(e);
+                        }
+                    }
+                }
+                if picked.len() == before {
+                    rollback(&picked);
+                    return Err(self.no_live_overload(s));
+                }
+            } else {
+                match self.reserve_on_shard(s, cost) {
+                    Ok(r) => picked.push((s, r)),
+                    Err(e) => {
+                        rollback(&picked);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // Publish the dispatch set, then send. (Fan-out is attempted at
+        // most once per query per admission decision and rolled back
+        // wholesale on failure, so the cells are 0 here.)
+        for &(s, r) in &picked {
+            self.cell(qid, s).fetch_or(1u64 << r, Ordering::AcqRel);
+        }
+        for (s, r) in picked {
+            self.send_reserved(qid, s, r, cost);
+        }
+        Ok(())
+    }
+
+    /// Failover: re-dispatch `qid`'s partial for `shard` away from the
+    /// fenced `dead` replica, **blocking** on admission (a failover op
+    /// was admitted once already — turning it into a shed would make
+    /// every fence a shed storm). Returns the sibling that took it, or
+    /// `None` when the shard has no live replica left (the caller
+    /// books an empty partial so the run still terminates).
+    ///
+    /// The wait re-selects on every probe, so a sibling that is itself
+    /// fenced mid-wait is abandoned instead of spun on forever (its
+    /// frozen queue would never drain). Probes use the non-shed-
+    /// counting reserve: a full sibling is backpressure here, not an
+    /// outcome.
+    pub fn redispatch(&self, qid: usize, shard: usize, dead: usize) -> Option<usize> {
+        loop {
+            let r = self.select(shard, Some(dead))?;
+            let lane = &self.lanes[shard][r];
+            lane.routes.fetch_add(1, Ordering::SeqCst);
+            if self.topo.is_down(shard, r) {
+                lane.routes.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            match self.txs[shard][r].reserve_uncounted(0) {
+                Ok(()) => {
+                    // Swap the dead replica's bit for the sibling's
+                    // (single-writer here: the dispatcher finished with
+                    // this cell before the quiesce let the scan run).
+                    let old = self.cell(qid, shard).load(Ordering::Acquire);
+                    self.cell(qid, shard)
+                        .store((old & !(1u64 << dead)) | (1u64 << r), Ordering::Release);
+                    self.txs[shard][r].send_reserved(Job { qid }, 0);
+                    lane.routes.fetch_sub(1, Ordering::SeqCst);
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    return Some(r);
+                }
+                Err(_) => {
+                    lane.routes.fetch_sub(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(20));
+                }
+            }
+        }
+    }
+
+    /// Book a partial abandoned for lack of live replicas.
+    pub fn count_abandoned(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_over_live() {
+        let live = [0usize, 2, 3];
+        let picks: Vec<usize> = (0..6).map(|c| round_robin_pick(&live, c)).collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn power_of_two_prefers_shorter_queue() {
+        let live = [0usize, 1];
+        let depths = [10usize, 2];
+        // Draws selecting (0, 1): depth 2 < 10 → replica 1.
+        assert_eq!(power_of_two_pick(&live, |r| depths[r], 0, 1), 1);
+        // Draws selecting (1, 0): still replica 1 (first sample wins
+        // only ties).
+        assert_eq!(power_of_two_pick(&live, |r| depths[r], 1, 0), 1);
+        // Tie: first sample wins.
+        assert_eq!(power_of_two_pick(&live, |_| 5, 1, 0), 1);
+        assert_eq!(power_of_two_pick(&live, |_| 5, 0, 1), 0);
+    }
+
+    #[test]
+    fn splitmix_spreads_sequential_seeds() {
+        // Sequential inputs must not collapse onto one replica: over a
+        // window of draws, both parities appear.
+        let parities: std::collections::HashSet<u64> =
+            (0..16u64).map(|i| splitmix64(i) % 2).collect();
+        assert_eq!(parities.len(), 2);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

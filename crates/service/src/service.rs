@@ -1,33 +1,49 @@
-//! The sharded query service: worker-pool orchestration, request
-//! admission (reads *and* online writes) and top-k merging.
+//! The sharded query service: topology-aware dispatch, worker-pool
+//! orchestration, request admission (reads *and* online writes) and
+//! top-k merging.
 //!
-//! Queries fan out to every shard's worker pool; inserts and deletes
-//! route to the owning shard's single writer thread, which applies them
-//! through the storage crate's `Updater` and invalidates exactly the
-//! rewritten blocks in the shard's DRAM cache (see
-//! [`crate::update`]). Both kinds flow through one admission discipline
-//! ([`Load`]) and one op stream, so a mixed workload's read latency
-//! degradation under writes is measured end to end.
+//! Queries fan out to every **shard**, and within each shard the
+//! [`Router`](crate::router) picks one **replica** (of
+//! [`ServiceConfig::replicas_per_shard`]) to serve the shard's partial
+//! — power-of-two-choices over live admission-queue depth by default,
+//! round-robin and broadcast as baselines ([`RoutePolicy`]). Replicas
+//! share the shard's index and rows but own private worker pools,
+//! block caches and admission queues ([`crate::topology`]); a fenced
+//! or panicked replica is routed around and its outstanding queries
+//! re-dispatched to a sibling (failover — see [`crate::router`] for
+//! the protocol).
 //!
-//! Every per-shard queue is bounded by the service's
-//! [`AdmissionBudget`]: a *query* that would exceed the shard's
-//! queue-depth or queued-bytes budget is **shed** at dispatch with a
-//! typed [`Overload`] error instead of enqueued, while a *write* that
-//! hits a full queue **backpressures** the dispatcher (stalls until
-//! there is room — the op stream's positional id assignment cannot
-//! survive a dropped write; see [`crate::admission`]). Either way,
-//! offered load beyond capacity degrades into explicit rejections or
-//! bounded stalls rather than unbounded queues and meaningless
-//! percentiles. Batches of queries go through
-//! [`ShardedService::query_batch`], which deduplicates byte-identical
-//! hot queries before they reach the engine and shares one
-//! fan-out/merge pass per request.
+//! Inserts and deletes route to the owning shard's single writer
+//! thread, which applies them through the storage crate's `Updater`
+//! and invalidates exactly the rewritten blocks in **every** replica's
+//! cache (see [`crate::update`]). Both kinds flow through one
+//! admission discipline ([`Load`]) and one op stream, so a mixed
+//! workload's read latency degradation under writes is measured end to
+//! end.
+//!
+//! Every per-replica queue is bounded by the service's
+//! [`AdmissionControl`] — reads and writes draw from **separate**
+//! budgets, so a write burst can never shed reads. A *query* that
+//! would exceed its chosen replica's queue budget is **shed** at
+//! dispatch with a typed [`Overload`] error (carrying a `retry_after`
+//! backoff hint; [`Load::ClosedBackoff`] models clients that honor
+//! it), while a *write* that hits a full queue **backpressures** the
+//! dispatcher (stalls until there is room — the op stream's positional
+//! id assignment cannot survive a dropped write; see
+//! [`crate::admission`]). Either way, offered load beyond capacity
+//! degrades into explicit rejections or bounded stalls rather than
+//! unbounded queues and meaningless percentiles. Batches of queries go
+//! through [`ShardedService::query_batch`], which deduplicates
+//! byte-identical hot queries before they reach the engine and shares
+//! one fan-out/merge pass per request.
 
-use crate::admission::{gated, AdmissionBudget, GatedReceiver, GatedSender, Overload};
+use crate::admission::{gated, AdmissionControl, GatedReceiver, GatedSender, Overload};
 use crate::loadgen::{Load, Op};
-use crate::metrics::{LatencySummary, OpStatus};
+use crate::metrics::{imbalance, LatencySummary, OpStatus};
+use crate::router::{lane_states, LaneState, RoutePolicy, Router};
 use crate::shard::{Shard, ShardSet};
 use crate::shared_sim::SharedSimArray;
+use crate::topology::Topology;
 use crate::update::{run_writer, WriteJob, WriteKind};
 use crate::worker::{run_worker, sleep_until, Job, WorkerCtx, WorkerMsg};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -38,7 +54,7 @@ use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
 use e2lsh_storage::device::{Device, DeviceStats};
 use e2lsh_storage::layout::BLOCK_SIZE;
 use e2lsh_storage::query::EngineConfig;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,7 +68,9 @@ pub enum DeviceSpec {
         io_workers: usize,
     },
     /// A private simulated array per worker — aggregate device bandwidth
-    /// scales with the worker count (models "one drive per worker").
+    /// scales with the worker count (models "one drive per worker", and
+    /// with replicas, "one drive per replica worker": each replica adds
+    /// hardware).
     SimPerWorker {
         /// Device model (paper Table 2).
         profile: DeviceProfile,
@@ -60,8 +78,9 @@ pub enum DeviceSpec {
         num_devices: usize,
     },
     /// One simulated array per shard, shared by all of the shard's
-    /// workers — workers contend for the array's total IOPS, the paper's
-    /// Figure 16 regime.
+    /// workers **across all of its replicas** — workers contend for the
+    /// array's total IOPS, the paper's Figure 16 regime (replicas add
+    /// CPU and cache, not device bandwidth).
     SimShared {
         /// Device model (paper Table 2).
         profile: DeviceProfile,
@@ -82,8 +101,13 @@ impl DeviceSpec {
 /// Service configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Worker threads per shard.
-    pub workers_per_shard: usize,
+    /// Replicas backing each shard (read scaling + failover; 1 = the
+    /// PR-3 single-pool service).
+    pub replicas_per_shard: usize,
+    /// How the dispatcher picks a replica within each shard per query.
+    pub routing: RoutePolicy,
+    /// Worker threads per replica.
+    pub workers_per_replica: usize,
     /// Interleaved queries per worker (engine contexts).
     pub contexts_per_worker: usize,
     /// Neighbors returned per query.
@@ -92,21 +116,24 @@ pub struct ServiceConfig {
     pub s_override: Option<usize>,
     /// Device each worker drives.
     pub device: DeviceSpec,
-    /// Per-shard admission budget: ops beyond the queue-depth or
-    /// queued-bytes bound are shed with [`Overload`] instead of
-    /// enqueued. Default [`AdmissionBudget::UNBOUNDED`] (nothing shed).
-    pub admission: AdmissionBudget,
+    /// Per-replica admission budgets, split by op class: queries beyond
+    /// the read budget are shed with [`Overload`], writes beyond the
+    /// write budget backpressure the dispatcher. Default
+    /// [`AdmissionControl::UNBOUNDED`] (nothing shed).
+    pub admission: AdmissionControl,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
-            workers_per_shard: 1,
+            replicas_per_shard: 1,
+            routing: RoutePolicy::default(),
+            workers_per_replica: 1,
             contexts_per_worker: 16,
             k: 1,
             s_override: None,
             device: DeviceSpec::File { io_workers: 4 },
-            admission: AdmissionBudget::UNBOUNDED,
+            admission: AdmissionControl::UNBOUNDED,
         }
     }
 }
@@ -131,8 +158,10 @@ pub struct ServiceReport {
     pub statuses: Vec<OpStatus>,
     /// Per-query end-to-end latency in seconds, from **queue entry**
     /// (dispatch for closed loop, scheduled arrival for open loop) to
-    /// the last shard's finish. Includes enqueue wait. 0 for shed
-    /// queries — use the accepted-only summaries.
+    /// the last shard's finish. Includes enqueue wait (and, under
+    /// [`Load::ClosedBackoff`], backoff wait — measured from the first
+    /// dispatch attempt). 0 for shed queries — use the accepted-only
+    /// summaries.
     pub latencies: Vec<f64>,
     /// Per-query **service** latency in seconds: from the first worker
     /// slot admitting the query to the last shard's finish. Excludes
@@ -150,7 +179,8 @@ pub struct ServiceReport {
     /// Writes whose updater returned an error (the shard stays
     /// queryable; rewritten blocks were still invalidated).
     pub writes_failed: usize,
-    /// Queries rejected at admission with [`Overload`].
+    /// Queries rejected at admission with [`Overload`] (after
+    /// exhausting their retries, under [`Load::ClosedBackoff`]).
     pub shed_queries: usize,
     /// Writes rejected at admission. Always 0 under the current
     /// discipline — writes use backpressure (the dispatcher stalls on
@@ -158,25 +188,47 @@ pub struct ServiceReport {
     /// assignment cannot survive a dropped write; the field exists so
     /// the accounting stays total if per-class shedding is added.
     pub shed_writes: usize,
-    /// High-water per-shard queue depth over the run (max across
-    /// shards' read and write queues); never exceeds the configured
-    /// [`AdmissionBudget::max_depth`] except for the one-op overrun of
-    /// a write that could never fit the budget at all (admitted alone
-    /// into an empty queue rather than hanging the dispatcher — see
+    /// Re-dispatch attempts made by backoff-honoring closed-loop
+    /// clients ([`Load::ClosedBackoff`]); 0 under every other
+    /// discipline.
+    pub retries: usize,
+    /// Queries re-dispatched from a fenced replica to a live sibling
+    /// (counted per query × shard partial).
+    pub failovers: usize,
+    /// Shard partials abandoned because a fenced replica had no live
+    /// sibling left: the affected queries completed with that shard's
+    /// contribution empty (degraded answers, not hangs).
+    pub lost_partials: usize,
+    /// High-water per-replica queue depth over the run (max across all
+    /// replicas' read queues and the shards' write queues); never
+    /// exceeds the configured read/write
+    /// [`AdmissionBudget`](crate::admission::AdmissionBudget) depths
+    /// except for the one-op overrun of a write that could never fit
+    /// the budget at all (admitted alone into an empty queue rather
+    /// than hanging the dispatcher — see
     /// [`GatedSender::send_blocking`]).
     pub peak_queue_depth: usize,
     /// Seconds from service epoch to the last completion.
     pub duration: f64,
     /// Device statistics summed over workers (shared arrays counted
-    /// once; cache counters — including invalidations and discarded
-    /// stale fills — are per-run deltas over the shard caches).
+    /// once per shard; cache counters — including invalidations and
+    /// discarded stale fills — are per-run deltas over every replica's
+    /// cache).
     pub device: DeviceStats,
-    /// Total I/Os issued across shards.
+    /// Total I/Os issued across shards (under
+    /// [`RoutePolicy::Broadcast`] this includes the R× amplification).
     pub total_io: u64,
-    /// Worker threads that served the run.
+    /// Worker threads that served the run (shards × replicas × workers
+    /// per replica).
     pub workers: usize,
     /// Shards queried.
     pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Queries served per `[shard][replica]` (from worker exit
+    /// reports): the observable the router balances. See
+    /// [`ServiceReport::replica_imbalance`].
+    pub replica_load: Vec<Vec<u64>>,
 }
 
 impl ServiceReport {
@@ -278,6 +330,17 @@ impl ServiceReport {
             self.total_io as f64 / accepted as f64
         }
     }
+
+    /// Worst per-shard replica-load imbalance (max replica load over
+    /// mean, maximized over shards): 1.0 = perfectly balanced, R =
+    /// everything on one of R replicas. 0 for an idle run. Routing
+    /// policies are judged by this together with the accepted p99.
+    pub fn replica_imbalance(&self) -> f64 {
+        self.replica_load
+            .iter()
+            .map(|loads| imbalance(loads))
+            .fold(0.0, f64::max)
+    }
 }
 
 /// Results of one batch request served by
@@ -302,7 +365,9 @@ pub struct BatchQueryReport {
     pub collapsed: usize,
     /// Input queries shed with [`Overload`] (duplicates counted).
     pub shed: usize,
-    /// High-water shard queue depth while serving this batch.
+    /// Unique queries re-dispatched off a fenced replica mid-batch.
+    pub failovers: usize,
+    /// High-water replica queue depth while serving this batch.
     pub peak_queue_depth: usize,
     /// Seconds from request arrival to the last completion.
     pub duration: f64,
@@ -371,9 +436,17 @@ pub fn dedup_batch(batch: &Dataset) -> BatchDedup {
     BatchDedup { uniques, rep }
 }
 
-/// Per-query accumulation while shard partials trickle in.
+/// Per-query accumulation while shard partials trickle in. The number
+/// of partials a shard owes is not stored here: it is the query's live
+/// dispatch quota ([`Router::quota`] — the replicas actually sent to,
+/// shrunk by broadcast fences), so the accounting follows failover
+/// re-routing exactly.
 struct Accum {
-    remaining: usize,
+    /// Partials received per shard; a partial for a shard that already
+    /// met its quota is a failover duplicate and is dropped.
+    got: Vec<u8>,
+    /// Merged and booked (no further partial is counted).
+    finished: bool,
     neighbors: Vec<(u32, f32)>,
     /// Earliest shard service start (min over partials).
     start: f64,
@@ -381,23 +454,65 @@ struct Accum {
     finish: f64,
 }
 
-/// The sharded, multi-threaded E2LSHoS query service.
+/// A query waiting out its [`Overload::retry_after`] backoff under
+/// [`Load::ClosedBackoff`]. Min-heap by due time.
+struct Retry {
+    at: f64,
+    op_idx: usize,
+    /// Re-attempts left after this one.
+    left: usize,
+}
+
+impl PartialEq for Retry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.op_idx == other.op_idx
+    }
+}
+impl Eq for Retry {}
+impl PartialOrd for Retry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Retry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then(other.op_idx.cmp(&self.op_idx))
+    }
+}
+
+/// The sharded, replicated, multi-threaded E2LSHoS query service.
 pub struct ShardedService {
-    shards: ShardSet,
+    topo: Topology,
     config: ServiceConfig,
 }
 
 impl ShardedService {
-    /// Serve `shards` with `config`.
+    /// Serve `shards` with `config`: each shard is backed by
+    /// `config.replicas_per_shard` replicas (see [`crate::topology`]).
     pub fn new(shards: ShardSet, config: ServiceConfig) -> Self {
-        assert!(config.workers_per_shard >= 1);
+        assert!(config.workers_per_replica >= 1);
+        assert!(config.replicas_per_shard >= 1);
         assert!(config.k >= 1);
-        Self { shards, config }
+        Self {
+            topo: Topology::new(shards, config.replicas_per_shard),
+            config,
+        }
     }
 
     /// The shard set.
     pub fn shards(&self) -> &ShardSet {
-        &self.shards
+        self.topo.shards()
+    }
+
+    /// The serving topology (replica health lives here:
+    /// [`Topology::fence`] kills a replica mid-run, the router fails
+    /// its work over to a sibling).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
     }
 
     /// The configuration.
@@ -428,13 +543,14 @@ impl ShardedService {
     /// [`crate::loadgen::mixed_ops_resuming`] for follow-up runs on a
     /// mutated service).
     ///
-    /// Queries fan out to every shard's worker pool; writes go to the
-    /// owning shard's writer thread (one per shard — the shard write
-    /// lock), which applies them through the storage updater,
-    /// invalidates exactly the rewritten cache blocks and publishes new
-    /// occupancy-filter bits into the live index. Under [`Load::Closed`]
-    /// the window counts in-flight ops of both kinds; under
-    /// [`Load::Open`] all ops share one Poisson arrival process.
+    /// Queries fan out to one replica per shard (policy-routed); writes
+    /// go to the owning shard's writer thread (one per shard — the
+    /// shard write lock), which applies them through the storage
+    /// updater, invalidates exactly the rewritten cache blocks in every
+    /// replica's cache and publishes new occupancy-filter bits into the
+    /// shared live index. Under [`Load::Closed`] the window counts
+    /// in-flight ops of both kinds; under [`Load::Open`] all ops share
+    /// one Poisson arrival process.
     pub fn serve_mixed(
         &self,
         queries: &Dataset,
@@ -442,9 +558,11 @@ impl ShardedService {
         ops: &[Op],
         load: Load,
     ) -> ServiceReport {
-        assert_eq!(queries.dim(), self.shards.dim(), "query dimensionality");
-        let num_shards = self.shards.num_shards();
-        let workers_total = num_shards * self.config.workers_per_shard;
+        let shards = self.topo.shards();
+        assert_eq!(queries.dim(), shards.dim(), "query dimensionality");
+        let num_shards = shards.num_shards();
+        let replicas = self.config.replicas_per_shard;
+        let workers_total = num_shards * replicas * self.config.workers_per_replica;
         let num_queries = ops.iter().filter(|op| matches!(op, Op::Query(_))).count();
         assert_eq!(
             num_queries,
@@ -453,7 +571,7 @@ impl ShardedService {
         );
         let has_writes = ops.len() > num_queries;
         if has_writes {
-            assert_eq!(inserts.dim(), self.shards.dim(), "insert dimensionality");
+            assert_eq!(inserts.dim(), shards.dim(), "insert dimensionality");
         }
         // Validate write ops up front: a bad op would panic inside a
         // shard writer thread, and a dead writer starves the collector
@@ -477,7 +595,7 @@ impl ShardedService {
                             j, expected_insert,
                             "insert indices must be dense and ascending"
                         );
-                        new_rows[self.shards.plan().shard_of_any(assigned)] += 1;
+                        new_rows[shards.plan().shard_of_any(assigned)] += 1;
                         expected_insert += 1;
                         assigned += 1;
                     }
@@ -494,7 +612,7 @@ impl ShardedService {
                 "ops consume {expected_insert} insert points but the pool holds {}",
                 inserts.len()
             );
-            for (s, shard) in self.shards.shards().iter().enumerate() {
+            for (s, shard) in shards.shards().iter().enumerate() {
                 let id_space = 1u64 << shard.index.codec().id_bits;
                 assert!(
                     (shard.num_rows() + new_rows[s]) as u64 <= id_space,
@@ -515,33 +633,52 @@ impl ShardedService {
                 writes_failed: 0,
                 shed_queries: 0,
                 shed_writes: 0,
+                retries: 0,
+                failovers: 0,
+                lost_partials: 0,
                 peak_queue_depth: 0,
                 duration: 0.0,
                 device: DeviceStats::default(),
                 total_io: 0,
                 workers: workers_total,
                 shards: num_shards,
+                replicas,
+                replica_load: vec![vec![0; replicas]; num_shards],
             };
         }
 
         let engine = self.config.engine();
-        let sim_time = self.config.device.is_sim();
         let epoch = Instant::now();
         let cache_snapshot = self.cache_snapshots();
         let arrays = self.build_arrays();
 
-        // Per-shard bounded job queues and the worker/writer→collector
-        // channel.
-        let channels: Vec<(GatedSender<Job>, GatedReceiver<Job>)> = (0..num_shards)
-            .map(|s| gated(s, self.config.admission))
-            .collect();
+        // Per-lane (shard × replica) bounded query queues, the per-run
+        // router over them, and the worker/writer→collector channel.
+        let lanes = lane_states(num_shards, replicas);
+        let mut lane_txs: Vec<Vec<GatedSender<Job>>> = Vec::with_capacity(num_shards);
+        let mut lane_rxs: Vec<Vec<GatedReceiver<Job>>> = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..replicas)
+                .map(|_| gated::<Job>(s, self.config.admission.read))
+                .unzip();
+            lane_txs.push(txs);
+            lane_rxs.push(rxs);
+        }
+        let router = Router::new(
+            &self.topo,
+            lane_txs,
+            &lanes,
+            self.config.routing,
+            queries.len(),
+            0xE25_0E25,
+        );
         let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
         // One writer (and bounded write queue) per shard, only when the
         // stream has writes: the writer owns the shard's read-write
-        // updater.
+        // updater. Writes draw from their own admission budget.
         let write_channels: Vec<(GatedSender<WriteJob>, GatedReceiver<WriteJob>)> = if has_writes {
             (0..num_shards)
-                .map(|s| gated(s, self.config.admission))
+                .map(|s| gated(s, self.config.admission.write))
                 .collect()
         } else {
             Vec::new()
@@ -549,17 +686,72 @@ impl ShardedService {
 
         let mut report: Option<ServiceReport> = None;
         std::thread::scope(|scope| {
-            for (s, shard) in self.shards.shards().iter().enumerate() {
-                for w in 0..self.config.workers_per_shard {
-                    let device = self.make_device(shard, &arrays[s], w);
-                    let jobs = channels[s].1.clone();
+            self.spawn_workers(
+                scope, &engine, epoch, queries, &lanes, &lane_rxs, &arrays, &msg_tx,
+            );
+            if has_writes {
+                for (s, shard) in shards.shards().iter().enumerate() {
+                    let jobs = write_channels[s].1.clone();
                     let tx = msg_tx.clone();
-                    let engine = &engine;
+                    let caches = self.topo.shard_caches(s);
+                    scope.spawn(move || run_writer(shard, &caches, inserts, jobs, tx, epoch));
+                }
+            }
+            let shed_tx = msg_tx.clone();
+            drop(msg_tx);
+            drop(lane_rxs);
+            let write_txs: Vec<GatedSender<WriteJob>> =
+                write_channels.iter().map(|(tx, _)| tx.clone()).collect();
+            drop(write_channels);
+
+            report = Some(self.drive(
+                queries,
+                ops,
+                load,
+                router,
+                write_txs,
+                msg_rx,
+                shed_tx,
+                epoch,
+                &cache_snapshot,
+            ));
+        });
+        report.expect("collector ran")
+    }
+
+    /// Spawn every replica's worker pool into `scope`.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_workers<'scope, 'env>(
+        &'env self,
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        engine: &'env EngineConfig,
+        epoch: Instant,
+        queries: &'env Dataset,
+        lanes: &'env [Vec<LaneState>],
+        lane_rxs: &[Vec<GatedReceiver<Job>>],
+        arrays: &'env [Option<SharedSimArray>],
+        msg_tx: &Sender<WorkerMsg>,
+    ) {
+        let sim_time = self.config.device.is_sim();
+        let workers_per_replica = self.config.workers_per_replica;
+        for (s, shard) in self.topo.shards().shards().iter().enumerate() {
+            for r in 0..self.config.replicas_per_shard {
+                let replica = self.topo.replica(s, r);
+                for w in 0..workers_per_replica {
+                    let handle = r * workers_per_replica + w;
+                    let device = self.make_device(shard, &arrays[s], handle, replica.cache());
+                    let jobs = lane_rxs[s][r].clone();
+                    let tx = msg_tx.clone();
+                    let lane = &lanes[s][r];
                     scope.spawn(move || {
                         run_worker(
                             WorkerCtx {
                                 shard,
-                                worker_in_shard: w,
+                                replica: r,
+                                worker_in_replica: w,
+                                workers_in_replica: workers_per_replica,
+                                replica_state: replica,
+                                lane,
                                 queries,
                                 engine,
                                 sim_time,
@@ -571,59 +763,41 @@ impl ShardedService {
                         );
                     });
                 }
-                if has_writes {
-                    let jobs = write_channels[s].1.clone();
-                    let tx = msg_tx.clone();
-                    scope.spawn(move || run_writer(shard, inserts, jobs, tx, epoch));
-                }
             }
-            let shed_tx = msg_tx.clone();
-            drop(msg_tx);
-            let job_txs: Vec<GatedSender<Job>> =
-                channels.iter().map(|(tx, _)| tx.clone()).collect();
-            drop(channels);
-            let write_txs: Vec<GatedSender<WriteJob>> =
-                write_channels.iter().map(|(tx, _)| tx.clone()).collect();
-            drop(write_channels);
-
-            report = Some(self.drive(
-                queries,
-                ops,
-                load,
-                job_txs,
-                write_txs,
-                msg_rx,
-                shed_tx,
-                epoch,
-                &cache_snapshot,
-            ));
-        });
-        report.expect("collector ran")
+        }
     }
 
     /// Snapshot cache counters so reports show per-run deltas even when
-    /// a warm cache is reused across runs.
+    /// a warm cache is reused across runs. One snapshot per replica, in
+    /// `[shard][replica]` order flattened.
     fn cache_snapshots(&self) -> Vec<CacheSnapshot> {
-        self.shards
-            .shards()
-            .iter()
-            .map(|s| match &s.cache {
-                Some(c) => CacheSnapshot {
-                    hits: c.hits(),
-                    misses: c.misses(),
-                    evictions: c.evictions(),
-                    invalidations: c.invalidations(),
-                    stale_fills: c.stale_fills(),
-                },
-                None => CacheSnapshot::default(),
+        (0..self.topo.num_shards())
+            .flat_map(|s| {
+                self.topo
+                    .shard_replicas(s)
+                    .iter()
+                    .map(|rep| match rep.cache() {
+                        Some(c) => CacheSnapshot {
+                            hits: c.hits(),
+                            misses: c.misses(),
+                            evictions: c.evictions(),
+                            invalidations: c.invalidations(),
+                            stale_fills: c.stale_fills(),
+                        },
+                        None => CacheSnapshot::default(),
+                    })
             })
             .collect()
     }
 
     /// One shared simulated array per shard when the device spec asks
-    /// for it.
+    /// for it — shared across **all** of the shard's replicas (the
+    /// shard's data lives on one array; replicas add compute and
+    /// cache, not spindles).
     fn build_arrays(&self) -> Vec<Option<SharedSimArray>> {
-        self.shards
+        let handles = self.config.replicas_per_shard * self.config.workers_per_replica;
+        self.topo
+            .shards()
             .shards()
             .iter()
             .map(|shard| match self.config.device {
@@ -636,53 +810,30 @@ impl ShardedService {
                         num_devices,
                         Backing::open(&shard.path).expect("open shard index"),
                     );
-                    Some(SharedSimArray::new(sim, self.config.workers_per_shard))
+                    Some(SharedSimArray::new(sim, handles))
                 }
                 _ => None,
             })
             .collect()
     }
 
-    /// Drain `Done` messages after the job queues closed, summing
-    /// worker device statistics (shared arrays counted once per shard),
-    /// then add the per-run cache-counter deltas.
-    fn drain_device_stats(
-        &self,
-        msg_rx: &Receiver<WorkerMsg>,
-        cache_snapshot: &[CacheSnapshot],
-    ) -> DeviceStats {
-        let mut device = DeviceStats::default();
-        while let Ok(msg) = msg_rx.recv() {
-            if let WorkerMsg::Done {
-                worker_in_shard,
-                device: d,
-                ..
-            } = msg
-            {
-                // Shared arrays report whole-array stats from every
-                // worker: count one handle per shard.
-                let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
-                if !shared || worker_in_shard == 0 {
-                    device.completed += d.completed;
-                    device.bytes += d.bytes;
-                    device.latency_sum += d.latency_sum;
-                    device.busy_sum += d.busy_sum;
+    /// Fold the per-run cache-counter deltas of every replica cache
+    /// into `device`.
+    fn add_cache_deltas(&self, device: &mut DeviceStats, cache_snapshot: &[CacheSnapshot]) {
+        let mut i = 0;
+        for s in 0..self.topo.num_shards() {
+            for rep in self.topo.shard_replicas(s) {
+                if let Some(c) = rep.cache() {
+                    let snap = &cache_snapshot[i];
+                    device.cache_hits += c.hits() - snap.hits;
+                    device.cache_misses += c.misses() - snap.misses;
+                    device.cache_evictions += c.evictions() - snap.evictions;
+                    device.cache_invalidations += c.invalidations() - snap.invalidations;
+                    device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
                 }
+                i += 1;
             }
         }
-        // Cache counters: per-run deltas over the shard caches (device
-        // stats would double count — every worker of a shard shares one
-        // cache).
-        for (shard, snap) in self.shards.shards().iter().zip(cache_snapshot) {
-            if let Some(c) = &shard.cache {
-                device.cache_hits += c.hits() - snap.hits;
-                device.cache_misses += c.misses() - snap.misses;
-                device.cache_evictions += c.evictions() - snap.evictions;
-                device.cache_invalidations += c.invalidations() - snap.invalidations;
-                device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
-            }
-        }
-        device
     }
 
     /// Serve one **batch request**: a vector of queries admitted,
@@ -694,19 +845,23 @@ impl ShardedService {
     /// and the merged result is fanned back out to every duplicate, so
     /// a Zipf-hot batch costs the engine its unique queries only. The
     /// whole batch shares one fan-out/merge pass per shard — one worker
-    /// pool spin-up and one collector, not one per query.
+    /// pool spin-up and one collector, not one per query. Replica
+    /// routing applies per unique query, exactly as in
+    /// [`ShardedService::serve`].
     ///
-    /// Admission is per *unique* query under the service's
-    /// [`AdmissionBudget`] (all-or-nothing across shards, like
-    /// [`ShardedService::serve`]): a unique query that would overflow a
-    /// shard queue is shed, and every duplicate of it reports
-    /// [`OpStatus::Shed`] in the returned per-query statuses. Results
-    /// for duplicates of an admitted query are clones of one merged
-    /// vector — byte-identical by construction.
+    /// Admission is per *unique* query under the service's read budget
+    /// (all-or-nothing across shards, like [`ShardedService::serve`]):
+    /// a unique query that would overflow its chosen replica's queue is
+    /// shed, and every duplicate of it reports [`OpStatus::Shed`] in
+    /// the returned per-query statuses. Results for duplicates of an
+    /// admitted query are clones of one merged vector — byte-identical
+    /// by construction.
     pub fn query_batch(&self, batch: &Dataset) -> BatchQueryReport {
-        assert_eq!(batch.dim(), self.shards.dim(), "query dimensionality");
-        let num_shards = self.shards.num_shards();
-        let workers_total = num_shards * self.config.workers_per_shard;
+        let shards = self.topo.shards();
+        assert_eq!(batch.dim(), shards.dim(), "query dimensionality");
+        let num_shards = shards.num_shards();
+        let replicas = self.config.replicas_per_shard;
+        let workers_total = num_shards * replicas * self.config.workers_per_replica;
         let dedup = dedup_batch(batch);
         let nu = dedup.uniques.len();
         if batch.is_empty() {
@@ -717,6 +872,7 @@ impl ShardedService {
                 unique: 0,
                 collapsed: 0,
                 shed: 0,
+                failovers: 0,
                 peak_queue_depth: 0,
                 duration: 0.0,
                 device: DeviceStats::default(),
@@ -731,57 +887,59 @@ impl ShardedService {
         }
 
         let engine = self.config.engine();
-        let sim_time = self.config.device.is_sim();
         let epoch = Instant::now();
         let cache_snapshot = self.cache_snapshots();
         let arrays = self.build_arrays();
-        let channels: Vec<(GatedSender<Job>, GatedReceiver<Job>)> = (0..num_shards)
-            .map(|s| gated(s, self.config.admission))
-            .collect();
+        let lanes = lane_states(num_shards, replicas);
+        let mut lane_txs: Vec<Vec<GatedSender<Job>>> = Vec::with_capacity(num_shards);
+        let mut lane_rxs: Vec<Vec<GatedReceiver<Job>>> = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..replicas)
+                .map(|_| gated::<Job>(s, self.config.admission.read))
+                .unzip();
+            lane_txs.push(txs);
+            lane_rxs.push(rxs);
+        }
+        let router = Router::new(
+            &self.topo,
+            lane_txs,
+            &lanes,
+            self.config.routing,
+            nu,
+            0xBA7C,
+        );
         let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
 
         // Collector over the *unique* queries; every unique is its own
         // op with queue entry at the request epoch (ref 0).
-        let mut collector = Collector::new(nu, num_shards, (0..nu).collect(), self.config.k);
+        let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
+        let mut collector = Collector::new(
+            nu,
+            num_shards,
+            (0..nu).collect(),
+            self.config.k,
+            replicas,
+            shared,
+        );
         let ref_time = vec![0.0f64; nu];
         let mut peak_queue_depth = 0usize;
+        let mut failovers = 0usize;
         let mut device = DeviceStats::default();
         let queries = &unique_queries;
+        let point_bytes = shards.dim() * std::mem::size_of::<f32>();
 
         std::thread::scope(|scope| {
-            for (s, shard) in self.shards.shards().iter().enumerate() {
-                for w in 0..self.config.workers_per_shard {
-                    let device = self.make_device(shard, &arrays[s], w);
-                    let jobs = channels[s].1.clone();
-                    let tx = msg_tx.clone();
-                    let engine = &engine;
-                    scope.spawn(move || {
-                        run_worker(
-                            WorkerCtx {
-                                shard,
-                                worker_in_shard: w,
-                                queries,
-                                engine,
-                                sim_time,
-                                epoch,
-                            },
-                            device,
-                            jobs,
-                            tx,
-                        );
-                    });
-                }
-            }
+            self.spawn_workers(
+                scope, &engine, epoch, queries, &lanes, &lane_rxs, &arrays, &msg_tx,
+            );
             drop(msg_tx);
-            let job_txs: Vec<GatedSender<Job>> =
-                channels.iter().map(|(tx, _)| tx.clone()).collect();
-            drop(channels);
+            drop(lane_rxs);
 
             // Dispatch the whole request at once (a batch is one
             // arrival instant), then collect.
             let mut admitted = 0usize;
             for u in 0..nu {
-                match self.try_fanout_query(u, &job_txs) {
+                match router.try_fanout(u, point_bytes) {
                     Ok(()) => admitted += 1,
                     Err(_) => collector.shed(Op::Query(u), epoch.elapsed().as_secs_f64()),
                 }
@@ -789,17 +947,30 @@ impl ShardedService {
             let mut done = 0usize;
             while done < admitted {
                 let msg = msg_rx.recv().expect("workers alive");
-                if collector.absorb(msg, &ref_time) {
-                    done += 1;
+                match msg {
+                    WorkerMsg::ReplicaDown { shard, replica } => {
+                        done += self.failover_scan(
+                            &mut collector,
+                            &router,
+                            shard,
+                            replica,
+                            epoch,
+                            &ref_time,
+                        );
+                    }
+                    msg => {
+                        if collector.absorb(msg, &ref_time, &router) {
+                            done += 1;
+                        }
+                    }
                 }
             }
-            peak_queue_depth = job_txs
-                .iter()
-                .map(|tx| tx.stats().peak_depth)
-                .max()
-                .unwrap_or(0);
-            drop(job_txs);
-            device = self.drain_device_stats(&msg_rx, &cache_snapshot);
+            peak_queue_depth = router.peak_depth();
+            failovers = router.failovers();
+            drop(router);
+            collector.drain(&msg_rx);
+            device = collector.device_stats();
+            self.add_cache_deltas(&mut device, &cache_snapshot);
         });
 
         // Fan the unique results back out to every duplicate.
@@ -821,6 +992,7 @@ impl ShardedService {
             unique: nu,
             collapsed: n - nu,
             shed,
+            failovers,
             peak_queue_depth,
             duration: collector.duration,
             device,
@@ -830,34 +1002,73 @@ impl ShardedService {
         }
     }
 
-    /// All-or-nothing fan-out admission of one query: reserve budget on
-    /// every shard's queue or shed on the first full one (undoing the
-    /// earlier reservations — a partially fanned-out query would starve
-    /// its merge accumulator).
-    fn try_fanout_query(&self, qid: usize, job_txs: &[GatedSender<Job>]) -> Result<(), Overload> {
-        let point_bytes = self.shards.dim() * std::mem::size_of::<f32>();
-        for (s, tx) in job_txs.iter().enumerate() {
-            if let Err(overload) = tx.reserve(point_bytes) {
-                for early in &job_txs[..s] {
-                    early.unreserve(point_bytes);
+    /// A replica died mid-run: resolve every outstanding query that was
+    /// dispatched to it. Single-route policies re-dispatch to a live
+    /// sibling (or, with none left, complete the query with that
+    /// shard's partial empty); broadcast simply drops the dead
+    /// replica's bit from the query's dispatch set — the surviving
+    /// replicas already carry the query, so its quota shrinks and the
+    /// run terminates without waiting for an answer that will never
+    /// come. Returns the ops the scan *completed* so the caller's
+    /// done/in-flight accounting stays exact.
+    fn failover_scan(
+        &self,
+        collector: &mut Collector,
+        router: &Router<'_>,
+        shard: usize,
+        replica: usize,
+        epoch: Instant,
+        ref_time: &[f64],
+    ) -> usize {
+        let broadcast = router.policy() == RoutePolicy::Broadcast;
+        let mut completed = 0usize;
+        for qid in 0..collector.results.len() {
+            if collector.statuses[qid] == OpStatus::Shed {
+                continue;
+            }
+            if !collector.shard_outstanding(qid, shard, router) {
+                continue;
+            }
+            if !router.is_routed_to(qid, shard, replica) {
+                continue;
+            }
+            if broadcast {
+                // The dead replica's partial may or may not have been
+                // delivered; either way the sibling replicas of the
+                // broadcast carry identical answers, so shrinking the
+                // quota by this bit never degrades the result.
+                router.clear_routed_bit(qid, shard, replica);
+                if router.quota(qid, shard) == 0 && collector.accum[qid].got[shard] == 0 {
+                    // Every broadcast replica of the shard died before
+                    // answering: the shard's contribution is lost.
+                    router.count_abandoned();
                 }
-                return Err(overload);
+                if collector.try_finish(qid, router, ref_time) {
+                    completed += 1;
+                }
+            } else if router.redispatch(qid, shard, replica).is_none() {
+                router.count_abandoned();
+                let now = epoch.elapsed().as_secs_f64();
+                if collector.force_complete_shard(qid, shard, now, ref_time, router) {
+                    completed += 1;
+                }
             }
         }
-        for tx in job_txs {
-            tx.send_reserved(Job { qid }, point_bytes);
-        }
-        Ok(())
+        completed
     }
 
     fn make_device(
         &self,
         shard: &Shard,
         array: &Option<SharedSimArray>,
-        worker_in_shard: usize,
+        handle: usize,
+        cache: Option<&Arc<e2lsh_storage::device::cached::BlockCache>>,
     ) -> Box<dyn Device> {
-        fn wrap<D: Device + 'static>(dev: D, shard: &Shard) -> Box<dyn Device> {
-            match &shard.cache {
+        fn wrap<D: Device + 'static>(
+            dev: D,
+            cache: Option<&Arc<e2lsh_storage::device::cached::BlockCache>>,
+        ) -> Box<dyn Device> {
+            match cache {
                 Some(cache) => {
                     Box::new(CachedDevice::new(dev, Arc::clone(cache), BLOCK_SIZE as u32))
                 }
@@ -867,7 +1078,7 @@ impl ShardedService {
         match self.config.device {
             DeviceSpec::File { io_workers } => wrap(
                 FileDevice::open(&shard.path, io_workers.max(1)).expect("open shard index"),
-                shard,
+                cache,
             ),
             DeviceSpec::SimPerWorker {
                 profile,
@@ -878,14 +1089,11 @@ impl ShardedService {
                     num_devices,
                     Backing::open(&shard.path).expect("open shard index"),
                 ),
-                shard,
+                cache,
             ),
             DeviceSpec::SimShared { .. } => wrap(
-                array
-                    .as_ref()
-                    .expect("shared array built")
-                    .handle(worker_in_shard),
-                shard,
+                array.as_ref().expect("shared array built").handle(handle),
+                cache,
             ),
         }
     }
@@ -893,26 +1101,26 @@ impl ShardedService {
     /// Next unassigned global id: inserts continue the sequence where
     /// earlier runs left it (build-time total + rows appended so far).
     fn insert_base(&self) -> usize {
-        self.shards.plan().base_total()
-            + self
-                .shards
+        let shards = self.topo.shards();
+        shards.plan().base_total()
+            + shards
                 .shards()
                 .iter()
                 .map(|s| s.num_rows() - s.base_len())
                 .sum::<usize>()
     }
 
-    /// Route one op under the admission budget: queries fan out to
-    /// every shard's worker pool (all-or-nothing — a query admitted by
-    /// only some shards would starve its merge accumulator) and are
-    /// **shed** with [`Overload`] when a queue budget rejects them;
-    /// writes go to the owning shard's writer under **backpressure**
-    /// ([`GatedSender::send_blocking`]): the `j`-th insert of the
-    /// stream gets global id `insert_base + j` (the generator emits
-    /// `Op::Insert(j)` in ascending order; `insert_base` is the
-    /// build-time total plus inserts applied by earlier runs, dealt
-    /// round-robin per the plan's appended-id arithmetic) while the
-    /// shard updater assigns ids *positionally* — dropping a write
+    /// Route one op under the admission discipline: queries fan out to
+    /// one replica per shard via the router (all-or-nothing — a query
+    /// admitted by only some shards would starve its merge accumulator)
+    /// and are **shed** with [`Overload`] when a queue budget rejects
+    /// them; writes go to the owning shard's writer under
+    /// **backpressure** ([`GatedSender::send_blocking`]): the `j`-th
+    /// insert of the stream gets global id `insert_base + j` (the
+    /// generator emits `Op::Insert(j)` in ascending order; `insert_base`
+    /// is the build-time total plus inserts applied by earlier runs,
+    /// dealt round-robin per the plan's appended-id arithmetic) while
+    /// the shard updater assigns ids *positionally* — dropping a write
     /// would desynchronize the two for every later write on the shard
     /// (and orphan deletes that reference the dropped insert), so a
     /// full write queue stalls the dispatcher instead of shedding.
@@ -922,17 +1130,17 @@ impl ShardedService {
         op_idx: usize,
         op: Op,
         insert_base: usize,
-        job_txs: &[GatedSender<Job>],
+        router: &Router<'_>,
         write_txs: &[GatedSender<WriteJob>],
     ) -> Result<(), Overload> {
         // Payload cost the gate charges: the bytes the queue entry pins
         // (query/insert coordinates; a delete pins just its id).
-        let point_bytes = self.shards.dim() * std::mem::size_of::<f32>();
+        let point_bytes = self.topo.shards().dim() * std::mem::size_of::<f32>();
         match op {
-            Op::Query(qid) => self.try_fanout_query(qid, job_txs)?,
+            Op::Query(qid) => router.try_fanout(qid, point_bytes)?,
             Op::Insert(j) => {
                 let global_id = (insert_base + j) as u32;
-                let s = self.shards.plan().shard_of_any(global_id as usize);
+                let s = self.topo.shards().plan().shard_of_any(global_id as usize);
                 write_txs[s].send_blocking(
                     WriteJob {
                         op_idx,
@@ -943,7 +1151,7 @@ impl ShardedService {
                 );
             }
             Op::Delete(global_id) => {
-                let s = self.shards.plan().shard_of_any(global_id as usize);
+                let s = self.topo.shards().plan().shard_of_any(global_id as usize);
                 write_txs[s].send_blocking(
                     WriteJob {
                         op_idx,
@@ -965,7 +1173,7 @@ impl ShardedService {
         queries: &Dataset,
         ops: &[Op],
         load: Load,
-        job_txs: Vec<GatedSender<Job>>,
+        router: Router<'_>,
         write_txs: Vec<GatedSender<WriteJob>>,
         msg_rx: Receiver<WorkerMsg>,
         shed_tx: Sender<WorkerMsg>,
@@ -974,7 +1182,8 @@ impl ShardedService {
     ) -> ServiceReport {
         let nq = queries.len();
         let total = ops.len();
-        let num_shards = self.shards.num_shards();
+        let num_shards = self.topo.num_shards();
+        let replicas = self.config.replicas_per_shard;
         let insert_base = self.insert_base();
         let k = self.config.k;
         // qid → op index, for read-latency reference times.
@@ -985,25 +1194,75 @@ impl ShardedService {
                 query_op[qid] = i;
             }
         }
-        let mut collector = Collector::new(nq, num_shards, query_op, k);
+        let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
+        let mut collector = Collector::new(nq, num_shards, query_op, k, replicas, shared);
         let mut ref_time = vec![0.0f64; total]; // dispatch (closed) or arrival (open)
         let mut done = 0usize;
+        let mut retries = 0usize;
 
         match load {
-            Load::Closed { window } => {
+            Load::Closed { .. } | Load::ClosedBackoff { .. } => {
                 // Sheds are booked inline (the dispatcher is the
                 // collector's own thread); a shed op never occupies a
-                // window slot.
+                // window slot. Under ClosedBackoff a shed query first
+                // waits out its retry_after hint and re-dispatches, up
+                // to max_retries times.
                 drop(shed_tx);
+                let (window, max_retries) = match load {
+                    Load::Closed { window } => (window, 0usize),
+                    Load::ClosedBackoff {
+                        window,
+                        max_retries,
+                    } => (window, max_retries),
+                    _ => unreachable!(),
+                };
                 let window = window.max(1).min(total);
+                let mut pending: BinaryHeap<Retry> = BinaryHeap::new();
                 let mut next = 0usize;
                 let mut inflight = 0usize;
                 while done < total {
-                    while inflight < window && next < total {
+                    // Fill the window: due retries first, then fresh ops.
+                    loop {
+                        if inflight >= window {
+                            break;
+                        }
                         let now = epoch.elapsed().as_secs_f64();
+                        if pending.peek().is_some_and(|r| r.at <= now) {
+                            let r = pending.pop().unwrap();
+                            retries += 1;
+                            match self.try_send_op(
+                                r.op_idx,
+                                ops[r.op_idx],
+                                insert_base,
+                                &router,
+                                &write_txs,
+                            ) {
+                                Ok(()) => inflight += 1,
+                                Err(e) if r.left > 0 => pending.push(Retry {
+                                    at: now + e.retry_after,
+                                    op_idx: r.op_idx,
+                                    left: r.left - 1,
+                                }),
+                                Err(_) => {
+                                    collector.shed(ops[r.op_idx], now);
+                                    done += 1;
+                                }
+                            }
+                            continue;
+                        }
+                        if next >= total {
+                            break;
+                        }
                         ref_time[next] = now;
-                        match self.try_send_op(next, ops[next], insert_base, &job_txs, &write_txs) {
+                        match self.try_send_op(next, ops[next], insert_base, &router, &write_txs) {
                             Ok(()) => inflight += 1,
+                            // Writes never shed (they backpressure), so
+                            // a rejection here is always a query.
+                            Err(e) if max_retries > 0 => pending.push(Retry {
+                                at: now + e.retry_after,
+                                op_idx: next,
+                                left: max_retries - 1,
+                            }),
                             Err(_) => {
                                 collector.shed(ops[next], now);
                                 done += 1;
@@ -1014,17 +1273,44 @@ impl ShardedService {
                     if done >= total {
                         break;
                     }
-                    let msg = msg_rx.recv().expect("workers alive");
-                    if collector.absorb(msg, &ref_time) {
-                        done += 1;
-                        inflight -= 1;
+                    // Wait for a completion — or only until the next
+                    // retry is due, if one could be dispatched then.
+                    let msg = if inflight < window && !pending.is_empty() {
+                        let due = pending.peek().unwrap().at;
+                        let wait = (due - epoch.elapsed().as_secs_f64()).max(0.0);
+                        match msg_rx.recv_timeout(std::time::Duration::from_secs_f64(wait)) {
+                            Ok(msg) => msg,
+                            Err(_) => continue,
+                        }
+                    } else {
+                        msg_rx.recv().expect("workers alive")
+                    };
+                    match msg {
+                        WorkerMsg::ReplicaDown { shard, replica } => {
+                            let c = self.failover_scan(
+                                &mut collector,
+                                &router,
+                                shard,
+                                replica,
+                                epoch,
+                                &ref_time,
+                            );
+                            done += c;
+                            inflight -= c;
+                        }
+                        msg => {
+                            if collector.absorb(msg, &ref_time, &router) {
+                                done += 1;
+                                inflight -= 1;
+                            }
+                        }
                     }
                 }
             }
             Load::Open { .. } | Load::Burst { .. } => {
                 let arrivals = load.arrival_schedule(total);
                 ref_time.copy_from_slice(&arrivals);
-                let dispatch_job_txs = &job_txs;
+                let dispatch_router = &router;
                 let dispatch_write_txs = &write_txs;
                 std::thread::scope(|scope| {
                     scope.spawn(move || {
@@ -1039,7 +1325,7 @@ impl ShardedService {
                                     op_idx,
                                     ops[op_idx],
                                     insert_base,
-                                    dispatch_job_txs,
+                                    dispatch_router,
                                     dispatch_write_txs,
                                 )
                                 .is_err()
@@ -1057,8 +1343,22 @@ impl ShardedService {
                     });
                     while done < total {
                         let msg = msg_rx.recv().expect("workers alive");
-                        if collector.absorb(msg, &ref_time) {
-                            done += 1;
+                        match msg {
+                            WorkerMsg::ReplicaDown { shard, replica } => {
+                                done += self.failover_scan(
+                                    &mut collector,
+                                    &router,
+                                    shard,
+                                    replica,
+                                    epoch,
+                                    &ref_time,
+                                );
+                            }
+                            msg => {
+                                if collector.absorb(msg, &ref_time, &router) {
+                                    done += 1;
+                                }
+                            }
                         }
                     }
                 });
@@ -1066,17 +1366,22 @@ impl ShardedService {
         }
 
         // High-water queue depths before the queues close.
-        let peak_queue_depth = job_txs
-            .iter()
-            .map(|tx| tx.stats().peak_depth)
-            .chain(write_txs.iter().map(|tx| tx.stats().peak_depth))
-            .max()
-            .unwrap_or(0);
+        let peak_queue_depth = router.peak_depth().max(
+            write_txs
+                .iter()
+                .map(|tx| tx.stats().peak_depth)
+                .max()
+                .unwrap_or(0),
+        );
+        let failovers = router.failovers();
+        let lost_partials = router.abandoned();
 
         // Close the queues and aggregate worker statistics.
-        drop(job_txs);
+        drop(router);
         drop(write_txs);
-        let device = self.drain_device_stats(&msg_rx, cache_snapshot);
+        collector.drain(&msg_rx);
+        let mut device = collector.device_stats();
+        self.add_cache_deltas(&mut device, cache_snapshot);
 
         ServiceReport {
             results: collector.results,
@@ -1088,20 +1393,27 @@ impl ShardedService {
             writes_failed: collector.writes_failed,
             shed_queries: collector.shed_queries,
             shed_writes: collector.shed_writes,
+            retries,
+            failovers,
+            lost_partials,
             peak_queue_depth,
             duration: collector.duration,
             device,
             total_io: collector.total_io,
-            workers: self.shards.num_shards() * self.config.workers_per_shard,
+            workers: num_shards * replicas * self.config.workers_per_replica,
             shards: num_shards,
+            replicas,
+            replica_load: collector.replica_load,
         }
     }
 }
 
 /// Mutable collector state of one service run: merges shard partials
-/// into per-query results and books read/write latencies and sheds.
+/// into per-query results and books read/write latencies, sheds,
+/// failover duplicates and worker exit statistics.
 struct Collector {
     accum: Vec<Accum>,
+    num_shards: usize,
     results: Vec<Vec<(u32, f32)>>,
     statuses: Vec<OpStatus>,
     latencies: Vec<f64>,
@@ -1116,19 +1428,36 @@ struct Collector {
     /// qid → op index, for read-latency reference times.
     query_op: Vec<usize>,
     k: usize,
+    /// Queries served per `[shard][replica]`, from `Done` messages.
+    replica_load: Vec<Vec<u64>>,
+    /// Device stats accumulation. Shared arrays report whole-array
+    /// totals from every handle, so those are merged max-by-completed
+    /// per shard; private devices are summed.
+    shared_device: bool,
+    device_sum: DeviceStats,
+    shared_best: Vec<DeviceStats>,
 }
 
 impl Collector {
-    fn new(nq: usize, num_shards: usize, query_op: Vec<usize>, k: usize) -> Self {
+    fn new(
+        nq: usize,
+        num_shards: usize,
+        query_op: Vec<usize>,
+        k: usize,
+        replicas: usize,
+        shared_device: bool,
+    ) -> Self {
         Self {
             accum: (0..nq)
                 .map(|_| Accum {
-                    remaining: num_shards,
+                    got: vec![0; num_shards],
+                    finished: false,
                     neighbors: Vec::new(),
                     start: f64::MAX,
                     finish: 0.0,
                 })
                 .collect(),
+            num_shards,
             results: vec![Vec::new(); nq],
             statuses: vec![OpStatus::Ok; nq],
             latencies: vec![0.0f64; nq],
@@ -1142,6 +1471,10 @@ impl Collector {
             duration: 0.0,
             query_op,
             k,
+            replica_load: vec![vec![0; replicas]; num_shards],
+            shared_device,
+            device_sum: DeviceStats::default(),
+            shared_best: vec![DeviceStats::default(); num_shards],
         }
     }
 
@@ -1163,39 +1496,106 @@ impl Collector {
         self.shed_queries += 1;
     }
 
+    /// True while `qid` still owes partials for `shard` (not shed, not
+    /// complete, shard quota unmet). The quota comes from the router:
+    /// the replicas this query was actually dispatched to.
+    fn shard_outstanding(&self, qid: usize, shard: usize, router: &Router<'_>) -> bool {
+        let a = &self.accum[qid];
+        !a.finished && (a.got[shard] as usize) < router.quota(qid, shard)
+    }
+
+    /// Finish `qid` if every shard's quota is met. Every caller runs
+    /// after the query was dispatched (a partial arrived, or the
+    /// failover scan matched its routing bits), and all-or-nothing
+    /// fan-out publishes every shard's dispatch set before the first
+    /// send — so an undispatched query (all quotas 0) can never be
+    /// finished through this check. A quota of 0 on a *dispatched*
+    /// query is legitimate: every broadcast replica of that shard died
+    /// and the shard contributes nothing.
+    fn try_finish(&mut self, qid: usize, router: &Router<'_>, ref_time: &[f64]) -> bool {
+        for s in 0..self.num_shards {
+            if (self.accum[qid].got[s] as usize) < router.quota(qid, s) {
+                return false;
+            }
+        }
+        let ref_t = ref_time[self.query_op[qid]];
+        self.finish_query(qid, ref_t);
+        true
+    }
+
+    /// Abandon `qid`'s outstanding partial for `shard` (no live replica
+    /// left to re-dispatch to): the shard contributes nothing; the
+    /// query completes when (and if) nothing else is outstanding.
+    /// Returns true when this completed the op.
+    fn force_complete_shard(
+        &mut self,
+        qid: usize,
+        shard: usize,
+        now: f64,
+        ref_time: &[f64],
+        router: &Router<'_>,
+    ) -> bool {
+        debug_assert!(self.shard_outstanding(qid, shard, router));
+        let a = &mut self.accum[qid];
+        a.got[shard] = router.quota(qid, shard) as u8;
+        a.finish = a.finish.max(now);
+        self.try_finish(qid, router, ref_time)
+    }
+
+    /// Merge and book a query whose partials are all in. `ref_t` is the
+    /// op's queue-entry reference time.
+    fn finish_query(&mut self, qid: usize, ref_t: f64) {
+        let a = &mut self.accum[qid];
+        let mut merged = std::mem::take(&mut a.neighbors);
+        merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        // Broadcast (and failover races) can deliver the same neighbor
+        // from two replicas of one shard: keep the first of each id.
+        // Shards never share ids, so single-route merges are untouched.
+        let mut seen_ids: Vec<u32> = Vec::with_capacity(self.k);
+        merged.retain(|&(id, _)| {
+            if seen_ids.len() >= self.k || seen_ids.contains(&id) {
+                false
+            } else {
+                seen_ids.push(id);
+                true
+            }
+        });
+        let (start, finish) = (a.start, a.finish);
+        self.results[qid] = merged;
+        // A query whose every partial was abandoned never started.
+        let start = if start == f64::MAX { finish } else { start };
+        self.latencies[qid] = finish - ref_t;
+        self.service_latencies[qid] = finish - start;
+        self.duration = self.duration.max(finish);
+    }
+
     /// Accumulate one message; returns true when it completed an op.
     /// `ref_time[op]` is the op's queue-entry time: dispatch (closed
-    /// loop) or scheduled arrival (open loop).
-    fn absorb(&mut self, msg: WorkerMsg, ref_time: &[f64]) -> bool {
+    /// loop) or scheduled arrival (open loop); `router` resolves each
+    /// query's live dispatch quotas.
+    fn absorb(&mut self, msg: WorkerMsg, ref_time: &[f64], router: &Router<'_>) -> bool {
         match msg {
             WorkerMsg::Partial {
                 qid,
+                shard,
                 neighbors,
                 n_io,
                 start,
                 finish,
-                ..
             } => {
+                self.total_io += u64::from(n_io);
+                if !self.shard_outstanding(qid, shard, router) {
+                    // Failover duplicate: the dying replica completed a
+                    // query we also re-dispatched (or a late partial
+                    // for a force-completed shard). Drop it.
+                    return false;
+                }
                 let a = &mut self.accum[qid];
-                debug_assert!(a.remaining > 0, "extra partial for query {qid}");
                 a.neighbors.extend(neighbors);
                 a.start = a.start.min(start);
                 a.finish = a.finish.max(finish);
-                a.remaining -= 1;
-                self.total_io += u64::from(n_io);
-                if a.remaining == 0 {
-                    let mut merged = std::mem::take(&mut a.neighbors);
-                    merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
-                    merged.truncate(self.k);
-                    let (start, finish) = (a.start, a.finish);
-                    self.results[qid] = merged;
-                    self.latencies[qid] = finish - ref_time[self.query_op[qid]];
-                    self.service_latencies[qid] = finish - start;
-                    self.duration = self.duration.max(finish);
-                    true
-                } else {
-                    false
-                }
+                a.got[shard] += 1;
+                self.try_finish(qid, router, ref_time)
             }
             WorkerMsg::WriteDone {
                 op_idx,
@@ -1222,10 +1622,70 @@ impl Collector {
                 self.duration = self.duration.max(ref_time[op_idx]);
                 true
             }
-            WorkerMsg::Done { .. } => {
-                unreachable!("Done before the job queues closed")
+            WorkerMsg::Done {
+                shard,
+                replica,
+                device,
+                served,
+                ..
+            } => {
+                self.absorb_done(shard, replica, device, served);
+                false
+            }
+            WorkerMsg::ReplicaDown { .. } => {
+                unreachable!("ReplicaDown is handled by the drive loop")
             }
         }
+    }
+
+    /// Book one worker's exit report.
+    fn absorb_done(&mut self, shard: usize, replica: usize, device: DeviceStats, served: usize) {
+        self.replica_load[shard][replica] += served as u64;
+        if self.shared_device {
+            // Every handle of a shard's shared array reports whole-array
+            // totals; keep the most complete one.
+            if device.completed >= self.shared_best[shard].completed {
+                self.shared_best[shard] = device;
+            }
+        } else {
+            self.device_sum.completed += device.completed;
+            self.device_sum.bytes += device.bytes;
+            self.device_sum.latency_sum += device.latency_sum;
+            self.device_sum.busy_sum += device.busy_sum;
+        }
+    }
+
+    /// Drain the message channel after the queues closed: remaining
+    /// `Done` stats are absorbed. Everything else at this point is a
+    /// late partial of a force-completed query, or the ReplicaDown of a
+    /// fence that lost the race against the end of the run: nothing
+    /// left to re-dispatch.
+    fn drain(&mut self, msg_rx: &Receiver<WorkerMsg>) {
+        while let Ok(msg) = msg_rx.recv() {
+            if let WorkerMsg::Done {
+                shard,
+                replica,
+                device,
+                served,
+                ..
+            } = msg
+            {
+                self.absorb_done(shard, replica, device, served);
+            }
+        }
+    }
+
+    /// Aggregate device statistics of the run (call after
+    /// [`Collector::drain`]).
+    fn device_stats(&self) -> DeviceStats {
+        let mut out = self.device_sum;
+        for best in &self.shared_best {
+            out.completed += best.completed;
+            out.bytes += best.bytes;
+            out.latency_sum += best.latency_sum;
+            out.busy_sum += best.busy_sum;
+        }
+        out
     }
 }
 

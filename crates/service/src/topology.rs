@@ -1,0 +1,282 @@
+//! Serving topology: replica groups over the shard set.
+//!
+//! PRs 1–3 hard-wired one worker pool per shard. This module
+//! generalizes that to **R replicas per shard**: every replica of shard
+//! `s` serves queries against the *same* on-storage index and the same
+//! locked row store (the [`Shard`] — its `RwLock`'d dataset and atomic
+//! occupancy-filter bitmaps make the shared mutable state safe), but
+//! owns an **independent** worker pool, DRAM block cache and admission
+//! queue. Reads scale out by adding replicas; writes keep the single
+//! writer per shard and publish to every replica for free — the index
+//! and rows are shared, only the per-replica caches need the writer's
+//! block invalidations (see [`crate::update::ShardUpdater`]).
+//!
+//! The topology also owns each replica's **health**: a replica can be
+//! *fenced* ([`Topology::fence`]) — marked down so the router stops
+//! selecting it — either by an operator/test (simulating a crash) or by
+//! the serving layer itself when a worker thread of the replica panics.
+//! The fencing protocol that makes this race-free lives with the
+//! per-run dispatch state in [`crate::router`]; the topology just holds
+//! the durable flag (a fenced replica stays fenced across serve calls
+//! until [`Topology::unfence`]).
+//!
+//! Replica 0 of each shard reuses the cache the [`ShardSet`] built (so
+//! a `Topology` with `replicas_per_shard == 1` is exactly the PR-3
+//! service); replicas 1..R get fresh private caches of identical shape
+//! ([`BlockCache::new_like`]). Private caches are the point: replicas
+//! model independent serving processes (possibly on different machines
+//! or NUMA domains), and a query's cache locality depends on which
+//! replica the router picks.
+
+use crate::shard::{Shard, ShardSet};
+use e2lsh_storage::device::cached::BlockCache;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Health and per-replica resources of one replica.
+pub struct Replica {
+    /// The replica's private DRAM block cache (`None` when the shard
+    /// set was built uncached).
+    cache: Option<Arc<BlockCache>>,
+    /// True when the replica is fenced: the router must not select it
+    /// and its workers abandon their queues (see `crate::router` for
+    /// the handshake).
+    down: AtomicBool,
+    /// Times this replica has been fenced (diagnostics).
+    fences: AtomicU64,
+}
+
+impl Replica {
+    /// The replica's private cache.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// True when the replica is fenced.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Fence this replica (idempotent; returns whether the call changed
+    /// the state). All fences — operator calls through
+    /// [`Topology::fence`] and a panicking worker fencing its own
+    /// replica — go through here, so the diagnostics counter counts
+    /// every one.
+    pub(crate) fn fence(&self) -> bool {
+        let changed = !self.down.swap(true, Ordering::SeqCst);
+        if changed {
+            self.fences.fetch_add(1, Ordering::Relaxed);
+        }
+        changed
+    }
+
+    /// Times this replica has been fenced.
+    pub fn fences(&self) -> u64 {
+        self.fences.load(Ordering::Relaxed)
+    }
+}
+
+/// The serving topology: every shard of a [`ShardSet`], each backed by
+/// `replicas_per_shard` replicas.
+pub struct Topology {
+    shards: ShardSet,
+    /// `[shard][replica]` health + resources.
+    replicas: Vec<Vec<Replica>>,
+    replicas_per_shard: usize,
+}
+
+impl Topology {
+    /// Back every shard of `shards` with `replicas_per_shard` replicas
+    /// (clamped to at least 1). Replica 0 adopts the shard's existing
+    /// cache; higher replicas get fresh private caches of the same
+    /// capacity and lock striping.
+    pub fn new(shards: ShardSet, replicas_per_shard: usize) -> Self {
+        let r = replicas_per_shard.max(1);
+        let replicas = shards
+            .shards()
+            .iter()
+            .map(|shard| {
+                (0..r)
+                    .map(|ri| Replica {
+                        cache: match (&shard.cache, ri) {
+                            (Some(c), 0) => Some(Arc::clone(c)),
+                            (Some(c), _) => Some(Arc::new(c.new_like())),
+                            (None, _) => None,
+                        },
+                        down: AtomicBool::new(false),
+                        fences: AtomicU64::new(0),
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            shards,
+            replicas,
+            replicas_per_shard: r,
+        }
+    }
+
+    /// The underlying shard set.
+    pub fn shards(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// Shard `s` (shared by all of its replicas).
+    pub fn shard(&self, s: usize) -> &Shard {
+        &self.shards.shards()[s]
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.num_shards()
+    }
+
+    /// Replicas backing each shard.
+    pub fn replicas_per_shard(&self) -> usize {
+        self.replicas_per_shard
+    }
+
+    /// Replica `r` of shard `s`.
+    pub fn replica(&self, s: usize, r: usize) -> &Replica {
+        &self.replicas[s][r]
+    }
+
+    /// The replicas of shard `s`.
+    pub fn shard_replicas(&self, s: usize) -> &[Replica] {
+        &self.replicas[s]
+    }
+
+    /// All replica caches of shard `s` (the writer invalidates
+    /// rewritten blocks in every one of them).
+    pub fn shard_caches(&self, s: usize) -> Vec<Arc<BlockCache>> {
+        self.replicas[s]
+            .iter()
+            .filter_map(|r| r.cache.clone())
+            .collect()
+    }
+
+    /// Fence replica `r` of shard `s`: the router stops selecting it,
+    /// its workers abandon their queues at the next loop iteration, and
+    /// the per-run failover scan re-dispatches its outstanding queries
+    /// to a live sibling. Idempotent. Returns whether the call changed
+    /// the state.
+    ///
+    /// Fencing the *last* live replica of a shard leaves the shard
+    /// unreachable for reads: new queries are shed and outstanding ones
+    /// complete with that shard's partial empty (the run still
+    /// terminates). Writes are unaffected — the per-shard writer is not
+    /// a replica.
+    pub fn fence(&self, s: usize, r: usize) -> bool {
+        self.replicas[s][r].fence()
+    }
+
+    /// Clear a replica's fence so future serve calls use it again
+    /// (workers are spawned per run, so recovery needs no handshake).
+    pub fn unfence(&self, s: usize, r: usize) {
+        self.replicas[s][r].down.store(false, Ordering::SeqCst);
+    }
+
+    /// True when replica `r` of shard `s` is fenced.
+    pub fn is_down(&self, s: usize, r: usize) -> bool {
+        self.replicas[s][r].is_down()
+    }
+
+    /// Live (un-fenced) replica indices of shard `s`.
+    pub fn live_replicas(&self, s: usize) -> Vec<usize> {
+        (0..self.replicas_per_shard)
+            .filter(|&r| !self.is_down(s, r))
+            .collect()
+    }
+
+    /// Fence events across all replicas (diagnostics).
+    pub fn total_fences(&self) -> u64 {
+        self.replicas
+            .iter()
+            .flatten()
+            .map(|r| r.fences.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardBuildConfig;
+    use e2lsh_core::dataset::Dataset;
+    use e2lsh_core::params::E2lshParams;
+
+    fn tiny_shards(cache_blocks: usize, tag: &str) -> ShardSet {
+        let mut data = Dataset::with_capacity(4, 64);
+        for i in 0..64 {
+            data.push(&[i as f32, 0.0, 1.0, -1.0]);
+        }
+        ShardSet::build(
+            &data,
+            &ShardBuildConfig {
+                num_shards: 2,
+                seed: 11,
+                dir: std::env::temp_dir()
+                    .join(format!("e2lsh-topology-{}-{tag}", std::process::id())),
+                cache_blocks,
+                ..Default::default()
+            },
+            |local| {
+                E2lshParams::derive(
+                    local.len(),
+                    2.0,
+                    4.0,
+                    1.0,
+                    local.max_abs_coord(),
+                    local.dim(),
+                )
+            },
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn replicas_share_shard_but_own_caches() {
+        let shards = tiny_shards(128, "caches");
+        let topo = Topology::new(shards, 3);
+        assert_eq!(topo.replicas_per_shard(), 3);
+        for s in 0..topo.num_shards() {
+            let caches = topo.shard_caches(s);
+            assert_eq!(caches.len(), 3);
+            // Replica 0 adopts the shard cache; siblings are private
+            // but identically shaped.
+            assert!(Arc::ptr_eq(
+                &caches[0],
+                topo.shard(s).cache.as_ref().unwrap()
+            ));
+            assert!(!Arc::ptr_eq(&caches[0], &caches[1]));
+            assert_eq!(caches[1].capacity(), caches[0].capacity());
+            assert_eq!(caches[1].lock_shards(), caches[0].lock_shards());
+        }
+        topo.shards().cleanup();
+    }
+
+    #[test]
+    fn uncached_shards_yield_uncached_replicas() {
+        let shards = tiny_shards(0, "nocache");
+        let topo = Topology::new(shards, 2);
+        assert!(topo.shard_caches(0).is_empty());
+        assert!(topo.replica(0, 1).cache().is_none());
+        topo.shards().cleanup();
+    }
+
+    #[test]
+    fn fencing_is_idempotent_and_reversible() {
+        let shards = tiny_shards(0, "fence");
+        let topo = Topology::new(shards, 2);
+        assert_eq!(topo.live_replicas(0), vec![0, 1]);
+        assert!(topo.fence(0, 1));
+        assert!(!topo.fence(0, 1), "second fence is a no-op");
+        assert!(topo.is_down(0, 1));
+        assert_eq!(topo.live_replicas(0), vec![0]);
+        assert_eq!(topo.live_replicas(1), vec![0, 1], "other shard untouched");
+        assert_eq!(topo.total_fences(), 1);
+        topo.unfence(0, 1);
+        assert_eq!(topo.live_replicas(0), vec![0, 1]);
+        topo.shards().cleanup();
+    }
+}

@@ -27,17 +27,29 @@ use crate::shard::Shard;
 use crate::worker::WorkerMsg;
 use crossbeam::channel::Sender;
 use e2lsh_core::dataset::Dataset;
+use e2lsh_storage::device::cached::BlockCache;
 use e2lsh_storage::layout::BLOCK_SIZE;
 use e2lsh_storage::update::Updater;
 use std::io;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Read-write handle over one shard for online maintenance, safe to use
 /// while the shard serves queries (one `ShardUpdater` per shard at a
 /// time — the service's per-shard writer thread owns it).
+///
+/// With replica groups every replica of the shard owns a private block
+/// cache over the same index file; a write must invalidate the
+/// rewritten blocks in **all** of them or a sibling replica would keep
+/// serving pre-write bytes. [`ShardUpdater::open`] registers the
+/// shard's own cache; [`ShardUpdater::mirror_cache`] adds each
+/// additional replica's (the service writer wires every topology cache
+/// in).
 pub struct ShardUpdater<'a> {
     shard: &'a Shard,
     updater: Updater,
+    /// Every cache serving this shard's blocks (one per replica).
+    caches: Vec<Arc<BlockCache>>,
 }
 
 impl<'a> ShardUpdater<'a> {
@@ -53,12 +65,27 @@ impl<'a> ShardUpdater<'a> {
         let mut updater = Updater::open(&shard.path)?;
         let rows = shard.data.read().unwrap().len();
         updater.reconcile_len(rows)?;
-        Ok(Self { updater, shard })
+        Ok(Self {
+            updater,
+            shard,
+            caches: shard.cache.iter().cloned().collect(),
+        })
     }
 
     /// The shard this updater mutates.
     pub fn shard(&self) -> &Shard {
         self.shard
+    }
+
+    /// Register another cache serving this shard's blocks (a sibling
+    /// replica's private cache): every write will invalidate its
+    /// rewritten blocks there too. Caches already registered (by
+    /// pointer identity) are skipped, so passing the whole topology's
+    /// cache list is safe.
+    pub fn mirror_cache(&mut self, cache: Arc<BlockCache>) {
+        if !self.caches.iter().any(|c| Arc::ptr_eq(c, &cache)) {
+            self.caches.push(cache);
+        }
     }
 
     /// Fault injection passthrough for tests (see
@@ -108,15 +135,17 @@ impl<'a> ShardUpdater<'a> {
         res
     }
 
-    /// Invalidate rewritten blocks in the shard cache and publish new
-    /// filter bits into the live index — also on failure (see module
-    /// docs).
+    /// Invalidate rewritten blocks in **every** registered replica
+    /// cache and publish new filter bits into the live index — also on
+    /// failure (see module docs). The index and rows are shared by all
+    /// replicas, so this is the only per-replica publication a write
+    /// needs.
     fn apply_trace(&mut self) {
         let trace = self.updater.take_trace();
         for &(ri, li, h32) in &trace.filter_bits {
             self.shard.index.set_filter_bit(ri, li, h32);
         }
-        if let Some(cache) = &self.shard.cache {
+        for cache in &self.caches {
             for &addr in &trace.blocks {
                 cache.invalidate(addr / BLOCK_SIZE as u64);
             }
@@ -149,6 +178,7 @@ pub(crate) enum WriteKind {
 /// of an id inserted earlier lands after its insert.
 pub(crate) fn run_writer(
     shard: &Shard,
+    replica_caches: &[Arc<BlockCache>],
     inserts: &Dataset,
     jobs: GatedReceiver<WriteJob>,
     out: Sender<WorkerMsg>,
@@ -158,7 +188,12 @@ pub(crate) fn run_writer(
     // messages and hang the serve call; if the index file cannot be
     // reopened read-write, every write to this shard fails instead.
     let mut up = match ShardUpdater::open(shard) {
-        Ok(up) => Some(up),
+        Ok(mut up) => {
+            for cache in replica_caches {
+                up.mirror_cache(Arc::clone(cache));
+            }
+            Some(up)
+        }
         Err(e) => {
             eprintln!(
                 "shard {}: updater unavailable, failing writes: {e}",

@@ -1,17 +1,33 @@
 //! The per-thread serving loop.
 //!
-//! Each worker owns one device handle onto its shard and drives the
+//! Each worker belongs to one **replica** of one shard
+//! ([`crate::topology`]): it owns one device handle onto the shard's
+//! index (wrapped in the replica's private block cache) and drives the
 //! storage crate's [`QueryDriver`] over `contexts` interleaved
 //! [`QueryState`] slots — the same asynchronous state machine
-//! `run_queries` uses, but fed from a request channel instead of a fixed
-//! batch, and emitting per-shard partial results as queries finish.
+//! `run_queries` uses, but fed from the replica's admission queue and
+//! emitting per-shard partial results as queries finish.
+//!
+//! Workers also participate in the **fencing protocol**
+//! ([`crate::router`]): every loop iteration checks the replica's down
+//! flag; once fenced, the worker abandons its queued and in-flight
+//! work, and the last worker out of the replica waits for in-progress
+//! sends to quiesce before emitting one [`WorkerMsg::ReplicaDown`] —
+//! the collector's signal to re-dispatch the replica's outstanding
+//! queries. A worker that **panics** fences its own replica first, so
+//! a crash degrades into the same failover path instead of a hung
+//! collector.
 
 use crate::admission::GatedReceiver;
+use crate::router::LaneState;
 use crate::shard::Shard;
+use crate::topology::Replica;
 use crossbeam::channel::{RecvTimeoutError, Sender, TryRecvError};
 use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::device::{Device, DeviceStats};
 use e2lsh_storage::query::{completion_ctx, EngineClock, EngineConfig, QueryDriver, QueryState};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// A query admitted to the service; workers look the point up in the
@@ -66,12 +82,27 @@ pub enum WorkerMsg {
         /// `Some(qid)` for queries, `None` for writes.
         qid: Option<usize>,
     },
+    /// A fenced (or panicked) replica finished dying for this run: its
+    /// workers have stopped, in-progress sends have quiesced, and no
+    /// further partial of its queued or in-flight jobs will arrive
+    /// (ones already emitted may still race in — the collector's
+    /// received markers drop duplicates). Sent exactly once per fenced
+    /// replica per run, by the last worker out. The collector answers
+    /// with the failover scan ([`crate::router`]).
+    ReplicaDown {
+        /// Shard of the dead replica.
+        shard: usize,
+        /// Replica index within the shard.
+        replica: usize,
+    },
     /// A worker drained its queue and exited.
     Done {
         /// Shard the worker served.
         shard: usize,
-        /// Worker index within the shard.
-        worker_in_shard: usize,
+        /// Replica the worker belonged to.
+        replica: usize,
+        /// Worker index within the replica.
+        worker_in_replica: usize,
         /// Final device statistics (for shared devices this is the whole
         /// array — the collector de-duplicates).
         device: DeviceStats,
@@ -104,8 +135,18 @@ pub(crate) fn sleep_until(epoch: Instant, t: f64) {
 pub struct WorkerCtx<'a> {
     /// The shard this worker serves.
     pub shard: &'a Shard,
-    /// Worker index within the shard.
-    pub worker_in_shard: usize,
+    /// The replica of the shard this worker belongs to.
+    pub replica: usize,
+    /// Worker index within the replica.
+    pub worker_in_replica: usize,
+    /// Workers in this replica this run (for the last-exiter duty).
+    pub workers_in_replica: usize,
+    /// The replica's health handle ([`crate::topology`]): its down flag
+    /// is checked every loop iteration, and [`run_worker`] fences it
+    /// when the serving loop panics.
+    pub replica_state: &'a Replica,
+    /// The replica's per-run handshake state ([`crate::router`]).
+    pub lane: &'a LaneState,
     /// The service-wide query set jobs index into.
     pub queries: &'a Dataset,
     /// Engine configuration (wall-clock; `contexts` slots).
@@ -119,12 +160,59 @@ pub struct WorkerCtx<'a> {
 }
 
 /// Run the serving loop until the job channel disconnects and all
-/// admitted queries finish.
+/// admitted queries finish — or the replica is fenced, in which case
+/// the worker abandons its work and performs the exit handshake. A
+/// panic inside the serving loop fences the replica and exits through
+/// the same handshake instead of poisoning the run.
 pub fn run_worker(
     ctx: WorkerCtx<'_>,
-    mut device: Box<dyn Device>,
+    device: Box<dyn Device>,
     jobs: GatedReceiver<Job>,
     out: Sender<WorkerMsg>,
+) {
+    let panicked =
+        catch_unwind(AssertUnwindSafe(|| serve_loop(&ctx, device, &jobs, &out))).is_err();
+    if panicked {
+        // Crash containment: fence the whole replica (siblings abandon
+        // too — through Topology's own fence path, so the diagnostics
+        // counter records the crash) and report zeroed stats; the
+        // failover scan re-serves whatever this replica was holding.
+        ctx.replica_state.fence();
+        let _ = out.send(WorkerMsg::Done {
+            shard: ctx.shard.id,
+            replica: ctx.replica,
+            worker_in_replica: ctx.worker_in_replica,
+            device: DeviceStats::default(),
+            served: 0,
+        });
+    }
+    // Exit handshake. Only meaningful when the replica is down — but
+    // the counter is bumped on every path so "last worker out" is well
+    // defined no matter how the exits interleave with a late fence.
+    let exited = ctx.lane.exited.fetch_add(1, Ordering::SeqCst) + 1;
+    if ctx.replica_state.is_down() && exited == ctx.workers_in_replica {
+        // Quiesce: a dispatcher that saw the flag up never sends; one
+        // that raced it holds `routes` until its send lands. After this
+        // wait the routing table is complete and the dead queue is
+        // frozen — safe to tell the collector to scan. (The receiver
+        // `jobs` is still alive here, so those racing sends never hit a
+        // disconnected channel.)
+        while ctx.lane.routes.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        let _ = out.send(WorkerMsg::ReplicaDown {
+            shard: ctx.shard.id,
+            replica: ctx.replica,
+        });
+    }
+}
+
+/// The serving loop proper (see [`run_worker`] for the exit paths).
+fn serve_loop(
+    ctx: &WorkerCtx<'_>,
+    mut device: Box<dyn Device>,
+    jobs: &GatedReceiver<Job>,
+    out: &Sender<WorkerMsg>,
 ) {
     let mut driver = QueryDriver::new(&ctx.shard.index, ctx.engine);
     let nslots = ctx.engine.contexts.max(1);
@@ -183,6 +271,14 @@ pub fn run_worker(
     }
 
     loop {
+        // Fenced: abandon queued and in-flight work immediately — the
+        // replica is "dead", the failover scan re-serves its queries.
+        // (Break, not return: the exit report below still carries the
+        // stats of the work done before the fence.)
+        if ctx.replica_state.is_down() {
+            break;
+        }
+
         // Admit as many queued jobs as there are free slots.
         while !free.is_empty() && !disconnected {
             match jobs.try_recv() {
@@ -198,7 +294,7 @@ pub fn run_worker(
                 break;
             }
             // Idle: block briefly for work (timeout so a late disconnect
-            // is noticed).
+            // — or a fence — is noticed).
             match jobs.recv_timeout(Duration::from_millis(2)) {
                 Ok(job) => admit!(job),
                 Err(RecvTimeoutError::Disconnected) => disconnected = true,
@@ -262,7 +358,8 @@ pub fn run_worker(
 
     let _ = out.send(WorkerMsg::Done {
         shard: ctx.shard.id,
-        worker_in_shard: ctx.worker_in_shard,
+        replica: ctx.replica,
+        worker_in_replica: ctx.worker_in_replica,
         device: device.stats(),
         served,
     });

@@ -211,7 +211,7 @@ fn duplicates_cost_one_probe_and_results_are_byte_identical() {
         .expect("shard build")
     };
     let config = ServiceConfig {
-        workers_per_shard: 2,
+        workers_per_replica: 2,
         contexts_per_worker: 8,
         k: 3,
         s_override: Some(AMPLE),
@@ -313,7 +313,7 @@ fn bounded_batch_sheds_per_query_with_shared_fate() {
     let svc = ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: 1,
+            workers_per_replica: 1,
             contexts_per_worker: 2,
             k: 1,
             s_override: None,
@@ -323,7 +323,8 @@ fn bounded_batch_sheds_per_query_with_shared_fate() {
             },
             // The whole batch lands at one instant: a small depth bound
             // must shed the tail of the unique set.
-            admission: AdmissionBudget::depth(4),
+            admission: AdmissionBudget::depth(4).into(),
+            ..Default::default()
         },
     );
     let rep = svc.query_batch(&batch);

@@ -130,7 +130,7 @@ fn service_over(data: &Dataset, dir_tag: &str, build_seed: u64) -> ShardedServic
     ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: 2,
+            workers_per_replica: 2,
             contexts_per_worker: 8,
             k: K,
             s_override: Some(AMPLE),

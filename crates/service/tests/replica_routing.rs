@@ -1,0 +1,263 @@
+//! Property tests for replica routing: the selection cores
+//! (`round_robin_pick` / `power_of_two_pick` — the exact functions the
+//! live router calls) are model-checked against a discrete-time queue
+//! simulator, in the style of `batch_dedup.rs`'s gated-queue model.
+//!
+//! Checked:
+//!
+//! * power-of-two-choices always returns one of its two samples, and
+//!   never the deeper of the two;
+//! * round-robin spreads counts evenly (≤ 1 apart) over any live set;
+//! * **the load-awareness payoff**: on a replica group with one slow
+//!   replica (drains at half the speed of its siblings) under a
+//!   sustainable aggregate load, round-robin's slow-replica backlog
+//!   grows linearly with the arrival count while power-of-two-choices
+//!   keeps every queue bounded — the model-level statement of "route by
+//!   load, not by turn", and the reason the `serve_replicas` bench's
+//!   p99 favors p2c under skew;
+//! * the integration-level agreement: every routing policy returns the
+//!   same merged results (replication and routing are performance
+//!   features, never accuracy features), with broadcast's duplicate
+//!   partials deduplicated at merge.
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_service::router::{power_of_two_pick, round_robin_pick, splitmix64};
+use e2lsh_service::{
+    DeviceSpec, Load, RoutePolicy, ServiceConfig, ShardBuildConfig, ShardSet, ShardedService,
+};
+use e2lsh_storage::device::sim::DeviceProfile;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------- pure cores
+
+proptest! {
+    #[test]
+    fn p2c_returns_a_sample_and_never_the_deeper(
+        depths in proptest::collection::vec(0usize..100, 2..8),
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+    ) {
+        let live: Vec<usize> = (0..depths.len()).collect();
+        let pick = power_of_two_pick(&live, |r| depths[r], a, b);
+        let sa = live[(a % live.len() as u64) as usize];
+        let sb = live[(b % live.len() as u64) as usize];
+        prop_assert!(pick == sa || pick == sb);
+        prop_assert!(depths[pick] <= depths[sa].min(depths[sb]));
+    }
+
+    #[test]
+    fn round_robin_counts_stay_within_one(
+        live in proptest::collection::vec(0usize..16, 1..6),
+        turns in 1usize..200,
+    ) {
+        // A live set is a set: dedup preserving order.
+        let mut seen = std::collections::HashSet::new();
+        let live: Vec<usize> = live.into_iter().filter(|r| seen.insert(*r)).collect();
+        let mut counts = std::collections::HashMap::new();
+        for c in 0..turns {
+            *counts.entry(round_robin_pick(&live, c)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min = live
+            .iter()
+            .map(|r| counts.get(r).copied().unwrap_or(0))
+            .min()
+            .unwrap();
+        prop_assert!(max - min <= 1, "round robin drifted: {max} vs {min}");
+    }
+}
+
+// ------------------------------------------- discrete-time queue model
+
+/// One simulated replica: a queue depth and a drain period (one job
+/// leaves every `period` ticks).
+struct SimReplica {
+    depth: usize,
+    period: usize,
+}
+
+/// Drive `ticks` arrivals (one per tick) through a replica group with
+/// the given drain periods, routing with `pick`. Returns the maximum
+/// queue depth ever observed per replica.
+fn simulate(
+    periods: &[usize],
+    ticks: usize,
+    mut pick: impl FnMut(&[usize], &dyn Fn(usize) -> usize, usize) -> usize,
+) -> Vec<usize> {
+    let mut reps: Vec<SimReplica> = periods
+        .iter()
+        .map(|&period| SimReplica { depth: 0, period })
+        .collect();
+    let live: Vec<usize> = (0..reps.len()).collect();
+    let mut peaks = vec![0usize; reps.len()];
+    for t in 0..ticks {
+        let depths: Vec<usize> = reps.iter().map(|r| r.depth).collect();
+        let depth_of = |r: usize| depths[r];
+        let r = pick(&live, &depth_of, t);
+        reps[r].depth += 1;
+        for (i, rep) in reps.iter_mut().enumerate() {
+            if rep.depth > 0 && t % rep.period == 0 {
+                rep.depth -= 1;
+            }
+            peaks[i] = peaks[i].max(rep.depth);
+        }
+    }
+    peaks
+}
+
+proptest! {
+    /// One replica drains at half speed. Aggregate capacity still
+    /// exceeds the arrival rate, so a load-aware router keeps every
+    /// queue bounded — while round-robin, blind to backlog, ships the
+    /// slow replica a full 1/R share and its queue grows with the run
+    /// length.
+    #[test]
+    fn p2c_bounds_backlog_where_round_robin_diverges(seed in 0u64..32) {
+        // 3 replicas: two drain 1 job / 2 ticks, one 1 job / 4 ticks.
+        // Aggregate drain 1.25/tick > 1 arrival/tick; rr hands the slow
+        // replica 1/3 > 1/4 — unstable for it.
+        let periods = [2usize, 2, 4];
+        const TICKS: usize = 4000;
+
+        let rr_peaks = simulate(&periods, TICKS, |live, _depths, t| {
+            round_robin_pick(live, t)
+        });
+        let p2c_peaks = simulate(&periods, TICKS, |live, depths, t| {
+            let a = splitmix64(seed ^ (2 * t as u64));
+            let b = splitmix64(seed ^ (2 * t as u64 + 1));
+            power_of_two_pick(live, depths, a, b)
+        });
+
+        // Round-robin diverges on the slow replica: backlog grows at
+        // (1/3 − 1/4) per tick ≈ TICKS/12 by the end.
+        prop_assert!(
+            rr_peaks[2] > TICKS / 20,
+            "rr slow-replica backlog only {} after {TICKS} ticks",
+            rr_peaks[2]
+        );
+        // Power-of-two keeps *every* queue bounded (generous constant —
+        // the equilibrium depth differential is O(1) here).
+        let p2c_max = *p2c_peaks.iter().max().unwrap();
+        prop_assert!(
+            p2c_max < 64,
+            "p2c backlog {p2c_max} not bounded (seed {seed})"
+        );
+        prop_assert!(p2c_max < rr_peaks[2], "load-awareness lost to round-robin");
+    }
+}
+
+// -------------------------------------- integration: policies agree
+
+fn clustered(n: usize, dim: usize, seed: u64) -> Dataset {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..6)
+        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 40.0).collect())
+        .collect();
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut p = vec![0.0f32; dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..centers.len())];
+        for (v, &cv) in p.iter_mut().zip(c) {
+            *v = cv + (rng.gen::<f32>() - 0.5) * 2.0;
+        }
+        ds.push(&p);
+    }
+    ds
+}
+
+/// Every routing policy (and every replica count) returns identical
+/// merged results: the reference is the R=1 service, which PR-1's
+/// equivalence suite pins to the batch engine.
+#[test]
+fn routing_policies_and_replication_preserve_results() {
+    const AMPLE: usize = 1_000_000;
+    let data = clustered(800, 10, 41);
+    let queries = clustered(40, 10, 42);
+
+    let build = |tag: &str| {
+        ShardSet::build(
+            &data,
+            &ShardBuildConfig {
+                num_shards: 2,
+                seed: 7,
+                dir: std::env::temp_dir().join(format!(
+                    "e2lsh-replica-routing-{}-{tag}",
+                    std::process::id()
+                )),
+                cache_blocks: 1024,
+                ..Default::default()
+            },
+            |local| {
+                E2lshParams::derive(
+                    local.len(),
+                    2.0,
+                    4.0,
+                    1.0,
+                    local.max_abs_coord(),
+                    local.dim(),
+                )
+            },
+        )
+        .expect("shard build")
+    };
+    let config = |replicas: usize, routing: RoutePolicy| ServiceConfig {
+        replicas_per_shard: replicas,
+        routing,
+        workers_per_replica: 2,
+        contexts_per_worker: 8,
+        k: 3,
+        s_override: Some(AMPLE),
+        device: DeviceSpec::SimPerWorker {
+            profile: DeviceProfile::ESSD,
+            num_devices: 1,
+        },
+        ..Default::default()
+    };
+
+    let reference = ShardedService::new(build("ref"), config(1, RoutePolicy::RoundRobin));
+    let expect = reference.serve(&queries, Load::Closed { window: 8 });
+    reference.shards().cleanup();
+
+    for (routing, tag) in [
+        (RoutePolicy::PowerOfTwoChoices, "p2c"),
+        (RoutePolicy::RoundRobin, "rr"),
+        (RoutePolicy::Broadcast, "bcast"),
+    ] {
+        let svc = ShardedService::new(build(tag), config(3, routing));
+        let rep = svc.serve(&queries, Load::Closed { window: 8 });
+        assert_eq!(rep.replicas, 3);
+        assert_eq!(rep.shed_queries, 0);
+        for qi in 0..queries.len() {
+            assert_eq!(
+                rep.results[qi], expect.results[qi],
+                "{tag}: query {qi} diverged from the single-replica reference"
+            );
+        }
+        // Load accounting: single-route policies serve each query once
+        // per shard; broadcast serves it on every replica.
+        let total_served: u64 = rep.replica_load.iter().flatten().sum();
+        let per_query_partials = match routing {
+            RoutePolicy::Broadcast => rep.shards * rep.replicas,
+            _ => rep.shards,
+        };
+        assert_eq!(
+            total_served as usize,
+            queries.len() * per_query_partials,
+            "{tag}: served-count accounting"
+        );
+        // Single-route policies must actually spread load over replicas.
+        if routing != RoutePolicy::Broadcast {
+            let used: usize = rep
+                .replica_load
+                .iter()
+                .flatten()
+                .filter(|&&l| l > 0)
+                .count();
+            assert!(used > rep.shards, "{tag}: only one replica per shard used");
+            assert!(rep.replica_imbalance() >= 1.0);
+        }
+        svc.shards().cleanup();
+    }
+}

@@ -26,8 +26,8 @@
 use e2lsh_core::dataset::Dataset;
 use e2lsh_core::params::E2lshParams;
 use e2lsh_service::{
-    skewed_queries, AdmissionBudget, DeviceSpec, Load, OpStatus, ServiceConfig, ShardBuildConfig,
-    ShardSet, ShardedService,
+    skewed_queries, AdmissionBudget, AdmissionControl, DeviceSpec, Load, OpStatus, ServiceConfig,
+    ShardBuildConfig, ShardSet, ShardedService,
 };
 use e2lsh_storage::device::sim::DeviceProfile;
 use rand::{Rng, SeedableRng};
@@ -63,7 +63,7 @@ fn clustered(n: usize, rng: &mut ChaCha8Rng) -> Dataset {
     ds
 }
 
-fn build_service(data: &Dataset, budget: AdmissionBudget, seed: u64) -> ShardedService {
+fn build_service(data: &Dataset, budget: impl Into<AdmissionControl>, seed: u64) -> ShardedService {
     let shards = ShardSet::build(
         data,
         &ShardBuildConfig {
@@ -92,7 +92,7 @@ fn build_service(data: &Dataset, budget: AdmissionBudget, seed: u64) -> ShardedS
     ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: 2,
+            workers_per_replica: 2,
             contexts_per_worker: 8,
             k: 1,
             s_override: None,
@@ -100,7 +100,8 @@ fn build_service(data: &Dataset, budget: AdmissionBudget, seed: u64) -> ShardedS
                 profile: DeviceProfile::CSSD,
                 num_devices: 1,
             },
-            admission: budget,
+            admission: budget.into(),
+            ..Default::default()
         },
     )
 }
@@ -283,5 +284,96 @@ fn byte_budget_sheds_under_burst_arrivals() {
         queries.len(),
         "terminal accounting"
     );
+    svc.shards().cleanup();
+}
+
+/// Per-class budgets: a write burst that saturates a *tiny* write
+/// budget backpressures writes only — the generous read budget is
+/// untouched and not a single query sheds. Before the read/write
+/// split, one budget value governed both queues; a write-heavy stream
+/// against a budget sized for writes would have shed reads that the
+/// service had ample capacity for.
+#[test]
+fn write_burst_cannot_shed_reads() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1A5);
+    let data = clustered(600, &mut rng);
+    let pool = clustered(240, &mut rng);
+    let queries = clustered(80, &mut rng);
+    let svc = build_service(
+        &data,
+        AdmissionControl {
+            read: AdmissionBudget::depth(256),
+            write: AdmissionBudget::depth(2),
+        },
+        seed ^ 0xC1A5,
+    );
+    // Write-heavy stream under burst arrivals: the depth-2 write queues
+    // stall the dispatcher constantly.
+    let w = e2lsh_service::mixed_ops(queries.len(), 0.6, 0.3, 600, pool.len(), seed ^ 6);
+    assert!(w.num_inserts + w.num_deletes > queries.len());
+    let rep = svc.serve_mixed(
+        &queries,
+        &pool,
+        &w.ops,
+        Load::Burst {
+            rate_qps: 50_000.0,
+            burst: 16,
+            seed: seed ^ 7,
+        },
+    );
+    assert_eq!(
+        rep.shed_queries, 0,
+        "write burst shed reads across class budgets (seed {seed})"
+    );
+    assert_eq!(rep.shed_writes, 0);
+    assert_eq!(rep.writes_failed, 0);
+    assert_eq!(rep.write_latencies.len(), w.num_inserts + w.num_deletes);
+    assert_eq!(rep.latency().count, queries.len(), "every read completed");
+    svc.shards().cleanup();
+}
+
+/// `Load::ClosedBackoff` honors the `retry_after` hint: a closed-loop
+/// window far above the queue bound sheds under plain `Closed`, but
+/// backoff-honoring clients retry after the hinted delay and every
+/// query eventually completes — sheds turn into (counted) retries.
+#[test]
+fn closed_backoff_retries_instead_of_shedding() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0FF);
+    let data = clustered(600, &mut rng);
+    let base_queries = clustered(48, &mut rng);
+    let queries = skewed_queries(&base_queries, 200, 1.1, seed ^ 8);
+    // Queue bound 4, window 96: the dispatch burst must overflow the
+    // queues long before the workers drain them.
+    let svc = build_service(&data, AdmissionBudget::depth(4), seed ^ 0xB0FF);
+
+    let plain = svc.serve(&queries, Load::Closed { window: 96 });
+    assert!(
+        plain.shed_queries > 0,
+        "window 96 over bound 4 must shed without backoff (seed {seed})"
+    );
+    assert_eq!(plain.retries, 0);
+
+    let backoff = svc.serve(
+        &queries,
+        Load::ClosedBackoff {
+            window: 96,
+            max_retries: 200,
+        },
+    );
+    assert_eq!(
+        backoff.shed_queries, 0,
+        "backoff-honoring clients still shed (seed {seed})"
+    );
+    assert!(
+        backoff.retries > 0,
+        "no retries despite guaranteed overflow (seed {seed})"
+    );
+    assert_eq!(backoff.latency().count, queries.len());
+    assert!(backoff.peak_queue_depth <= 4);
+    // Backoff wait is part of the client-visible latency (measured from
+    // the first dispatch attempt).
+    assert!(backoff.latency().max >= 0.0);
     svc.shards().cleanup();
 }

@@ -79,7 +79,7 @@ fn reference_results(shards: &ShardSet, queries: &Dataset, k: usize) -> Vec<Vec<
 
 fn service_config(workers: usize, k: usize, device: DeviceSpec) -> ServiceConfig {
     ServiceConfig {
-        workers_per_shard: workers,
+        workers_per_replica: workers,
         contexts_per_worker: 8,
         k,
         s_override: Some(AMPLE),

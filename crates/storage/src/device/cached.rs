@@ -396,6 +396,18 @@ impl BlockCache {
         self.capacity
     }
 
+    /// Independently locked LRU segments the key space is striped over.
+    pub fn lock_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A fresh, empty cache with this cache's capacity and lock
+    /// striping — the constructor replica groups use to give each
+    /// replica of a shard its own private cache of identical shape.
+    pub fn new_like(&self) -> Self {
+        Self::new(self.capacity(), self.lock_shards())
+    }
+
     /// Lookups served from DRAM.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

@@ -1,8 +1,11 @@
 //! Serving-layer tour: shard a dataset, stand up the multi-threaded
 //! service with a DRAM block cache, and serve a skewed query stream
 //! under closed-loop and open-loop (Poisson) admission — then push the
-//! open loop past capacity to watch bounded admission shed load, and
-//! serve a duplicate-heavy batch through `query_batch`.
+//! open loop past capacity to watch bounded admission shed load, serve
+//! a duplicate-heavy batch through `query_batch`, let backoff-honoring
+//! clients retry on the `Overload::retry_after` hint, and finally back
+//! each shard with 3 replicas, kill one mid-run, and watch the router
+//! fail its queries over to a sibling.
 //!
 //! **Overload error contract:** with a finite
 //! [`AdmissionBudget`](e2lshos::service::AdmissionBudget), any *query*
@@ -20,7 +23,7 @@
 //! Run with `cargo run --release --example serve`.
 
 use e2lshos::prelude::*;
-use e2lshos::service::{skewed_queries, zipf_indices, AdmissionBudget, Load};
+use e2lshos::service::{skewed_queries, zipf_indices, AdmissionBudget, Load, RoutePolicy};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -88,7 +91,7 @@ fn main() {
     let service = ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: 2,
+            workers_per_replica: 2,
             contexts_per_worker: 16,
             k: 3,
             s_override: None,
@@ -184,7 +187,7 @@ fn main() {
     let bounded = ShardedService::new(
         shards,
         ServiceConfig {
-            workers_per_shard: 2,
+            workers_per_replica: 2,
             contexts_per_worker: 16,
             k: 3,
             s_override: None,
@@ -192,7 +195,8 @@ fn main() {
                 profile: DeviceProfile::ESSD,
                 num_devices: 1,
             },
-            admission: AdmissionBudget::depth(32),
+            admission: AdmissionBudget::depth(32).into(),
+            ..Default::default()
         },
     );
     let overload = bounded.serve(
@@ -213,5 +217,86 @@ fn main() {
         overload.peak_queue_depth,
         lat.p99 * 1e3
     );
+
+    // Backoff-honoring clients: every Overload carries a retry_after
+    // hint derived from the queue's drain rate. Load::ClosedBackoff
+    // retries shed queries after the hinted delay — overload turns into
+    // counted retries instead of lost requests.
+    let polite = bounded.serve(
+        &queries,
+        Load::ClosedBackoff {
+            window: 96,
+            max_retries: 100,
+        },
+    );
+    println!(
+        "backoff clients: {} retries, {} shed, goodput {:.0} QPS",
+        polite.retries,
+        polite.shed_queries,
+        polite.goodput()
+    );
     bounded.shards().cleanup();
+
+    // Replica groups: back each shard with 3 replicas (shared index,
+    // private caches and queues) and route each query to the
+    // least-loaded of two sampled replicas. Then kill one replica
+    // mid-flight: the router fences it, outstanding queries re-dispatch
+    // to a sibling, and the service keeps answering.
+    let shards = ShardSet::build(
+        &data,
+        &ShardBuildConfig {
+            num_shards: 2,
+            seed: 42,
+            dir: std::env::temp_dir()
+                .join(format!("e2lsh-serve-example-rep-{}", std::process::id())),
+            cache_blocks: 8192,
+            ..Default::default()
+        },
+        |local| {
+            E2lshParams::derive(
+                local.len(),
+                2.0,
+                4.0,
+                1.0,
+                local.max_abs_coord(),
+                local.dim(),
+            )
+        },
+    )
+    .expect("shard build");
+    let replicated = ShardedService::new(
+        shards,
+        ServiceConfig {
+            replicas_per_shard: 3,
+            routing: RoutePolicy::PowerOfTwoChoices,
+            workers_per_replica: 1,
+            contexts_per_worker: 16,
+            k: 3,
+            s_override: None,
+            device: DeviceSpec::SimShared {
+                profile: DeviceProfile::ESSD,
+                num_devices: 1,
+            },
+            ..Default::default()
+        },
+    );
+    let mut rep = None;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            replicated.topology().fence(0, 2); // replica 2 of shard 0 "crashes"
+        });
+        rep = Some(replicated.serve(&queries, Load::Closed { window: 32 }));
+    });
+    let rep = rep.unwrap();
+    println!(
+        "replicas @R=3 (one fenced mid-run): {:.0} QPS, {} failovers, {} shed, \
+         per-replica load {:?}, imbalance {:.2}",
+        rep.qps(),
+        rep.failovers,
+        rep.shed_queries,
+        rep.replica_load,
+        rep.replica_imbalance()
+    );
+    replicated.shards().cleanup();
 }

@@ -10,12 +10,16 @@
 //! * [`storage`] ([`e2lsh_storage`]) — the flash-resident E2LSHoS index
 //!   with asynchronous I/O, simulated and real device backends, and the
 //!   DRAM block cache;
-//! * [`service`] ([`e2lsh_service`]) — the sharded, multi-threaded
-//!   query-serving layer: worker pools over per-shard indexes, top-k
-//!   merging, open/closed-loop load generation, latency percentiles,
-//!   the online write path (mixed read–write serving with per-key
-//!   cache invalidation epochs), bounded admission queues with typed
-//!   `Overload` shedding, and a batch query API with hot-query dedup;
+//! * [`service`] ([`e2lsh_service`]) — the sharded, replicated,
+//!   multi-threaded query-serving layer: replica groups with private
+//!   worker pools and caches over shared per-shard indexes, load-aware
+//!   replica routing (power-of-two-choices) with fencing and failover,
+//!   top-k merging, open/closed-loop load generation (including
+//!   backoff-honoring closed-loop clients), latency percentiles, the
+//!   online write path (mixed read–write serving with per-key cache
+//!   invalidation epochs), per-class bounded admission queues with
+//!   typed `Overload` shedding and `retry_after` hints, and a batch
+//!   query API with hot-query dedup;
 //! * [`baselines`] ([`ann_baselines`]) — SRS and QALSH with their R-tree
 //!   and B+-tree substrates;
 //! * [`datasets`] ([`ann_datasets`]) — the synthetic evaluation suite,
@@ -39,8 +43,9 @@ pub mod prelude {
     pub use ann_datasets::suite::DatasetId;
     pub use e2lsh_core::{knn_search, Dataset, E2lshParams, MemIndex, SearchOptions};
     pub use e2lsh_service::{
-        mixed_ops, AdmissionBudget, DeviceSpec, Load, Op, OpStatus, Overload, ServiceConfig,
-        ShardBuildConfig, ShardSet, ShardUpdater, ShardedService,
+        mixed_ops, AdmissionBudget, AdmissionControl, DeviceSpec, Load, Op, OpStatus, Overload,
+        RoutePolicy, ServiceConfig, ShardBuildConfig, ShardSet, ShardUpdater, ShardedService,
+        Topology,
     };
     pub use e2lsh_storage::build::{build_index, BuildConfig};
     pub use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
