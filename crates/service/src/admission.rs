@@ -64,6 +64,9 @@ pub struct Overload {
     /// [`crate::loadgen::Load::ClosedBackoff`] honors it. Clamped to
     /// [`Overload::MIN_RETRY_AFTER`]..[`Overload::MAX_RETRY_AFTER`]
     /// (the fallback before any pop has been observed is the maximum).
+    /// Exception: a shut-down session sheds with `f64::INFINITY` —
+    /// there is nothing left to retry against (see
+    /// [`CLIENT_THROTTLE_SHARD`](crate::session::CLIENT_THROTTLE_SHARD)).
     pub retry_after: f64,
 }
 
@@ -424,6 +427,39 @@ impl<T> GatedSender<T> {
     }
 
     /// Lifetime counters of this queue's gate.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            peak_depth: self.gate.peak_depth.load(Ordering::Acquire),
+            shed: self.gate.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A statistics-only view of this queue's gate, detached from the
+    /// channel: holding one keeps the counters readable without keeping
+    /// the queue connected (a live `GatedSender` clone would), so a
+    /// session can report peak depths after shutdown closed its queues.
+    pub fn stats_handle(&self) -> GateHandle {
+        GateHandle {
+            gate: Arc::clone(&self.gate),
+        }
+    }
+}
+
+/// Statistics-only handle onto a gate (see
+/// [`GatedSender::stats_handle`]). Cannot send; does not keep the
+/// queue's channel alive.
+#[derive(Clone)]
+pub struct GateHandle {
+    gate: Arc<Gate>,
+}
+
+impl GateHandle {
+    /// Current queue depth (racy; diagnostics only).
+    pub fn depth(&self) -> usize {
+        self.gate.depth.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters of the gate.
     pub fn stats(&self) -> GateStats {
         GateStats {
             peak_depth: self.gate.peak_depth.load(Ordering::Acquire),

@@ -16,7 +16,24 @@
 //!   power-of-two-choices over live queue depth (default), round-robin
 //!   and broadcast baselines; plus the fencing/failover protocol that
 //!   re-dispatches a dead replica's outstanding queries to a sibling;
-//! * [`service`] — [`ShardedService`](service::ShardedService): a pool of
+//! * [`session`] — the **session-oriented client API** (the primary
+//!   entry point since PR 5):
+//!   [`ShardedService::start`](service::ShardedService::start) brings
+//!   worker pools, writers and collector up once and returns a
+//!   long-lived [`session::Session`]; cloneable
+//!   [`session::Client`] handles submit queries and writes
+//!   **non-blocking**, each resolving through a per-request ticket
+//!   ([`session::QueryTicket`] /
+//!   [`session::WriteTicket`]) that carries the op's
+//!   status — including the typed `Overload` with its `retry_after`
+//!   hint when shed; [`Session::metrics`](session::Session::metrics)
+//!   reports incrementally and
+//!   [`Session::shutdown`](session::Session::shutdown) drains and
+//!   joins;
+//! * [`service`] — configuration/report types and the legacy
+//!   run-to-completion wrappers (`serve`, `serve_mixed`,
+//!   `query_batch`), now thin clients of the session API (oracle
+//!   suites assert bit-exact wrapper/session equivalence): a pool of
 //!   worker threads per replica, each driving the storage crate's
 //!   [`QueryDriver`](e2lsh_storage::query::QueryDriver) over interleaved
 //!   query contexts; every query fans out to all shards (one replica
@@ -24,12 +41,12 @@
 //! * [`worker`] — the per-thread serving loop (channel-fed admission on
 //!   top of the same state machine `run_queries` batches through),
 //!   including panic containment: a crashing worker fences its replica
-//!   instead of hanging the collector;
+//!   instead of stranding its tickets;
 //! * [`shared_sim`] — a simulated device array shared by a shard's
 //!   workers, so thread scaling contends for one array's IOPS (the
 //!   paper's Figure 16 regime) instead of duplicating hardware;
 //! * [`update`] — the online write path: one
-//!   [`ShardUpdater`](update::ShardUpdater) per shard applies inserts
+//!   [`update::ShardUpdater`] per shard applies inserts
 //!   and deletes through the storage crate's updater *while the shard
 //!   serves queries*, invalidating exactly the rewritten blocks in the
 //!   shard cache (per-key epochs) and publishing new occupancy-filter
@@ -37,11 +54,13 @@
 //! * [`admission`] — bounded per-shard queues with explicit load
 //!   shedding: an [`AdmissionBudget`] caps queue depth and queued
 //!   bytes; queries beyond it are rejected at dispatch with the typed
-//!   [`Overload`] error (writes backpressure instead — their
-//!   stream-positional ids cannot survive a drop), and the service
-//!   reports goodput, shed rate and peak queue depth — offered load
-//!   past capacity degrades into countable rejections, not unbounded
-//!   queues;
+//!   [`Overload`] error, writes either shed the same way
+//!   ([`session::Client::write`] — safe now that insert ids are minted
+//!   at admission) or backpressure the submitter
+//!   ([`session::Client::write_blocking`], the legacy wrappers'
+//!   discipline), and the service reports goodput, shed rate and peak
+//!   queue depth — offered load past capacity degrades into countable
+//!   rejections or bounded stalls, not unbounded queues;
 //! * [`loadgen`] — closed-loop (fixed in-flight window) and open-loop
 //!   (Poisson or batch-shaped [`Load::Burst`] arrivals) admission,
 //!   Zipf-skewed query streams and duplicate-heavy batches
@@ -65,13 +84,14 @@
 //! shard owns one [`BlockCache`](e2lsh_storage::device::cached::BlockCache)
 //! shared by all its workers, so hot buckets under skewed traffic are
 //! served from memory and the cache hit rate shows up in every
-//! [`ServiceReport`](service::ServiceReport).
+//! [`service::ServiceReport`].
 
 pub mod admission;
 pub mod loadgen;
 pub mod metrics;
 pub mod router;
 pub mod service;
+pub mod session;
 pub mod shard;
 pub mod shared_sim;
 pub mod topology;
@@ -79,7 +99,7 @@ pub mod update;
 pub mod worker;
 
 pub use admission::{
-    AdmissionBudget, AdmissionControl, GateStats, GatedReceiver, GatedSender, Overload,
+    AdmissionBudget, AdmissionControl, GateHandle, GateStats, GatedReceiver, GatedSender, Overload,
 };
 pub use loadgen::{
     mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, zipf_batches, zipf_indices,
@@ -90,6 +110,10 @@ pub use router::RoutePolicy;
 pub use service::{
     dedup_batch, BatchDedup, BatchQueryReport, DeviceSpec, ServiceConfig, ServiceReport,
     ShardedService,
+};
+pub use session::{
+    Client, QueryResult, QueryTicket, Session, WriteOp, WriteResult, WriteTicket,
+    CLIENT_THROTTLE_SHARD,
 };
 pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
 pub use shared_sim::{SharedSimArray, SharedSimHandle};

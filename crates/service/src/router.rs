@@ -20,37 +20,46 @@
 //!   shrinks affected queries' partial quotas instead of re-dispatching
 //!   (the surviving replicas already carry identical answers).
 //!
+//! Since the session redesign the router is **session-lived**: one
+//! router (the crate-private `Router`) serves every query submitted
+//! through a [`Session`](crate::session::Session)'s clients, and the routing
+//! table is no longer a dense per-run array but lives with each live
+//! ticket — every in-flight query carries its own per-shard dispatch
+//! bitmasks (see [`crate::session`]), written before the first job is
+//! sent. The masks are keyed by live ticket ids exactly: a completed
+//! ticket's masks are dropped with its registry entry.
+//!
 //! ## Fencing and failover
 //!
 //! A replica dies by being **fenced** ([`Topology::fence`] — operator,
 //! test kill switch, or a worker panic). The handshake that makes this
-//! race-free against concurrent dispatch, per run:
+//! race-free against concurrent dispatch, per session:
 //!
 //! 1. every send increments the lane's `routes` counter **before**
-//!    checking the down flag ([`Router::reserve_on_shard`]), and
-//!    decrements it after the send lands in the queue;
+//!    checking the down flag, and decrements it after the send lands in
+//!    the queue;
 //! 2. the fenced replica's workers observe the flag, stop serving
 //!    (abandoning queued and in-flight jobs), and the **last** worker
 //!    out spin-waits for `routes == 0` before emitting one
 //!    [`WorkerMsg::ReplicaDown`](crate::worker::WorkerMsg) — so by the
 //!    time the collector sees it, every routed job is either in the
-//!    dead queue or already reported, and the routing table (the
-//!    per-query dispatch bitmasks behind [`Router::quota`]) is
-//!    complete for the scan;
-//! 3. the collector re-dispatches every outstanding query that was
-//!    routed to the dead replica to a live sibling
-//!    ([`Router::redispatch`], **blocking** admission — a failover op
+//!    dead queue or already reported, and each live ticket's dispatch
+//!    masks are complete for the scan;
+//! 3. the session collector re-dispatches every outstanding query that
+//!    was routed to the dead replica to a live sibling
+//!    (`Router::redispatch`, **blocking** admission — a failover op
 //!    was already admitted once and must not turn into a shed storm),
 //!    counting each in [`ServiceReport::failovers`]; under broadcast
 //!    it instead drops the dead replica's bit from the query's
-//!    dispatch set ([`Router::clear_routed_bit`]);
+//!    dispatch set (`clear_routed_bit`);
 //! 4. duplicate partials (a job the dying replica did complete, raced
 //!    by its re-dispatch) are dropped by the collector's per-shard
 //!    received markers.
 //!
 //! When a shard has **no** live replica left, new queries are shed with
 //! a synthetic [`Overload`] and outstanding ones complete with that
-//! shard's partial empty — degraded answers, but the run terminates.
+//! shard's partial empty — degraded answers, but the session stays
+//! live.
 //!
 //! [`Topology::fence`]: crate::topology::Topology::fence
 //! [`ServiceReport::failovers`]: crate::service::ServiceReport::failovers
@@ -59,6 +68,7 @@ use crate::admission::{GatedSender, Overload};
 use crate::topology::Topology;
 use crate::worker::Job;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// How the service picks a replica within each shard for a query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -113,71 +123,125 @@ pub fn power_of_two_pick(
     }
 }
 
-/// Per-lane (shard × replica) handshake state of one run, shared
+/// Per-lane (shard × replica) handshake state of one session, shared
 /// between the router (dispatch side) and the replica's workers (exit
-/// side). Owned by the serve call's stack frame.
+/// side).
 #[derive(Debug, Default)]
 pub struct LaneState {
     /// In-progress sends to this lane (incremented before the down
     /// check, decremented after the send lands — see the module docs).
     pub routes: AtomicUsize,
-    /// Workers of this replica that have exited this run (the last one
-    /// performs the quiesce + `ReplicaDown` duty when fenced).
+    /// Workers of this replica that have exited this session (the last
+    /// one performs the quiesce + `ReplicaDown` duty when fenced).
     pub exited: AtomicUsize,
+    /// Latched by the first worker that observes the replica's fence:
+    /// within this session the fence is **sticky** — an unfence racing
+    /// the exit handshake must not suppress the `ReplicaDown` emission
+    /// (stranding in-flight tickets) or leave a subset of workers
+    /// serving a half-dead lane. Checked by every worker's serve loop
+    /// and by the router's availability test; cleared only by the next
+    /// session (fresh lane states).
+    pub fenced: std::sync::atomic::AtomicBool,
 }
 
-/// Build the per-run lane-state grid for `num_shards` × `replicas`.
+/// Build the per-session lane-state grid for `num_shards` × `replicas`.
 pub fn lane_states(num_shards: usize, replicas: usize) -> Vec<Vec<LaneState>> {
     (0..num_shards)
         .map(|_| (0..replicas).map(|_| LaneState::default()).collect())
         .collect()
 }
 
-/// Upper bound on replicas per shard: the routing table stores the set
+/// Upper bound on replicas per shard: each live ticket stores the set
 /// of replicas a (query, shard) partial was dispatched to as a bitmask
 /// in one `AtomicU64`, and the selection path uses a stack buffer of
-/// this size. Enforced by `ShardedService::new`.
+/// this size. Enforced by `Router::new` (via `Session::start`).
 pub const MAX_REPLICAS: usize = 64;
 
-/// The per-run router: owns the query senders of every lane, picks a
-/// replica per shard per query, and keeps the routing table the
-/// collector's quota accounting and the failover scan need.
-pub(crate) struct Router<'a> {
-    topo: &'a Topology,
-    /// `[shard][replica]` query senders (dropping the router closes
-    /// every replica's queue).
+/// How many partials the query owes `shard`: the number of replicas its
+/// fan-out was actually sent to (0 = not dispatched, or every broadcast
+/// replica of the shard died). `masks` is the ticket's per-shard
+/// dispatch-bitmask array.
+#[inline]
+pub(crate) fn quota(masks: &[AtomicU64], shard: usize) -> usize {
+    masks[shard].load(Ordering::Acquire).count_ones() as usize
+}
+
+/// True when the query's partial for `shard` was dispatched to
+/// `replica` (and not yet re-routed away from it).
+#[inline]
+pub(crate) fn is_routed_to(masks: &[AtomicU64], shard: usize, replica: usize) -> bool {
+    masks[shard].load(Ordering::Acquire) & (1 << replica) != 0
+}
+
+/// Drop `replica` from the query's dispatch set for `shard` (broadcast
+/// fence handling: the dead replica will not answer, so the quota
+/// shrinks by its bit).
+#[inline]
+pub(crate) fn clear_routed_bit(masks: &[AtomicU64], shard: usize, replica: usize) {
+    masks[shard].fetch_and(!(1u64 << replica), Ordering::AcqRel);
+}
+
+/// Failover counters of one session, owned by the session (not the
+/// router) so they stay readable — and bumpable by the collector's
+/// drain-time abandons — after shutdown dropped the router and its
+/// queue senders.
+#[derive(Debug, Default)]
+pub(crate) struct RouterStats {
+    /// Successful failover re-dispatches.
+    pub failovers: AtomicUsize,
+    /// (query, shard) partials abandoned because no live replica was
+    /// left to re-dispatch to.
+    pub abandoned: AtomicUsize,
+}
+
+impl RouterStats {
+    pub fn failovers(&self) -> usize {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    pub fn abandoned(&self) -> usize {
+        self.abandoned.load(Ordering::Relaxed)
+    }
+
+    /// Book a partial abandoned for lack of live replicas.
+    pub fn count_abandoned(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The session-lived router: owns the query senders of every lane,
+/// picks a replica per shard per query, and writes each ticket's
+/// dispatch masks — the routing table the collector's quota accounting
+/// and the failover scan read. Dropping the router closes every
+/// replica's queue (session shutdown).
+pub(crate) struct Router {
+    topo: Arc<Topology>,
+    /// `[shard][replica]` query senders.
     txs: Vec<Vec<GatedSender<Job>>>,
-    lanes: &'a [Vec<LaneState>],
+    lanes: Arc<Vec<Vec<LaneState>>>,
     policy: RoutePolicy,
     /// Per-shard round-robin cursors.
     rr: Vec<AtomicUsize>,
     /// Draw counter for the stateless p2c sampler.
     rng_seq: AtomicU64,
     rng_seed: u64,
-    /// `qid * num_shards + shard` → bitmask of replicas the partial was
-    /// dispatched to (0 = never dispatched). Every bit of a query's
-    /// fan-out is stored **before** any of its jobs are sent, so the
-    /// collector's per-shard quota ([`Router::quota`]) always equals
-    /// what was actually sent — under broadcast the quota is the live
-    /// set *at dispatch time*, not at run start, which is what makes a
-    /// mid-run fence (operator or panic) terminate instead of waiting
-    /// for partials from a replica that was never asked.
-    table: Vec<AtomicU64>,
-    /// Successful failover re-dispatches.
-    failovers: AtomicUsize,
-    /// (qid, shard) partials abandoned because no live replica was
-    /// left to re-dispatch to.
-    abandoned: AtomicUsize,
+    /// Session-owned failover counters.
+    stats: Arc<RouterStats>,
+    /// Workers per replica this session spawned (the dead-lane check:
+    /// once `LaneState::exited` reaches it, the lane's queue has no
+    /// receivers left).
+    workers_per_replica: usize,
 }
 
-impl<'a> Router<'a> {
+impl Router {
     pub fn new(
-        topo: &'a Topology,
+        topo: Arc<Topology>,
         txs: Vec<Vec<GatedSender<Job>>>,
-        lanes: &'a [Vec<LaneState>],
+        lanes: Arc<Vec<Vec<LaneState>>>,
         policy: RoutePolicy,
-        num_queries: usize,
         seed: u64,
+        stats: Arc<RouterStats>,
+        workers_per_replica: usize,
     ) -> Self {
         let num_shards = topo.num_shards();
         assert!(topo.replicas_per_shard() <= MAX_REPLICAS);
@@ -189,63 +253,27 @@ impl<'a> Router<'a> {
             rr: (0..num_shards).map(|_| AtomicUsize::new(0)).collect(),
             rng_seq: AtomicU64::new(0),
             rng_seed: seed,
-            table: (0..num_queries * num_shards)
-                .map(|_| AtomicU64::new(0))
-                .collect(),
-            failovers: AtomicUsize::new(0),
-            abandoned: AtomicUsize::new(0),
+            stats,
+            workers_per_replica,
         }
     }
 
-    /// The routing policy this run dispatches under.
+    /// The routing policy this session dispatches under.
     pub fn policy(&self) -> RoutePolicy {
         self.policy
     }
 
-    #[inline]
-    fn cell(&self, qid: usize, shard: usize) -> &AtomicU64 {
-        &self.table[qid * self.topo.num_shards() + shard]
-    }
-
-    /// How many partials `qid` still expects from `shard`: the number
-    /// of replicas its fan-out was actually sent to (0 = not yet
-    /// dispatched).
-    pub fn quota(&self, qid: usize, shard: usize) -> usize {
-        self.cell(qid, shard).load(Ordering::Acquire).count_ones() as usize
-    }
-
-    /// True when `qid`'s partial for `shard` was dispatched to
-    /// `replica` (and not yet re-routed away from it).
-    pub fn is_routed_to(&self, qid: usize, shard: usize, replica: usize) -> bool {
-        self.cell(qid, shard).load(Ordering::Acquire) & (1 << replica) != 0
-    }
-
-    /// Drop `replica` from `qid`/`shard`'s dispatch set (broadcast
-    /// fence handling: the dead replica will not answer, so the quota
-    /// shrinks by its bit).
-    pub fn clear_routed_bit(&self, qid: usize, shard: usize, replica: usize) {
-        self.cell(qid, shard)
-            .fetch_and(!(1u64 << replica), Ordering::AcqRel);
-    }
-
-    /// Successful failover re-dispatches so far.
-    pub fn failovers(&self) -> usize {
-        self.failovers.load(Ordering::Relaxed)
-    }
-
-    /// Partials abandoned for lack of any live replica.
-    pub fn abandoned(&self) -> usize {
-        self.abandoned.load(Ordering::Relaxed)
-    }
-
-    /// High-water queue depth over every lane.
-    pub fn peak_depth(&self) -> usize {
-        self.txs
-            .iter()
-            .flatten()
-            .map(|tx| tx.stats().peak_depth)
-            .max()
-            .unwrap_or(0)
+    /// True when the lane must not be sent to: the replica is fenced
+    /// (durably, or latched for this session — a replica fenced and
+    /// later unfenced mid-session is dead until the next session
+    /// start), or every worker of the lane has already exited (its
+    /// queue has no receivers left, so a send would panic on the
+    /// disconnected channel).
+    fn unavailable(&self, shard: usize, replica: usize) -> bool {
+        let lane = &self.lanes[shard][replica];
+        self.topo.is_down(shard, replica)
+            || lane.fenced.load(Ordering::SeqCst)
+            || lane.exited.load(Ordering::SeqCst) >= self.workers_per_replica
     }
 
     fn no_live_overload(&self, shard: usize) -> Overload {
@@ -265,7 +293,7 @@ impl<'a> Router<'a> {
         let mut buf = [0usize; MAX_REPLICAS];
         let mut n = 0;
         for r in 0..self.topo.replicas_per_shard() {
-            if Some(r) != exclude && !self.topo.is_down(shard, r) {
+            if Some(r) != exclude && !self.unavailable(shard, r) {
                 buf[n] = r;
                 n += 1;
             }
@@ -299,10 +327,11 @@ impl<'a> Router<'a> {
             };
             let lane = &self.lanes[shard][r];
             lane.routes.fetch_add(1, Ordering::SeqCst);
-            if self.topo.is_down(shard, r) {
-                // Lost the race against a fence: back off and re-select
-                // (the quiesce in the worker exit path waits for this
-                // counter, so the window is bounded).
+            if self.unavailable(shard, r) {
+                // Lost the race against a fence (or the lane's last
+                // worker exit): back off and re-select (the quiesce in
+                // the worker exit path waits for this counter, so the
+                // window is bounded).
                 lane.routes.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
@@ -316,8 +345,8 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn send_reserved(&self, qid: usize, shard: usize, replica: usize, cost: usize) {
-        self.txs[shard][replica].send_reserved(Job { qid }, cost);
+    fn send_reserved(&self, job: Job, shard: usize, replica: usize, cost: usize) {
+        self.txs[shard][replica].send_reserved(job, cost);
         self.lanes[shard][replica]
             .routes
             .fetch_sub(1, Ordering::SeqCst);
@@ -334,9 +363,15 @@ impl<'a> Router<'a> {
     /// replica per shard (every live replica per shard under broadcast)
     /// or shed on the first shard that cannot admit it, rolling earlier
     /// reservations back. On success the full dispatch set is written
-    /// to the routing table before the first job is sent, so any
+    /// to the ticket's `masks` before the first job is sent, so any
     /// partial the collector receives can resolve its quota.
-    pub fn try_fanout(&self, qid: usize, cost: usize) -> Result<(), Overload> {
+    pub fn try_fanout(
+        &self,
+        qid: u64,
+        point: &Arc<[f32]>,
+        masks: &[AtomicU64],
+        cost: usize,
+    ) -> Result<(), Overload> {
         let num_shards = self.topo.num_shards();
         let mut picked: Vec<(usize, usize)> = Vec::with_capacity(num_shards);
         let rollback = |picked: &[(usize, usize)]| {
@@ -348,7 +383,7 @@ impl<'a> Router<'a> {
             if self.policy == RoutePolicy::Broadcast {
                 let before = picked.len();
                 for r in 0..self.topo.replicas_per_shard() {
-                    if self.topo.is_down(s, r) {
+                    if self.unavailable(s, r) {
                         continue;
                     }
                     let lane = &self.lanes[s][r];
@@ -357,7 +392,7 @@ impl<'a> Router<'a> {
                     // `reserve_on_shard`): a replica fenced between the
                     // first check and here must not be sent to — its
                     // workers may already be gone.
-                    if self.topo.is_down(s, r) {
+                    if self.unavailable(s, r) {
                         lane.routes.fetch_sub(1, Ordering::SeqCst);
                         continue;
                     }
@@ -385,49 +420,70 @@ impl<'a> Router<'a> {
             }
         }
         // Publish the dispatch set, then send. (Fan-out is attempted at
-        // most once per query per admission decision and rolled back
+        // most once per ticket per admission decision and rolled back
         // wholesale on failure, so the cells are 0 here.)
         for &(s, r) in &picked {
-            self.cell(qid, s).fetch_or(1u64 << r, Ordering::AcqRel);
+            masks[s].fetch_or(1u64 << r, Ordering::AcqRel);
         }
         for (s, r) in picked {
-            self.send_reserved(qid, s, r, cost);
+            self.send_reserved(
+                Job {
+                    qid,
+                    point: Arc::clone(point),
+                },
+                s,
+                r,
+                cost,
+            );
         }
         Ok(())
     }
 
-    /// Failover: re-dispatch `qid`'s partial for `shard` away from the
-    /// fenced `dead` replica, **blocking** on admission (a failover op
-    /// was admitted once already — turning it into a shed would make
+    /// Failover: re-dispatch the query's partial for `shard` away from
+    /// the fenced `dead` replica, **blocking** on admission (a failover
+    /// op was admitted once already — turning it into a shed would make
     /// every fence a shed storm). Returns the sibling that took it, or
     /// `None` when the shard has no live replica left (the caller
-    /// books an empty partial so the run still terminates).
+    /// books an empty partial so the query still completes).
     ///
     /// The wait re-selects on every probe, so a sibling that is itself
     /// fenced mid-wait is abandoned instead of spun on forever (its
     /// frozen queue would never drain). Probes use the non-shed-
     /// counting reserve: a full sibling is backpressure here, not an
     /// outcome.
-    pub fn redispatch(&self, qid: usize, shard: usize, dead: usize) -> Option<usize> {
+    pub fn redispatch(
+        &self,
+        qid: u64,
+        point: &Arc<[f32]>,
+        masks: &[AtomicU64],
+        shard: usize,
+        dead: usize,
+    ) -> Option<usize> {
         loop {
             let r = self.select(shard, Some(dead))?;
             let lane = &self.lanes[shard][r];
             lane.routes.fetch_add(1, Ordering::SeqCst);
-            if self.topo.is_down(shard, r) {
+            if self.unavailable(shard, r) {
                 lane.routes.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
             match self.txs[shard][r].reserve_uncounted(0) {
                 Ok(()) => {
                     // Swap the dead replica's bit for the sibling's
-                    // (single-writer here: the dispatcher finished with
-                    // this cell before the quiesce let the scan run).
-                    let old = self.cell(qid, shard).load(Ordering::Acquire);
-                    self.cell(qid, shard)
-                        .store((old & !(1u64 << dead)) | (1u64 << r), Ordering::Release);
-                    self.txs[shard][r].send_reserved(Job { qid }, 0);
+                    // (single-writer here: dispatch finished with this
+                    // ticket's masks before the quiesce let the scan
+                    // run, and the scan runs on the collector thread).
+                    let old = masks[shard].load(Ordering::Acquire);
+                    masks[shard].store((old & !(1u64 << dead)) | (1u64 << r), Ordering::Release);
+                    self.txs[shard][r].send_reserved(
+                        Job {
+                            qid,
+                            point: Arc::clone(point),
+                        },
+                        0,
+                    );
                     lane.routes.fetch_sub(1, Ordering::SeqCst);
-                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                     return Some(r);
                 }
                 Err(_) => {
@@ -436,11 +492,6 @@ impl<'a> Router<'a> {
                 }
             }
         }
-    }
-
-    /// Book a partial abandoned for lack of live replicas.
-    pub fn count_abandoned(&self) {
-        self.abandoned.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -477,5 +528,20 @@ mod tests {
             (0..16u64).map(|i| splitmix64(i) % 2).collect();
         assert_eq!(parities.len(), 2);
         assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn ticket_masks_quota_arithmetic() {
+        let masks: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        assert_eq!(quota(&masks, 0), 0);
+        masks[0].store(0b101, Ordering::Release);
+        masks[1].store(0b010, Ordering::Release);
+        assert_eq!(quota(&masks, 0), 2);
+        assert_eq!(quota(&masks, 1), 1);
+        assert!(is_routed_to(&masks, 0, 0));
+        assert!(!is_routed_to(&masks, 0, 1));
+        clear_routed_bit(&masks, 0, 2);
+        assert_eq!(quota(&masks, 0), 1);
+        assert!(!is_routed_to(&masks, 0, 2));
     }
 }

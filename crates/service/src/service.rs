@@ -1,62 +1,53 @@
-//! The sharded query service: topology-aware dispatch, worker-pool
-//! orchestration, request admission (reads *and* online writes) and
-//! top-k merging.
+//! The sharded query service: configuration, reports, and the
+//! run-to-completion wrappers over the session API.
+//!
+//! Since the session redesign the serving machinery lives in
+//! [`crate::session`]: [`ShardedService::start`] brings up topology,
+//! worker pools, writers and collector once and returns a long-lived
+//! [`Session`] whose cloneable [`Client`](crate::session::Client)
+//! handles submit queries and writes non-blocking, resolving through
+//! per-request tickets. This module keeps:
+//!
+//! * [`ServiceConfig`] / [`ServiceReport`] / [`BatchQueryReport`] — the
+//!   configuration and reporting types (reports now also serve as
+//!   [`Session::metrics`] snapshots; see
+//!   [`ServiceReport::interval_since`]);
+//! * [`dedup_batch`] — the batch dedup map;
+//! * the **legacy wrappers** [`ShardedService::serve`],
+//!   [`ShardedService::serve_mixed`] and
+//!   [`ShardedService::query_batch`]: each opens a session, pumps the
+//!   pre-generated workload through a client under the requested
+//!   [`Load`] discipline, closes the session and assembles the familiar
+//!   report. They are *thin clients of the new API* — the oracle
+//!   harnesses assert bit-exact equivalence between a wrapper call and
+//!   a hand-driven session on the same seeded workload.
 //!
 //! Queries fan out to every **shard**, and within each shard the
 //! [`Router`](crate::router) picks one **replica** (of
 //! [`ServiceConfig::replicas_per_shard`]) to serve the shard's partial
-//! — power-of-two-choices over live admission-queue depth by default,
-//! round-robin and broadcast as baselines ([`RoutePolicy`]). Replicas
-//! share the shard's index and rows but own private worker pools,
-//! block caches and admission queues ([`crate::topology`]); a fenced
-//! or panicked replica is routed around and its outstanding queries
-//! re-dispatched to a sibling (failover — see [`crate::router`] for
-//! the protocol).
-//!
-//! Inserts and deletes route to the owning shard's single writer
-//! thread, which applies them through the storage crate's `Updater`
-//! and invalidates exactly the rewritten blocks in **every** replica's
-//! cache (see [`crate::update`]). Both kinds flow through one
-//! admission discipline ([`Load`]) and one op stream, so a mixed
-//! workload's read latency degradation under writes is measured end to
-//! end.
-//!
-//! Every per-replica queue is bounded by the service's
-//! [`AdmissionControl`] — reads and writes draw from **separate**
-//! budgets, so a write burst can never shed reads. A *query* that
-//! would exceed its chosen replica's queue budget is **shed** at
-//! dispatch with a typed [`Overload`] error (carrying a `retry_after`
-//! backoff hint; [`Load::ClosedBackoff`] models clients that honor
-//! it), while a *write* that hits a full queue **backpressures** the
-//! dispatcher (stalls until there is room — the op stream's positional
-//! id assignment cannot survive a dropped write; see
-//! [`crate::admission`]). Either way, offered load beyond capacity
-//! degrades into explicit rejections or bounded stalls rather than
-//! unbounded queues and meaningless percentiles. Batches of queries go
-//! through [`ShardedService::query_batch`], which deduplicates
-//! byte-identical hot queries before they reach the engine and shares
-//! one fan-out/merge pass per request.
+//! — power-of-two-choices over live admission-queue depth by default
+//! ([`RoutePolicy`]). Inserts and deletes route to the owning shard's
+//! single writer thread (see [`crate::update`] and the id-minting
+//! contract in [`crate::session`]). Every per-replica queue is bounded
+//! by the service's [`AdmissionControl`] — reads and writes draw from
+//! separate budgets, and offered load beyond capacity degrades into
+//! explicit rejections or bounded stalls rather than unbounded queues
+//! and meaningless percentiles.
 
-use crate::admission::{gated, AdmissionControl, GatedReceiver, GatedSender, Overload};
+use crate::admission::AdmissionControl;
 use crate::loadgen::{Load, Op};
 use crate::metrics::{imbalance, LatencySummary, OpStatus};
-use crate::router::{lane_states, LaneState, RoutePolicy, Router};
-use crate::shard::{Shard, ShardSet};
-use crate::shared_sim::SharedSimArray;
+use crate::router::{RoutePolicy, MAX_REPLICAS};
+use crate::session::{insert_base, QueryTicket, Session, WriteOp, WriteTicket};
+use crate::shard::ShardSet;
 use crate::topology::Topology;
-use crate::update::{run_writer, WriteJob, WriteKind};
-use crate::worker::{run_worker, sleep_until, Job, WorkerCtx, WorkerMsg};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::worker::sleep_until;
+use crossbeam::channel::unbounded;
 use e2lsh_core::dataset::Dataset;
-use e2lsh_storage::device::cached::CachedDevice;
-use e2lsh_storage::device::file::FileDevice;
-use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
-use e2lsh_storage::device::{Device, DeviceStats};
-use e2lsh_storage::layout::BLOCK_SIZE;
-use e2lsh_storage::query::EngineConfig;
+use e2lsh_storage::device::sim::DeviceProfile;
+use e2lsh_storage::device::DeviceStats;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// What device each worker drives.
 #[derive(Clone, Copy, Debug)]
@@ -90,7 +81,7 @@ pub enum DeviceSpec {
 }
 
 impl DeviceSpec {
-    fn is_sim(&self) -> bool {
+    pub(crate) fn is_sim(&self) -> bool {
         matches!(
             self,
             DeviceSpec::SimPerWorker { .. } | DeviceSpec::SimShared { .. }
@@ -117,10 +108,30 @@ pub struct ServiceConfig {
     /// Device each worker drives.
     pub device: DeviceSpec,
     /// Per-replica admission budgets, split by op class: queries beyond
-    /// the read budget are shed with [`Overload`], writes beyond the
-    /// write budget backpressure the dispatcher. Default
+    /// the read budget are shed with
+    /// [`Overload`](crate::admission::Overload); writes beyond the
+    /// write budget are shed by [`Client::write`] or backpressure
+    /// [`Client::write_blocking`] (and the legacy wrappers). Default
     /// [`AdmissionControl::UNBOUNDED`] (nothing shed).
+    ///
+    /// [`Client::write`]: crate::session::Client::write
+    /// [`Client::write_blocking`]: crate::session::Client::write_blocking
     pub admission: AdmissionControl,
+    /// Replica-aware cache warming budget in blocks: at session start
+    /// (and after [`Topology::unfence_and_warm`]), a replica whose
+    /// block cache is cold is pre-filled with up to this many of its
+    /// warmest sibling's most-recently-used blocks, so it does not pay
+    /// the full cold-start miss cost. 0 (the default) disables warming.
+    /// Warmed blocks count in
+    /// [`DeviceStats::cache_warmed`](e2lsh_storage::device::DeviceStats::cache_warmed).
+    pub cache_warm_blocks: usize,
+    /// Per-client fairness cap: one [`Client`](crate::session::Client)
+    /// (with its clones) may have at most this many queries
+    /// outstanding; excess submissions are shed client-side with
+    /// [`CLIENT_THROTTLE_SHARD`](crate::session::CLIENT_THROTTLE_SHARD)
+    /// so a greedy client cannot monopolize the shared read budgets.
+    /// `usize::MAX` (the default) disables the cap.
+    pub per_client_inflight: usize,
 }
 
 impl Default for ServiceConfig {
@@ -134,24 +145,31 @@ impl Default for ServiceConfig {
             s_override: None,
             device: DeviceSpec::File { io_workers: 4 },
             admission: AdmissionControl::UNBOUNDED,
+            cache_warm_blocks: 0,
+            per_client_inflight: usize::MAX,
         }
     }
 }
 
 impl ServiceConfig {
-    fn engine(&self) -> EngineConfig {
-        let mut e = EngineConfig::wall_clock(self.k);
+    pub(crate) fn engine(&self) -> e2lsh_storage::query::EngineConfig {
+        let mut e = e2lsh_storage::query::EngineConfig::wall_clock(self.k);
         e.contexts = self.contexts_per_worker.max(1);
         e.s_override = self.s_override;
         e
     }
 }
 
-/// Aggregate results of one service run.
+/// Aggregate results of one service run — and, since the session
+/// redesign, the shape of a [`Session::metrics`] snapshot (monotonic
+/// counters; per-ticket `results` are empty placeholders there).
+///
+/// [`Session::metrics`]: crate::session::Session::metrics
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
     /// Merged global top-k per query, distance ascending (empty for
-    /// shed queries).
+    /// shed queries; empty placeholders in session snapshots — results
+    /// resolve on tickets).
     pub results: Vec<Vec<(u32, f32)>>,
     /// Per-query status: [`OpStatus::Shed`] queries were rejected at
     /// admission and have no results or latency samples.
@@ -177,20 +195,24 @@ pub struct ServiceReport {
     /// parallel to [`ServiceReport::write_latencies`].
     pub write_service_latencies: Vec<f64>,
     /// Writes whose updater returned an error (the shard stays
-    /// queryable; rewritten blocks were still invalidated).
+    /// queryable; rewritten blocks were still invalidated) or whose
+    /// delete target was not live.
     pub writes_failed: usize,
-    /// Queries rejected at admission with [`Overload`] (after
-    /// exhausting their retries, under [`Load::ClosedBackoff`]).
+    /// Queries rejected at admission with
+    /// [`Overload`](crate::admission::Overload) (after exhausting their
+    /// retries, under [`Load::ClosedBackoff`]).
     pub shed_queries: usize,
-    /// Writes rejected at admission. Always 0 under the current
-    /// discipline — writes use backpressure (the dispatcher stalls on
-    /// a full write queue) because the op stream's positional id
-    /// assignment cannot survive a dropped write; the field exists so
-    /// the accounting stays total if per-class shedding is added.
+    /// Writes rejected at admission. Always 0 through the legacy
+    /// wrappers (they submit writes under backpressure); sessions may
+    /// shed writes through [`Client::write`] — the relaxed contract
+    /// session-minted insert ids enable (see [`crate::session`]).
+    ///
+    /// [`Client::write`]: crate::session::Client::write
     pub shed_writes: usize,
     /// Re-dispatch attempts made by backoff-honoring closed-loop
     /// clients ([`Load::ClosedBackoff`]); 0 under every other
-    /// discipline.
+    /// discipline and in session snapshots (clients own their retry
+    /// policy).
     pub retries: usize,
     /// Queries re-dispatched from a fenced replica to a live sibling
     /// (counted per query × shard partial).
@@ -199,34 +221,34 @@ pub struct ServiceReport {
     /// sibling left: the affected queries completed with that shard's
     /// contribution empty (degraded answers, not hangs).
     pub lost_partials: usize,
-    /// High-water per-replica queue depth over the run (max across all
-    /// replicas' read queues and the shards' write queues); never
-    /// exceeds the configured read/write
+    /// High-water per-replica queue depth (max across all replicas'
+    /// read queues and the shards' write queues); never exceeds the
+    /// configured read/write
     /// [`AdmissionBudget`](crate::admission::AdmissionBudget) depths
-    /// except for the one-op overrun of a write that could never fit
-    /// the budget at all (admitted alone into an empty queue rather
-    /// than hanging the dispatcher — see
-    /// [`GatedSender::send_blocking`]).
+    /// except for the one-op overrun of a blocking write that could
+    /// never fit the budget at all (admitted alone into an empty queue
+    /// rather than hanging the submitter — see
+    /// [`GatedSender::send_blocking`](crate::admission::GatedSender::send_blocking)).
     pub peak_queue_depth: usize,
-    /// Seconds from service epoch to the last completion.
+    /// Seconds from the session epoch to the last terminal event.
     pub duration: f64,
     /// Device statistics summed over workers (shared arrays counted
-    /// once per shard; cache counters — including invalidations and
-    /// discarded stale fills — are per-run deltas over every replica's
-    /// cache).
+    /// once per shard; cache counters — including invalidations,
+    /// discarded stale fills and warmed blocks — are per-session deltas
+    /// over every replica's cache).
     pub device: DeviceStats,
     /// Total I/Os issued across shards (under
     /// [`RoutePolicy::Broadcast`] this includes the R× amplification).
     pub total_io: u64,
-    /// Worker threads that served the run (shards × replicas × workers
-    /// per replica).
+    /// Worker threads serving (shards × replicas × workers per
+    /// replica).
     pub workers: usize,
     /// Shards queried.
     pub shards: usize,
     /// Replicas per shard.
     pub replicas: usize,
-    /// Queries served per `[shard][replica]` (from worker exit
-    /// reports): the observable the router balances. See
+    /// Queries served per `[shard][replica]` (live worker counters):
+    /// the observable the router balances. See
     /// [`ServiceReport::replica_imbalance`].
     pub replica_load: Vec<Vec<u64>>,
 }
@@ -341,10 +363,83 @@ impl ServiceReport {
             .map(|loads| imbalance(loads))
             .fold(0.0, f64::max)
     }
+
+    /// The delta between this snapshot and an earlier one of the
+    /// **same session** ([`Session::metrics`] snapshots are monotonic):
+    /// counters subtract, latency samples are the tail beyond `prev`'s,
+    /// `duration` becomes the interval's wall time (so `qps()` etc. are
+    /// interval rates). High-water marks (`peak_queue_depth`) and
+    /// structural fields (`workers`/`shards`/`replicas`) carry this
+    /// snapshot's values.
+    ///
+    /// Only meaningful on **session snapshots** ([`Session::metrics`] /
+    /// [`Session::shutdown`] — completed-first latency layout): the
+    /// legacy wrappers' reports order per-op vectors by query index
+    /// with shed zeros interleaved, so slicing tails across two wrapper
+    /// reports yields garbage samples (the monotonicity assertion
+    /// cannot catch the layout mismatch).
+    ///
+    /// [`Session::shutdown`]: crate::session::Session::shutdown
+    ///
+    /// [`Session::metrics`]: crate::session::Session::metrics
+    pub fn interval_since(&self, prev: &ServiceReport) -> ServiceReport {
+        let completed = |r: &ServiceReport| r.results.len() - r.shed_queries;
+        let (c0, c1) = (completed(prev), completed(self));
+        let (s0, s1) = (prev.shed_queries, self.shed_queries);
+        assert!(c1 >= c0 && s1 >= s0, "snapshots from one session, in order");
+        let d_completed = c1 - c0;
+        let d_shed = s1 - s0;
+        let mut statuses = vec![OpStatus::Ok; d_completed];
+        statuses.extend(std::iter::repeat_n(OpStatus::Shed, d_shed));
+        let tail = |v: &[f64], from: usize, upto: usize, pad: usize| -> Vec<f64> {
+            let mut out: Vec<f64> = v[from..upto].to_vec();
+            out.extend(std::iter::repeat_n(0.0, pad));
+            out
+        };
+        ServiceReport {
+            results: vec![Vec::new(); d_completed + d_shed],
+            statuses,
+            latencies: tail(&self.latencies, c0, c1, d_shed),
+            service_latencies: tail(&self.service_latencies, c0, c1, d_shed),
+            write_latencies: self.write_latencies[prev.write_latencies.len()..].to_vec(),
+            write_service_latencies: self.write_service_latencies
+                [prev.write_service_latencies.len()..]
+                .to_vec(),
+            writes_failed: self.writes_failed - prev.writes_failed,
+            shed_queries: d_shed,
+            shed_writes: self.shed_writes - prev.shed_writes,
+            retries: self.retries - prev.retries,
+            failovers: self.failovers - prev.failovers,
+            lost_partials: self.lost_partials - prev.lost_partials,
+            peak_queue_depth: self.peak_queue_depth,
+            duration: (self.duration - prev.duration).max(0.0),
+            device: {
+                let mut d = self.device;
+                crate::session::device_sub(&mut d, &prev.device);
+                d
+            },
+            total_io: self.total_io - prev.total_io,
+            workers: self.workers,
+            shards: self.shards,
+            replicas: self.replicas,
+            replica_load: self
+                .replica_load
+                .iter()
+                .zip(&prev.replica_load)
+                .map(|(now, before)| {
+                    now.iter()
+                        .zip(before)
+                        .map(|(&n, &b)| n - b.min(n))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Results of one batch request served by
-/// [`ShardedService::query_batch`].
+/// [`ShardedService::query_batch`] /
+/// [`Session::query_batch`](crate::session::Session::query_batch).
 #[derive(Clone, Debug)]
 pub struct BatchQueryReport {
     /// Merged global top-k per **input** query, distance ascending.
@@ -363,7 +458,8 @@ pub struct BatchQueryReport {
     pub unique: usize,
     /// Duplicates collapsed by dedup (`results.len() - unique`).
     pub collapsed: usize,
-    /// Input queries shed with [`Overload`] (duplicates counted).
+    /// Input queries shed with [`Overload`](crate::admission::Overload)
+    /// (duplicates counted).
     pub shed: usize,
     /// Unique queries re-dispatched off a fenced replica mid-batch.
     pub failovers: usize,
@@ -436,31 +532,12 @@ pub fn dedup_batch(batch: &Dataset) -> BatchDedup {
     BatchDedup { uniques, rep }
 }
 
-/// Per-query accumulation while shard partials trickle in. The number
-/// of partials a shard owes is not stored here: it is the query's live
-/// dispatch quota ([`Router::quota`] — the replicas actually sent to,
-/// shrunk by broadcast fences), so the accounting follows failover
-/// re-routing exactly.
-struct Accum {
-    /// Partials received per shard; a partial for a shard that already
-    /// met its quota is a failover duplicate and is dropped.
-    got: Vec<u8>,
-    /// Merged and booked (no further partial is counted).
-    finished: bool,
-    neighbors: Vec<(u32, f32)>,
-    /// Earliest shard service start (min over partials).
-    start: f64,
-    /// Latest shard finish (max over partials).
-    finish: f64,
-}
-
-/// A query waiting out its [`Overload::retry_after`] backoff under
-/// [`Load::ClosedBackoff`]. Min-heap by due time.
+/// A query waiting out its
+/// [`Overload::retry_after`](crate::admission::Overload::retry_after)
+/// backoff under [`Load::ClosedBackoff`]. Min-heap by due time.
 struct Retry {
     at: f64,
     op_idx: usize,
-    /// Re-attempts left after this one.
-    left: usize,
 }
 
 impl PartialEq for Retry {
@@ -486,7 +563,7 @@ impl Ord for Retry {
 
 /// The sharded, replicated, multi-threaded E2LSHoS query service.
 pub struct ShardedService {
-    topo: Topology,
+    topo: Arc<Topology>,
     config: ServiceConfig,
 }
 
@@ -496,9 +573,10 @@ impl ShardedService {
     pub fn new(shards: ShardSet, config: ServiceConfig) -> Self {
         assert!(config.workers_per_replica >= 1);
         assert!(config.replicas_per_shard >= 1);
+        assert!(config.replicas_per_shard <= MAX_REPLICAS);
         assert!(config.k >= 1);
         Self {
-            topo: Topology::new(shards, config.replicas_per_shard),
+            topo: Arc::new(Topology::new(shards, config.replicas_per_shard)),
             config,
         }
     }
@@ -510,7 +588,8 @@ impl ShardedService {
 
     /// The serving topology (replica health lives here:
     /// [`Topology::fence`] kills a replica mid-run, the router fails
-    /// its work over to a sibling).
+    /// its work over to a sibling; [`Topology::unfence_and_warm`]
+    /// brings it back with a pre-filled cache).
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
@@ -520,9 +599,28 @@ impl ShardedService {
         &self.config
     }
 
+    /// Bring the service up as a long-lived [`Session`]: worker pools,
+    /// writers and collector start once; submit work through
+    /// [`Session::client`] handles; read incremental metrics with
+    /// [`Session::metrics`]; drain and join with [`Session::shutdown`].
+    /// See [`crate::session`] for the full lifecycle.
+    ///
+    /// Multiple concurrent sessions over one service share the
+    /// topology (replica caches, fences, the live index) but own
+    /// private queues and worker pools. At most one session should
+    /// write at a time — the per-shard writers take the index's
+    /// read-write handles.
+    pub fn start(&self) -> Session {
+        Session::start(Arc::clone(&self.topo), self.config.clone())
+    }
+
     /// Run `queries` through the service under the given admission
     /// discipline; blocks until every query completes. Read-only
     /// shorthand for [`ShardedService::serve_mixed`].
+    ///
+    /// A thin wrapper over the session API: opens a session, pumps the
+    /// workload through one client, shuts down. Bit-exact equivalent to
+    /// driving a session by hand with the same workload.
     pub fn serve(&self, queries: &Dataset, load: Load) -> ServiceReport {
         let ops: Vec<Op> = (0..queries.len()).map(Op::Query).collect();
         let no_inserts = Dataset::with_capacity(queries.dim().max(1), 0);
@@ -535,22 +633,20 @@ impl ShardedService {
     /// `ops` references `queries` (each `Op::Query(i)` must appear
     /// exactly once for `i < queries.len()`) and `inserts`
     /// (`Op::Insert(j)` consumes pool point `j`, in ascending order —
-    /// the `j`-th insert receives the next unassigned global id, i.e.
-    /// build-time total + inserts applied by earlier runs + `j`, and is
-    /// routed round-robin over the shards). `Op::Delete(g)` must target
-    /// an id that is live at its position in the stream.
+    /// the session mints the `j`-th insert's global id as build-time
+    /// total + inserts applied by earlier runs + `j`, routed
+    /// round-robin over the shards). `Op::Delete(g)` must target an id
+    /// that is live at its position in the stream.
     /// [`crate::loadgen::mixed_ops`] generates conforming streams (use
     /// [`crate::loadgen::mixed_ops_resuming`] for follow-up runs on a
     /// mutated service).
     ///
-    /// Queries fan out to one replica per shard (policy-routed); writes
-    /// go to the owning shard's writer thread (one per shard — the
-    /// shard write lock), which applies them through the storage
-    /// updater, invalidates exactly the rewritten cache blocks in every
-    /// replica's cache and publishes new occupancy-filter bits into the
-    /// shared live index. Under [`Load::Closed`] the window counts
-    /// in-flight ops of both kinds; under [`Load::Open`] all ops share
-    /// one Poisson arrival process.
+    /// A thin wrapper over the session API: queries submit through
+    /// [`Client::query_at`](crate::session::Client::query_at) under the
+    /// load discipline's schedule, writes through the **blocking**
+    /// submission path (so nothing is ever shed — `shed_writes` stays
+    /// 0, as under the PR-3 contract), and the per-op tickets assemble
+    /// the report. Bit-exact equivalent to a hand-driven session.
     pub fn serve_mixed(
         &self,
         queries: &Dataset,
@@ -561,8 +657,6 @@ impl ShardedService {
         let shards = self.topo.shards();
         assert_eq!(queries.dim(), shards.dim(), "query dimensionality");
         let num_shards = shards.num_shards();
-        let replicas = self.config.replicas_per_shard;
-        let workers_total = num_shards * replicas * self.config.workers_per_replica;
         let num_queries = ops.iter().filter(|op| matches!(op, Op::Query(_))).count();
         assert_eq!(
             num_queries,
@@ -573,23 +667,27 @@ impl ShardedService {
         if has_writes {
             assert_eq!(inserts.dim(), shards.dim(), "insert dimensionality");
         }
-        // Validate write ops up front: a bad op would panic inside a
-        // shard writer thread, and a dead writer starves the collector
-        // of WriteDone messages — a silent hang instead of a loud
-        // failure here. Checks: insert indices are dense and ascending
-        // (the dispatcher assigns global ids as `insert_base + j`) and
-        // fit the pool; deletes target ids assigned before them in the
-        // stream (per-shard FIFO then guarantees delete-after-insert);
-        // and each shard's growth fits the id space its index codec was
-        // built with.
+        // Validate write ops up front: a bad op would fail inside a
+        // shard writer thread, turning a generator bug into a silent
+        // `writes_failed` instead of a loud failure here. Checks:
+        // insert indices are dense and ascending (the session mints
+        // global ids as `insert_base + j`) and fit the pool; deletes
+        // target ids assigned before them in the stream (per-shard FIFO
+        // then guarantees delete-after-insert); and each shard's growth
+        // fits the id space its index codec was built with.
         {
-            let insert_base = self.insert_base();
+            let insert_base = insert_base(&self.topo);
             let mut assigned = insert_base;
             let mut expected_insert = 0usize;
             let mut new_rows = vec![0usize; num_shards];
+            let mut seen_query = vec![false; queries.len()];
             for op in ops {
                 match *op {
-                    Op::Query(_) => {}
+                    Op::Query(qi) => {
+                        assert!(qi < queries.len(), "query index out of range");
+                        assert!(!seen_query[qi], "query {qi} appears twice");
+                        seen_query[qi] = true;
+                    }
                     Op::Insert(j) => {
                         assert_eq!(
                             j, expected_insert,
@@ -622,7 +720,10 @@ impl ShardedService {
                 );
             }
         }
+
         if ops.is_empty() {
+            // Nothing to do: skip the whole session spin-up/join.
+            let replicas = self.config.replicas_per_shard;
             return ServiceReport {
                 results: Vec::new(),
                 statuses: Vec::new(),
@@ -640,1061 +741,240 @@ impl ShardedService {
                 duration: 0.0,
                 device: DeviceStats::default(),
                 total_io: 0,
-                workers: workers_total,
+                workers: num_shards * replicas * self.config.workers_per_replica,
                 shards: num_shards,
                 replicas,
                 replica_load: vec![vec![0; replicas]; num_shards],
             };
         }
 
-        let engine = self.config.engine();
-        let epoch = Instant::now();
-        let cache_snapshot = self.cache_snapshots();
-        let arrays = self.build_arrays();
+        let session = self.start();
+        let pump = pump_workload(&session, queries, inserts, ops, load);
+        let mut report = session.shutdown();
 
-        // Per-lane (shard × replica) bounded query queues, the per-run
-        // router over them, and the worker/writer→collector channel.
-        let lanes = lane_states(num_shards, replicas);
-        let mut lane_txs: Vec<Vec<GatedSender<Job>>> = Vec::with_capacity(num_shards);
-        let mut lane_rxs: Vec<Vec<GatedReceiver<Job>>> = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let (txs, rxs): (Vec<_>, Vec<_>) = (0..replicas)
-                .map(|_| gated::<Job>(s, self.config.admission.read))
-                .unzip();
-            lane_txs.push(txs);
-            lane_rxs.push(rxs);
-        }
-        let router = Router::new(
-            &self.topo,
-            lane_txs,
-            &lanes,
-            self.config.routing,
-            queries.len(),
-            0xE25_0E25,
-        );
-        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
-        // One writer (and bounded write queue) per shard, only when the
-        // stream has writes: the writer owns the shard's read-write
-        // updater. Writes draw from their own admission budget.
-        let write_channels: Vec<(GatedSender<WriteJob>, GatedReceiver<WriteJob>)> = if has_writes {
-            (0..num_shards)
-                .map(|s| gated(s, self.config.admission.write))
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        let mut report: Option<ServiceReport> = None;
-        std::thread::scope(|scope| {
-            self.spawn_workers(
-                scope, &engine, epoch, queries, &lanes, &lane_rxs, &arrays, &msg_tx,
-            );
-            if has_writes {
-                for (s, shard) in shards.shards().iter().enumerate() {
-                    let jobs = write_channels[s].1.clone();
-                    let tx = msg_tx.clone();
-                    let caches = self.topo.shard_caches(s);
-                    scope.spawn(move || run_writer(shard, &caches, inserts, jobs, tx, epoch));
-                }
+        // Per-op outcomes come from the tickets; session-level counters
+        // (device, duration, failovers, write latencies in completion
+        // order, peak depths) from the final snapshot.
+        let nq = queries.len();
+        let mut results = Vec::with_capacity(nq);
+        let mut statuses = Vec::with_capacity(nq);
+        let mut latencies = Vec::with_capacity(nq);
+        let mut service_latencies = Vec::with_capacity(nq);
+        let mut shed_queries = 0usize;
+        for t in pump.query_tickets {
+            let r = t.expect("every query submitted").wait();
+            if r.status == OpStatus::Shed {
+                shed_queries += 1;
             }
-            let shed_tx = msg_tx.clone();
-            drop(msg_tx);
-            drop(lane_rxs);
-            let write_txs: Vec<GatedSender<WriteJob>> =
-                write_channels.iter().map(|(tx, _)| tx.clone()).collect();
-            drop(write_channels);
-
-            report = Some(self.drive(
-                queries,
-                ops,
-                load,
-                router,
-                write_txs,
-                msg_rx,
-                shed_tx,
-                epoch,
-                &cache_snapshot,
-            ));
-        });
-        report.expect("collector ran")
-    }
-
-    /// Spawn every replica's worker pool into `scope`.
-    #[allow(clippy::too_many_arguments)]
-    fn spawn_workers<'scope, 'env>(
-        &'env self,
-        scope: &'scope std::thread::Scope<'scope, 'env>,
-        engine: &'env EngineConfig,
-        epoch: Instant,
-        queries: &'env Dataset,
-        lanes: &'env [Vec<LaneState>],
-        lane_rxs: &[Vec<GatedReceiver<Job>>],
-        arrays: &'env [Option<SharedSimArray>],
-        msg_tx: &Sender<WorkerMsg>,
-    ) {
-        let sim_time = self.config.device.is_sim();
-        let workers_per_replica = self.config.workers_per_replica;
-        for (s, shard) in self.topo.shards().shards().iter().enumerate() {
-            for r in 0..self.config.replicas_per_shard {
-                let replica = self.topo.replica(s, r);
-                for w in 0..workers_per_replica {
-                    let handle = r * workers_per_replica + w;
-                    let device = self.make_device(shard, &arrays[s], handle, replica.cache());
-                    let jobs = lane_rxs[s][r].clone();
-                    let tx = msg_tx.clone();
-                    let lane = &lanes[s][r];
-                    scope.spawn(move || {
-                        run_worker(
-                            WorkerCtx {
-                                shard,
-                                replica: r,
-                                worker_in_replica: w,
-                                workers_in_replica: workers_per_replica,
-                                replica_state: replica,
-                                lane,
-                                queries,
-                                engine,
-                                sim_time,
-                                epoch,
-                            },
-                            device,
-                            jobs,
-                            tx,
-                        );
-                    });
-                }
-            }
+            results.push(r.neighbors);
+            statuses.push(r.status);
+            latencies.push(r.latency);
+            service_latencies.push(r.service_latency);
         }
-    }
-
-    /// Snapshot cache counters so reports show per-run deltas even when
-    /// a warm cache is reused across runs. One snapshot per replica, in
-    /// `[shard][replica]` order flattened.
-    fn cache_snapshots(&self) -> Vec<CacheSnapshot> {
-        (0..self.topo.num_shards())
-            .flat_map(|s| {
-                self.topo
-                    .shard_replicas(s)
-                    .iter()
-                    .map(|rep| match rep.cache() {
-                        Some(c) => CacheSnapshot {
-                            hits: c.hits(),
-                            misses: c.misses(),
-                            evictions: c.evictions(),
-                            invalidations: c.invalidations(),
-                            stale_fills: c.stale_fills(),
-                        },
-                        None => CacheSnapshot::default(),
-                    })
-            })
-            .collect()
-    }
-
-    /// One shared simulated array per shard when the device spec asks
-    /// for it — shared across **all** of the shard's replicas (the
-    /// shard's data lives on one array; replicas add compute and
-    /// cache, not spindles).
-    fn build_arrays(&self) -> Vec<Option<SharedSimArray>> {
-        let handles = self.config.replicas_per_shard * self.config.workers_per_replica;
-        self.topo
-            .shards()
-            .shards()
-            .iter()
-            .map(|shard| match self.config.device {
-                DeviceSpec::SimShared {
-                    profile,
-                    num_devices,
-                } => {
-                    let sim = SimStorage::new(
-                        profile,
-                        num_devices,
-                        Backing::open(&shard.path).expect("open shard index"),
-                    );
-                    Some(SharedSimArray::new(sim, handles))
-                }
-                _ => None,
-            })
-            .collect()
-    }
-
-    /// Fold the per-run cache-counter deltas of every replica cache
-    /// into `device`.
-    fn add_cache_deltas(&self, device: &mut DeviceStats, cache_snapshot: &[CacheSnapshot]) {
-        let mut i = 0;
-        for s in 0..self.topo.num_shards() {
-            for rep in self.topo.shard_replicas(s) {
-                if let Some(c) = rep.cache() {
-                    let snap = &cache_snapshot[i];
-                    device.cache_hits += c.hits() - snap.hits;
-                    device.cache_misses += c.misses() - snap.misses;
-                    device.cache_evictions += c.evictions() - snap.evictions;
-                    device.cache_invalidations += c.invalidations() - snap.invalidations;
-                    device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
-                }
-                i += 1;
-            }
+        for t in pump.write_tickets {
+            let r = t.wait();
+            debug_assert_eq!(r.status, OpStatus::Ok, "wrapper writes never shed");
         }
+        report.results = results;
+        report.statuses = statuses;
+        report.latencies = latencies;
+        report.service_latencies = service_latencies;
+        report.shed_queries = shed_queries;
+        report.retries = pump.retries;
+        report
     }
 
     /// Serve one **batch request**: a vector of queries admitted,
-    /// executed and merged as a unit.
+    /// executed and merged as a unit, with byte-identical queries
+    /// deduplicated before they reach the engine (see [`dedup_batch`]
+    /// and
+    /// [`Session::query_batch`](crate::session::Session::query_batch)).
     ///
-    /// Byte-identical queries in the batch (same coordinate bit
-    /// patterns — see [`dedup_batch`]) are deduplicated *before they
-    /// reach the engine*: each distinct query is probed once per shard
-    /// and the merged result is fanned back out to every duplicate, so
-    /// a Zipf-hot batch costs the engine its unique queries only. The
-    /// whole batch shares one fan-out/merge pass per shard — one worker
-    /// pool spin-up and one collector, not one per query. Replica
-    /// routing applies per unique query, exactly as in
-    /// [`ShardedService::serve`].
-    ///
-    /// Admission is per *unique* query under the service's read budget
-    /// (all-or-nothing across shards, like [`ShardedService::serve`]):
-    /// a unique query that would overflow its chosen replica's queue is
-    /// shed, and every duplicate of it reports [`OpStatus::Shed`] in
-    /// the returned per-query statuses. Results for duplicates of an
-    /// admitted query are clones of one merged vector — byte-identical
-    /// by construction.
+    /// A thin wrapper: opens a session, serves the batch through it,
+    /// shuts down — so the report's device/queue counters cover exactly
+    /// this request. Admission is per *unique* query under the
+    /// service's read budget (all-or-nothing across shards): a unique
+    /// query that would overflow its chosen replica's queue is shed,
+    /// and every duplicate of it reports [`OpStatus::Shed`].
     pub fn query_batch(&self, batch: &Dataset) -> BatchQueryReport {
-        let shards = self.topo.shards();
-        assert_eq!(batch.dim(), shards.dim(), "query dimensionality");
-        let num_shards = shards.num_shards();
-        let replicas = self.config.replicas_per_shard;
-        let workers_total = num_shards * replicas * self.config.workers_per_replica;
-        let dedup = dedup_batch(batch);
-        let nu = dedup.uniques.len();
-        if batch.is_empty() {
-            return BatchQueryReport {
-                results: Vec::new(),
-                statuses: Vec::new(),
-                latencies: Vec::new(),
-                unique: 0,
-                collapsed: 0,
-                shed: 0,
-                failovers: 0,
-                peak_queue_depth: 0,
-                duration: 0.0,
-                device: DeviceStats::default(),
-                total_io: 0,
-                workers: workers_total,
-                shards: num_shards,
-            };
-        }
-        let mut unique_queries = Dataset::with_capacity(batch.dim().max(1), nu);
-        for &i in &dedup.uniques {
-            unique_queries.push(batch.point(i));
-        }
+        let session = self.start();
+        let report = session.query_batch(batch);
+        drop(session.shutdown());
+        report
+    }
+}
 
-        let engine = self.config.engine();
-        let epoch = Instant::now();
-        let cache_snapshot = self.cache_snapshots();
-        let arrays = self.build_arrays();
-        let lanes = lane_states(num_shards, replicas);
-        let mut lane_txs: Vec<Vec<GatedSender<Job>>> = Vec::with_capacity(num_shards);
-        let mut lane_rxs: Vec<Vec<GatedReceiver<Job>>> = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let (txs, rxs): (Vec<_>, Vec<_>) = (0..replicas)
-                .map(|_| gated::<Job>(s, self.config.admission.read))
-                .unzip();
-            lane_txs.push(txs);
-            lane_rxs.push(rxs);
-        }
-        let router = Router::new(
-            &self.topo,
-            lane_txs,
-            &lanes,
-            self.config.routing,
-            nu,
-            0xBA7C,
-        );
-        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+/// Ticket collections one wrapper pump produced.
+struct PumpOut {
+    /// Per query index (every slot filled by the pump).
+    query_tickets: Vec<Option<QueryTicket>>,
+    /// Stream-order write tickets.
+    write_tickets: Vec<WriteTicket>,
+    /// Re-dispatch attempts under [`Load::ClosedBackoff`].
+    retries: usize,
+}
 
-        // Collector over the *unique* queries; every unique is its own
-        // op with queue entry at the request epoch (ref 0).
-        let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
-        let mut collector = Collector::new(
-            nu,
-            num_shards,
-            (0..nu).collect(),
-            self.config.k,
-            replicas,
-            shared,
-        );
-        let ref_time = vec![0.0f64; nu];
-        let mut peak_queue_depth = 0usize;
-        let mut failovers = 0usize;
-        let mut device = DeviceStats::default();
-        let queries = &unique_queries;
-        let point_bytes = shards.dim() * std::mem::size_of::<f32>();
-
-        std::thread::scope(|scope| {
-            self.spawn_workers(
-                scope, &engine, epoch, queries, &lanes, &lane_rxs, &arrays, &msg_tx,
-            );
-            drop(msg_tx);
-            drop(lane_rxs);
-
-            // Dispatch the whole request at once (a batch is one
-            // arrival instant), then collect.
-            let mut admitted = 0usize;
-            for u in 0..nu {
-                match router.try_fanout(u, point_bytes) {
-                    Ok(()) => admitted += 1,
-                    Err(_) => collector.shed(Op::Query(u), epoch.elapsed().as_secs_f64()),
-                }
+/// Pump one pre-generated workload through a session client under the
+/// given load discipline (the legacy wrappers' engine room).
+fn pump_workload(
+    session: &Session,
+    queries: &Dataset,
+    inserts: &Dataset,
+    ops: &[Op],
+    load: Load,
+) -> PumpOut {
+    // The service pumping its own workload is exempt from the
+    // per-client fairness cap (that knob protects external clients
+    // from each other) — a capped pump would shed queries the shard
+    // budgets had room for.
+    let client = session.internal_client();
+    let total = ops.len();
+    let mut out = PumpOut {
+        query_tickets: (0..queries.len()).map(|_| None).collect(),
+        write_tickets: Vec::new(),
+        retries: 0,
+    };
+    if total == 0 {
+        return out;
+    }
+    // Completion notifications multiplex the in-flight window; ticket
+    // id → op index maps them back (retries mint fresh ticket ids).
+    let (ntx, nrx) = unbounded::<u64>();
+    let mut tid2op: HashMap<u64, usize> = HashMap::new();
+    let submit = |op_idx: usize,
+                  ref_time: f64,
+                  out: &mut PumpOut,
+                  tid2op: &mut HashMap<u64, usize>,
+                  first: bool| {
+        match ops[op_idx] {
+            Op::Query(qi) => {
+                let t = client.submit_query(queries.point(qi), Some(ref_time), Some(ntx.clone()));
+                tid2op.insert(t.id(), op_idx);
+                out.query_tickets[qi] = Some(t);
             }
+            Op::Insert(j) => {
+                let t = client.submit_write(
+                    WriteOp::Insert(inserts.point(j)),
+                    Some(ref_time),
+                    true,
+                    Some(ntx.clone()),
+                );
+                tid2op.insert(t.id(), op_idx);
+                debug_assert!(first);
+                out.write_tickets.push(t);
+            }
+            Op::Delete(g) => {
+                let t = client.submit_write(
+                    WriteOp::Delete(g),
+                    Some(ref_time),
+                    true,
+                    Some(ntx.clone()),
+                );
+                tid2op.insert(t.id(), op_idx);
+                debug_assert!(first);
+                out.write_tickets.push(t);
+            }
+        }
+    };
+
+    match load {
+        Load::Closed { .. } | Load::ClosedBackoff { .. } => {
+            let (window, max_retries) = match load {
+                Load::Closed { window } => (window, 0usize),
+                Load::ClosedBackoff {
+                    window,
+                    max_retries,
+                } => (window, max_retries),
+                _ => unreachable!(),
+            };
+            let window = window.max(1).min(total);
+            let mut ref_time = vec![0.0f64; total];
+            let mut attempts_left = vec![max_retries; total];
+            let mut pending: BinaryHeap<Retry> = BinaryHeap::new();
+            let mut next = 0usize;
+            let mut inflight = 0usize;
             let mut done = 0usize;
-            while done < admitted {
-                let msg = msg_rx.recv().expect("workers alive");
-                match msg {
-                    WorkerMsg::ReplicaDown { shard, replica } => {
-                        done += self.failover_scan(
-                            &mut collector,
-                            &router,
-                            shard,
-                            replica,
-                            epoch,
-                            &ref_time,
-                        );
+            while done < total {
+                // Fill the window: due retries first, then fresh ops.
+                loop {
+                    if inflight >= window {
+                        break;
                     }
-                    msg => {
-                        if collector.absorb(msg, &ref_time, &router) {
+                    let now = session.now();
+                    if pending.peek().is_some_and(|r| r.at <= now) {
+                        let r = pending.pop().unwrap();
+                        out.retries += 1;
+                        submit(r.op_idx, ref_time[r.op_idx], &mut out, &mut tid2op, false);
+                        inflight += 1;
+                        continue;
+                    }
+                    if next >= total {
+                        break;
+                    }
+                    ref_time[next] = now;
+                    submit(next, now, &mut out, &mut tid2op, true);
+                    inflight += 1;
+                    next += 1;
+                }
+                if done >= total {
+                    break;
+                }
+                // Wait for a completion — or only until the next retry
+                // is due, if one could be dispatched then.
+                let tid = if inflight < window && !pending.is_empty() {
+                    let due = pending.peek().unwrap().at;
+                    let wait = (due - session.now()).max(0.0);
+                    match nrx.recv_timeout(std::time::Duration::from_secs_f64(wait)) {
+                        Ok(tid) => tid,
+                        Err(_) => continue,
+                    }
+                } else {
+                    nrx.recv().expect("session alive")
+                };
+                inflight -= 1;
+                let op_idx = tid2op[&tid];
+                match ops[op_idx] {
+                    Op::Query(qi) => {
+                        let res = out.query_tickets[qi]
+                            .as_ref()
+                            .and_then(QueryTicket::poll)
+                            .expect("notified ticket is resolved");
+                        if res.status == OpStatus::Shed && attempts_left[op_idx] > 0 {
+                            // Honor the retry_after hint; latency stays
+                            // measured from the first attempt.
+                            attempts_left[op_idx] -= 1;
+                            let after = res
+                                .overload
+                                .map(|o| o.retry_after)
+                                .unwrap_or(crate::admission::Overload::MIN_RETRY_AFTER);
+                            pending.push(Retry {
+                                at: session.now() + after,
+                                op_idx,
+                            });
+                        } else {
                             done += 1;
                         }
                     }
-                }
-            }
-            peak_queue_depth = router.peak_depth();
-            failovers = router.failovers();
-            drop(router);
-            collector.drain(&msg_rx);
-            device = collector.device_stats();
-            self.add_cache_deltas(&mut device, &cache_snapshot);
-        });
-
-        // Fan the unique results back out to every duplicate.
-        let n = batch.len();
-        let mut results = Vec::with_capacity(n);
-        let mut statuses = Vec::with_capacity(n);
-        let mut latencies = Vec::with_capacity(n);
-        for i in 0..n {
-            let u = dedup.rep[i];
-            results.push(collector.results[u].clone());
-            statuses.push(collector.statuses[u]);
-            latencies.push(collector.latencies[u]);
-        }
-        let shed = statuses.iter().filter(|&&s| s == OpStatus::Shed).count();
-        BatchQueryReport {
-            results,
-            statuses,
-            latencies,
-            unique: nu,
-            collapsed: n - nu,
-            shed,
-            failovers,
-            peak_queue_depth,
-            duration: collector.duration,
-            device,
-            total_io: collector.total_io,
-            workers: workers_total,
-            shards: num_shards,
-        }
-    }
-
-    /// A replica died mid-run: resolve every outstanding query that was
-    /// dispatched to it. Single-route policies re-dispatch to a live
-    /// sibling (or, with none left, complete the query with that
-    /// shard's partial empty); broadcast simply drops the dead
-    /// replica's bit from the query's dispatch set — the surviving
-    /// replicas already carry the query, so its quota shrinks and the
-    /// run terminates without waiting for an answer that will never
-    /// come. Returns the ops the scan *completed* so the caller's
-    /// done/in-flight accounting stays exact.
-    fn failover_scan(
-        &self,
-        collector: &mut Collector,
-        router: &Router<'_>,
-        shard: usize,
-        replica: usize,
-        epoch: Instant,
-        ref_time: &[f64],
-    ) -> usize {
-        let broadcast = router.policy() == RoutePolicy::Broadcast;
-        let mut completed = 0usize;
-        for qid in 0..collector.results.len() {
-            if collector.statuses[qid] == OpStatus::Shed {
-                continue;
-            }
-            if !collector.shard_outstanding(qid, shard, router) {
-                continue;
-            }
-            if !router.is_routed_to(qid, shard, replica) {
-                continue;
-            }
-            if broadcast {
-                // The dead replica's partial may or may not have been
-                // delivered; either way the sibling replicas of the
-                // broadcast carry identical answers, so shrinking the
-                // quota by this bit never degrades the result.
-                router.clear_routed_bit(qid, shard, replica);
-                if router.quota(qid, shard) == 0 && collector.accum[qid].got[shard] == 0 {
-                    // Every broadcast replica of the shard died before
-                    // answering: the shard's contribution is lost.
-                    router.count_abandoned();
-                }
-                if collector.try_finish(qid, router, ref_time) {
-                    completed += 1;
-                }
-            } else if router.redispatch(qid, shard, replica).is_none() {
-                router.count_abandoned();
-                let now = epoch.elapsed().as_secs_f64();
-                if collector.force_complete_shard(qid, shard, now, ref_time, router) {
-                    completed += 1;
+                    // Writes go through the blocking path: their ticket
+                    // resolution is always terminal.
+                    _ => done += 1,
                 }
             }
         }
-        completed
-    }
-
-    fn make_device(
-        &self,
-        shard: &Shard,
-        array: &Option<SharedSimArray>,
-        handle: usize,
-        cache: Option<&Arc<e2lsh_storage::device::cached::BlockCache>>,
-    ) -> Box<dyn Device> {
-        fn wrap<D: Device + 'static>(
-            dev: D,
-            cache: Option<&Arc<e2lsh_storage::device::cached::BlockCache>>,
-        ) -> Box<dyn Device> {
-            match cache {
-                Some(cache) => {
-                    Box::new(CachedDevice::new(dev, Arc::clone(cache), BLOCK_SIZE as u32))
-                }
-                None => Box::new(dev),
+        Load::Open { .. } | Load::Burst { .. } => {
+            // Open loop: arrivals never wait for completions. Queries
+            // submit non-blocking (a shed resolves the ticket
+            // immediately); a full write queue backpressures the
+            // arrival thread — the stall is visible in write latency,
+            // which is measured from the scheduled arrival.
+            let arrivals = load.arrival_schedule(total);
+            let epoch = session.epoch();
+            for (op_idx, &at) in arrivals.iter().enumerate() {
+                sleep_until(epoch, at);
+                submit(op_idx, at, &mut out, &mut tid2op, true);
             }
-        }
-        match self.config.device {
-            DeviceSpec::File { io_workers } => wrap(
-                FileDevice::open(&shard.path, io_workers.max(1)).expect("open shard index"),
-                cache,
-            ),
-            DeviceSpec::SimPerWorker {
-                profile,
-                num_devices,
-            } => wrap(
-                SimStorage::new(
-                    profile,
-                    num_devices,
-                    Backing::open(&shard.path).expect("open shard index"),
-                ),
-                cache,
-            ),
-            DeviceSpec::SimShared { .. } => wrap(
-                array.as_ref().expect("shared array built").handle(handle),
-                cache,
-            ),
+            // Resolution is awaited by the caller per ticket.
         }
     }
-
-    /// Next unassigned global id: inserts continue the sequence where
-    /// earlier runs left it (build-time total + rows appended so far).
-    fn insert_base(&self) -> usize {
-        let shards = self.topo.shards();
-        shards.plan().base_total()
-            + shards
-                .shards()
-                .iter()
-                .map(|s| s.num_rows() - s.base_len())
-                .sum::<usize>()
-    }
-
-    /// Route one op under the admission discipline: queries fan out to
-    /// one replica per shard via the router (all-or-nothing — a query
-    /// admitted by only some shards would starve its merge accumulator)
-    /// and are **shed** with [`Overload`] when a queue budget rejects
-    /// them; writes go to the owning shard's writer under
-    /// **backpressure** ([`GatedSender::send_blocking`]): the `j`-th
-    /// insert of the stream gets global id `insert_base + j` (the
-    /// generator emits `Op::Insert(j)` in ascending order; `insert_base`
-    /// is the build-time total plus inserts applied by earlier runs,
-    /// dealt round-robin per the plan's appended-id arithmetic) while
-    /// the shard updater assigns ids *positionally* — dropping a write
-    /// would desynchronize the two for every later write on the shard
-    /// (and orphan deletes that reference the dropped insert), so a
-    /// full write queue stalls the dispatcher instead of shedding.
-    /// Queue memory stays bounded under either discipline.
-    fn try_send_op(
-        &self,
-        op_idx: usize,
-        op: Op,
-        insert_base: usize,
-        router: &Router<'_>,
-        write_txs: &[GatedSender<WriteJob>],
-    ) -> Result<(), Overload> {
-        // Payload cost the gate charges: the bytes the queue entry pins
-        // (query/insert coordinates; a delete pins just its id).
-        let point_bytes = self.topo.shards().dim() * std::mem::size_of::<f32>();
-        match op {
-            Op::Query(qid) => router.try_fanout(qid, point_bytes)?,
-            Op::Insert(j) => {
-                let global_id = (insert_base + j) as u32;
-                let s = self.topo.shards().plan().shard_of_any(global_id as usize);
-                write_txs[s].send_blocking(
-                    WriteJob {
-                        op_idx,
-                        global_id,
-                        kind: WriteKind::Insert { point_idx: j },
-                    },
-                    point_bytes,
-                );
-            }
-            Op::Delete(global_id) => {
-                let s = self.topo.shards().plan().shard_of_any(global_id as usize);
-                write_txs[s].send_blocking(
-                    WriteJob {
-                        op_idx,
-                        global_id,
-                        kind: WriteKind::Delete,
-                    },
-                    std::mem::size_of::<u32>(),
-                );
-            }
-        }
-        Ok(())
-    }
-
-    /// Dispatch ops per the admission discipline and collect partials /
-    /// write completions.
-    #[allow(clippy::too_many_arguments)]
-    fn drive(
-        &self,
-        queries: &Dataset,
-        ops: &[Op],
-        load: Load,
-        router: Router<'_>,
-        write_txs: Vec<GatedSender<WriteJob>>,
-        msg_rx: Receiver<WorkerMsg>,
-        shed_tx: Sender<WorkerMsg>,
-        epoch: Instant,
-        cache_snapshot: &[CacheSnapshot],
-    ) -> ServiceReport {
-        let nq = queries.len();
-        let total = ops.len();
-        let num_shards = self.topo.num_shards();
-        let replicas = self.config.replicas_per_shard;
-        let insert_base = self.insert_base();
-        let k = self.config.k;
-        // qid → op index, for read-latency reference times.
-        let mut query_op = vec![usize::MAX; nq];
-        for (i, op) in ops.iter().enumerate() {
-            if let Op::Query(qid) = *op {
-                assert_eq!(query_op[qid], usize::MAX, "query {qid} appears twice");
-                query_op[qid] = i;
-            }
-        }
-        let shared = matches!(self.config.device, DeviceSpec::SimShared { .. });
-        let mut collector = Collector::new(nq, num_shards, query_op, k, replicas, shared);
-        let mut ref_time = vec![0.0f64; total]; // dispatch (closed) or arrival (open)
-        let mut done = 0usize;
-        let mut retries = 0usize;
-
-        match load {
-            Load::Closed { .. } | Load::ClosedBackoff { .. } => {
-                // Sheds are booked inline (the dispatcher is the
-                // collector's own thread); a shed op never occupies a
-                // window slot. Under ClosedBackoff a shed query first
-                // waits out its retry_after hint and re-dispatches, up
-                // to max_retries times.
-                drop(shed_tx);
-                let (window, max_retries) = match load {
-                    Load::Closed { window } => (window, 0usize),
-                    Load::ClosedBackoff {
-                        window,
-                        max_retries,
-                    } => (window, max_retries),
-                    _ => unreachable!(),
-                };
-                let window = window.max(1).min(total);
-                let mut pending: BinaryHeap<Retry> = BinaryHeap::new();
-                let mut next = 0usize;
-                let mut inflight = 0usize;
-                while done < total {
-                    // Fill the window: due retries first, then fresh ops.
-                    loop {
-                        if inflight >= window {
-                            break;
-                        }
-                        let now = epoch.elapsed().as_secs_f64();
-                        if pending.peek().is_some_and(|r| r.at <= now) {
-                            let r = pending.pop().unwrap();
-                            retries += 1;
-                            match self.try_send_op(
-                                r.op_idx,
-                                ops[r.op_idx],
-                                insert_base,
-                                &router,
-                                &write_txs,
-                            ) {
-                                Ok(()) => inflight += 1,
-                                Err(e) if r.left > 0 => pending.push(Retry {
-                                    at: now + e.retry_after,
-                                    op_idx: r.op_idx,
-                                    left: r.left - 1,
-                                }),
-                                Err(_) => {
-                                    collector.shed(ops[r.op_idx], now);
-                                    done += 1;
-                                }
-                            }
-                            continue;
-                        }
-                        if next >= total {
-                            break;
-                        }
-                        ref_time[next] = now;
-                        match self.try_send_op(next, ops[next], insert_base, &router, &write_txs) {
-                            Ok(()) => inflight += 1,
-                            // Writes never shed (they backpressure), so
-                            // a rejection here is always a query.
-                            Err(e) if max_retries > 0 => pending.push(Retry {
-                                at: now + e.retry_after,
-                                op_idx: next,
-                                left: max_retries - 1,
-                            }),
-                            Err(_) => {
-                                collector.shed(ops[next], now);
-                                done += 1;
-                            }
-                        }
-                        next += 1;
-                    }
-                    if done >= total {
-                        break;
-                    }
-                    // Wait for a completion — or only until the next
-                    // retry is due, if one could be dispatched then.
-                    let msg = if inflight < window && !pending.is_empty() {
-                        let due = pending.peek().unwrap().at;
-                        let wait = (due - epoch.elapsed().as_secs_f64()).max(0.0);
-                        match msg_rx.recv_timeout(std::time::Duration::from_secs_f64(wait)) {
-                            Ok(msg) => msg,
-                            Err(_) => continue,
-                        }
-                    } else {
-                        msg_rx.recv().expect("workers alive")
-                    };
-                    match msg {
-                        WorkerMsg::ReplicaDown { shard, replica } => {
-                            let c = self.failover_scan(
-                                &mut collector,
-                                &router,
-                                shard,
-                                replica,
-                                epoch,
-                                &ref_time,
-                            );
-                            done += c;
-                            inflight -= c;
-                        }
-                        msg => {
-                            if collector.absorb(msg, &ref_time, &router) {
-                                done += 1;
-                                inflight -= 1;
-                            }
-                        }
-                    }
-                }
-            }
-            Load::Open { .. } | Load::Burst { .. } => {
-                let arrivals = load.arrival_schedule(total);
-                ref_time.copy_from_slice(&arrivals);
-                let dispatch_router = &router;
-                let dispatch_write_txs = &write_txs;
-                std::thread::scope(|scope| {
-                    scope.spawn(move || {
-                        // Open loop: arrivals never wait for
-                        // completions; a shed op is reported to the
-                        // collector through the message channel so it
-                        // still sees one terminal event per op.
-                        for (op_idx, &at) in arrivals.iter().enumerate() {
-                            sleep_until(epoch, at);
-                            if self
-                                .try_send_op(
-                                    op_idx,
-                                    ops[op_idx],
-                                    insert_base,
-                                    dispatch_router,
-                                    dispatch_write_txs,
-                                )
-                                .is_err()
-                            {
-                                let qid = match ops[op_idx] {
-                                    Op::Query(qid) => Some(qid),
-                                    _ => None,
-                                };
-                                // The collector outlives the dispatch
-                                // loop; a send can only fail after it
-                                // already has every terminal event.
-                                let _ = shed_tx.send(WorkerMsg::Shed { op_idx, qid });
-                            }
-                        }
-                    });
-                    while done < total {
-                        let msg = msg_rx.recv().expect("workers alive");
-                        match msg {
-                            WorkerMsg::ReplicaDown { shard, replica } => {
-                                done += self.failover_scan(
-                                    &mut collector,
-                                    &router,
-                                    shard,
-                                    replica,
-                                    epoch,
-                                    &ref_time,
-                                );
-                            }
-                            msg => {
-                                if collector.absorb(msg, &ref_time, &router) {
-                                    done += 1;
-                                }
-                            }
-                        }
-                    }
-                });
-            }
-        }
-
-        // High-water queue depths before the queues close.
-        let peak_queue_depth = router.peak_depth().max(
-            write_txs
-                .iter()
-                .map(|tx| tx.stats().peak_depth)
-                .max()
-                .unwrap_or(0),
-        );
-        let failovers = router.failovers();
-        let lost_partials = router.abandoned();
-
-        // Close the queues and aggregate worker statistics.
-        drop(router);
-        drop(write_txs);
-        collector.drain(&msg_rx);
-        let mut device = collector.device_stats();
-        self.add_cache_deltas(&mut device, cache_snapshot);
-
-        ServiceReport {
-            results: collector.results,
-            statuses: collector.statuses,
-            latencies: collector.latencies,
-            service_latencies: collector.service_latencies,
-            write_latencies: collector.write_latencies,
-            write_service_latencies: collector.write_service_latencies,
-            writes_failed: collector.writes_failed,
-            shed_queries: collector.shed_queries,
-            shed_writes: collector.shed_writes,
-            retries,
-            failovers,
-            lost_partials,
-            peak_queue_depth,
-            duration: collector.duration,
-            device,
-            total_io: collector.total_io,
-            workers: num_shards * replicas * self.config.workers_per_replica,
-            shards: num_shards,
-            replicas,
-            replica_load: collector.replica_load,
-        }
-    }
-}
-
-/// Mutable collector state of one service run: merges shard partials
-/// into per-query results and books read/write latencies, sheds,
-/// failover duplicates and worker exit statistics.
-struct Collector {
-    accum: Vec<Accum>,
-    num_shards: usize,
-    results: Vec<Vec<(u32, f32)>>,
-    statuses: Vec<OpStatus>,
-    latencies: Vec<f64>,
-    service_latencies: Vec<f64>,
-    write_latencies: Vec<f64>,
-    write_service_latencies: Vec<f64>,
-    writes_failed: usize,
-    shed_queries: usize,
-    shed_writes: usize,
-    total_io: u64,
-    duration: f64,
-    /// qid → op index, for read-latency reference times.
-    query_op: Vec<usize>,
-    k: usize,
-    /// Queries served per `[shard][replica]`, from `Done` messages.
-    replica_load: Vec<Vec<u64>>,
-    /// Device stats accumulation. Shared arrays report whole-array
-    /// totals from every handle, so those are merged max-by-completed
-    /// per shard; private devices are summed.
-    shared_device: bool,
-    device_sum: DeviceStats,
-    shared_best: Vec<DeviceStats>,
-}
-
-impl Collector {
-    fn new(
-        nq: usize,
-        num_shards: usize,
-        query_op: Vec<usize>,
-        k: usize,
-        replicas: usize,
-        shared_device: bool,
-    ) -> Self {
-        Self {
-            accum: (0..nq)
-                .map(|_| Accum {
-                    got: vec![0; num_shards],
-                    finished: false,
-                    neighbors: Vec::new(),
-                    start: f64::MAX,
-                    finish: 0.0,
-                })
-                .collect(),
-            num_shards,
-            results: vec![Vec::new(); nq],
-            statuses: vec![OpStatus::Ok; nq],
-            latencies: vec![0.0f64; nq],
-            service_latencies: vec![0.0f64; nq],
-            write_latencies: Vec::new(),
-            write_service_latencies: Vec::new(),
-            writes_failed: 0,
-            shed_queries: 0,
-            shed_writes: 0,
-            total_io: 0,
-            duration: 0.0,
-            query_op,
-            k,
-            replica_load: vec![vec![0; replicas]; num_shards],
-            shared_device,
-            device_sum: DeviceStats::default(),
-            shared_best: vec![DeviceStats::default(); num_shards],
-        }
-    }
-
-    /// Book one op shed at dispatch time `now` (closed loop — the open
-    /// loop routes sheds through [`WorkerMsg::Shed`]).
-    fn shed(&mut self, op: Op, now: f64) {
-        match op {
-            Op::Query(qid) => self.shed_query(qid),
-            Op::Insert(_) | Op::Delete(_) => self.shed_writes += 1,
-        }
-        // A shed is a terminal event: keep `duration` covering it so
-        // goodput/shed-rate math sees the whole run.
-        self.duration = self.duration.max(now);
-    }
-
-    fn shed_query(&mut self, qid: usize) {
-        debug_assert_eq!(self.statuses[qid], OpStatus::Ok, "query {qid} shed twice");
-        self.statuses[qid] = OpStatus::Shed;
-        self.shed_queries += 1;
-    }
-
-    /// True while `qid` still owes partials for `shard` (not shed, not
-    /// complete, shard quota unmet). The quota comes from the router:
-    /// the replicas this query was actually dispatched to.
-    fn shard_outstanding(&self, qid: usize, shard: usize, router: &Router<'_>) -> bool {
-        let a = &self.accum[qid];
-        !a.finished && (a.got[shard] as usize) < router.quota(qid, shard)
-    }
-
-    /// Finish `qid` if every shard's quota is met. Every caller runs
-    /// after the query was dispatched (a partial arrived, or the
-    /// failover scan matched its routing bits), and all-or-nothing
-    /// fan-out publishes every shard's dispatch set before the first
-    /// send — so an undispatched query (all quotas 0) can never be
-    /// finished through this check. A quota of 0 on a *dispatched*
-    /// query is legitimate: every broadcast replica of that shard died
-    /// and the shard contributes nothing.
-    fn try_finish(&mut self, qid: usize, router: &Router<'_>, ref_time: &[f64]) -> bool {
-        for s in 0..self.num_shards {
-            if (self.accum[qid].got[s] as usize) < router.quota(qid, s) {
-                return false;
-            }
-        }
-        let ref_t = ref_time[self.query_op[qid]];
-        self.finish_query(qid, ref_t);
-        true
-    }
-
-    /// Abandon `qid`'s outstanding partial for `shard` (no live replica
-    /// left to re-dispatch to): the shard contributes nothing; the
-    /// query completes when (and if) nothing else is outstanding.
-    /// Returns true when this completed the op.
-    fn force_complete_shard(
-        &mut self,
-        qid: usize,
-        shard: usize,
-        now: f64,
-        ref_time: &[f64],
-        router: &Router<'_>,
-    ) -> bool {
-        debug_assert!(self.shard_outstanding(qid, shard, router));
-        let a = &mut self.accum[qid];
-        a.got[shard] = router.quota(qid, shard) as u8;
-        a.finish = a.finish.max(now);
-        self.try_finish(qid, router, ref_time)
-    }
-
-    /// Merge and book a query whose partials are all in. `ref_t` is the
-    /// op's queue-entry reference time.
-    fn finish_query(&mut self, qid: usize, ref_t: f64) {
-        let a = &mut self.accum[qid];
-        let mut merged = std::mem::take(&mut a.neighbors);
-        merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
-        // Broadcast (and failover races) can deliver the same neighbor
-        // from two replicas of one shard: keep the first of each id.
-        // Shards never share ids, so single-route merges are untouched.
-        let mut seen_ids: Vec<u32> = Vec::with_capacity(self.k);
-        merged.retain(|&(id, _)| {
-            if seen_ids.len() >= self.k || seen_ids.contains(&id) {
-                false
-            } else {
-                seen_ids.push(id);
-                true
-            }
-        });
-        let (start, finish) = (a.start, a.finish);
-        self.results[qid] = merged;
-        // A query whose every partial was abandoned never started.
-        let start = if start == f64::MAX { finish } else { start };
-        self.latencies[qid] = finish - ref_t;
-        self.service_latencies[qid] = finish - start;
-        self.duration = self.duration.max(finish);
-    }
-
-    /// Accumulate one message; returns true when it completed an op.
-    /// `ref_time[op]` is the op's queue-entry time: dispatch (closed
-    /// loop) or scheduled arrival (open loop); `router` resolves each
-    /// query's live dispatch quotas.
-    fn absorb(&mut self, msg: WorkerMsg, ref_time: &[f64], router: &Router<'_>) -> bool {
-        match msg {
-            WorkerMsg::Partial {
-                qid,
-                shard,
-                neighbors,
-                n_io,
-                start,
-                finish,
-            } => {
-                self.total_io += u64::from(n_io);
-                if !self.shard_outstanding(qid, shard, router) {
-                    // Failover duplicate: the dying replica completed a
-                    // query we also re-dispatched (or a late partial
-                    // for a force-completed shard). Drop it.
-                    return false;
-                }
-                let a = &mut self.accum[qid];
-                a.neighbors.extend(neighbors);
-                a.start = a.start.min(start);
-                a.finish = a.finish.max(finish);
-                a.got[shard] += 1;
-                self.try_finish(qid, router, ref_time)
-            }
-            WorkerMsg::WriteDone {
-                op_idx,
-                ok,
-                start,
-                finish,
-            } => {
-                // Failed writes count toward writes_failed only:
-                // wps()/write_latency() report *applied* writes.
-                if ok {
-                    self.write_latencies.push(finish - ref_time[op_idx]);
-                    self.write_service_latencies.push(finish - start);
-                } else {
-                    self.writes_failed += 1;
-                }
-                self.duration = self.duration.max(finish);
-                true
-            }
-            WorkerMsg::Shed { op_idx, qid } => {
-                match qid {
-                    Some(qid) => self.shed_query(qid),
-                    None => self.shed_writes += 1,
-                }
-                self.duration = self.duration.max(ref_time[op_idx]);
-                true
-            }
-            WorkerMsg::Done {
-                shard,
-                replica,
-                device,
-                served,
-                ..
-            } => {
-                self.absorb_done(shard, replica, device, served);
-                false
-            }
-            WorkerMsg::ReplicaDown { .. } => {
-                unreachable!("ReplicaDown is handled by the drive loop")
-            }
-        }
-    }
-
-    /// Book one worker's exit report.
-    fn absorb_done(&mut self, shard: usize, replica: usize, device: DeviceStats, served: usize) {
-        self.replica_load[shard][replica] += served as u64;
-        if self.shared_device {
-            // Every handle of a shard's shared array reports whole-array
-            // totals; keep the most complete one.
-            if device.completed >= self.shared_best[shard].completed {
-                self.shared_best[shard] = device;
-            }
-        } else {
-            self.device_sum.completed += device.completed;
-            self.device_sum.bytes += device.bytes;
-            self.device_sum.latency_sum += device.latency_sum;
-            self.device_sum.busy_sum += device.busy_sum;
-        }
-    }
-
-    /// Drain the message channel after the queues closed: remaining
-    /// `Done` stats are absorbed. Everything else at this point is a
-    /// late partial of a force-completed query, or the ReplicaDown of a
-    /// fence that lost the race against the end of the run: nothing
-    /// left to re-dispatch.
-    fn drain(&mut self, msg_rx: &Receiver<WorkerMsg>) {
-        while let Ok(msg) = msg_rx.recv() {
-            if let WorkerMsg::Done {
-                shard,
-                replica,
-                device,
-                served,
-                ..
-            } = msg
-            {
-                self.absorb_done(shard, replica, device, served);
-            }
-        }
-    }
-
-    /// Aggregate device statistics of the run (call after
-    /// [`Collector::drain`]).
-    fn device_stats(&self) -> DeviceStats {
-        let mut out = self.device_sum;
-        for best in &self.shared_best {
-            out.completed += best.completed;
-            out.bytes += best.bytes;
-            out.latency_sum += best.latency_sum;
-            out.busy_sum += best.busy_sum;
-        }
-        out
-    }
-}
-
-/// Cache counters at serve start, for per-run deltas.
-#[derive(Clone, Copy, Debug, Default)]
-struct CacheSnapshot {
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    invalidations: u64,
-    stale_fills: u64,
+    out
 }

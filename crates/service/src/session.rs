@@ -1,0 +1,1597 @@
+//! The long-lived service session: ticketed submission over persistent
+//! worker pools.
+//!
+//! PRs 1–4 exposed the service as run-to-completion harness calls:
+//! `serve`, `serve_mixed` and `query_batch` each spun up worker pools,
+//! consumed one pre-generated workload and tore everything down. A
+//! serving tier has the inverse shape — start once, accept requests
+//! from many concurrent callers, report continuously — and this module
+//! is that inversion:
+//!
+//! * [`Session`] — created by
+//!   [`ShardedService::start`](crate::service::ShardedService::start):
+//!   brings up every replica's worker pool, the per-shard writer
+//!   threads and the result collector **once**. [`Session::metrics`]
+//!   returns incremental [`ServiceReport`] snapshots while the session
+//!   runs (monotonic counters — see
+//!   [`ServiceReport::interval_since`]); [`Session::shutdown`] drains
+//!   outstanding work and joins every thread.
+//! * [`Client`] — a cloneable submission handle ([`Session::client`]).
+//!   Submission is **non-blocking**: [`Client::query`] returns a
+//!   [`QueryTicket`], [`Client::write`] a [`WriteTicket`]; the caller's
+//!   thread never waits for the engine.
+//! * Tickets — per-request completion slots. A ticket **resolves
+//!   exactly once** (poll with [`QueryTicket::poll`], block with
+//!   [`QueryTicket::wait`]) with a [`QueryResult`] / [`WriteResult`]
+//!   carrying the op's [`OpStatus`] and, when the op was shed at
+//!   admission, the typed [`Overload`] with its `retry_after` backoff
+//!   hint.
+//!
+//! ## Ticket state machine
+//!
+//! ```text
+//! submit ──► PENDING ──────────────────────────► RESOLVED(Ok)
+//!               │   collector merges last partial /
+//!               │   writer applies the op
+//!               └──────────────────────────────► RESOLVED(Shed)
+//!                   admission rejects (Overload: queue budget,
+//!                   no live replica, per-client cap, closed session)
+//! ```
+//!
+//! A pending query lives in the session's **registry** (the routing
+//! table, keyed by live ticket ids): its entry holds the per-shard
+//! dispatch bitmasks the router wrote before the first job was sent,
+//! the partials merged so far, and the completion slot. The failover
+//! scan walks exactly the live tickets; a resolved ticket's entry is
+//! gone.
+//!
+//! ## Write ids
+//!
+//! Inserts no longer take stream-positional indices into a caller
+//! pool: the session **mints each insert's global id at admission**
+//! (under the mint lock, held through the enqueue so per-shard queue
+//! order matches mint order — the storage updater assigns local ids
+//! positionally). The minted id is caller-visible in the resolved
+//! [`WriteResult::id`]. This is what relaxes PR 3's "writes may never
+//! shed" contract: a shed insert consumes no id, so [`Client::write`]
+//! may shed writes with `Overload` exactly like queries, while
+//! [`Client::write_blocking`] keeps the backpressure discipline (the
+//! legacy wrappers use it). Deletes may target any id whose insert has
+//! resolved (or a build-time id); deleting an id that is still
+//! unassigned or not live fails the write
+//! ([`WriteResult::applied`] = false) instead of corrupting anything.
+//!
+//! ## Concurrency contract
+//!
+//! Any number of clients (and clones) may submit concurrently; the
+//! shared read/write admission budgets apply per replica as before,
+//! and [`ServiceConfig::per_client_inflight`] additionally caps one
+//! client's outstanding queries so a single greedy caller cannot
+//! monopolize the shared read budget (client-side sheds carry
+//! [`CLIENT_THROTTLE_SHARD`] as the `Overload::shard`). At most one
+//! session should write at a time (the per-shard writers own the
+//! index's read-write handles); concurrent read-only sessions over one
+//! service are fine.
+//!
+//! [`ServiceReport`]: crate::service::ServiceReport
+//! [`ServiceReport::interval_since`]: crate::service::ServiceReport::interval_since
+//! [`ServiceConfig::per_client_inflight`]: crate::service::ServiceConfig::per_client_inflight
+
+use crate::admission::{gated, GateHandle, GatedReceiver, GatedSender, Overload};
+use crate::metrics::OpStatus;
+use crate::router::{
+    clear_routed_bit, is_routed_to, lane_states, quota, RoutePolicy, Router, RouterStats,
+};
+use crate::service::{dedup_batch, BatchQueryReport, DeviceSpec, ServiceConfig, ServiceReport};
+use crate::shard::Shard;
+use crate::shared_sim::SharedSimArray;
+use crate::topology::Topology;
+use crate::update::ShardUpdater;
+use crate::worker::{run_worker, Job, WorkerCtx, WorkerMsg, WorkerStatsCell};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use e2lsh_core::dataset::Dataset;
+use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
+use e2lsh_storage::device::file::FileDevice;
+use e2lsh_storage::device::sim::{Backing, SimStorage};
+use e2lsh_storage::device::{Device, DeviceStats};
+use e2lsh_storage::layout::BLOCK_SIZE;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The `Overload::shard` value of a **client-side** shed — a rejection
+/// not attributable to any shard's queue budget: the client's own
+/// [`ServiceConfig::per_client_inflight`] fairness cap, an insert that
+/// could not immediately take the id-mint lock, or a session that was
+/// already shut down. The closed-session case is terminal and reports
+/// `retry_after == f64::INFINITY`; the others carry the usual finite
+/// hint.
+///
+/// [`ServiceConfig::per_client_inflight`]: crate::service::ServiceConfig::per_client_inflight
+pub const CLIENT_THROTTLE_SHARD: usize = usize::MAX;
+
+/// Resolved outcome of a [`QueryTicket`].
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// [`OpStatus::Ok`] for a served query, [`OpStatus::Shed`] for one
+    /// rejected at admission.
+    pub status: OpStatus,
+    /// Merged global top-k, distance ascending. Empty when shed (and
+    /// possibly short when a shard lost its last replica mid-flight —
+    /// degraded answers, never invented ids).
+    pub neighbors: Vec<(u32, f32)>,
+    /// The admission rejection, `Some` iff `status == Shed`; carries
+    /// the `retry_after` backoff hint.
+    pub overload: Option<Overload>,
+    /// Seconds from the ticket's submission reference to the last
+    /// shard's finish (0 when shed).
+    pub latency: f64,
+    /// Seconds from the first worker slot admitting the query to the
+    /// last shard's finish — pure service time, enqueue wait excluded
+    /// (0 when shed).
+    pub service_latency: f64,
+    /// Device I/Os this query's merged partials issued across shards.
+    pub n_io: u64,
+}
+
+/// Resolved outcome of a [`WriteTicket`].
+#[derive(Clone, Debug)]
+pub struct WriteResult {
+    /// [`OpStatus::Ok`] for a write the shard writer processed (whether
+    /// or not it applied cleanly), [`OpStatus::Shed`] for one rejected
+    /// at admission ([`Client::write`]; a blocking write sheds only on
+    /// a closed session — never for capacity).
+    pub status: OpStatus,
+    /// True when the updater applied the op. False for shed writes,
+    /// updater errors, and deletes of ids that were never assigned or
+    /// already deleted from the index.
+    pub applied: bool,
+    /// The global id the session minted for this insert, or the
+    /// delete's target id. `None` for a shed insert (no id is consumed
+    /// — see the module docs on the relaxed shedding contract).
+    pub id: Option<u32>,
+    /// The admission rejection, `Some` iff `status == Shed`.
+    pub overload: Option<Overload>,
+    /// Seconds from the ticket's submission reference to the write
+    /// being applied (0 when shed). Includes writer-queue wait.
+    pub latency: f64,
+    /// Seconds from the writer dequeuing the op to it being applied
+    /// (0 when shed).
+    pub service_latency: f64,
+}
+
+/// One write operation for [`Client::write`] /
+/// [`Client::write_blocking`].
+#[derive(Clone, Copy, Debug)]
+pub enum WriteOp<'a> {
+    /// Insert a point; the session mints its global id at admission
+    /// (visible in [`WriteResult::id`]).
+    Insert(&'a [f32]),
+    /// Delete the object with this global id. The id must come from a
+    /// resolved insert (or be a build-time id); deleting an id that is
+    /// not live fails the write instead of shedding or panicking.
+    Delete(u32),
+}
+
+/// The shared completion slot behind a ticket. Resolves exactly once.
+pub(crate) struct Slot<T> {
+    id: u64,
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+    /// Per-client in-flight gauge, decremented on resolution (query
+    /// slots of capped clients only).
+    gauge: Option<Arc<AtomicUsize>>,
+}
+
+struct SlotState<T> {
+    outcome: Option<T>,
+    /// One-shot completion notification (the legacy wrappers' pump
+    /// loops use this to multiplex over a window of tickets).
+    notify: Option<Sender<u64>>,
+}
+
+impl<T: Clone> Slot<T> {
+    fn new(id: u64, notify: Option<Sender<u64>>, gauge: Option<Arc<AtomicUsize>>) -> Self {
+        Self {
+            id,
+            state: Mutex::new(SlotState {
+                outcome: None,
+                notify,
+            }),
+            cv: Condvar::new(),
+            gauge,
+        }
+    }
+
+    /// Resolve the slot. Exactly-once is a hard invariant: the debug
+    /// assertion trips if any path resolves twice.
+    fn resolve(&self, outcome: T) {
+        let notify = {
+            let mut st = self.state.lock().unwrap();
+            debug_assert!(st.outcome.is_none(), "ticket {} resolved twice", self.id);
+            st.outcome = Some(outcome);
+            st.notify.take()
+        };
+        if let Some(g) = &self.gauge {
+            g.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.cv.notify_all();
+        if let Some(tx) = notify {
+            // The pump may have stopped listening; that is not an error.
+            let _ = tx.send(self.id);
+        }
+    }
+
+    fn poll(&self) -> Option<T> {
+        self.state.lock().unwrap().outcome.clone()
+    }
+
+    fn wait(&self) -> T {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(out) = &st.outcome {
+                return out.clone();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn is_resolved(&self) -> bool {
+        self.state.lock().unwrap().outcome.is_some()
+    }
+}
+
+macro_rules! ticket {
+    ($(#[$doc:meta])* $name:ident, $result:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            slot: Arc<Slot<$result>>,
+        }
+
+        impl $name {
+            /// The session-unique ticket id.
+            pub fn id(&self) -> u64 {
+                self.slot.id
+            }
+
+            /// True once the ticket has resolved ([`Self::poll`] would
+            /// return `Some`).
+            pub fn is_resolved(&self) -> bool {
+                self.slot.is_resolved()
+            }
+
+            /// Non-blocking check: the resolved outcome, or `None`
+            /// while the op is still pending.
+            pub fn poll(&self) -> Option<$result> {
+                self.slot.poll()
+            }
+
+            /// Block until the op resolves and return its outcome.
+            pub fn wait(self) -> $result {
+                self.slot.wait()
+            }
+
+            /// Block like [`Self::wait`] without consuming the ticket.
+            pub fn wait_ref(&self) -> $result {
+                self.slot.wait()
+            }
+        }
+    };
+}
+
+ticket!(
+    /// Handle to one submitted query ([`Client::query`]). Resolves
+    /// exactly once with a [`QueryResult`]; see the module docs for the
+    /// state machine.
+    QueryTicket,
+    QueryResult
+);
+ticket!(
+    /// Handle to one submitted write ([`Client::write`] /
+    /// [`Client::write_blocking`]). Resolves exactly once with a
+    /// [`WriteResult`].
+    WriteTicket,
+    WriteResult
+);
+
+/// A registry entry: one in-flight (dispatched, unresolved) query.
+pub(crate) struct InFlight {
+    qid: u64,
+    ref_time: f64,
+    point: Arc<[f32]>,
+    slot: Arc<Slot<QueryResult>>,
+    /// Per-shard dispatch bitmasks — the routing table row for this
+    /// ticket, written by the router before the first job is sent.
+    masks: Box<[AtomicU64]>,
+    /// Partial-merge state; mutated by the collector thread only.
+    acc: Mutex<Accum>,
+}
+
+/// Per-query accumulation while shard partials trickle in. The number
+/// of partials a shard owes is not stored here: it is the ticket's live
+/// dispatch quota (the mask population count — the replicas actually
+/// sent to, shrunk by broadcast fences), so the accounting follows
+/// failover re-routing exactly.
+struct Accum {
+    /// Partials received per shard; a partial for a shard that already
+    /// met its quota is a failover duplicate and is dropped.
+    got: Vec<u8>,
+    finished: bool,
+    neighbors: Vec<(u32, f32)>,
+    /// Earliest shard service start (min over partials).
+    start: f64,
+    /// Latest shard finish (max over partials).
+    finish: f64,
+    n_io: u64,
+}
+
+/// Monotonic session counters behind [`Session::metrics`]. Latency
+/// vectors grow with the session (one entry per completed op) — cheap
+/// at serving-test scale; snapshot deltas via
+/// [`ServiceReport::interval_since`].
+///
+/// [`ServiceReport::interval_since`]: crate::service::ServiceReport::interval_since
+#[derive(Default)]
+struct MetricsInner {
+    read_latencies: Vec<f64>,
+    read_service_latencies: Vec<f64>,
+    write_latencies: Vec<f64>,
+    write_service_latencies: Vec<f64>,
+    shed_queries: usize,
+    shed_writes: usize,
+    writes_failed: usize,
+    total_io: u64,
+    /// Seconds since the session epoch of the latest terminal event.
+    last_event: f64,
+}
+
+/// Cache counters at session start, for per-session deltas.
+#[derive(Clone, Copy, Debug, Default)]
+struct CacheSnapshot {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    stale_fills: u64,
+    warmed: u64,
+}
+
+/// State shared by the session handle, its clients, the collector and
+/// the writer threads.
+pub(crate) struct SessionShared {
+    topo: Arc<Topology>,
+    config: ServiceConfig,
+    epoch: Instant,
+    point_bytes: usize,
+    /// Dropped (set to `None`) at shutdown — that closes every
+    /// replica's queue.
+    router: RwLock<Option<Arc<Router>>>,
+    router_stats: Arc<RouterStats>,
+    /// Per-shard write queues; dropped at shutdown.
+    write_txs: RwLock<Option<Vec<GatedSender<WriteJob>>>>,
+    /// Statistics-only gate views (outlive the queues).
+    read_gates: Vec<Vec<GateHandle>>,
+    write_gates: Vec<GateHandle>,
+    /// Live tickets — the routing table, keyed by ticket id.
+    registry: Mutex<HashMap<u64, Arc<InFlight>>>,
+    metrics: Mutex<MetricsInner>,
+    next_ticket: AtomicU64,
+    /// Next unassigned global id; the lock is held through the enqueue
+    /// so per-shard write-queue order matches mint order.
+    mint: Mutex<u64>,
+    /// `[shard][replica][worker]` live statistics cells.
+    worker_cells: Vec<Vec<Vec<Arc<WorkerStatsCell>>>>,
+    cache_snap: Vec<CacheSnapshot>,
+}
+
+impl SessionShared {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Client-side shed with a *retryable* hint (fairness cap, mint
+    /// contention): one of the client's own ops resolving frees the
+    /// way, so a quick retry is reasonable.
+    fn shed_overload(&self, shard: usize) -> Overload {
+        Overload {
+            shard,
+            depth: 0,
+            queued_bytes: 0,
+            retry_after: Overload::MIN_RETRY_AFTER,
+        }
+    }
+
+    /// Shed because the session is shut down — a **terminal** state:
+    /// `retry_after` is infinite so backoff-honoring clients stop
+    /// instead of busy-retrying a dead session forever.
+    fn closed_overload(&self) -> Overload {
+        Overload {
+            shard: CLIENT_THROTTLE_SHARD,
+            depth: 0,
+            queued_bytes: 0,
+            retry_after: f64::INFINITY,
+        }
+    }
+
+    fn book_shed_query(&self, now: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        m.shed_queries += 1;
+        m.last_event = m.last_event.max(now);
+    }
+
+    fn book_shed_write(&self, now: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        m.shed_writes += 1;
+        m.last_event = m.last_event.max(now);
+    }
+}
+
+fn shed_query_result(e: Overload) -> QueryResult {
+    QueryResult {
+        status: OpStatus::Shed,
+        neighbors: Vec::new(),
+        overload: Some(e),
+        latency: 0.0,
+        service_latency: 0.0,
+        n_io: 0,
+    }
+}
+
+fn shed_write_result(e: Overload, id: Option<u32>) -> WriteResult {
+    WriteResult {
+        status: OpStatus::Shed,
+        applied: false,
+        id,
+        overload: Some(e),
+        latency: 0.0,
+        service_latency: 0.0,
+    }
+}
+
+/// A write admitted to the service, bound for one shard's writer.
+pub(crate) struct WriteJob {
+    slot: Arc<Slot<WriteResult>>,
+    ref_time: f64,
+    /// Global id the session minted (inserts) or targets (deletes).
+    global_id: u32,
+    kind: WriteKind,
+}
+
+pub(crate) enum WriteKind {
+    Insert { point: Arc<[f32]> },
+    Delete,
+}
+
+/// Next unassigned global id of the topology: inserts continue the
+/// sequence where earlier sessions left it (build-time total + rows
+/// appended so far).
+pub(crate) fn insert_base(topo: &Topology) -> usize {
+    let shards = topo.shards();
+    shards.plan().base_total()
+        + shards
+            .shards()
+            .iter()
+            .map(|s| s.num_rows() - s.base_len())
+            .sum::<usize>()
+}
+
+/// A cloneable, non-blocking submission handle onto a [`Session`].
+///
+/// Clones share the per-client in-flight gauge (they are the *same*
+/// client for fairness purposes); [`Session::client`] mints an
+/// independent one.
+pub struct Client {
+    shared: Arc<SessionShared>,
+    /// Outstanding queries of this client (shared by clones).
+    inflight: Arc<AtomicUsize>,
+    /// Cap on `inflight` ([`ServiceConfig::per_client_inflight`]).
+    ///
+    /// [`ServiceConfig::per_client_inflight`]: crate::service::ServiceConfig::per_client_inflight
+    cap: usize,
+}
+
+impl Clone for Client {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+            inflight: Arc::clone(&self.inflight),
+            cap: self.cap,
+        }
+    }
+}
+
+impl Client {
+    /// Submit one query; never blocks. The returned ticket resolves
+    /// with the merged global top-k, or immediately with
+    /// [`OpStatus::Shed`] + [`Overload`] when admission rejects it
+    /// (shard queue budget, no live replica, the per-client cap, or a
+    /// closed session). Latency is measured from now.
+    pub fn query(&self, point: &[f32]) -> QueryTicket {
+        self.submit_query(point, None, None)
+    }
+
+    /// [`Client::query`] with an explicit latency reference: seconds
+    /// since [`Session::epoch`] the op is *considered* to have arrived.
+    /// Load generators replaying an arrival schedule use this so
+    /// latency covers queueing delay from the scheduled arrival
+    /// (coordinated omission) and retries are measured from the first
+    /// attempt.
+    pub fn query_at(&self, point: &[f32], ref_time: f64) -> QueryTicket {
+        self.submit_query(point, Some(ref_time), None)
+    }
+
+    pub(crate) fn submit_query(
+        &self,
+        point: &[f32],
+        ref_time: Option<f64>,
+        notify: Option<Sender<u64>>,
+    ) -> QueryTicket {
+        let shared = &self.shared;
+        assert_eq!(
+            point.len(),
+            shared.topo.shards().dim(),
+            "query dimensionality"
+        );
+        let qid = shared.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let gauge = (self.cap != usize::MAX).then(|| Arc::clone(&self.inflight));
+        let slot = Arc::new(Slot::new(qid, notify, gauge));
+        let ticket = QueryTicket {
+            slot: Arc::clone(&slot),
+        };
+        let now = shared.now();
+        let ref_time = ref_time.unwrap_or(now);
+
+        // Per-client fairness: cap this client's outstanding queries so
+        // one greedy caller cannot monopolize the shared read budget.
+        if self.cap != usize::MAX {
+            let n = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+            if n > self.cap {
+                shared.book_shed_query(now);
+                slot.resolve(shed_query_result(
+                    shared.shed_overload(CLIENT_THROTTLE_SHARD),
+                ));
+                return ticket;
+            }
+        }
+
+        let guard = shared.router.read().unwrap();
+        let Some(router) = guard.as_ref() else {
+            drop(guard);
+            shared.book_shed_query(now);
+            slot.resolve(shed_query_result(shared.closed_overload()));
+            return ticket;
+        };
+        let num_shards = shared.topo.num_shards();
+        let entry = Arc::new(InFlight {
+            qid,
+            ref_time,
+            point: Arc::from(point),
+            slot: Arc::clone(&slot),
+            masks: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            acc: Mutex::new(Accum {
+                got: vec![0; num_shards],
+                finished: false,
+                neighbors: Vec::new(),
+                start: f64::MAX,
+                finish: 0.0,
+                n_io: 0,
+            }),
+        });
+        shared
+            .registry
+            .lock()
+            .unwrap()
+            .insert(qid, Arc::clone(&entry));
+        if let Err(e) = router.try_fanout(qid, &entry.point, &entry.masks, shared.point_bytes) {
+            shared.registry.lock().unwrap().remove(&qid);
+            shared.book_shed_query(now);
+            slot.resolve(shed_query_result(e));
+        }
+        ticket
+    }
+
+    /// Submit one write; never blocks. A write that overflows the
+    /// owning shard's write budget is **shed** (ticket resolves
+    /// [`OpStatus::Shed`] with the `Overload`) — safe since the session
+    /// mints insert ids at admission, so a shed insert consumes no id
+    /// (the relaxed contract; see the module docs). An insert that
+    /// cannot immediately take the id-mint lock (a concurrent
+    /// [`Client::write_blocking`] insert is stalled on a full queue,
+    /// which holds it) is also shed, with
+    /// [`CLIENT_THROTTLE_SHARD`] as the `Overload::shard` — the
+    /// never-blocks contract beats minting. Latency is measured from
+    /// now.
+    pub fn write(&self, op: WriteOp<'_>) -> WriteTicket {
+        self.submit_write(op, None, false, None)
+    }
+
+    /// Submit one write under **backpressure**: a full write queue
+    /// blocks this call until the op is admitted — nothing is shed for
+    /// capacity reasons. The discipline the legacy `serve_mixed`
+    /// wrapper keeps. While an insert waits, other inserts (which mint
+    /// after it) wait behind the mint lock. The one shed a blocking
+    /// write can still report is the terminal closed-session rejection
+    /// (`retry_after == f64::INFINITY`) — blocking forever on a dead
+    /// session would be worse.
+    pub fn write_blocking(&self, op: WriteOp<'_>) -> WriteTicket {
+        self.submit_write(op, None, true, None)
+    }
+
+    pub(crate) fn submit_write(
+        &self,
+        op: WriteOp<'_>,
+        ref_time: Option<f64>,
+        blocking: bool,
+        notify: Option<Sender<u64>>,
+    ) -> WriteTicket {
+        let shared = &self.shared;
+        let wid = shared.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Slot::new(wid, notify, None));
+        let ticket = WriteTicket {
+            slot: Arc::clone(&slot),
+        };
+        let now = shared.now();
+        let ref_time = ref_time.unwrap_or(now);
+        let guard = shared.write_txs.read().unwrap();
+        let Some(txs) = guard.as_ref() else {
+            drop(guard);
+            shared.book_shed_write(now);
+            let id = match op {
+                WriteOp::Insert(_) => None,
+                WriteOp::Delete(g) => Some(g),
+            };
+            slot.resolve(shed_write_result(shared.closed_overload(), id));
+            return ticket;
+        };
+        let plan = shared.topo.shards().plan();
+        match op {
+            WriteOp::Insert(point) => {
+                assert_eq!(
+                    point.len(),
+                    shared.topo.shards().dim(),
+                    "insert dimensionality"
+                );
+                // Mint under the lock, held through the enqueue: the
+                // mint value determines the owning shard (round-robin
+                // id arithmetic), and per-shard queue order must match
+                // mint order for the updater's positional local ids to
+                // line up with the plan's arithmetic. The non-blocking
+                // path only *tries* the lock — a blocking insert
+                // stalled on a full queue holds it for the whole stall,
+                // and `write`'s never-blocks contract beats minting.
+                let mut mint = if blocking {
+                    shared.mint.lock().unwrap()
+                } else {
+                    match shared.mint.try_lock() {
+                        Ok(m) => m,
+                        Err(_) => {
+                            drop(guard);
+                            shared.book_shed_write(now);
+                            slot.resolve(shed_write_result(
+                                shared.shed_overload(CLIENT_THROTTLE_SHARD),
+                                None,
+                            ));
+                            return ticket;
+                        }
+                    }
+                };
+                let g = *mint;
+                let s = plan.shard_of_any(g as usize);
+                let shard = &shared.topo.shards().shards()[s];
+                let id_space = 1u64 << shard.index.codec().id_bits;
+                if plan.local_of(g as usize) as u64 >= id_space {
+                    // Id space exhausted: fail (not shed) without
+                    // consuming the id — the shard needs a rebuild with
+                    // a larger `ShardBuildConfig::capacity`.
+                    drop(mint);
+                    drop(guard);
+                    let finish = shared.now();
+                    let mut m = shared.metrics.lock().unwrap();
+                    m.writes_failed += 1;
+                    m.last_event = m.last_event.max(finish);
+                    drop(m);
+                    slot.resolve(WriteResult {
+                        status: OpStatus::Ok,
+                        applied: false,
+                        id: None,
+                        overload: None,
+                        latency: finish - ref_time,
+                        service_latency: 0.0,
+                    });
+                    return ticket;
+                }
+                let job = WriteJob {
+                    slot: Arc::clone(&slot),
+                    ref_time,
+                    global_id: g as u32,
+                    kind: WriteKind::Insert {
+                        point: Arc::from(point),
+                    },
+                };
+                if blocking {
+                    txs[s].send_blocking(job, shared.point_bytes);
+                    *mint += 1;
+                } else {
+                    match txs[s].try_send(job, shared.point_bytes) {
+                        Ok(()) => *mint += 1,
+                        Err(e) => {
+                            drop(mint);
+                            drop(guard);
+                            shared.book_shed_write(now);
+                            slot.resolve(shed_write_result(e, None));
+                        }
+                    }
+                }
+            }
+            WriteOp::Delete(g) => {
+                let s = plan.shard_of_any(g as usize);
+                let job = WriteJob {
+                    slot: Arc::clone(&slot),
+                    ref_time,
+                    global_id: g,
+                    kind: WriteKind::Delete,
+                };
+                let cost = std::mem::size_of::<u32>();
+                if blocking {
+                    txs[s].send_blocking(job, cost);
+                } else if let Err(e) = txs[s].try_send(job, cost) {
+                    drop(guard);
+                    shared.book_shed_write(now);
+                    slot.resolve(shed_write_result(e, Some(g)));
+                }
+            }
+        }
+        ticket
+    }
+}
+
+/// A running service instance: persistent worker pools, writers and
+/// collector. See the module docs for the lifecycle and
+/// [`ShardedService::start`] for construction.
+///
+/// [`ShardedService::start`]: crate::service::ShardedService::start
+pub struct Session {
+    shared: Arc<SessionShared>,
+    worker_threads: Vec<JoinHandle<()>>,
+    writer_threads: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+    closed: bool,
+}
+
+impl Session {
+    /// Bring the service up: spawn every replica's worker pool, one
+    /// writer thread per shard (updaters open lazily on the first
+    /// write, so read-only sessions never take the shards' write
+    /// handles) and the collector. Warms cold replica caches from
+    /// their warmest sibling when
+    /// [`ServiceConfig::cache_warm_blocks`] is nonzero.
+    ///
+    /// [`ServiceConfig::cache_warm_blocks`]: crate::service::ServiceConfig::cache_warm_blocks
+    pub(crate) fn start(topo: Arc<Topology>, config: ServiceConfig) -> Self {
+        let num_shards = topo.num_shards();
+        let replicas = config.replicas_per_shard;
+        let wpr = config.workers_per_replica;
+        let epoch = Instant::now();
+        // Snapshot the cache counters before warming, so the blocks
+        // this session warms at start count in its `cache_warmed`
+        // delta.
+        let cache_snap = cache_snapshots(&topo);
+
+        // Replica-start cache warming: a cold replica copies the
+        // working set of its warmest sibling instead of paying the
+        // cold-start misses (writers are not running yet, so the copy
+        // cannot race an invalidation sweep).
+        if config.cache_warm_blocks > 0 {
+            for s in 0..num_shards {
+                for r in 0..replicas {
+                    let cold = topo.replica(s, r).cache().is_some_and(|c| c.is_empty());
+                    if cold {
+                        topo.warm_replica(s, r, config.cache_warm_blocks);
+                    }
+                }
+            }
+        }
+
+        let engine = config.engine();
+        let sim_time = config.device.is_sim();
+        let arrays = build_arrays(&topo, &config);
+        let lanes = Arc::new(lane_states(num_shards, replicas));
+
+        let mut lane_txs: Vec<Vec<GatedSender<Job>>> = Vec::with_capacity(num_shards);
+        let mut lane_rxs: Vec<Vec<GatedReceiver<Job>>> = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let (txs, rxs): (Vec<_>, Vec<_>) = (0..replicas)
+                .map(|_| gated::<Job>(s, config.admission.read))
+                .unzip();
+            lane_txs.push(txs);
+            lane_rxs.push(rxs);
+        }
+        let read_gates: Vec<Vec<GateHandle>> = lane_txs
+            .iter()
+            .map(|row| row.iter().map(|tx| tx.stats_handle()).collect())
+            .collect();
+        let router_stats = Arc::new(RouterStats::default());
+        let router = Arc::new(Router::new(
+            Arc::clone(&topo),
+            lane_txs,
+            Arc::clone(&lanes),
+            config.routing,
+            0xE25_0E25,
+            Arc::clone(&router_stats),
+            wpr,
+        ));
+
+        let write_channels: Vec<(GatedSender<WriteJob>, GatedReceiver<WriteJob>)> = (0..num_shards)
+            .map(|s| gated(s, config.admission.write))
+            .collect();
+        let write_gates: Vec<GateHandle> = write_channels
+            .iter()
+            .map(|(tx, _)| tx.stats_handle())
+            .collect();
+        let (write_txs, write_rxs): (Vec<_>, Vec<_>) = write_channels.into_iter().unzip();
+
+        let worker_cells: Vec<Vec<Vec<Arc<WorkerStatsCell>>>> = (0..num_shards)
+            .map(|_| {
+                (0..replicas)
+                    .map(|_| {
+                        (0..wpr)
+                            .map(|_| Arc::new(WorkerStatsCell::default()))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mint = insert_base(&topo) as u64;
+        let point_bytes = topo.shards().dim() * std::mem::size_of::<f32>();
+        let shared = Arc::new(SessionShared {
+            topo: Arc::clone(&topo),
+            config: config.clone(),
+            epoch,
+            point_bytes,
+            router: RwLock::new(Some(router)),
+            router_stats,
+            write_txs: RwLock::new(Some(write_txs)),
+            read_gates,
+            write_gates,
+            registry: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(MetricsInner::default()),
+            next_ticket: AtomicU64::new(0),
+            mint: Mutex::new(mint),
+            worker_cells,
+            cache_snap,
+        });
+
+        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
+        let mut worker_threads = Vec::with_capacity(num_shards * replicas * wpr);
+        for s in 0..num_shards {
+            for r in 0..replicas {
+                for w in 0..wpr {
+                    let handle = r * wpr + w;
+                    let device = make_device(
+                        &config.device,
+                        topo.shard(s),
+                        &arrays[s],
+                        handle,
+                        topo.replica(s, r).cache(),
+                    );
+                    let topo = Arc::clone(&topo);
+                    let lanes = Arc::clone(&lanes);
+                    let cell = Arc::clone(&shared.worker_cells[s][r][w]);
+                    let engine = engine.clone();
+                    let jobs = lane_rxs[s][r].clone();
+                    let tx = msg_tx.clone();
+                    worker_threads.push(std::thread::spawn(move || {
+                        let ctx = WorkerCtx {
+                            shard: topo.shard(s),
+                            replica: r,
+                            worker_in_replica: w,
+                            workers_in_replica: wpr,
+                            replica_state: topo.replica(s, r),
+                            lane: &lanes[s][r],
+                            stats: &cell,
+                            engine: &engine,
+                            sim_time,
+                            epoch,
+                        };
+                        run_worker(ctx, device, jobs, tx);
+                    }));
+                }
+            }
+        }
+        drop(lane_rxs);
+        drop(msg_tx);
+
+        let writer_threads: Vec<JoinHandle<()>> = write_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(s, jobs)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || run_writer(&shared, s, jobs))
+            })
+            .collect();
+
+        let collector = {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || run_collector(&shared, msg_rx)))
+        };
+
+        Self {
+            shared,
+            worker_threads,
+            writer_threads,
+            collector,
+            closed: false,
+        }
+    }
+
+    /// Mint a new client handle. Each call creates an independent
+    /// client for the per-client fairness cap; [`Client::clone`] shares
+    /// one.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            cap: self.shared.config.per_client_inflight,
+        }
+    }
+
+    /// An **uncapped** client for the service's own internal pumps
+    /// (legacy wrappers, batch serving): the per-client fairness cap
+    /// protects external callers from each other, not the service from
+    /// itself.
+    pub(crate) fn internal_client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            cap: usize::MAX,
+        }
+    }
+
+    /// The serving topology (fence/unfence replicas here; a fence takes
+    /// effect on this session's workers immediately, an unfence at the
+    /// next session start).
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topo
+    }
+
+    /// The instant all session timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.shared.epoch
+    }
+
+    /// Seconds since the session epoch.
+    pub fn now(&self) -> f64 {
+        self.shared.now()
+    }
+
+    /// An incremental snapshot of the session's counters as a
+    /// [`ServiceReport`]: monotonic latency samples and shed / failover
+    /// / device / load counters covering everything that has resolved
+    /// so far. Callable at any time, including mid-run and after
+    /// shutdown. Per-ticket *results* live on the tickets, so
+    /// [`ServiceReport::results`] holds empty placeholders (shape only:
+    /// one entry per terminal query, completed first, then shed —
+    /// keeping `qps`/`shed_rate`/`latency` arithmetic exact). Interval
+    /// reporting: keep the previous snapshot and call
+    /// [`ServiceReport::interval_since`].
+    ///
+    /// [`ServiceReport`]: crate::service::ServiceReport
+    /// [`ServiceReport::results`]: crate::service::ServiceReport::results
+    /// [`ServiceReport::interval_since`]: crate::service::ServiceReport::interval_since
+    pub fn metrics(&self) -> ServiceReport {
+        build_report(&self.shared)
+    }
+
+    /// Serve one **batch request** through this session: byte-identical
+    /// queries are deduplicated before the engine (see
+    /// [`dedup_batch`](crate::service::dedup_batch())), each unique query
+    /// is submitted as its own ticket at one shared arrival instant,
+    /// and the merged results are fanned back out to every duplicate.
+    /// Blocks until the whole batch resolves.
+    ///
+    /// On a session shared with concurrent submitters, the report's
+    /// session-level fields (`device`, `total_io`, `failovers`,
+    /// `peak_queue_depth`) are deltas/high-waters that may include the
+    /// concurrent work; per-query results, statuses and latencies are
+    /// exact.
+    pub fn query_batch(&self, batch: &Dataset) -> BatchQueryReport {
+        let shards = self.shared.topo.shards();
+        assert_eq!(batch.dim(), shards.dim(), "query dimensionality");
+        let num_shards = shards.num_shards();
+        let replicas = self.shared.config.replicas_per_shard;
+        let workers_total = num_shards * replicas * self.shared.config.workers_per_replica;
+        let dedup = dedup_batch(batch);
+        let nu = dedup.uniques.len();
+        if batch.is_empty() {
+            return BatchQueryReport {
+                results: Vec::new(),
+                statuses: Vec::new(),
+                latencies: Vec::new(),
+                unique: 0,
+                collapsed: 0,
+                shed: 0,
+                failovers: 0,
+                peak_queue_depth: 0,
+                duration: 0.0,
+                device: DeviceStats::default(),
+                total_io: 0,
+                workers: workers_total,
+                shards: num_shards,
+            };
+        }
+
+        let before_io = self.shared.metrics.lock().unwrap().total_io;
+        let before_failovers = self.shared.router_stats.failovers();
+        let before_device = aggregate_device(&self.shared);
+
+        // One arrival instant for the whole request; the internal
+        // client is uncapped (fairness applies to external clients).
+        let client = self.internal_client();
+        let ref_t = self.now();
+        let tickets: Vec<QueryTicket> = dedup
+            .uniques
+            .iter()
+            .map(|&i| client.query_at(batch.point(i), ref_t))
+            .collect();
+        let unique_results: Vec<QueryResult> = tickets.into_iter().map(QueryTicket::wait).collect();
+
+        let n = batch.len();
+        let mut results = Vec::with_capacity(n);
+        let mut statuses = Vec::with_capacity(n);
+        let mut latencies = Vec::with_capacity(n);
+        for i in 0..n {
+            let u = &unique_results[dedup.rep[i]];
+            results.push(u.neighbors.clone());
+            statuses.push(u.status);
+            latencies.push(u.latency);
+        }
+        let shed = statuses.iter().filter(|&&s| s == OpStatus::Shed).count();
+        let duration = unique_results
+            .iter()
+            .map(|r| r.latency)
+            .fold(0.0f64, f64::max);
+        let mut device = aggregate_device(&self.shared);
+        device_sub(&mut device, &before_device);
+        BatchQueryReport {
+            results,
+            statuses,
+            latencies,
+            unique: nu,
+            collapsed: n - nu,
+            shed,
+            failovers: self.shared.router_stats.failovers() - before_failovers,
+            peak_queue_depth: peak_queue_depth(&self.shared),
+            duration,
+            device,
+            total_io: self.shared.metrics.lock().unwrap().total_io - before_io,
+            workers: workers_total,
+            shards: num_shards,
+        }
+    }
+
+    /// Drain and stop: close the queues (new submissions resolve
+    /// [`OpStatus::Shed`]), let workers finish every admitted op — so
+    /// **every outstanding ticket resolves** — and join every thread.
+    /// Returns the final [`ServiceReport`] snapshot.
+    ///
+    /// [`ServiceReport`]: crate::service::ServiceReport
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.close();
+        build_report(&self.shared)
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        // Dropping the router's senders disconnects every replica's
+        // queue; workers drain what was admitted, then exit. Clients
+        // mid-submit hold transient Arc clones — the queues close when
+        // the last one drops.
+        *self.shared.router.write().unwrap() = None;
+        *self.shared.write_txs.write().unwrap() = None;
+        for h in self.worker_threads.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.writer_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.collector.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The per-shard writer loop: owns the shard's [`ShardUpdater`] (the
+/// shard write lock — one writer per shard serializes its mutations),
+/// opened lazily on the first job so read-only sessions never take the
+/// index's read-write handle. Applies jobs in FIFO order, resolves
+/// each ticket and books the session metrics.
+fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
+    let shard = shared.topo.shard(s);
+    let mut up: Option<ShardUpdater<'_>> = None;
+    let mut open_failed = false;
+    while let Ok(job) = jobs.recv() {
+        if up.is_none() && !open_failed {
+            // A panic here would strand every write ticket of this
+            // shard; if the index file cannot be reopened read-write,
+            // writes to this shard fail instead.
+            match ShardUpdater::open(shard) {
+                Ok(mut u) => {
+                    for cache in shared.topo.shard_caches(s) {
+                        u.mirror_cache(cache);
+                    }
+                    up = Some(u);
+                }
+                Err(e) => {
+                    eprintln!("shard {s}: updater unavailable, failing writes: {e}");
+                    open_failed = true;
+                }
+            }
+        }
+        // Service start *after* the lazy open: the one-time open cost
+        // (RW reopen, reconcile, cache mirroring) is session setup, not
+        // the first write's service time (end-to-end latency still
+        // covers it — the caller really waited).
+        let start = shared.now();
+        let applied = match (&mut up, &job.kind) {
+            (Some(u), WriteKind::Insert { point }) => match u.insert(point) {
+                Ok(gid) => {
+                    debug_assert_eq!(gid, job.global_id, "mint/updater id drift");
+                    true
+                }
+                Err(_) => false,
+            },
+            (Some(u), WriteKind::Delete) => {
+                // Guard the id before the updater touches it: a delete
+                // of an id this shard never assigned (shed insert,
+                // caller error) fails cleanly instead of panicking the
+                // writer.
+                shard.try_local_of(job.global_id).is_some() && u.delete(job.global_id).is_ok()
+            }
+            (None, _) => false,
+        };
+        let finish = shared.now();
+        {
+            let mut m = shared.metrics.lock().unwrap();
+            if applied {
+                m.write_latencies.push(finish - job.ref_time);
+                m.write_service_latencies.push(finish - start);
+            } else {
+                m.writes_failed += 1;
+            }
+            m.last_event = m.last_event.max(finish);
+        }
+        job.slot.resolve(WriteResult {
+            status: OpStatus::Ok,
+            applied,
+            id: Some(job.global_id),
+            overload: None,
+            latency: finish - job.ref_time,
+            service_latency: finish - start,
+        });
+    }
+}
+
+/// The collector loop: merges shard partials into ticket resolutions
+/// and runs the failover scan on `ReplicaDown`. Exits when every
+/// worker's sender is gone (session shutdown).
+fn run_collector(shared: &SessionShared, msg_rx: Receiver<WorkerMsg>) {
+    let num_shards = shared.topo.num_shards();
+    while let Ok(msg) = msg_rx.recv() {
+        match msg {
+            WorkerMsg::Partial {
+                qid,
+                shard,
+                neighbors,
+                n_io,
+                start,
+                finish,
+            } => {
+                {
+                    let mut m = shared.metrics.lock().unwrap();
+                    m.total_io += u64::from(n_io);
+                }
+                let entry = shared.registry.lock().unwrap().get(&qid).cloned();
+                // A missing entry is a late partial of a resolved
+                // (force-completed or failover-raced) ticket: drop it.
+                let Some(e) = entry else { continue };
+                {
+                    let mut acc = e.acc.lock().unwrap();
+                    if acc.finished || (acc.got[shard] as usize) >= quota(&e.masks, shard) {
+                        // Failover duplicate: the dying replica
+                        // completed a query we also re-dispatched.
+                        continue;
+                    }
+                    acc.neighbors.extend(neighbors);
+                    acc.start = acc.start.min(start);
+                    acc.finish = acc.finish.max(finish);
+                    acc.n_io += u64::from(n_io);
+                    acc.got[shard] += 1;
+                }
+                try_finish(shared, &e, num_shards);
+            }
+            WorkerMsg::ReplicaDown { shard, replica } => {
+                failover_scan(shared, shard, replica, num_shards);
+            }
+        }
+    }
+}
+
+/// Resolve the ticket if every shard's quota is met. Every caller runs
+/// after the query was dispatched (a partial arrived, or the failover
+/// scan matched its routing bits), and all-or-nothing fan-out publishes
+/// every shard's dispatch set before the first send — so an
+/// undispatched query (all quotas 0) can never be finished through this
+/// check. A quota of 0 on a *dispatched* query is legitimate: every
+/// broadcast replica of that shard died and the shard contributes
+/// nothing.
+fn try_finish(shared: &SessionShared, e: &InFlight, num_shards: usize) -> bool {
+    let (neighbors, latency, service_latency, finish, n_io) = {
+        let mut acc = e.acc.lock().unwrap();
+        if acc.finished {
+            return false;
+        }
+        for s in 0..num_shards {
+            if (acc.got[s] as usize) < quota(&e.masks, s) {
+                return false;
+            }
+        }
+        acc.finished = true;
+        let mut merged = std::mem::take(&mut acc.neighbors);
+        merged.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        // Broadcast (and failover races) can deliver the same neighbor
+        // from two replicas of one shard: keep the first of each id.
+        // Shards never share ids, so single-route merges are untouched.
+        let k = shared.config.k;
+        let mut seen_ids: Vec<u32> = Vec::with_capacity(k);
+        merged.retain(|&(id, _)| {
+            if seen_ids.len() >= k || seen_ids.contains(&id) {
+                false
+            } else {
+                seen_ids.push(id);
+                true
+            }
+        });
+        // A query whose every partial was abandoned never started.
+        let start = if acc.start == f64::MAX {
+            acc.finish
+        } else {
+            acc.start
+        };
+        (
+            merged,
+            acc.finish - e.ref_time,
+            acc.finish - start,
+            acc.finish,
+            acc.n_io,
+        )
+    };
+    shared.registry.lock().unwrap().remove(&e.qid);
+    {
+        let mut m = shared.metrics.lock().unwrap();
+        m.read_latencies.push(latency);
+        m.read_service_latencies.push(service_latency);
+        m.last_event = m.last_event.max(finish);
+    }
+    e.slot.resolve(QueryResult {
+        status: OpStatus::Ok,
+        neighbors,
+        overload: None,
+        latency,
+        service_latency,
+        n_io,
+    });
+    true
+}
+
+/// A replica died mid-session: resolve every live ticket that was
+/// dispatched to it. Single-route policies re-dispatch to a live
+/// sibling (or, with none left, complete the query with that shard's
+/// partial empty); broadcast simply drops the dead replica's bit from
+/// the query's dispatch set — the surviving replicas already carry the
+/// query, so its quota shrinks and the ticket resolves without waiting
+/// for an answer that will never come.
+fn failover_scan(shared: &SessionShared, shard: usize, replica: usize, num_shards: usize) {
+    let entries: Vec<Arc<InFlight>> = shared.registry.lock().unwrap().values().cloned().collect();
+    let router = shared.router.read().unwrap().clone();
+    let broadcast = router
+        .as_ref()
+        .is_some_and(|r| r.policy() == RoutePolicy::Broadcast);
+    for e in entries {
+        {
+            let acc = e.acc.lock().unwrap();
+            if acc.finished || (acc.got[shard] as usize) >= quota(&e.masks, shard) {
+                continue;
+            }
+        }
+        if !is_routed_to(&e.masks, shard, replica) {
+            continue;
+        }
+        if broadcast {
+            // The dead replica's partial may or may not have been
+            // delivered; either way the sibling replicas of the
+            // broadcast carry identical answers, so shrinking the
+            // quota by this bit never degrades the result.
+            clear_routed_bit(&e.masks, shard, replica);
+            if quota(&e.masks, shard) == 0 && e.acc.lock().unwrap().got[shard] == 0 {
+                // Every broadcast replica of the shard died before
+                // answering: the shard's contribution is lost.
+                shared.router_stats.count_abandoned();
+            }
+            try_finish(shared, &e, num_shards);
+        } else {
+            let redispatched = router
+                .as_ref()
+                .and_then(|r| r.redispatch(e.qid, &e.point, &e.masks, shard, replica));
+            if redispatched.is_none() {
+                // No live sibling (or the session is draining): the
+                // shard contributes nothing; the ticket resolves when
+                // nothing else is outstanding.
+                shared.router_stats.count_abandoned();
+                let now = shared.now();
+                {
+                    let mut acc = e.acc.lock().unwrap();
+                    acc.got[shard] = quota(&e.masks, shard) as u8;
+                    acc.finish = acc.finish.max(now);
+                }
+                try_finish(shared, &e, num_shards);
+            }
+        }
+    }
+}
+
+/// Peak queue depth over every read lane and write queue.
+fn peak_queue_depth(shared: &SessionShared) -> usize {
+    let read = shared
+        .read_gates
+        .iter()
+        .flatten()
+        .map(|g| g.stats().peak_depth)
+        .max()
+        .unwrap_or(0);
+    let write = shared
+        .write_gates
+        .iter()
+        .map(|g| g.stats().peak_depth)
+        .max()
+        .unwrap_or(0);
+    read.max(write)
+}
+
+/// Fold the per-session cache-counter deltas of every replica cache
+/// into `device`.
+fn add_cache_deltas(shared: &SessionShared, device: &mut DeviceStats) {
+    let mut i = 0;
+    for s in 0..shared.topo.num_shards() {
+        for rep in shared.topo.shard_replicas(s) {
+            if let Some(c) = rep.cache() {
+                let snap = &shared.cache_snap[i];
+                device.cache_hits += c.hits() - snap.hits;
+                device.cache_misses += c.misses() - snap.misses;
+                device.cache_evictions += c.evictions() - snap.evictions;
+                device.cache_invalidations += c.invalidations() - snap.invalidations;
+                device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
+                device.cache_warmed += c.warmed() - snap.warmed;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Snapshot cache counters so reports show per-session deltas even when
+/// a warm cache is reused across sessions. One snapshot per replica, in
+/// `[shard][replica]` order flattened. Taken *before* start-time cache
+/// warming, so the blocks a session warms at start appear in its own
+/// `cache_warmed` delta.
+fn cache_snapshots(topo: &Topology) -> Vec<CacheSnapshot> {
+    (0..topo.num_shards())
+        .flat_map(|s| {
+            topo.shard_replicas(s).iter().map(|rep| match rep.cache() {
+                Some(c) => CacheSnapshot {
+                    hits: c.hits(),
+                    misses: c.misses(),
+                    evictions: c.evictions(),
+                    invalidations: c.invalidations(),
+                    stale_fills: c.stale_fills(),
+                    warmed: c.warmed(),
+                },
+                None => CacheSnapshot::default(),
+            })
+        })
+        .collect()
+}
+
+/// Aggregate the live per-worker device statistics: shared sim arrays
+/// report whole-array totals from every handle, so those are merged
+/// max-by-completed per shard; private devices are summed. Cache
+/// deltas (including warmed blocks) are folded in.
+fn aggregate_device(shared: &SessionShared) -> DeviceStats {
+    let shared_device = matches!(shared.config.device, DeviceSpec::SimShared { .. });
+    let mut out = DeviceStats::default();
+    for per_shard in &shared.worker_cells {
+        let mut best = DeviceStats::default();
+        for cell in per_shard.iter().flatten() {
+            let d = *cell.device.lock().unwrap();
+            if shared_device {
+                if d.completed >= best.completed {
+                    best = d;
+                }
+            } else {
+                out.completed += d.completed;
+                out.bytes += d.bytes;
+                out.latency_sum += d.latency_sum;
+                out.busy_sum += d.busy_sum;
+            }
+        }
+        if shared_device {
+            out.completed += best.completed;
+            out.bytes += best.bytes;
+            out.latency_sum += best.latency_sum;
+            out.busy_sum += best.busy_sum;
+        }
+    }
+    add_cache_deltas(shared, &mut out);
+    out
+}
+
+/// Field-wise saturating subtraction for device-stats deltas (per-batch
+/// reports and [`ServiceReport::interval_since`]).
+///
+/// [`ServiceReport::interval_since`]: crate::service::ServiceReport::interval_since
+pub(crate) fn device_sub(d: &mut DeviceStats, prev: &DeviceStats) {
+    d.completed -= prev.completed.min(d.completed);
+    d.bytes -= prev.bytes.min(d.bytes);
+    d.latency_sum = (d.latency_sum - prev.latency_sum).max(0.0);
+    d.busy_sum = (d.busy_sum - prev.busy_sum).max(0.0);
+    d.cache_hits -= prev.cache_hits.min(d.cache_hits);
+    d.cache_misses -= prev.cache_misses.min(d.cache_misses);
+    d.cache_evictions -= prev.cache_evictions.min(d.cache_evictions);
+    d.cache_invalidations -= prev.cache_invalidations.min(d.cache_invalidations);
+    d.cache_stale_fills -= prev.cache_stale_fills.min(d.cache_stale_fills);
+    d.cache_warmed -= prev.cache_warmed.min(d.cache_warmed);
+}
+
+/// Queries served per `[shard][replica]`, from the live worker cells.
+fn replica_load(shared: &SessionShared) -> Vec<Vec<u64>> {
+    shared
+        .worker_cells
+        .iter()
+        .map(|per_shard| {
+            per_shard
+                .iter()
+                .map(|cells| cells.iter().map(|c| c.served.load(Ordering::Acquire)).sum())
+                .collect()
+        })
+        .collect()
+}
+
+/// Assemble a [`ServiceReport`](crate::service::ServiceReport)
+/// snapshot from the session's monotonic counters (see
+/// [`Session::metrics`] for the layout of the per-op vectors).
+fn build_report(shared: &SessionShared) -> ServiceReport {
+    let (
+        mut latencies,
+        mut service_latencies,
+        write_latencies,
+        write_service_latencies,
+        shed_queries,
+        shed_writes,
+        writes_failed,
+        total_io,
+        duration,
+    ) = {
+        let m = shared.metrics.lock().unwrap();
+        (
+            m.read_latencies.clone(),
+            m.read_service_latencies.clone(),
+            m.write_latencies.clone(),
+            m.write_service_latencies.clone(),
+            m.shed_queries,
+            m.shed_writes,
+            m.writes_failed,
+            m.total_io,
+            m.last_event,
+        )
+    };
+    let completed = latencies.len();
+    let mut statuses = vec![OpStatus::Ok; completed];
+    statuses.extend(std::iter::repeat_n(OpStatus::Shed, shed_queries));
+    latencies.extend(std::iter::repeat_n(0.0, shed_queries));
+    service_latencies.extend(std::iter::repeat_n(0.0, shed_queries));
+    let num_shards = shared.topo.num_shards();
+    let replicas = shared.config.replicas_per_shard;
+    ServiceReport {
+        results: vec![Vec::new(); completed + shed_queries],
+        statuses,
+        latencies,
+        service_latencies,
+        write_latencies,
+        write_service_latencies,
+        writes_failed,
+        shed_queries,
+        shed_writes,
+        retries: 0,
+        failovers: shared.router_stats.failovers(),
+        lost_partials: shared.router_stats.abandoned(),
+        peak_queue_depth: peak_queue_depth(shared),
+        duration,
+        device: aggregate_device(shared),
+        total_io,
+        workers: num_shards * replicas * shared.config.workers_per_replica,
+        shards: num_shards,
+        replicas,
+        replica_load: replica_load(shared),
+    }
+}
+
+/// One shared simulated array per shard when the device spec asks for
+/// it — shared across **all** of the shard's replicas (the shard's data
+/// lives on one array; replicas add compute and cache, not spindles).
+fn build_arrays(topo: &Topology, config: &ServiceConfig) -> Vec<Option<SharedSimArray>> {
+    let handles = config.replicas_per_shard * config.workers_per_replica;
+    topo.shards()
+        .shards()
+        .iter()
+        .map(|shard| match config.device {
+            DeviceSpec::SimShared {
+                profile,
+                num_devices,
+            } => {
+                let sim = SimStorage::new(
+                    profile,
+                    num_devices,
+                    Backing::open(&shard.path).expect("open shard index"),
+                );
+                Some(SharedSimArray::new(sim, handles))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn make_device(
+    spec: &DeviceSpec,
+    shard: &Shard,
+    array: &Option<SharedSimArray>,
+    handle: usize,
+    cache: Option<&Arc<BlockCache>>,
+) -> Box<dyn Device> {
+    fn wrap<D: Device + 'static>(dev: D, cache: Option<&Arc<BlockCache>>) -> Box<dyn Device> {
+        match cache {
+            Some(cache) => Box::new(CachedDevice::new(dev, Arc::clone(cache), BLOCK_SIZE as u32)),
+            None => Box::new(dev),
+        }
+    }
+    match *spec {
+        DeviceSpec::File { io_workers } => wrap(
+            FileDevice::open(&shard.path, io_workers.max(1)).expect("open shard index"),
+            cache,
+        ),
+        DeviceSpec::SimPerWorker {
+            profile,
+            num_devices,
+        } => wrap(
+            SimStorage::new(
+                profile,
+                num_devices,
+                Backing::open(&shard.path).expect("open shard index"),
+            ),
+            cache,
+        ),
+        DeviceSpec::SimShared { .. } => wrap(
+            array.as_ref().expect("shared array built").handle(handle),
+            cache,
+        ),
+    }
+}

@@ -176,6 +176,28 @@ impl Shard {
         }
     }
 
+    /// Checked [`Shard::local_of`]: `Some(local)` when this shard owns
+    /// `global` **and** the row exists (the id was assigned — inserted
+    /// rows land in the dataset even when the index write failed).
+    /// `None` for ids of other shards and ids never assigned — the
+    /// writer's guard against deletes of unminted ids, which must fail
+    /// cleanly instead of panicking.
+    pub fn try_local_of(&self, global: u32) -> Option<u32> {
+        let g = global as usize;
+        let local = if g < self.base_total {
+            if g < self.start || g - self.start >= self.base_len {
+                return None;
+            }
+            (g - self.start) as u32
+        } else {
+            if (g - self.base_total) % self.num_shards != self.id {
+                return None;
+            }
+            (self.base_len + (g - self.base_total) / self.num_shards) as u32
+        };
+        ((local as usize) < self.num_rows()).then_some(local)
+    }
+
     /// Rows currently held (build-time + appended).
     pub fn num_rows(&self) -> usize {
         self.data.read().unwrap().len()

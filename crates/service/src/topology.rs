@@ -170,10 +170,52 @@ impl Topology {
         self.replicas[s][r].fence()
     }
 
-    /// Clear a replica's fence so future serve calls use it again
-    /// (workers are spawned per run, so recovery needs no handshake).
+    /// Clear a replica's fence so future serve calls and sessions use
+    /// it again (workers are spawned per session, so recovery needs no
+    /// handshake; a session that already fenced the replica's workers
+    /// picks it back up at the next session start).
     pub fn unfence(&self, s: usize, r: usize) {
         self.replicas[s][r].down.store(false, Ordering::SeqCst);
+    }
+
+    /// Warm replica `r`'s block cache from the warmest sibling of shard
+    /// `s`: copy up to `max_blocks` of the sibling's most-recently-used
+    /// blocks ([`BlockCache::warm_from`]) so the replica starts serving
+    /// from a populated cache instead of paying the cold-start misses.
+    /// The donor is the sibling (fenced or not — a fenced replica's
+    /// cache is still invalidation-maintained) with the most cached
+    /// blocks. Returns the number of blocks copied (0 when the shard is
+    /// uncached, `max_blocks` is 0, or no sibling holds anything).
+    ///
+    /// Call while the shard has no active writer (see
+    /// [`BlockCache::warm_from`] for the race this avoids); the serving
+    /// layer warms at session start, before writers accept work.
+    pub fn warm_replica(&self, s: usize, r: usize, max_blocks: usize) -> usize {
+        if max_blocks == 0 {
+            return 0;
+        }
+        let Some(target) = self.replicas[s][r].cache() else {
+            return 0;
+        };
+        let donor = self.replicas[s]
+            .iter()
+            .enumerate()
+            .filter(|&(ri, _)| ri != r)
+            .filter_map(|(_, rep)| rep.cache())
+            .max_by_key(|c| c.len());
+        match donor {
+            Some(donor) => target.warm_from(donor, max_blocks),
+            None => 0,
+        }
+    }
+
+    /// [`Topology::unfence`] + [`Topology::warm_replica`]: bring a
+    /// fenced replica back and pre-fill its cache from the warmest live
+    /// sibling so its first queries do not pay the full cold-start miss
+    /// cost. Returns the number of blocks copied.
+    pub fn unfence_and_warm(&self, s: usize, r: usize, max_blocks: usize) -> usize {
+        self.unfence(s, r);
+        self.warm_replica(s, r, max_blocks)
     }
 
     /// True when replica `r` of shard `s` is fenced.
@@ -262,6 +304,34 @@ mod tests {
         assert!(topo.shard_caches(0).is_empty());
         assert!(topo.replica(0, 1).cache().is_none());
         topo.shards().cleanup();
+    }
+
+    #[test]
+    fn warm_replica_copies_from_warmest_sibling() {
+        let shards = tiny_shards(128, "warm");
+        let topo = Topology::new(shards, 3);
+        // Heat replica 0's cache (the shard cache) by hand.
+        let donor = topo.replica(0, 0).cache().unwrap();
+        for k in 0..20u64 {
+            donor.insert(k, std::sync::Arc::from([k as u8].as_slice()));
+        }
+        let copied = topo.warm_replica(0, 1, 8);
+        assert_eq!(copied, 8);
+        let warmed = topo.replica(0, 1).cache().unwrap();
+        assert_eq!(warmed.len(), 8);
+        assert_eq!(warmed.warmed(), 8);
+        // Budget 0 and uncached shards are no-ops.
+        assert_eq!(topo.warm_replica(0, 2, 0), 0);
+        // unfence_and_warm clears the fence and warms in one call.
+        topo.fence(0, 2);
+        let copied = topo.unfence_and_warm(0, 2, 4);
+        assert!(!topo.is_down(0, 2));
+        assert_eq!(copied, 4);
+        topo.shards().cleanup();
+
+        let uncached = Topology::new(tiny_shards(0, "warmless"), 2);
+        assert_eq!(uncached.warm_replica(0, 1, 8), 0);
+        uncached.shards().cleanup();
     }
 
     #[test]

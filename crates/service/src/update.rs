@@ -15,24 +15,20 @@
 //!    [`WriteTrace`](e2lsh_storage::update::WriteTrace) — per-key
 //!    epochs in the cache discard in-flight fills for those blocks
 //!    only — and mirrors newly set occupancy-filter bits into the live
-//!    [`StorageIndex`] so queries start probing the new buckets.
+//!    [`StorageIndex`](e2lsh_storage::index::StorageIndex) so queries
+//!    start probing the new buckets.
 //!
 //! The trace is applied **even when the operation fails** part-way: a
 //! failed insert may already have rewritten blocks, and a cache serving
 //! their pre-write bytes would be stale (covered by the
 //! failure-injection suite).
 
-use crate::admission::GatedReceiver;
 use crate::shard::Shard;
-use crate::worker::WorkerMsg;
-use crossbeam::channel::Sender;
-use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::device::cached::BlockCache;
 use e2lsh_storage::layout::BLOCK_SIZE;
 use e2lsh_storage::update::Updater;
 use std::io;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Read-write handle over one shard for online maintenance, safe to use
 /// while the shard serves queries (one `ShardUpdater` per shard at a
@@ -150,80 +146,5 @@ impl<'a> ShardUpdater<'a> {
                 cache.invalidate(addr / BLOCK_SIZE as u64);
             }
         }
-    }
-}
-
-/// A write admitted to the service, bound for one shard's writer.
-pub(crate) struct WriteJob {
-    /// Index of the op in the service's op stream (for latency
-    /// bookkeeping).
-    pub op_idx: usize,
-    /// Global id the dispatcher assigned (inserts) or targets (deletes).
-    pub global_id: u32,
-    pub kind: WriteKind,
-}
-
-pub(crate) enum WriteKind {
-    /// Insert this point of the service's insert pool.
-    Insert {
-        point_idx: usize,
-    },
-    Delete,
-}
-
-/// The per-shard writer loop: owns the shard's [`ShardUpdater`] (the
-/// shard write lock — one writer per shard serializes its mutations),
-/// applies jobs in FIFO order, reports completions to the collector.
-/// FIFO matters: the dispatcher sends ops in stream order, so a delete
-/// of an id inserted earlier lands after its insert.
-pub(crate) fn run_writer(
-    shard: &Shard,
-    replica_caches: &[Arc<BlockCache>],
-    inserts: &Dataset,
-    jobs: GatedReceiver<WriteJob>,
-    out: Sender<WorkerMsg>,
-    epoch: Instant,
-) {
-    // A panic here would starve the collector of this shard's WriteDone
-    // messages and hang the serve call; if the index file cannot be
-    // reopened read-write, every write to this shard fails instead.
-    let mut up = match ShardUpdater::open(shard) {
-        Ok(mut up) => {
-            for cache in replica_caches {
-                up.mirror_cache(Arc::clone(cache));
-            }
-            Some(up)
-        }
-        Err(e) => {
-            eprintln!(
-                "shard {}: updater unavailable, failing writes: {e}",
-                shard.id
-            );
-            None
-        }
-    };
-    while let Ok(job) = jobs.recv() {
-        let start = epoch.elapsed().as_secs_f64();
-        let ok = match (&mut up, job.kind) {
-            (Some(up), WriteKind::Insert { point_idx }) => {
-                match up.insert(inserts.point(point_idx)) {
-                    Ok(gid) => {
-                        debug_assert_eq!(gid, job.global_id, "dispatcher/updater id drift");
-                        true
-                    }
-                    Err(_) => false,
-                }
-            }
-            (Some(up), WriteKind::Delete) => up.delete(job.global_id).is_ok(),
-            (None, _) => false,
-        };
-        // The collector may already have everything it needs and be
-        // gone; that is not a writer error.
-        let _ = out.send(WorkerMsg::WriteDone {
-            op_idx: job.op_idx,
-            ok,
-            start,
-            finish: epoch.elapsed().as_secs_f64(),
-        });
     }
 }

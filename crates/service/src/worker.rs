@@ -8,6 +8,16 @@
 //! `run_queries` uses, but fed from the replica's admission queue and
 //! emitting per-shard partial results as queries finish.
 //!
+//! Since the session redesign ([`crate::session`]) workers are
+//! **session-lived**: they are spawned once by `Session::start`, serve
+//! jobs submitted by any number of concurrent clients (each [`Job`]
+//! carries its own query point — there is no shared pre-known query
+//! set), and exit when the session shuts down and their queue
+//! disconnects. Statistics are published *live* into a per-worker
+//! [`WorkerStatsCell`] (on every query completion and at exit), so
+//! `Session::metrics` can report device and load counters mid-run
+//! without waiting for worker exit.
+//!
 //! Workers also participate in the **fencing protocol**
 //! ([`crate::router`]): every loop iteration checks the replica's down
 //! flag; once fenced, the worker abandons its queued and in-flight
@@ -15,100 +25,78 @@
 //! sends to quiesce before emitting one [`WorkerMsg::ReplicaDown`] —
 //! the collector's signal to re-dispatch the replica's outstanding
 //! queries. A worker that **panics** fences its own replica first, so
-//! a crash degrades into the same failover path instead of a hung
-//! collector.
+//! a crash degrades into the same failover path instead of stranding
+//! the replica's tickets.
 
 use crate::admission::GatedReceiver;
 use crate::router::LaneState;
 use crate::shard::Shard;
 use crate::topology::Replica;
 use crossbeam::channel::{RecvTimeoutError, Sender, TryRecvError};
-use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::device::{Device, DeviceStats};
 use e2lsh_storage::query::{completion_ctx, EngineClock, EngineConfig, QueryDriver, QueryState};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// A query admitted to the service; workers look the point up in the
-/// shared query set.
-#[derive(Clone, Copy, Debug)]
+/// A query admitted to the service. Jobs are self-contained: the
+/// session's clients submit arbitrary points at any time, so each job
+/// carries its own coordinates instead of indexing a pre-known set.
+#[derive(Clone, Debug)]
 pub struct Job {
-    /// Index into the service's query set.
-    pub qid: usize,
+    /// The ticket id of the query this job serves (session-unique).
+    pub qid: u64,
+    /// The query coordinates (shared across the per-shard fan-out).
+    pub point: std::sync::Arc<[f32]>,
 }
 
-/// Worker/writer → collector messages.
+/// Worker → collector messages.
 pub enum WorkerMsg {
     /// One shard finished one query.
     Partial {
-        /// Query id.
-        qid: usize,
+        /// Ticket id of the query.
+        qid: u64,
         /// Shard that produced this partial result.
         shard: usize,
         /// Top-k within the shard, **global** ids, distance ascending.
         neighbors: Vec<(u32, f32)>,
         /// I/Os this shard issued for the query.
         n_io: u32,
-        /// Seconds since the service epoch when this shard *started*
+        /// Seconds since the session epoch when this shard *started*
         /// serving the query (admitted into a worker slot). The
         /// collector keeps the minimum over shards: latency from there
-        /// is pure service time, latency from the op's queue-entry
+        /// is pure service time, latency from the ticket's submission
         /// reference additionally counts enqueue wait.
         start: f64,
-        /// Seconds since the service epoch when the shard finished.
+        /// Seconds since the session epoch when the shard finished.
         finish: f64,
     },
-    /// A shard writer finished one insert/delete.
-    WriteDone {
-        /// Index of the op in the service's op stream.
-        op_idx: usize,
-        /// False when the updater returned an error (the shard stays
-        /// queryable; the rewritten blocks were still invalidated).
-        ok: bool,
-        /// Seconds since the service epoch when the writer dequeued the
-        /// job (service start; `finish - start` excludes queue wait).
-        start: f64,
-        /// Seconds since the service epoch when the write finished.
-        finish: f64,
-    },
-    /// The dispatcher shed one op at admission ([`crate::admission`]):
-    /// no worker will report it. Emitted by the open-loop arrival
-    /// thread so the collector still sees exactly one terminal message
-    /// per op (the closed loop books sheds inline).
-    Shed {
-        /// Index of the op in the service's op stream.
-        op_idx: usize,
-        /// `Some(qid)` for queries, `None` for writes.
-        qid: Option<usize>,
-    },
-    /// A fenced (or panicked) replica finished dying for this run: its
-    /// workers have stopped, in-progress sends have quiesced, and no
-    /// further partial of its queued or in-flight jobs will arrive
+    /// A fenced (or panicked) replica finished dying for this session:
+    /// its workers have stopped, in-progress sends have quiesced, and
+    /// no further partial of its queued or in-flight jobs will arrive
     /// (ones already emitted may still race in — the collector's
     /// received markers drop duplicates). Sent exactly once per fenced
-    /// replica per run, by the last worker out. The collector answers
-    /// with the failover scan ([`crate::router`]).
+    /// replica per session, by the last worker out. The collector
+    /// answers with the failover scan ([`crate::router`]).
     ReplicaDown {
         /// Shard of the dead replica.
         shard: usize,
         /// Replica index within the shard.
         replica: usize,
     },
-    /// A worker drained its queue and exited.
-    Done {
-        /// Shard the worker served.
-        shard: usize,
-        /// Replica the worker belonged to.
-        replica: usize,
-        /// Worker index within the replica.
-        worker_in_replica: usize,
-        /// Final device statistics (for shared devices this is the whole
-        /// array — the collector de-duplicates).
-        device: DeviceStats,
-        /// Queries this worker completed.
-        served: usize,
-    },
+}
+
+/// Live statistics one worker publishes for `Session::metrics`:
+/// updated on every query completion and at worker exit, so snapshots
+/// taken mid-session see every completed query's device work.
+#[derive(Debug, Default)]
+pub struct WorkerStatsCell {
+    /// The worker's device statistics (whole-array totals for shared
+    /// sim arrays — the aggregator de-duplicates per shard).
+    pub device: Mutex<DeviceStats>,
+    /// Queries this worker completed.
+    pub served: AtomicU64,
 }
 
 /// How long a worker with free slots will block on its device before
@@ -131,7 +119,7 @@ pub(crate) fn sleep_until(epoch: Instant, t: f64) {
     }
 }
 
-/// Everything a worker borrows from the service for its lifetime.
+/// Everything a worker borrows from the session for its lifetime.
 pub struct WorkerCtx<'a> {
     /// The shard this worker serves.
     pub shard: &'a Shard,
@@ -139,23 +127,23 @@ pub struct WorkerCtx<'a> {
     pub replica: usize,
     /// Worker index within the replica.
     pub worker_in_replica: usize,
-    /// Workers in this replica this run (for the last-exiter duty).
+    /// Workers in this replica this session (for the last-exiter duty).
     pub workers_in_replica: usize,
     /// The replica's health handle ([`crate::topology`]): its down flag
     /// is checked every loop iteration, and [`run_worker`] fences it
     /// when the serving loop panics.
     pub replica_state: &'a Replica,
-    /// The replica's per-run handshake state ([`crate::router`]).
+    /// The replica's per-session handshake state ([`crate::router`]).
     pub lane: &'a LaneState,
-    /// The service-wide query set jobs index into.
-    pub queries: &'a Dataset,
+    /// The worker's live statistics cell.
+    pub stats: &'a WorkerStatsCell,
     /// Engine configuration (wall-clock; `contexts` slots).
     pub engine: &'a EngineConfig,
     /// True when the device models time (wall-driven simulation): poll
     /// with the epoch-relative clock and sleep to modeled completion
     /// times instead of blocking in the device.
     pub sim_time: bool,
-    /// The service start instant all timestamps are relative to.
+    /// The session start instant all timestamps are relative to.
     pub epoch: Instant,
 }
 
@@ -163,7 +151,7 @@ pub struct WorkerCtx<'a> {
 /// admitted queries finish — or the replica is fenced, in which case
 /// the worker abandons its work and performs the exit handshake. A
 /// panic inside the serving loop fences the replica and exits through
-/// the same handshake instead of poisoning the run.
+/// the same handshake instead of poisoning the session.
 pub fn run_worker(
     ctx: WorkerCtx<'_>,
     device: Box<dyn Device>,
@@ -175,28 +163,27 @@ pub fn run_worker(
     if panicked {
         // Crash containment: fence the whole replica (siblings abandon
         // too — through Topology's own fence path, so the diagnostics
-        // counter records the crash) and report zeroed stats; the
-        // failover scan re-serves whatever this replica was holding.
+        // counter records the crash). Statistics published before the
+        // panic stand; the failover scan re-serves whatever this
+        // replica was holding.
         ctx.replica_state.fence();
-        let _ = out.send(WorkerMsg::Done {
-            shard: ctx.shard.id,
-            replica: ctx.replica,
-            worker_in_replica: ctx.worker_in_replica,
-            device: DeviceStats::default(),
-            served: 0,
-        });
+        ctx.lane.fenced.store(true, Ordering::SeqCst);
     }
-    // Exit handshake. Only meaningful when the replica is down — but
-    // the counter is bumped on every path so "last worker out" is well
-    // defined no matter how the exits interleave with a late fence.
+    // Exit handshake. Only meaningful when the lane died fenced — the
+    // *latched* per-session flag, not the live `is_down()`: an unfence
+    // racing this handshake must not suppress the ReplicaDown (the
+    // collector's only cue to rescue the abandoned jobs; a suppressed
+    // emission would strand their tickets forever). The counter is
+    // bumped on every path so "last worker out" is well defined no
+    // matter how the exits interleave with a late fence.
     let exited = ctx.lane.exited.fetch_add(1, Ordering::SeqCst) + 1;
-    if ctx.replica_state.is_down() && exited == ctx.workers_in_replica {
+    if ctx.lane.fenced.load(Ordering::SeqCst) && exited == ctx.workers_in_replica {
         // Quiesce: a dispatcher that saw the flag up never sends; one
         // that raced it holds `routes` until its send lands. After this
-        // wait the routing table is complete and the dead queue is
-        // frozen — safe to tell the collector to scan. (The receiver
-        // `jobs` is still alive here, so those racing sends never hit a
-        // disconnected channel.)
+        // wait every live ticket's dispatch masks are complete and the
+        // dead queue is frozen — safe to tell the collector to scan.
+        // (The receiver `jobs` is still alive here, so those racing
+        // sends never hit a disconnected channel.)
         while ctx.lane.routes.load(Ordering::SeqCst) != 0 {
             std::hint::spin_loop();
         }
@@ -222,13 +209,15 @@ fn serve_loop(
     let mut clock = EngineClock::default();
     let mut completions = Vec::new();
     let mut disconnected = false;
-    let mut served = 0usize;
+    let mut served = 0u64;
 
-    // Emit the partial result of a finished slot.
+    // Emit the partial result of a finished slot and publish live
+    // statistics (the collector may resolve the ticket the moment the
+    // partial lands, so stats must be current *before* the send).
     macro_rules! harvest {
         ($ci:expr) => {{
             let ci = $ci;
-            let qid = slots[ci].query_id();
+            let qid = slots[ci].query_id() as u64;
             let outcome = slots[ci].take_outcome();
             let neighbors = outcome
                 .neighbors
@@ -237,6 +226,8 @@ fn serve_loop(
                 .collect();
             served += 1;
             free.push(ci);
+            *ctx.stats.device.lock().unwrap() = device.stats();
+            ctx.stats.served.store(served, Ordering::Release);
             // The collector may already have everything it needs and be
             // gone; that is not a worker error.
             let _ = out.send(WorkerMsg::Partial {
@@ -259,8 +250,8 @@ fn serve_loop(
             clock.observe(slot_start[ci]);
             driver.admit(
                 &mut slots[ci],
-                job.qid,
-                ctx.queries.point(job.qid),
+                job.qid as usize,
+                &job.point,
                 &mut clock,
                 &mut *device,
             );
@@ -272,10 +263,16 @@ fn serve_loop(
 
     loop {
         // Fenced: abandon queued and in-flight work immediately — the
-        // replica is "dead", the failover scan re-serves its queries.
-        // (Break, not return: the exit report below still carries the
-        // stats of the work done before the fence.)
-        if ctx.replica_state.is_down() {
+        // replica is "dead" and the failover scan re-serves its
+        // queries. The flag is latched into the lane first, so the
+        // fence is sticky for this session: siblings that miss the
+        // `is_down` window (an operator unfencing right away) still
+        // see the latch and exit with us — a half-dead lane, or a
+        // suppressed ReplicaDown, would strand in-flight tickets.
+        // (Break, not return: the final stats publication below still
+        // carries the work done before the fence.)
+        if ctx.replica_state.is_down() || ctx.lane.fenced.load(Ordering::SeqCst) {
+            ctx.lane.fenced.store(true, Ordering::SeqCst);
             break;
         }
 
@@ -356,11 +353,8 @@ fn serve_loop(
         drop(data);
     }
 
-    let _ = out.send(WorkerMsg::Done {
-        shard: ctx.shard.id,
-        replica: ctx.replica,
-        worker_in_replica: ctx.worker_in_replica,
-        device: device.stats(),
-        served,
-    });
+    // Final publication: covers trailing device work (e.g. I/Os of
+    // abandoned in-flight queries) that no harvest reported.
+    *ctx.stats.device.lock().unwrap() = device.stats();
+    ctx.stats.served.store(served, Ordering::Release);
 }

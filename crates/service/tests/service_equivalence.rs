@@ -186,6 +186,21 @@ fn multi_shard_service_equals_merged_per_shard_batches() {
             "query {qi}: sharded service differs from merged batches"
         );
     }
+    // The session API is the same engine: a hand-driven session returns
+    // the reference results bit-exactly too.
+    let session = svc.start();
+    let client = session.client();
+    let tickets: Vec<_> = (0..queries.len())
+        .map(|qi| client.query(queries.point(qi)))
+        .collect();
+    for (qi, t) in tickets.into_iter().enumerate() {
+        let r = t.wait();
+        assert_eq!(
+            &r.neighbors, &expect[qi],
+            "query {qi}: hand-driven session differs from merged batches"
+        );
+    }
+    drop(session.shutdown());
     // Global ids must be valid and unique.
     for r in &report.results {
         let mut ids: Vec<u32> = r.iter().map(|&(id, _)| id).collect();

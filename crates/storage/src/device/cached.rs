@@ -224,6 +224,8 @@ pub struct BlockCache {
     /// In-flight fills discarded because their key was invalidated (or
     /// the cache flushed) between submit and completion.
     stale_fills: AtomicU64,
+    /// Blocks copied in from a sibling cache by [`BlockCache::warm_from`].
+    warmed: AtomicU64,
 }
 
 impl BlockCache {
@@ -247,6 +249,7 @@ impl BlockCache {
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             stale_fills: AtomicU64::new(0),
+            warmed: AtomicU64::new(0),
         }
     }
 
@@ -406,6 +409,84 @@ impl BlockCache {
     /// replica of a shard its own private cache of identical shape.
     pub fn new_like(&self) -> Self {
         Self::new(self.capacity(), self.lock_shards())
+    }
+
+    /// The hottest (most-recently-used) cached blocks, up to
+    /// `max_blocks`, as `(key, bytes)` pairs. Per-segment MRU lists are
+    /// merged round-robin, so the result approximates the global
+    /// recency order while holding each segment lock once. Counts
+    /// neither hits nor misses.
+    pub fn hottest(&self, max_blocks: usize) -> Vec<(u64, Arc<[u8]>)> {
+        let per_segment: Vec<Vec<(u64, Arc<[u8]>)>> = self
+            .shards
+            .iter()
+            .map(|m| {
+                let s = m.lock().unwrap();
+                let mut list = Vec::new();
+                let mut i = s.head;
+                while i != NIL && list.len() < max_blocks {
+                    list.push((s.nodes[i].key, Arc::clone(&s.nodes[i].data)));
+                    i = s.nodes[i].next;
+                }
+                list
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut rank = 0;
+        while out.len() < max_blocks {
+            let mut any = false;
+            for seg in &per_segment {
+                if let Some(entry) = seg.get(rank) {
+                    out.push(entry.clone());
+                    any = true;
+                    if out.len() >= max_blocks {
+                        break;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            rank += 1;
+        }
+        out
+    }
+
+    /// Pre-fill this cache with up to `max_blocks` of `donor`'s hottest
+    /// blocks (replica-aware cache warming: a fresh or unfenced replica
+    /// copies a live sibling's working set instead of starting cold).
+    /// Keys already present here are skipped; each copy is epoch-gated
+    /// ([`BlockCache::insert_if_fresh`]) so an invalidation racing the
+    /// warm pass discards the affected block instead of resurrecting
+    /// pre-write bytes. Returns the number of blocks copied (also
+    /// accumulated in [`BlockCache::warmed`]).
+    ///
+    /// The donor's entries are valid by construction (writers invalidate
+    /// rewritten blocks in every replica cache), but the copy is not
+    /// atomic with the donor's invalidation sweep: run warming while the
+    /// shard has no active writer (the serving layer warms at session
+    /// start, before its writers accept work).
+    pub fn warm_from(&self, donor: &BlockCache, max_blocks: usize) -> usize {
+        let mut copied = 0;
+        for (key, data) in donor.hottest(max_blocks) {
+            // Snapshot the target epoch *before* taking the bytes: an
+            // invalidation of `key` between here and the insert bumps
+            // the epoch and the stale copy is rejected.
+            let epoch = self.fill_epoch(key);
+            if self.shard_for(key).lock().unwrap().map.contains_key(&key) {
+                continue; // already cached (counts no hit)
+            }
+            if self.insert_if_fresh(key, data, epoch) {
+                copied += 1;
+            }
+        }
+        self.warmed.fetch_add(copied as u64, Ordering::Relaxed);
+        copied
+    }
+
+    /// Blocks copied in from sibling caches by [`BlockCache::warm_from`].
+    pub fn warmed(&self) -> u64 {
+        self.warmed.load(Ordering::Relaxed)
     }
 
     /// Lookups served from DRAM.
@@ -868,6 +949,45 @@ mod tests {
         let epoch = cache.fill_epoch(victim_key);
         assert!(cache.insert_if_fresh(victim_key, Arc::from([2u8].as_slice()), epoch));
         assert!(cache.get(victim_key).is_some());
+    }
+
+    #[test]
+    fn warm_from_copies_mru_first_and_is_epoch_gated() {
+        let donor = BlockCache::new(8, 1);
+        for k in 0..6u64 {
+            donor.insert(k, Arc::from([k as u8].as_slice()));
+        }
+        donor.get(2); // 2 becomes MRU
+        let hot = donor.hottest(3);
+        assert_eq!(hot.len(), 3);
+        assert_eq!(hot[0].0, 2, "MRU block leads the hottest list");
+
+        let fresh = donor.new_like();
+        let copied = fresh.warm_from(&donor, 4);
+        assert_eq!(copied, 4);
+        assert_eq!(fresh.warmed(), 4);
+        assert_eq!(fresh.len(), 4);
+        // Warmed blocks serve as hits with the donor's exact bytes.
+        assert_eq!(fresh.get(2).unwrap().as_ref(), &[2u8][..]);
+        // Re-warming skips blocks already present.
+        assert_eq!(fresh.warm_from(&donor, 4), 0);
+        // A block invalidated in the target mid-warm stays out: the copy
+        // is epoch-gated exactly like a miss fill.
+        let cold = donor.new_like();
+        let epoch = cold.fill_epoch(5);
+        cold.invalidate(5);
+        assert!(!cold.insert_if_fresh(5, Arc::from([9u8].as_slice()), epoch));
+    }
+
+    #[test]
+    fn hottest_caps_and_handles_empty() {
+        let cache = BlockCache::new(16, 4);
+        assert!(cache.hottest(8).is_empty());
+        for k in 0..10u64 {
+            cache.insert(k, Arc::from([0u8].as_slice()));
+        }
+        assert_eq!(cache.hottest(4).len(), 4);
+        assert_eq!(cache.hottest(100).len(), 10);
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub struct DeviceStats {
     /// invalidated between submit and completion. Cache-level;
     /// aggregators fill it from [`cached::BlockCache::stale_fills`].
     pub cache_stale_fills: u64,
+    /// Blocks pre-filled from a sibling replica's cache
+    /// ([`cached::BlockCache::warm_from`] — replica-aware cache
+    /// warming). Cache-level like evictions; aggregators fill it from
+    /// [`cached::BlockCache::warmed`].
+    pub cache_warmed: u64,
 }
 
 impl DeviceStats {

@@ -1,11 +1,12 @@
-//! Serving-layer tour: shard a dataset, stand up the multi-threaded
-//! service with a DRAM block cache, and serve a skewed query stream
-//! under closed-loop and open-loop (Poisson) admission — then push the
-//! open loop past capacity to watch bounded admission shed load, serve
-//! a duplicate-heavy batch through `query_batch`, let backoff-honoring
-//! clients retry on the `Overload::retry_after` hint, and finally back
-//! each shard with 3 replicas, kill one mid-run, and watch the router
-//! fail its queries over to a sibling.
+//! Serving-layer tour: shard a dataset, stand up the service as a
+//! **long-lived session** and submit interactively through ticketed
+//! clients (with a mid-run metrics snapshot), then run the legacy
+//! harness wrappers: closed-loop and open-loop (Poisson) admission,
+//! the open loop pushed past capacity to watch bounded admission shed
+//! load, a duplicate-heavy batch through `query_batch`,
+//! backoff-honoring clients retrying on the `Overload::retry_after`
+//! hint, and finally each shard backed by 3 replicas with one killed
+//! mid-run, the router failing its queries over to a sibling.
 //!
 //! **Overload error contract:** with a finite
 //! [`AdmissionBudget`](e2lshos::service::AdmissionBudget), any *query*
@@ -23,7 +24,7 @@
 //! Run with `cargo run --release --example serve`.
 
 use e2lshos::prelude::*;
-use e2lshos::service::{skewed_queries, zipf_indices, AdmissionBudget, Load, RoutePolicy};
+use e2lshos::service::{skewed_queries, zipf_indices, AdmissionBudget, Load, RoutePolicy, WriteOp};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -103,7 +104,59 @@ fn main() {
         },
     );
 
-    // Closed loop: a fixed population of 32 in-flight queries.
+    // The session API: start the service once, submit interactively
+    // through cloneable clients, read metrics mid-run, shut down when
+    // done. `client.query` never blocks — it returns a ticket that
+    // resolves (poll or wait) with the result, or with a typed
+    // `Overload` when the query was shed at admission. Writes mint
+    // their global ids at admission; the ticket reports the id.
+    let session = service.start();
+    let interactive = session.client();
+    let first: Vec<_> = (0..64)
+        .map(|qi| interactive.query(queries.point(qi)))
+        .collect();
+    let inserted = interactive
+        .write_blocking(WriteOp::Insert(base_queries.point(0)))
+        .wait();
+    let first: Vec<_> = first.into_iter().map(|t| t.wait()).collect();
+    let mid = session.metrics(); // mid-run snapshot
+    println!(
+        "session (mid-run): {} queries resolved, insert minted id {:?}, \
+         p99 so far {:.2} ms, cache hit rate {:.0}%",
+        mid.latency().count,
+        inserted.id,
+        mid.latency().p99 * 1e3,
+        mid.device.cache_hit_rate() * 100.0
+    );
+    // ...and the freshly inserted point is findable right away.
+    let hit = interactive.query(base_queries.point(0)).wait();
+    println!(
+        "query for the inserted point returns {:?} (top neighbor = the new id)",
+        &hit.neighbors[..1.min(hit.neighbors.len())]
+    );
+    let removed = interactive
+        .write_blocking(WriteOp::Delete(inserted.id.unwrap()))
+        .wait();
+    assert!(removed.applied);
+    let more: Vec<_> = (64..queries.len())
+        .map(|qi| interactive.query(queries.point(qi)))
+        .collect();
+    for t in more {
+        t.wait();
+    }
+    let fin = session.shutdown();
+    let delta = fin.interval_since(&mid);
+    println!(
+        "session (final): {} queries, {} writes; since the snapshot: {} queries at {:.0} QPS",
+        fin.latency().count,
+        fin.write_latencies.len(),
+        delta.latency().count,
+        delta.qps()
+    );
+    assert!(first.iter().all(|r| r.status == OpStatus::Ok));
+
+    // Closed loop: a fixed population of 32 in-flight queries — the
+    // legacy wrapper, now a thin client of the session API.
     let closed = service.serve(&queries, Load::Closed { window: 32 });
     let lat = closed.latency();
     println!(

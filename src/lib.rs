@@ -11,15 +11,21 @@
 //!   with asynchronous I/O, simulated and real device backends, and the
 //!   DRAM block cache;
 //! * [`service`] ([`e2lsh_service`]) — the sharded, replicated,
-//!   multi-threaded query-serving layer: replica groups with private
-//!   worker pools and caches over shared per-shard indexes, load-aware
-//!   replica routing (power-of-two-choices) with fencing and failover,
-//!   top-k merging, open/closed-loop load generation (including
-//!   backoff-honoring closed-loop clients), latency percentiles, the
-//!   online write path (mixed read–write serving with per-key cache
-//!   invalidation epochs), per-class bounded admission queues with
-//!   typed `Overload` shedding and `retry_after` hints, and a batch
-//!   query API with hot-query dedup;
+//!   multi-threaded query-serving layer, exposed as a **long-lived
+//!   session**: `ShardedService::start` returns a `Session` whose
+//!   cloneable `Client` handles submit queries and writes
+//!   non-blocking through per-request tickets (`QueryTicket` /
+//!   `WriteTicket`), with incremental `ServiceReport` snapshots and a
+//!   draining shutdown; replica groups with private worker pools and
+//!   caches over shared per-shard indexes (replica-aware cache warming
+//!   on replica start/unfence), load-aware replica routing
+//!   (power-of-two-choices) with fencing and failover, top-k merging,
+//!   open/closed-loop load generation (including backoff-honoring
+//!   closed-loop clients), latency percentiles, the online write path
+//!   (mixed read–write serving with per-key cache invalidation epochs,
+//!   session-minted insert ids), per-class bounded admission queues
+//!   with typed `Overload` shedding and `retry_after` hints, and a
+//!   batch query API with hot-query dedup;
 //! * [`baselines`] ([`ann_baselines`]) — SRS and QALSH with their R-tree
 //!   and B+-tree substrates;
 //! * [`datasets`] ([`ann_datasets`]) — the synthetic evaluation suite,
@@ -43,9 +49,9 @@ pub mod prelude {
     pub use ann_datasets::suite::DatasetId;
     pub use e2lsh_core::{knn_search, Dataset, E2lshParams, MemIndex, SearchOptions};
     pub use e2lsh_service::{
-        mixed_ops, AdmissionBudget, AdmissionControl, DeviceSpec, Load, Op, OpStatus, Overload,
-        RoutePolicy, ServiceConfig, ShardBuildConfig, ShardSet, ShardUpdater, ShardedService,
-        Topology,
+        mixed_ops, AdmissionBudget, AdmissionControl, Client, DeviceSpec, Load, Op, OpStatus,
+        Overload, QueryResult, QueryTicket, RoutePolicy, ServiceConfig, Session, ShardBuildConfig,
+        ShardSet, ShardUpdater, ShardedService, Topology, WriteOp, WriteResult, WriteTicket,
     };
     pub use e2lsh_storage::build::{build_index, BuildConfig};
     pub use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
