@@ -1,0 +1,113 @@
+//! **Artifact schema check** — validates every `results/BENCH_*.json`
+//! emitted by the serve_* bench bins against the export schema: the
+//! file must parse as JSON and carry the required top-level keys
+//! (`schema_version`, `bench`, `rows`, `service`) with the expected
+//! shapes. CI runs this after the bench bins; it exits non-zero on the
+//! first violation so a schema drift fails the job instead of silently
+//! producing unreadable artifacts.
+//!
+//! Usage: `cargo run --release --bin schema_check` (optionally with a
+//! results directory argument; defaults to `results/`).
+
+use e2lsh_service::SCHEMA_VERSION;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn check_artifact(path: &Path) -> Result<usize, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let v = serde_json::from_str(&doc).map_err(|e| format!("does not parse: {e:?}"))?;
+    for key in ["schema_version", "bench", "rows", "service"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing required top-level key `{key}`"));
+        }
+    }
+    let version = v
+        .get("schema_version")
+        .unwrap()
+        .as_f64()
+        .ok_or("schema_version is not a number")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    if v.get("bench").unwrap().as_str().is_none() {
+        return Err("`bench` is not a string".to_string());
+    }
+    let rows = v
+        .get("rows")
+        .unwrap()
+        .as_array()
+        .ok_or("`rows` is not an array")?;
+    for (i, row) in rows.iter().enumerate() {
+        if row.get("section").and_then(|s| s.as_str()).is_none() {
+            return Err(format!("rows[{i}] missing string `section`"));
+        }
+        if row.get("data").and_then(|d| d.as_object()).is_none() {
+            return Err(format!("rows[{i}] missing object `data`"));
+        }
+    }
+    // `service` is null or a full report_json document with its own
+    // required keys (mirrors the export tests in e2lsh_service).
+    let service = v.get("service").unwrap();
+    if !service.is_null() {
+        for key in [
+            "schema_version",
+            "counters",
+            "gauges",
+            "histograms",
+            "slow_queries",
+        ] {
+            if service.get(key).is_none() {
+                return Err(format!("service report missing key `{key}`"));
+            }
+        }
+    }
+    Ok(rows.len())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let mut artifacts: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("schema_check: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    artifacts.sort();
+    if artifacts.is_empty() {
+        eprintln!(
+            "schema_check: no BENCH_*.json artifacts under {} — run the serve_* bins first",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &artifacts {
+        match check_artifact(path) {
+            Ok(rows) => println!("ok   {} ({rows} rows)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("schema_check: {} artifact(s) valid", artifacts.len());
+        ExitCode::SUCCESS
+    }
+}

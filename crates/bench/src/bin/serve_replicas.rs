@@ -55,6 +55,16 @@ struct WarmingRow {
 }
 
 #[derive(Serialize)]
+struct SlowRow {
+    e2e_ms: f64,
+    route_ms: f64,
+    wait_ms: f64,
+    service_ms: f64,
+    merge_ms: f64,
+    n_io: u64,
+}
+
+#[derive(Serialize)]
 struct RoutingRow {
     policy: String,
     offered_qps: f64,
@@ -141,6 +151,7 @@ fn main() {
     let w = workload_sized(DatasetId::Sift, 12_000, 100);
     let scale_queries = skewed_queries(&w.queries, SCALE_QUERIES, ZIPF_S, 7);
     let queries = skewed_queries(&w.queries, ROUTE_QUERIES, ZIPF_S, 7);
+    let mut artifact = report::BenchArtifact::new("serve_replicas");
 
     // Part 1: read scaling with R. Uncached + one private array per
     // replica worker: goodput is device-bound, so each replica adds its
@@ -199,6 +210,7 @@ fn main() {
             row.replica_imbalance,
         );
         report::record("serve_replicas_scaling", &row);
+        artifact.push("scaling", &row);
         svc.shards().cleanup();
     }
     assert!(
@@ -277,6 +289,7 @@ fn main() {
             row.replica_imbalance,
         );
         report::record("serve_replicas_routing", &row);
+        artifact.push("routing", &row);
         p99_by_policy.insert(name, (lat.p99, wait.p99));
         svc.shards().cleanup();
     }
@@ -364,6 +377,7 @@ fn main() {
             report::fmt_time(lat.p99),
         );
         report::record("serve_replicas_warming", &row);
+        artifact.push("warming", &row);
         if warm_budget > 0 {
             assert!(
                 rep.device.cache_warmed > 0,
@@ -384,4 +398,79 @@ fn main() {
         warmed < cold,
         "warming did not shrink the cold-start p99: warmed {warmed:.4}s vs cold {cold:.4}s"
     );
+
+    // Part 4: end-to-end request tracing. Re-run the R=2 read workload
+    // with full-sample tracing and a zero slow-query threshold (the
+    // demo setting: *every* request qualifies, the log keeps the most
+    // recent `slow_log_capacity`), then check the tracing invariant on
+    // real traffic: each logged request's stage spans — route + queue
+    // wait + per-shard service + merge — sum to its end-to-end latency.
+    println!("\nSlow-query log (traced run; threshold 0 s, log capacity 16):");
+    let shards = ShardSet::build(
+        &w.data,
+        &ShardBuildConfig {
+            num_shards: NUM_SHARDS,
+            seed: 99,
+            dir: std::env::temp_dir()
+                .join(format!("e2lsh-serve-replicas-{}-trace", std::process::id())),
+            cache_blocks: 1 << 14,
+            ..Default::default()
+        },
+        e2lsh_bench::prep::e2lsh_params,
+    )
+    .expect("shard build");
+    let traced = ShardedService::new(
+        shards,
+        ServiceConfig {
+            replicas_per_shard: 2,
+            routing: RoutePolicy::PowerOfTwoChoices,
+            workers_per_replica: 1,
+            contexts_per_worker: 32,
+            k: 1,
+            s_override: None,
+            device: DeviceSpec::SimPerWorker {
+                profile: DeviceProfile::HDD,
+                num_devices: 4,
+            },
+            trace_sample: 1.0,
+            trace_capacity: 512,
+            slow_query_threshold: 0.0,
+            slow_log_capacity: 16,
+            ..Default::default()
+        },
+    );
+    let rep = traced.serve(&scale_queries, Load::Closed { window: 32 });
+    assert!(
+        !rep.slow_queries.is_empty(),
+        "traced run produced no slow-query log"
+    );
+    for s in &rep.slow_queries {
+        let stages = s.route() + s.queue_wait() + s.service() + s.merge();
+        assert!(
+            (stages - s.end_to_end()).abs() <= 1e-9,
+            "stage spans do not sum to end-to-end: {stages:.9}s vs {:.9}s",
+            s.end_to_end()
+        );
+        artifact.push(
+            "slow_log",
+            &SlowRow {
+                e2e_ms: s.end_to_end() * 1e3,
+                route_ms: s.route() * 1e3,
+                wait_ms: s.queue_wait() * 1e3,
+                service_ms: s.service() * 1e3,
+                merge_ms: s.merge() * 1e3,
+                n_io: s.total_io(),
+            },
+        );
+    }
+    for s in rep.slow_queries.iter().take(5) {
+        println!("  {}", s.render());
+    }
+    println!(
+        "  ({} requests logged; every span's stages sum to its end-to-end latency)",
+        rep.slow_queries.len()
+    );
+    artifact.attach_service(e2lsh_service::report_json(&rep));
+    traced.shards().cleanup();
+    artifact.write();
 }

@@ -107,6 +107,7 @@ fn main() {
     );
     let w = workload_sized(DatasetId::Sift, 12_000, 100);
     let queries = skewed_queries(&w.queries, QUERIES, ZIPF_S, 7);
+    let mut artifact = report::BenchArtifact::new("serve_saturation");
 
     // Capacity: closed loop, window under the queue bound.
     let svc = build_service(&w.data, true);
@@ -174,6 +175,12 @@ fn main() {
             assert!(rep.shed_rate() > 0.0, "no shedding at {frac}× capacity");
         }
         report::record("serve_saturation", &row);
+        artifact.push("saturation", &row);
+        if frac >= 2.0 {
+            // Representative snapshot: the deepest-overload run, where
+            // shed counters and wait histograms are most interesting.
+            artifact.attach_service(e2lsh_service::report_json(&rep));
+        }
     }
 
     svc.shards().cleanup();
@@ -222,6 +229,8 @@ fn main() {
             "dedup must never cost extra probes"
         );
         report::record("serve_saturation_batch", &row);
+        artifact.push("batch", &row);
     }
     svc.shards().cleanup();
+    artifact.write();
 }

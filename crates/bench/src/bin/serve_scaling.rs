@@ -99,6 +99,7 @@ fn main() {
     );
     let w = workload_sized(DatasetId::Sift, 12_000, 100);
     let queries = skewed_queries(&w.queries, QUERIES, ZIPF_S, 7);
+    let mut artifact = report::BenchArtifact::new("serve_scaling");
 
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9} {:>8} {:>9} {:>12}",
@@ -138,6 +139,7 @@ fn main() {
             row.observed_kiops,
         );
         report::record("serve_scaling_closed", &row);
+        artifact.push("closed", &row);
         saturated_qps = saturated_qps.max(row.qps);
         svc.shards().cleanup();
     }
@@ -183,6 +185,9 @@ fn main() {
             row.cache_hit_rate * 100.0,
         );
         report::record("serve_scaling_open", &row);
+        artifact.push("open", &row);
+        artifact.attach_service(e2lsh_service::report_json(&rep));
         svc.shards().cleanup();
     }
+    artifact.write();
 }

@@ -71,6 +71,7 @@ fn main() {
     let data = w.data.prefix(N);
     let pool = e2lshos_pool(&w.data, N, POOL);
     let queries = skewed_queries(&w.queries, QUERIES, ZIPF_S, 7);
+    let mut artifact = report::BenchArtifact::new("serve_updates");
 
     println!(
         "{:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7}",
@@ -162,8 +163,15 @@ fn main() {
         );
         assert_eq!(rep.writes_failed, 0, "writes must not fail in the sweep");
         report::record("serve_updates", &row);
+        artifact.push("mixed", &row);
+        if write_fraction >= 0.2 {
+            // Snapshot the heaviest-write run: its write histograms and
+            // invalidation counters are the ones worth archiving.
+            artifact.attach_service(e2lsh_service::report_json(&rep));
+        }
         svc.shards().cleanup();
     }
+    artifact.write();
 }
 
 /// The insert pool: rows `n..n+pool` of the generated dataset.

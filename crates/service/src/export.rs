@@ -1,0 +1,377 @@
+//! Machine-readable metrics export: a [`MetricsRegistry`] snapshot of a
+//! [`ServiceReport`] serialized to a stable JSON schema.
+//!
+//! The schema (version [`SCHEMA_VERSION`]) has five top-level keys:
+//!
+//! * `schema_version` — integer, bumped on any breaking layout change;
+//! * `counters` — monotonic integer totals (completed / shed / failed
+//!   ops, failovers, device and cache counters);
+//! * `gauges` — derived floating-point rates and ratios (qps, goodput,
+//!   shed rate, replica imbalance, device utilization);
+//! * `histograms` — one five-number summary per latency stage
+//!   (`{count, mean, p50, p95, p99, max}`, seconds), for reads and
+//!   writes: end-to-end, service, and queue wait;
+//! * `slow_queries` — the retained slow-query log as full span
+//!   breakdowns (see [`crate::trace`]).
+//!
+//! Plus `replica_load`, the `[shard][replica]` served-query matrix
+//! behind the imbalance gauge. The bench bins write one such document
+//! per run as `results/BENCH_<name>.json`; `bench`'s `schema_check`
+//! binary parses them back (vendored `serde_json::from_str`) and
+//! asserts the required keys.
+
+use crate::metrics::LatencySummary;
+use crate::service::ServiceReport;
+use crate::trace::{ShardSpan, SpanKind, TraceSpan};
+use serde::Serialize;
+
+/// Version of the export schema. Bump on breaking changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A named, ordered snapshot of one [`ServiceReport`]'s metrics,
+/// ready to serialize. Build with [`MetricsRegistry::from_report`];
+/// the registry borrows nothing, so it outlives the report.
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, LatencySummary)>,
+    replica_load: Vec<Vec<u64>>,
+    slow_queries: Vec<TraceSpan>,
+}
+
+impl MetricsRegistry {
+    /// Snapshot every counter, gauge and per-stage histogram summary of
+    /// `report` under its stable export name.
+    pub fn from_report(report: &ServiceReport) -> Self {
+        let d = &report.device;
+        let counters: Vec<(&'static str, u64)> = vec![
+            ("completed_queries", report.completed_queries as u64),
+            ("shed_queries", report.shed_queries as u64),
+            ("writes_applied", report.writes_applied as u64),
+            ("writes_failed", report.writes_failed as u64),
+            ("shed_writes", report.shed_writes as u64),
+            ("retries", report.retries as u64),
+            ("failovers", report.failovers as u64),
+            ("lost_partials", report.lost_partials as u64),
+            ("peak_queue_depth", report.peak_queue_depth as u64),
+            ("total_io", report.total_io),
+            ("workers", report.workers as u64),
+            ("shards", report.shards as u64),
+            ("replicas", report.replicas as u64),
+            ("device_completed", d.completed),
+            ("device_bytes", d.bytes),
+            ("cache_hits", d.cache_hits),
+            ("cache_misses", d.cache_misses),
+            ("cache_evictions", d.cache_evictions),
+            ("cache_invalidations", d.cache_invalidations),
+            ("cache_stale_fills", d.cache_stale_fills),
+            ("cache_warmed", d.cache_warmed),
+        ];
+        let gauges: Vec<(&'static str, f64)> = vec![
+            ("duration_s", report.duration),
+            ("qps", report.qps()),
+            ("goodput_qps", report.goodput()),
+            ("shed_rate", report.shed_rate()),
+            ("wps", report.wps()),
+            ("mean_n_io", report.mean_n_io()),
+            ("replica_imbalance", report.replica_imbalance()),
+            ("device_latency_sum_s", d.latency_sum),
+            ("device_busy_sum_s", d.busy_sum),
+        ];
+        let histograms: Vec<(&'static str, LatencySummary)> = vec![
+            ("read_latency", report.latency()),
+            ("read_service_latency", report.service_latency()),
+            ("read_queue_wait", report.queue_wait()),
+            ("write_latency", report.write_latency()),
+            ("write_service_latency", report.write_service_latency()),
+            ("write_queue_wait", report.write_queue_wait()),
+        ];
+        Self {
+            counters,
+            gauges,
+            histograms,
+            replica_load: report.replica_load.clone(),
+            slow_queries: report.slow_queries.clone(),
+        }
+    }
+
+    /// Counter value by export name (exact match), if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Gauge value by export name, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Histogram summary by export name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&LatencySummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+}
+
+fn push_key(out: &mut String, key: &str) {
+    key.to_json(out);
+    out.push(':');
+}
+
+impl Serialize for MetricsRegistry {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "schema_version");
+        SCHEMA_VERSION.to_json(out);
+
+        out.push(',');
+        push_key(out, "counters");
+        out.push('{');
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(out, name);
+            v.to_json(out);
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(out, "gauges");
+        out.push('{');
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(out, name);
+            v.to_json(out);
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(out, "histograms");
+        out.push('{');
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(out, name);
+            summary_to_json(s, out);
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(out, "replica_load");
+        self.replica_load.to_json(out);
+
+        out.push(',');
+        push_key(out, "slow_queries");
+        self.slow_queries.to_json(out);
+        out.push('}');
+    }
+}
+
+fn summary_to_json(s: &LatencySummary, out: &mut String) {
+    out.push('{');
+    push_key(out, "count");
+    s.count.to_json(out);
+    out.push(',');
+    push_key(out, "mean");
+    s.mean.to_json(out);
+    out.push(',');
+    push_key(out, "p50");
+    s.p50.to_json(out);
+    out.push(',');
+    push_key(out, "p95");
+    s.p95.to_json(out);
+    out.push(',');
+    push_key(out, "p99");
+    s.p99.to_json(out);
+    out.push(',');
+    push_key(out, "max");
+    s.max.to_json(out);
+    out.push('}');
+}
+
+impl Serialize for ShardSpan {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "shard");
+        self.shard.to_json(out);
+        out.push(',');
+        push_key(out, "replica");
+        self.replica.to_json(out);
+        out.push(',');
+        push_key(out, "start");
+        self.start.to_json(out);
+        out.push(',');
+        push_key(out, "finish");
+        self.finish.to_json(out);
+        out.push(',');
+        push_key(out, "n_io");
+        self.n_io.to_json(out);
+        out.push('}');
+    }
+}
+
+impl Serialize for TraceSpan {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "id");
+        self.id.to_json(out);
+        out.push(',');
+        push_key(out, "kind");
+        match &self.kind {
+            SpanKind::Query => "query".to_json(out),
+            SpanKind::Write { .. } => "write".to_json(out),
+        }
+        if let SpanKind::Write { blocks_invalidated } = &self.kind {
+            out.push(',');
+            push_key(out, "blocks_invalidated");
+            blocks_invalidated.to_json(out);
+        }
+        out.push(',');
+        push_key(out, "submitted");
+        self.submitted.to_json(out);
+        out.push(',');
+        push_key(out, "routed");
+        self.routed.to_json(out);
+        out.push(',');
+        push_key(out, "resolved");
+        self.resolved.to_json(out);
+        out.push(',');
+        push_key(out, "route");
+        self.route().to_json(out);
+        out.push(',');
+        push_key(out, "queue_wait");
+        self.queue_wait().to_json(out);
+        out.push(',');
+        push_key(out, "service");
+        self.service().to_json(out);
+        out.push(',');
+        push_key(out, "merge");
+        self.merge().to_json(out);
+        out.push(',');
+        push_key(out, "end_to_end");
+        self.end_to_end().to_json(out);
+        out.push(',');
+        push_key(out, "total_io");
+        self.total_io().to_json(out);
+        out.push(',');
+        push_key(out, "shards");
+        self.shards.to_json(out);
+        out.push('}');
+    }
+}
+
+/// Serialize a [`ServiceReport`] snapshot under the export schema
+/// (shorthand for registry construction + `serde_json::to_string`).
+pub fn report_json(report: &ServiceReport) -> String {
+    let registry = MetricsRegistry::from_report(report);
+    serde_json::to_string(&registry).expect("export serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanKind;
+
+    fn sample_report() -> ServiceReport {
+        let mut r = ServiceReport::empty(4, 2, 1);
+        r.completed_queries = 10;
+        r.shed_queries = 2;
+        for i in 0..10 {
+            r.read_hist.record(1e-3 * (i + 1) as f64);
+            r.read_service_hist.record(0.5e-3 * (i + 1) as f64);
+            r.read_wait_hist.record(0.5e-3 * (i + 1) as f64);
+        }
+        r.duration = 1.0;
+        r.replica_load = vec![vec![5, 5], vec![6, 4]];
+        r.slow_queries = vec![TraceSpan {
+            id: 3,
+            kind: SpanKind::Query,
+            submitted: 0.0,
+            routed: 0.001,
+            shards: vec![ShardSpan {
+                shard: 0,
+                replica: 1,
+                start: 0.002,
+                finish: 0.010,
+                n_io: 7,
+            }],
+            resolved: 0.011,
+        }];
+        r
+    }
+
+    #[test]
+    fn registry_names_resolve() {
+        let reg = MetricsRegistry::from_report(&sample_report());
+        assert_eq!(reg.counter("completed_queries"), Some(10));
+        assert_eq!(reg.counter("shed_queries"), Some(2));
+        assert!(reg.gauge("qps").unwrap() > 0.0);
+        assert_eq!(reg.histogram("read_latency").unwrap().count, 10);
+        assert!(reg.counter("no_such_counter").is_none());
+    }
+
+    #[test]
+    fn export_parses_with_required_keys() {
+        let json = report_json(&sample_report());
+        let v = serde_json::from_str(&json).expect("export must parse");
+        for key in [
+            "schema_version",
+            "counters",
+            "gauges",
+            "histograms",
+            "slow_queries",
+        ] {
+            assert!(v.get(key).is_some(), "missing top-level key {key}");
+        }
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64(),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("completed_queries")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+        let hist = v.get("histograms").unwrap().get("read_latency").unwrap();
+        for stat in ["count", "mean", "p50", "p95", "p99", "max"] {
+            assert!(hist.get(stat).is_some(), "missing histogram stat {stat}");
+        }
+        let slow = v.get("slow_queries").unwrap().as_array().unwrap();
+        assert_eq!(slow.len(), 1);
+        let span = &slow[0];
+        assert_eq!(span.get("kind").unwrap().as_str(), Some("query"));
+        // Exported stage durations telescope like the live accessors.
+        let sum = ["route", "queue_wait", "service", "merge"]
+            .iter()
+            .map(|k| span.get(k).unwrap().as_f64().unwrap())
+            .sum::<f64>();
+        let e2e = span.get("end_to_end").unwrap().as_f64().unwrap();
+        assert!((sum - e2e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_spans_carry_invalidation_counts() {
+        let mut r = sample_report();
+        r.slow_queries[0].kind = SpanKind::Write {
+            blocks_invalidated: 9,
+        };
+        let v = serde_json::from_str(&report_json(&r)).unwrap();
+        let span = &v.get("slow_queries").unwrap().as_array().unwrap()[0];
+        assert_eq!(span.get("kind").unwrap().as_str(), Some("write"));
+        assert_eq!(span.get("blocks_invalidated").unwrap().as_f64(), Some(9.0));
+    }
+}

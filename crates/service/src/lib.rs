@@ -68,7 +68,18 @@
 //!   streams ([`loadgen::mixed_ops`]);
 //! * [`metrics`] — latency percentiles (p50/p95/p99), summaries, and
 //!   rejected-request accounting ([`metrics::OpStatus`]; percentiles
-//!   cover accepted ops, shed ops are counted separately).
+//!   cover accepted ops, shed ops are counted separately), plus the
+//!   bounded log-bucketed [`metrics::LatencyHistogram`] that backs
+//!   long-lived session metrics (fixed memory, mergeable, and
+//!   *subtractable* so interval slicing stays exact);
+//! * [`trace`] — per-request trace spans: stage-timestamped records
+//!   (admitted → routed → per-shard device windows → merged →
+//!   resolved) published to a lock-free sampled ring
+//!   ([`ServiceConfig::trace_sample`](service::ServiceConfig)) and a
+//!   slow-query log with full breakdowns;
+//! * [`export`] — the metrics registry + JSON exporter: a stable,
+//!   versioned schema ([`export::report_json`]) the bench bins use to
+//!   emit `BENCH_*.json` artifacts.
 //!
 //! Batches of queries go through
 //! [`ShardedService::query_batch`](service::ShardedService::query_batch):
@@ -87,6 +98,7 @@
 //! [`service::ServiceReport`].
 
 pub mod admission;
+pub mod export;
 pub mod loadgen;
 pub mod metrics;
 pub mod router;
@@ -95,17 +107,19 @@ pub mod session;
 pub mod shard;
 pub mod shared_sim;
 pub mod topology;
+pub mod trace;
 pub mod update;
 pub mod worker;
 
 pub use admission::{
     AdmissionBudget, AdmissionControl, GateHandle, GateStats, GatedReceiver, GatedSender, Overload,
 };
+pub use export::{report_json, MetricsRegistry, SCHEMA_VERSION};
 pub use loadgen::{
     mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, zipf_batches, zipf_indices,
     Load, MixedWorkload, Op,
 };
-pub use metrics::{imbalance, percentile, LatencySummary, OpStatus};
+pub use metrics::{imbalance, percentile, LatencyHistogram, LatencySummary, OpStatus};
 pub use router::RoutePolicy;
 pub use service::{
     dedup_batch, BatchDedup, BatchQueryReport, DeviceSpec, ServiceConfig, ServiceReport,
@@ -118,4 +132,5 @@ pub use session::{
 pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
 pub use shared_sim::{SharedSimArray, SharedSimHandle};
 pub use topology::{Replica, Topology};
+pub use trace::{ShardSpan, SpanKind, TraceRing, TraceSpan};
 pub use update::ShardUpdater;

@@ -69,6 +69,7 @@ use crate::topology::Topology;
 use crate::worker::Job;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How the service picks a replica within each shard for a query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -231,9 +232,13 @@ pub(crate) struct Router {
     /// once `LaneState::exited` reaches it, the lane's queue has no
     /// receivers left).
     workers_per_replica: usize,
+    /// The session epoch, for stamping each ticket's `routed` trace
+    /// timestamp on the same clock as every other stage.
+    epoch: Instant,
 }
 
 impl Router {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         topo: Arc<Topology>,
         txs: Vec<Vec<GatedSender<Job>>>,
@@ -242,6 +247,7 @@ impl Router {
         seed: u64,
         stats: Arc<RouterStats>,
         workers_per_replica: usize,
+        epoch: Instant,
     ) -> Self {
         let num_shards = topo.num_shards();
         assert!(topo.replicas_per_shard() <= MAX_REPLICAS);
@@ -255,6 +261,7 @@ impl Router {
             rng_seed: seed,
             stats,
             workers_per_replica,
+            epoch,
         }
     }
 
@@ -371,6 +378,7 @@ impl Router {
         point: &Arc<[f32]>,
         masks: &[AtomicU64],
         cost: usize,
+        routed: &AtomicU64,
     ) -> Result<(), Overload> {
         let num_shards = self.topo.num_shards();
         let mut picked: Vec<(usize, usize)> = Vec::with_capacity(num_shards);
@@ -425,6 +433,13 @@ impl Router {
         for &(s, r) in &picked {
             masks[s].fetch_or(1u64 << r, Ordering::AcqRel);
         }
+        // Routing decided: stamp the ticket's trace timestamp before the
+        // first job is sent, so a shard service window never precedes it
+        // except by genuine cross-thread clock slop.
+        routed.store(
+            self.epoch.elapsed().as_secs_f64().to_bits(),
+            Ordering::Release,
+        );
         for (s, r) in picked {
             self.send_reserved(
                 Job {

@@ -36,11 +36,12 @@
 
 use crate::admission::AdmissionControl;
 use crate::loadgen::{Load, Op};
-use crate::metrics::{imbalance, LatencySummary, OpStatus};
+use crate::metrics::{imbalance, LatencyHistogram, LatencySummary, OpStatus};
 use crate::router::{RoutePolicy, MAX_REPLICAS};
 use crate::session::{insert_base, QueryTicket, Session, WriteOp, WriteTicket};
 use crate::shard::ShardSet;
 use crate::topology::Topology;
+use crate::trace::TraceSpan;
 use crate::worker::sleep_until;
 use crossbeam::channel::unbounded;
 use e2lsh_core::dataset::Dataset;
@@ -132,6 +133,25 @@ pub struct ServiceConfig {
     /// so a greedy client cannot monopolize the shared read budgets.
     /// `usize::MAX` (the default) disables the cap.
     pub per_client_inflight: usize,
+    /// Fraction of requests (queries and writes) whose full
+    /// [`TraceSpan`] is published to the session's bounded trace ring
+    /// ([`Session::traces`](crate::session::Session::traces)).
+    /// Sampling is deterministic by ticket id, so a seeded rerun
+    /// samples the same requests. 0.0 (the default) disables the ring;
+    /// 1.0 traces everything.
+    pub trace_sample: f64,
+    /// Capacity of the trace ring: how many recent sampled spans are
+    /// retained.
+    pub trace_capacity: usize,
+    /// End-to-end latency (seconds) beyond which a request's full span
+    /// breakdown is retained in the **slow-query log**
+    /// ([`Session::slow_queries`](crate::session::Session::slow_queries),
+    /// [`ServiceReport::slow_queries`]) regardless of sampling.
+    /// `f64::INFINITY` (the default) disables the log.
+    pub slow_query_threshold: f64,
+    /// How many slow-query spans the log retains (oldest evicted
+    /// first).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +167,10 @@ impl Default for ServiceConfig {
             admission: AdmissionControl::UNBOUNDED,
             cache_warm_blocks: 0,
             per_client_inflight: usize::MAX,
+            trace_sample: 0.0,
+            trace_capacity: 1024,
+            slow_query_threshold: f64::INFINITY,
+            slow_log_capacity: 64,
         }
     }
 }
@@ -161,39 +185,75 @@ impl ServiceConfig {
 }
 
 /// Aggregate results of one service run — and, since the session
-/// redesign, the shape of a [`Session::metrics`] snapshot (monotonic
-/// counters; per-ticket `results` are empty placeholders there).
+/// redesign, the shape of a [`Session::metrics`] snapshot.
+///
+/// Latency accounting is **histogram-first**: the live session books
+/// every op into fixed-memory [`LatencyHistogram`]s (the `*_hist`
+/// fields), so snapshots are O(1) in completed ops and a session can
+/// run for days without growth. The per-op vectors (`results`,
+/// `latencies`, …) are populated only by the run-to-completion
+/// wrappers, which assemble them from their own tickets; in session
+/// snapshots they are **empty** (results resolve on tickets, use the
+/// histograms and counters).
 ///
 /// [`Session::metrics`]: crate::session::Session::metrics
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
     /// Merged global top-k per query, distance ascending (empty for
-    /// shed queries; empty placeholders in session snapshots — results
-    /// resolve on tickets).
+    /// shed queries). Wrapper runs only; empty in session snapshots.
     pub results: Vec<Vec<(u32, f32)>>,
     /// Per-query status: [`OpStatus::Shed`] queries were rejected at
-    /// admission and have no results or latency samples.
+    /// admission and have no results or latency samples. Wrapper runs
+    /// only.
     pub statuses: Vec<OpStatus>,
     /// Per-query end-to-end latency in seconds, from **queue entry**
     /// (dispatch for closed loop, scheduled arrival for open loop) to
     /// the last shard's finish. Includes enqueue wait (and, under
     /// [`Load::ClosedBackoff`], backoff wait — measured from the first
     /// dispatch attempt). 0 for shed queries — use the accepted-only
-    /// summaries.
+    /// summaries. Wrapper runs only.
     pub latencies: Vec<f64>,
     /// Per-query **service** latency in seconds: from the first worker
     /// slot admitting the query to the last shard's finish. Excludes
     /// enqueue wait; `latencies[q] - service_latencies[q]` is the time
-    /// query `q` spent queued. 0 for shed queries.
+    /// query `q` spent queued. 0 for shed queries. Wrapper runs only.
     pub service_latencies: Vec<f64>,
     /// Per-write end-to-end latency in seconds (queue entry → applied),
-    /// in completion order. Failed and shed writes are excluded — they
+    /// in stream order. Failed and shed writes are excluded — they
     /// count in [`ServiceReport::writes_failed`] /
-    /// [`ServiceReport::shed_writes`]. Empty for read-only runs.
+    /// [`ServiceReport::shed_writes`]. Wrapper runs only (and empty for
+    /// read-only runs).
     pub write_latencies: Vec<f64>,
     /// Per-write service latency in seconds (writer dequeue → applied),
-    /// parallel to [`ServiceReport::write_latencies`].
+    /// parallel to [`ServiceReport::write_latencies`]. Wrapper runs
+    /// only.
     pub write_service_latencies: Vec<f64>,
+    /// Queries completed (accepted and answered). The histogram-backed
+    /// replacement for `results.len() - shed_queries`, valid in every
+    /// report shape.
+    pub completed_queries: usize,
+    /// Writes applied by the shard writers (excludes failed and shed
+    /// writes).
+    pub writes_applied: usize,
+    /// End-to-end latency histogram of completed queries (what
+    /// [`ServiceReport::latency`] summarizes in session snapshots).
+    pub read_hist: LatencyHistogram,
+    /// Service-only latency histogram of completed queries.
+    pub read_service_hist: LatencyHistogram,
+    /// Enqueue-wait histogram of completed queries (per-op
+    /// `latency - service`, never a difference of percentiles).
+    pub read_wait_hist: LatencyHistogram,
+    /// End-to-end latency histogram of applied writes.
+    pub write_hist: LatencyHistogram,
+    /// Service-only latency histogram of applied writes.
+    pub write_service_hist: LatencyHistogram,
+    /// Enqueue-wait histogram of applied writes.
+    pub write_wait_hist: LatencyHistogram,
+    /// The slow-query log at snapshot time: full [`TraceSpan`]
+    /// breakdowns of the most recent requests whose end-to-end latency
+    /// exceeded [`ServiceConfig::slow_query_threshold`] (bounded by
+    /// [`ServiceConfig::slow_log_capacity`]).
+    pub slow_queries: Vec<TraceSpan>,
     /// Writes whose updater returned an error (the shard stays
     /// queryable; rewritten blocks were still invalidated) or whose
     /// delete target was not live.
@@ -254,13 +314,49 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
+    /// An all-zero report for a service of the given shape (the
+    /// empty-workload wrapper result and the base of interval deltas).
+    pub(crate) fn empty(workers: usize, shards: usize, replicas: usize) -> Self {
+        Self {
+            results: Vec::new(),
+            statuses: Vec::new(),
+            latencies: Vec::new(),
+            service_latencies: Vec::new(),
+            write_latencies: Vec::new(),
+            write_service_latencies: Vec::new(),
+            completed_queries: 0,
+            writes_applied: 0,
+            read_hist: LatencyHistogram::new(),
+            read_service_hist: LatencyHistogram::new(),
+            read_wait_hist: LatencyHistogram::new(),
+            write_hist: LatencyHistogram::new(),
+            write_service_hist: LatencyHistogram::new(),
+            write_wait_hist: LatencyHistogram::new(),
+            slow_queries: Vec::new(),
+            writes_failed: 0,
+            shed_queries: 0,
+            shed_writes: 0,
+            retries: 0,
+            failovers: 0,
+            lost_partials: 0,
+            peak_queue_depth: 0,
+            duration: 0.0,
+            device: DeviceStats::default(),
+            total_io: 0,
+            workers,
+            shards,
+            replicas,
+            replica_load: vec![vec![0; replicas]; shards],
+        }
+    }
+
     /// **Accepted** (completed) queries per second — the service's
     /// goodput. Shed queries do not count.
     pub fn qps(&self) -> f64 {
         if self.duration <= 0.0 {
             0.0
         } else {
-            (self.results.len() - self.shed_queries) as f64 / self.duration
+            self.completed_queries as f64 / self.duration
         }
     }
 
@@ -273,8 +369,11 @@ impl ServiceReport {
     /// Shed ops over all ops offered (queries and writes).
     pub fn shed_rate(&self) -> f64 {
         let shed = self.shed_queries + self.shed_writes;
-        let total =
-            self.results.len() + self.write_latencies.len() + self.writes_failed + self.shed_writes;
+        let total = self.completed_queries
+            + self.shed_queries
+            + self.writes_applied
+            + self.writes_failed
+            + self.shed_writes;
         if total == 0 {
             0.0
         } else {
@@ -287,27 +386,41 @@ impl ServiceReport {
         if self.duration <= 0.0 {
             0.0
         } else {
-            self.write_latencies.len() as f64 / self.duration
+            self.writes_applied as f64 / self.duration
         }
     }
 
     /// End-to-end read-latency percentiles (queue entry → finish) over
-    /// **accepted** queries only.
+    /// **accepted** queries only. Wrapper reports summarize their exact
+    /// per-op samples; session snapshots summarize
+    /// [`ServiceReport::read_hist`] (bounded relative error, see
+    /// [`LatencyHistogram::RELATIVE_ERROR`]).
     pub fn latency(&self) -> LatencySummary {
-        LatencySummary::of_accepted(&self.latencies, &self.statuses)
+        if self.latencies.is_empty() {
+            self.read_hist.summary()
+        } else {
+            LatencySummary::of_accepted(&self.latencies, &self.statuses)
+        }
     }
 
     /// Service-only read-latency percentiles (first worker start →
     /// finish) over accepted queries: what the shards cost, with
     /// enqueue wait removed.
     pub fn service_latency(&self) -> LatencySummary {
-        LatencySummary::of_accepted(&self.service_latencies, &self.statuses)
+        if self.service_latencies.is_empty() {
+            self.read_service_hist.summary()
+        } else {
+            LatencySummary::of_accepted(&self.service_latencies, &self.statuses)
+        }
     }
 
     /// Enqueue-wait percentiles of accepted queries (queue entry →
     /// first worker start): `latency() ≈ queue_wait() + service_latency()`
     /// distribution-wise; exactly per query.
     pub fn queue_wait(&self) -> LatencySummary {
+        if self.latencies.is_empty() {
+            return self.read_wait_hist.summary();
+        }
         let waits: Vec<f64> = self
             .latencies
             .iter()
@@ -320,13 +433,21 @@ impl ServiceReport {
     /// End-to-end write-latency percentiles (all zeros for read-only
     /// runs).
     pub fn write_latency(&self) -> LatencySummary {
-        LatencySummary::of(&self.write_latencies)
+        if self.write_latencies.is_empty() {
+            self.write_hist.summary()
+        } else {
+            LatencySummary::of(&self.write_latencies)
+        }
     }
 
     /// Service-only write-latency percentiles (writer dequeue →
     /// applied).
     pub fn write_service_latency(&self) -> LatencySummary {
-        LatencySummary::of(&self.write_service_latencies)
+        if self.write_service_latencies.is_empty() {
+            self.write_service_hist.summary()
+        } else {
+            LatencySummary::of(&self.write_service_latencies)
+        }
     }
 
     /// Enqueue-wait percentiles of applied writes (queue entry →
@@ -334,6 +455,9 @@ impl ServiceReport {
     /// vectors — **not** a difference of percentiles, which would mix
     /// tails of different ops.
     pub fn write_queue_wait(&self) -> LatencySummary {
+        if self.write_latencies.is_empty() {
+            return self.write_wait_hist.summary();
+        }
         let waits: Vec<f64> = self
             .write_latencies
             .iter()
@@ -345,11 +469,10 @@ impl ServiceReport {
 
     /// Mean I/Os per accepted query (summed over shards).
     pub fn mean_n_io(&self) -> f64 {
-        let accepted = self.results.len() - self.shed_queries;
-        if accepted == 0 {
+        if self.completed_queries == 0 {
             0.0
         } else {
-            self.total_io as f64 / accepted as f64
+            self.total_io as f64 / self.completed_queries as f64
         }
     }
 
@@ -366,45 +489,46 @@ impl ServiceReport {
 
     /// The delta between this snapshot and an earlier one of the
     /// **same session** ([`Session::metrics`] snapshots are monotonic):
-    /// counters subtract, latency samples are the tail beyond `prev`'s,
+    /// counters subtract, latency **histograms subtract** — integer
+    /// bucket counts, so the interval's histograms are *bit-identical*
+    /// to histograms that recorded only the interval's ops — and
     /// `duration` becomes the interval's wall time (so `qps()` etc. are
-    /// interval rates). High-water marks (`peak_queue_depth`) and
-    /// structural fields (`workers`/`shards`/`replicas`) carry this
-    /// snapshot's values.
+    /// interval rates). High-water marks (`peak_queue_depth`), the
+    /// slow-query log and structural fields
+    /// (`workers`/`shards`/`replicas`) carry this snapshot's values.
+    /// The per-op wrapper vectors come back empty (session snapshots
+    /// never carry them).
     ///
     /// Only meaningful on **session snapshots** ([`Session::metrics`] /
-    /// [`Session::shutdown`] — completed-first latency layout): the
-    /// legacy wrappers' reports order per-op vectors by query index
-    /// with shed zeros interleaved, so slicing tails across two wrapper
-    /// reports yields garbage samples (the monotonicity assertion
-    /// cannot catch the layout mismatch).
+    /// [`Session::shutdown`]): two wrapper reports are not snapshots of
+    /// one stream and fail the monotonicity assertions.
     ///
     /// [`Session::shutdown`]: crate::session::Session::shutdown
     ///
     /// [`Session::metrics`]: crate::session::Session::metrics
     pub fn interval_since(&self, prev: &ServiceReport) -> ServiceReport {
-        let completed = |r: &ServiceReport| r.results.len() - r.shed_queries;
-        let (c0, c1) = (completed(prev), completed(self));
-        let (s0, s1) = (prev.shed_queries, self.shed_queries);
-        assert!(c1 >= c0 && s1 >= s0, "snapshots from one session, in order");
-        let d_completed = c1 - c0;
-        let d_shed = s1 - s0;
-        let mut statuses = vec![OpStatus::Ok; d_completed];
-        statuses.extend(std::iter::repeat_n(OpStatus::Shed, d_shed));
-        let tail = |v: &[f64], from: usize, upto: usize, pad: usize| -> Vec<f64> {
-            let mut out: Vec<f64> = v[from..upto].to_vec();
-            out.extend(std::iter::repeat_n(0.0, pad));
-            out
-        };
+        assert!(
+            self.completed_queries >= prev.completed_queries
+                && self.shed_queries >= prev.shed_queries,
+            "snapshots from one session, in order"
+        );
+        let d_shed = self.shed_queries - prev.shed_queries;
         ServiceReport {
-            results: vec![Vec::new(); d_completed + d_shed],
-            statuses,
-            latencies: tail(&self.latencies, c0, c1, d_shed),
-            service_latencies: tail(&self.service_latencies, c0, c1, d_shed),
-            write_latencies: self.write_latencies[prev.write_latencies.len()..].to_vec(),
-            write_service_latencies: self.write_service_latencies
-                [prev.write_service_latencies.len()..]
-                .to_vec(),
+            results: Vec::new(),
+            statuses: Vec::new(),
+            latencies: Vec::new(),
+            service_latencies: Vec::new(),
+            write_latencies: Vec::new(),
+            write_service_latencies: Vec::new(),
+            completed_queries: self.completed_queries - prev.completed_queries,
+            writes_applied: self.writes_applied - prev.writes_applied,
+            read_hist: self.read_hist.minus(&prev.read_hist),
+            read_service_hist: self.read_service_hist.minus(&prev.read_service_hist),
+            read_wait_hist: self.read_wait_hist.minus(&prev.read_wait_hist),
+            write_hist: self.write_hist.minus(&prev.write_hist),
+            write_service_hist: self.write_service_hist.minus(&prev.write_service_hist),
+            write_wait_hist: self.write_wait_hist.minus(&prev.write_wait_hist),
+            slow_queries: self.slow_queries.clone(),
             writes_failed: self.writes_failed - prev.writes_failed,
             shed_queries: d_shed,
             shed_writes: self.shed_writes - prev.shed_writes,
@@ -724,28 +848,11 @@ impl ShardedService {
         if ops.is_empty() {
             // Nothing to do: skip the whole session spin-up/join.
             let replicas = self.config.replicas_per_shard;
-            return ServiceReport {
-                results: Vec::new(),
-                statuses: Vec::new(),
-                latencies: Vec::new(),
-                service_latencies: Vec::new(),
-                write_latencies: Vec::new(),
-                write_service_latencies: Vec::new(),
-                writes_failed: 0,
-                shed_queries: 0,
-                shed_writes: 0,
-                retries: 0,
-                failovers: 0,
-                lost_partials: 0,
-                peak_queue_depth: 0,
-                duration: 0.0,
-                device: DeviceStats::default(),
-                total_io: 0,
-                workers: num_shards * replicas * self.config.workers_per_replica,
-                shards: num_shards,
+            return ServiceReport::empty(
+                num_shards * replicas * self.config.workers_per_replica,
+                num_shards,
                 replicas,
-                replica_load: vec![vec![0; replicas]; num_shards],
-            };
+            );
         }
 
         let session = self.start();
@@ -771,14 +878,26 @@ impl ShardedService {
             latencies.push(r.latency);
             service_latencies.push(r.service_latency);
         }
+        // Session snapshots carry no per-op vectors; the wrapper
+        // rebuilds them from its write tickets (stream order, applied
+        // writes only — failed writes are counted, not sampled).
+        let mut write_latencies = Vec::new();
+        let mut write_service_latencies = Vec::new();
         for t in pump.write_tickets {
             let r = t.wait();
             debug_assert_eq!(r.status, OpStatus::Ok, "wrapper writes never shed");
+            if r.applied {
+                write_latencies.push(r.latency);
+                write_service_latencies.push(r.service_latency);
+            }
         }
+        report.completed_queries = results.len() - shed_queries;
         report.results = results;
         report.statuses = statuses;
         report.latencies = latencies;
         report.service_latencies = service_latencies;
+        report.write_latencies = write_latencies;
+        report.write_service_latencies = write_service_latencies;
         report.shed_queries = shed_queries;
         report.retries = pump.retries;
         report

@@ -78,7 +78,7 @@
 //! [`ServiceConfig::per_client_inflight`]: crate::service::ServiceConfig::per_client_inflight
 
 use crate::admission::{gated, GateHandle, GatedReceiver, GatedSender, Overload};
-use crate::metrics::OpStatus;
+use crate::metrics::{LatencyHistogram, OpStatus};
 use crate::router::{
     clear_routed_bit, is_routed_to, lane_states, quota, RoutePolicy, Router, RouterStats,
 };
@@ -86,6 +86,7 @@ use crate::service::{dedup_batch, BatchQueryReport, DeviceSpec, ServiceConfig, S
 use crate::shard::Shard;
 use crate::shared_sim::SharedSimArray;
 use crate::topology::Topology;
+use crate::trace::{ShardSpan, SpanKind, TraceSpan, Tracer};
 use crate::update::ShardUpdater;
 use crate::worker::{run_worker, Job, WorkerCtx, WorkerMsg, WorkerStatsCell};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -305,6 +306,10 @@ pub(crate) struct InFlight {
     /// Per-shard dispatch bitmasks — the routing table row for this
     /// ticket, written by the router before the first job is sent.
     masks: Box<[AtomicU64]>,
+    /// Trace stage stamp: seconds (as `f64` bits) when routing
+    /// completed for this ticket. Initialized to `ref_time` so a span
+    /// assembled before the router stamps it shows zero route time.
+    routed: AtomicU64,
     /// Partial-merge state; mutated by the collector thread only.
     acc: Mutex<Accum>,
 }
@@ -325,26 +330,52 @@ struct Accum {
     /// Latest shard finish (max over partials).
     finish: f64,
     n_io: u64,
+    /// Per-partial trace windows, collected only when tracing is on.
+    spans: Vec<ShardSpan>,
 }
 
-/// Monotonic session counters behind [`Session::metrics`]. Latency
-/// vectors grow with the session (one entry per completed op) — cheap
-/// at serving-test scale; snapshot deltas via
-/// [`ServiceReport::interval_since`].
+/// Monotonic session counters behind [`Session::metrics`]. Bounded:
+/// latencies go into fixed-size log-bucketed histograms (no
+/// per-completed-op state), so a session can run for days without the
+/// metrics path growing. Snapshot deltas slice exactly via
+/// [`ServiceReport::interval_since`] (histogram subtraction).
 ///
 /// [`ServiceReport::interval_since`]: crate::service::ServiceReport::interval_since
-#[derive(Default)]
 struct MetricsInner {
-    read_latencies: Vec<f64>,
-    read_service_latencies: Vec<f64>,
-    write_latencies: Vec<f64>,
-    write_service_latencies: Vec<f64>,
+    read_hist: LatencyHistogram,
+    read_service_hist: LatencyHistogram,
+    read_wait_hist: LatencyHistogram,
+    write_hist: LatencyHistogram,
+    write_service_hist: LatencyHistogram,
+    write_wait_hist: LatencyHistogram,
+    completed_queries: usize,
+    writes_applied: usize,
     shed_queries: usize,
     shed_writes: usize,
     writes_failed: usize,
     total_io: u64,
     /// Seconds since the session epoch of the latest terminal event.
     last_event: f64,
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        Self {
+            read_hist: LatencyHistogram::new(),
+            read_service_hist: LatencyHistogram::new(),
+            read_wait_hist: LatencyHistogram::new(),
+            write_hist: LatencyHistogram::new(),
+            write_service_hist: LatencyHistogram::new(),
+            write_wait_hist: LatencyHistogram::new(),
+            completed_queries: 0,
+            writes_applied: 0,
+            shed_queries: 0,
+            shed_writes: 0,
+            writes_failed: 0,
+            total_io: 0,
+            last_event: 0.0,
+        }
+    }
 }
 
 /// Cache counters at session start, for per-session deltas.
@@ -384,6 +415,8 @@ pub(crate) struct SessionShared {
     /// `[shard][replica][worker]` live statistics cells.
     worker_cells: Vec<Vec<Vec<Arc<WorkerStatsCell>>>>,
     cache_snap: Vec<CacheSnapshot>,
+    /// Request tracing: sampled span ring + slow-query log.
+    tracer: Tracer,
 }
 
 impl SessionShared {
@@ -454,6 +487,9 @@ fn shed_write_result(e: Overload, id: Option<u32>) -> WriteResult {
 pub(crate) struct WriteJob {
     slot: Arc<Slot<WriteResult>>,
     ref_time: f64,
+    /// Seconds when the job cleared admission and entered the shard
+    /// queue — the "routed" stamp of a write's trace span.
+    enqueued: f64,
     /// Global id the session minted (inserts) or targets (deletes).
     global_id: u32,
     kind: WriteKind,
@@ -570,6 +606,7 @@ impl Client {
             point: Arc::from(point),
             slot: Arc::clone(&slot),
             masks: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            routed: AtomicU64::new(ref_time.to_bits()),
             acc: Mutex::new(Accum {
                 got: vec![0; num_shards],
                 finished: false,
@@ -577,6 +614,7 @@ impl Client {
                 start: f64::MAX,
                 finish: 0.0,
                 n_io: 0,
+                spans: Vec::new(),
             }),
         });
         shared
@@ -584,7 +622,13 @@ impl Client {
             .lock()
             .unwrap()
             .insert(qid, Arc::clone(&entry));
-        if let Err(e) = router.try_fanout(qid, &entry.point, &entry.masks, shared.point_bytes) {
+        if let Err(e) = router.try_fanout(
+            qid,
+            &entry.point,
+            &entry.masks,
+            shared.point_bytes,
+            &entry.routed,
+        ) {
             shared.registry.lock().unwrap().remove(&qid);
             shared.book_shed_query(now);
             slot.resolve(shed_query_result(e));
@@ -705,6 +749,7 @@ impl Client {
                 let job = WriteJob {
                     slot: Arc::clone(&slot),
                     ref_time,
+                    enqueued: shared.now(),
                     global_id: g as u32,
                     kind: WriteKind::Insert {
                         point: Arc::from(point),
@@ -730,6 +775,7 @@ impl Client {
                 let job = WriteJob {
                     slot: Arc::clone(&slot),
                     ref_time,
+                    enqueued: shared.now(),
                     global_id: g,
                     kind: WriteKind::Delete,
                 };
@@ -821,6 +867,7 @@ impl Session {
             0xE25_0E25,
             Arc::clone(&router_stats),
             wpr,
+            epoch,
         ));
 
         let write_channels: Vec<(GatedSender<WriteJob>, GatedReceiver<WriteJob>)> = (0..num_shards)
@@ -862,6 +909,12 @@ impl Session {
             mint: Mutex::new(mint),
             worker_cells,
             cache_snap,
+            tracer: Tracer::new(
+                config.trace_sample,
+                config.trace_capacity,
+                config.slow_query_threshold,
+                config.slow_log_capacity,
+            ),
         });
 
         let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
@@ -983,6 +1036,26 @@ impl Session {
     /// [`ServiceReport::interval_since`]: crate::service::ServiceReport::interval_since
     pub fn metrics(&self) -> ServiceReport {
         build_report(&self.shared)
+    }
+
+    /// The most recent **sampled** trace spans (newest last), from the
+    /// session's lock-free trace ring. Empty unless
+    /// [`ServiceConfig::trace_sample`] is nonzero.
+    ///
+    /// [`ServiceConfig::trace_sample`]: crate::service::ServiceConfig::trace_sample
+    pub fn traces(&self) -> Vec<TraceSpan> {
+        self.shared.tracer.traces()
+    }
+
+    /// The slow-query log: full span breakdowns of every retained
+    /// request whose end-to-end latency exceeded
+    /// [`ServiceConfig::slow_query_threshold`] (newest last, capped at
+    /// [`ServiceConfig::slow_log_capacity`]).
+    ///
+    /// [`ServiceConfig::slow_query_threshold`]: crate::service::ServiceConfig::slow_query_threshold
+    /// [`ServiceConfig::slow_log_capacity`]: crate::service::ServiceConfig::slow_log_capacity
+    pub fn slow_queries(&self) -> Vec<TraceSpan> {
+        self.shared.tracer.slow_queries()
     }
 
     /// Serve one **batch request** through this session: byte-identical
@@ -1165,12 +1238,33 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
         {
             let mut m = shared.metrics.lock().unwrap();
             if applied {
-                m.write_latencies.push(finish - job.ref_time);
-                m.write_service_latencies.push(finish - start);
+                m.writes_applied += 1;
+                m.write_hist.record(finish - job.ref_time);
+                m.write_service_hist.record(finish - start);
+                m.write_wait_hist.record(start - job.enqueued);
             } else {
                 m.writes_failed += 1;
             }
             m.last_event = m.last_event.max(finish);
+        }
+        if !shared.tracer.disabled() {
+            let blocks = up.as_ref().map_or(0, |u| u.last_write_blocks());
+            shared.tracer.observe(TraceSpan {
+                id: job.slot.id,
+                kind: SpanKind::Write {
+                    blocks_invalidated: blocks,
+                },
+                submitted: job.ref_time,
+                routed: job.enqueued,
+                shards: vec![ShardSpan {
+                    shard: s,
+                    replica: 0,
+                    start,
+                    finish,
+                    n_io: blocks,
+                }],
+                resolved: finish,
+            });
         }
         job.slot.resolve(WriteResult {
             status: OpStatus::Ok,
@@ -1193,6 +1287,7 @@ fn run_collector(shared: &SessionShared, msg_rx: Receiver<WorkerMsg>) {
             WorkerMsg::Partial {
                 qid,
                 shard,
+                replica,
                 neighbors,
                 n_io,
                 start,
@@ -1218,6 +1313,15 @@ fn run_collector(shared: &SessionShared, msg_rx: Receiver<WorkerMsg>) {
                     acc.finish = acc.finish.max(finish);
                     acc.n_io += u64::from(n_io);
                     acc.got[shard] += 1;
+                    if !shared.tracer.disabled() {
+                        acc.spans.push(ShardSpan {
+                            shard,
+                            replica,
+                            start,
+                            finish,
+                            n_io: u64::from(n_io),
+                        });
+                    }
                 }
                 try_finish(shared, &e, num_shards);
             }
@@ -1237,7 +1341,7 @@ fn run_collector(shared: &SessionShared, msg_rx: Receiver<WorkerMsg>) {
 /// broadcast replica of that shard died and the shard contributes
 /// nothing.
 fn try_finish(shared: &SessionShared, e: &InFlight, num_shards: usize) -> bool {
-    let (neighbors, latency, service_latency, finish, n_io) = {
+    let (neighbors, latency, service_latency, finish, n_io, spans) = {
         let mut acc = e.acc.lock().unwrap();
         if acc.finished {
             return false;
@@ -1275,14 +1379,28 @@ fn try_finish(shared: &SessionShared, e: &InFlight, num_shards: usize) -> bool {
             acc.finish - start,
             acc.finish,
             acc.n_io,
+            std::mem::take(&mut acc.spans),
         )
     };
     shared.registry.lock().unwrap().remove(&e.qid);
     {
         let mut m = shared.metrics.lock().unwrap();
-        m.read_latencies.push(latency);
-        m.read_service_latencies.push(service_latency);
+        m.completed_queries += 1;
+        m.read_hist.record(latency);
+        m.read_service_hist.record(service_latency);
+        m.read_wait_hist
+            .record((latency - service_latency).max(0.0));
         m.last_event = m.last_event.max(finish);
+    }
+    if !shared.tracer.disabled() {
+        shared.tracer.observe(TraceSpan {
+            id: e.qid,
+            kind: SpanKind::Query,
+            submitted: e.ref_time,
+            routed: f64::from_bits(e.routed.load(Ordering::Acquire)),
+            shards: spans,
+            resolved: finish,
+        });
     }
     e.slot.resolve(QueryResult {
         status: OpStatus::Ok,
@@ -1477,62 +1595,59 @@ fn replica_load(shared: &SessionShared) -> Vec<Vec<u64>> {
 }
 
 /// Assemble a [`ServiceReport`](crate::service::ServiceReport)
-/// snapshot from the session's monotonic counters (see
-/// [`Session::metrics`] for the layout of the per-op vectors).
+/// snapshot from the session's monotonic counters. Bounded: the
+/// latency data is carried as histograms; the per-op vectors hold only
+/// shape placeholders (see [`Session::metrics`]).
 fn build_report(shared: &SessionShared) -> ServiceReport {
-    let (
-        mut latencies,
-        mut service_latencies,
-        write_latencies,
-        write_service_latencies,
-        shed_queries,
-        shed_writes,
-        writes_failed,
-        total_io,
-        duration,
-    ) = {
-        let m = shared.metrics.lock().unwrap();
-        (
-            m.read_latencies.clone(),
-            m.read_service_latencies.clone(),
-            m.write_latencies.clone(),
-            m.write_service_latencies.clone(),
-            m.shed_queries,
-            m.shed_writes,
-            m.writes_failed,
-            m.total_io,
-            m.last_event,
-        )
-    };
-    let completed = latencies.len();
-    let mut statuses = vec![OpStatus::Ok; completed];
-    statuses.extend(std::iter::repeat_n(OpStatus::Shed, shed_queries));
-    latencies.extend(std::iter::repeat_n(0.0, shed_queries));
-    service_latencies.extend(std::iter::repeat_n(0.0, shed_queries));
     let num_shards = shared.topo.num_shards();
     let replicas = shared.config.replicas_per_shard;
-    ServiceReport {
-        results: vec![Vec::new(); completed + shed_queries],
-        statuses,
-        latencies,
-        service_latencies,
-        write_latencies,
-        write_service_latencies,
-        writes_failed,
-        shed_queries,
-        shed_writes,
-        retries: 0,
-        failovers: shared.router_stats.failovers(),
-        lost_partials: shared.router_stats.abandoned(),
-        peak_queue_depth: peak_queue_depth(shared),
-        duration,
-        device: aggregate_device(shared),
-        total_io,
-        workers: num_shards * replicas * shared.config.workers_per_replica,
-        shards: num_shards,
-        replicas,
-        replica_load: replica_load(shared),
-    }
+    let mut report = {
+        let m = shared.metrics.lock().unwrap();
+        ServiceReport {
+            results: vec![Vec::new(); m.completed_queries + m.shed_queries],
+            statuses: {
+                let mut st = vec![OpStatus::Ok; m.completed_queries];
+                st.extend(std::iter::repeat_n(OpStatus::Shed, m.shed_queries));
+                st
+            },
+            latencies: Vec::new(),
+            service_latencies: Vec::new(),
+            write_latencies: Vec::new(),
+            write_service_latencies: Vec::new(),
+            completed_queries: m.completed_queries,
+            writes_applied: m.writes_applied,
+            read_hist: m.read_hist.clone(),
+            read_service_hist: m.read_service_hist.clone(),
+            read_wait_hist: m.read_wait_hist.clone(),
+            write_hist: m.write_hist.clone(),
+            write_service_hist: m.write_service_hist.clone(),
+            write_wait_hist: m.write_wait_hist.clone(),
+            writes_failed: m.writes_failed,
+            shed_queries: m.shed_queries,
+            shed_writes: m.shed_writes,
+            retries: 0,
+            failovers: 0,
+            lost_partials: 0,
+            peak_queue_depth: 0,
+            duration: m.last_event,
+            device: DeviceStats::default(),
+            total_io: m.total_io,
+            workers: num_shards * replicas * shared.config.workers_per_replica,
+            shards: num_shards,
+            replicas,
+            replica_load: Vec::new(),
+            slow_queries: Vec::new(),
+        }
+    };
+    // Everything below reads locks/atomics other than the metrics
+    // mutex; filled outside the lock scope above.
+    report.failovers = shared.router_stats.failovers();
+    report.lost_partials = shared.router_stats.abandoned();
+    report.peak_queue_depth = peak_queue_depth(shared);
+    report.device = aggregate_device(shared);
+    report.replica_load = replica_load(shared);
+    report.slow_queries = shared.tracer.slow_queries();
+    report
 }
 
 /// One shared simulated array per shard when the device spec asks for

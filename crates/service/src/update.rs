@@ -46,6 +46,9 @@ pub struct ShardUpdater<'a> {
     updater: Updater,
     /// Every cache serving this shard's blocks (one per replica).
     caches: Vec<Arc<BlockCache>>,
+    /// Blocks the most recent write rewrote (and invalidated in every
+    /// registered cache) — the write's "device work" for trace spans.
+    last_blocks: u64,
 }
 
 impl<'a> ShardUpdater<'a> {
@@ -65,7 +68,14 @@ impl<'a> ShardUpdater<'a> {
             updater,
             shard,
             caches: shard.cache.iter().cloned().collect(),
+            last_blocks: 0,
         })
+    }
+
+    /// Blocks rewritten (hence invalidated) by the most recent
+    /// `insert`/`delete` on this updater.
+    pub fn last_write_blocks(&self) -> u64 {
+        self.last_blocks
     }
 
     /// The shard this updater mutates.
@@ -138,6 +148,7 @@ impl<'a> ShardUpdater<'a> {
     /// needs.
     fn apply_trace(&mut self) {
         let trace = self.updater.take_trace();
+        self.last_blocks = trace.blocks.len() as u64;
         for &(ri, li, h32) in &trace.filter_bits {
             self.shard.index.set_filter_bit(ri, li, h32);
         }

@@ -59,6 +59,9 @@ pub enum WorkerMsg {
         qid: u64,
         /// Shard that produced this partial result.
         shard: usize,
+        /// Replica (within the shard) that served it — trace spans
+        /// record which lane did the work.
+        replica: usize,
         /// Top-k within the shard, **global** ids, distance ascending.
         neighbors: Vec<(u32, f32)>,
         /// I/Os this shard issued for the query.
@@ -233,6 +236,7 @@ fn serve_loop(
             let _ = out.send(WorkerMsg::Partial {
                 qid,
                 shard: ctx.shard.id,
+                replica: ctx.replica,
                 neighbors,
                 n_io: outcome.n_io(),
                 start: slot_start[ci],

@@ -1,0 +1,401 @@
+//! Observability suite: trace spans, bounded histograms, and the
+//! export schema on live sessions.
+//!
+//! What is checked (seeded; set `E2LSH_TEST_SEED` to reproduce a CI
+//! failure locally — the CI `observability` job runs this file in
+//! release under several seeds):
+//!
+//! 1. **histogram error bound** (property) — for random latency
+//!    samples, every quantile of a [`LatencyHistogram`] brackets the
+//!    exact nearest-rank percentile within the bucket relative error,
+//!    and snapshot subtraction is bit-identical to a fresh
+//!    interval-only histogram;
+//! 2. **trace spans on a live session** — with `trace_sample = 1.0`
+//!    every query and write produces a span whose stage durations
+//!    telescope to its end-to-end latency, with real shard windows and
+//!    valid replica indices;
+//! 3. **slow-query log** — a zero threshold logs everything (bounded
+//!    by capacity) with full breakdowns;
+//! 4. **interval exactness under concurrent traffic** — a mid-session
+//!    snapshot subtracted from a later one equals a histogram built
+//!    from exactly the interval's ticket latencies, even when the
+//!    interval's queries came from concurrent clients;
+//! 5. **export schema round-trip** — a live session's report
+//!    serializes via [`report_json`] and parses back with the required
+//!    top-level keys.
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_service::{
+    percentile, AdmissionControl, DeviceSpec, LatencyHistogram, OpStatus, ServiceConfig,
+    ShardBuildConfig, ShardSet, ShardedService, SpanKind, WriteOp,
+};
+use e2lsh_storage::device::sim::DeviceProfile;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const DIM: usize = 8;
+const AMPLE: usize = 1_000_000;
+
+fn seed() -> u64 {
+    std::env::var("E2LSH_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4242)
+}
+
+fn clustered(n: usize, rng: &mut ChaCha8Rng) -> Dataset {
+    let centers: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f32>() * 40.0).collect())
+        .collect();
+    let mut ds = Dataset::with_capacity(DIM, n);
+    let mut p = vec![0.0f32; DIM];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..centers.len())];
+        for (v, &cv) in p.iter_mut().zip(c) {
+            *v = cv + (rng.gen::<f32>() - 0.5) * 2.0;
+        }
+        ds.push(&p);
+    }
+    ds
+}
+
+fn build_service(
+    data: &Dataset,
+    tag: &str,
+    mutate: impl FnOnce(&mut ServiceConfig),
+) -> ShardedService {
+    let shards = ShardSet::build(
+        data,
+        &ShardBuildConfig {
+            num_shards: 2,
+            seed: seed() ^ 0x0B5,
+            dir: std::env::temp_dir().join(format!(
+                "e2lsh-observability-{}-{tag}-seed{}",
+                std::process::id(),
+                seed()
+            )),
+            cache_blocks: 2048,
+            ..Default::default()
+        },
+        |ds| E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), ds.dim()),
+    )
+    .expect("shard build");
+    let mut config = ServiceConfig {
+        workers_per_replica: 2,
+        contexts_per_worker: 8,
+        k: 3,
+        s_override: Some(AMPLE),
+        device: DeviceSpec::SimPerWorker {
+            profile: DeviceProfile::ESSD,
+            num_devices: 1,
+        },
+        admission: AdmissionControl::UNBOUNDED,
+        ..Default::default()
+    };
+    mutate(&mut config);
+    ShardedService::new(shards, config)
+}
+
+// ---------------------------------------------------------------------------
+// 1. Histogram properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every histogram quantile brackets the exact nearest-rank value:
+    /// `exact ≤ approx ≤ exact × (1 + RELATIVE_ERROR)` for positive
+    /// samples inside the tracked range.
+    #[test]
+    fn histogram_quantiles_within_error_bound(
+        samples in proptest::collection::vec(1e-6f64..10.0, 1..200),
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let exact = percentile(&samples, p);
+        let approx = h.quantile(p);
+        prop_assert!(
+            approx >= exact,
+            "quantile must not undershoot: p{} exact {} approx {}",
+            p, exact, approx
+        );
+        prop_assert!(
+            approx <= exact * (1.0 + LatencyHistogram::RELATIVE_ERROR),
+            "quantile beyond the bucket error bound: p{} exact {} approx {}",
+            p, exact, approx
+        );
+    }
+
+    /// Snapshot subtraction is bit-identical to a histogram that saw
+    /// only the interval, wherever the split lands.
+    #[test]
+    fn histogram_subtraction_matches_fresh_interval(
+        before in proptest::collection::vec(1e-7f64..100.0, 0..100),
+        after in proptest::collection::vec(1e-7f64..100.0, 0..100),
+    ) {
+        let mut running = LatencyHistogram::new();
+        for &s in &before {
+            running.record(s);
+        }
+        let snapshot = running.clone();
+        let mut fresh = LatencyHistogram::new();
+        for &s in &after {
+            running.record(s);
+            fresh.record(s);
+        }
+        prop_assert_eq!(running.minus(&snapshot), fresh);
+    }
+
+    /// Merging is the inverse of subtraction and count/mean stay
+    /// consistent.
+    #[test]
+    fn histogram_merge_roundtrip(
+        a in proptest::collection::vec(1e-6f64..1.0, 0..80),
+        b in proptest::collection::vec(1e-6f64..1.0, 0..80),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        for &s in &a { ha.record(s); }
+        let mut hb = LatencyHistogram::new();
+        for &s in &b { hb.record(s); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.minus(&hb), ha);
+        prop_assert_eq!(merged.minus(&ha), hb);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2–5. Live-session tracing, interval exactness, export
+// ---------------------------------------------------------------------------
+
+/// Full-sample tracing on a mixed read/write session: every span's
+/// stage durations telescope to its end-to-end latency, query spans
+/// carry real shard windows, and write spans ride the writer thread.
+#[test]
+fn live_spans_telescope_and_cover_both_kinds() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0B51);
+    let data = clustered(600, &mut rng);
+    let queries = clustered(16, &mut rng);
+    let extra = clustered(3, &mut rng);
+    let svc = build_service(&data, "spans", |c| {
+        c.trace_sample = 1.0;
+        c.trace_capacity = 256;
+    });
+    let session = svc.start();
+    let client = session.client();
+
+    for qi in 0..queries.len() {
+        let r = client.query(queries.point(qi)).wait();
+        assert_eq!(r.status, OpStatus::Ok);
+    }
+    for j in 0..extra.len() {
+        assert!(
+            client
+                .write_blocking(WriteOp::Insert(extra.point(j)))
+                .wait()
+                .applied
+        );
+    }
+
+    let spans = session.traces();
+    let n_queries = spans.iter().filter(|s| s.kind == SpanKind::Query).count();
+    let n_writes = spans.len() - n_queries;
+    assert_eq!(
+        n_queries,
+        queries.len(),
+        "sample=1.0 must trace every query (seed {seed})"
+    );
+    assert_eq!(n_writes, extra.len(), "every write traced (seed {seed})");
+
+    for s in &spans {
+        // The tentpole acceptance: stages sum to end-to-end latency.
+        let total = s.route() + s.queue_wait() + s.service() + s.merge();
+        assert!(
+            (total - s.end_to_end()).abs() < 1e-9,
+            "stages must telescope: {} vs {} (seed {seed})",
+            total,
+            s.end_to_end()
+        );
+        assert!(s.end_to_end() > 0.0);
+        match s.kind {
+            SpanKind::Query => {
+                // One partial per shard (no failovers here), each
+                // windowed within the span and attributed to a replica.
+                assert_eq!(s.shards.len(), 2, "partials per query (seed {seed})");
+                assert!(s.total_io() > 0, "queries do device I/O (seed {seed})");
+                for w in &s.shards {
+                    assert!(w.shard < 2 && w.replica == 0);
+                    assert!(w.finish >= w.start);
+                    assert!(w.finish <= s.resolved);
+                }
+            }
+            SpanKind::Write { .. } => {
+                assert_eq!(s.shards.len(), 1, "writes touch one shard (seed {seed})");
+                assert!(s.route() >= 0.0 && s.queue_wait() >= 0.0);
+            }
+        }
+        let line = s.render();
+        assert!(line.contains("e2e") && line.contains("service"));
+    }
+
+    drop(session.shutdown());
+    svc.shards().cleanup();
+}
+
+/// A zero slow-query threshold logs every request with a full
+/// breakdown, bounded by `slow_log_capacity`; the log also rides the
+/// report snapshot.
+#[test]
+fn slow_query_log_retains_breakdowns() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x510);
+    let data = clustered(600, &mut rng);
+    let queries = clustered(12, &mut rng);
+    let svc = build_service(&data, "slowlog", |c| {
+        c.slow_query_threshold = 0.0; // everything is "slow"
+        c.slow_log_capacity = 8;
+    });
+    let session = svc.start();
+    let client = session.client();
+    for qi in 0..queries.len() {
+        client.query(queries.point(qi)).wait();
+    }
+    let slow = session.slow_queries();
+    assert_eq!(slow.len(), 8, "log capped at capacity (seed {seed})");
+    for s in &slow {
+        let total = s.route() + s.queue_wait() + s.service() + s.merge();
+        assert!((total - s.end_to_end()).abs() < 1e-9);
+        assert!(!s.shards.is_empty(), "slow log keeps shard windows");
+    }
+    // The report snapshot carries the same log.
+    let report = session.metrics();
+    assert_eq!(report.slow_queries.len(), 8);
+    // Nothing was *sampled* (trace_sample defaults to 0) — the ring
+    // stays empty while the slow log fills.
+    assert!(session.traces().is_empty());
+    drop(session.shutdown());
+    svc.shards().cleanup();
+}
+
+/// Interval slicing is exact under concurrency: the histogram of
+/// `interval_since(mid)` is bit-identical to one built from exactly
+/// the latencies of the tickets resolved inside the interval, even
+/// with several clients submitting in parallel.
+#[test]
+fn interval_histogram_is_bit_exact_under_concurrent_traffic() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x171);
+    let data = clustered(600, &mut rng);
+    let phase1 = clustered(20, &mut rng);
+    let phase2 = clustered(30, &mut rng);
+    let svc = build_service(&data, "interval", |_| {});
+    let session = svc.start();
+
+    // Phase 1: quiesced before the snapshot.
+    let c0 = session.client();
+    for qi in 0..phase1.len() {
+        assert_eq!(c0.query(phase1.point(qi)).wait().status, OpStatus::Ok);
+    }
+    let mid = session.metrics();
+    assert_eq!(mid.completed_queries, phase1.len());
+
+    // Phase 2: three concurrent clients; collect every ticket latency.
+    let latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let client = session.client();
+                let phase2 = &phase2;
+                scope.spawn(move || {
+                    let mut lats = Vec::new();
+                    for qi in (0..phase2.len()).filter(|qi| qi % 3 == t) {
+                        let r = client.query(phase2.point(qi)).wait();
+                        assert_eq!(r.status, OpStatus::Ok);
+                        lats.push(r.latency);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let fin = session.metrics();
+    let interval = fin.interval_since(&mid);
+
+    // Rebuild the interval's histogram from the ticket latencies alone:
+    // must be *bit-identical* (integer bucket counts; record order does
+    // not matter).
+    let mut expected = LatencyHistogram::new();
+    for &l in &latencies {
+        expected.record(l);
+    }
+    assert_eq!(
+        interval.read_hist, expected,
+        "interval histogram != fresh interval-only histogram (seed {seed})"
+    );
+    assert_eq!(interval.completed_queries, phase2.len());
+    assert_eq!(interval.latency().count, phase2.len());
+    // And no O(completed-ops) state rides the snapshots.
+    assert!(fin.latencies.is_empty() && fin.write_latencies.is_empty());
+
+    drop(session.shutdown());
+    svc.shards().cleanup();
+}
+
+/// The JSON exporter on a real session report: parses back, carries the
+/// required keys, and its counters match the report.
+#[test]
+fn export_schema_round_trips_live_report() {
+    let seed = seed();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xEC5);
+    let data = clustered(600, &mut rng);
+    let queries = clustered(10, &mut rng);
+    let svc = build_service(&data, "export", |c| {
+        c.slow_query_threshold = 0.0;
+        c.slow_log_capacity = 4;
+    });
+    let session = svc.start();
+    let client = session.client();
+    for qi in 0..queries.len() {
+        client.query(queries.point(qi)).wait();
+    }
+    let report = session.shutdown();
+    let json = e2lsh_service::report_json(&report);
+    let v = serde_json::from_str(&json).expect("export must parse");
+    for key in [
+        "schema_version",
+        "counters",
+        "gauges",
+        "histograms",
+        "slow_queries",
+    ] {
+        assert!(v.get(key).is_some(), "missing top-level key {key}");
+    }
+    let counters = v.get("counters").unwrap();
+    assert_eq!(
+        counters.get("completed_queries").unwrap().as_f64(),
+        Some(queries.len() as f64)
+    );
+    assert_eq!(
+        v.get("slow_queries").unwrap().as_array().unwrap().len(),
+        4,
+        "slow log rides the export (seed {seed})"
+    );
+    let hist = v.get("histograms").unwrap().get("read_latency").unwrap();
+    assert_eq!(
+        hist.get("count").unwrap().as_f64(),
+        Some(queries.len() as f64)
+    );
+    assert!(hist.get("p99").unwrap().as_f64().unwrap() > 0.0);
+    svc.shards().cleanup();
+}

@@ -216,7 +216,7 @@ fn multi_client_session_with_oracle_check() {
     // via the service's own shard data — the oracle here is brute
     // force over coordinates the mirror can see: base + pool).
     let mut m = session.metrics();
-    assert_eq!(m.write_latencies.len(), {
+    assert_eq!(m.writes_applied, {
         let deletes: usize = per_thread.iter().map(|(_, d)| d.len()).sum();
         total_inserted + deletes
     });
@@ -621,7 +621,7 @@ fn metrics_snapshots_and_closed_session() {
     }
     let m1 = session.metrics();
     assert_eq!(m1.latency().count, 10);
-    assert_eq!(m1.write_latencies.len(), 2);
+    assert_eq!(m1.writes_applied, 2);
     assert!(m1.total_io > 0);
     assert!(m1.duration > 0.0);
     assert!(m1.qps() > 0.0);
@@ -632,16 +632,19 @@ fn metrics_snapshots_and_closed_session() {
     let m2 = session.metrics();
     let interval = m2.interval_since(&m1);
     assert_eq!(interval.latency().count, 10, "interval covers the delta");
-    assert_eq!(interval.write_latencies.len(), 0);
+    assert_eq!(interval.writes_applied, 0);
     assert_eq!(interval.total_io, m2.total_io - m1.total_io);
     assert!(interval.duration <= m2.duration);
     assert_eq!(interval.shards, m2.shards);
-    // Latency samples of the interval are exactly the tail.
+    // The interval's histogram is exactly the tail: subtracting the
+    // snapshot is bit-identical to a histogram that saw only the
+    // second batch of queries.
     assert_eq!(
-        interval.latencies[..10],
-        m2.latencies[10..20],
-        "interval latencies are the monotonic tail"
+        interval.read_hist,
+        m2.read_hist.minus(&m1.read_hist),
+        "interval histogram is the monotonic tail"
     );
+    assert_eq!(interval.read_hist.count(), 10);
 
     let report = session.shutdown();
     assert_eq!(report.latency().count, 20);

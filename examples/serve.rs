@@ -149,7 +149,7 @@ fn main() {
     println!(
         "session (final): {} queries, {} writes; since the snapshot: {} queries at {:.0} QPS",
         fin.latency().count,
-        fin.write_latencies.len(),
+        fin.writes_applied,
         delta.latency().count,
         delta.qps()
     );
