@@ -2,11 +2,11 @@
 //! paper: the paper's engine is embarrassingly read-parallel (every
 //! probe an independent block read), so a serving tier scales reads by
 //! backing each shard with R replicas that share the index but own
-//! private worker pools, caches and admission queues
+//! private reactors, caches and admission queues
 //! (`service::topology`), and by routing each query to one replica per
 //! shard (`service::router`).
 //!
-//! Part 1 (closed loop, one private device array per replica worker —
+//! Part 1 (closed loop, one private device array per replica —
 //! "replicas add hardware") sweeps R = 1..4 on a read-only Zipf
 //! workload: goodput must scale with R, and the acceptance bar is
 //! **R = 3 ≥ 2× R = 1**.
@@ -144,7 +144,7 @@ fn main() {
         "serve_replicas",
         "beyond the paper: replica groups + routing",
         "Read goodput vs replicas per shard (R=1..4, one device array \
-         per replica worker), then routing policies (p2c vs round-robin \
+         per replica), then routing policies (p2c vs round-robin \
          vs broadcast) on accepted p99 under Zipf load at a fixed \
          offered rate with bounded admission (SIFT, 2 shards).",
     );
@@ -154,12 +154,12 @@ fn main() {
     let mut artifact = report::BenchArtifact::new("serve_replicas");
 
     // Part 1: read scaling with R. Uncached + one private array per
-    // replica worker: goodput is device-bound, so each replica adds its
+    // replica: goodput is device-bound, so each replica adds its
     // array's IOPS — the "replicas are machines" model. The HDD
-    // profile's millisecond service times keep the workers asleep
+    // profile's millisecond service times keep the reactors asleep
     // between completions, so the sweep is meaningful even on a
     // single-core runner (NVMe-speed models would turn the wall-clock
-    // sim into a CPU race between worker threads there).
+    // sim into a CPU race between serving threads there).
     println!(
         "{:>3} {:>10} {:>9} {:>10} {:>10} {:>10}",
         "R", "goodput", "speedup", "p50", "p99", "imbalance"

@@ -6,12 +6,12 @@
 //! discipline that replaces them: every per-shard queue is a
 //! [`GatedSender`]/[`GatedReceiver`] pair around the channel, gated by
 //! an [`AdmissionBudget`] on **queue depth** (ops sent but not yet
-//! picked up by a worker) and **queued payload bytes**. A send that
+//! picked up by a reactor) and **queued payload bytes**. A send that
 //! would exceed either budget is rejected with a typed [`Overload`]
 //! error — the op is *shed*, the caller reports it per-request, and the
 //! queue keeps its bound.
 //!
-//! Shedding happens at the sender (the service dispatcher), so workers
+//! Shedding happens at the sender (the service dispatcher), so reactors
 //! never see shed ops and FIFO order within a shard is untouched: the
 //! channel delivers admitted ops in send order. The gate also tracks
 //! the high-water queue depth and a shed counter, which surface in
@@ -100,7 +100,7 @@ impl std::error::Error for Overload {}
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AdmissionBudget {
     /// Maximum ops queued per shard (sent, not yet picked up by a
-    /// worker or writer).
+    /// reactor or writer).
     pub max_depth: usize,
     /// Maximum queued payload bytes per shard (sum of the per-op cost
     /// the dispatcher charges: the query/insert point bytes, or the id
@@ -305,10 +305,11 @@ impl<T> Clone for GatedSender<T> {
     }
 }
 
-/// Receiving half of a bounded shard queue; cloneable (one queue feeds
-/// every worker of a shard). A successful receive releases the op's
-/// budget — depth counts ops *waiting*, not ops in service (in-service
-/// work is already bounded by `workers × contexts`).
+/// Receiving half of a bounded shard queue; cloneable, though since the
+/// reactor each replica's queue has exactly one receiver. A successful
+/// receive releases the op's budget — depth counts ops *waiting*, not
+/// ops in service (in-service work is already bounded by the reactor's
+/// slot count).
 pub struct GatedReceiver<T> {
     rx: Receiver<(T, usize)>,
     gate: Arc<Gate>,
@@ -347,7 +348,7 @@ pub fn gated<T>(shard: usize, budget: AdmissionBudget) -> (GatedSender<T>, Gated
 
 impl<T> GatedSender<T> {
     /// Admit one op of `cost` payload bytes, or shed it with
-    /// [`Overload`]. Panics if every receiver is gone (workers outlive
+    /// [`Overload`]. Panics if every receiver is gone (reactors outlive
     /// the dispatcher by construction).
     pub fn try_send(&self, item: T, cost: usize) -> Result<(), Overload> {
         self.reserve(cost)?;

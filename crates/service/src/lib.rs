@@ -9,7 +9,7 @@
 //!   with its own on-storage index (and its own device), global↔local id
 //!   mapping by offset;
 //! * [`topology`] — back each shard with **R replicas** that share the
-//!   shard's index and rows but own private worker pools, block caches
+//!   shard's index and rows but own private reactors, block caches
 //!   and admission queues (read scaling + failover); replica health
 //!   (fencing) lives here;
 //! * [`router`] — pick one replica per shard per query:
@@ -19,7 +19,7 @@
 //! * [`session`] — the **session-oriented client API** (the primary
 //!   entry point since PR 5):
 //!   [`ShardedService::start`](service::ShardedService::start) brings
-//!   worker pools, writers and collector up once and returns a
+//!   reactors, writers and collector up once and returns a
 //!   long-lived [`session::Session`]; cloneable
 //!   [`session::Client`] handles submit queries and writes
 //!   **non-blocking**, each resolving through a per-request ticket
@@ -33,17 +33,22 @@
 //! * [`service`] — configuration/report types and the legacy
 //!   run-to-completion wrappers (`serve`, `serve_mixed`,
 //!   `query_batch`), now thin clients of the session API (oracle
-//!   suites assert bit-exact wrapper/session equivalence): a pool of
-//!   worker threads per replica, each driving the storage crate's
-//!   [`QueryDriver`](e2lsh_storage::query::QueryDriver) over interleaved
-//!   query contexts; every query fans out to all shards (one replica
-//!   each) and the per-shard top-k results are merged by distance;
-//! * [`worker`] — the per-thread serving loop (channel-fed admission on
-//!   top of the same state machine `run_queries` batches through),
-//!   including panic containment: a crashing worker fences its replica
-//!   instead of stranding its tickets;
+//!   suites assert bit-exact wrapper/session equivalence); every query
+//!   fans out to all shards (one replica each) and the per-shard top-k
+//!   results are merged by distance;
+//! * [`reactor`] — the **completion-driven engine**: one event loop
+//!   per replica owns the replica's device handle and admission queue
+//!   and multiplexes up to
+//!   [`ServiceConfig::inflight_per_replica`](service::ServiceConfig::inflight_per_replica)
+//!   interleaved [`QueryState`](e2lsh_storage::query::QueryState)
+//!   slots over the device's native queue depth — CPU work (hashing,
+//!   distance evaluation) runs on a small per-replica compute pool, so
+//!   in-flight queries are slots, not blocked threads (the paper's
+//!   §6.5 async-over-sync result at service scale); includes panic
+//!   containment: a crashing reactor (or compute task) fences its
+//!   replica instead of stranding its tickets;
 //! * [`shared_sim`] — a simulated device array shared by a shard's
-//!   workers, so thread scaling contends for one array's IOPS (the
+//!   replicas, so replica scaling contends for one array's IOPS (the
 //!   paper's Figure 16 regime) instead of duplicating hardware;
 //! * [`update`] — the online write path: one
 //!   [`update::ShardUpdater`] per shard applies inserts
@@ -93,7 +98,7 @@
 //! DRAM caching comes from the storage crate's
 //! [`CachedDevice`](e2lsh_storage::device::cached::CachedDevice): each
 //! shard owns one [`BlockCache`](e2lsh_storage::device::cached::BlockCache)
-//! shared by all its workers, so hot buckets under skewed traffic are
+//! shared by all its replicas, so hot buckets under skewed traffic are
 //! served from memory and the cache hit rate shows up in every
 //! [`service::ServiceReport`].
 
@@ -101,6 +106,7 @@ pub mod admission;
 pub mod export;
 pub mod loadgen;
 pub mod metrics;
+pub mod reactor;
 pub mod router;
 pub mod service;
 pub mod session;
@@ -109,7 +115,6 @@ pub mod shared_sim;
 pub mod topology;
 pub mod trace;
 pub mod update;
-pub mod worker;
 
 pub use admission::{
     AdmissionBudget, AdmissionControl, GateHandle, GateStats, GatedReceiver, GatedSender, Overload,

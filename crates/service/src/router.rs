@@ -32,17 +32,17 @@
 //! ## Fencing and failover
 //!
 //! A replica dies by being **fenced** ([`Topology::fence`] — operator,
-//! test kill switch, or a worker panic). The handshake that makes this
+//! test kill switch, or a reactor panic). The handshake that makes this
 //! race-free against concurrent dispatch, per session:
 //!
 //! 1. every send increments the lane's `routes` counter **before**
 //!    checking the down flag, and decrements it after the send lands in
 //!    the queue;
-//! 2. the fenced replica's workers observe the flag, stop serving
-//!    (abandoning queued and in-flight jobs), and the **last** worker
-//!    out spin-waits for `routes == 0` before emitting one
-//!    [`WorkerMsg::ReplicaDown`](crate::worker::WorkerMsg) — so by the
-//!    time the collector sees it, every routed job is either in the
+//! 2. the fenced replica's reactor observes the flag, stops serving
+//!    (abandoning queued and in-flight jobs), and — as the lane's only
+//!    queue receiver — waits for `routes == 0` before emitting one
+//!    [`ReactorMsg::ReplicaDown`](crate::reactor::ReactorMsg) — so by
+//!    the time the collector sees it, every routed job is either in the
 //!    dead queue or already reported, and each live ticket's dispatch
 //!    masks are complete for the scan;
 //! 3. the session collector re-dispatches every outstanding query that
@@ -65,8 +65,8 @@
 //! [`ServiceReport::failovers`]: crate::service::ServiceReport::failovers
 
 use crate::admission::{GatedSender, Overload};
+use crate::reactor::Job;
 use crate::topology::Topology;
-use crate::worker::Job;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -125,23 +125,23 @@ pub fn power_of_two_pick(
 }
 
 /// Per-lane (shard × replica) handshake state of one session, shared
-/// between the router (dispatch side) and the replica's workers (exit
+/// between the router (dispatch side) and the replica's reactor (exit
 /// side).
 #[derive(Debug, Default)]
 pub struct LaneState {
     /// In-progress sends to this lane (incremented before the down
     /// check, decremented after the send lands — see the module docs).
     pub routes: AtomicUsize,
-    /// Workers of this replica that have exited this session (the last
-    /// one performs the quiesce + `ReplicaDown` duty when fenced).
+    /// Queue receivers of this replica that have exited this session —
+    /// one per replica since the reactor redesign; the reactor performs
+    /// the quiesce + `ReplicaDown` duty itself when fenced.
     pub exited: AtomicUsize,
-    /// Latched by the first worker that observes the replica's fence:
-    /// within this session the fence is **sticky** — an unfence racing
-    /// the exit handshake must not suppress the `ReplicaDown` emission
-    /// (stranding in-flight tickets) or leave a subset of workers
-    /// serving a half-dead lane. Checked by every worker's serve loop
-    /// and by the router's availability test; cleared only by the next
-    /// session (fresh lane states).
+    /// Latched when the replica's reactor observes the fence: within
+    /// this session the fence is **sticky** — an unfence racing the
+    /// exit handshake must not suppress the `ReplicaDown` emission
+    /// (stranding in-flight tickets) or leave the lane half-dead.
+    /// Checked every reactor iteration and by the router's availability
+    /// test; cleared only by the next session (fresh lane states).
     pub fenced: std::sync::atomic::AtomicBool,
 }
 
@@ -228,10 +228,10 @@ pub(crate) struct Router {
     rng_seed: u64,
     /// Session-owned failover counters.
     stats: Arc<RouterStats>,
-    /// Workers per replica this session spawned (the dead-lane check:
-    /// once `LaneState::exited` reaches it, the lane's queue has no
-    /// receivers left).
-    workers_per_replica: usize,
+    /// Queue receivers per replica this session spawned — 1 since the
+    /// reactor redesign (the dead-lane check: once `LaneState::exited`
+    /// reaches it, the lane's queue has no receivers left).
+    exiters_per_replica: usize,
     /// The session epoch, for stamping each ticket's `routed` trace
     /// timestamp on the same clock as every other stage.
     epoch: Instant,
@@ -246,7 +246,7 @@ impl Router {
         policy: RoutePolicy,
         seed: u64,
         stats: Arc<RouterStats>,
-        workers_per_replica: usize,
+        exiters_per_replica: usize,
         epoch: Instant,
     ) -> Self {
         let num_shards = topo.num_shards();
@@ -260,7 +260,7 @@ impl Router {
             rng_seq: AtomicU64::new(0),
             rng_seed: seed,
             stats,
-            workers_per_replica,
+            exiters_per_replica,
             epoch,
         }
     }
@@ -273,14 +273,14 @@ impl Router {
     /// True when the lane must not be sent to: the replica is fenced
     /// (durably, or latched for this session — a replica fenced and
     /// later unfenced mid-session is dead until the next session
-    /// start), or every worker of the lane has already exited (its
-    /// queue has no receivers left, so a send would panic on the
-    /// disconnected channel).
+    /// start), or the lane's reactor has already exited (its queue has
+    /// no receivers left, so a send would panic on the disconnected
+    /// channel).
     fn unavailable(&self, shard: usize, replica: usize) -> bool {
         let lane = &self.lanes[shard][replica];
         self.topo.is_down(shard, replica)
             || lane.fenced.load(Ordering::SeqCst)
-            || lane.exited.load(Ordering::SeqCst) >= self.workers_per_replica
+            || lane.exited.load(Ordering::SeqCst) >= self.exiters_per_replica
     }
 
     fn no_live_overload(&self, shard: usize) -> Overload {
@@ -335,9 +335,9 @@ impl Router {
             let lane = &self.lanes[shard][r];
             lane.routes.fetch_add(1, Ordering::SeqCst);
             if self.unavailable(shard, r) {
-                // Lost the race against a fence (or the lane's last
-                // worker exit): back off and re-select (the quiesce in
-                // the worker exit path waits for this counter, so the
+                // Lost the race against a fence (or the lane's reactor
+                // exit): back off and re-select (the quiesce in the
+                // reactor exit path waits for this counter, so the
                 // window is bounded).
                 lane.routes.fetch_sub(1, Ordering::SeqCst);
                 continue;
@@ -399,7 +399,7 @@ impl Router {
                     // Re-check under the routes guard (same handshake as
                     // `reserve_on_shard`): a replica fenced between the
                     // first check and here must not be sent to — its
-                    // workers may already be gone.
+                    // reactor may already be gone.
                     if self.unavailable(s, r) {
                         lane.routes.fetch_sub(1, Ordering::SeqCst);
                         continue;

@@ -3,7 +3,8 @@
 //!
 //! Since the session redesign the serving machinery lives in
 //! [`crate::session`]: [`ShardedService::start`] brings up topology,
-//! worker pools, writers and collector once and returns a long-lived
+//! per-replica reactors, writers and collector once and returns a
+//! long-lived
 //! [`Session`] whose cloneable [`Client`](crate::session::Client)
 //! handles submit queries and writes non-blocking, resolving through
 //! per-request tickets. This module keeps:
@@ -37,12 +38,12 @@
 use crate::admission::AdmissionControl;
 use crate::loadgen::{Load, Op};
 use crate::metrics::{imbalance, LatencyHistogram, LatencySummary, OpStatus};
+use crate::reactor::sleep_until;
 use crate::router::{RoutePolicy, MAX_REPLICAS};
 use crate::session::{insert_base, QueryTicket, Session, WriteOp, WriteTicket};
 use crate::shard::ShardSet;
 use crate::topology::Topology;
 use crate::trace::TraceSpan;
-use crate::worker::sleep_until;
 use crossbeam::channel::unbounded;
 use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::device::sim::DeviceProfile;
@@ -50,29 +51,29 @@ use e2lsh_storage::device::DeviceStats;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
-/// What device each worker drives.
+/// What device each replica's reactor drives.
 #[derive(Clone, Copy, Debug)]
 pub enum DeviceSpec {
     /// Real positioned reads against the shard's index file through a
-    /// per-worker reader-thread pool (wall clock).
+    /// per-replica reader-thread pool (wall clock).
     File {
-        /// Reader threads per worker (OS-visible queue depth).
+        /// Reader threads per replica (OS-visible queue depth).
         io_workers: usize,
     },
-    /// A private simulated array per worker — aggregate device bandwidth
-    /// scales with the worker count (models "one drive per worker", and
-    /// with replicas, "one drive per replica worker": each replica adds
-    /// hardware).
+    /// A private simulated array per replica — aggregate device
+    /// bandwidth scales with the replica count (models "one drive per
+    /// replica": each replica adds hardware). The variant name predates
+    /// the reactor, when each worker thread owned a private array.
     SimPerWorker {
         /// Device model (paper Table 2).
         profile: DeviceProfile,
-        /// Drives in each worker's array.
+        /// Drives in each replica's array.
         num_devices: usize,
     },
-    /// One simulated array per shard, shared by all of the shard's
-    /// workers **across all of its replicas** — workers contend for the
-    /// array's total IOPS, the paper's Figure 16 regime (replicas add
-    /// CPU and cache, not device bandwidth).
+    /// One simulated array per shard, shared by **all of the shard's
+    /// replicas** — their reactors contend for the array's total IOPS,
+    /// the paper's Figure 16 regime (replicas add CPU and cache, not
+    /// device bandwidth).
     SimShared {
         /// Device model (paper Table 2).
         profile: DeviceProfile,
@@ -98,15 +99,31 @@ pub struct ServiceConfig {
     pub replicas_per_shard: usize,
     /// How the dispatcher picks a replica within each shard per query.
     pub routing: RoutePolicy,
-    /// Worker threads per replica.
+    /// CPU compute threads backing each replica's reactor (hashing,
+    /// bucket scans, distance evaluation). The replica's *I/O*
+    /// concurrency is [`ServiceConfig::inflight_per_replica`] — since
+    /// the completion-driven engine, in-flight queries are slots in the
+    /// reactor, not blocked threads.
     pub workers_per_replica: usize,
-    /// Interleaved queries per worker (engine contexts).
+    /// Legacy capacity knob: with [`ServiceConfig::inflight_per_replica`]
+    /// = 0 (the default), the reactor's slot count is
+    /// `workers_per_replica × contexts_per_worker` — the same
+    /// per-replica concurrency the pre-reactor worker pool offered, so
+    /// existing configurations keep their capacity.
     pub contexts_per_worker: usize,
+    /// In-flight query slots per replica: how many interleaved
+    /// [`QueryState`](e2lsh_storage::query::QueryState)s the replica's
+    /// reactor multiplexes over its device handle. This — not a thread
+    /// count — is the service-level queue depth; thousands of slots
+    /// over a handful of compute threads is the intended regime (the
+    /// paper's §6.5 async-over-sync unlock at service scale). 0 (the
+    /// default) derives `workers_per_replica × contexts_per_worker`.
+    pub inflight_per_replica: usize,
     /// Neighbors returned per query.
     pub k: usize,
     /// Candidate budget override (default `params.s_for_k(k)` per shard).
     pub s_override: Option<usize>,
-    /// Device each worker drives.
+    /// Device each replica's reactor drives.
     pub device: DeviceSpec,
     /// Per-replica admission budgets, split by op class: queries beyond
     /// the read budget are shed with
@@ -161,6 +178,7 @@ impl Default for ServiceConfig {
             routing: RoutePolicy::default(),
             workers_per_replica: 1,
             contexts_per_worker: 16,
+            inflight_per_replica: 0,
             k: 1,
             s_override: None,
             device: DeviceSpec::File { io_workers: 4 },
@@ -176,9 +194,21 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// The reactor slot count per replica:
+    /// [`ServiceConfig::inflight_per_replica`] when set, otherwise the
+    /// derived pre-reactor capacity `workers_per_replica ×
+    /// contexts_per_worker`.
+    pub fn resolved_inflight(&self) -> usize {
+        if self.inflight_per_replica > 0 {
+            self.inflight_per_replica
+        } else {
+            self.workers_per_replica.max(1) * self.contexts_per_worker.max(1)
+        }
+    }
+
     pub(crate) fn engine(&self) -> e2lsh_storage::query::EngineConfig {
         let mut e = e2lsh_storage::query::EngineConfig::wall_clock(self.k);
-        e.contexts = self.contexts_per_worker.max(1);
+        e.contexts = self.resolved_inflight();
         e.s_override = self.s_override;
         e
     }
@@ -213,7 +243,7 @@ pub struct ServiceReport {
     /// dispatch attempt). 0 for shed queries — use the accepted-only
     /// summaries. Wrapper runs only.
     pub latencies: Vec<f64>,
-    /// Per-query **service** latency in seconds: from the first worker
+    /// Per-query **service** latency in seconds: from the first reactor
     /// slot admitting the query to the last shard's finish. Excludes
     /// enqueue wait; `latencies[q] - service_latencies[q]` is the time
     /// query `q` spent queued. 0 for shed queries. Wrapper runs only.
@@ -292,7 +322,7 @@ pub struct ServiceReport {
     pub peak_queue_depth: usize,
     /// Seconds from the session epoch to the last terminal event.
     pub duration: f64,
-    /// Device statistics summed over workers (shared arrays counted
+    /// Device statistics summed over replicas (shared arrays counted
     /// once per shard; cache counters — including invalidations,
     /// discarded stale fills and warmed blocks — are per-session deltas
     /// over every replica's cache).
@@ -300,14 +330,14 @@ pub struct ServiceReport {
     /// Total I/Os issued across shards (under
     /// [`RoutePolicy::Broadcast`] this includes the R× amplification).
     pub total_io: u64,
-    /// Worker threads serving (shards × replicas × workers per
-    /// replica).
+    /// Compute threads serving (shards × replicas × compute threads
+    /// per replica's reactor). The field name predates the reactor.
     pub workers: usize,
     /// Shards queried.
     pub shards: usize,
     /// Replicas per shard.
     pub replicas: usize,
-    /// Queries served per `[shard][replica]` (live worker counters):
+    /// Queries served per `[shard][replica]` (live reactor counters):
     /// the observable the router balances. See
     /// [`ServiceReport::replica_imbalance`].
     pub replica_load: Vec<Vec<u64>>,
@@ -403,7 +433,7 @@ impl ServiceReport {
         }
     }
 
-    /// Service-only read-latency percentiles (first worker start →
+    /// Service-only read-latency percentiles (first reactor start →
     /// finish) over accepted queries: what the shards cost, with
     /// enqueue wait removed.
     pub fn service_latency(&self) -> LatencySummary {
@@ -415,7 +445,7 @@ impl ServiceReport {
     }
 
     /// Enqueue-wait percentiles of accepted queries (queue entry →
-    /// first worker start): `latency() ≈ queue_wait() + service_latency()`
+    /// first reactor start): `latency() ≈ queue_wait() + service_latency()`
     /// distribution-wise; exactly per query.
     pub fn queue_wait(&self) -> LatencySummary {
         if self.latencies.is_empty() {
@@ -597,7 +627,7 @@ pub struct BatchQueryReport {
     /// dedup this counts **unique** queries' I/O only; the saving over
     /// per-query serving is `collapsed` × the per-query I/O cost.
     pub total_io: u64,
-    /// Worker threads that served the request.
+    /// Compute threads that served the request.
     pub workers: usize,
     /// Shards queried.
     pub shards: usize,
@@ -723,15 +753,15 @@ impl ShardedService {
         &self.config
     }
 
-    /// Bring the service up as a long-lived [`Session`]: worker pools,
-    /// writers and collector start once; submit work through
+    /// Bring the service up as a long-lived [`Session`]: per-replica
+    /// reactors, writers and collector start once; submit work through
     /// [`Session::client`] handles; read incremental metrics with
     /// [`Session::metrics`]; drain and join with [`Session::shutdown`].
     /// See [`crate::session`] for the full lifecycle.
     ///
     /// Multiple concurrent sessions over one service share the
     /// topology (replica caches, fences, the live index) but own
-    /// private queues and worker pools. At most one session should
+    /// private queues and reactors. At most one session should
     /// write at a time — the per-shard writers take the index's
     /// read-write handles.
     pub fn start(&self) -> Session {

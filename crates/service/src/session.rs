@@ -1,8 +1,8 @@
 //! The long-lived service session: ticketed submission over persistent
-//! worker pools.
+//! per-replica reactors.
 //!
 //! PRs 1–4 exposed the service as run-to-completion harness calls:
-//! `serve`, `serve_mixed` and `query_batch` each spun up worker pools,
+//! `serve`, `serve_mixed` and `query_batch` each spun up serving threads,
 //! consumed one pre-generated workload and tore everything down. A
 //! serving tier has the inverse shape — start once, accept requests
 //! from many concurrent callers, report continuously — and this module
@@ -10,8 +10,8 @@
 //!
 //! * [`Session`] — created by
 //!   [`ShardedService::start`](crate::service::ShardedService::start):
-//!   brings up every replica's worker pool, the per-shard writer
-//!   threads and the result collector **once**. [`Session::metrics`]
+//!   brings up every replica's reactor (and its compute pool), the
+//!   per-shard writer threads and the result collector **once**. [`Session::metrics`]
 //!   returns incremental [`ServiceReport`] snapshots while the session
 //!   runs (monotonic counters — see
 //!   [`ServiceReport::interval_since`]); [`Session::shutdown`] drains
@@ -79,6 +79,7 @@
 
 use crate::admission::{gated, GateHandle, GatedReceiver, GatedSender, Overload};
 use crate::metrics::{LatencyHistogram, OpStatus};
+use crate::reactor::{run_replica, Job, ReactorCtx, ReactorMsg, ReplicaStatsCell};
 use crate::router::{
     clear_routed_bit, is_routed_to, lane_states, quota, RoutePolicy, Router, RouterStats,
 };
@@ -88,7 +89,6 @@ use crate::shared_sim::SharedSimArray;
 use crate::topology::Topology;
 use crate::trace::{ShardSpan, SpanKind, TraceSpan, Tracer};
 use crate::update::ShardUpdater;
-use crate::worker::{run_worker, Job, WorkerCtx, WorkerMsg, WorkerStatsCell};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use e2lsh_core::dataset::Dataset;
 use e2lsh_storage::device::cached::{BlockCache, CachedDevice};
@@ -129,7 +129,7 @@ pub struct QueryResult {
     /// Seconds from the ticket's submission reference to the last
     /// shard's finish (0 when shed).
     pub latency: f64,
-    /// Seconds from the first worker slot admitting the query to the
+    /// Seconds from the first reactor slot admitting the query to the
     /// last shard's finish — pure service time, enqueue wait excluded
     /// (0 when shed).
     pub service_latency: f64,
@@ -412,8 +412,8 @@ pub(crate) struct SessionShared {
     /// Next unassigned global id; the lock is held through the enqueue
     /// so per-shard write-queue order matches mint order.
     mint: Mutex<u64>,
-    /// `[shard][replica][worker]` live statistics cells.
-    worker_cells: Vec<Vec<Vec<Arc<WorkerStatsCell>>>>,
+    /// `[shard][replica]` live statistics cells (one per reactor).
+    replica_cells: Vec<Vec<Arc<ReplicaStatsCell>>>,
     cache_snap: Vec<CacheSnapshot>,
     /// Request tracing: sampled span ring + slow-query log.
     tracer: Tracer,
@@ -793,24 +793,24 @@ impl Client {
     }
 }
 
-/// A running service instance: persistent worker pools, writers and
-/// collector. See the module docs for the lifecycle and
+/// A running service instance: persistent per-replica reactors, writers
+/// and collector. See the module docs for the lifecycle and
 /// [`ShardedService::start`] for construction.
 ///
 /// [`ShardedService::start`]: crate::service::ShardedService::start
 pub struct Session {
     shared: Arc<SessionShared>,
-    worker_threads: Vec<JoinHandle<()>>,
+    reactor_threads: Vec<JoinHandle<()>>,
     writer_threads: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
     closed: bool,
 }
 
 impl Session {
-    /// Bring the service up: spawn every replica's worker pool, one
-    /// writer thread per shard (updaters open lazily on the first
-    /// write, so read-only sessions never take the shards' write
-    /// handles) and the collector. Warms cold replica caches from
+    /// Bring the service up: spawn every replica's reactor (which
+    /// brings up its own compute pool), one writer thread per shard
+    /// (updaters open lazily on the first write, so read-only sessions
+    /// never take the shards' write handles) and the collector. Warms cold replica caches from
     /// their warmest sibling when
     /// [`ServiceConfig::cache_warm_blocks`] is nonzero.
     ///
@@ -866,7 +866,9 @@ impl Session {
             config.routing,
             0xE25_0E25,
             Arc::clone(&router_stats),
-            wpr,
+            // One reactor per replica is the lane's only queue
+            // receiver, so one exit marks the lane dead.
+            1,
             epoch,
         ));
 
@@ -879,14 +881,10 @@ impl Session {
             .collect();
         let (write_txs, write_rxs): (Vec<_>, Vec<_>) = write_channels.into_iter().unzip();
 
-        let worker_cells: Vec<Vec<Vec<Arc<WorkerStatsCell>>>> = (0..num_shards)
+        let replica_cells: Vec<Vec<Arc<ReplicaStatsCell>>> = (0..num_shards)
             .map(|_| {
                 (0..replicas)
-                    .map(|_| {
-                        (0..wpr)
-                            .map(|_| Arc::new(WorkerStatsCell::default()))
-                            .collect()
-                    })
+                    .map(|_| Arc::new(ReplicaStatsCell::default()))
                     .collect()
             })
             .collect();
@@ -907,7 +905,7 @@ impl Session {
             metrics: Mutex::new(MetricsInner::default()),
             next_ticket: AtomicU64::new(0),
             mint: Mutex::new(mint),
-            worker_cells,
+            replica_cells,
             cache_snap,
             tracer: Tracer::new(
                 config.trace_sample,
@@ -917,41 +915,39 @@ impl Session {
             ),
         });
 
-        let (msg_tx, msg_rx) = unbounded::<WorkerMsg>();
-        let mut worker_threads = Vec::with_capacity(num_shards * replicas * wpr);
+        let (msg_tx, msg_rx) = unbounded::<ReactorMsg>();
+        let mut reactor_threads = Vec::with_capacity(num_shards * replicas);
         for s in 0..num_shards {
             for r in 0..replicas {
-                for w in 0..wpr {
-                    let handle = r * wpr + w;
-                    let device = make_device(
-                        &config.device,
-                        topo.shard(s),
-                        &arrays[s],
-                        handle,
-                        topo.replica(s, r).cache(),
-                    );
-                    let topo = Arc::clone(&topo);
-                    let lanes = Arc::clone(&lanes);
-                    let cell = Arc::clone(&shared.worker_cells[s][r][w]);
-                    let engine = engine.clone();
-                    let jobs = lane_rxs[s][r].clone();
-                    let tx = msg_tx.clone();
-                    worker_threads.push(std::thread::spawn(move || {
-                        let ctx = WorkerCtx {
-                            shard: topo.shard(s),
-                            replica: r,
-                            worker_in_replica: w,
-                            workers_in_replica: wpr,
-                            replica_state: topo.replica(s, r),
-                            lane: &lanes[s][r],
-                            stats: &cell,
-                            engine: &engine,
-                            sim_time,
-                            epoch,
-                        };
-                        run_worker(ctx, device, jobs, tx);
-                    }));
-                }
+                // One device handle per replica — the reactor owns it
+                // and multiplexes every in-flight slot over it.
+                let device = make_device(
+                    &config.device,
+                    topo.shard(s),
+                    &arrays[s],
+                    r,
+                    topo.replica(s, r).cache(),
+                );
+                let topo = Arc::clone(&topo);
+                let lanes = Arc::clone(&lanes);
+                let cell = Arc::clone(&shared.replica_cells[s][r]);
+                let engine = engine.clone();
+                let jobs = lane_rxs[s][r].clone();
+                let tx = msg_tx.clone();
+                reactor_threads.push(std::thread::spawn(move || {
+                    let ctx = ReactorCtx {
+                        shard: topo.shard(s),
+                        replica: r,
+                        replica_state: topo.replica(s, r),
+                        lane: &lanes[s][r],
+                        stats: &cell,
+                        engine: &engine,
+                        compute_threads: wpr,
+                        sim_time,
+                        epoch,
+                    };
+                    run_replica(ctx, device, jobs, tx);
+                }));
             }
         }
         drop(lane_rxs);
@@ -973,7 +969,7 @@ impl Session {
 
         Self {
             shared,
-            worker_threads,
+            reactor_threads,
             writer_threads,
             collector,
             closed: false,
@@ -1004,7 +1000,7 @@ impl Session {
     }
 
     /// The serving topology (fence/unfence replicas here; a fence takes
-    /// effect on this session's workers immediately, an unfence at the
+    /// effect on this session's reactors immediately, an unfence at the
     /// next session start).
     pub fn topology(&self) -> &Topology {
         &self.shared.topo
@@ -1146,7 +1142,7 @@ impl Session {
     }
 
     /// Drain and stop: close the queues (new submissions resolve
-    /// [`OpStatus::Shed`]), let workers finish every admitted op — so
+    /// [`OpStatus::Shed`]), let reactors finish every admitted op — so
     /// **every outstanding ticket resolves** — and join every thread.
     /// Returns the final [`ServiceReport`] snapshot.
     ///
@@ -1162,12 +1158,12 @@ impl Session {
         }
         self.closed = true;
         // Dropping the router's senders disconnects every replica's
-        // queue; workers drain what was admitted, then exit. Clients
+        // queue; reactors drain what was admitted, then exit. Clients
         // mid-submit hold transient Arc clones — the queues close when
         // the last one drops.
         *self.shared.router.write().unwrap() = None;
         *self.shared.write_txs.write().unwrap() = None;
-        for h in self.worker_threads.drain(..) {
+        for h in self.reactor_threads.drain(..) {
             let _ = h.join();
         }
         for h in self.writer_threads.drain(..) {
@@ -1279,12 +1275,12 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
 
 /// The collector loop: merges shard partials into ticket resolutions
 /// and runs the failover scan on `ReplicaDown`. Exits when every
-/// worker's sender is gone (session shutdown).
-fn run_collector(shared: &SessionShared, msg_rx: Receiver<WorkerMsg>) {
+/// reactor's sender is gone (session shutdown).
+fn run_collector(shared: &SessionShared, msg_rx: Receiver<ReactorMsg>) {
     let num_shards = shared.topo.num_shards();
     while let Ok(msg) = msg_rx.recv() {
         match msg {
-            WorkerMsg::Partial {
+            ReactorMsg::Partial {
                 qid,
                 shard,
                 replica,
@@ -1325,7 +1321,7 @@ fn run_collector(shared: &SessionShared, msg_rx: Receiver<WorkerMsg>) {
                 }
                 try_finish(shared, &e, num_shards);
             }
-            WorkerMsg::ReplicaDown { shard, replica } => {
+            ReactorMsg::ReplicaDown { shard, replica } => {
                 failover_scan(shared, shard, replica, num_shards);
             }
         }
@@ -1530,16 +1526,16 @@ fn cache_snapshots(topo: &Topology) -> Vec<CacheSnapshot> {
         .collect()
 }
 
-/// Aggregate the live per-worker device statistics: shared sim arrays
+/// Aggregate the live per-replica device statistics: shared sim arrays
 /// report whole-array totals from every handle, so those are merged
 /// max-by-completed per shard; private devices are summed. Cache
 /// deltas (including warmed blocks) are folded in.
 fn aggregate_device(shared: &SessionShared) -> DeviceStats {
     let shared_device = matches!(shared.config.device, DeviceSpec::SimShared { .. });
     let mut out = DeviceStats::default();
-    for per_shard in &shared.worker_cells {
+    for per_shard in &shared.replica_cells {
         let mut best = DeviceStats::default();
-        for cell in per_shard.iter().flatten() {
+        for cell in per_shard.iter() {
             let d = *cell.device.lock().unwrap();
             if shared_device {
                 if d.completed >= best.completed {
@@ -1580,15 +1576,15 @@ pub(crate) fn device_sub(d: &mut DeviceStats, prev: &DeviceStats) {
     d.cache_warmed -= prev.cache_warmed.min(d.cache_warmed);
 }
 
-/// Queries served per `[shard][replica]`, from the live worker cells.
+/// Queries served per `[shard][replica]`, from the live reactor cells.
 fn replica_load(shared: &SessionShared) -> Vec<Vec<u64>> {
     shared
-        .worker_cells
+        .replica_cells
         .iter()
         .map(|per_shard| {
             per_shard
                 .iter()
-                .map(|cells| cells.iter().map(|c| c.served.load(Ordering::Acquire)).sum())
+                .map(|c| c.served.load(Ordering::Acquire))
                 .collect()
         })
         .collect()
@@ -1654,7 +1650,8 @@ fn build_report(shared: &SessionShared) -> ServiceReport {
 /// it — shared across **all** of the shard's replicas (the shard's data
 /// lives on one array; replicas add compute and cache, not spindles).
 fn build_arrays(topo: &Topology, config: &ServiceConfig) -> Vec<Option<SharedSimArray>> {
-    let handles = config.replicas_per_shard * config.workers_per_replica;
+    // One handle per replica: the replica's reactor owns it.
+    let handles = config.replicas_per_shard;
     topo.shards()
         .shards()
         .iter()

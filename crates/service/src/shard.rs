@@ -14,10 +14,10 @@
 //! shared routing table, no lock on the hot result-mapping path (see
 //! [`ShardPlan::shard_of_any`] / [`Shard::to_global`]). Each shard's
 //! rows live behind an [`RwLock`] so the write path can append
-//! coordinates while query workers keep running.
+//! coordinates while query reactors keep running.
 //!
-//! Each shard owns an optional [`BlockCache`] shared by every worker
-//! driving that shard, so a bucket fetched by one worker is a DRAM hit
+//! Each shard owns an optional [`BlockCache`] shared by every replica
+//! driving that shard, so a bucket fetched by one replica is a DRAM hit
 //! for all of them.
 
 use e2lsh_core::dataset::Dataset;
@@ -119,14 +119,14 @@ impl ShardPlan {
 }
 
 /// One partition: its rows, its opened on-storage index, and the shared
-/// DRAM block cache its workers use.
+/// DRAM block cache its replicas use.
 pub struct Shard {
     /// Shard index within the service.
     pub id: usize,
     /// Global id of local object 0.
     pub start: usize,
     /// The shard's rows (local ids `0..len`), behind a lock so the
-    /// online write path can append coordinates while query workers
+    /// online write path can append coordinates while query reactors
     /// read them. Coordinates of deleted objects are kept (in-flight
     /// queries may still distance-check them; their index entries are
     /// gone, so they stop appearing in results).
@@ -136,7 +136,7 @@ pub struct Shard {
     pub index: StorageIndex,
     /// The shard's index file.
     pub path: PathBuf,
-    /// DRAM block cache shared by all workers of this shard (None =
+    /// DRAM block cache shared by all replicas of this shard (None =
     /// uncached).
     pub cache: Option<Arc<BlockCache>>,
     /// Build-time rows of this shard (locals `>= base_len` were

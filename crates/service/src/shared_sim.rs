@@ -1,12 +1,13 @@
-//! A simulated device array shared by several worker threads.
+//! A simulated device array shared by a shard's replica reactors.
 //!
 //! The paper's Figure 16 observation — thread throughput scales with CPU
 //! until the storage array's total IOPS caps it — only reproduces when
-//! the workers contend for *one* device array. [`SharedSimArray`] wraps a
-//! [`SimStorage`] in a mutex and hands each worker a [`SharedSimHandle`]
-//! implementing [`Device`]; the array routes each completion back to the
-//! handle that submitted it (tags are only unique per worker, so the
-//! wrapper re-tags in-flight I/Os with a global sequence number).
+//! the replicas contend for *one* device array. [`SharedSimArray`] wraps a
+//! [`SimStorage`] in a mutex and hands each replica's reactor a
+//! [`SharedSimHandle`] implementing [`Device`]; the array routes each
+//! completion back to the handle that submitted it (tags are only unique
+//! per handle, so the wrapper re-tags in-flight I/Os with a global
+//! sequence number).
 //!
 //! Timing: the underlying model runs in virtual seconds, but the service
 //! drives it with wall-clock `now` values (seconds since the service
@@ -48,14 +49,14 @@ impl Routed {
 }
 
 /// A shared simulated device array; create once per shard, then
-/// [`SharedSimArray::handle`] per worker.
+/// [`SharedSimArray::handle`] per replica reactor.
 pub struct SharedSimArray {
     inner: Arc<Mutex<Routed>>,
     num_handles: usize,
 }
 
 impl SharedSimArray {
-    /// Share `sim` between `num_handles` workers.
+    /// Share `sim` between `num_handles` replica reactors.
     pub fn new(sim: SimStorage, num_handles: usize) -> Self {
         assert!(num_handles >= 1);
         Self {
@@ -70,7 +71,7 @@ impl SharedSimArray {
         }
     }
 
-    /// The device handle for worker `id` (`0..num_handles`).
+    /// The device handle for handle `id` (`0..num_handles`).
     pub fn handle(&self, id: usize) -> SharedSimHandle {
         assert!(id < self.num_handles);
         SharedSimHandle {
@@ -81,7 +82,7 @@ impl SharedSimArray {
     }
 }
 
-/// One worker's view of a [`SharedSimArray`].
+/// One reactor's view of a [`SharedSimArray`].
 pub struct SharedSimHandle {
     inner: Arc<Mutex<Routed>>,
     id: usize,
@@ -115,8 +116,8 @@ impl Device for SharedSimHandle {
 
     fn next_completion_time(&self) -> Option<f64> {
         let g = self.inner.lock().unwrap();
-        // Earliest of: completions already routed to this worker, or the
-        // sim's next completion (which may belong to another worker —
+        // Earliest of: completions already routed to this handle, or the
+        // sim's next completion (which may belong to another handle —
         // conservative, the caller just polls again).
         let routed = g.ready[self.id]
             .iter()
@@ -156,7 +157,7 @@ mod tests {
         let arr = SharedSimArray::new(sim, 2);
         let mut a = arr.handle(0);
         let mut b = arr.handle(1);
-        // Both workers use the same (worker-local) tag.
+        // Both handles use the same (handle-local) tag.
         a.submit(
             IoRequest {
                 addr: 0,
@@ -189,7 +190,7 @@ mod tests {
     }
 
     #[test]
-    fn foreign_completions_survive_another_workers_poll() {
+    fn foreign_completions_survive_another_handles_poll() {
         let sim = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(vec![0u8; 1 << 16]));
         let arr = SharedSimArray::new(sim, 2);
         let mut a = arr.handle(0);

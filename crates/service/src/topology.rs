@@ -1,12 +1,12 @@
 //! Serving topology: replica groups over the shard set.
 //!
-//! PRs 1–3 hard-wired one worker pool per shard. This module
+//! PRs 1–3 hard-wired one serving loop per shard. This module
 //! generalizes that to **R replicas per shard**: every replica of shard
 //! `s` serves queries against the *same* on-storage index and the same
 //! locked row store (the [`Shard`] — its `RwLock`'d dataset and atomic
 //! occupancy-filter bitmaps make the shared mutable state safe), but
-//! owns an **independent** worker pool, DRAM block cache and admission
-//! queue. Reads scale out by adding replicas; writes keep the single
+//! owns an **independent** reactor (and its compute pool), DRAM block
+//! cache and admission queue. Reads scale out by adding replicas; writes keep the single
 //! writer per shard and publish to every replica for free — the index
 //! and rows are shared, only the per-replica caches need the writer's
 //! block invalidations (see [`crate::update::ShardUpdater`]).
@@ -14,7 +14,8 @@
 //! The topology also owns each replica's **health**: a replica can be
 //! *fenced* ([`Topology::fence`]) — marked down so the router stops
 //! selecting it — either by an operator/test (simulating a crash) or by
-//! the serving layer itself when a worker thread of the replica panics.
+//! the serving layer itself when the replica's reactor (or one of its
+//! compute tasks) panics.
 //! The fencing protocol that makes this race-free lives with the
 //! per-run dispatch state in [`crate::router`]; the topology just holds
 //! the durable flag (a fenced replica stays fenced across serve calls
@@ -39,8 +40,8 @@ pub struct Replica {
     /// set was built uncached).
     cache: Option<Arc<BlockCache>>,
     /// True when the replica is fenced: the router must not select it
-    /// and its workers abandon their queues (see `crate::router` for
-    /// the handshake).
+    /// and its reactor abandons its queue (see `crate::router` for the
+    /// handshake).
     down: AtomicBool,
     /// Times this replica has been fenced (diagnostics).
     fences: AtomicU64,
@@ -59,7 +60,7 @@ impl Replica {
 
     /// Fence this replica (idempotent; returns whether the call changed
     /// the state). All fences — operator calls through
-    /// [`Topology::fence`] and a panicking worker fencing its own
+    /// [`Topology::fence`] and a panicking reactor fencing its own
     /// replica — go through here, so the diagnostics counter counts
     /// every one.
     pub(crate) fn fence(&self) -> bool {
@@ -156,7 +157,7 @@ impl Topology {
     }
 
     /// Fence replica `r` of shard `s`: the router stops selecting it,
-    /// its workers abandon their queues at the next loop iteration, and
+    /// its reactor abandons its queue at the next loop iteration, and
     /// the per-run failover scan re-dispatches its outstanding queries
     /// to a live sibling. Idempotent. Returns whether the call changed
     /// the state.
@@ -171,8 +172,8 @@ impl Topology {
     }
 
     /// Clear a replica's fence so future serve calls and sessions use
-    /// it again (workers are spawned per session, so recovery needs no
-    /// handshake; a session that already fenced the replica's workers
+    /// it again (reactors are spawned per session, so recovery needs no
+    /// handshake; a session that already fenced the replica's reactor
     /// picks it back up at the next session start).
     pub fn unfence(&self, s: usize, r: usize) {
         self.replicas[s][r].down.store(false, Ordering::SeqCst);

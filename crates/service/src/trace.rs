@@ -110,7 +110,7 @@ impl TraceSpan {
         self.routed - self.submitted
     }
 
-    /// Routing → first worker dequeue (admission queue wait).
+    /// Routing → first reactor dequeue (admission queue wait).
     pub fn queue_wait(&self) -> f64 {
         self.first_start() - self.routed
     }

@@ -1,0 +1,258 @@
+//! Reactor-engine regression: the completion-driven per-replica event
+//! loop must be a *performance* feature, never an accuracy or liveness
+//! feature.
+//!
+//! * Deep in-flight windows (slots ≫ compute threads) return exactly
+//!   the single-threaded batch engine's results — same oracle as
+//!   `service_equivalence`, driven through `inflight_per_replica`.
+//! * A thousand interleaved slots over a four-thread compute pool is a
+//!   supported steady state, not an overload: every ticket resolves.
+//! * Fencing a replica mid-run with a deep in-flight window re-serves
+//!   its outstanding slots on the sibling; no ticket is lost or shed.
+//! * `ServiceConfig::resolved_inflight` keeps legacy configs at their
+//!   pre-reactor capacity (`workers × contexts`).
+
+use e2lsh_core::dataset::Dataset;
+use e2lsh_core::params::E2lshParams;
+use e2lsh_service::{
+    skewed_queries, DeviceSpec, Load, OpStatus, RoutePolicy, ServiceConfig, ShardBuildConfig,
+    ShardSet, ShardedService,
+};
+use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
+use e2lsh_storage::device::Interface;
+use e2lsh_storage::index::StorageIndex;
+use e2lsh_storage::query::{run_queries, EngineConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const DIM: usize = 10;
+const AMPLE: usize = 1_000_000;
+
+fn clustered(n: usize, rng: &mut ChaCha8Rng) -> Dataset {
+    let centers: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..DIM).map(|_| rng.gen::<f32>() * 40.0).collect())
+        .collect();
+    let mut ds = Dataset::with_capacity(DIM, n);
+    let mut p = vec![0.0f32; DIM];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..centers.len())];
+        for (v, &cv) in p.iter_mut().zip(c) {
+            *v = cv + (rng.gen::<f32>() - 0.5) * 2.0;
+        }
+        ds.push(&p);
+    }
+    ds
+}
+
+fn params_for(ds: &Dataset) -> E2lshParams {
+    E2lshParams::derive(ds.len(), 2.0, 4.0, 1.0, ds.max_abs_coord(), ds.dim())
+}
+
+fn shard_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("e2lsh-reactor-test-{}-{tag}", std::process::id()))
+}
+
+/// Reference results: batch engine over one index per shard, merged —
+/// identical to the `service_equivalence` oracle.
+fn reference_results(shards: &ShardSet, queries: &Dataset, k: usize) -> Vec<Vec<(u32, f32)>> {
+    let mut merged: Vec<Vec<(u32, f32)>> = vec![Vec::new(); queries.len()];
+    for shard in shards.shards() {
+        let mut dev = SimStorage::new(DeviceProfile::ESSD, 1, Backing::open(&shard.path).unwrap());
+        let index = StorageIndex::open(&mut dev).unwrap();
+        let mut cfg = EngineConfig::simulated(Interface::SPDK, k);
+        cfg.s_override = Some(AMPLE);
+        let data = shard.data.read().unwrap();
+        let report = run_queries(&index, &data, queries, &cfg, &mut dev);
+        for (qi, out) in report.outcomes.iter().enumerate() {
+            merged[qi].extend(
+                out.neighbors
+                    .iter()
+                    .map(|&(id, d)| (shard.to_global(id), d)),
+            );
+        }
+    }
+    for m in &mut merged {
+        m.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        m.truncate(k);
+    }
+    merged
+}
+
+fn build(
+    data: &Dataset,
+    tag: &str,
+    num_shards: usize,
+    replicas: usize,
+    compute: usize,
+    inflight: usize,
+    k: usize,
+) -> ShardedService {
+    let shards = ShardSet::build(
+        data,
+        &ShardBuildConfig {
+            num_shards,
+            seed: 77,
+            dir: shard_dir(tag),
+            cache_blocks: 1024,
+            ..Default::default()
+        },
+        params_for,
+    )
+    .unwrap();
+    ShardedService::new(
+        shards,
+        ServiceConfig {
+            replicas_per_shard: replicas,
+            routing: RoutePolicy::PowerOfTwoChoices,
+            workers_per_replica: compute,
+            inflight_per_replica: inflight,
+            k,
+            s_override: Some(AMPLE),
+            device: DeviceSpec::SimShared {
+                profile: DeviceProfile::ESSD,
+                num_devices: 1,
+            },
+            ..Default::default()
+        },
+    )
+}
+
+/// Slots ≫ compute threads must not change results: a 64-deep reactor
+/// window over a 2-thread pool returns the reference bit-exactly, both
+/// through the legacy closed-loop wrapper and a hand-driven session.
+#[test]
+fn deep_inflight_matches_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xEAC7);
+    let data = clustered(1100, &mut rng);
+    let queries = clustered(24, &mut rng);
+    let k = 5;
+
+    let svc = build(&data, "deep", 2, 1, 2, 64, k);
+    let expect = reference_results(svc.shards(), &queries, k);
+
+    let report = svc.serve(&queries, Load::Closed { window: 128 });
+    for (qi, want) in expect.iter().enumerate() {
+        assert_eq!(
+            &report.results[qi], want,
+            "query {qi}: deep-inflight reactor differs from batch engine"
+        );
+    }
+
+    let session = svc.start();
+    let client = session.client();
+    let tickets: Vec<_> = (0..queries.len())
+        .map(|qi| client.query(queries.point(qi)))
+        .collect();
+    for (qi, t) in tickets.into_iter().enumerate() {
+        assert_eq!(
+            &t.wait().neighbors,
+            &expect[qi],
+            "query {qi}: deep-inflight session differs from batch engine"
+        );
+    }
+    drop(session.shutdown());
+    svc.shards().cleanup();
+}
+
+/// 1024 interleaved slots over a 4-thread compute pool: the in-flight
+/// query count is decoupled from the thread count, every ticket
+/// resolves, and the results are still the reference.
+#[test]
+fn kiloslot_window_over_four_threads_resolves_everything() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51075);
+    let data = clustered(900, &mut rng);
+    let base = clustered(40, &mut rng);
+    // Skewed repeats: far more in-flight queries than unique points.
+    let queries = skewed_queries(&base, 500, 1.1, 9);
+    let k = 2;
+
+    let svc = build(&data, "kiloslot", 1, 1, 4, 1024, k);
+    let expect = reference_results(svc.shards(), &queries, k);
+
+    // The closed window exceeds the slot count: the reactor must park
+    // the overflow in its admission queue, not deadlock or shed.
+    let report = svc.serve(&queries, Load::Closed { window: 2048 });
+    assert_eq!(report.results.len(), queries.len());
+    assert_eq!(report.shed_queries, 0, "deep window shed queries");
+    assert!(report.statuses.iter().all(|&s| s == OpStatus::Ok));
+    for (qi, want) in expect.iter().enumerate() {
+        assert_eq!(&report.results[qi], want, "query {qi}");
+    }
+    assert!(report.qps() > 0.0);
+    svc.shards().cleanup();
+}
+
+/// Fence a replica while a deep in-flight window is outstanding: its
+/// slots re-dispatch to the sibling, every ticket resolves, nothing is
+/// shed, and the answers are still the reference (the ample candidate
+/// budget makes them re-dispatch-order independent).
+#[test]
+fn mid_run_fence_with_deep_inflight_resolves_all_tickets() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFE2CE);
+    let data = clustered(1000, &mut rng);
+    let queries = clustered(320, &mut rng);
+    let k = 3;
+
+    let mut observed_failover = false;
+    for (attempt, delay_ms) in [30u64, 60, 90, 15, 120].iter().enumerate() {
+        let svc = build(&data, &format!("fence{attempt}"), 2, 2, 2, 128, k);
+        let expect = reference_results(svc.shards(), &queries, k);
+        let mut rep = None;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(*delay_ms));
+                assert!(svc.topology().fence(0, 1));
+            });
+            rep = Some(svc.serve(&queries, Load::Closed { window: 256 }));
+        });
+        let rep = rep.unwrap();
+
+        // Liveness and safety on every attempt, whether or not the
+        // fence caught slots in flight.
+        assert_eq!(rep.results.len(), queries.len());
+        assert_eq!(rep.shed_queries, 0, "shed storm after fence");
+        assert_eq!(rep.lost_partials, 0, "sibling was live");
+        assert!(rep.statuses.iter().all(|&s| s == OpStatus::Ok));
+        for (qi, want) in expect.iter().enumerate() {
+            assert_eq!(&rep.results[qi], want, "query {qi} after fence");
+        }
+        let caught = rep.failovers > 0;
+        observed_failover |= caught;
+        svc.shards().cleanup();
+        if caught {
+            break;
+        }
+    }
+    assert!(
+        observed_failover,
+        "no fence offset caught the run with slots outstanding"
+    );
+}
+
+/// `resolved_inflight` keeps legacy configs at their pre-reactor
+/// capacity and lets the new knob override it.
+#[test]
+fn resolved_inflight_derives_legacy_capacity() {
+    let legacy = ServiceConfig {
+        workers_per_replica: 3,
+        contexts_per_worker: 8,
+        ..Default::default()
+    };
+    assert_eq!(legacy.resolved_inflight(), 24);
+
+    let explicit = ServiceConfig {
+        workers_per_replica: 4,
+        contexts_per_worker: 8,
+        inflight_per_replica: 1024,
+        ..Default::default()
+    };
+    assert_eq!(explicit.resolved_inflight(), 1024);
+
+    // Degenerate knobs still yield at least one slot.
+    let degenerate = ServiceConfig {
+        workers_per_replica: 0,
+        contexts_per_worker: 0,
+        ..Default::default()
+    };
+    assert_eq!(degenerate.resolved_inflight(), 1);
+}
