@@ -66,6 +66,10 @@ impl MetricsRegistry {
             ("cache_invalidations", d.cache_invalidations),
             ("cache_stale_fills", d.cache_stale_fills),
             ("cache_warmed", d.cache_warmed),
+            ("blocks_reclaimed", d.blocks_reclaimed),
+            ("filter_bits_cleared", d.filter_bits_cleared),
+            ("bytes_reclaimed", d.bytes_reclaimed),
+            ("chain_inconsistencies", d.chain_inconsistencies),
         ];
         let gauges: Vec<(&'static str, f64)> = vec![
             ("duration_s", report.duration),

@@ -169,6 +169,16 @@ pub struct ServiceConfig {
     /// How many slow-query spans the log retains (oldest evicted
     /// first).
     pub slow_log_capacity: usize,
+    /// Space-reclamation budget in **block reads** per maintenance
+    /// tick, per shard. Each shard's writer thread runs one
+    /// [`ShardUpdater::maintain`](crate::update::ShardUpdater::maintain)
+    /// tick when its write queue goes idle (and periodically between
+    /// bursts of applied writes), scanning at most this many chain
+    /// blocks before yielding back to queued writes — reclamation
+    /// steals only bounded slices of the writer's time. 0 (the
+    /// default) disables background maintenance entirely; deletes
+    /// still reclaim blocks they empty.
+    pub maintenance_blocks_per_tick: usize,
 }
 
 impl Default for ServiceConfig {
@@ -189,6 +199,7 @@ impl Default for ServiceConfig {
             trace_capacity: 1024,
             slow_query_threshold: f64::INFINITY,
             slow_log_capacity: 64,
+            maintenance_blocks_per_tick: 0,
         }
     }
 }

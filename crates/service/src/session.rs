@@ -354,6 +354,17 @@ struct MetricsInner {
     shed_writes: usize,
     writes_failed: usize,
     total_io: u64,
+    /// Bucket blocks returned to shard free lists (delete-time
+    /// empty-block unlink + maintenance compaction), summed over
+    /// shards.
+    blocks_reclaimed: u64,
+    /// Occupancy-filter bits cleared by maintenance tombstone GC.
+    filter_bits_cleared: u64,
+    /// Bytes made reusable by reclamation.
+    bytes_reclaimed: u64,
+    /// Deletes that found their victim missing from some chains
+    /// (pre-existing index inconsistency), summed over shards.
+    chain_inconsistencies: u64,
     /// Seconds since the session epoch of the latest terminal event.
     last_event: f64,
 }
@@ -373,6 +384,10 @@ impl Default for MetricsInner {
             shed_writes: 0,
             writes_failed: 0,
             total_io: 0,
+            blocks_reclaimed: 0,
+            filter_bits_cleared: 0,
+            bytes_reclaimed: 0,
+            chain_inconsistencies: 0,
             last_event: 0.0,
         }
     }
@@ -1186,11 +1201,42 @@ impl Drop for Session {
 /// opened lazily on the first job so read-only sessions never take the
 /// index's read-write handle. Applies jobs in FIFO order, resolves
 /// each ticket and books the session metrics.
+///
+/// With [`ServiceConfig::maintenance_blocks_per_tick`] nonzero the
+/// writer doubles as the shard's reclamation driver: whenever its
+/// queue goes idle for a millisecond — and between bursts of applied
+/// writes — it runs one budgeted [`ShardUpdater::maintain`] tick. An
+/// unproductive completed pass parks the idle trigger (the loop
+/// returns to plain blocking receives) until the next applied write
+/// dirties the shard again, so a quiescent shard costs nothing.
 fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
     let shard = shared.topo.shard(s);
     let mut up: Option<ShardUpdater<'_>> = None;
     let mut open_failed = false;
-    while let Ok(job) = jobs.recv() {
+    let maint_budget = shared.config.maintenance_blocks_per_tick;
+    // Applied writes since the last maintenance tick; a tick every
+    // WRITES_PER_TICK applied ops keeps reclamation advancing even
+    // when the queue never drains.
+    const WRITES_PER_TICK: usize = 8;
+    let mut since_tick = 0usize;
+    let mut parked = false;
+    loop {
+        let job = if let Some(u) = up.as_mut().filter(|_| maint_budget > 0 && !parked) {
+            match jobs.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(job) => job,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    since_tick = 0;
+                    parked = maintenance_tick(shared, s, u, maint_budget);
+                    continue;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match jobs.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            }
+        };
         if up.is_none() && !open_failed {
             // A panic here would strand every write ticket of this
             // shard; if the index file cannot be reopened read-write,
@@ -1231,6 +1277,9 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
             (None, _) => false,
         };
         let finish = shared.now();
+        let (freed, inconsistent) = up.as_ref().map_or((0, 0), |u| {
+            (u.last_blocks_freed(), u.last_chain_inconsistencies())
+        });
         {
             let mut m = shared.metrics.lock().unwrap();
             if applied {
@@ -1241,11 +1290,15 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
             } else {
                 m.writes_failed += 1;
             }
+            m.blocks_reclaimed += freed;
+            m.bytes_reclaimed += freed * BLOCK_SIZE as u64;
+            m.chain_inconsistencies += inconsistent;
             m.last_event = m.last_event.max(finish);
         }
-        if !shared.tracer.disabled() {
+        let span_needed = !shared.tracer.disabled() || inconsistent > 0;
+        if span_needed {
             let blocks = up.as_ref().map_or(0, |u| u.last_write_blocks());
-            shared.tracer.observe(TraceSpan {
+            let span = TraceSpan {
                 id: job.slot.id,
                 kind: SpanKind::Write {
                     blocks_invalidated: blocks,
@@ -1260,7 +1313,23 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
                     n_io: blocks,
                 }],
                 resolved: finish,
-            });
+            };
+            if inconsistent > 0 {
+                // A delete that found its victim missing from some
+                // chains means the shard index was already damaged —
+                // worth an operator's attention regardless of
+                // sampling, so the span goes to the slow-query log
+                // unconditionally, id and all.
+                eprintln!(
+                    "shard {s}: delete of global id {} missing from {inconsistent} chain(s) \
+                     (ticket #{})",
+                    job.global_id, job.slot.id
+                );
+                shared.tracer.force_slow(span.clone());
+            }
+            if !shared.tracer.disabled() {
+                shared.tracer.observe(span);
+            }
         }
         job.slot.resolve(WriteResult {
             status: OpStatus::Ok,
@@ -1270,6 +1339,45 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
             latency: finish - job.ref_time,
             service_latency: finish - start,
         });
+        if applied {
+            parked = false;
+            since_tick += 1;
+            if maint_budget > 0 && since_tick >= WRITES_PER_TICK {
+                if let Some(u) = up.as_mut() {
+                    since_tick = 0;
+                    parked = maintenance_tick(shared, s, u, maint_budget);
+                }
+            }
+        }
+    }
+}
+
+/// Run one budgeted reclamation tick on a shard and book its yield
+/// into the session counters. Returns true when the tick proved the
+/// shard fully compacted (a completed, unproductive pass) — the caller
+/// parks the idle trigger until the next applied write.
+fn maintenance_tick(
+    shared: &SessionShared,
+    s: usize,
+    up: &mut ShardUpdater<'_>,
+    block_budget: usize,
+) -> bool {
+    match up.maintain(block_budget) {
+        Ok(rep) => {
+            let mut m = shared.metrics.lock().unwrap();
+            m.blocks_reclaimed += rep.blocks_reclaimed;
+            m.filter_bits_cleared += rep.filter_bits_cleared;
+            m.bytes_reclaimed += rep.bytes_reclaimed;
+            drop(m);
+            rep.completed_pass && !rep.productive()
+        }
+        Err(e) => {
+            // A failing device is not a reason to spin the idle
+            // trigger: park until a write (which would surface the
+            // same fault to its caller) re-arms maintenance.
+            eprintln!("shard {s}: maintenance tick failed: {e}");
+            true
+        }
     }
 }
 
@@ -1574,6 +1682,10 @@ pub(crate) fn device_sub(d: &mut DeviceStats, prev: &DeviceStats) {
     d.cache_invalidations -= prev.cache_invalidations.min(d.cache_invalidations);
     d.cache_stale_fills -= prev.cache_stale_fills.min(d.cache_stale_fills);
     d.cache_warmed -= prev.cache_warmed.min(d.cache_warmed);
+    d.blocks_reclaimed -= prev.blocks_reclaimed.min(d.blocks_reclaimed);
+    d.filter_bits_cleared -= prev.filter_bits_cleared.min(d.filter_bits_cleared);
+    d.bytes_reclaimed -= prev.bytes_reclaimed.min(d.bytes_reclaimed);
+    d.chain_inconsistencies -= prev.chain_inconsistencies.min(d.chain_inconsistencies);
 }
 
 /// Queries served per `[shard][replica]`, from the live reactor cells.
@@ -1641,6 +1753,16 @@ fn build_report(shared: &SessionShared) -> ServiceReport {
     report.lost_partials = shared.router_stats.abandoned();
     report.peak_queue_depth = peak_queue_depth(shared);
     report.device = aggregate_device(shared);
+    {
+        // Reclamation counters are writer-level: devices know nothing
+        // of free lists, so the report fills them from the session
+        // counters the writer threads book.
+        let m = shared.metrics.lock().unwrap();
+        report.device.blocks_reclaimed = m.blocks_reclaimed;
+        report.device.filter_bits_cleared = m.filter_bits_cleared;
+        report.device.bytes_reclaimed = m.bytes_reclaimed;
+        report.device.chain_inconsistencies = m.chain_inconsistencies;
+    }
     report.replica_load = replica_load(shared);
     report.slow_queries = shared.tracer.slow_queries();
     report

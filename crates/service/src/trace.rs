@@ -276,6 +276,20 @@ impl Tracer {
         }
     }
 
+    /// Append a span to the slow-query log **unconditionally** —
+    /// latency threshold and sampling do not apply. For events that
+    /// warrant an operator's attention on their own (a delete hitting
+    /// a chain inconsistency), where the span carries the evidence
+    /// (ticket id, shard, timing) whatever the latency was.
+    pub(crate) fn force_slow(&self, span: TraceSpan) {
+        if let Ok(mut log) = self.slow.lock() {
+            if log.len() == self.slow_capacity {
+                log.pop_front();
+            }
+            log.push_back(span);
+        }
+    }
+
     pub(crate) fn traces(&self) -> Vec<TraceSpan> {
         self.ring.snapshot()
     }

@@ -26,7 +26,7 @@
 use crate::shard::Shard;
 use e2lsh_storage::device::cached::BlockCache;
 use e2lsh_storage::layout::BLOCK_SIZE;
-use e2lsh_storage::update::Updater;
+use e2lsh_storage::update::{MaintenanceReport, Updater};
 use std::io;
 use std::sync::Arc;
 
@@ -49,6 +49,12 @@ pub struct ShardUpdater<'a> {
     /// Blocks the most recent write rewrote (and invalidated in every
     /// registered cache) — the write's "device work" for trace spans.
     last_blocks: u64,
+    /// Bucket blocks the most recent op returned to the free list.
+    last_blocks_freed: u64,
+    /// Chains the most recent delete found the victim missing from
+    /// (0 on a healthy index; see
+    /// [`WriteTrace::chain_inconsistencies`](e2lsh_storage::update::WriteTrace::chain_inconsistencies)).
+    last_inconsistencies: u64,
 }
 
 impl<'a> ShardUpdater<'a> {
@@ -69,6 +75,8 @@ impl<'a> ShardUpdater<'a> {
             shard,
             caches: shard.cache.iter().cloned().collect(),
             last_blocks: 0,
+            last_blocks_freed: 0,
+            last_inconsistencies: 0,
         })
     }
 
@@ -76,6 +84,20 @@ impl<'a> ShardUpdater<'a> {
     /// `insert`/`delete` on this updater.
     pub fn last_write_blocks(&self) -> u64 {
         self.last_blocks
+    }
+
+    /// Bucket blocks the most recent `insert`/`delete`/`maintain`
+    /// returned to the shard's free list (delete-time empty-block
+    /// unlink, or compaction).
+    pub fn last_blocks_freed(&self) -> u64 {
+        self.last_blocks_freed
+    }
+
+    /// Chains the most recent `delete` found its victim missing from —
+    /// 0 on a healthy index, `> 0` means the shard index was already
+    /// inconsistent (the delete still removed what it found).
+    pub fn last_chain_inconsistencies(&self) -> u64 {
+        self.last_inconsistencies
     }
 
     /// The shard this updater mutates.
@@ -141,6 +163,30 @@ impl<'a> ShardUpdater<'a> {
         res
     }
 
+    /// Run one budgeted space-reclamation tick on this shard (see
+    /// [`Updater::maintain`]): unlink emptied blocks, merge sparse
+    /// chain blocks, and clear occupancy-filter bits whose buckets hold
+    /// no live entries. Safe while the shard serves queries:
+    ///
+    /// * filter-bit **clears** are published into the live
+    ///   [`StorageIndex`](e2lsh_storage::index::StorageIndex) word
+    ///   stores (the set-bit path used by inserts is OR-only, so clears
+    ///   need the exact rescanned words) — a query admitted mid-store
+    ///   at worst probes a bucket that just went empty;
+    /// * rewritten chain blocks are invalidated in every replica cache
+    ///   through the same write trace as inserts/deletes, so the
+    ///   per-key cache epochs discard in-flight fills for them.
+    pub fn maintain(&mut self, block_budget: usize) -> io::Result<MaintenanceReport> {
+        let res = self.updater.maintain(block_budget);
+        if let Ok(rep) = &res {
+            for &(ri, li, word, value) in &rep.filter_words {
+                self.shard.index.set_filter_word(ri, li, word, value);
+            }
+        }
+        self.apply_trace();
+        res
+    }
+
     /// Invalidate rewritten blocks in **every** registered replica
     /// cache and publish new filter bits into the live index — also on
     /// failure (see module docs). The index and rows are shared by all
@@ -149,6 +195,8 @@ impl<'a> ShardUpdater<'a> {
     fn apply_trace(&mut self) {
         let trace = self.updater.take_trace();
         self.last_blocks = trace.blocks.len() as u64;
+        self.last_blocks_freed = trace.blocks_freed;
+        self.last_inconsistencies = trace.chain_inconsistencies;
         for &(ri, li, h32) in &trace.filter_bits {
             self.shard.index.set_filter_bit(ri, li, h32);
         }

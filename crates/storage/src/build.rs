@@ -25,6 +25,16 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"E2LSHOS1";
 
+/// Maximum number of free bucket-block addresses the superblock can
+/// persist (see [`Superblock::free`]). Sized so a worst-case superblock
+/// (64 radii + full free list) still fits the 4 KiB reserved region:
+/// `84 + 64·4 + 4 + 448·8 = 3928 ≤ 4096`. The cap bounds the
+/// *standing* pool, not reclamation throughput — under steady churn
+/// the list cycles (deletes push, inserts pop), so it must hold the
+/// frees of at least one reuse-quarantine window or reclamation
+/// throttles and the heap grows without bound.
+pub const MAX_FREE_LIST: usize = 448;
+
 /// Build-time options.
 #[derive(Clone, Copy, Debug)]
 pub struct BuildConfig {
@@ -106,6 +116,13 @@ pub struct Superblock {
     pub seed: u64,
     pub radii: Vec<f32>,
     pub total_bytes: u64,
+    /// Persistent free list: heap addresses of bucket blocks that were
+    /// emptied by deletes/compaction and unlinked from their chains.
+    /// Inserts draw from this list before growing the heap, bounding
+    /// `total_bytes` under churn. At most [`MAX_FREE_LIST`] entries;
+    /// encoded after the radii so images written before the free list
+    /// existed decode as an empty list (zero padding).
+    pub free: Vec<u64>,
 }
 
 impl Superblock {
@@ -129,6 +146,11 @@ impl Superblock {
         b.extend_from_slice(&(self.radii.len() as u32).to_le_bytes());
         for r in &self.radii {
             b.extend_from_slice(&r.to_le_bytes());
+        }
+        assert!(self.free.len() <= MAX_FREE_LIST, "free list overflow");
+        b.extend_from_slice(&(self.free.len() as u32).to_le_bytes());
+        for a in &self.free {
+            b.extend_from_slice(&a.to_le_bytes());
         }
         assert!(b.len() <= SUPERBLOCK_SIZE, "superblock overflow");
         b.resize(SUPERBLOCK_SIZE, 0);
@@ -173,6 +195,17 @@ impl Superblock {
         for _ in 0..nr {
             radii.push(f32::from_le_bytes(take(4).try_into().unwrap()));
         }
+        let nf = u32::from_le_bytes(take(4).try_into().unwrap()) as usize;
+        if nf > MAX_FREE_LIST {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "corrupt superblock: free list too long",
+            ));
+        }
+        let mut free = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            free.push(u64::from_le_bytes(take(8).try_into().unwrap()));
+        }
         Ok(Self {
             n,
             capacity,
@@ -188,6 +221,7 @@ impl Superblock {
             seed,
             radii,
             total_bytes,
+            free,
         })
     }
 }
@@ -336,6 +370,7 @@ pub fn build_index<P: AsRef<Path>>(
         seed: config.seed,
         radii: params.radii.clone(),
         total_bytes,
+        free: Vec::new(),
     };
     let sb_bytes = sb.encode();
     write_at(&file, 0, &sb_bytes)?;
@@ -391,6 +426,7 @@ mod tests {
             seed: 777,
             radii: vec![1.0, 2.0, 4.0, 8.0],
             total_bytes: 99999,
+            free: vec![4096, 8192, 123 * 512],
         };
         let enc = sb.encode();
         assert_eq!(enc.len(), SUPERBLOCK_SIZE);
@@ -401,6 +437,64 @@ mod tests {
         assert_eq!(dec.total_bytes, 99999);
         assert_eq!(dec.filter_bits, 15);
         assert_eq!(dec.capacity, 24690);
+        assert_eq!(dec.free, sb.free);
+    }
+
+    #[test]
+    fn superblock_without_free_list_decodes_empty() {
+        // Images written before the free list existed end at the radii;
+        // the reserved-region zero padding must decode as an empty list.
+        let sb = Superblock {
+            n: 10,
+            capacity: 20,
+            dim: 4,
+            m: 2,
+            l: 3,
+            u_bits: 8,
+            filter_bits: 10,
+            c: 2.0,
+            w: 4.0,
+            gamma: 1.0,
+            s: 5,
+            seed: 1,
+            radii: vec![1.0],
+            total_bytes: 4096,
+            free: Vec::new(),
+        };
+        let mut enc = sb.encode();
+        // Truncate to the radii and re-pad with zeros, simulating an old
+        // image that never wrote free-list fields.
+        let radii_end = 84 + 4 * sb.radii.len();
+        enc[radii_end..].iter_mut().for_each(|b| *b = 0);
+        let dec = Superblock::decode(&enc).unwrap();
+        assert!(dec.free.is_empty());
+        assert_eq!(dec.n, 10);
+    }
+
+    #[test]
+    fn superblock_full_free_list_fits() {
+        let sb = Superblock {
+            n: 1,
+            capacity: 2,
+            dim: 4,
+            m: 2,
+            l: 3,
+            u_bits: 8,
+            filter_bits: 10,
+            c: 2.0,
+            w: 4.0,
+            gamma: 1.0,
+            s: 5,
+            seed: 1,
+            radii: vec![1.0; 64],
+            total_bytes: 4096,
+            free: (0..MAX_FREE_LIST as u64).map(|i| 4096 + i * 512).collect(),
+        };
+        let enc = sb.encode();
+        assert_eq!(enc.len(), SUPERBLOCK_SIZE);
+        let dec = Superblock::decode(&enc).unwrap();
+        assert_eq!(dec.free.len(), MAX_FREE_LIST);
+        assert_eq!(dec.free, sb.free);
     }
 
     #[test]

@@ -77,6 +77,22 @@ pub struct DeviceStats {
     /// warming). Cache-level like evictions; aggregators fill it from
     /// [`cached::BlockCache::warmed`].
     pub cache_warmed: u64,
+    /// Bucket blocks returned to the free list by deletes or background
+    /// maintenance (empty-block unlink and chain compaction). A
+    /// writer-level quantity: devices leave it 0 and the service report
+    /// fills it from the per-shard maintenance counters.
+    pub blocks_reclaimed: u64,
+    /// Occupancy-filter bits cleared by tombstone GC (the bit's bucket
+    /// no longer holds live entries). Writer-level like
+    /// `blocks_reclaimed`.
+    pub filter_bits_cleared: u64,
+    /// Bytes made reusable by reclamation (`blocks_reclaimed ×`
+    /// block size, plus heap trimmed by cursor rollback). Writer-level.
+    pub bytes_reclaimed: u64,
+    /// Delete operations that removed fewer entries than the `r·L`
+    /// chains they should appear in — the index was already
+    /// inconsistent. Writer-level.
+    pub chain_inconsistencies: u64,
 }
 
 impl DeviceStats {

@@ -205,6 +205,19 @@ impl StorageIndex {
         }
     }
 
+    /// Replace one filter word of table `(ri, li)` with `value` — the
+    /// live-index mirror of [`crate::update::Updater::maintain`]'s
+    /// tombstone GC, which *clears* bits and therefore cannot go
+    /// through the OR-only [`StorageIndex::merge_filter_words`]. The
+    /// value comes from an exact rescan of the word's chains on the
+    /// single writer thread (maintenance runs between writer ops), so a
+    /// racing reader sees either the old superset or the new exact word
+    /// — a live object's bit is never cleared.
+    pub fn set_filter_word(&self, ri: usize, li: usize, word: usize, value: u64) {
+        let t = ri * self.geometry.l + li;
+        self.occupancy[t][word].store(value, Ordering::Relaxed);
+    }
+
     /// Fraction of set filter bits over all tables (diagnostic).
     pub fn occupancy_rate(&self) -> f64 {
         let set: u64 = self

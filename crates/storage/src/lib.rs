@@ -43,4 +43,4 @@ pub use index::StorageIndex;
 pub use query::{
     run_queries, BatchReport, EngineClock, EngineConfig, QueryDriver, QueryOutcome, QueryState,
 };
-pub use update::Updater;
+pub use update::{is_id_exhausted, IdSpaceExhausted, MaintenanceReport, Updater, WriteTrace};

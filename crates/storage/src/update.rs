@@ -7,13 +7,19 @@
 //!
 //! * **insert** — compute the object's `r·L` hash values and *prepend* a
 //!   chain link per table: if the head block has room, rewrite it in
-//!   place; otherwise allocate a fresh block at the end of the heap whose
+//!   place; otherwise allocate a fresh block — drawn from the persistent
+//!   free list when one is available, else at the end of the heap — whose
 //!   `next` points at the old head and update the slot. Prepending keeps
 //!   writes O(1) per table and never rewrites a whole chain.
 //! * **delete** — walk each of the object's `r·L` chains and rewrite the
-//!   single block containing its entry (the entry is replaced by the
-//!   block's last entry). Blocks never shrink below the chain structure,
-//!   so no pointers move.
+//!   single block containing its entry. A block emptied by the delete is
+//!   unlinked from its chain (the predecessor is repointed past it) and
+//!   returned to the superblock free list instead of being rewritten, so
+//!   churn stops growing the heap.
+//! * **maintain** — a budgeted background pass ([`Updater::maintain`])
+//!   that compacts sparse chains (merging adjacent blocks whose combined
+//!   entries fit one block), unlinks empty blocks, and garbage-collects
+//!   occupancy-filter bits whose bucket no longer holds live entries.
 //!
 //! Updates write through a [`std::fs::File`] opened read-write; readers
 //! opened afterwards (or an in-process [`StorageIndex`] refreshed with
@@ -23,7 +29,7 @@
 //!
 //! The serving layer (`e2lsh_service`) runs this update path *under
 //! load*: readers keep issuing I/Os against the same file while an
-//! updater rewrites blocks. Three mechanisms make that safe:
+//! updater rewrites blocks. The mechanisms that make that safe:
 //!
 //! * every byte range the updater writes (even on a failed operation)
 //!   is recorded in a [`WriteTrace`], so the caller can invalidate
@@ -32,25 +38,68 @@
 //! * new chain blocks are fully written *before* the slot pointer that
 //!   publishes them, so a concurrent reader sees either the old head or
 //!   the complete new head;
-//! * the heap allocation cursor is reserved in the superblock *before*
-//!   an insert links any entry, so a crash or injected failure mid-way
-//!   never lets a later open re-allocate (and cross-link) blocks a
-//!   half-finished insert already published.
+//! * heap growth (and every free-list pop) is persisted in the
+//!   superblock *before* an insert links any entry, so a crash or
+//!   injected failure mid-way never lets a later open re-allocate (and
+//!   cross-link) blocks a half-finished insert already published;
+//! * freed blocks keep their old on-storage content — a reader that
+//!   captured a pointer into a chain before a block was unlinked still
+//!   reads a consistent (merely stale) chain — and are quarantined for
+//!   [`Updater::set_reuse_quarantine_ops`] writer operations before
+//!   they can be reused, bounding how stale such a pointer can be when
+//!   the block's bytes finally change. Reuse itself is a tracked write,
+//!   so caches drop the block's old bytes through their per-key epochs.
 //!
 //! [`Updater::fail_after_writes`] injects write failures for tests:
 //! the failure-injection suite asserts a shard stays queryable after a
 //! mid-operation error and that the trace covers every touched block.
 
-use crate::build::Superblock;
+use crate::build::{Superblock, MAX_FREE_LIST};
 use crate::index::StorageIndex;
 use crate::layout::{
     split_hash, BucketBlock, EntryCodec, TableGeometry, BLOCK_SIZE, ENTRIES_PER_BLOCK, HASH_BITS,
     SUPERBLOCK_SIZE,
 };
 use e2lsh_core::lsh::{hash_v_bits, HashFamily};
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
+
+/// Default number of subsequent writer operations a freed block sits in
+/// quarantine before it may be reused (see module docs). A stale
+/// reader holds a freed block's address only for the remainder of one
+/// chain walk — a handful of writer ops at most — so a short window
+/// suffices; keeping it well under `MAX_FREE_LIST / frees-per-op`
+/// matters, because blocks freed inside the window pile up on the
+/// bounded free list and a long quarantine would overflow it (frees
+/// beyond the cap are rewritten empty in place and only reclaimed by a
+/// later `maintain` pass).
+pub const REUSE_QUARANTINE_OPS: u64 = 16;
+
+/// Typed error payload carried by the [`io::Error`] that
+/// [`Updater::insert`] returns when the next object ID no longer fits
+/// the entry codec — a predictable capacity condition, not a device
+/// failure, so callers can shed the write instead of dying.
+#[derive(Clone, Copy, Debug)]
+pub struct IdSpaceExhausted {
+    /// ID width the codec was built with.
+    pub id_bits: u32,
+}
+
+impl std::fmt::Display for IdSpaceExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "object ID space exhausted (id_bits = {})", self.id_bits)
+    }
+}
+
+impl std::error::Error for IdSpaceExhausted {}
+
+/// True when `e` is the typed id-space-exhaustion failure from
+/// [`Updater::insert`].
+pub fn is_id_exhausted(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|r| r.is::<IdSpaceExhausted>())
+}
 
 /// Storage mutations performed by one or more update operations: which
 /// blocks were rewritten (for cache invalidation) and which occupancy
@@ -74,6 +123,15 @@ pub struct WriteTrace {
     /// `(radius index, table index, 32-bit hash)` of occupancy-filter
     /// bits newly set by inserts.
     pub filter_bits: Vec<(usize, usize, u64)>,
+    /// Bucket blocks returned to the free list (empty-block unlink or
+    /// chain compaction) since the last take. Freed blocks are *not*
+    /// rewritten — their bytes only change on reuse, which is a tracked
+    /// write — so they do not appear in `blocks`.
+    pub blocks_freed: u64,
+    /// Chains that should have contained a deleted object's entry but
+    /// did not (`delete` removed fewer than `r·L` entries): the index
+    /// was already inconsistent.
+    pub chain_inconsistencies: u64,
 }
 
 impl WriteTrace {
@@ -99,6 +157,61 @@ impl WriteTrace {
     }
 }
 
+/// Outcome of one [`Updater::maintain`] call.
+#[derive(Clone, Debug, Default)]
+pub struct MaintenanceReport {
+    /// Bucket blocks unlinked and returned to the free list.
+    pub blocks_reclaimed: u64,
+    /// Occupancy-filter bits cleared because their bucket no longer
+    /// holds live entries.
+    pub filter_bits_cleared: u64,
+    /// Bytes made reusable (`blocks_reclaimed × BLOCK_SIZE`).
+    pub bytes_reclaimed: u64,
+    /// Bucket blocks read while scanning (the budget currency).
+    pub blocks_scanned: u64,
+    /// True when the cursor wrapped: every table slot has been visited
+    /// since the previous wrap, so an idle driver can back off.
+    pub completed_pass: bool,
+    /// Filter words rewritten by GC as `(ri, li, word index, value)` —
+    /// mirror them into a live [`StorageIndex`] with
+    /// [`StorageIndex::set_filter_word`].
+    pub filter_words: Vec<(usize, usize, usize, u64)>,
+}
+
+impl MaintenanceReport {
+    /// True when the pass reclaimed or cleared anything.
+    pub fn productive(&self) -> bool {
+        self.blocks_reclaimed > 0 || self.filter_bits_cleared > 0
+    }
+
+    /// Fold another report into this one (driver-side accumulation).
+    pub fn merge(&mut self, other: &MaintenanceReport) {
+        self.blocks_reclaimed += other.blocks_reclaimed;
+        self.filter_bits_cleared += other.filter_bits_cleared;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+        self.blocks_scanned += other.blocks_scanned;
+        self.completed_pass |= other.completed_pass;
+    }
+}
+
+/// Per-table link plan computed by the read-only first phase of an
+/// insert (see [`Updater::insert`]).
+enum LinkAction {
+    /// Head block exists and has room: rewrite it in place.
+    Squeeze { head: u64, block: BucketBlock },
+    /// Chain needs a fresh head block pointing at the old head.
+    Fresh { old_head: u64 },
+}
+
+struct LinkPlan {
+    ri: usize,
+    li: usize,
+    h32: u64,
+    slot: u64,
+    fp: u32,
+    action: LinkAction,
+}
+
 /// Read-write handle over an index file for online maintenance.
 pub struct Updater {
     file: File,
@@ -109,10 +222,27 @@ pub struct Updater {
     /// End-of-heap allocation cursor.
     next_block_addr: u64,
     /// Per-table occupancy filters (mirrors the on-disk region; flushed
-    /// on every insert that sets a new bit).
+    /// on every insert that sets a new bit and every GC clear).
     filters: Vec<Vec<u64>>,
     /// Mutations since the last [`Updater::take_trace`].
     trace: WriteTrace,
+    /// Monotonic writer-operation stamp (insert/delete/maintain calls);
+    /// drives the free-block reuse quarantine.
+    op_stamp: u64,
+    /// Freed block → op stamp at free time. Not persisted: after a
+    /// reopen no reader predates the handle, so every free-listed block
+    /// is immediately eligible.
+    quarantine: HashMap<u64, u64>,
+    /// Reuse quarantine length in writer ops (tests/benches may shorten).
+    quarantine_ops: u64,
+    /// Maintenance cursor: next table and slot to scan.
+    maint_table: usize,
+    maint_slot: u64,
+    /// Superblock writes attempted (reservation-flush-skip accounting).
+    superblock_flushes: u64,
+    /// Compatibility: always flush a worst-case heap reservation before
+    /// linking, as the pre-free-list write path did.
+    compat_always_reserve: bool,
     /// Fault injection: fail the Nth write from now (None = disabled).
     fail_after_writes: Option<u64>,
     /// Writes attempted since fault injection was (re-)armed.
@@ -164,6 +294,13 @@ impl Updater {
             next_block_addr,
             filters,
             trace: WriteTrace::default(),
+            op_stamp: 0,
+            quarantine: HashMap::new(),
+            quarantine_ops: REUSE_QUARANTINE_OPS,
+            maint_table: 0,
+            maint_slot: 0,
+            superblock_flushes: 0,
+            compat_always_reserve: false,
             fail_after_writes: None,
             writes_since_arm: 0,
         })
@@ -191,6 +328,37 @@ impl Updater {
     pub fn fail_after_writes(&mut self, n: Option<u64>) {
         self.fail_after_writes = n;
         self.writes_since_arm = 0;
+    }
+
+    /// Shorten (or lengthen) the freed-block reuse quarantine. The
+    /// default [`REUSE_QUARANTINE_OPS`] bounds how long a concurrent
+    /// reader can hold a pointer at a block whose bytes are about to be
+    /// rewritten for a different chain; single-threaded tests may set 0.
+    pub fn set_reuse_quarantine_ops(&mut self, ops: u64) {
+        self.quarantine_ops = ops;
+    }
+
+    /// Compatibility switch for equivalence tests: when on, every
+    /// insert flushes a worst-case heap reservation before linking —
+    /// the pre-free-list write path — instead of skipping the flush
+    /// when all target chains have room.
+    pub fn set_compat_reservation_flush(&mut self, on: bool) {
+        self.compat_always_reserve = on;
+    }
+
+    /// Superblock writes attempted so far (reservation-skip accounting).
+    pub fn superblock_flushes(&self) -> u64 {
+        self.superblock_flushes
+    }
+
+    /// Current on-storage footprint in bytes (superblock `total_bytes`).
+    pub fn total_bytes(&self) -> u64 {
+        self.sb.total_bytes
+    }
+
+    /// Blocks currently parked on the persistent free list.
+    pub fn free_list_len(&self) -> usize {
+        self.sb.free.len()
     }
 
     /// Fault-injectable write (no trace entry): for regions the block
@@ -247,65 +415,161 @@ impl Updater {
     /// The caller must also append the same coordinates to its in-DRAM
     /// [`e2lsh_core::Dataset`] so distance checks can find them.
     ///
-    /// **The ID is consumed even when the insert fails**: a device
-    /// error mid-way may already have linked the object into some
-    /// tables, so the failed ID is burned (`n` still advances) rather
-    /// than recycled — recycling would hand a *different* object an ID
-    /// that half-exists in other tables' chains, silently corrupting
-    /// results. Callers that mirror coordinates (the serving layer)
-    /// keep the failed row for the same reason; the object is at worst
-    /// partially findable, never wrong.
+    /// When the next ID no longer fits the entry codec's ID bits the
+    /// insert fails **before any mutation** with a typed error
+    /// ([`IdSpaceExhausted`], recognizable via [`is_id_exhausted`]) and
+    /// the ID is *not* consumed — the condition is permanent, so
+    /// burning ids would merely overflow forever. The codec is sized at
+    /// build time from [`crate::build::BuildConfig::capacity`] (default
+    /// 2× the build-time n).
     ///
-    /// # Panics
-    /// Panics if the new ID no longer fits the entry codec's ID bits; the
-    /// codec is sized at build time from [`crate::build::BuildConfig::capacity`]
-    /// (default 2× the build-time n), so reserve enough capacity up front.
+    /// **For device errors the ID is still consumed**: an error mid-way
+    /// may already have linked the object into some tables, so the
+    /// failed ID is burned (`n` still advances) rather than recycled —
+    /// recycling would hand a *different* object an ID that half-exists
+    /// in other tables' chains, silently corrupting results. Callers
+    /// that mirror coordinates (the serving layer) keep the failed row
+    /// for the same reason; the object is at worst partially findable,
+    /// never wrong.
     pub fn insert(&mut self, point: &[f32]) -> io::Result<u32> {
         assert_eq!(point.len(), self.sb.dim as usize);
         let id = self.sb.n as u32;
-        assert!(
-            u64::from(id) < (1u64 << self.codec.id_bits),
-            "object ID space exhausted (id_bits = {})",
-            self.codec.id_bits
-        );
-        // Reserve the worst-case heap growth (one fresh block per table)
-        // in the superblock *before* publishing any entry: if this
-        // insert fails half-way, a later `Updater::open` starts its
-        // allocation cursor past every block the half-finished insert
-        // may already have linked, so chains can never be cross-linked
-        // by re-allocation. A successful insert writes the exact cursor
-        // back below; entries are only linked once the reservation is
-        // durably on storage.
-        let reserve =
-            self.next_block_addr + (self.geometry.num_tables() as u64) * BLOCK_SIZE as u64;
-        self.sb.total_bytes = reserve;
-        let mut outcome = self.flush_superblock();
-        if outcome.is_ok() {
-            let mut scratch = Vec::new();
-            'link: for ri in 0..self.geometry.num_radii {
-                let radius = self.sb.radii[ri];
-                for li in 0..self.geometry.l {
-                    let key64 = self
-                        .family
-                        .compound(ri, li)
-                        .hash64(point, radius, &mut scratch);
-                    let h32 = hash_v_bits(key64, HASH_BITS);
-                    let (slot, fp) = split_hash(h32, self.geometry.u_bits);
-                    outcome = self
-                        .link_entry(ri, li, slot, id, fp)
-                        .and_then(|()| self.set_filter_bit(ri, li, h32));
-                    if outcome.is_err() {
-                        break 'link;
+        if u64::from(id) >= (1u64 << self.codec.id_bits) {
+            return Err(io::Error::other(IdSpaceExhausted {
+                id_bits: self.codec.id_bits,
+            }));
+        }
+        self.op_stamp += 1;
+
+        // Phase 1 (reads only): plan every table's link. Nothing has
+        // been written yet, so a read error here neither burns the ID
+        // nor leaves partial state.
+        let mut plans = Vec::with_capacity(self.geometry.num_tables());
+        let mut scratch = Vec::new();
+        for ri in 0..self.geometry.num_radii {
+            let radius = self.sb.radii[ri];
+            for li in 0..self.geometry.l {
+                let key64 = self
+                    .family
+                    .compound(ri, li)
+                    .hash64(point, radius, &mut scratch);
+                let h32 = hash_v_bits(key64, HASH_BITS);
+                let (slot, fp) = split_hash(h32, self.geometry.u_bits);
+                let slot_addr = self.geometry.slot_addr(ri, li, slot);
+                let mut head_buf = [0u8; 8];
+                read_at(&self.file, slot_addr, &mut head_buf)?;
+                let head = u64::from_le_bytes(head_buf);
+                let action = if head != 0 {
+                    let mut buf = vec![0u8; BLOCK_SIZE];
+                    read_at(&self.file, head, &mut buf)?;
+                    let block = BucketBlock::decode(&self.codec, &buf);
+                    if block.entries.len() < ENTRIES_PER_BLOCK {
+                        LinkAction::Squeeze { head, block }
+                    } else {
+                        LinkAction::Fresh { old_head: head }
                     }
+                } else {
+                    LinkAction::Fresh { old_head: 0 }
+                };
+                plans.push(LinkPlan {
+                    ri,
+                    li,
+                    h32,
+                    slot,
+                    fp,
+                    action,
+                });
+            }
+        }
+
+        let mut outcome = Ok(());
+        if self.compat_always_reserve {
+            // Legacy path: persist a worst-case reservation (one fresh
+            // block per table past the current cursor) whether or not
+            // any fresh block is needed. The exact state is flushed at
+            // the end either way, so the final image is identical.
+            let exact = self.sb.total_bytes;
+            self.sb.total_bytes =
+                self.next_block_addr + (self.geometry.num_tables() as u64) * BLOCK_SIZE as u64;
+            outcome = self.flush_superblock();
+            self.sb.total_bytes = exact;
+        }
+
+        // Phase 2: allocate fresh blocks (free-list pops first, heap
+        // growth for the remainder) and persist the allocation in the
+        // superblock *before* any entry is published. A crash after
+        // this flush at worst leaks the allocated blocks — a later open
+        // can never hand them out again, so chains cannot cross-link.
+        // When every target chain has room this flush is skipped
+        // entirely: the common squeeze-only insert pays one superblock
+        // write (the final count flush) instead of two.
+        let mut fresh_addrs = Vec::new();
+        if outcome.is_ok() {
+            let fresh_needed = plans
+                .iter()
+                .filter(|p| matches!(p.action, LinkAction::Fresh { .. }))
+                .count();
+            if fresh_needed > 0 {
+                let heap_before = self.next_block_addr;
+                for _ in 0..fresh_needed {
+                    fresh_addrs.push(self.alloc_block_addr());
+                }
+                let popped_free = fresh_addrs.iter().any(|&a| a < heap_before);
+                self.sb.total_bytes = self.next_block_addr;
+                // In compat mode the worst-case reservation above
+                // already covers pure heap growth; only free-list pops
+                // (which the legacy path never had) still force a flush.
+                if !self.compat_always_reserve || popped_free {
+                    outcome = self.flush_superblock();
                 }
             }
         }
-        // Consume the ID in every outcome (see above) and restore the
-        // exact allocation cursor in memory, so the next insert always
-        // recomputes — and re-flushes — its own reservation. On failure
-        // the final superblock flush is best-effort: the in-memory bump
-        // keeps this handle consistent, and a reopen sees either the
-        // conservative reservation or the exact cursor, both safe.
+
+        // Phase 3: link every table, in table order (fresh blocks are
+        // consumed in the same order they were allocated, so the image
+        // matches the sequential-allocation legacy path bit for bit).
+        if outcome.is_ok() {
+            let mut next_fresh = 0usize;
+            'link: for plan in &plans {
+                let (ri, li) = (plan.ri, plan.li);
+                let step = match &plan.action {
+                    LinkAction::Squeeze { head, block } => {
+                        let mut block = block.clone();
+                        block.entries.push((id, plan.fp));
+                        let mut out = Vec::with_capacity(BLOCK_SIZE);
+                        block.encode(&self.codec, &mut out);
+                        self.write_tracked(*head, &out)
+                    }
+                    LinkAction::Fresh { old_head } => {
+                        let block = BucketBlock {
+                            next: *old_head,
+                            entries: vec![(id, plan.fp)],
+                        };
+                        let mut out = Vec::with_capacity(BLOCK_SIZE);
+                        block.encode(&self.codec, &mut out);
+                        let addr = fresh_addrs[next_fresh];
+                        next_fresh += 1;
+                        // The block is fully written before the slot
+                        // pointer publishes it, so a concurrent reader
+                        // sees the old head or the complete new one,
+                        // never a partial block.
+                        let slot_addr = self.geometry.slot_addr(ri, li, plan.slot);
+                        self.write_tracked(addr, &out)
+                            .and_then(|()| self.write_tracked(slot_addr, &addr.to_le_bytes()))
+                    }
+                };
+                outcome = step.and_then(|()| self.set_filter_bit(ri, li, plan.h32));
+                if outcome.is_err() {
+                    break 'link;
+                }
+            }
+        }
+
+        // Phase 4: consume the ID in every post-plan outcome (see the
+        // doc comment) and flush the exact count and cursor. On failure
+        // the final flush is best-effort: the in-memory bump keeps this
+        // handle consistent, and a reopen sees either the allocation
+        // flush or the exact state, both safe.
         self.sb.n += 1;
         self.sb.total_bytes = self.next_block_addr;
         let flushed = self.flush_superblock();
@@ -316,15 +580,23 @@ impl Updater {
 
     /// Remove an object from every chain it appears in. Returns the number
     /// of entries removed (normally `r·L`; fewer only if the index was
-    /// already inconsistent). The ID itself is not reused.
+    /// already inconsistent — each missing chain is counted in
+    /// [`WriteTrace::chain_inconsistencies`]). The ID itself is not
+    /// reused.
     ///
-    /// The coordinates should be retired from the caller's dataset too
-    /// (e.g. overwritten with a sentinel); the occupancy filters are left
-    /// untouched — a stale set bit only costs one wasted probe, exactly
-    /// the paper's trade-off of cheap deletes against rare rebuilds.
+    /// A block emptied by the delete is unlinked from its chain and
+    /// pushed onto the persistent free list (unless the list is full, in
+    /// which case it is rewritten empty in place and left for a later
+    /// [`Updater::maintain`] pass). The coordinates should be retired
+    /// from the caller's dataset too; stale occupancy-filter bits are
+    /// left for `maintain`'s tombstone GC — until then they only cost a
+    /// wasted probe, exactly the paper's trade-off of cheap deletes
+    /// against rare rebuilds.
     pub fn delete(&mut self, point: &[f32], id: u32) -> io::Result<usize> {
         assert_eq!(point.len(), self.sb.dim as usize);
+        self.op_stamp += 1;
         let mut removed = 0usize;
+        let mut freed_any = false;
         let mut scratch = Vec::new();
         for ri in 0..self.geometry.num_radii {
             let radius = self.sb.radii[ri];
@@ -335,8 +607,18 @@ impl Updater {
                     .hash64(point, radius, &mut scratch);
                 let h32 = hash_v_bits(key64, HASH_BITS);
                 let (slot, _) = split_hash(h32, self.geometry.u_bits);
-                removed += self.unlink_entry(ri, li, slot, id)?;
+                let (r, freed) = self.unlink_entry(ri, li, slot, id)?;
+                removed += r;
+                freed_any |= freed;
+                if r == 0 {
+                    self.trace.chain_inconsistencies += 1;
+                }
             }
+        }
+        if freed_any {
+            // One write persists the grown free list; n and total_bytes
+            // are unchanged by a delete.
+            self.flush_superblock()?;
         }
         Ok(removed)
     }
@@ -354,47 +636,228 @@ impl Updater {
         }
     }
 
-    fn link_entry(&mut self, ri: usize, li: usize, slot: u64, id: u32, fp: u32) -> io::Result<()> {
+    /// One budgeted maintenance tick: resume the cursor where the last
+    /// tick left off and scan chains until about `block_budget` bucket
+    /// blocks have been read (the current slot is always finished).
+    /// Three reclamation actions run per scanned slot:
+    ///
+    /// * **empty-block unlink** — blocks holding no live entries are
+    ///   repointed past and freed;
+    /// * **chain compaction** — a block whose entries fit in its
+    ///   predecessor is merged into it (one atomic predecessor rewrite
+    ///   carrying both the combined entries and the successor pointer)
+    ///   and freed;
+    /// * **tombstone GC** — the slot's live filter prefixes are
+    ///   recomputed from its surviving entries and every other bit of
+    ///   the slot's coset is cleared, on storage and in the in-memory
+    ///   mirror (the filter is exact, so this cannot drop a live
+    ///   object's bit).
+    ///
+    /// Freed blocks keep their bytes and enter the reuse quarantine;
+    /// see the module docs for why a concurrent stale reader stays
+    /// safe. Returns what was reclaimed; the caller mirrors
+    /// [`MaintenanceReport::filter_words`] into its live index and
+    /// invalidates [`WriteTrace::blocks`] as after any write.
+    pub fn maintain(&mut self, block_budget: usize) -> io::Result<MaintenanceReport> {
+        let mut rep = MaintenanceReport::default();
+        if self.geometry.num_tables() == 0 || block_budget == 0 {
+            return Ok(rep);
+        }
+        self.op_stamp += 1;
+        let slots = self.geometry.slots();
+        let mut budget = i64::try_from(block_budget).unwrap_or(i64::MAX);
+        let mut sb_dirty = false;
+        while budget > 0 {
+            let t = self.maint_table;
+            let (ri, li) = (t / self.geometry.l, t % self.geometry.l);
+            let slot = self.maint_slot;
+            let reads = self.maintain_slot(ri, li, slot, &mut rep, &mut sb_dirty)?;
+            budget -= reads.max(1) as i64;
+            self.maint_slot += 1;
+            if self.maint_slot == slots {
+                self.maint_slot = 0;
+                self.maint_table += 1;
+                if self.maint_table == self.geometry.num_tables() {
+                    self.maint_table = 0;
+                    rep.completed_pass = true;
+                    break;
+                }
+            }
+        }
+        if sb_dirty {
+            self.flush_superblock()?;
+        }
+        Ok(rep)
+    }
+
+    /// Scan one slot's chain: unlink empty blocks, merge mergeable
+    /// neighbours, then GC the slot's filter coset. Returns the number
+    /// of block reads performed.
+    fn maintain_slot(
+        &mut self,
+        ri: usize,
+        li: usize,
+        slot: u64,
+        rep: &mut MaintenanceReport,
+        sb_dirty: &mut bool,
+    ) -> io::Result<u64> {
         let slot_addr = self.geometry.slot_addr(ri, li, slot);
         let mut head_buf = [0u8; 8];
         read_at(&self.file, slot_addr, &mut head_buf)?;
         let head = u64::from_le_bytes(head_buf);
-        if head != 0 {
-            // Try to squeeze into the head block.
+        let mut reads = 0u64;
+        // Live filter prefixes of this slot's chain. An entry's prefix
+        // reconstructs exactly from its stored (slot, fingerprint):
+        // h32 = slot | (fp << u), and the filter indexes its low
+        // `filter_bits` bits.
+        let filter_mask = (1u64 << self.geometry.filter_bits) - 1;
+        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut prev: Option<(u64, BucketBlock)> = None;
+        let mut addr = head;
+        while addr != 0 {
             let mut buf = vec![0u8; BLOCK_SIZE];
-            read_at(&self.file, head, &mut buf)?;
-            let mut block = BucketBlock::decode(&self.codec, &buf);
-            if block.entries.len() < ENTRIES_PER_BLOCK {
-                block.entries.push((id, fp));
-                let mut out = Vec::with_capacity(BLOCK_SIZE);
-                block.encode(&self.codec, &mut out);
-                self.write_tracked(head, &out)?;
-                return Ok(());
+            read_at(&self.file, addr, &mut buf)?;
+            reads += 1;
+            let block = BucketBlock::decode(&self.codec, &buf);
+            let next = block.next;
+            for &(_, fp) in &block.entries {
+                live.insert((slot | (u64::from(fp) << self.geometry.u_bits)) & filter_mask);
+            }
+            if block.entries.is_empty() && self.can_free() {
+                // Unlink: repoint whatever points at this block past
+                // it, then free it without touching its bytes (a stale
+                // reader that already holds its address still walks a
+                // consistent chain).
+                match &mut prev {
+                    None => self.write_tracked(slot_addr, &next.to_le_bytes())?,
+                    Some((paddr, pblock)) => {
+                        pblock.next = next;
+                        let (pa, out) = {
+                            let mut out = Vec::with_capacity(BLOCK_SIZE);
+                            pblock.encode(&self.codec, &mut out);
+                            (*paddr, out)
+                        };
+                        self.write_tracked(pa, &out)?;
+                    }
+                }
+                self.free_block(addr);
+                rep.blocks_reclaimed += 1;
+                rep.bytes_reclaimed += BLOCK_SIZE as u64;
+                *sb_dirty = true;
+                addr = next;
+                continue;
+            }
+            if let Some((paddr, pblock)) = &mut prev {
+                if pblock.entries.len() + block.entries.len() <= ENTRIES_PER_BLOCK
+                    && self.can_free()
+                {
+                    // Compact: one predecessor rewrite both absorbs
+                    // this block's entries and skips past it, so a
+                    // reader sees the old chain or the merged one —
+                    // never a state with entries missing. (A stale
+                    // reader holding this block's address sees its old
+                    // entries twice; the query merge dedups by id.)
+                    pblock.entries.extend_from_slice(&block.entries);
+                    pblock.next = next;
+                    let (pa, out) = {
+                        let mut out = Vec::with_capacity(BLOCK_SIZE);
+                        pblock.encode(&self.codec, &mut out);
+                        (*paddr, out)
+                    };
+                    self.write_tracked(pa, &out)?;
+                    self.free_block(addr);
+                    rep.blocks_reclaimed += 1;
+                    rep.bytes_reclaimed += BLOCK_SIZE as u64;
+                    *sb_dirty = true;
+                    addr = next;
+                    continue;
+                }
+            }
+            prev = Some((addr, block));
+            addr = next;
+        }
+        rep.blocks_scanned += reads;
+
+        // Tombstone GC: clear every set coset bit without a live entry.
+        // The on-disk filter is written word-wise first (matching
+        // set_filter_bit's failure discipline), then mirrored.
+        let t = ri * self.geometry.l + li;
+        let cosets = 1u64 << (self.geometry.filter_bits - self.geometry.u_bits);
+        let mut dirty_words: std::collections::BTreeMap<usize, u64> =
+            std::collections::BTreeMap::new();
+        for j in 0..cosets {
+            let prefix = (slot | (j << self.geometry.u_bits)) & filter_mask;
+            let word = (prefix / 64) as usize;
+            let bit = 1u64 << (prefix % 64);
+            let cur = dirty_words
+                .get(&word)
+                .copied()
+                .unwrap_or(self.filters[t][word]);
+            if cur & bit != 0 && !live.contains(&prefix) {
+                dirty_words.insert(word, cur & !bit);
+                rep.filter_bits_cleared += 1;
             }
         }
-        // Allocate a fresh head block pointing at the old head. The
-        // block is fully written before the slot pointer publishes it,
-        // so a concurrent reader sees the old head or the complete new
-        // one, never a partial block.
-        let block = BucketBlock {
-            next: head,
-            entries: vec![(id, fp)],
-        };
-        let mut out = Vec::with_capacity(BLOCK_SIZE);
-        block.encode(&self.codec, &mut out);
-        let addr = self.next_block_addr;
-        self.write_tracked(addr, &out)?;
-        self.next_block_addr += BLOCK_SIZE as u64;
-        self.write_tracked(slot_addr, &addr.to_le_bytes())?;
-        Ok(())
+        for (word, value) in dirty_words {
+            let waddr = self.geometry.filter_base(ri, li) + (word as u64) * 8;
+            self.write_checked(waddr, &value.to_le_bytes())?;
+            self.filters[t][word] = value;
+            rep.filter_words.push((ri, li, word, value));
+        }
+        Ok(reads)
     }
 
-    fn unlink_entry(&mut self, ri: usize, li: usize, slot: u64, id: u32) -> io::Result<usize> {
+    /// True when the persistent free list has room for another block.
+    fn can_free(&self) -> bool {
+        self.sb.free.len() < MAX_FREE_LIST
+    }
+
+    /// Park `addr` on the free list and start its reuse quarantine.
+    /// Callers persist the list with the next superblock flush.
+    fn free_block(&mut self, addr: u64) {
+        debug_assert!(self.can_free());
+        debug_assert!(
+            addr >= self.geometry.heap_base()
+                && (addr - self.geometry.heap_base()).is_multiple_of(BLOCK_SIZE as u64)
+        );
+        self.sb.free.push(addr);
+        self.quarantine.insert(addr, self.op_stamp);
+        self.trace.blocks_freed += 1;
+    }
+
+    /// Next block address for a fresh chain head: the oldest
+    /// quarantine-cleared free-list entry, else heap growth.
+    fn alloc_block_addr(&mut self) -> u64 {
+        let eligible = self.sb.free.iter().position(|a| {
+            self.quarantine
+                .get(a)
+                .is_none_or(|&s| self.op_stamp.saturating_sub(s) >= self.quarantine_ops)
+        });
+        if let Some(i) = eligible {
+            let addr = self.sb.free.remove(i);
+            self.quarantine.remove(&addr);
+            addr
+        } else {
+            let addr = self.next_block_addr;
+            self.next_block_addr += BLOCK_SIZE as u64;
+            addr
+        }
+    }
+
+    /// Remove `id` from the chain of `slot` in table `(ri, li)`.
+    /// Returns `(entries removed, block freed)`.
+    fn unlink_entry(
+        &mut self,
+        ri: usize,
+        li: usize,
+        slot: u64,
+        id: u32,
+    ) -> io::Result<(usize, bool)> {
         let slot_addr = self.geometry.slot_addr(ri, li, slot);
         let mut head_buf = [0u8; 8];
         read_at(&self.file, slot_addr, &mut head_buf)?;
         let mut addr = u64::from_le_bytes(head_buf);
-        let mut removed = 0usize;
+        let mut prev: Option<(u64, BucketBlock)> = None;
         while addr != 0 {
             let mut buf = vec![0u8; BLOCK_SIZE];
             read_at(&self.file, addr, &mut buf)?;
@@ -402,15 +865,34 @@ impl Updater {
             let before = block.entries.len();
             block.entries.retain(|&(eid, _)| eid != id);
             if block.entries.len() != before {
-                removed += before - block.entries.len();
+                let removed = before - block.entries.len();
+                if block.entries.is_empty() && self.can_free() {
+                    // Unlink the emptied block instead of rewriting it:
+                    // repoint the predecessor (slot pointer or previous
+                    // block) past it, then free it with its bytes
+                    // intact for any stale reader mid-walk.
+                    match prev {
+                        None => self.write_tracked(slot_addr, &block.next.to_le_bytes())?,
+                        Some((paddr, mut pblock)) => {
+                            pblock.next = block.next;
+                            let mut out = Vec::with_capacity(BLOCK_SIZE);
+                            pblock.encode(&self.codec, &mut out);
+                            self.write_tracked(paddr, &out)?;
+                        }
+                    }
+                    self.free_block(addr);
+                    return Ok((removed, true));
+                }
                 let mut out = Vec::with_capacity(BLOCK_SIZE);
                 block.encode(&self.codec, &mut out);
                 self.write_tracked(addr, &out)?;
-                break; // an object appears at most once per chain
+                return Ok((removed, false)); // at most once per chain
             }
-            addr = block.next;
+            let next = block.next;
+            prev = Some((addr, block));
+            addr = next;
         }
-        Ok(removed)
+        Ok((0, false))
     }
 
     fn set_filter_bit(&mut self, ri: usize, li: usize, h32: u64) -> io::Result<()> {
@@ -434,6 +916,7 @@ impl Updater {
     }
 
     fn flush_superblock(&mut self) -> io::Result<()> {
+        self.superblock_flushes += 1;
         let sb = self.sb.encode();
         self.write_checked(0, &sb)
     }
@@ -547,6 +1030,7 @@ mod tests {
             params.l * params.num_radii(),
             "must vanish from every table"
         );
+        assert_eq!(up.trace().chain_inconsistencies, 0);
         drop(up);
 
         // Self-query for the victim must now return a different object.
@@ -615,6 +1099,369 @@ mod tests {
         let res = nn_of(&extended, &queries, &path);
         assert_eq!(res[0].first().map(|r| r.1), Some(0.0));
         assert_eq!(res[0][0].0, 150);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn id_exhaustion_is_typed_and_consumes_nothing() {
+        let ds = dataset(4, 6);
+        let mut params = E2lshParams::derive(4, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        params.n = 4;
+        let path = temp_path("id_exhaust.idx");
+        // capacity 4 → id_bits 2 → ids 0..=3, all used at build time.
+        let cfg = BuildConfig {
+            capacity: Some(4),
+            ..Default::default()
+        };
+        build_index(&ds, &params, &cfg, &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        assert_eq!(up.len(), 4);
+        let before_flushes = up.superblock_flushes();
+        let err = up.insert(ds.point(0)).unwrap_err();
+        assert!(is_id_exhausted(&err), "want typed error, got {err:?}");
+        assert!(!is_id_exhausted(&io::Error::other("x")));
+        // No mutation: no burned id, no writes, no trace.
+        assert_eq!(up.len(), 4, "id must not be consumed");
+        assert_eq!(up.superblock_flushes(), before_flushes);
+        assert!(up.trace().is_empty());
+        // The condition is permanent.
+        assert!(is_id_exhausted(&up.insert(ds.point(1)).unwrap_err()));
+        // Deletes still work.
+        assert!(up.delete(ds.point(2), 2).unwrap() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn squeeze_insert_skips_reservation_flush() {
+        let ds = dataset(90, 8);
+        let initial = ds.prefix(89);
+        let mut params = E2lshParams::derive(90, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        params.n = 89;
+        let path = temp_path("skip_flush.idx");
+        build_index(&initial, &params, &BuildConfig::default(), &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        // Re-inserting the coordinates of a built object hits that
+        // object's chains in every table, so every head exists; with 89
+        // entries per table no head block can be full, so the insert is
+        // squeeze-only: exactly one superblock flush (the final count),
+        // not two.
+        let before = up.superblock_flushes();
+        up.insert(ds.point(5)).unwrap();
+        assert_eq!(
+            up.superblock_flushes() - before,
+            1,
+            "squeeze-only insert must skip the reservation flush"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skipped_reservation_flush_is_bit_exact_with_legacy_path() {
+        let ds = dataset(120, 6);
+        let initial = ds.prefix(40);
+        let mut params = E2lshParams::derive(120, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        params.n = 40;
+        let path_new = temp_path("bitexact_new.idx");
+        let path_old = temp_path("bitexact_old.idx");
+        let cfg = BuildConfig {
+            capacity: Some(400),
+            ..Default::default()
+        };
+        build_index(&initial, &params, &cfg, &path_new).unwrap();
+        build_index(&initial, &params, &cfg, &path_old).unwrap();
+        // Mixed workload: fresh points (mostly empty slots → fresh
+        // blocks) and re-inserted coordinates (existing chains with
+        // room → squeeze-only inserts that skip the reservation flush).
+        let workload: Vec<usize> = (40..80).chain((0..40).map(|i| i % 40)).collect();
+        let mut flushes = (0u64, 0u64);
+        {
+            let mut up = Updater::open(&path_new).unwrap();
+            for &i in &workload {
+                up.insert(ds.point(i)).unwrap();
+            }
+            flushes.0 = up.superblock_flushes();
+        }
+        {
+            let mut up = Updater::open(&path_old).unwrap();
+            up.set_compat_reservation_flush(true);
+            for &i in &workload {
+                up.insert(ds.point(i)).unwrap();
+            }
+            flushes.1 = up.superblock_flushes();
+        }
+        let new_img = std::fs::read(&path_new).unwrap();
+        let old_img = std::fs::read(&path_old).unwrap();
+        assert_eq!(new_img, old_img, "final images must be bit-identical");
+        // Legacy flushes twice per insert; the new path saves the
+        // reservation flush on every squeeze-only insert.
+        assert_eq!(flushes.1, 2 * 80, "legacy: 2 flushes per insert");
+        assert!(
+            flushes.0 < flushes.1,
+            "new path must flush less ({} vs {})",
+            flushes.0,
+            flushes.1
+        );
+        std::fs::remove_file(&path_new).ok();
+        std::fs::remove_file(&path_old).ok();
+    }
+
+    #[test]
+    fn emptied_blocks_are_freed_and_reused() {
+        let ds = dataset(60, 6);
+        let mut params = E2lshParams::derive(60, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        params.n = 30;
+        let initial = ds.prefix(30);
+        let path = temp_path("free_reuse.idx");
+        let cfg = BuildConfig {
+            capacity: Some(4000),
+            ..Default::default()
+        };
+        build_index(&initial, &params, &cfg, &path).unwrap();
+        // Baseline file: identical workload with reuse disabled
+        // (infinite quarantine) can only grow the heap. Both handles
+        // stay open throughout — a reopen empties the quarantine by
+        // design (no reader predates a fresh handle).
+        let path_noreuse = temp_path("free_reuse_baseline.idx");
+        std::fs::copy(&path, &path_noreuse).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        up.set_reuse_quarantine_ops(0);
+        let mut base = Updater::open(&path_noreuse).unwrap();
+        base.set_reuse_quarantine_ops(u64::MAX);
+        // Delete everything: most chains hold 1–2 entries per block, so
+        // emptied blocks stream onto the free list.
+        for i in 0..30 {
+            up.delete(ds.point(i), i as u32).unwrap();
+            base.delete(ds.point(i), i as u32).unwrap();
+        }
+        let freed = up.free_list_len();
+        assert!(freed > 0, "deleting all objects must free blocks");
+        let plateau = up.total_bytes();
+        // Reinsert: allocation must draw from the free list before
+        // growing the heap, so the footprint stays well below the
+        // no-reuse baseline while the free list drains.
+        for i in 30..60 {
+            up.insert(ds.point(i)).unwrap();
+            base.insert(ds.point(i)).unwrap();
+        }
+        assert!(
+            up.free_list_len() < freed,
+            "inserts must consume the free list"
+        );
+        let growth = up.total_bytes() - plateau;
+        let growth_noreuse = base.total_bytes() - plateau;
+        assert!(
+            growth + (freed - up.free_list_len()) as u64 * BLOCK_SIZE as u64 == growth_noreuse,
+            "every drained free block must have displaced one heap block \
+             (growth {growth}, no-reuse {growth_noreuse})"
+        );
+        assert!(growth < growth_noreuse, "reuse must shrink the footprint");
+        drop(base);
+        std::fs::remove_file(&path_noreuse).ok();
+        drop(up);
+        // Survivors are all findable.
+        let mut extended = initial.clone();
+        for i in 30..60 {
+            extended.push(ds.point(i));
+        }
+        let mut queries = Dataset::with_capacity(6, 30);
+        for i in 30..60 {
+            queries.push(ds.point(i));
+        }
+        let res = nn_of(&extended, &queries, &path);
+        let found = res
+            .iter()
+            .filter(|r| r.first().is_some_and(|&(_, d)| d == 0.0))
+            .count();
+        assert!(found >= 28, "self-found {found}/30 after reuse");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantine_delays_reuse() {
+        let ds = dataset(40, 6);
+        let mut params = E2lshParams::derive(40, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        params.n = 20;
+        let initial = ds.prefix(20);
+        let path = temp_path("quarantine.idx");
+        let cfg = BuildConfig {
+            capacity: Some(4000),
+            ..Default::default()
+        };
+        build_index(&initial, &params, &cfg, &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        up.set_reuse_quarantine_ops(1_000_000);
+        for i in 0..20 {
+            up.delete(ds.point(i), i as u32).unwrap();
+        }
+        assert!(up.free_list_len() > 0);
+        let free_before = up.free_list_len();
+        let bytes_before = up.total_bytes();
+        up.insert(ds.point(20)).unwrap();
+        // Quarantined blocks must not be reused: the heap grew instead.
+        assert_eq!(up.free_list_len(), free_before);
+        assert!(up.total_bytes() > bytes_before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_survives_reopen() {
+        let ds = dataset(30, 6);
+        let params = E2lshParams::derive(30, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        let path = temp_path("free_persist.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        let freed;
+        {
+            let mut up = Updater::open(&path).unwrap();
+            for i in 0..30 {
+                up.delete(ds.point(i), i as u32).unwrap();
+            }
+            freed = up.free_list_len();
+            assert!(freed > 0);
+        }
+        let up = Updater::open(&path).unwrap();
+        assert_eq!(up.free_list_len(), freed, "free list must persist");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn maintain_clears_stale_filter_bits_exactly() {
+        let ds = dataset(200, 8);
+        let params = E2lshParams::derive(200, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let path = temp_path("gc_filters.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        for i in 0..100 {
+            up.delete(ds.point(i), i as u32).unwrap();
+        }
+        let rep = up.maintain(usize::MAX).unwrap();
+        assert!(rep.completed_pass);
+        assert!(
+            rep.filter_bits_cleared > 0,
+            "deleting half the objects must strand filter bits"
+        );
+        assert_eq!(
+            rep.bytes_reclaimed,
+            rep.blocks_reclaimed * BLOCK_SIZE as u64
+        );
+        // A second pass over the already-clean index reclaims nothing.
+        let rep2 = up.maintain(usize::MAX).unwrap();
+        assert!(!rep2.productive(), "second pass must be a no-op");
+        drop(up);
+        // GC is exact: every survivor still self-queries at distance 0.
+        let mut queries = Dataset::with_capacity(8, 20);
+        for i in (100..200).step_by(5) {
+            queries.push(ds.point(i));
+        }
+        let res = nn_of(&ds, &queries, &path);
+        let found = res
+            .iter()
+            .filter(|r| r.first().is_some_and(|&(_, d)| d == 0.0))
+            .count();
+        assert!(found >= 18, "survivors self-found {found}/20 after GC");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn maintain_respects_block_budget() {
+        let ds = dataset(200, 8);
+        let params = E2lshParams::derive(200, 2.0, 4.0, 1.0, ds.max_abs_coord(), 8);
+        let path = temp_path("gc_budget.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        for i in 0..100 {
+            up.delete(ds.point(i), i as u32).unwrap();
+        }
+        // Tiny ticks must make incremental progress and eventually
+        // complete a full pass with the same total effect.
+        let mut total = MaintenanceReport::default();
+        let mut ticks = 0;
+        while !total.completed_pass {
+            let rep = up.maintain(8).unwrap();
+            assert!(rep.blocks_scanned <= 8 + ENTRIES_PER_BLOCK as u64);
+            total.merge(&rep);
+            ticks += 1;
+            assert!(ticks < 1_000_000, "budgeted maintenance must terminate");
+        }
+        assert!(ticks > 1, "a tiny budget must take multiple ticks");
+        assert!(total.filter_bits_cleared > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn maintain_compacts_sparse_chains() {
+        // One distinct seed object plus ~300 copies of the same point:
+        // every copy hashes to the same slot per table, so the chains
+        // grow to several full blocks. Deleting all but every 6th copy
+        // leaves the full blocks ~1/6 full — sparse but not empty, so
+        // the delete path cannot reclaim them (only each chain's
+        // two-entry tail block empties) and only maintain's merge step
+        // can recover the slack.
+        let ds = dataset(2, 6);
+        let mut params = E2lshParams::derive(310, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        params.n = 1;
+        let initial = ds.prefix(1);
+        let path = temp_path("compact.idx");
+        let cfg = BuildConfig {
+            capacity: Some(310),
+            ..Default::default()
+        };
+        build_index(&initial, &params, &cfg, &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        for i in 1..300 {
+            assert_eq!(up.insert(ds.point(1)).unwrap(), i as u32);
+        }
+        for id in 1..300u32 {
+            if id % 6 != 0 {
+                let removed = up.delete(ds.point(1), id).unwrap();
+                assert!(removed > 0);
+            }
+        }
+        let free_before = up.free_list_len();
+        let rep = up.maintain(usize::MAX).unwrap();
+        assert!(
+            rep.blocks_reclaimed > 0,
+            "sparse chains must compact: {rep:?}"
+        );
+        assert_eq!(
+            rep.bytes_reclaimed,
+            rep.blocks_reclaimed * BLOCK_SIZE as u64
+        );
+        assert!(
+            up.free_list_len() > free_before,
+            "merged-away blocks join the free list"
+        );
+        drop(up);
+        // The survivors (every 6th copy and the seed) are all still
+        // reachable: a self-query of the shared coordinates must find a
+        // distance-0 neighbor.
+        let mut extended = Dataset::with_capacity(6, 300);
+        extended.push(ds.point(0));
+        for _ in 1..300 {
+            extended.push(ds.point(1));
+        }
+        let queries = Dataset::from_rows(&[ds.point(1).to_vec()]);
+        let res = nn_of(&extended, &queries, &path);
+        assert_eq!(res[0].first().map(|r| r.1), Some(0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_delete_counts_chain_inconsistency() {
+        let ds = dataset(50, 6);
+        let params = E2lshParams::derive(50, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        let path = temp_path("inconsistent.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path).unwrap();
+        let mut up = Updater::open(&path).unwrap();
+        // Deleting an id that was never inserted (120 < capacity 100's
+        // id space but > any live id) finds nothing in any chain: every
+        // table is counted.
+        let removed = up.delete(ds.point(3), 120).unwrap();
+        assert_eq!(removed, 0);
+        let expect = (params.l * params.num_radii()) as u64;
+        assert_eq!(up.take_trace().chain_inconsistencies, expect);
+        // A well-formed delete reports none.
+        up.delete(ds.point(3), 3).unwrap();
+        assert_eq!(up.take_trace().chain_inconsistencies, 0);
         std::fs::remove_file(&path).ok();
     }
 }

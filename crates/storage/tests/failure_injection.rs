@@ -129,12 +129,14 @@ fn failed_insert_keeps_shard_queryable_and_cache_clean() {
         assert_eq!(err.kind(), std::io::ErrorKind::Other, "{err}");
         up.fail_after_writes(None);
         // The trace records every touched cacheable block, failed write
-        // included. fail_at 0 kills the superblock reservation write,
-        // which precedes any cacheable write — the trace is then empty.
+        // included. fail_at 0 kills the first write of the insert: when
+        // a fresh block is needed that is the (untracked) superblock
+        // allocation flush and the trace is empty, but a squeeze-only
+        // insert skips that flush and its first write is already a
+        // tracked block write. Later faults always leave a trace.
         let trace = up.take_trace();
-        assert_eq!(
-            trace.blocks.is_empty(),
-            fail_at == 0,
+        assert!(
+            fail_at == 0 || !trace.blocks.is_empty(),
             "fail_at {fail_at}: unexpected trace {:?}",
             trace.blocks
         );
