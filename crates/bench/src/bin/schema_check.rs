@@ -62,6 +62,25 @@ fn check_artifact(path: &Path) -> Result<usize, String> {
                 return Err(format!("service report missing key `{key}`"));
             }
         }
+        // Schema v2: cache-policy counters must be present (even when 0
+        // under the default LRU policy).
+        let counters = service
+            .get("counters")
+            .unwrap()
+            .as_object()
+            .ok_or("service `counters` is not an object")?;
+        for key in [
+            "cache_admission_rejected",
+            "cache_table_hits",
+            "cache_table_misses",
+            "cache_bucket_hits",
+            "cache_bucket_misses",
+            "coalesced_reads",
+        ] {
+            if !counters.iter().any(|(k, _)| k == key) {
+                return Err(format!("service counters missing v2 key `{key}`"));
+            }
+        }
     }
     Ok(rows.len())
 }

@@ -26,7 +26,9 @@ use crate::trace::{ShardSpan, SpanKind, TraceSpan};
 use serde::Serialize;
 
 /// Version of the export schema. Bump on breaking changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: cache-policy counters (`cache_admission_rejected`, per-region
+/// hit/miss counts, `coalesced_reads`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A named, ordered snapshot of one [`ServiceReport`]'s metrics,
 /// ready to serialize. Build with [`MetricsRegistry::from_report`];
@@ -66,6 +68,12 @@ impl MetricsRegistry {
             ("cache_invalidations", d.cache_invalidations),
             ("cache_stale_fills", d.cache_stale_fills),
             ("cache_warmed", d.cache_warmed),
+            ("cache_admission_rejected", d.cache_admission_rejected),
+            ("cache_table_hits", d.cache_table_hits),
+            ("cache_table_misses", d.cache_table_misses),
+            ("cache_bucket_hits", d.cache_bucket_hits),
+            ("cache_bucket_misses", d.cache_bucket_misses),
+            ("coalesced_reads", d.coalesced_reads),
             ("blocks_reclaimed", d.blocks_reclaimed),
             ("filter_bits_cleared", d.filter_bits_cleared),
             ("bytes_reclaimed", d.bytes_reclaimed),

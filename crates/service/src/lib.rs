@@ -119,6 +119,7 @@ pub mod update;
 pub use admission::{
     AdmissionBudget, AdmissionControl, GateHandle, GateStats, GatedReceiver, GatedSender, Overload,
 };
+pub use e2lsh_storage::device::cached::{CachePolicy, TinyLfuConfig};
 pub use export::{report_json, MetricsRegistry, SCHEMA_VERSION};
 pub use loadgen::{
     mixed_ops, mixed_ops_resuming, poisson_arrivals, skewed_queries, zipf_batches, zipf_indices,

@@ -46,6 +46,7 @@ use crate::topology::Topology;
 use crate::trace::TraceSpan;
 use crossbeam::channel::unbounded;
 use e2lsh_core::dataset::Dataset;
+use e2lsh_storage::device::cached::CachePolicy;
 use e2lsh_storage::device::sim::DeviceProfile;
 use e2lsh_storage::device::DeviceStats;
 use std::collections::{BinaryHeap, HashMap};
@@ -169,6 +170,26 @@ pub struct ServiceConfig {
     /// How many slow-query spans the log retains (oldest evicted
     /// first).
     pub slow_log_capacity: usize,
+    /// Replacement/admission policy for every shard's block cache (and
+    /// the replica caches cloned from it). [`CachePolicy::Lru`] (the
+    /// default) keeps the original sharded LRU bit-exactly;
+    /// [`CachePolicy::TinyLfu`] enables W-TinyLFU admission with
+    /// region-partitioned capacity — a `TinyLfuConfig::region_boundary`
+    /// of 0 is auto-filled per shard from its index geometry
+    /// (`heap_base / BLOCK_SIZE`), so table-region blocks get their own
+    /// budget without the caller knowing the file layout. Ignored when
+    /// [`ShardBuildConfig::cache_blocks`](crate::shard::ShardBuildConfig::cache_blocks)
+    /// is 0 (uncached).
+    pub cache_policy: CachePolicy,
+    /// Single-flight read coalescing: when true, concurrent cache
+    /// misses on the same block share one in-flight device read (the
+    /// waiters park on the leader's fill and are completed from its
+    /// bytes — counted in
+    /// [`DeviceStats::coalesced_reads`](e2lsh_storage::device::DeviceStats::coalesced_reads)).
+    /// Off by default: coalescing changes which reads reach a
+    /// *simulated* device, so seeded virtual-time suites stay
+    /// bit-exact unless they opt in.
+    pub cache_coalescing: bool,
     /// Space-reclamation budget in **block reads** per maintenance
     /// tick, per shard. Each shard's writer thread runs one
     /// [`ShardUpdater::maintain`](crate::update::ShardUpdater::maintain)
@@ -199,6 +220,8 @@ impl Default for ServiceConfig {
             trace_capacity: 1024,
             slow_query_threshold: f64::INFINITY,
             slow_log_capacity: 64,
+            cache_policy: CachePolicy::Lru,
+            cache_coalescing: false,
             maintenance_blocks_per_tick: 0,
         }
     }
@@ -740,6 +763,13 @@ impl ShardedService {
         assert!(config.replicas_per_shard >= 1);
         assert!(config.replicas_per_shard <= MAX_REPLICAS);
         assert!(config.k >= 1);
+        let mut shards = shards;
+        if config.cache_policy != CachePolicy::Lru {
+            // Reshape each shard's (still empty) cache before the
+            // topology clones per-replica caches from it, so every
+            // replica inherits the policy.
+            shards.set_cache_policy(config.cache_policy);
+        }
         Self {
             topo: Arc::new(Topology::new(shards, config.replicas_per_shard)),
             config,

@@ -402,6 +402,12 @@ struct CacheSnapshot {
     invalidations: u64,
     stale_fills: u64,
     warmed: u64,
+    admission_rejected: u64,
+    table_hits: u64,
+    table_misses: u64,
+    bucket_hits: u64,
+    bucket_misses: u64,
+    coalesced: u64,
 }
 
 /// State shared by the session handle, its clients, the collector and
@@ -942,6 +948,7 @@ impl Session {
                     &arrays[s],
                     r,
                     topo.replica(s, r).cache(),
+                    config.cache_coalescing,
                 );
                 let topo = Arc::clone(&topo);
                 let lanes = Arc::clone(&lanes);
@@ -1605,6 +1612,12 @@ fn add_cache_deltas(shared: &SessionShared, device: &mut DeviceStats) {
                 device.cache_invalidations += c.invalidations() - snap.invalidations;
                 device.cache_stale_fills += c.stale_fills() - snap.stale_fills;
                 device.cache_warmed += c.warmed() - snap.warmed;
+                device.cache_admission_rejected += c.admission_rejected() - snap.admission_rejected;
+                device.cache_table_hits += c.table_hits() - snap.table_hits;
+                device.cache_table_misses += c.table_misses() - snap.table_misses;
+                device.cache_bucket_hits += c.bucket_hits() - snap.bucket_hits;
+                device.cache_bucket_misses += c.bucket_misses() - snap.bucket_misses;
+                device.coalesced_reads += c.coalesced() - snap.coalesced;
             }
             i += 1;
         }
@@ -1627,6 +1640,12 @@ fn cache_snapshots(topo: &Topology) -> Vec<CacheSnapshot> {
                     invalidations: c.invalidations(),
                     stale_fills: c.stale_fills(),
                     warmed: c.warmed(),
+                    admission_rejected: c.admission_rejected(),
+                    table_hits: c.table_hits(),
+                    table_misses: c.table_misses(),
+                    bucket_hits: c.bucket_hits(),
+                    bucket_misses: c.bucket_misses(),
+                    coalesced: c.coalesced(),
                 },
                 None => CacheSnapshot::default(),
             })
@@ -1682,6 +1701,14 @@ pub(crate) fn device_sub(d: &mut DeviceStats, prev: &DeviceStats) {
     d.cache_invalidations -= prev.cache_invalidations.min(d.cache_invalidations);
     d.cache_stale_fills -= prev.cache_stale_fills.min(d.cache_stale_fills);
     d.cache_warmed -= prev.cache_warmed.min(d.cache_warmed);
+    d.cache_admission_rejected -= prev
+        .cache_admission_rejected
+        .min(d.cache_admission_rejected);
+    d.cache_table_hits -= prev.cache_table_hits.min(d.cache_table_hits);
+    d.cache_table_misses -= prev.cache_table_misses.min(d.cache_table_misses);
+    d.cache_bucket_hits -= prev.cache_bucket_hits.min(d.cache_bucket_hits);
+    d.cache_bucket_misses -= prev.cache_bucket_misses.min(d.cache_bucket_misses);
+    d.coalesced_reads -= prev.coalesced_reads.min(d.coalesced_reads);
     d.blocks_reclaimed -= prev.blocks_reclaimed.min(d.blocks_reclaimed);
     d.filter_bits_cleared -= prev.filter_bits_cleared.min(d.filter_bits_cleared);
     d.bytes_reclaimed -= prev.bytes_reclaimed.min(d.bytes_reclaimed);
@@ -1800,10 +1827,19 @@ fn make_device(
     array: &Option<SharedSimArray>,
     handle: usize,
     cache: Option<&Arc<BlockCache>>,
+    coalescing: bool,
 ) -> Box<dyn Device> {
-    fn wrap<D: Device + 'static>(dev: D, cache: Option<&Arc<BlockCache>>) -> Box<dyn Device> {
+    fn wrap<D: Device + 'static>(
+        dev: D,
+        cache: Option<&Arc<BlockCache>>,
+        coalescing: bool,
+    ) -> Box<dyn Device> {
         match cache {
-            Some(cache) => Box::new(CachedDevice::new(dev, Arc::clone(cache), BLOCK_SIZE as u32)),
+            Some(cache) => {
+                let mut dev = CachedDevice::new(dev, Arc::clone(cache), BLOCK_SIZE as u32);
+                dev.set_coalescing(coalescing);
+                Box::new(dev)
+            }
             None => Box::new(dev),
         }
     }
@@ -1811,6 +1847,7 @@ fn make_device(
         DeviceSpec::File { io_workers } => wrap(
             FileDevice::open(&shard.path, io_workers.max(1)).expect("open shard index"),
             cache,
+            coalescing,
         ),
         DeviceSpec::SimPerWorker {
             profile,
@@ -1822,10 +1859,12 @@ fn make_device(
                 Backing::open(&shard.path).expect("open shard index"),
             ),
             cache,
+            coalescing,
         ),
         DeviceSpec::SimShared { .. } => wrap(
             array.as_ref().expect("shared array built").handle(handle),
             cache,
+            coalescing,
         ),
     }
 }

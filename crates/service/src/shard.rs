@@ -23,9 +23,10 @@
 use e2lsh_core::dataset::Dataset;
 use e2lsh_core::params::E2lshParams;
 use e2lsh_storage::build::{build_index, BuildConfig};
-use e2lsh_storage::device::cached::BlockCache;
+use e2lsh_storage::device::cached::{BlockCache, CachePolicy};
 use e2lsh_storage::device::sim::{Backing, DeviceProfile, SimStorage};
 use e2lsh_storage::index::StorageIndex;
+use e2lsh_storage::layout::BLOCK_SIZE;
 use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
@@ -312,6 +313,32 @@ impl ShardSet {
     /// The shards.
     pub fn shards(&self) -> &[Shard] {
         &self.shards
+    }
+
+    /// Replace every shard's block cache with an empty one of the same
+    /// capacity under `policy`. A
+    /// [`TinyLfu`](CachePolicy::TinyLfu) `region_boundary` of 0 is
+    /// resolved per shard from its index geometry
+    /// (`heap_base / BLOCK_SIZE`): keys below the boundary are
+    /// table-region blocks (hash-table slots and filters), keys at or
+    /// above it are bucket-chain blocks. Call before replicas clone
+    /// their caches (the service does this at construction); uncached
+    /// shards are untouched.
+    pub fn set_cache_policy(&mut self, policy: CachePolicy) {
+        for shard in &mut self.shards {
+            let Some(cache) = &shard.cache else { continue };
+            let mut policy = policy;
+            if let CachePolicy::TinyLfu(cfg) = &mut policy {
+                if cfg.region_boundary == 0 {
+                    cfg.region_boundary = shard.index.geometry().heap_base() / BLOCK_SIZE as u64;
+                }
+            }
+            shard.cache = Some(Arc::new(BlockCache::with_policy(
+                cache.capacity(),
+                cache.lock_shards(),
+                policy,
+            )));
+        }
     }
 
     /// The partition plan.

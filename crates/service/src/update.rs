@@ -70,6 +70,11 @@ impl<'a> ShardUpdater<'a> {
         let mut updater = Updater::open(&shard.path)?;
         let rows = shard.data.read().unwrap().len();
         updater.reconcile_len(rows)?;
+        // Maintenance chain scans may serve block reads from the
+        // shard's cache (peek-only: no promotion, no frequency-sketch
+        // traffic), saving device reads without polluting the
+        // replacement state queries depend on.
+        updater.set_scan_cache(shard.cache.clone());
         Ok(Self {
             updater,
             shard,

@@ -3,7 +3,7 @@
 //! E2LSHoS keeps the hash index on storage to scale past DRAM, but real
 //! query streams are skewed: hot buckets (popular hash prefixes, repeated
 //! or clustered queries) are read over and over. [`CachedDevice`] wraps
-//! any device with a sharded LRU cache over 512-byte blocks so repeated
+//! any device with a sharded cache over 512-byte blocks so repeated
 //! reads of hash-table slots and bucket blocks are served from DRAM with
 //! zero device time, while cold reads pass through and fill the cache on
 //! completion.
@@ -14,17 +14,37 @@
 //! Shard-level mutexes keep cross-worker contention low (each lock guards
 //! `1/num_shards` of the key space).
 //!
-//! Hits, misses, evictions, invalidations and discarded stale fills are
-//! surfaced through [`DeviceStats::cache_hits`] /
-//! [`DeviceStats::cache_misses`] / [`DeviceStats::cache_evictions`] /
-//! [`DeviceStats::cache_invalidations`] /
-//! [`DeviceStats::cache_stale_fills`], so every report that prints
-//! device statistics can report cache effectiveness too.
+//! ## Replacement policies
+//!
+//! Two policies are available through [`CachePolicy`]:
+//!
+//! * [`CachePolicy::Lru`] (the default) — one recency list per lock
+//!   shard, admit everything. Bit-exact with the original PR-1 cache.
+//! * [`CachePolicy::TinyLfu`] — W-TinyLFU: a small LRU *window*
+//!   (~1% of capacity) absorbs arrivals; overflow candidates are
+//!   admitted into a segmented main area (probation + protected) only
+//!   when a 4-bit count-min frequency sketch ([`CmSketch`], with a
+//!   doorkeeper bloom filter and periodic halving) estimates them hotter
+//!   than the eviction victim. One-hit-wonder blocks from scans and
+//!   churn die in the window instead of displacing proven-hot blocks.
+//!   Optionally the capacity is **region-partitioned**: hash-table-slot
+//!   blocks (addresses below [`TinyLfuConfig::region_boundary`]) and
+//!   bucket-chain blocks each get their own budget, so a deep chain walk
+//!   can never flush the small, ultra-hot table blocks.
+//!
+//! Hits, misses, evictions, invalidations, discarded stale fills,
+//! admission rejections, per-region hits/misses and coalesced reads are
+//! surfaced through the corresponding [`DeviceStats`] fields, so every
+//! report that prints device statistics can report cache effectiveness
+//! too.
 //!
 //! Writers (the online update path) invalidate exactly the blocks they
 //! rewrite; per-key epochs make sure a racing miss fill for an
 //! invalidated block is discarded while fills for unrelated blocks
-//! survive (see [`BlockCache`]).
+//! survive (see [`BlockCache`]). [`CachedDevice`] can additionally
+//! **coalesce** concurrent misses on one key into a single device read
+//! (single-flight): waiters park on the leader's in-flight fill and
+//! receive its bytes at the leader's completion time.
 
 use super::{Device, DeviceStats, IoCompletion, IoRequest};
 use std::collections::HashMap;
@@ -33,28 +53,249 @@ use std::sync::{Arc, Mutex};
 
 const NIL: usize = usize::MAX;
 
-/// One LRU segment: an intrusive doubly-linked list over a slab of
-/// nodes, most-recently-used at `head`.
-struct LruShard {
-    map: HashMap<u64, usize>,
-    nodes: Vec<Node>,
-    free: Vec<usize>,
+/// Region indices: hash-table-slot blocks vs bucket-chain blocks.
+const TABLE: usize = 0;
+const BUCKET: usize = 1;
+
+/// Segment indices within a region.
+const SEG_WINDOW: usize = 0;
+const SEG_PROBATION: usize = 1;
+const SEG_PROTECTED: usize = 2;
+
+/// Replacement/admission policy of a [`BlockCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum CachePolicy {
+    /// Plain sharded LRU, admit everything (the PR-1 cache, bit-exact).
+    #[default]
+    Lru,
+    /// W-TinyLFU: frequency-gated admission with a recency window, plus
+    /// optional table/bucket region partitioning.
+    TinyLfu(TinyLfuConfig),
+}
+
+/// Tuning knobs of [`CachePolicy::TinyLfu`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TinyLfuConfig {
+    /// Fraction of each region's capacity given to the admission window
+    /// (clamped to at least one block). Caffeine's default is 1%.
+    pub window_fraction: f64,
+    /// Fraction of the main (non-window) area reserved for the
+    /// protected segment; blocks re-referenced while on probation are
+    /// promoted into it. Caffeine's default is 80%.
+    pub protected_fraction: f64,
+    /// First bucket-region block key (block units, i.e.
+    /// `heap_base / BLOCK_SIZE`): keys below it are table-region, keys
+    /// at or above it bucket-region. 0 disables partitioning (single
+    /// region) — the serving layer fills this in from the shard's
+    /// geometry.
+    pub region_boundary: u64,
+    /// Fraction of total capacity budgeted to the table region when
+    /// `region_boundary > 0` (clamped so both regions keep at least one
+    /// block, and to the actual number of table blocks striped onto
+    /// each lock shard).
+    pub table_fraction: f64,
+}
+
+impl Default for TinyLfuConfig {
+    fn default() -> Self {
+        Self {
+            window_fraction: 0.01,
+            protected_fraction: 0.8,
+            region_boundary: 0,
+            table_fraction: 0.2,
+        }
+    }
+}
+
+/// A 4-bit count-min frequency sketch with a doorkeeper bloom filter and
+/// periodic halving (TinyLFU aging), deterministic in its inputs.
+///
+/// The first occurrence of a key lands in the doorkeeper; repeats
+/// increment four 4-bit counters (saturating at 15). When the number of
+/// additions reaches the sample period (10× the counter count) every
+/// counter is halved and the doorkeeper cleared, so old popularity decays
+/// and the estimate tracks *recent* frequency. [`CmSketch::estimate`]
+/// returns the counter minimum plus one when the doorkeeper holds the
+/// key — an upper bound on the true (post-halving) count.
+pub struct CmSketch {
+    /// 4-bit counters packed 16 per word.
+    table: Vec<u64>,
+    /// Counter-index mask (`counters − 1`, power of two).
+    mask: u64,
+    /// Doorkeeper bloom bits.
+    doorkeeper: Vec<u64>,
+    /// Doorkeeper bit-index mask (power-of-two bit count − 1).
+    dk_mask: u64,
+    additions: u64,
+    sample_period: u64,
+}
+
+impl CmSketch {
+    const SEEDS: [u64; 4] = [
+        0xA076_1D64_78BD_642F,
+        0xE703_7ED1_A0B4_28DB,
+        0x8EBC_6AF0_9C88_C6E3,
+        0x5899_65CC_7537_4CC3,
+    ];
+
+    /// Sketch sized for roughly `capacity` distinct hot keys (at least
+    /// 64 counters, rounded up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let counters = capacity.max(64).next_power_of_two();
+        let dk_bits = (counters * 8).next_power_of_two();
+        Self {
+            table: vec![0; counters / 16],
+            mask: (counters - 1) as u64,
+            doorkeeper: vec![0; dk_bits / 64],
+            dk_mask: (dk_bits - 1) as u64,
+            additions: 0,
+            sample_period: 10 * counters as u64,
+        }
+    }
+
+    #[inline]
+    fn spread(key: u64, seed: u64) -> u64 {
+        let mut h = key ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn counter_at(&self, key: u64, seed: u64) -> (usize, u32) {
+        let c = Self::spread(key, seed) & self.mask;
+        ((c / 16) as usize, ((c % 16) * 4) as u32)
+    }
+
+    fn dk_contains(&self, key: u64) -> bool {
+        Self::SEEDS[..2].iter().all(|&s| {
+            let b = Self::spread(key, s.rotate_left(17)) & self.dk_mask;
+            self.doorkeeper[(b / 64) as usize] & (1 << (b % 64)) != 0
+        })
+    }
+
+    fn dk_set(&mut self, key: u64) {
+        for &s in &Self::SEEDS[..2] {
+            let b = Self::spread(key, s.rotate_left(17)) & self.dk_mask;
+            self.doorkeeper[(b / 64) as usize] |= 1 << (b % 64);
+        }
+    }
+
+    /// Record one occurrence of `key`. Triggers a halving pass when the
+    /// additions counter reaches the sample period.
+    pub fn increment(&mut self, key: u64) {
+        if self.dk_contains(key) {
+            for &seed in &Self::SEEDS {
+                let (w, shift) = self.counter_at(key, seed);
+                if (self.table[w] >> shift) & 0xF < 15 {
+                    self.table[w] += 1 << shift;
+                }
+            }
+        } else {
+            self.dk_set(key);
+        }
+        self.additions += 1;
+        if self.additions >= self.sample_period {
+            self.halve();
+        }
+    }
+
+    /// Estimated occurrence count of `key` since the last few halvings:
+    /// minimum over the four counters, plus one when the doorkeeper
+    /// holds the key.
+    pub fn estimate(&self, key: u64) -> u32 {
+        let mut min = u32::MAX;
+        for &seed in &Self::SEEDS {
+            let (w, shift) = self.counter_at(key, seed);
+            min = min.min(((self.table[w] >> shift) & 0xF) as u32);
+        }
+        min + u32::from(self.dk_contains(key))
+    }
+
+    /// The aging step: halve every counter and clear the doorkeeper
+    /// (public so tests and benches can force an aging boundary).
+    pub fn halve(&mut self) {
+        for w in &mut self.table {
+            *w = (*w >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.doorkeeper.iter_mut().for_each(|w| *w = 0);
+        self.additions /= 2;
+    }
+
+    /// Occurrences recorded since roughly the last halving.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+/// One intrusive doubly-linked list over the shard's node slab.
+#[derive(Clone, Copy)]
+struct Dll {
     head: usize,
     tail: usize,
-    capacity: usize,
-    /// Per-key invalidation counters (sparse: only keys invalidated
-    /// since this segment's last flush appear). Guarded by the same
-    /// mutex as the entries, so epoch reads/bumps are atomic with entry
-    /// removal and with fill insertion. Bounded: when the map outgrows
-    /// [`LruShard::epoch_bound`], the segment's `flush` epoch is bumped
-    /// and the map dropped — every in-flight fill into this segment is
-    /// then conservatively discarded, which is the old cache-global
-    /// behaviour for one rare moment instead of on every write.
-    epochs: HashMap<u64, u64>,
-    /// This segment's flush epoch: bumped by
-    /// [`BlockCache::invalidate_all`] and by epoch-map overflow; gates
-    /// every in-flight fill into the segment.
-    flush: u64,
+    len: usize,
+}
+
+impl Dll {
+    fn new() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+/// One capacity region (table or bucket) of a lock shard: window,
+/// probation and protected segments with their budgets.
+struct Region {
+    lists: [Dll; 3],
+    total_cap: usize,
+    window_cap: usize,
+    protected_cap: usize,
+}
+
+impl Region {
+    fn empty() -> Self {
+        Self {
+            lists: [Dll::new(); 3],
+            total_cap: 0,
+            window_cap: 0,
+            protected_cap: 0,
+        }
+    }
+
+    /// Plain LRU: the whole region is one window list.
+    fn lru(cap: usize) -> Self {
+        Self {
+            lists: [Dll::new(); 3],
+            total_cap: cap,
+            window_cap: cap,
+            protected_cap: 0,
+        }
+    }
+
+    fn tiny_lfu(cap: usize, window_fraction: f64, protected_fraction: f64) -> Self {
+        let window = (((cap as f64) * window_fraction).round() as usize).clamp(1, cap);
+        let main = cap - window;
+        let protected = ((main as f64) * protected_fraction).floor() as usize;
+        Self {
+            lists: [Dll::new(); 3],
+            total_cap: cap,
+            window_cap: window,
+            protected_cap: protected,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lists.iter().map(|l| l.len).sum()
+    }
+
+    fn main_cap(&self) -> usize {
+        self.total_cap - self.window_cap
+    }
 }
 
 struct Node {
@@ -62,16 +303,80 @@ struct Node {
     data: Arc<[u8]>,
     prev: usize,
     next: usize,
+    region: u8,
+    seg: u8,
 }
 
-impl LruShard {
-    fn new(capacity: usize) -> Self {
+/// Evictions and admission rejections one insert caused (folded into the
+/// cache-level counters outside the shard lock).
+#[derive(Default, Clone, Copy)]
+struct InsertOutcome {
+    evicted: u64,
+    rejected: u64,
+}
+
+/// One lock shard: a slab of nodes shared by up to two regions × three
+/// segments, the policy's frequency sketch, and the per-key invalidation
+/// epochs.
+struct CacheShard {
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    regions: [Region; 2],
+    /// `Some` under TinyLFU (the admission filter), `None` under LRU.
+    sketch: Option<CmSketch>,
+    /// Budget-partition boundary in block units (0 = single region).
+    boundary: u64,
+    capacity: usize,
+    /// Per-key invalidation counters (sparse: only keys invalidated
+    /// since this segment's last flush appear). Guarded by the same
+    /// mutex as the entries, so epoch reads/bumps are atomic with entry
+    /// removal and with fill insertion. Bounded: when the map outgrows
+    /// [`CacheShard::epoch_bound`], the segment's `flush` epoch is
+    /// bumped and the map dropped — every in-flight fill into this
+    /// segment is then conservatively discarded, which is the old
+    /// cache-global behaviour for one rare moment instead of on every
+    /// write.
+    epochs: HashMap<u64, u64>,
+    /// This segment's flush epoch: bumped by
+    /// [`BlockCache::invalidate_all`] and by epoch-map overflow; gates
+    /// every in-flight fill into the segment.
+    flush: u64,
+}
+
+impl CacheShard {
+    fn new(capacity: usize, policy: CachePolicy, table_blocks_hint: usize) -> Self {
+        let mut regions = [Region::empty(), Region::empty()];
+        let mut sketch = None;
+        let mut boundary = 0u64;
+        match policy {
+            CachePolicy::Lru => {
+                regions[BUCKET] = Region::lru(capacity);
+            }
+            CachePolicy::TinyLfu(cfg) => {
+                let wf = cfg.window_fraction.clamp(0.0, 1.0);
+                let pf = cfg.protected_fraction.clamp(0.0, 1.0);
+                let tf = cfg.table_fraction.clamp(0.0, 1.0);
+                let partitioned = cfg.region_boundary > 0 && tf > 0.0 && capacity >= 2;
+                if partitioned {
+                    let want = ((capacity as f64) * tf).round() as usize;
+                    let table_cap = want.clamp(1, capacity - 1).min(table_blocks_hint.max(1));
+                    regions[TABLE] = Region::tiny_lfu(table_cap, wf, pf);
+                    regions[BUCKET] = Region::tiny_lfu(capacity - table_cap, wf, pf);
+                    boundary = cfg.region_boundary;
+                } else {
+                    regions[BUCKET] = Region::tiny_lfu(capacity, wf, pf);
+                }
+                sketch = Some(CmSketch::new(capacity));
+            }
+        }
         Self {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             nodes: Vec::new(),
             free: Vec::new(),
-            head: NIL,
-            tail: NIL,
+            regions,
+            sketch,
+            boundary,
             capacity,
             epochs: HashMap::new(),
             flush: 0,
@@ -99,80 +404,276 @@ impl LruShard {
         (self.capacity * 4).max(1024)
     }
 
+    #[inline]
+    fn region_of(&self, key: u64) -> usize {
+        if self.boundary > 0 && key < self.boundary {
+            TABLE
+        } else {
+            BUCKET
+        }
+    }
+
     fn unlink(&mut self, i: usize) {
+        let (r, seg) = (self.nodes[i].region as usize, self.nodes[i].seg as usize);
         let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
         if prev != NIL {
             self.nodes[prev].next = next;
         } else {
-            self.head = next;
+            self.regions[r].lists[seg].head = next;
         }
         if next != NIL {
             self.nodes[next].prev = prev;
         } else {
-            self.tail = prev;
+            self.regions[r].lists[seg].tail = prev;
         }
+        self.regions[r].lists[seg].len -= 1;
     }
 
-    fn push_front(&mut self, i: usize) {
+    fn push_front(&mut self, i: usize, r: usize, seg: usize) {
+        self.nodes[i].region = r as u8;
+        self.nodes[i].seg = seg as u8;
+        let head = self.regions[r].lists[seg].head;
         self.nodes[i].prev = NIL;
-        self.nodes[i].next = self.head;
-        if self.head != NIL {
-            self.nodes[self.head].prev = i;
+        self.nodes[i].next = head;
+        if head != NIL {
+            self.nodes[head].prev = i;
         }
-        self.head = i;
-        if self.tail == NIL {
-            self.tail = i;
+        self.regions[r].lists[seg].head = i;
+        if self.regions[r].lists[seg].tail == NIL {
+            self.regions[r].lists[seg].tail = i;
         }
+        self.regions[r].lists[seg].len += 1;
     }
 
-    fn get(&mut self, key: u64) -> Option<Arc<[u8]>> {
-        let &i = self.map.get(&key)?;
-        self.unlink(i);
-        self.push_front(i);
-        Some(Arc::clone(&self.nodes[i].data))
-    }
-
-    /// Insert (or refresh) a block; returns true when an older block was
-    /// evicted to make room.
-    fn insert(&mut self, key: u64, data: Arc<[u8]>) -> bool {
-        if let Some(&i) = self.map.get(&key) {
-            self.nodes[i].data = data;
-            self.unlink(i);
-            self.push_front(i);
-            return false;
-        }
-        let mut evicted = false;
-        if self.map.len() >= self.capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
-            self.unlink(victim);
-            self.map.remove(&self.nodes[victim].key);
-            self.free.push(victim);
-            evicted = true;
-        }
-        let i = match self.free.pop() {
+    fn alloc(&mut self, key: u64, data: Arc<[u8]>) -> usize {
+        let node = Node {
+            key,
+            data,
+            prev: NIL,
+            next: NIL,
+            region: BUCKET as u8,
+            seg: SEG_WINDOW as u8,
+        };
+        match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = Node {
-                    key,
-                    data,
-                    prev: NIL,
-                    next: NIL,
-                };
+                self.nodes[i] = node;
                 i
             }
             None => {
-                self.nodes.push(Node {
-                    key,
-                    data,
-                    prev: NIL,
-                    next: NIL,
-                });
+                self.nodes.push(node);
                 self.nodes.len() - 1
             }
-        };
+        }
+    }
+
+    /// Unlink a resident entry and return its slab slot to the free
+    /// list (eviction and invalidation both end here).
+    fn remove_node(&mut self, i: usize) {
+        self.unlink(i);
+        self.map.remove(&self.nodes[i].key);
+        self.nodes[i].data = Arc::from(&[][..]); // release the bytes now
+        self.free.push(i);
+    }
+
+    /// Remove `key` if resident (invalidation path).
+    fn remove_key(&mut self, key: u64) {
+        if let Some(&i) = self.map.get(&key) {
+            self.remove_node(i);
+        }
+    }
+
+    fn freq(&self, key: u64) -> u32 {
+        self.sketch.as_ref().map_or(0, |s| s.estimate(key))
+    }
+
+    /// Record one access in the admission filter (TinyLFU only).
+    fn record_access(&mut self, key: u64) {
+        if let Some(s) = &mut self.sketch {
+            s.increment(key);
+        }
+    }
+
+    /// A hit's segment transition.
+    fn promote(&mut self, i: usize) {
+        let r = self.nodes[i].region as usize;
+        if self.sketch.is_none() {
+            // Plain LRU: refresh recency in the single window list.
+            self.unlink(i);
+            self.push_front(i, r, SEG_WINDOW);
+            return;
+        }
+        match self.nodes[i].seg as usize {
+            // Window and protected hits refresh recency in place.
+            SEG_WINDOW => {
+                self.unlink(i);
+                self.push_front(i, r, SEG_WINDOW);
+            }
+            SEG_PROTECTED => {
+                self.unlink(i);
+                self.push_front(i, r, SEG_PROTECTED);
+            }
+            // A probation hit proves reuse: promote into protected,
+            // demoting that segment's LRU back to probation when over
+            // budget (it keeps a second chance instead of dying).
+            _ => {
+                self.unlink(i);
+                self.push_front(i, r, SEG_PROTECTED);
+                while self.regions[r].lists[SEG_PROTECTED].len > self.regions[r].protected_cap {
+                    let demote = self.regions[r].lists[SEG_PROTECTED].tail;
+                    self.unlink(demote);
+                    self.push_front(demote, r, SEG_PROBATION);
+                }
+            }
+        }
+    }
+
+    /// Look up a block, promoting it and (under TinyLFU) recording the
+    /// access in the frequency sketch — also on a miss, so the later
+    /// insert of the fill competes with an up-to-date estimate.
+    fn get(&mut self, key: u64) -> Option<Arc<[u8]>> {
+        self.record_access(key);
+        let &i = self.map.get(&key)?;
+        self.promote(i);
+        Some(Arc::clone(&self.nodes[i].data))
+    }
+
+    /// Look up a block without promoting it, touching the sketch or the
+    /// counters (scan reads — see [`BlockCache::peek`]).
+    fn peek(&self, key: u64) -> Option<Arc<[u8]>> {
+        self.map.get(&key).map(|&i| Arc::clone(&self.nodes[i].data))
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Insert (or refresh) a block. `privileged` inserts (replica cache
+    /// warming) bypass the frequency gate: the donated block goes
+    /// straight to probation MRU, so a cold sketch cannot reject a
+    /// donor's proven-hot working set.
+    fn insert(&mut self, key: u64, data: Arc<[u8]>, privileged: bool) -> InsertOutcome {
+        let mut out = InsertOutcome::default();
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].data = data;
+            self.promote(i);
+            return out;
+        }
+        if self.sketch.is_none() {
+            // Plain LRU, bit-exact with the original cache: evict the
+            // single list's tail when full, then insert at MRU.
+            if self.map.len() >= self.capacity {
+                let victim = self.regions[BUCKET].lists[SEG_WINDOW].tail;
+                debug_assert_ne!(victim, NIL);
+                self.remove_node(victim);
+                out.evicted += 1;
+            }
+            let i = self.alloc(key, data);
+            self.map.insert(key, i);
+            self.push_front(i, BUCKET, SEG_WINDOW);
+            return out;
+        }
+        let r = self.region_of(key);
+        if self.regions[r].total_cap == 0 {
+            out.rejected += 1;
+            return out;
+        }
+        if privileged {
+            // Warmed blocks carry a sibling's recency, not this cache's
+            // history: seed the sketch so they survive the first
+            // admission contest after warming.
+            self.record_access(key);
+            let i = self.alloc(key, data);
+            self.map.insert(key, i);
+            self.push_front(i, r, SEG_PROBATION);
+            while self.regions[r].len() > self.regions[r].total_cap {
+                let v = self.coldest_excluding(r, i);
+                self.remove_node(v);
+                out.evicted += 1;
+                if v == i {
+                    break;
+                }
+            }
+            return out;
+        }
+        let i = self.alloc(key, data);
         self.map.insert(key, i);
-        self.push_front(i);
-        evicted
+        self.push_front(i, r, SEG_WINDOW);
+        self.rebalance_window(r, &mut out);
+        out
+    }
+
+    /// Drain window overflow into the main area: candidates are admitted
+    /// while the main area has room, and afterwards only when the sketch
+    /// estimates them strictly hotter than the probation-tail victim
+    /// (the W-TinyLFU admission contest).
+    fn rebalance_window(&mut self, r: usize, out: &mut InsertOutcome) {
+        while self.regions[r].lists[SEG_WINDOW].len > self.regions[r].window_cap {
+            let cand = self.regions[r].lists[SEG_WINDOW].tail;
+            if self.regions[r].main_cap() == 0 {
+                // Degenerate region (window == whole budget): the
+                // window tail is simply the LRU victim.
+                self.remove_node(cand);
+                out.evicted += 1;
+                continue;
+            }
+            let main_len =
+                self.regions[r].lists[SEG_PROBATION].len + self.regions[r].lists[SEG_PROTECTED].len;
+            if main_len < self.regions[r].main_cap() {
+                self.unlink(cand);
+                self.push_front(cand, r, SEG_PROBATION);
+                continue;
+            }
+            let victim = if self.regions[r].lists[SEG_PROBATION].tail != NIL {
+                self.regions[r].lists[SEG_PROBATION].tail
+            } else {
+                self.regions[r].lists[SEG_PROTECTED].tail
+            };
+            debug_assert_ne!(victim, NIL);
+            if self.freq(self.nodes[cand].key) > self.freq(self.nodes[victim].key) {
+                self.remove_node(victim);
+                out.evicted += 1;
+                self.unlink(cand);
+                self.push_front(cand, r, SEG_PROBATION);
+            } else {
+                self.remove_node(cand);
+                out.rejected += 1;
+            }
+        }
+    }
+
+    /// Coldest resident entry of region `r` other than `exclude`
+    /// (window LRU first, then probation, then protected); `exclude`
+    /// itself when it is the only entry left.
+    fn coldest_excluding(&self, r: usize, exclude: usize) -> usize {
+        for seg in [SEG_WINDOW, SEG_PROBATION, SEG_PROTECTED] {
+            let mut t = self.regions[r].lists[seg].tail;
+            while t != NIL {
+                if t != exclude {
+                    return t;
+                }
+                t = self.nodes[t].prev;
+            }
+        }
+        exclude
+    }
+
+    /// Cached blocks of this shard, hottest first: protected segments
+    /// (proven reuse), then probation, then the recency window, table
+    /// region before bucket region within each tier, MRU→LRU within
+    /// each list. Under LRU everything lives in one window list, so
+    /// this is exactly the recency order.
+    fn hot_blocks(&self, max: usize) -> Vec<(u64, Arc<[u8]>)> {
+        let mut list = Vec::new();
+        for seg in [SEG_PROTECTED, SEG_PROBATION, SEG_WINDOW] {
+            for r in [TABLE, BUCKET] {
+                let mut i = self.regions[r].lists[seg].head;
+                while i != NIL && list.len() < max {
+                    list.push((self.nodes[i].key, Arc::clone(&self.nodes[i].data)));
+                    i = self.nodes[i].next;
+                }
+            }
+        }
+        list
     }
 
     fn len(&self) -> usize {
@@ -194,8 +695,8 @@ pub struct FillEpoch {
     flush_epoch: u64,
 }
 
-/// A sharded LRU cache over fixed-address blocks, shareable across
-/// worker threads.
+/// A sharded cache over fixed-address blocks, shareable across worker
+/// threads, with a pluggable replacement policy ([`CachePolicy`]).
 ///
 /// ## Invalidation epochs
 ///
@@ -214,8 +715,14 @@ pub struct FillEpoch {
 /// trades its map for one flush bump, so memory stays bounded no matter
 /// how many distinct blocks a long write stream rewrites.
 pub struct BlockCache {
-    shards: Vec<Mutex<LruShard>>,
+    shards: Vec<Mutex<CacheShard>>,
     capacity: usize,
+    policy: CachePolicy,
+    /// Table/bucket split used for the per-region hit/miss counters
+    /// (block units; 0 = everything counts as bucket-region).
+    counter_boundary: u64,
+    /// Per-lock-shard table-block estimate, kept for shard rebuilds.
+    table_hint: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -226,51 +733,133 @@ pub struct BlockCache {
     stale_fills: AtomicU64,
     /// Blocks copied in from a sibling cache by [`BlockCache::warm_from`].
     warmed: AtomicU64,
+    /// Window candidates the TinyLFU filter refused to admit into the
+    /// main area (always 0 under LRU).
+    admission_rejected: AtomicU64,
+    /// Lookups of table-region blocks (keys below the region boundary).
+    table_hits: AtomicU64,
+    table_misses: AtomicU64,
+    /// Lookups of bucket-region blocks (everything else).
+    bucket_hits: AtomicU64,
+    bucket_misses: AtomicU64,
+    /// Miss reads that parked on another read's in-flight fill instead
+    /// of touching the device ([`CachedDevice`] single-flight
+    /// coalescing).
+    coalesced: AtomicU64,
 }
 
 impl BlockCache {
-    /// Cache holding at most `capacity_blocks` blocks, striped over
-    /// `num_shards` independently locked LRU segments. The capacity is
+    /// LRU cache holding at most `capacity_blocks` blocks, striped over
+    /// `num_shards` independently locked segments. The capacity is
     /// exact: it is distributed over the segments as evenly as possible
     /// (both arguments are clamped to at least 1, and the segment count
     /// to at most the capacity).
     pub fn new(capacity_blocks: usize, num_shards: usize) -> Self {
+        Self::with_policy(capacity_blocks, num_shards, CachePolicy::Lru)
+    }
+
+    /// Like [`BlockCache::new`] with an explicit replacement policy.
+    pub fn with_policy(capacity_blocks: usize, num_shards: usize, policy: CachePolicy) -> Self {
         let capacity = capacity_blocks.max(1);
         let num_shards = num_shards.max(1).min(capacity);
         let base = capacity / num_shards;
         let extra = capacity % num_shards;
+        let counter_boundary = match policy {
+            CachePolicy::TinyLfu(cfg) => cfg.region_boundary,
+            CachePolicy::Lru => 0,
+        };
+        let table_hint = if counter_boundary == 0 {
+            0
+        } else {
+            (counter_boundary as usize).div_ceil(num_shards)
+        };
         Self {
             shards: (0..num_shards)
-                .map(|s| Mutex::new(LruShard::new(base + usize::from(s < extra))))
+                .map(|s| {
+                    Mutex::new(CacheShard::new(
+                        base + usize::from(s < extra),
+                        policy,
+                        table_hint,
+                    ))
+                })
                 .collect(),
             capacity,
+            policy,
+            counter_boundary,
+            table_hint,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             stale_fills: AtomicU64::new(0),
             warmed: AtomicU64::new(0),
+            admission_rejected: AtomicU64::new(0),
+            table_hits: AtomicU64::new(0),
+            table_misses: AtomicU64::new(0),
+            bucket_hits: AtomicU64::new(0),
+            bucket_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
     #[inline]
-    fn shard_for(&self, key: u64) -> &Mutex<LruShard> {
+    fn shard_for(&self, key: u64) -> &Mutex<CacheShard> {
         // Fibonacci hashing spreads block addresses (which share low
         // zero bits) across shards.
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
         &self.shards[(h as usize) % self.shards.len()]
     }
 
+    /// Fold one lookup into the global and per-region counters.
+    fn note_lookup(&self, key: u64, hit: bool) {
+        let table = self.counter_boundary > 0 && key < self.counter_boundary;
+        let (global, regional) = if hit {
+            (
+                &self.hits,
+                if table {
+                    &self.table_hits
+                } else {
+                    &self.bucket_hits
+                },
+            )
+        } else {
+            (
+                &self.misses,
+                if table {
+                    &self.table_misses
+                } else {
+                    &self.bucket_misses
+                },
+            )
+        };
+        global.fetch_add(1, Ordering::Relaxed);
+        regional.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_outcome(&self, out: InsertOutcome) {
+        if out.evicted > 0 {
+            self.evictions.fetch_add(out.evicted, Ordering::Relaxed);
+        }
+        if out.rejected > 0 {
+            self.admission_rejected
+                .fetch_add(out.rejected, Ordering::Relaxed);
+        }
+    }
+
     /// Look up a block, promoting it to most-recently-used. Counts a hit
     /// or a miss.
     pub fn get(&self, key: u64) -> Option<Arc<[u8]>> {
         let got = self.shard_for(key).lock().unwrap().get(key);
-        if got.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
+        self.note_lookup(key, got.is_some());
         got
+    }
+
+    /// Look up a block **without** promoting it, feeding the frequency
+    /// sketch, or counting a hit/miss. The scan read-through: background
+    /// maintenance walking every chain can reuse cached bytes without
+    /// polluting the recency/frequency state queries depend on.
+    pub fn peek(&self, key: u64) -> Option<Arc<[u8]>> {
+        self.shard_for(key).lock().unwrap().peek(key)
     }
 
     /// Look up a block; on a miss, return the epoch a fill beginning
@@ -282,21 +871,23 @@ impl BlockCache {
         let mut shard = self.shard_for(key).lock().unwrap();
         match shard.get(key) {
             Some(data) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                drop(shard);
+                self.note_lookup(key, true);
                 Ok(data)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                Err(shard.fill_epoch(key))
+                let epoch = shard.fill_epoch(key);
+                drop(shard);
+                self.note_lookup(key, false);
+                Err(epoch)
             }
         }
     }
 
     /// Insert a block read from the device.
     pub fn insert(&self, key: u64, data: Arc<[u8]>) {
-        if self.shard_for(key).lock().unwrap().insert(key, data) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        let out = self.shard_for(key).lock().unwrap().insert(key, data, false);
+        self.note_outcome(out);
     }
 
     /// Snapshot `key`'s invalidation epoch without a lookup (the
@@ -311,16 +902,36 @@ impl BlockCache {
     /// under the key's shard lock, so an invalidation concurrent with
     /// this call either bumps the epoch first (the fill is skipped) or
     /// removes the entry afterwards — a stale fill can never survive.
-    /// Returns whether the fill was accepted.
+    /// Returns whether the fill was accepted (under TinyLFU a fill can
+    /// also be *admitted then rejected at the window boundary later*;
+    /// acceptance here only means the epoch check passed).
     pub fn insert_if_fresh(&self, key: u64, data: Arc<[u8]>, epoch: FillEpoch) -> bool {
+        self.insert_if_fresh_inner(key, data, epoch, false)
+    }
+
+    /// [`BlockCache::insert_if_fresh`] for replica cache warming: the
+    /// fill bypasses the TinyLFU frequency gate (straight to probation,
+    /// sketch seeded) so a cold admission filter cannot reject a
+    /// donor's proven-hot blocks. Epoch-gated exactly like a miss fill.
+    pub fn warm_insert_if_fresh(&self, key: u64, data: Arc<[u8]>, epoch: FillEpoch) -> bool {
+        self.insert_if_fresh_inner(key, data, epoch, true)
+    }
+
+    fn insert_if_fresh_inner(
+        &self,
+        key: u64,
+        data: Arc<[u8]>,
+        epoch: FillEpoch,
+        privileged: bool,
+    ) -> bool {
         let mut shard = self.shard_for(key).lock().unwrap();
         if !shard.is_fresh(key, epoch) {
             self.stale_fills.fetch_add(1, Ordering::Relaxed);
             return false;
         }
-        if shard.insert(key, data) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
+        let out = shard.insert(key, data, privileged);
+        drop(shard);
+        self.note_outcome(out);
         true
     }
 
@@ -344,17 +955,13 @@ impl BlockCache {
             shard.flush += 1;
             shard.epochs = HashMap::new();
         }
-        if let Some(&i) = shard.map.get(&key) {
-            shard.unlink(i);
-            shard.map.remove(&key);
-            shard.nodes[i].data = Arc::from(&[][..]); // release the bytes now
-            shard.free.push(i);
-        }
+        shard.remove_key(key);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drop every cached block and discard every in-flight fill (coarse
-    /// invalidation after bulk updates or an index rebuild).
+    /// invalidation after bulk updates or an index rebuild). Policy
+    /// state (segment budgets, frequency sketch) restarts cold.
     pub fn invalidate_all(&self) {
         for shard in &self.shards {
             let mut s = shard.lock().unwrap();
@@ -363,7 +970,7 @@ impl BlockCache {
             // entries: a fill holding an older flush epoch fails the
             // freshness check even with its key epoch reset to 0.
             let (cap, flush) = (s.capacity, s.flush + 1);
-            *s = LruShard::new(cap);
+            *s = CacheShard::new(cap, self.policy, self.table_hint);
             s.flush = flush;
         }
     }
@@ -399,37 +1006,33 @@ impl BlockCache {
         self.capacity
     }
 
-    /// Independently locked LRU segments the key space is striped over.
+    /// Independently locked segments the key space is striped over.
     pub fn lock_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// A fresh, empty cache with this cache's capacity and lock
-    /// striping — the constructor replica groups use to give each
-    /// replica of a shard its own private cache of identical shape.
-    pub fn new_like(&self) -> Self {
-        Self::new(self.capacity(), self.lock_shards())
+    /// The replacement policy this cache was built with.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
     }
 
-    /// The hottest (most-recently-used) cached blocks, up to
-    /// `max_blocks`, as `(key, bytes)` pairs. Per-segment MRU lists are
-    /// merged round-robin, so the result approximates the global
-    /// recency order while holding each segment lock once. Counts
-    /// neither hits nor misses.
+    /// A fresh, empty cache with this cache's capacity, lock striping
+    /// and policy — the constructor replica groups use to give each
+    /// replica of a shard its own private cache of identical shape.
+    pub fn new_like(&self) -> Self {
+        Self::with_policy(self.capacity(), self.lock_shards(), self.policy)
+    }
+
+    /// The hottest cached blocks, up to `max_blocks`, as `(key, bytes)`
+    /// pairs. Per-segment hot lists (protected → probation → window
+    /// under TinyLFU, plain MRU order under LRU) are merged round-robin,
+    /// so the result approximates the global heat order while holding
+    /// each segment lock once. Counts neither hits nor misses.
     pub fn hottest(&self, max_blocks: usize) -> Vec<(u64, Arc<[u8]>)> {
         let per_segment: Vec<Vec<(u64, Arc<[u8]>)>> = self
             .shards
             .iter()
-            .map(|m| {
-                let s = m.lock().unwrap();
-                let mut list = Vec::new();
-                let mut i = s.head;
-                while i != NIL && list.len() < max_blocks {
-                    list.push((s.nodes[i].key, Arc::clone(&s.nodes[i].data)));
-                    i = s.nodes[i].next;
-                }
-                list
-            })
+            .map(|m| m.lock().unwrap().hot_blocks(max_blocks))
             .collect();
         let mut out = Vec::new();
         let mut rank = 0;
@@ -456,10 +1059,12 @@ impl BlockCache {
     /// blocks (replica-aware cache warming: a fresh or unfenced replica
     /// copies a live sibling's working set instead of starting cold).
     /// Keys already present here are skipped; each copy is epoch-gated
-    /// ([`BlockCache::insert_if_fresh`]) so an invalidation racing the
-    /// warm pass discards the affected block instead of resurrecting
-    /// pre-write bytes. Returns the number of blocks copied (also
-    /// accumulated in [`BlockCache::warmed`]).
+    /// ([`BlockCache::warm_insert_if_fresh`]) so an invalidation racing
+    /// the warm pass discards the affected block instead of resurrecting
+    /// pre-write bytes, and **bypasses the admission filter** — a cold
+    /// TinyLFU sketch would otherwise reject every donated block.
+    /// Returns the number of blocks copied (also accumulated in
+    /// [`BlockCache::warmed`]).
     ///
     /// The donor's entries are valid by construction (writers invalidate
     /// rewritten blocks in every replica cache), but the copy is not
@@ -473,10 +1078,10 @@ impl BlockCache {
             // invalidation of `key` between here and the insert bumps
             // the epoch and the stale copy is rejected.
             let epoch = self.fill_epoch(key);
-            if self.shard_for(key).lock().unwrap().map.contains_key(&key) {
+            if self.shard_for(key).lock().unwrap().contains(key) {
                 continue; // already cached (counts no hit)
             }
-            if self.insert_if_fresh(key, data, epoch) {
+            if self.warm_insert_if_fresh(key, data, epoch) {
                 copied += 1;
             }
         }
@@ -499,9 +1104,45 @@ impl BlockCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Blocks displaced to make room.
+    /// Blocks displaced to make room (TinyLFU: admitted candidates'
+    /// victims; rejected candidates count in
+    /// [`BlockCache::admission_rejected`] instead).
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Window candidates the TinyLFU admission filter refused (0 under
+    /// LRU).
+    pub fn admission_rejected(&self) -> u64 {
+        self.admission_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Hits on table-region blocks (keys below the region boundary; 0
+    /// when unpartitioned — everything counts as bucket-region then).
+    pub fn table_hits(&self) -> u64 {
+        self.table_hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses on table-region blocks.
+    pub fn table_misses(&self) -> u64 {
+        self.table_misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits on bucket-region blocks.
+    pub fn bucket_hits(&self) -> u64 {
+        self.bucket_hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses on bucket-region blocks.
+    pub fn bucket_misses(&self) -> u64 {
+        self.bucket_misses.load(Ordering::Relaxed)
+    }
+
+    /// Miss reads that shared another read's in-flight fill instead of
+    /// touching the device (accumulated by every [`CachedDevice`] with
+    /// coalescing enabled on this cache).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// Hits over all lookups (0 when no lookups yet).
@@ -525,6 +1166,17 @@ impl BlockCache {
 /// the cache when they complete. Only whole-block reads are cached;
 /// other lengths (superblock, filter scans at open) bypass the cache.
 ///
+/// With [`CachedDevice::set_coalescing`] enabled, a miss for a key that
+/// already has a fill in flight **on this device** parks on that fill
+/// instead of issuing a duplicate device read (single-flight): the
+/// waiter's completion is delivered with the leader's bytes at the
+/// leader's completion time. The reactor serving layer drives hundreds
+/// of interleaved query contexts through one `CachedDevice`, which is
+/// exactly where concurrent same-block misses arise. Coalescing is
+/// epoch-guarded: a waiter only joins a leader whose fill epoch is still
+/// current, so a block invalidated mid-flight is re-read rather than
+/// served pre-rewrite bytes.
+///
 /// **Writes are not observed.** The [`Device`] trait is read-only, so a
 /// writer mutating the index underneath (e.g.
 /// [`Updater`](crate::update::Updater)) must tell the cache: call
@@ -546,12 +1198,25 @@ pub struct CachedDevice<D: Device> {
     /// gates the fill: an invalidation of this key between submit and
     /// completion discards it.
     pending_fills: HashMap<u64, (u64, FillEpoch)>,
+    /// Single-flight coalescing of concurrent same-key misses (off by
+    /// default: it changes completion timing, and the default suites
+    /// are bit-exact against the uncoalesced cache).
+    coalesce: bool,
+    /// key → leader tag of the in-flight fill coalescable misses join.
+    leaders: HashMap<u64, u64>,
+    /// leader tag → tags parked on that fill.
+    waiters: HashMap<u64, Vec<u64>>,
+    /// Parked waiter count (they occupy no slot in the inner device but
+    /// are in flight from the engine's point of view).
+    parked: usize,
     /// This device's own cache hits (the shared [`BlockCache`] counters
     /// span every device on the cache; per-device stats must stay
     /// summable across workers).
     local_hits: u64,
     /// This device's own cache misses.
     local_misses: u64,
+    /// This device's own coalesced reads.
+    local_coalesced: u64,
 }
 
 impl<D: Device> CachedDevice<D> {
@@ -565,8 +1230,13 @@ impl<D: Device> CachedDevice<D> {
             block_size,
             hit_queue: Vec::new(),
             pending_fills: HashMap::new(),
+            coalesce: false,
+            leaders: HashMap::new(),
+            waiters: HashMap::new(),
+            parked: 0,
             local_hits: 0,
             local_misses: 0,
+            local_coalesced: 0,
         }
     }
 
@@ -580,6 +1250,17 @@ impl<D: Device> CachedDevice<D> {
             Arc::new(BlockCache::new(capacity_blocks, 8)),
             crate::layout::BLOCK_SIZE as u32,
         )
+    }
+
+    /// Enable or disable single-flight coalescing of concurrent
+    /// same-key misses on this device.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
+    }
+
+    /// Whether single-flight coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce
     }
 
     /// The shared cache.
@@ -627,6 +1308,23 @@ impl<D: Device> Device for CachedDevice<D> {
                 }
                 Err(epoch) => {
                     self.local_misses += 1;
+                    if self.coalesce {
+                        if let Some(&leader) = self.leaders.get(&key) {
+                            // Join the leader only while its fill is
+                            // still fresh: if the key was invalidated
+                            // since the leader submitted, its bytes
+                            // pre-date the rewrite and this read must
+                            // fetch its own.
+                            if self.pending_fills.get(&leader).map(|&(_, e)| e) == Some(epoch) {
+                                self.waiters.entry(leader).or_default().push(req.tag);
+                                self.parked += 1;
+                                self.local_coalesced += 1;
+                                self.cache.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        self.leaders.insert(key, req.tag);
+                    }
                     let prev = self.pending_fills.insert(req.tag, (key, epoch));
                     debug_assert!(prev.is_none(), "duplicate in-flight tag {:#x}", req.tag);
                 }
@@ -641,6 +1339,7 @@ impl<D: Device> Device for CachedDevice<D> {
         out.append(&mut self.hit_queue);
         let start = out.len();
         self.inner.poll(now, out);
+        let mut released: Vec<IoCompletion> = Vec::new();
         for comp in &out[start..] {
             if let Some((key, epoch)) = self.pending_fills.remove(&comp.tag) {
                 // Fills that raced an invalidation of their own key are
@@ -649,8 +1348,26 @@ impl<D: Device> Device for CachedDevice<D> {
                 // re-enter. Fills for other keys are unaffected.
                 self.cache
                     .insert_if_fresh(key, Arc::from(comp.data.as_slice()), epoch);
+                if self.coalesce {
+                    // A stale leader (superseded after an invalidation)
+                    // no longer owns the key entry.
+                    if self.leaders.get(&key) == Some(&comp.tag) {
+                        self.leaders.remove(&key);
+                    }
+                    if let Some(tags) = self.waiters.remove(&comp.tag) {
+                        self.parked -= tags.len();
+                        for tag in tags {
+                            released.push(IoCompletion {
+                                tag,
+                                data: comp.data.clone(),
+                                time: comp.time,
+                            });
+                        }
+                    }
+                }
             }
         }
+        out.append(&mut released);
     }
 
     fn next_completion_time(&self) -> Option<f64> {
@@ -673,7 +1390,9 @@ impl<D: Device> Device for CachedDevice<D> {
     }
 
     fn inflight(&self) -> usize {
-        self.hit_queue.len() + self.inner.inflight()
+        // Parked waiters hold no device slot but are outstanding from
+        // the engine's point of view until their leader completes.
+        self.hit_queue.len() + self.parked + self.inner.inflight()
     }
 
     fn read_sync(&mut self, addr: u64, len: u32) -> Vec<u8> {
@@ -683,13 +1402,15 @@ impl<D: Device> Device for CachedDevice<D> {
     fn stats(&self) -> DeviceStats {
         // `completed`/`bytes` count only what the underlying device
         // served; DRAM hits are reported separately via the cache
-        // counters. Hits/misses are *this device's own* lookups so that
-        // summing worker stats never multiplies shared-cache totals.
-        // Evictions are a property of the (possibly shared) cache, not
-        // of any one device — read them from [`BlockCache::evictions`].
+        // counters. Hits/misses/coalesced are *this device's own*
+        // lookups so that summing worker stats never multiplies
+        // shared-cache totals. Evictions are a property of the (possibly
+        // shared) cache, not of any one device — read them from
+        // [`BlockCache::evictions`].
         let mut s = self.inner.stats();
         s.cache_hits = self.local_hits;
         s.cache_misses = self.local_misses;
+        s.coalesced_reads = self.local_coalesced;
         s
     }
 }
@@ -1010,6 +1731,9 @@ mod tests {
         assert_eq!(cache.misses(), expect_misses);
         assert_eq!(cache.hits() + cache.misses(), 50);
         assert!(cache.hit_rate() > 0.0 && cache.hit_rate() < 1.0);
+        // Unpartitioned: every lookup counts as bucket-region.
+        assert_eq!(cache.bucket_hits() + cache.bucket_misses(), 50);
+        assert_eq!(cache.table_hits() + cache.table_misses(), 0);
     }
 
     #[test]
@@ -1023,5 +1747,312 @@ mod tests {
         assert_eq!(bytes_a, bytes_b);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+    }
+
+    // ── TinyLFU admission ────────────────────────────────────────────
+
+    fn tinylfu(capacity: usize, shards: usize, boundary: u64) -> BlockCache {
+        BlockCache::with_policy(
+            capacity,
+            shards,
+            CachePolicy::TinyLfu(TinyLfuConfig {
+                region_boundary: boundary,
+                ..TinyLfuConfig::default()
+            }),
+        )
+    }
+
+    /// Miss-then-insert, the way a device fill reaches the cache.
+    fn access(cache: &BlockCache, key: u64) -> bool {
+        if cache.get(key).is_some() {
+            true
+        } else {
+            cache.insert(key, Arc::from(key.to_le_bytes().as_slice()));
+            false
+        }
+    }
+
+    #[test]
+    fn tinylfu_scan_cannot_displace_hot_blocks() {
+        let cache = tinylfu(8, 1, 0);
+        // Heat four blocks until they sit in the main area with real
+        // frequency history.
+        for _ in 0..5 {
+            for k in 1..=4u64 {
+                access(&cache, k);
+            }
+        }
+        assert!((1..=4).all(|k| cache.peek(k).is_some()));
+        // A one-shot scan: 30 blocks seen exactly once each.
+        for k in 100..130u64 {
+            access(&cache, k);
+        }
+        assert!(
+            (1..=4).all(|k| cache.peek(k).is_some()),
+            "one-hit-wonder scan displaced the proven-hot working set"
+        );
+        assert!(cache.admission_rejected() > 0, "no admission contest ran");
+        assert!(cache.len() <= cache.capacity());
+        // The same scan against plain LRU flushes the hot set.
+        let lru = BlockCache::new(8, 1);
+        for _ in 0..5 {
+            for k in 1..=4u64 {
+                access(&lru, k);
+            }
+        }
+        for k in 100..130u64 {
+            access(&lru, k);
+        }
+        assert!((1..=4).all(|k| lru.peek(k).is_none()));
+        assert_eq!(lru.admission_rejected(), 0);
+    }
+
+    #[test]
+    fn tinylfu_probation_hit_promotes_to_protected() {
+        let cache = tinylfu(16, 1, 0);
+        // First pass: keys land in window → probation.
+        for k in 0..4u64 {
+            access(&cache, k);
+        }
+        // Second pass: probation hits promote to protected, so the
+        // hottest list leads with protected entries.
+        for k in 0..4u64 {
+            assert!(access(&cache, k), "resident key must hit");
+        }
+        let hot: Vec<u64> = cache.hottest(16).iter().map(|&(k, _)| k).collect();
+        assert!(!hot.is_empty());
+        // All four re-referenced keys outrank any window-only key.
+        for k in 0..4u64 {
+            assert!(hot.contains(&k));
+        }
+    }
+
+    #[test]
+    fn peek_promotes_and_counts_nothing() {
+        let cache = BlockCache::new(2, 1);
+        cache.insert(1, Arc::from([1u8].as_slice()));
+        cache.insert(2, Arc::from([2u8].as_slice()));
+        assert!(cache.peek(1).is_some());
+        assert!(cache.peek(99).is_none());
+        assert_eq!(cache.hits() + cache.misses(), 0, "peek counts no lookup");
+        // peek(1) did not refresh 1's recency: it is still the LRU
+        // victim (a get(1) would have saved it).
+        cache.insert(3, Arc::from([3u8].as_slice()));
+        assert!(cache.peek(1).is_none(), "peek must not promote");
+        assert!(cache.peek(2).is_some());
+    }
+
+    #[test]
+    fn region_partition_protects_table_blocks() {
+        // Keys 0..4 are table-region; budget = round(8 * 0.2) = 2.
+        let cache = BlockCache::with_policy(
+            8,
+            1,
+            CachePolicy::TinyLfu(TinyLfuConfig {
+                region_boundary: 4,
+                table_fraction: 0.25,
+                ..TinyLfuConfig::default()
+            }),
+        );
+        access(&cache, 0);
+        access(&cache, 1);
+        assert_eq!(cache.table_misses(), 2);
+        // Hammer the bucket region with far more traffic than its
+        // budget: the table entries must be untouchable.
+        for k in 100..200u64 {
+            access(&cache, k);
+        }
+        assert!(
+            cache.peek(0).is_some(),
+            "bucket churn evicted a table block"
+        );
+        assert!(cache.peek(1).is_some());
+        assert!(cache.len() <= cache.capacity());
+        assert_eq!(cache.bucket_misses(), 100);
+        assert!(cache.get(0).is_some());
+        assert_eq!(cache.table_hits(), 1);
+    }
+
+    #[test]
+    fn warm_insert_bypasses_cold_admission_filter() {
+        // A hot donor (any policy) warms a cold TinyLFU sibling: the
+        // sibling's sketch has never seen the keys, so the normal
+        // admission path would strand every copy in the 1-block window.
+        let donor = BlockCache::new(32, 1);
+        for _ in 0..3 {
+            for k in 0..16u64 {
+                access(&donor, k);
+            }
+        }
+        let fresh = tinylfu(32, 1, 0);
+        let copied = fresh.warm_from(&donor, 12);
+        assert_eq!(copied, 12);
+        assert_eq!(fresh.len(), 12);
+        assert_eq!(fresh.warmed(), 12);
+        // Every donated block is resident and served as a hit.
+        let warmed_keys: Vec<u64> = donor.hottest(12).iter().map(|&(k, _)| k).collect();
+        for k in warmed_keys {
+            assert!(fresh.get(k).is_some(), "warmed block {k} not resident");
+        }
+    }
+
+    #[test]
+    fn tinylfu_policy_shapes_survive_new_like_and_clear() {
+        let cache = tinylfu(64, 4, 0);
+        assert_eq!(cache.policy(), cache.new_like().policy());
+        for k in 0..32u64 {
+            access(&cache, k);
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        // Still admits and serves after the rebuild.
+        access(&cache, 7);
+        assert!(cache.get(7).is_some());
+    }
+
+    // ── Count-min sketch ─────────────────────────────────────────────
+
+    #[test]
+    fn sketch_estimate_upper_bounds_true_count() {
+        let mut s = CmSketch::new(256);
+        for _ in 0..9 {
+            s.increment(42);
+        }
+        assert!(s.estimate(42) >= 9);
+        // Saturation: counters cap at 15 (+1 doorkeeper).
+        for _ in 0..100 {
+            s.increment(42);
+        }
+        assert!(s.estimate(42) >= 15);
+        assert!(s.estimate(42) <= 16);
+        // An unseen key can only be inflated by collisions, never
+        // deflated below zero.
+        assert!(s.estimate(7777) <= s.estimate(42));
+    }
+
+    #[test]
+    fn sketch_halving_decays_and_clears_doorkeeper() {
+        let mut s = CmSketch::new(256);
+        for _ in 0..10 {
+            s.increment(5);
+        }
+        let before = s.estimate(5);
+        s.halve();
+        let after = s.estimate(5);
+        assert!(
+            after <= before / 2,
+            "halve must at least halve ({before} → {after})"
+        );
+        // Automatic aging: the sample period bounds additions.
+        let mut auto = CmSketch::new(64); // period = 10 * 64
+        for k in 0..2000u64 {
+            auto.increment(k % 50);
+        }
+        assert!(auto.additions() < 640, "sample period never triggered");
+    }
+
+    // ── Single-flight coalescing ─────────────────────────────────────
+
+    #[test]
+    fn concurrent_misses_coalesce_to_one_device_read() {
+        let sim = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image(8)));
+        let cache = Arc::new(BlockCache::new(4, 1));
+        let mut dev = CachedDevice::new(sim, Arc::clone(&cache), BLOCK_SIZE as u32);
+        dev.set_coalescing(true);
+        // Three concurrent misses on one block before any completes.
+        for tag in 1..=3u64 {
+            dev.submit(
+                IoRequest {
+                    addr: 1024,
+                    len: BLOCK_SIZE as u32,
+                    tag,
+                },
+                0.0,
+            );
+        }
+        assert_eq!(dev.inflight(), 3, "waiters count as in flight");
+        let t = dev.next_completion_time().unwrap();
+        let mut out = Vec::new();
+        dev.poll(t, &mut out);
+        assert_eq!(out.len(), 3, "every request gets its completion");
+        assert!(out.iter().all(|c| c.data == out[0].data));
+        assert!(
+            out.iter().all(|c| c.time == t),
+            "waiters share the leader's time"
+        );
+        let tags: std::collections::HashSet<u64> = out.iter().map(|c| c.tag).collect();
+        assert_eq!(tags.len(), 3);
+        assert_eq!(dev.stats().completed, 1, "one device read served all three");
+        assert_eq!(dev.stats().coalesced_reads, 2);
+        assert_eq!(cache.coalesced(), 2);
+        assert_eq!(dev.inflight(), 0);
+        // The block is cached: the next read is a DRAM hit.
+        let (_, _) = read_block(&mut dev, 1024, t);
+        assert_eq!(dev.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn invalidation_mid_flight_prevents_coalescing() {
+        let sim = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image(8)));
+        let cache = Arc::new(BlockCache::new(4, 1));
+        let mut dev = CachedDevice::new(sim, Arc::clone(&cache), BLOCK_SIZE as u32);
+        dev.set_coalescing(true);
+        dev.submit(
+            IoRequest {
+                addr: 512,
+                len: BLOCK_SIZE as u32,
+                tag: 1,
+            },
+            0.0,
+        );
+        // The block is rewritten while the leader is in flight: a new
+        // miss must fetch its own (fresh) bytes, not the leader's.
+        dev.invalidate(512);
+        dev.submit(
+            IoRequest {
+                addr: 512,
+                len: BLOCK_SIZE as u32,
+                tag: 2,
+            },
+            0.0,
+        );
+        let mut out = Vec::new();
+        while out.len() < 2 {
+            let t = dev.next_completion_time().unwrap();
+            dev.poll(t, &mut out);
+        }
+        assert_eq!(
+            dev.stats().completed,
+            2,
+            "post-invalidation miss must not coalesce"
+        );
+        assert_eq!(dev.stats().coalesced_reads, 0);
+        // The stale leader's fill was discarded; the fresh read filled.
+        assert_eq!(cache.stale_fills(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn coalescing_disabled_by_default_issues_every_read() {
+        let sim = SimStorage::new(DeviceProfile::ESSD, 1, Backing::Mem(image(8)));
+        let mut dev = CachedDevice::with_capacity(sim, 4);
+        assert!(!dev.coalescing());
+        for tag in 1..=2u64 {
+            dev.submit(
+                IoRequest {
+                    addr: 1024,
+                    len: BLOCK_SIZE as u32,
+                    tag,
+                },
+                0.0,
+            );
+        }
+        let mut out = Vec::new();
+        while out.len() < 2 {
+            let t = dev.next_completion_time().unwrap();
+            dev.poll(t, &mut out);
+        }
+        assert_eq!(dev.stats().completed, 2);
+        assert_eq!(dev.stats().coalesced_reads, 0);
     }
 }

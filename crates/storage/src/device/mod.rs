@@ -77,6 +77,31 @@ pub struct DeviceStats {
     /// warming). Cache-level like evictions; aggregators fill it from
     /// [`cached::BlockCache::warmed`].
     pub cache_warmed: u64,
+    /// Window candidates the TinyLFU admission filter refused to admit
+    /// into the cache's main area (0 under the default LRU policy).
+    /// Cache-level; aggregators fill it from
+    /// [`cached::BlockCache::admission_rejected`].
+    pub cache_admission_rejected: u64,
+    /// Cache hits on table-region blocks (hash-table slot reads, below
+    /// the region boundary; 0 when the cache is unpartitioned).
+    /// Cache-level; from [`cached::BlockCache::table_hits`].
+    pub cache_table_hits: u64,
+    /// Cache misses on table-region blocks. Cache-level; from
+    /// [`cached::BlockCache::table_misses`].
+    pub cache_table_misses: u64,
+    /// Cache hits on bucket-region blocks (chain reads; all lookups
+    /// when unpartitioned). Cache-level; from
+    /// [`cached::BlockCache::bucket_hits`].
+    pub cache_bucket_hits: u64,
+    /// Cache misses on bucket-region blocks. Cache-level; from
+    /// [`cached::BlockCache::bucket_misses`].
+    pub cache_bucket_misses: u64,
+    /// Miss reads that parked on another read's in-flight fill instead
+    /// of issuing a duplicate device read
+    /// ([`cached::CachedDevice`] single-flight coalescing). Per device
+    /// in [`cached::CachedDevice::stats`]; service aggregation fills it
+    /// from [`cached::BlockCache::coalesced`].
+    pub coalesced_reads: u64,
     /// Bucket blocks returned to the free list by deletes or background
     /// maintenance (empty-block unlink and chain compaction). A
     /// writer-level quantity: devices leave it 0 and the service report

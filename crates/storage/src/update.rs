@@ -167,8 +167,13 @@ pub struct MaintenanceReport {
     pub filter_bits_cleared: u64,
     /// Bytes made reusable (`blocks_reclaimed × BLOCK_SIZE`).
     pub bytes_reclaimed: u64,
-    /// Bucket blocks read while scanning (the budget currency).
+    /// Bucket blocks read while scanning (the budget currency — counted
+    /// whether the bytes came from the device or the scan cache, so the
+    /// cursor advances identically either way).
     pub blocks_scanned: u64,
+    /// Scan reads served from the registered block cache
+    /// ([`Updater::set_scan_cache`]) instead of the device.
+    pub scan_cache_hits: u64,
     /// True when the cursor wrapped: every table slot has been visited
     /// since the previous wrap, so an idle driver can back off.
     pub completed_pass: bool,
@@ -190,6 +195,7 @@ impl MaintenanceReport {
         self.filter_bits_cleared += other.filter_bits_cleared;
         self.bytes_reclaimed += other.bytes_reclaimed;
         self.blocks_scanned += other.blocks_scanned;
+        self.scan_cache_hits += other.scan_cache_hits;
         self.completed_pass |= other.completed_pass;
     }
 }
@@ -247,6 +253,10 @@ pub struct Updater {
     fail_after_writes: Option<u64>,
     /// Writes attempted since fault injection was (re-)armed.
     writes_since_arm: u64,
+    /// Block cache maintenance scans may *peek* chain blocks from
+    /// (read-only, no promotion/frequency traffic — see
+    /// [`Updater::set_scan_cache`]). `None` = always read the device.
+    scan_cache: Option<std::sync::Arc<crate::device::cached::BlockCache>>,
 }
 
 impl Updater {
@@ -303,7 +313,45 @@ impl Updater {
             compat_always_reserve: false,
             fail_after_writes: None,
             writes_since_arm: 0,
+            scan_cache: None,
         })
+    }
+
+    /// Let maintenance chain scans serve block reads from `cache`
+    /// (a shard's DRAM block cache) instead of the device, via
+    /// [`BlockCache::peek`] — no recency promotion, no frequency-sketch
+    /// traffic, no hit/miss counters, so a full-index scan cannot
+    /// pollute the replacement state queries depend on. Safe because
+    /// the serving layer invalidates every rewritten block in the cache
+    /// (the cache never holds bytes staler than the file), and reads of
+    /// blocks rewritten by *this* updater's still-unapplied trace fall
+    /// back to the device.
+    ///
+    /// [`BlockCache::peek`]: crate::device::cached::BlockCache::peek
+    pub fn set_scan_cache(
+        &mut self,
+        cache: Option<std::sync::Arc<crate::device::cached::BlockCache>>,
+    ) {
+        self.scan_cache = cache;
+    }
+
+    /// One maintenance chain-block read: from the scan cache when the
+    /// block is resident (and not rewritten by the un-applied trace),
+    /// else from the device.
+    fn read_chain_block(&self, addr: u64, rep: &mut MaintenanceReport) -> io::Result<Vec<u8>> {
+        if let Some(cache) = &self.scan_cache {
+            if !self.trace.blocks.contains(&addr) {
+                if let Some(data) = cache.peek(addr / BLOCK_SIZE as u64) {
+                    if data.len() == BLOCK_SIZE {
+                        rep.scan_cache_hits += 1;
+                        return Ok(data.to_vec());
+                    }
+                }
+            }
+        }
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        read_at(&self.file, addr, &mut buf)?;
+        Ok(buf)
     }
 
     /// Take the accumulated [`WriteTrace`] (mutations since the last
@@ -389,6 +437,13 @@ impl Updater {
     /// Number of objects the index currently covers (IDs are `0..n`).
     pub fn len(&self) -> usize {
         self.sb.n as usize
+    }
+
+    /// The index file's region layout (table/filter/heap bases). Lets
+    /// serving layers derive cache-region boundaries from the same
+    /// geometry the writer uses.
+    pub fn geometry(&self) -> &TableGeometry {
+        &self.geometry
     }
 
     /// Advance the object count to `target`, burning the skipped ids —
@@ -715,8 +770,7 @@ impl Updater {
         let mut prev: Option<(u64, BucketBlock)> = None;
         let mut addr = head;
         while addr != 0 {
-            let mut buf = vec![0u8; BLOCK_SIZE];
-            read_at(&self.file, addr, &mut buf)?;
+            let buf = self.read_chain_block(addr, rep)?;
             reads += 1;
             let block = BucketBlock::decode(&self.codec, &buf);
             let next = block.next;
@@ -1040,6 +1094,72 @@ mod tests {
             assert_ne!(id, victim, "deleted object must not be returned");
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A maintenance tick whose chain reads are served from a block
+    /// cache ([`Updater::set_scan_cache`]) must reclaim exactly what a
+    /// device-read tick reclaims, leave a byte-identical file, and
+    /// never touch the cache's query-facing counters (peek only).
+    #[test]
+    fn maintain_scan_cache_matches_device_reads() {
+        let ds = dataset(200, 6);
+        let params = E2lshParams::derive(200, 2.0, 4.0, 1.0, ds.max_abs_coord(), 6);
+        let path_a = temp_path("maint_nocache.idx");
+        build_index(&ds, &params, &BuildConfig::default(), &path_a).unwrap();
+        let mut up = Updater::open(&path_a).unwrap();
+        for i in (0..200).step_by(2) {
+            up.delete(ds.point(i), i as u32).unwrap();
+        }
+        drop(up);
+        let path_b = temp_path("maint_cache.idx");
+        std::fs::copy(&path_a, &path_b).unwrap();
+
+        let mut a = Updater::open(&path_a).unwrap();
+        let rep_a = a.maintain(10_000).unwrap();
+        assert_eq!(rep_a.scan_cache_hits, 0);
+        drop(a);
+
+        // Pre-fill a cache with the file's current heap blocks, keyed
+        // exactly like the serving layer keys chain reads (`addr /
+        // BLOCK_SIZE`, bytes starting at `addr`: heap blocks are
+        // 512-spaced from `heap_base`, which need not be 512-aligned).
+        let mut b = Updater::open(&path_b).unwrap();
+        let bytes = std::fs::read(&path_b).unwrap();
+        let cache = std::sync::Arc::new(crate::device::cached::BlockCache::new(1 << 16, 8));
+        let mut addr = b.geometry().heap_base();
+        while addr as usize + BLOCK_SIZE <= bytes.len() {
+            cache.insert(
+                addr / BLOCK_SIZE as u64,
+                std::sync::Arc::from(&bytes[addr as usize..addr as usize + BLOCK_SIZE]),
+            );
+            addr += BLOCK_SIZE as u64;
+        }
+        let (h0, m0) = (cache.hits(), cache.misses());
+        b.set_scan_cache(Some(std::sync::Arc::clone(&cache)));
+        let rep_b = b.maintain(10_000).unwrap();
+        drop(b);
+
+        assert!(rep_b.scan_cache_hits > 0, "scan never used the cache");
+        assert_eq!(rep_a.blocks_reclaimed, rep_b.blocks_reclaimed);
+        assert_eq!(rep_a.filter_bits_cleared, rep_b.filter_bits_cleared);
+        assert_eq!(
+            rep_a.blocks_scanned, rep_b.blocks_scanned,
+            "budget currency must not depend on cache state"
+        );
+        assert_eq!(rep_a.filter_words, rep_b.filter_words);
+        assert_eq!(rep_a.completed_pass, rep_b.completed_pass);
+        assert_eq!(
+            std::fs::read(&path_a).unwrap(),
+            std::fs::read(&path_b).unwrap(),
+            "cache-served scan must leave a byte-identical index"
+        );
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (h0, m0),
+            "scan reads must not count as cache lookups"
+        );
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
     }
 
     #[test]
