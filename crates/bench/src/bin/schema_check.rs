@@ -48,8 +48,17 @@ fn check_artifact(path: &Path) -> Result<usize, String> {
         }
     }
     // `service` is null or a full report_json document with its own
-    // required keys (mirrors the export tests in e2lsh_service).
+    // required keys (mirrors the export tests in e2lsh_service). The
+    // net-tier bench must attach one — its whole point is the v3 net
+    // counters.
     let service = v.get("service").unwrap();
+    let is_net_bench = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.contains("serve_swarm"));
+    if is_net_bench && service.is_null() {
+        return Err("serve_swarm artifact has no service report".to_string());
+    }
     if !service.is_null() {
         for key in [
             "schema_version",
@@ -79,6 +88,21 @@ fn check_artifact(path: &Path) -> Result<usize, String> {
         ] {
             if !counters.iter().any(|(k, _)| k == key) {
                 return Err(format!("service counters missing v2 key `{key}`"));
+            }
+        }
+        // Schema v3: net-tier counters must be present (zero for
+        // in-process-only runs; live for BENCH_serve_swarm.json).
+        for key in [
+            "connections_accepted",
+            "connections_dropped",
+            "connections_peak",
+            "frames_in",
+            "frames_out",
+            "frame_decode_errors",
+            "tickets_orphaned",
+        ] {
+            if !counters.iter().any(|(k, _)| k == key) {
+                return Err(format!("service counters missing v3 key `{key}`"));
             }
         }
     }

@@ -28,7 +28,11 @@ use serde::Serialize;
 /// Version of the export schema. Bump on breaking changes.
 /// v2: cache-policy counters (`cache_admission_rejected`, per-region
 /// hit/miss counts, `coalesced_reads`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: net-tier counters (`connections_accepted/dropped/peak`,
+/// `frames_in/out`, `frame_decode_errors`, `tickets_orphaned`) and the
+/// `net_ingress` stage on exported spans. The net counters are always
+/// present — zero for in-process-only runs.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A named, ordered snapshot of one [`ServiceReport`]'s metrics,
 /// ready to serialize. Build with [`MetricsRegistry::from_report`];
@@ -78,6 +82,13 @@ impl MetricsRegistry {
             ("filter_bits_cleared", d.filter_bits_cleared),
             ("bytes_reclaimed", d.bytes_reclaimed),
             ("chain_inconsistencies", d.chain_inconsistencies),
+            ("connections_accepted", report.net.connections_accepted),
+            ("connections_dropped", report.net.connections_dropped),
+            ("connections_peak", report.net.connections_peak),
+            ("frames_in", report.net.frames_in),
+            ("frames_out", report.net.frames_out),
+            ("frame_decode_errors", report.net.frame_decode_errors),
+            ("tickets_orphaned", report.net.tickets_orphaned),
         ];
         let gauges: Vec<(&'static str, f64)> = vec![
             ("duration_s", report.duration),
@@ -259,6 +270,9 @@ impl Serialize for TraceSpan {
         push_key(out, "resolved");
         self.resolved.to_json(out);
         out.push(',');
+        push_key(out, "net_ingress");
+        self.net_ingress().to_json(out);
+        out.push(',');
         push_key(out, "route");
         self.route().to_json(out);
         out.push(',');
@@ -310,6 +324,7 @@ mod tests {
             id: 3,
             kind: SpanKind::Query,
             submitted: 0.0,
+            net: None,
             routed: 0.001,
             shards: vec![ShardSpan {
                 shard: 0,
@@ -367,12 +382,50 @@ mod tests {
         let span = &slow[0];
         assert_eq!(span.get("kind").unwrap().as_str(), Some("query"));
         // Exported stage durations telescope like the live accessors.
-        let sum = ["route", "queue_wait", "service", "merge"]
+        let sum = ["net_ingress", "route", "queue_wait", "service", "merge"]
             .iter()
             .map(|k| span.get(k).unwrap().as_f64().unwrap())
             .sum::<f64>();
         let e2e = span.get("end_to_end").unwrap().as_f64().unwrap();
         assert!((sum - e2e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v3_exports_net_counters() {
+        let mut r = sample_report();
+        r.net.connections_accepted = 8;
+        r.net.tickets_orphaned = 3;
+        let v = serde_json::from_str(&report_json(&r)).unwrap();
+        let counters = v.get("counters").unwrap();
+        for key in [
+            "connections_accepted",
+            "connections_dropped",
+            "connections_peak",
+            "frames_in",
+            "frames_out",
+            "frame_decode_errors",
+            "tickets_orphaned",
+        ] {
+            assert!(counters.get(key).is_some(), "missing net counter {key}");
+        }
+        assert_eq!(
+            counters.get("connections_accepted").unwrap().as_f64(),
+            Some(8.0)
+        );
+        assert_eq!(
+            counters.get("tickets_orphaned").unwrap().as_f64(),
+            Some(3.0)
+        );
+        // An in-process report exports them too, as zeros.
+        let v0 = serde_json::from_str(&report_json(&sample_report())).unwrap();
+        assert_eq!(
+            v0.get("counters")
+                .unwrap()
+                .get("frames_in")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
     }
 
     #[test]

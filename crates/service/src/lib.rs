@@ -84,7 +84,15 @@
 //!   slow-query log with full breakdowns;
 //! * [`export`] — the metrics registry + JSON exporter: a stable,
 //!   versioned schema ([`export::report_json`]) the bench bins use to
-//!   emit `BENCH_*.json` artifacts.
+//!   emit `BENCH_*.json` artifacts;
+//! * [`net`] — the network serving tier (new in PR 10):
+//!   length-prefixed binary frames over `std::net` TCP, a
+//!   [`net::NetServer`] mapping pipelined in-flight frames 1:1 onto
+//!   session tickets (per-connection reader + completion pump,
+//!   responses out of order by correlation id), per-**tenant**
+//!   admission budgets keyed by the frame header's tenant id, and a
+//!   [`net::NetClient`] mirroring the in-process `Client` surface
+//!   over a socket.
 //!
 //! Batches of queries go through
 //! [`ShardedService::query_batch`](service::ShardedService::query_batch):
@@ -106,6 +114,7 @@ pub mod admission;
 pub mod export;
 pub mod loadgen;
 pub mod metrics;
+pub mod net;
 pub mod reactor;
 pub mod router;
 pub mod service;
@@ -126,6 +135,7 @@ pub use loadgen::{
     Load, MixedWorkload, Op,
 };
 pub use metrics::{imbalance, percentile, LatencyHistogram, LatencySummary, OpStatus};
+pub use net::{NetClient, NetCounters, NetQueryReply, NetServer, NetServerConfig, NetWriteReply};
 pub use router::RoutePolicy;
 pub use service::{
     dedup_batch, BatchDedup, BatchQueryReport, DeviceSpec, ServiceConfig, ServiceReport,
@@ -138,5 +148,5 @@ pub use session::{
 pub use shard::{Shard, ShardBuildConfig, ShardPlan, ShardSet};
 pub use shared_sim::{SharedSimArray, SharedSimHandle};
 pub use topology::{Replica, Topology};
-pub use trace::{ShardSpan, SpanKind, TraceRing, TraceSpan};
+pub use trace::{NetStage, ShardSpan, SpanKind, TraceRing, TraceSpan};
 pub use update::ShardUpdater;

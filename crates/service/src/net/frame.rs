@@ -1,0 +1,723 @@
+//! The wire codec: length-prefixed binary frames over TCP.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌────────────┬─────────┬──────┬───────────┬──────────────┬─────────┐
+//! │ len u32 LE │ ver u8  │ kind │ tenant    │ correlation  │ payload │
+//! │ (body len) │ (=1)    │ u8   │ u16 LE    │ u64 LE       │ …       │
+//! └────────────┴─────────┴──────┴───────────┴──────────────┴─────────┘
+//!               ←───────────────── body (len bytes) ────────────────→
+//! ```
+//!
+//! `len` counts the body (header + payload, excluding the prefix
+//! itself) and is capped at [`MAX_FRAME`]; an oversized prefix is a
+//! typed decode error, not an allocation. The 12-byte body header
+//! carries the protocol version, the frame kind, the **tenant id**
+//! (selects the server-side admission budget) and a caller-chosen
+//! **correlation id** echoed verbatim on the response — responses may
+//! arrive out of order under pipelining, and the correlation id is how
+//! a client matches them back up.
+//!
+//! Request and response kinds live in disjoint byte ranges (responses
+//! have the high bit set) so a peer speaking the wrong direction is a
+//! typed [`FrameError::UnknownKind`], never a misparse. All integers
+//! are little-endian; points are `f32` bit patterns, so a query round
+//! trips bit-exactly (NaN payloads included).
+//!
+//! Decoding never panics and never trusts a length field beyond the
+//! already-bounded body: every multi-byte read is checked, trailing
+//! bytes are an error, and element counts are validated against the
+//! remaining byte budget before any allocation.
+
+use crate::metrics::OpStatus;
+use std::io::{self, Read, Write};
+
+/// Version byte every frame leads with. Peers reject other versions
+/// with [`ErrorCode::BadVersion`] (server) or an error result (client).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame **body** (header + payload) in bytes. Caps
+/// decode-side allocation: a length prefix beyond this is rejected
+/// before any buffer is sized from it. Generous enough for a ~64k-dim
+/// point or a several-thousand-point batch.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of body header (version, kind, tenant, correlation).
+pub const HEADER_LEN: usize = 12;
+
+const REQ_PING: u8 = 0x01;
+const REQ_QUERY: u8 = 0x02;
+const REQ_QUERY_BATCH: u8 = 0x03;
+const REQ_INSERT: u8 = 0x04;
+const REQ_DELETE: u8 = 0x05;
+const REQ_METRICS: u8 = 0x06;
+
+const RSP_PONG: u8 = 0x81;
+const RSP_NEIGHBORS: u8 = 0x82;
+const RSP_BATCH: u8 = 0x83;
+const RSP_WRITE: u8 = 0x84;
+const RSP_METRICS: u8 = 0x85;
+const RSP_ERROR: u8 = 0xEE;
+
+/// One batch member's outcome: its [`OpStatus`] and (possibly empty)
+/// merged top-k, `(global id, distance)` pairs distance-ascending.
+pub type BatchMember = (OpStatus, Vec<(u32, f32)>);
+
+/// Decoded body header: the fields every frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version byte ([`PROTOCOL_VERSION`] on every frame this
+    /// codec emits).
+    pub version: u8,
+    /// Tenant namespace the request is billed to (servers map it to a
+    /// per-tenant admission budget; echoed on responses).
+    pub tenant: u16,
+    /// Caller-chosen id echoed on the matching response.
+    pub corr: u64,
+}
+
+/// One client→server request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the server answers [`Response::Pong`].
+    Ping,
+    /// One k-NN query.
+    Query {
+        /// The query point.
+        point: Vec<f32>,
+    },
+    /// A batch of same-dimension queries, answered as one
+    /// [`Response::Batch`] (member order preserved).
+    QueryBatch {
+        /// Dimensions per point.
+        dim: u32,
+        /// `count × dim` coordinates, point-major.
+        points: Vec<f32>,
+    },
+    /// Insert one point (the server mints the global id, returned in
+    /// [`Response::Write`]).
+    Insert {
+        /// The point to insert.
+        point: Vec<f32>,
+    },
+    /// Delete one global id.
+    Delete {
+        /// The target id.
+        id: u32,
+    },
+    /// Request a [`Response::Metrics`] JSON snapshot.
+    Metrics,
+}
+
+/// One server→client response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A served query's merged top-k.
+    Neighbors {
+        /// `(global id, distance)` pairs, distance ascending.
+        neighbors: Vec<(u32, f32)>,
+    },
+    /// A served batch: one `(status, top-k)` per input point, in input
+    /// order. Shed members carry [`OpStatus::Shed`] and an empty list
+    /// (per-member admission is in-band here; only whole-frame problems
+    /// get an [`Response::Error`]).
+    Batch {
+        /// Per-member outcome.
+        members: Vec<BatchMember>,
+    },
+    /// A processed write.
+    Write {
+        /// Whether the updater applied the op.
+        applied: bool,
+        /// Minted id (inserts) or target id (deletes), when known.
+        id: Option<u32>,
+    },
+    /// The export-schema JSON snapshot ([`crate::export::report_json`]).
+    Metrics {
+        /// The serialized report.
+        json: String,
+    },
+    /// A typed failure: the op's [`OpStatus`] plus the admission
+    /// `retry_after` hint in seconds (0 when not an overload;
+    /// `f64::INFINITY` for terminal rejections such as a closed
+    /// session).
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Op status the failure maps to ([`OpStatus::Shed`] for
+        /// admission rejections).
+        status: OpStatus,
+        /// Backoff hint in seconds.
+        retry_after: f64,
+    },
+}
+
+/// Failure classes a server reports in [`Response::Error`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission shed the op; honor `retry_after`.
+    Overloaded = 1,
+    /// The frame body did not decode (bad payload, trailing bytes).
+    BadFrame = 2,
+    /// The version byte was not [`PROTOCOL_VERSION`].
+    BadVersion = 3,
+    /// The kind byte named no known request.
+    UnknownKind = 4,
+    /// The session behind the server is shut down (terminal;
+    /// `retry_after` is infinite).
+    Closed = 5,
+    /// The length prefix exceeded [`MAX_FRAME`].
+    TooLarge = 6,
+}
+
+impl ErrorCode {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => Self::Overloaded,
+            2 => Self::BadFrame,
+            3 => Self::BadVersion,
+            4 => Self::UnknownKind,
+            5 => Self::Closed,
+            6 => Self::TooLarge,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed decode failure. Carries enough to answer with a precise
+/// [`Response::Error`] — or to decide the stream is unrecoverable
+/// (oversized/short prefix) and disconnect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Body shorter than the fixed header, or a payload read ran off
+    /// the end.
+    Truncated,
+    /// Bytes left over after the payload decoded.
+    TrailingBytes,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Unknown kind byte.
+    UnknownKind(u8),
+    /// Length prefix beyond [`MAX_FRAME`].
+    Oversized(usize),
+    /// Structurally invalid payload (e.g. batch size not a multiple of
+    /// its dimension).
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame truncated"),
+            Self::TrailingBytes => write!(f, "trailing bytes after payload"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k:#x}"),
+            Self::Oversized(n) => write!(f, "frame body of {n} bytes exceeds {MAX_FRAME}"),
+            Self::BadPayload(why) => write!(f, "bad payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ---------------------------------------------------------------- encode
+
+fn put_header(out: &mut Vec<u8>, kind: u8, tenant: u16, corr: u64) {
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&tenant.to_le_bytes());
+    out.extend_from_slice(&corr.to_le_bytes());
+}
+
+fn put_points(out: &mut Vec<u8>, points: &[f32]) {
+    out.extend_from_slice(&(points.len() as u32).to_le_bytes());
+    for p in points {
+        out.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+}
+
+fn put_neighbors(out: &mut Vec<u8>, neighbors: &[(u32, f32)]) {
+    out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
+    for &(id, d) in neighbors {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&d.to_bits().to_le_bytes());
+    }
+}
+
+/// Encode one request as a complete wire frame (length prefix
+/// included) appended to `out`.
+pub fn encode_request(tenant: u16, corr: u64, req: &Request, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0; 4]); // length prefix, patched below
+    match req {
+        Request::Ping => put_header(out, REQ_PING, tenant, corr),
+        Request::Query { point } => {
+            put_header(out, REQ_QUERY, tenant, corr);
+            put_points(out, point);
+        }
+        Request::QueryBatch { dim, points } => {
+            put_header(out, REQ_QUERY_BATCH, tenant, corr);
+            out.extend_from_slice(&dim.to_le_bytes());
+            put_points(out, points);
+        }
+        Request::Insert { point } => {
+            put_header(out, REQ_INSERT, tenant, corr);
+            put_points(out, point);
+        }
+        Request::Delete { id } => {
+            put_header(out, REQ_DELETE, tenant, corr);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Metrics => put_header(out, REQ_METRICS, tenant, corr),
+    }
+    let body = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&body.to_le_bytes());
+}
+
+/// Encode one response as a complete wire frame appended to `out`.
+pub fn encode_response(tenant: u16, corr: u64, rsp: &Response, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0; 4]);
+    match rsp {
+        Response::Pong => put_header(out, RSP_PONG, tenant, corr),
+        Response::Neighbors { neighbors } => {
+            put_header(out, RSP_NEIGHBORS, tenant, corr);
+            put_neighbors(out, neighbors);
+        }
+        Response::Batch { members } => {
+            put_header(out, RSP_BATCH, tenant, corr);
+            out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            for (status, neighbors) in members {
+                out.push(match status {
+                    OpStatus::Ok => 0,
+                    OpStatus::Shed => 1,
+                });
+                put_neighbors(out, neighbors);
+            }
+        }
+        Response::Write { applied, id } => {
+            put_header(out, RSP_WRITE, tenant, corr);
+            out.push(u8::from(*applied));
+            match id {
+                Some(id) => {
+                    out.push(1);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        Response::Metrics { json } => {
+            put_header(out, RSP_METRICS, tenant, corr);
+            out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+            out.extend_from_slice(json.as_bytes());
+        }
+        Response::Error {
+            code,
+            status,
+            retry_after,
+        } => {
+            put_header(out, RSP_ERROR, tenant, corr);
+            out.push(*code as u8);
+            out.push(match status {
+                OpStatus::Ok => 0,
+                OpStatus::Shed => 1,
+            });
+            out.extend_from_slice(&retry_after.to_bits().to_le_bytes());
+        }
+    }
+    let body = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&body.to_le_bytes());
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Checked little-endian cursor over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.at < n {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, FrameError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Validate an element count against the bytes actually left, so a
+    /// hostile count cannot drive allocation past the (already bounded)
+    /// body size.
+    fn checked_count(&self, n: u32, elem_bytes: usize) -> Result<usize, FrameError> {
+        let n = n as usize;
+        if n.saturating_mul(elem_bytes) > self.buf.len() - self.at {
+            return Err(FrameError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn points(&mut self) -> Result<Vec<f32>, FrameError> {
+        let n = self.u32()?;
+        let n = self.checked_count(n, 4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn neighbors(&mut self) -> Result<Vec<(u32, f32)>, FrameError> {
+        let n = self.u32()?;
+        let n = self.checked_count(n, 8)?;
+        (0..n).map(|_| Ok((self.u32()?, self.f32()?))).collect()
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes)
+        }
+    }
+}
+
+fn decode_header(c: &mut Cursor<'_>) -> Result<(FrameHeader, u8), FrameError> {
+    let version = c.u8()?;
+    let kind = c.u8()?;
+    let tenant = c.u16()?;
+    let corr = c.u64()?;
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    Ok((
+        FrameHeader {
+            version,
+            tenant,
+            corr,
+        },
+        kind,
+    ))
+}
+
+/// Decode one request body (the bytes after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<(FrameHeader, Request), FrameError> {
+    let mut c = Cursor { buf: body, at: 0 };
+    let (h, kind) = decode_header(&mut c)?;
+    let req = match kind {
+        REQ_PING => Request::Ping,
+        REQ_QUERY => Request::Query { point: c.points()? },
+        REQ_QUERY_BATCH => {
+            let dim = c.u32()?;
+            let points = c.points()?;
+            if dim == 0 || points.len() % dim as usize != 0 {
+                return Err(FrameError::BadPayload("batch length not a multiple of dim"));
+            }
+            Request::QueryBatch { dim, points }
+        }
+        REQ_INSERT => Request::Insert { point: c.points()? },
+        REQ_DELETE => Request::Delete { id: c.u32()? },
+        REQ_METRICS => Request::Metrics,
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    c.finish()?;
+    Ok((h, req))
+}
+
+/// Decode one response body (the bytes after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<(FrameHeader, Response), FrameError> {
+    let mut c = Cursor { buf: body, at: 0 };
+    let (h, kind) = decode_header(&mut c)?;
+    let rsp = match kind {
+        RSP_PONG => Response::Pong,
+        RSP_NEIGHBORS => Response::Neighbors {
+            neighbors: c.neighbors()?,
+        },
+        RSP_BATCH => {
+            let n = c.u32()?;
+            // Each member is at least a status byte + a count word.
+            let n = c.checked_count(n, 5)?;
+            let members = (0..n)
+                .map(|_| {
+                    let status = match c.u8()? {
+                        0 => OpStatus::Ok,
+                        1 => OpStatus::Shed,
+                        _ => return Err(FrameError::BadPayload("bad status byte")),
+                    };
+                    Ok((status, c.neighbors()?))
+                })
+                .collect::<Result<_, _>>()?;
+            Response::Batch { members }
+        }
+        RSP_WRITE => {
+            let applied = c.u8()? != 0;
+            let id = match c.u8()? {
+                0 => None,
+                1 => Some(c.u32()?),
+                _ => return Err(FrameError::BadPayload("bad id presence byte")),
+            };
+            Response::Write { applied, id }
+        }
+        RSP_METRICS => {
+            let n = c.u32()?;
+            let n = c.checked_count(n, 1)?;
+            let bytes = c.take(n)?;
+            Response::Metrics {
+                json: String::from_utf8(bytes.to_vec())
+                    .map_err(|_| FrameError::BadPayload("metrics not UTF-8"))?,
+            }
+        }
+        RSP_ERROR => {
+            let code =
+                ErrorCode::from_byte(c.u8()?).ok_or(FrameError::BadPayload("bad error code"))?;
+            let status = match c.u8()? {
+                0 => OpStatus::Ok,
+                1 => OpStatus::Shed,
+                _ => return Err(FrameError::BadPayload("bad status byte")),
+            };
+            Response::Error {
+                code,
+                status,
+                retry_after: c.f64()?,
+            }
+        }
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    c.finish()?;
+    Ok((h, rsp))
+}
+
+// ------------------------------------------------------------------ I/O
+
+/// Result of pulling one frame body off a stream.
+#[derive(Debug)]
+pub enum ReadFrame {
+    /// A complete body (header + payload, length prefix stripped).
+    Body(Vec<u8>),
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The length prefix exceeded [`MAX_FRAME`] — the stream cannot be
+    /// resynchronized; answer with [`ErrorCode::TooLarge`] and drop it.
+    Oversized(usize),
+}
+
+/// Read exactly one length-prefixed frame body. EOF before the first
+/// prefix byte is a clean close; EOF anywhere inside a frame is an
+/// `UnexpectedEof` error (a peer died mid-frame).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<ReadFrame> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(ReadFrame::Closed)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame length prefix",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Ok(ReadFrame::Oversized(len));
+    }
+    if len < HEADER_LEN {
+        // Too short to even carry a header; surface as a body the
+        // decoder will reject with `Truncated` (keeps the error typed).
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        return Ok(ReadFrame::Body(body));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(ReadFrame::Body(body))
+}
+
+/// Write pre-encoded frame bytes, handling interrupts.
+pub fn write_all<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_request(req: Request) {
+        let mut wire = Vec::new();
+        encode_request(7, 42, &req, &mut wire);
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, wire.len() - 4);
+        let (h, back) = decode_request(&wire[4..]).expect("round trip");
+        assert_eq!(h.tenant, 7);
+        assert_eq!(h.corr, 42);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        rt_request(Request::Ping);
+        rt_request(Request::Metrics);
+        rt_request(Request::Query {
+            point: vec![1.5, -2.25, 0.0],
+        });
+        rt_request(Request::QueryBatch {
+            dim: 2,
+            points: vec![1.0, 2.0, 3.0, 4.0],
+        });
+        rt_request(Request::Insert { point: vec![0.5] });
+        rt_request(Request::Delete { id: 31337 });
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = [
+            Response::Pong,
+            Response::Neighbors {
+                neighbors: vec![(3, 0.25), (9, 1.5)],
+            },
+            Response::Batch {
+                members: vec![(OpStatus::Ok, vec![(1, 0.5)]), (OpStatus::Shed, Vec::new())],
+            },
+            Response::Write {
+                applied: true,
+                id: Some(12),
+            },
+            Response::Write {
+                applied: false,
+                id: None,
+            },
+            Response::Metrics {
+                json: "{\"x\":1}".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                status: OpStatus::Shed,
+                retry_after: 0.005,
+            },
+        ];
+        for rsp in cases {
+            let mut wire = Vec::new();
+            encode_response(2, 99, &rsp, &mut wire);
+            let (h, back) = decode_response(&wire[4..]).expect("round trip");
+            assert_eq!(h.corr, 99);
+            assert_eq!(back, rsp);
+        }
+    }
+
+    #[test]
+    fn bad_version_is_typed() {
+        let mut wire = Vec::new();
+        encode_request(0, 0, &Request::Ping, &mut wire);
+        wire[4] = 9; // version byte
+        assert_eq!(decode_request(&wire[4..]), Err(FrameError::BadVersion(9)));
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let mut wire = Vec::new();
+        encode_request(0, 0, &Request::Ping, &mut wire);
+        wire[5] = 0x7F;
+        assert_eq!(
+            decode_request(&wire[4..]),
+            Err(FrameError::UnknownKind(0x7F))
+        );
+        // A response kind fed to the request decoder is equally typed.
+        let mut rsp = Vec::new();
+        encode_response(0, 0, &Response::Pong, &mut rsp);
+        assert_eq!(
+            decode_request(&rsp[4..]),
+            Err(FrameError::UnknownKind(RSP_PONG))
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_typed() {
+        let mut wire = Vec::new();
+        encode_request(
+            1,
+            2,
+            &Request::Query {
+                point: vec![1.0, 2.0],
+            },
+            &mut wire,
+        );
+        // Truncate inside the payload.
+        assert_eq!(
+            decode_request(&wire[4..wire.len() - 3]),
+            Err(FrameError::Truncated)
+        );
+        // Trailing garbage after a valid payload.
+        wire.push(0xAB);
+        assert_eq!(decode_request(&wire[4..]), Err(FrameError::TrailingBytes));
+        // Shorter than the header at all.
+        assert_eq!(decode_request(&[1, 2]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn hostile_count_cannot_overallocate() {
+        // A query frame claiming u32::MAX points with a 4-byte payload:
+        // the count check fails before any allocation happens.
+        let mut wire = Vec::new();
+        encode_request(0, 0, &Request::Ping, &mut wire);
+        wire[5] = REQ_QUERY;
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let body = (wire.len() - 4) as u32;
+        wire[..4].copy_from_slice(&body.to_le_bytes());
+        assert_eq!(decode_request(&wire[4..]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn read_frame_handles_eof_and_oversize() {
+        use std::io::Cursor as IoCursor;
+        // Clean close at a boundary.
+        let mut empty = IoCursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut empty).unwrap(), ReadFrame::Closed));
+        // EOF inside the prefix.
+        let mut short = IoCursor::new(vec![1u8, 2]);
+        assert!(read_frame(&mut short).is_err());
+        // EOF inside the body.
+        let mut wire = Vec::new();
+        encode_request(0, 0, &Request::Ping, &mut wire);
+        wire.truncate(wire.len() - 2);
+        let mut mid = IoCursor::new(wire);
+        assert!(read_frame(&mut mid).is_err());
+        // Oversized prefix is typed, not allocated.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        let mut over = IoCursor::new(huge);
+        assert!(matches!(
+            read_frame(&mut over).unwrap(),
+            ReadFrame::Oversized(_)
+        ));
+    }
+}

@@ -38,6 +38,7 @@
 use crate::admission::AdmissionControl;
 use crate::loadgen::{Load, Op};
 use crate::metrics::{imbalance, LatencyHistogram, LatencySummary, OpStatus};
+use crate::net::NetCounters;
 use crate::reactor::sleep_until;
 use crate::router::{RoutePolicy, MAX_REPLICAS};
 use crate::session::{insert_base, QueryTicket, Session, WriteOp, WriteTicket};
@@ -375,6 +376,10 @@ pub struct ServiceReport {
     /// the observable the router balances. See
     /// [`ServiceReport::replica_imbalance`].
     pub replica_load: Vec<Vec<u64>>,
+    /// Network-tier counters ([`crate::net::NetServer`]): all zero for
+    /// in-process sessions; a `NetServer`'s
+    /// [`metrics`](crate::net::NetServer::metrics) snapshot fills them.
+    pub net: NetCounters,
 }
 
 impl ServiceReport {
@@ -411,6 +416,7 @@ impl ServiceReport {
             shards,
             replicas,
             replica_load: vec![vec![0; replicas]; shards],
+            net: NetCounters::default(),
         }
     }
 
@@ -621,6 +627,7 @@ impl ServiceReport {
                         .collect()
                 })
                 .collect(),
+            net: self.net.minus(&prev.net),
         }
     }
 }
@@ -1038,7 +1045,8 @@ fn pump_workload(
                   first: bool| {
         match ops[op_idx] {
             Op::Query(qi) => {
-                let t = client.submit_query(queries.point(qi), Some(ref_time), Some(ntx.clone()));
+                let t =
+                    client.submit_query(queries.point(qi), Some(ref_time), Some(ntx.clone()), None);
                 tid2op.insert(t.id(), op_idx);
                 out.query_tickets[qi] = Some(t);
             }
@@ -1048,6 +1056,7 @@ fn pump_workload(
                     Some(ref_time),
                     true,
                     Some(ntx.clone()),
+                    None,
                 );
                 tid2op.insert(t.id(), op_idx);
                 debug_assert!(first);
@@ -1059,6 +1068,7 @@ fn pump_workload(
                     Some(ref_time),
                     true,
                     Some(ntx.clone()),
+                    None,
                 );
                 tid2op.insert(t.id(), op_idx);
                 debug_assert!(first);

@@ -87,7 +87,7 @@ use crate::service::{dedup_batch, BatchQueryReport, DeviceSpec, ServiceConfig, S
 use crate::shard::Shard;
 use crate::shared_sim::SharedSimArray;
 use crate::topology::Topology;
-use crate::trace::{ShardSpan, SpanKind, TraceSpan, Tracer};
+use crate::trace::{NetStage, ShardSpan, SpanKind, TraceSpan, Tracer};
 use crate::update::ShardUpdater;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use e2lsh_core::dataset::Dataset;
@@ -301,6 +301,9 @@ ticket!(
 pub(crate) struct InFlight {
     qid: u64,
     ref_time: f64,
+    /// Network stage stamps for queries that arrived over a socket
+    /// ([`crate::net`]); `None` for in-process submissions.
+    net: Option<NetStage>,
     point: Arc<[f32]>,
     slot: Arc<Slot<QueryResult>>,
     /// Per-shard dispatch bitmasks — the routing table row for this
@@ -508,6 +511,8 @@ fn shed_write_result(e: Overload, id: Option<u32>) -> WriteResult {
 pub(crate) struct WriteJob {
     slot: Arc<Slot<WriteResult>>,
     ref_time: f64,
+    /// Network stage stamps ([`crate::net`] submissions only).
+    net: Option<NetStage>,
     /// Seconds when the job cleared admission and entered the shard
     /// queue — the "routed" stamp of a write's trace span.
     enqueued: f64,
@@ -560,13 +565,50 @@ impl Clone for Client {
 }
 
 impl Client {
+    /// Seconds since the session epoch (the clock every ticket and
+    /// trace timestamp is on). The net tier stamps frame arrival and
+    /// decode instants with this.
+    pub(crate) fn now(&self) -> f64 {
+        self.shared.now()
+    }
+
+    /// A full report snapshot through this handle — what
+    /// [`Session::metrics`] returns, reachable from threads that hold
+    /// only a client (the net tier's metrics frames).
+    pub(crate) fn report(&self) -> ServiceReport {
+        build_report(&self.shared)
+    }
+
+    /// Point dimensionality the session serves. The net tier validates
+    /// decoded frames against this *before* submitting — a hostile
+    /// wire payload must become a typed error frame, not an assertion
+    /// failure inside [`Client::query`].
+    pub(crate) fn dim(&self) -> usize {
+        self.shared.topo.shards().dim()
+    }
+
+    /// Mint an **independent** client (fresh in-flight gauge) with an
+    /// explicit cap, overriding [`ServiceConfig::per_client_inflight`].
+    /// The net tier mints one per **tenant** as tenants appear on the
+    /// wire — its clones (one per connection) share the gauge, so the
+    /// cap bounds the tenant across all its connections.
+    ///
+    /// [`ServiceConfig::per_client_inflight`]: crate::service::ServiceConfig::per_client_inflight
+    pub(crate) fn sibling_with_cap(&self, cap: usize) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            cap,
+        }
+    }
+
     /// Submit one query; never blocks. The returned ticket resolves
     /// with the merged global top-k, or immediately with
     /// [`OpStatus::Shed`] + [`Overload`] when admission rejects it
     /// (shard queue budget, no live replica, the per-client cap, or a
     /// closed session). Latency is measured from now.
     pub fn query(&self, point: &[f32]) -> QueryTicket {
-        self.submit_query(point, None, None)
+        self.submit_query(point, None, None, None)
     }
 
     /// [`Client::query`] with an explicit latency reference: seconds
@@ -576,7 +618,7 @@ impl Client {
     /// (coordinated omission) and retries are measured from the first
     /// attempt.
     pub fn query_at(&self, point: &[f32], ref_time: f64) -> QueryTicket {
-        self.submit_query(point, Some(ref_time), None)
+        self.submit_query(point, Some(ref_time), None, None)
     }
 
     pub(crate) fn submit_query(
@@ -584,6 +626,7 @@ impl Client {
         point: &[f32],
         ref_time: Option<f64>,
         notify: Option<Sender<u64>>,
+        net: Option<NetStage>,
     ) -> QueryTicket {
         let shared = &self.shared;
         assert_eq!(
@@ -624,6 +667,7 @@ impl Client {
         let entry = Arc::new(InFlight {
             qid,
             ref_time,
+            net,
             point: Arc::from(point),
             slot: Arc::clone(&slot),
             masks: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
@@ -669,7 +713,7 @@ impl Client {
     /// never-blocks contract beats minting. Latency is measured from
     /// now.
     pub fn write(&self, op: WriteOp<'_>) -> WriteTicket {
-        self.submit_write(op, None, false, None)
+        self.submit_write(op, None, false, None, None)
     }
 
     /// Submit one write under **backpressure**: a full write queue
@@ -681,7 +725,7 @@ impl Client {
     /// (`retry_after == f64::INFINITY`) — blocking forever on a dead
     /// session would be worse.
     pub fn write_blocking(&self, op: WriteOp<'_>) -> WriteTicket {
-        self.submit_write(op, None, true, None)
+        self.submit_write(op, None, true, None, None)
     }
 
     pub(crate) fn submit_write(
@@ -690,6 +734,7 @@ impl Client {
         ref_time: Option<f64>,
         blocking: bool,
         notify: Option<Sender<u64>>,
+        net: Option<NetStage>,
     ) -> WriteTicket {
         let shared = &self.shared;
         let wid = shared.next_ticket.fetch_add(1, Ordering::Relaxed);
@@ -770,6 +815,7 @@ impl Client {
                 let job = WriteJob {
                     slot: Arc::clone(&slot),
                     ref_time,
+                    net,
                     enqueued: shared.now(),
                     global_id: g as u32,
                     kind: WriteKind::Insert {
@@ -796,6 +842,7 @@ impl Client {
                 let job = WriteJob {
                     slot: Arc::clone(&slot),
                     ref_time,
+                    net,
                     enqueued: shared.now(),
                     global_id: g,
                     kind: WriteKind::Delete,
@@ -1019,6 +1066,14 @@ impl Session {
             inflight: Arc::new(AtomicUsize::new(0)),
             cap: usize::MAX,
         }
+    }
+
+    /// Live (unresolved) tickets in the session registry — the routing
+    /// table's population. 0 once every submitted op has resolved; the
+    /// net suites assert this returns to 0 after a connection dies
+    /// mid-flight (no leaked routing-table entries).
+    pub fn outstanding_tickets(&self) -> usize {
+        self.shared.registry.lock().unwrap().len()
     }
 
     /// The serving topology (fence/unfence replicas here; a fence takes
@@ -1311,6 +1366,7 @@ fn run_writer(shared: &SessionShared, s: usize, jobs: GatedReceiver<WriteJob>) {
                     blocks_invalidated: blocks,
                 },
                 submitted: job.ref_time,
+                net: job.net,
                 routed: job.enqueued,
                 shards: vec![ShardSpan {
                     shard: s,
@@ -1508,6 +1564,7 @@ fn try_finish(shared: &SessionShared, e: &InFlight, num_shards: usize) -> bool {
             id: e.qid,
             kind: SpanKind::Query,
             submitted: e.ref_time,
+            net: e.net,
             routed: f64::from_bits(e.routed.load(Ordering::Acquire)),
             shards: spans,
             resolved: finish,
@@ -1772,6 +1829,7 @@ fn build_report(shared: &SessionShared) -> ServiceReport {
             replicas,
             replica_load: Vec::new(),
             slow_queries: Vec::new(),
+            net: crate::net::NetCounters::default(),
         }
     };
     // Everything below reads locks/atomics other than the metrics

@@ -44,6 +44,20 @@ pub enum SpanKind {
     },
 }
 
+/// The network stage of a request that arrived over a socket
+/// ([`crate::net`]): the server-side window from the frame being fully
+/// read off the wire to its payload being decoded and submitted.
+/// Requests submitted in-process have no network stage
+/// ([`TraceSpan::net`] is `None`) and their spans are unchanged.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetStage {
+    /// Frame fully received off the socket (also the span's
+    /// `submitted` reference, so end-to-end latency covers decoding).
+    pub received: f64,
+    /// Payload decoded; submission to the session follows immediately.
+    pub decoded: f64,
+}
+
 /// One shard's contribution to a request: the device-side window.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardSpan {
@@ -68,8 +82,12 @@ pub struct TraceSpan {
     pub id: u64,
     /// Query or write.
     pub kind: SpanKind,
-    /// Admission: the client's reference time.
+    /// Admission: the client's reference time. For network requests
+    /// this is the frame-received instant ([`NetStage::received`]).
     pub submitted: f64,
+    /// Network stage (frame received → decoded), `Some` only for
+    /// requests that arrived through [`crate::net`].
+    pub net: Option<NetStage>,
     /// Routing decision complete; jobs enqueued on shard lanes.
     pub routed: f64,
     /// Per-shard device windows, in completion order.
@@ -105,9 +123,16 @@ impl TraceSpan {
         }
     }
 
-    /// Admission → routing decision.
+    /// Frame received → payload decoded, for network requests; 0 for
+    /// in-process submissions. The first telescoping stage.
+    pub fn net_ingress(&self) -> f64 {
+        self.net.map_or(0.0, |n| n.decoded - n.received)
+    }
+
+    /// Admission → routing decision (for network requests: decode →
+    /// routing decision, so the stage chain stays telescoping).
     pub fn route(&self) -> f64 {
-        self.routed - self.submitted
+        self.routed - self.net.map_or(self.submitted, |n| n.decoded)
     }
 
     /// Routing → first reactor dequeue (admission queue wait).
@@ -126,9 +151,10 @@ impl TraceSpan {
     }
 
     /// Admission → resolution. Always equals
-    /// `route() + queue_wait() + service() + merge()` up to float
-    /// addition error — the stages are differences of adjacent
-    /// timestamps and telescope.
+    /// `net_ingress() + route() + queue_wait() + service() + merge()`
+    /// up to float addition error — the stages are differences of
+    /// adjacent timestamps and telescope (`net_ingress` is 0 for
+    /// in-process requests).
     pub fn end_to_end(&self) -> f64 {
         self.resolved - self.submitted
     }
@@ -159,8 +185,13 @@ impl TraceSpan {
                 )
             })
             .collect();
+        let net = if self.net.is_some() {
+            format!("net {:.3}ms + ", self.net_ingress() * 1e3)
+        } else {
+            String::new()
+        };
         format!(
-            "#{} {kind} e2e {:.2}ms = route {:.3}ms + wait {:.2}ms + service {:.2}ms + merge {:.3}ms [{}]",
+            "#{} {kind} e2e {:.2}ms = {net}route {:.3}ms + wait {:.2}ms + service {:.2}ms + merge {:.3}ms [{}]",
             self.id,
             self.end_to_end() * 1e3,
             self.route() * 1e3,
@@ -317,6 +348,7 @@ mod tests {
             id,
             kind: SpanKind::Query,
             submitted,
+            net: None,
             routed,
             shards: windows
                 .iter()
@@ -341,6 +373,29 @@ mod tests {
         assert!((s.end_to_end() - 0.0145).abs() < 1e-12);
         assert!(s.route() > 0.0 && s.queue_wait() > 0.0 && s.service() > 0.0);
         assert_eq!(s.total_io(), 6);
+    }
+
+    #[test]
+    fn net_stage_telescopes() {
+        // A network request: received at 1.0 (= submitted), decoded at
+        // 1.0004, routed at 1.001 — the net stage slots in front of
+        // route and the five-stage sum still telescopes exactly.
+        let mut s = span(3, 1.0, 1.001, &[(1.002, 1.010)], 1.0105);
+        s.net = Some(NetStage {
+            received: 1.0,
+            decoded: 1.0004,
+        });
+        assert!((s.net_ingress() - 0.0004).abs() < 1e-12);
+        assert!((s.route() - 0.0006).abs() < 1e-12);
+        let total = s.net_ingress() + s.route() + s.queue_wait() + s.service() + s.merge();
+        assert!((total - s.end_to_end()).abs() < 1e-12);
+        assert!(s.render().contains("net "));
+        // In-process spans are unchanged: zero net stage, route from
+        // `submitted`.
+        let plain = span(4, 1.0, 1.001, &[(1.002, 1.010)], 1.0105);
+        assert_eq!(plain.net_ingress(), 0.0);
+        assert!((plain.route() - 0.001).abs() < 1e-12);
+        assert!(!plain.render().contains("net "));
     }
 
     #[test]

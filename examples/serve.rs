@@ -5,8 +5,11 @@
 //! the open loop pushed past capacity to watch bounded admission shed
 //! load, a duplicate-heavy batch through `query_batch`,
 //! backoff-honoring clients retrying on the `Overload::retry_after`
-//! hint, and finally each shard backed by 3 replicas with one killed
-//! mid-run, the router failing its queries over to a sibling.
+//! hint, each shard backed by 3 replicas with one killed mid-run, the
+//! router failing its queries over to a sibling, and finally the
+//! network tier: a loopback `NetServer` driven by a pipelining
+//! `NetClient` — connect, ping, 24 in-flight queries collected out of
+//! order by correlation id, a metrics frame, and a clean disconnect.
 //!
 //! **Overload error contract:** with a finite
 //! [`AdmissionBudget`](e2lshos::service::AdmissionBudget), any *query*
@@ -24,7 +27,10 @@
 //! Run with `cargo run --release --example serve`.
 
 use e2lshos::prelude::*;
-use e2lshos::service::{skewed_queries, zipf_indices, AdmissionBudget, Load, RoutePolicy, WriteOp};
+use e2lshos::service::{
+    skewed_queries, zipf_indices, AdmissionBudget, Load, NetClient, NetServer, NetServerConfig,
+    RoutePolicy, WriteOp,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -352,4 +358,97 @@ fn main() {
         rep.replica_imbalance()
     );
     replicated.shards().cleanup();
+
+    // The network tier: the same session API, but over a socket. A
+    // `NetServer` listens on loopback and maps each in-flight frame
+    // onto a session ticket; a `NetClient` mirrors the `Client`
+    // surface. Pipelined sends share the connection — responses come
+    // back out of order and match up by correlation id.
+    let shards = ShardSet::build(
+        &data,
+        &ShardBuildConfig {
+            num_shards: 2,
+            seed: 42,
+            dir: std::env::temp_dir()
+                .join(format!("e2lsh-serve-example-net-{}", std::process::id())),
+            cache_blocks: 8192,
+            ..Default::default()
+        },
+        |local| {
+            E2lshParams::derive(
+                local.len(),
+                2.0,
+                4.0,
+                1.0,
+                local.max_abs_coord(),
+                local.dim(),
+            )
+        },
+    )
+    .expect("shard build");
+    let svc = ShardedService::new(
+        shards,
+        ServiceConfig {
+            workers_per_replica: 2,
+            contexts_per_worker: 16,
+            k: 5,
+            device: DeviceSpec::SimShared {
+                profile: DeviceProfile::ESSD,
+                num_devices: 1,
+            },
+            ..Default::default()
+        },
+    );
+    let session = svc.start();
+    let server = NetServer::spawn(&session, NetServerConfig::default()).expect("bind loopback");
+    println!("\nnet: serving on {}", server.addr());
+
+    // Tenant 7's connection. One socket, many in-flight queries:
+    // `send_query` pipelines without reading, `wait_query` collects by
+    // correlation id — here in reverse order, just to prove the match.
+    let mut client = NetClient::connect(server.addr(), 7).expect("connect");
+    client.ping().expect("ping");
+    let corrs: Vec<u64> = (0..24)
+        .map(|i| {
+            client
+                .send_query(queries.point(i % queries.len()))
+                .expect("pipeline")
+        })
+        .collect();
+    let mut served = 0;
+    for &corr in corrs.iter().rev() {
+        let reply = client.wait_query(corr).expect("collect");
+        if reply.status == OpStatus::Ok {
+            served += 1;
+        }
+    }
+    let first = client.query(queries.point(0)).expect("one more");
+    println!(
+        "net: 24 pipelined queries -> {served} served; top hit of query 0: {:?}",
+        first.neighbors.first()
+    );
+
+    // The metrics frame returns the schema-v3 JSON export — the same
+    // document the bench artifacts embed, net counters included.
+    let json = client.metrics_json().expect("metrics frame");
+    println!(
+        "net: metrics frame is {} bytes of schema-v3 JSON",
+        json.len()
+    );
+
+    // Clean disconnect: drop the client (EOF at a frame boundary),
+    // then drain the server. Every owed response was already written,
+    // so nothing counts as dropped or orphaned.
+    drop(client);
+    let report = server.shutdown();
+    println!(
+        "net: {} conns, {} frames in / {} out, {} dropped, {} orphaned",
+        report.net.connections_accepted,
+        report.net.frames_in,
+        report.net.frames_out,
+        report.net.connections_dropped,
+        report.net.tickets_orphaned
+    );
+    drop(session.shutdown());
+    svc.shards().cleanup();
 }
